@@ -1,0 +1,28 @@
+"""Benchmark harness glue.
+
+Each ``test_bench_*`` file regenerates one table/figure of the paper
+via the experiment registry, prints the rows next to the paper's
+numbers, and asserts the experiment's shape checks — reproducing the
+*qualitative* result (who wins, by roughly what factor, where the
+crossovers sit), not the authors' absolute measurements.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def run_experiment(benchmark, exp_id: str, **kwargs):
+    """Benchmark one experiment end-to-end and assert its checks."""
+    result = benchmark.pedantic(
+        lambda: EXPERIMENTS[exp_id](**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.report())
+    failed = result.failed_checks()
+    assert not failed, "shape checks failed:\n" + "\n".join(
+        str(check) for check in failed
+    )
+    return result

@@ -1,0 +1,28 @@
+"""Ablations of the SpongeFile design choices (chunk size, rack
+policy, IO/compute overlap, server affinity)."""
+
+from .conftest import run_experiment
+
+
+def test_bench_ablation_chunk_size(benchmark):
+    run_experiment(benchmark, "ablation-chunk-size")
+
+
+def test_bench_ablation_rack_policy(benchmark):
+    run_experiment(benchmark, "ablation-rack")
+
+
+def test_bench_ablation_overlap(benchmark):
+    run_experiment(benchmark, "ablation-overlap")
+
+
+def test_bench_ablation_affinity(benchmark):
+    run_experiment(benchmark, "ablation-affinity")
+
+
+def test_bench_ablation_skew_avoidance(benchmark):
+    run_experiment(benchmark, "ablation-skew-avoidance")
+
+
+def test_bench_ablation_speculation(benchmark):
+    run_experiment(benchmark, "ablation-speculation")

@@ -1,0 +1,7 @@
+"""Section 4.3: aggregate intermediate data vs cluster memory."""
+
+from .conftest import run_experiment
+
+
+def test_bench_effectiveness(benchmark):
+    run_experiment(benchmark, "effectiveness")

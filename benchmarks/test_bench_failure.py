@@ -1,0 +1,7 @@
+"""Section 4.3: Poisson failure model, analytic vs Monte-Carlo."""
+
+from .conftest import run_experiment
+
+
+def test_bench_failure_model(benchmark):
+    run_experiment(benchmark, "failure-model")

@@ -1,0 +1,7 @@
+"""Figure 1: reduce-input skew CDFs from the synthesized trace."""
+
+from .conftest import run_experiment
+
+
+def test_bench_fig1_skew_cdfs(benchmark):
+    run_experiment(benchmark, "fig1")

@@ -1,0 +1,7 @@
+"""Figure 4: disk vs SpongeFiles x 4/16 GB, no contention."""
+
+from .conftest import run_experiment
+
+
+def test_bench_fig4_macro(benchmark):
+    run_experiment(benchmark, "fig4")

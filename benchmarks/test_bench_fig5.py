@@ -1,0 +1,7 @@
+"""Figure 5: the Figure 4 grid under background-grep disk contention."""
+
+from .conftest import run_experiment
+
+
+def test_bench_fig5_contention(benchmark):
+    run_experiment(benchmark, "fig5")

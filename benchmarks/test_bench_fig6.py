@@ -1,0 +1,7 @@
+"""Figure 6: disk/buffer-cache vs local sponge vs no-spill vs SpongeFiles."""
+
+from .conftest import run_experiment
+
+
+def test_bench_fig6_memory_configs(benchmark):
+    run_experiment(benchmark, "fig6")

@@ -1,0 +1,7 @@
+"""Section 4.2.3: disk spilling destroys co-tenant predictability."""
+
+from .conftest import run_experiment
+
+
+def test_bench_grep_variance(benchmark):
+    run_experiment(benchmark, "grep-variance")

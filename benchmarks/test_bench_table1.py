@@ -1,0 +1,7 @@
+"""Table 1: 1 MB spill cost across the six media configurations."""
+
+from .conftest import run_experiment
+
+
+def test_bench_table1_spill_media(benchmark):
+    run_experiment(benchmark, "table1", iterations=300)

@@ -1,0 +1,7 @@
+"""Table 2: straggler input/spilled/chunks + fragmentation (<1%)."""
+
+from .conftest import run_experiment
+
+
+def test_bench_table2_straggler_stats(benchmark):
+    run_experiment(benchmark, "table2")

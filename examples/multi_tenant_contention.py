@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Multi-tenancy: disk spilling hurts the neighbours; SpongeFiles don't.
+
+Reproduces the §4.2.3 story end-to-end: the skewed median job runs
+next to a background grep job that occupies every leftover map slot.
+With disk spilling, grep tasks that share a disk with the spilling
+reduce take several times longer than their peers — spilling destroys
+*predictability* for everyone on the machine.  With SpongeFiles the
+spill traffic moves to idle rack memory and the variance disappears.
+
+Run:  python examples/multi_tenant_contention.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import MacroRunConfig, run_macro
+from repro.mapreduce.job import SpillMode
+from repro.util.units import GB, fmt_duration
+
+SCALE = 0.5  # half the paper's 10 GB; runs in a few seconds
+
+
+def main() -> None:
+    print("median job + background grep on 4 GB nodes "
+          f"({SCALE:.0%} of paper scale)\n")
+    rows = []
+    for mode in (SpillMode.DISK, SpillMode.SPONGE):
+        outcome = run_macro(
+            MacroRunConfig(
+                job="median",
+                spill_mode=mode,
+                node_memory=4 * GB,
+                background=True,
+                scale=SCALE,
+            )
+        )
+        grep = np.asarray(outcome.grep_task_runtimes)
+        rows.append((mode.value, outcome.runtime, grep))
+        print(f"[{mode.value:6s}] median job: "
+              f"{fmt_duration(outcome.runtime)}")
+        print(f"         {grep.size} grep tasks finished alongside it:")
+        print(f"           typical (p50) {np.median(grep):6.1f} s")
+        print(f"           p95           {np.quantile(grep, 0.95):6.1f} s")
+        print(f"           worst         {grep.max():6.1f} s "
+              f"({grep.max() / np.median(grep):.1f}x the typical task)\n")
+
+    disk_runtime, sponge_runtime = rows[0][1], rows[1][1]
+    cut = 100 * (1 - sponge_runtime / disk_runtime)
+    print(f"SpongeFiles cut the foreground job by {cut:.0f}% under "
+          "contention (paper: up to 85%),")
+    disk_tail = rows[0][2].max() / np.median(rows[0][2])
+    sponge_tail = rows[1][2].max() / np.median(rows[1][2])
+    print(f"and shrink the neighbours' tail from {disk_tail:.1f}x to "
+          f"{sponge_tail:.1f}x (paper: 39 s vs 16 s tasks).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The paper's two Pig queries over synthetic web-crawl data.
+
+* Frequent Anchortext: group pages by language; the TopK UDF (one-pass
+  space-saving) finds each language's most frequent anchortext terms.
+  English holds ~80% of the web — a giant skewed group.
+* Spam Quantiles: group pages by domain; the ordered-bag UDF reads off
+  spam-score quantiles.  Deliberately *unprojected* tuples (the hasty
+  UDF of §4.2.1) make the bags huge.
+
+Both run as one MapReduce job whose single reduce task hosts the giant
+group; its bags spill through Pig's memory manager to SpongeFiles.
+
+Run:  python examples/pig_web_analytics.py
+"""
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.mapreduce import Hadoop, SpillMode
+from repro.sim import Environment, SimCluster
+from repro.sim.cluster import paper_cluster_spec
+from repro.util.units import GB, fmt_duration, fmt_size
+from repro.workloads.jobs import (
+    frequent_anchortext_job,
+    load_crawl_dataset,
+    spam_quantiles_job,
+)
+from repro.workloads.webcrawl import CrawlSpec
+
+SCALE_BYTES = 4 * GB
+SCALE_RECORDS = 40_000
+
+
+def fresh_cluster():
+    env = Environment()
+    cluster = SimCluster(env, paper_cluster_spec(sponge_pool=1 * GB))
+    sponge = SimSpongeDeployment(env, cluster)
+    hadoop = Hadoop(env, cluster, sponge=sponge)
+    load_crawl_dataset(
+        hadoop,
+        CrawlSpec(total_bytes=SCALE_BYTES, record_count=SCALE_RECORDS),
+    )
+    return hadoop
+
+
+def main() -> None:
+    print(f"web-crawl sample: {fmt_size(SCALE_BYTES)}, "
+          f"{SCALE_RECORDS} page records\n")
+
+    # ---- Frequent Anchortext -------------------------------------------
+    hadoop = fresh_cluster()
+    conf, driver = frequent_anchortext_job(SpillMode.SPONGE, k=5)
+    result = hadoop.run_job(conf, reduce_driver=driver)
+    print(f"frequent-anchortext finished in {fmt_duration(result.runtime)}")
+    for record in sorted(result.output_records(), key=lambda r: r.key):
+        terms = ", ".join(f"{term}x{count}" for term, count in record.value)
+        print(f"  {record.key:3s}: {terms}")
+    straggler = result.counters.straggler()
+    print(f"  straggler spilled {fmt_size(straggler.spilled_bytes)} in "
+          f"{straggler.spilled_chunks} sponge chunks\n")
+
+    # ---- Spam Quantiles --------------------------------------------------
+    hadoop = fresh_cluster()
+    conf, driver = spam_quantiles_job(SpillMode.SPONGE)
+    result = hadoop.run_job(conf, reduce_driver=driver)
+    print(f"spam-quantiles finished in {fmt_duration(result.runtime)}")
+    outputs = sorted(result.output_records(), key=lambda r: r.key)
+    for record in outputs[:5]:
+        quantiles = ", ".join(f"{q:.2f}" for q in record.value)
+        print(f"  {record.key}: [{quantiles}]")
+    print(f"  ... and {len(outputs) - 5} more domains")
+    straggler = result.counters.straggler()
+    print(f"  straggler spilled {fmt_size(straggler.spilled_bytes)} in "
+          f"{straggler.spilled_chunks} sponge chunks")
+
+
+if __name__ == "__main__":
+    main()

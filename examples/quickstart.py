@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: spill through a SpongeFile, watch the chunks placed.
+
+Builds a tiny in-process "cluster" of three sponge servers, then writes
+a spill that overflows the local pool so chunks cascade down the
+paper's preference order: local memory -> remote memory -> local disk.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.backends.memory_backends import (
+    LocalPoolStore,
+    MemoryDiskStore,
+    ServerStore,
+)
+from repro.sponge import (
+    AllocationChain,
+    MemoryTracker,
+    SpongeConfig,
+    SpongeFile,
+    SpongePool,
+    SpongeServer,
+    TaskId,
+    wire_peers,
+)
+from repro.util.units import KB, fmt_size
+
+CHUNK = 64 * KB
+CONFIG = SpongeConfig(chunk_size=CHUNK)
+
+
+def build_cluster(hosts, pool_chunks):
+    """One pool + sponge server per host, a tracker polling them all."""
+    tracker = MemoryTracker()
+    servers = {}
+    for host in hosts:
+        pool = SpongePool(pool_chunks * CHUNK, CHUNK)
+        servers[host] = SpongeServer(f"sponge@{host}", host=host, pool=pool)
+        tracker.register(servers[host])
+    wire_peers(list(servers.values()))
+    tracker.poll_once()
+    return tracker, servers
+
+
+def main() -> None:
+    tracker, servers = build_cluster(["alpha", "beta", "gamma"],
+                                     pool_chunks=4)
+    # A task on `alpha` spills through this chain.
+    chain = AllocationChain(
+        local_store=LocalPoolStore(servers["alpha"].pool, "alpha/pool"),
+        tracker=tracker,
+        remote_store_factory=lambda info: ServerStore(servers[info.host]),
+        disk_store=MemoryDiskStore("alpha/disk"),
+        host="alpha",
+        config=CONFIG,
+    )
+
+    task = TaskId(host="alpha", task="quickstart")
+    spongefile = SpongeFile(task, chain, CONFIG, name="demo-spill")
+
+    # Spill 1 MB: 4 chunks fit locally, 8 go to rack peers, the rest
+    # coalesce into one on-disk chunk.
+    payload = bytes(range(256)) * 4096
+    spongefile.write_all(payload)
+    spongefile.close_sync()
+
+    print(f"spilled {fmt_size(spongefile.size)} "
+          f"as {spongefile.chunk_count()} chunks:")
+    for handle in spongefile.handles:
+        print(f"  {handle.location.value:13s} on {handle.store_id:14s} "
+              f"({fmt_size(handle.nbytes)})")
+
+    assert spongefile.read_all() == payload
+    print("read back intact; deleting.")
+    spongefile.delete_sync()
+    for host, server in servers.items():
+        print(f"  {host}: {server.pool.used_chunks} chunks in use")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The real multi-process runtime: sockets, mmap pools, GC.
+
+Spins up three sponge-server processes plus a memory tracker on
+localhost, spills from this process through the real allocation chain
+(local mmap pool first, then TCP to rack peers), then demonstrates the
+§3.1.3 garbage collector: a child process spills and dies without
+cleaning up, and the sponge servers reclaim its orphaned chunks after
+probing that its pid is gone.
+
+Run:  python examples/real_cluster_spill.py
+"""
+
+import multiprocessing
+import time
+
+from repro.runtime import LocalSpongeCluster, runtime_task_id
+from repro.sponge import SpongeConfig, SpongeFile
+from repro.util.units import KB, fmt_size
+
+CHUNK = 128 * KB
+
+
+def crash_without_cleanup(server_configs, tracker_address, workdir):
+    """Child process: spill some chunks, then exit abruptly."""
+    from repro.runtime.client import build_chain
+
+    chain = build_chain(
+        host=server_configs[1]["host"],
+        tracker_address=tracker_address,
+        spill_dir=workdir + "/crash-spill",
+        local_pool_dir=server_configs[1]["pool_dir"],
+        config=SpongeConfig(chunk_size=CHUNK),
+    )
+    owner = runtime_task_id(server_configs[1]["host"], "leaky")
+    leak = SpongeFile(owner, chain, SpongeConfig(chunk_size=CHUNK))
+    leak.write_all(b"orphaned!" * 40_000)  # ~360 KB -> several chunks
+    leak.close_sync()
+    # Exit without delete(): the chunks are now orphans.
+
+
+def main() -> None:
+    with LocalSpongeCluster(num_nodes=3, pool_size=1024 * KB,
+                            chunk_size=CHUNK, gc_interval=0.3) as cluster:
+        print("cluster up:",
+              ", ".join(c.server_id for c in cluster.server_configs))
+
+        # --- a well-behaved task spilling from this very process -----
+        chain = cluster.chain(0, config=SpongeConfig(chunk_size=CHUNK))
+        owner = cluster.task_id(0, "demo")
+        spongefile = SpongeFile(owner, chain, SpongeConfig(chunk_size=CHUNK))
+        payload = b"spilled-bytes" * 100_000  # ~1.3 MB
+        spongefile.write_all(payload)
+        spongefile.close_sync()
+        placements = {}
+        for handle in spongefile.handles:
+            key = (handle.location.value, handle.store_id)
+            placements[key] = placements.get(key, 0) + 1
+        print(f"spilled {fmt_size(spongefile.size)}:")
+        for (location, store), count in placements.items():
+            print(f"  {count:2d} chunks -> {location} ({store})")
+        assert spongefile.read_all() == payload
+        spongefile.delete_sync()
+        print("round trip OK, deleted cleanly")
+
+        # --- a task that crashes and leaks chunks --------------------
+        configs = [
+            {"host": c.host, "pool_dir": c.pool_dir}
+            for c in cluster.server_configs
+        ]
+        crasher = multiprocessing.Process(
+            target=crash_without_cleanup,
+            args=(configs, cluster.tracker_address, str(cluster.workdir)),
+        )
+        crasher.start()
+        crasher.join()
+        print("leaky task exited without deleting its SpongeFile")
+
+        freed_total = 0
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            freed_total = sum(
+                cluster.request_gc(i) for i in range(len(configs))
+            )
+            if freed_total:
+                break
+            time.sleep(0.2)
+        print(f"garbage collector reclaimed {freed_total} orphaned chunks")
+        assert freed_total > 0, "GC should reclaim the crashed task's chunks"
+
+
+if __name__ == "__main__":
+    main()

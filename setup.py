@@ -1,0 +1,7 @@
+"""Legacy shim so offline environments without the ``wheel`` package
+can still do ``pip install -e . --no-use-pep517``; all metadata lives
+in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Reproduction of *SpongeFiles: Mitigating Data Skew in MapReduce
+Using Distributed Memory* (Elmeleegy, Olston, Reed -- SIGMOD 2014).
+
+Subpackages
+-----------
+
+``repro.sponge``
+    The paper's contribution: SpongeFiles, sponge pools/servers, the
+    memory tracker, the allocation chain, GC and quotas.
+``repro.backends``
+    Chunk stores: in-memory, real filesystem, and simulation-backed.
+``repro.runtime``
+    A real single-host distributed prototype: sponge servers and a
+    memory tracker as separate processes over TCP, with a
+    shared-memory pool.
+``repro.sim``
+    Discrete-event cluster simulator: disks with seeks, OS buffer
+    cache, flow-level network.
+``repro.mapreduce`` / ``repro.pig``
+    A Hadoop-like engine and a Pig-like dataflow layer on the
+    simulator, with pluggable spilling (disk vs. SpongeFiles).
+``repro.workloads``
+    Synthetic web-crawl data, production-trace generator, and the
+    paper's three macro jobs.
+``repro.experiments``
+    One module per table/figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,8 @@
+"""Chunk-store backends for the SpongeFile core.
+
+* ``memory_backends`` — synchronous in-process stores (unit tests,
+  plain library use, the local side of the real runtime).
+* ``file_backends`` — a real local-filesystem disk store.
+* ``sim_backends`` — stores that charge calibrated costs to the
+  discrete-event simulator (the measurement path for every figure).
+"""

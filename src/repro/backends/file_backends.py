@@ -1,0 +1,92 @@
+"""A real local-filesystem chunk store.
+
+Chunks become files in a spill directory named after the owning task,
+matching Hadoop's convention of per-task temp directories so that
+framework-level cleanup (delete the directory) reclaims leaked on-disk
+chunks (§3.1.3).  Bytes only — this store is for real data, not for the
+simulator's logical payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ChunkLostError, OutOfSpongeMemory, SpongeError
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.store import SyncChunkStore
+
+
+class FileDiskStore(SyncChunkStore):
+    """Chunk files under ``root/<task>/chunk-N``, with real appends."""
+
+    location = ChunkLocation.LOCAL_DISK
+    supports_append = True
+
+    def __init__(
+        self,
+        root: str | Path,
+        store_id: str = "local-disk",
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store_id = store_id
+        self.capacity = capacity
+        self.used = 0
+        self._ids = itertools.count()
+
+    def free_bytes(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return max(0, self.capacity - self.used)
+
+    def _task_dir(self, owner: TaskId) -> Path:
+        safe = f"{owner.task}@{owner.host}".replace(os.sep, "_")
+        path = self.root / safe
+        path.mkdir(exist_ok=True)
+        return path
+
+    def _check_space(self, nbytes: int) -> None:
+        if self.capacity is not None and self.used + nbytes > self.capacity:
+            raise OutOfSpongeMemory(f"{self.store_id} full")
+
+    def _write(self, owner: TaskId, data) -> ChunkHandle:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise SpongeError("FileDiskStore stores real bytes only")
+        raw = bytes(data)
+        self._check_space(len(raw))
+        path = self._task_dir(owner) / f"chunk-{next(self._ids):06d}"
+        path.write_bytes(raw)
+        self.used += len(raw)
+        return ChunkHandle(self.location, self.store_id, str(path), len(raw))
+
+    def _append(self, handle: ChunkHandle, data) -> ChunkHandle:
+        raw = bytes(data)
+        self._check_space(len(raw))
+        with open(handle.ref, "ab") as chunk_file:
+            chunk_file.write(raw)
+        self.used += len(raw)
+        handle.nbytes += len(raw)
+        return handle
+
+    def _read(self, handle: ChunkHandle):
+        try:
+            return Path(handle.ref).read_bytes()
+        except OSError as exc:
+            raise ChunkLostError(f"disk chunk {handle.ref} lost: {exc}") from exc
+
+    def _free(self, handle: ChunkHandle) -> None:
+        try:
+            size = Path(handle.ref).stat().st_size
+            Path(handle.ref).unlink()
+            self.used -= size
+        except OSError:
+            pass
+
+    def cleanup_task(self, owner: TaskId) -> None:
+        """Framework-style cleanup: drop the task's whole spill dir."""
+        shutil.rmtree(self._task_dir(owner), ignore_errors=True)

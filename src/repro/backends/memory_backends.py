@@ -1,0 +1,149 @@
+"""Synchronous in-process chunk stores.
+
+These complete immediately (no simulated time, no sockets).  They are
+the reference backends: unit tests of the SpongeFile core run against
+them, and they are also what a library user gets when spilling within a
+single process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.errors import ChunkLostError, OutOfSpongeMemory
+from repro.sponge.blob import blob_concat, blob_size
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.pool import SpongePool
+from repro.sponge.server import SpongeServer
+from repro.sponge.store import SyncChunkStore
+
+
+class LocalPoolStore(SyncChunkStore):
+    """Direct access to the machine-local sponge pool (shared memory)."""
+
+    location = ChunkLocation.LOCAL_MEMORY
+
+    def __init__(self, pool: SpongePool, store_id: str = "local-pool") -> None:
+        self.pool = pool
+        self.store_id = store_id
+
+    def free_bytes(self) -> int:
+        return self.pool.free_bytes
+
+    def _write(self, owner: TaskId, data: Any) -> ChunkHandle:
+        index = self.pool.allocate(owner)
+        self.pool.store(index, owner, data)
+        return ChunkHandle(self.location, self.store_id, (owner, index), blob_size(data))
+
+    def _read(self, handle: ChunkHandle) -> Any:
+        owner, index = handle.ref
+        try:
+            return self.pool.fetch(index, owner)
+        except Exception as exc:
+            raise ChunkLostError(f"local chunk {index} lost: {exc}") from exc
+
+    def _free(self, handle: ChunkHandle) -> None:
+        owner, index = handle.ref
+        self.pool.free(index, owner)
+
+
+class ServerStore(SyncChunkStore):
+    """A sponge server reached in-process (remote-memory semantics).
+
+    The real runtime replaces this with a TCP client; the logic —
+    including :class:`~repro.errors.OutOfSpongeMemory` falling through
+    the allocator chain, and quota refusals — is identical.
+    """
+
+    location = ChunkLocation.REMOTE_MEMORY
+
+    def __init__(self, server: SpongeServer) -> None:
+        self.server = server
+        self.store_id = server.server_id
+
+    def free_bytes(self) -> int:
+        return self.server.free_bytes()
+
+    def _write(self, owner: TaskId, data: Any) -> ChunkHandle:
+        index = self.server.alloc_and_store(owner, data)
+        return ChunkHandle(self.location, self.store_id, (owner, index), blob_size(data))
+
+    def _read(self, handle: ChunkHandle) -> Any:
+        owner, index = handle.ref
+        return self.server.read(owner, index)
+
+    def _free(self, handle: ChunkHandle) -> None:
+        owner, index = handle.ref
+        self.server.free(owner, index)
+
+
+class MemoryDiskStore(SyncChunkStore):
+    """A dict-backed stand-in for a local filesystem (tests).
+
+    Supports append (disk-chunk coalescing) and an optional capacity so
+    tests can exercise the disk-full -> DFS fallback.
+    """
+
+    location = ChunkLocation.LOCAL_DISK
+    supports_append = True
+
+    _ids = itertools.count()
+
+    def __init__(
+        self, store_id: str = "local-disk", capacity: Optional[int] = None
+    ) -> None:
+        self.store_id = store_id
+        self.capacity = capacity
+        self.used = 0
+        self._files: dict[int, Any] = {}
+
+    def free_bytes(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return max(0, self.capacity - self.used)
+
+    def _check_space(self, nbytes: int) -> None:
+        if self.capacity is not None and self.used + nbytes > self.capacity:
+            raise OutOfSpongeMemory(f"{self.store_id} full")
+
+    def _write(self, owner: TaskId, data: Any) -> ChunkHandle:
+        nbytes = blob_size(data)
+        self._check_space(nbytes)
+        file_id = next(self._ids)
+        self._files[file_id] = data
+        self.used += nbytes
+        return ChunkHandle(self.location, self.store_id, file_id, nbytes)
+
+    def _append(self, handle: ChunkHandle, data: Any) -> ChunkHandle:
+        nbytes = blob_size(data)
+        self._check_space(nbytes)
+        existing = self._files[handle.ref]
+        self._files[handle.ref] = blob_concat([existing, data])
+        self.used += nbytes
+        handle.nbytes += nbytes
+        return handle
+
+    def _read(self, handle: ChunkHandle) -> Any:
+        try:
+            return self._files[handle.ref]
+        except KeyError as exc:
+            raise ChunkLostError(f"disk chunk {handle.ref} lost") from exc
+
+    def _free(self, handle: ChunkHandle) -> None:
+        data = self._files.pop(handle.ref, None)
+        if data is not None:
+            self.used -= blob_size(data)
+
+
+class MemoryDfsStore(MemoryDiskStore):
+    """Last-resort distributed-filesystem store (dict-backed)."""
+
+    location = ChunkLocation.DFS
+    supports_append = False
+
+    def __init__(self, store_id: str = "dfs", capacity: Optional[int] = None) -> None:
+        super().__init__(store_id=store_id, capacity=capacity)
+
+    def _append(self, handle: ChunkHandle, data: Any) -> ChunkHandle:
+        raise NotImplementedError("DFS chunks are not appendable")

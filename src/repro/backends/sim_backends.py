@@ -1,0 +1,371 @@
+"""Chunk stores that charge costs to the discrete-event simulator.
+
+Each store mirrors one column of Table 1:
+
+* :class:`SimLocalMemoryStore` — direct shared-memory access: one
+  memcpy (the paper's 1 ms / MB).
+* :class:`SimLocalServerStore` — the same pool reached through the
+  local sponge server over a domain socket: message exchanges, context
+  switches and an extra copy (7 ms / MB).
+* :class:`SimRemoteMemoryStore` — a rack peer's sponge server over the
+  network: RTT + NIC-limited transfer (9 ms / MB on 1 GbE), with the
+  server-side copy pipelined into the receive.
+* :class:`SimDiskChunkStore` — the local filesystem *through the OS
+  buffer cache*: absorbed at memory speed while the cache has room,
+  paying for the spindle (seeks included) when it does not.  Supports
+  appends, so consecutive disk chunks coalesce into one file.
+* :class:`SimDfsStore` — last resort: ship the chunk to another node's
+  disk over the network.
+
+The actual payloads round-trip through the stores (data path is real);
+only the *time* is modeled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ChunkLostError, OutOfSpongeMemory
+from repro.sim.cluster import SimCluster
+from repro.sim.kernel import Environment
+from repro.sim.node import SimNode
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.blob import blob_size
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
+from repro.sponge.gc import TaskRegistry, wire_peers
+from repro.sponge.pool import SpongePool
+from repro.sponge.quota import QuotaPolicy
+from repro.sponge.server import SpongeServer
+from repro.sponge.store import ChunkStore, StoreOp
+from repro.sponge.tracker import MemoryTracker, ServerInfo
+from repro.util.units import MB
+
+
+@dataclass(frozen=True)
+class IpcCosts:
+    """Local sponge-server IPC model (calibrated to Table 1's 7 ms/MB)."""
+
+    #: Per-message cost: syscall + context switch between two processes.
+    per_message: float = 0.0005
+    #: Request, data, ack, completion — the "multiple message
+    #: exchanges" of §4.1.
+    messages_per_chunk: int = 4
+    #: Socket copy throughput through the loopback path.
+    bandwidth: float = 256 * MB
+
+    def cost(self, nbytes: int) -> float:
+        return self.per_message * self.messages_per_chunk + nbytes / self.bandwidth
+
+
+class SimLocalMemoryStore(ChunkStore):
+    """Shared-memory pool access: one memcpy each way."""
+
+    location = ChunkLocation.LOCAL_MEMORY
+
+    def __init__(self, node: SimNode, pool: SpongePool) -> None:
+        self.node = node
+        self.pool = pool
+        self.store_id = f"{node.node_id}/pool"
+
+    def free_bytes(self) -> int:
+        return self.pool.free_bytes
+
+    def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        index = self.pool.allocate(owner)  # raises OutOfSpongeMemory when full
+        yield from self.node.memcpy(blob_size(data))
+        self.pool.store(index, owner, data)
+        return ChunkHandle(self.location, self.store_id, (owner, index), blob_size(data))
+
+    def read_chunk(self, handle: ChunkHandle) -> StoreOp:
+        owner, index = handle.ref
+        yield from self.node.memcpy(handle.nbytes)
+        try:
+            return self.pool.fetch(index, owner)
+        except Exception as exc:
+            raise ChunkLostError(f"local chunk {index} lost: {exc}") from exc
+
+    def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        owner, index = handle.ref
+        self.pool.free(index, owner)
+        return None
+        yield  # pragma: no cover
+
+
+class SimLocalServerStore(ChunkStore):
+    """The local pool reached through the sponge server process."""
+
+    location = ChunkLocation.LOCAL_MEMORY
+
+    def __init__(
+        self, node: SimNode, server: SpongeServer, ipc: IpcCosts = IpcCosts()
+    ) -> None:
+        self.node = node
+        self.server = server
+        self.ipc = ipc
+        self.store_id = f"{server.server_id}/local"
+
+    def free_bytes(self) -> int:
+        return self.server.free_bytes()
+
+    def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        nbytes = blob_size(data)
+        yield self.node.env.timeout(self.ipc.cost(nbytes))
+        yield from self.node.memcpy(nbytes)
+        index = self.server.alloc_and_store(owner, data)
+        return ChunkHandle(self.location, self.store_id, (owner, index), nbytes)
+
+    def read_chunk(self, handle: ChunkHandle) -> StoreOp:
+        owner, index = handle.ref
+        yield self.node.env.timeout(self.ipc.cost(handle.nbytes))
+        yield from self.node.memcpy(handle.nbytes)
+        return self.server.read(owner, index)
+
+    def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        owner, index = handle.ref
+        yield self.node.env.timeout(self.ipc.per_message * 2)
+        self.server.free(owner, index)
+        return None
+
+
+class SimRemoteMemoryStore(ChunkStore):
+    """A rack peer's sponge server, across the network."""
+
+    location = ChunkLocation.REMOTE_MEMORY
+
+    def __init__(self, client_node: SimNode, server_node_id: str,
+                 server: SpongeServer, cluster: SimCluster) -> None:
+        self.client_node = client_node
+        self.server_node_id = server_node_id
+        self.server = server
+        self.cluster = cluster
+        self.store_id = server.server_id
+
+    def free_bytes(self) -> int:
+        return self.server.free_bytes()
+
+    def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        nbytes = blob_size(data)
+        # Allocation is checked up-front with a tiny RPC so that a full
+        # server costs one RTT, not a wasted data transfer.
+        index = self.server.alloc_and_store(owner, data)
+        yield self.cluster.network.transfer(
+            self.client_node.node_id, self.server_node_id, nbytes
+        )
+        return ChunkHandle(self.location, self.store_id, (owner, index), nbytes)
+
+    def read_chunk(self, handle: ChunkHandle) -> StoreOp:
+        owner, index = handle.ref
+        data = self.server.read(owner, index)
+        yield self.cluster.network.transfer(
+            self.server_node_id, self.client_node.node_id, handle.nbytes
+        )
+        return data
+
+    def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        owner, index = handle.ref
+        yield self.cluster.network.transfer(
+            self.client_node.node_id, self.server_node_id, 64
+        )
+        self.server.free(owner, index)
+        return None
+
+
+class SimDiskChunkStore(ChunkStore):
+    """Local-filesystem chunks through the node's buffer cache."""
+
+    location = ChunkLocation.LOCAL_DISK
+    supports_append = True
+
+    _ids = itertools.count()
+
+    def __init__(self, node: SimNode, capacity: Optional[int] = None) -> None:
+        self.node = node
+        self.capacity = capacity
+        self.used = 0
+        self.store_id = f"{node.node_id}/disk"
+        self._files: dict[object, Any] = {}
+
+    def free_bytes(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return max(0, self.capacity - self.used)
+
+    def _check_space(self, nbytes: int) -> None:
+        if self.capacity is not None and self.used + nbytes > self.capacity:
+            raise OutOfSpongeMemory(f"{self.store_id} full")
+
+    def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        nbytes = blob_size(data)
+        self._check_space(nbytes)
+        file_id = (self.store_id, next(self._ids))
+        yield from self.node.cache.write(file_id, nbytes)
+        self._files[file_id] = [data]
+        self.used += nbytes
+        return ChunkHandle(self.location, self.store_id, file_id, nbytes)
+
+    def append_chunk(self, handle: ChunkHandle, data: Any) -> StoreOp:
+        nbytes = blob_size(data)
+        self._check_space(nbytes)
+        yield from self.node.cache.write(handle.ref, nbytes)
+        self._files[handle.ref].append(data)
+        self.used += nbytes
+        handle.nbytes += nbytes
+        return handle
+
+    def read_chunk(self, handle: ChunkHandle) -> StoreOp:
+        from repro.sponge.blob import blob_concat
+
+        parts = self._files.get(handle.ref)
+        if parts is None:
+            raise ChunkLostError(f"disk chunk {handle.ref} lost")
+        self.node.cache.seek(handle.ref, 0)
+        yield from self.node.cache.read(handle.ref, handle.nbytes)
+        return blob_concat(parts)
+
+    def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        parts = self._files.pop(handle.ref, None)
+        if parts is not None:
+            self.used -= handle.nbytes
+        self.node.cache.drop(handle.ref)
+        return None
+        yield  # pragma: no cover
+
+
+class SimDfsStore(ChunkStore):
+    """Ship a chunk to another node's disk over the network."""
+
+    location = ChunkLocation.DFS
+    _ids = itertools.count()
+
+    def __init__(self, node: SimNode, cluster: SimCluster) -> None:
+        self.node = node
+        self.cluster = cluster
+        self.store_id = "dfs"
+        self._files: dict[object, tuple[str, Any]] = {}
+        self._targets = itertools.cycle(
+            [n for n in cluster.node_ids() if n != node.node_id] or [node.node_id]
+        )
+
+    def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        nbytes = blob_size(data)
+        target_id = next(self._targets)
+        file_id = (self.store_id, next(self._ids))
+        yield self.cluster.network.transfer(self.node.node_id, target_id, nbytes)
+        target = self.cluster.node(target_id)
+        yield from target.cache.write(file_id, nbytes)
+        self._files[file_id] = (target_id, data)
+        return ChunkHandle(self.location, self.store_id, file_id, nbytes)
+
+    def read_chunk(self, handle: ChunkHandle) -> StoreOp:
+        entry = self._files.get(handle.ref)
+        if entry is None:
+            raise ChunkLostError(f"dfs chunk {handle.ref} lost")
+        target_id, data = entry
+        target = self.cluster.node(target_id)
+        target.cache.seek(handle.ref, 0)
+        yield from target.cache.read(handle.ref, handle.nbytes)
+        yield self.cluster.network.transfer(target_id, self.node.node_id, handle.nbytes)
+        return data
+
+    def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        entry = self._files.pop(handle.ref, None)
+        if entry is not None:
+            self.cluster.node(entry[0]).cache.drop(handle.ref)
+        return None
+        yield  # pragma: no cover
+
+
+class SimSpongeDeployment:
+    """Sponge memory deployed across a simulated cluster.
+
+    Builds, per node: a pool, a sponge server, and an allocation chain
+    whose remote candidates are the other nodes' servers; plus one
+    memory tracker with a periodic polling process.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: SimCluster,
+        config: SpongeConfig = DEFAULT_CONFIG,
+        use_local_pool: bool = True,
+        use_remote: bool = True,
+        disk_fallback: bool = True,
+        dfs_fallback: bool = True,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.config = config
+        self.registry = TaskRegistry()
+        self.tracker = MemoryTracker(poll_interval=config.tracker_poll_interval)
+        self.pools: dict[str, SpongePool] = {}
+        self.servers: dict[str, SpongeServer] = {}
+        self.chains: dict[str, AllocationChain] = {}
+        self.disk_stores: dict[str, SimDiskChunkStore] = {}
+
+        for node in cluster:
+            pool_size = node.spec.sponge_pool
+            if pool_size >= config.chunk_size:
+                pool = SpongePool(pool_size, chunk_size=config.chunk_size)
+                server = SpongeServer(
+                    server_id=f"sponge@{node.node_id}",
+                    host=node.node_id,
+                    pool=pool,
+                    rack=node.rack,
+                    quota=QuotaPolicy(config.quota_per_node),
+                    local_liveness=self.registry.probe_for_host(node.node_id),
+                )
+                self.pools[node.node_id] = pool
+                self.servers[node.node_id] = server
+                self.tracker.register(server)
+
+        wire_peers(list(self.servers.values()))
+
+        for node in cluster:
+            local = None
+            if use_local_pool and node.node_id in self.pools:
+                local = SimLocalMemoryStore(node, self.pools[node.node_id])
+            disk = SimDiskChunkStore(node) if disk_fallback else None
+            if disk is not None:
+                self.disk_stores[node.node_id] = disk
+            dfs = SimDfsStore(node, cluster) if dfs_fallback else None
+            factory = self._remote_factory(node) if use_remote else None
+            self.chains[node.node_id] = AllocationChain(
+                local_store=local,
+                tracker=self.tracker if use_remote else None,
+                remote_store_factory=factory,
+                disk_store=disk,
+                dfs_store=dfs,
+                host=node.node_id,
+                rack=node.rack,
+                config=config,
+            )
+
+        self.tracker.poll_once()
+        self._poller = env.process(self._poll_loop())
+
+    def chain(self, node_id: str) -> AllocationChain:
+        return self.chains[node_id]
+
+    def _remote_factory(self, client_node: SimNode):
+        def factory(info: ServerInfo) -> ChunkStore:
+            server_node_id = info.host or info.server_id.split("@", 1)[1]
+            server = self.servers[server_node_id]
+            return SimRemoteMemoryStore(
+                client_node, server_node_id, server, self.cluster
+            )
+
+        return factory
+
+    def _poll_loop(self):
+        while True:
+            yield self.env.timeout(self.config.tracker_poll_interval)
+            self.tracker.poll_once()
+
+    def total_sponge_bytes_used(self) -> int:
+        return sum(
+            pool.used_chunks * pool.chunk_size for pool in self.pools.values()
+        )

@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``list``
+    Show every registered experiment (tables, figures, ablations).
+``experiment <id> [...]``
+    Run one or more experiments and print their reports.
+``report [--output PATH]``
+    Run everything and write the consolidated EXPERIMENTS.md.
+``demo``
+    A 30-second tour: spill through a SpongeFile and print placements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    print("registered experiments:")
+    for exp_id in EXPERIMENTS:
+        print(f"  {exp_id}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    status = 0
+    for exp_id in args.ids:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; try `list`",
+                  file=sys.stderr)
+            return 2
+        result = EXPERIMENTS[exp_id]()
+        print(result.report())
+        print()
+        if not result.all_passed:
+            status = 1
+    return status
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    generate_report(path=args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    import runpy
+    from pathlib import Path
+
+    example = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if example.exists():
+        runpy.run_path(str(example), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found next to the package",
+          file=sys.stderr)
+    return 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpongeFiles (SIGMOD 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    run_parser = sub.add_parser("experiment",
+                                help="run specific experiments")
+    run_parser.add_argument("ids", nargs="+", metavar="ID")
+    report_parser = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from a full run"
+    )
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+    sub.add_parser("demo", help="run the quickstart example")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the SpongeFiles reproduction.
+
+Every exception raised by this package derives from :class:`ReproError`,
+so callers can catch package failures with a single ``except`` clause
+while still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation failures."""
+
+
+class SimDeadlock(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class ProcessKilled(SimulationError):
+    """A simulated process was killed from outside (e.g. node failure)."""
+
+
+# ---------------------------------------------------------------------------
+# SpongeFile core
+# ---------------------------------------------------------------------------
+
+class SpongeError(ReproError):
+    """Base class for SpongeFile errors."""
+
+
+class OutOfSpongeMemory(SpongeError):
+    """A sponge pool (or a remote sponge server) has no free chunk.
+
+    This is a *normal* control-flow signal inside the allocator chain:
+    the next store in the chain is tried.  It only escapes to the caller
+    when every store, including the last-resort DFS store, is full.
+    """
+
+
+class ChunkAllocationError(SpongeError):
+    """No store in the allocation chain could accept a chunk."""
+
+
+class ChunkLostError(SpongeError):
+    """A chunk could not be read back (e.g. its host node failed).
+
+    Per the paper, the task owning the SpongeFile fails and the
+    framework re-runs it.
+    """
+
+
+class SpongeFileStateError(SpongeError):
+    """An operation was attempted in the wrong lifecycle state.
+
+    SpongeFiles are single-writer/single-reader and strictly
+    write-once -> close -> read -> delete.
+    """
+
+
+class QuotaExceededError(SpongeError):
+    """A task exceeded its per-node sponge memory quota."""
+
+
+# ---------------------------------------------------------------------------
+# Real (multi-process) runtime
+# ---------------------------------------------------------------------------
+
+class RuntimeBackendError(ReproError):
+    """Base class for the multi-process runtime backend."""
+
+
+class ProtocolError(RuntimeBackendError):
+    """Malformed or unexpected message on the wire."""
+
+
+class ServerUnavailableError(RuntimeBackendError):
+    """A sponge server or the memory tracker could not be reached."""
+
+
+# ---------------------------------------------------------------------------
+# MapReduce / Pig layers
+# ---------------------------------------------------------------------------
+
+class MapReduceError(ReproError):
+    """Base class for MapReduce engine failures."""
+
+
+class JobFailedError(MapReduceError):
+    """A job exhausted its task retry budget."""
+
+
+class PigError(ReproError):
+    """Base class for the Pig-like dataflow layer."""

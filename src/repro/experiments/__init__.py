@@ -1,0 +1,57 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Each runner returns an
+:class:`~repro.experiments.harness.ExperimentResult` whose rows
+regenerate the paper's numbers and whose *shape checks* assert the
+paper's qualitative claims.  The benchmark suite
+(``benchmarks/test_bench_*``) runs these; ``EXPERIMENTS.md`` records
+the outcomes.
+"""
+
+from typing import Callable
+
+from repro.experiments.harness import ExperimentResult, ShapeCheck, ascii_bars
+from repro.experiments import (
+    ablations,
+    effectiveness,
+    failure_model,
+    fig1_skew,
+    fig4_macro,
+    fig6_memconfigs,
+    grep_variance,
+    table1_micro,
+    table2_stats,
+)
+
+
+def run_fig5(scale: float = 1.0) -> ExperimentResult:
+    """Figure 5 is Figure 4's grid re-run under the background grep."""
+    return fig4_macro.run(scale=scale, background=True)
+
+
+#: exp id -> zero-config runner (keyword args tune scale/precision).
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_skew.run,
+    "table1": table1_micro.run,
+    "table2": table2_stats.run,
+    "fig4": fig4_macro.run,
+    "fig5": run_fig5,
+    "fig6": fig6_memconfigs.run,
+    "grep-variance": grep_variance.run,
+    "failure-model": failure_model.run,
+    "effectiveness": effectiveness.run,
+    "ablation-chunk-size": ablations.run_chunk_size,
+    "ablation-rack": ablations.run_rack_policy,
+    "ablation-overlap": ablations.run_overlap,
+    "ablation-affinity": ablations.run_affinity,
+    "ablation-skew-avoidance": ablations.run_skew_avoidance,
+    "ablation-speculation": ablations.run_speculation,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ShapeCheck",
+    "ascii_bars",
+    "run_fig5",
+]

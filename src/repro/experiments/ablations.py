@@ -1,0 +1,552 @@
+"""Ablations of SpongeFile design choices (§3.1, §3.2).
+
+The paper motivates four design decisions qualitatively; these benches
+quantify each on the simulator:
+
+* **chunk size** (§3.2 picked 1 MB): small chunks pay a network round
+  trip per little payload; huge chunks waste memory to internal
+  fragmentation on the final partial chunk.  1 MB sits in the sweet
+  spot.
+* **rack restriction** (§3.1.1): cross-rack links are oversubscribed;
+  spilling across racks contends with foreground cross-rack traffic,
+  while in-rack spilling does not.
+* **prefetch + async writes** (§3.1.2): sequential access lets
+  SpongeFiles overlap IO with computation; turning both off serializes
+  them.
+* **affinity** (§3.1.1): preferring servers the task already uses
+  minimizes the number of machines whose failure kills the task.
+"""
+
+from __future__ import annotations
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.experiments.failure_model import analytic_failure_probability
+from repro.experiments.harness import ExperimentResult
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.kernel import Environment
+from repro.sim.node import NodeSpec
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SimExecutor, SpongeFile
+from repro.util.units import GB, KB, MB, fmt_size
+
+
+def _deployment(env, nodes=8, sponge_pool=256 * MB, config=None, racks=1,
+                rack_uplink=None):
+    spec = ClusterSpec(
+        racks=racks,
+        nodes_per_rack=nodes,
+        node=NodeSpec(memory=16 * GB, sponge_pool=sponge_pool),
+        rack_uplink_bandwidth=rack_uplink,
+    )
+    cluster = SimCluster(env, spec)
+    deploy = SimSpongeDeployment(
+        env, cluster, config=config or SpongeConfig()
+    )
+    return cluster, deploy
+
+
+def _spill_and_read(env, deploy, node_id, payload_bytes, config,
+                    compute_per_chunk: float = 0.0):
+    """Write, close, read a SpongeFile; returns (write_s, read_s, file)."""
+    owner = TaskId(node_id, "ablation")
+    executor = SimExecutor(env)
+    timings = {}
+
+    def task():
+        sf = SpongeFile(owner, deploy.chain(node_id), config,
+                        executor=executor)
+        start = env.now
+        yield from sf.write(b"x" * payload_bytes)
+        yield from sf.close()
+        timings["write"] = env.now - start
+        start = env.now
+        reader = sf.open_reader()
+        while True:
+            chunk = yield from reader.next_chunk()
+            if chunk is None:
+                break
+            if compute_per_chunk:
+                yield env.timeout(compute_per_chunk)
+        timings["read"] = env.now - start
+        yield from sf.delete()
+        return sf
+
+    sf = env.run(env.process(task()))
+    return timings["write"], timings["read"], sf
+
+
+# ---------------------------------------------------------------------------
+# Chunk size
+# ---------------------------------------------------------------------------
+
+def run_chunk_size(payload: int = 64 * MB) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ablation-chunk-size",
+        title="Chunk size: setup-cost amortization vs fragmentation",
+        columns=["chunk_size", "spill_s", "ms_per_MB", "chunks",
+                 "fragmentation_%"],
+        notes="remote spill of a payload ending in a partial chunk",
+    )
+    timings = {}
+    # Payload deliberately ends 25% into a final chunk.
+    for chunk_size in (64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB):
+        config = SpongeConfig(chunk_size=chunk_size)
+        env = Environment()
+        cluster, deploy = _deployment(env, nodes=4,
+                                      sponge_pool=256 * MB, config=config)
+        node_id = cluster.node_ids()[0]
+        # Drain the local pool so chunks go to remote memory.
+        hog = TaskId(node_id, "hog")
+        pool = deploy.pools[node_id]
+        while pool.free_chunks:
+            pool.store(pool.allocate(hog), hog, b"")
+        deploy.tracker.poll_once()
+        odd_payload = payload + chunk_size // 4
+        write_s, _read_s, sf = _spill_and_read(
+            env, deploy, node_id, odd_payload, config
+        )
+        chunks = sf.stats.total_chunks
+        allocated = chunks * chunk_size
+        fragmentation = max(0.0, 1.0 - odd_payload / allocated)
+        timings[chunk_size] = (write_s, fragmentation)
+        result.add_row(
+            chunk_size=fmt_size(chunk_size),
+            spill_s=write_s,
+            ms_per_MB=1000.0 * write_s / (odd_payload / MB),
+            chunks=chunks,
+            **{"fragmentation_%": 100.0 * fragmentation},
+        )
+
+    result.check(
+        "tiny chunks pay for round trips: 64 KB chunks spill slower "
+        "per byte than 1 MB chunks",
+        timings[64 * KB][0] > 1.15 * timings[1 * MB][0],
+        f"{timings[64 * KB][0]:.2f}s vs {timings[1 * MB][0]:.2f}s",
+    )
+    result.check(
+        "huge chunks waste memory: 16 MB chunks fragment more than "
+        "1 MB chunks",
+        timings[16 * MB][1] > timings[1 * MB][1],
+    )
+    result.check(
+        "1 MB (the paper's choice) balances both: within 3% of the "
+        "fastest spill at ~1% fragmentation even on this worst-case "
+        "single small file",
+        timings[1 * MB][1] < 0.02
+        and timings[1 * MB][0] < 1.03 * min(t for t, _ in timings.values()),
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Rack restriction
+# ---------------------------------------------------------------------------
+
+def run_rack_policy(payload: int = 128 * MB) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ablation-rack",
+        title="Cross-rack spilling vs the oversubscribed core",
+        columns=["policy", "spill_s", "cross_rack_transfers"],
+        notes="local rack's sponge full; other rack has space; the "
+              "rack uplink carries heavy foreground traffic",
+    )
+    timings = {}
+    for restrict in (True, False):
+        config = SpongeConfig(restrict_to_rack=restrict)
+        env = Environment()
+        spec = ClusterSpec(
+            racks=2, nodes_per_rack=4,
+            node=NodeSpec(memory=16 * GB, sponge_pool=256 * MB),
+            rack_uplink_bandwidth=125 * MB,  # 4:1 oversubscription
+        )
+        cluster = SimCluster(env, spec)
+        deploy = SimSpongeDeployment(env, cluster, config=config)
+        node_id = cluster.node_ids()[0]
+        rack0 = [n for n in cluster.node_ids() if cluster.node(n).rack == "rack0"]
+        rack1 = [n for n in cluster.node_ids() if cluster.node(n).rack == "rack1"]
+        # Fill every rack0 pool: in-rack remote memory is exhausted.
+        for host in rack0:
+            pool = deploy.pools[host]
+            hog = TaskId(host, "hog")
+            while pool.free_chunks:
+                pool.store(pool.allocate(hog), hog, b"")
+        deploy.tracker.poll_once()
+
+        # Foreground cross-rack traffic saturating the uplink.
+        def cross_traffic():
+            while True:
+                yield cluster.network.transfer(rack0[1], rack1[1], 64 * MB)
+
+        env.process(cross_traffic())
+        write_s, _read, sf = _spill_and_read(env, deploy, node_id,
+                                             payload, config)
+        timings[restrict] = (write_s, sf)
+        locations = set(sf.stats.chunks)
+        result.add_row(
+            policy="same-rack only" if restrict else "any rack",
+            spill_s=write_s,
+            cross_rack_transfers=cluster.network.stats.cross_rack_transfers,
+        )
+        if restrict:
+            result.check(
+                "with the restriction, spilling falls back to local "
+                "disk instead of crossing racks",
+                ChunkLocation.LOCAL_DISK in locations
+                and ChunkLocation.REMOTE_MEMORY not in locations,
+            )
+        else:
+            result.check(
+                "without the restriction, chunks cross into the other "
+                "rack's memory",
+                ChunkLocation.REMOTE_MEMORY in locations,
+            )
+    result.check(
+        "same-rack fallback (local disk via the cache) avoids fighting "
+        "the congested uplink",
+        timings[True][0] < timings[False][0],
+        f"{timings[True][0]:.2f}s vs {timings[False][0]:.2f}s",
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Prefetch / async writes
+# ---------------------------------------------------------------------------
+
+def run_overlap(payload: int = 64 * MB) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ablation-overlap",
+        title="Prefetching and asynchronous writes overlap IO with compute",
+        columns=["config", "write_s", "read_s"],
+        notes="remote chunks; reader computes ~8 ms per 1 MB chunk "
+              "(comparable to the fetch cost, the worst case for "
+              "serialization)",
+    )
+    timings = {}
+    for overlap in (True, False):
+        config = SpongeConfig(prefetch=overlap, async_writes=overlap)
+        env = Environment()
+        cluster, deploy = _deployment(env, nodes=4,
+                                      sponge_pool=256 * MB, config=config)
+        node_id = cluster.node_ids()[0]
+        hog = TaskId(node_id, "hog")
+        pool = deploy.pools[node_id]
+        while pool.free_chunks:
+            pool.store(pool.allocate(hog), hog, b"")
+        deploy.tracker.poll_once()
+        write_s, read_s, _sf = _spill_and_read(
+            env, deploy, node_id, payload, config, compute_per_chunk=0.008
+        )
+        timings[overlap] = (write_s, read_s)
+        result.add_row(
+            config="prefetch + async writes" if overlap else "serialized IO",
+            write_s=write_s,
+            read_s=read_s,
+        )
+    result.check(
+        "prefetching cuts read time substantially (IO hides behind "
+        "compute)",
+        timings[True][1] < 0.75 * timings[False][1],
+        f"{timings[True][1]:.2f}s vs {timings[False][1]:.2f}s",
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Affinity
+# ---------------------------------------------------------------------------
+
+def run_affinity(payload: int = 96 * MB) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ablation-affinity",
+        title="Server affinity bounds the machines a task depends on",
+        columns=["policy", "machines_used", "failure_P_2h_task"],
+        notes="a spilling task on a 16-node rack; failure model from "
+              "§4.3 (MTTF 100 months, 120-minute task)",
+    )
+    machines = {}
+    for affinity in (True, False):
+        env = Environment()
+        cluster, deploy = _deployment(env, nodes=16,
+                                      sponge_pool=256 * MB)
+        node_id = cluster.node_ids()[0]
+        hog = TaskId(node_id, "hog")
+        pool = deploy.pools[node_id]
+        while pool.free_chunks:
+            pool.store(pool.allocate(hog), hog, b"")
+        deploy.tracker.poll_once()
+        owner = TaskId(node_id, "task")
+        session = deploy.chain(node_id).new_session(owner)
+        if not affinity:
+            # Defeat affinity: rotate the free list before every
+            # allocation, emulating a policy that spreads chunks.
+            original = session._affinity_order
+
+            def rotated():
+                infos = original()
+                session._used_servers = []
+                infos.append(infos.pop(0))
+                session._free_list = infos
+                return infos
+
+            session._affinity_order = rotated
+        config = deploy.config
+        sf = SpongeFile(owner, deploy.chain(node_id), config,
+                        executor=SimExecutor(env))
+        sf.session = session
+
+        def task():
+            yield from sf.write(b"x" * payload)
+            yield from sf.close()
+
+        env.run(env.process(task()))
+        used = {h.store_id for h in sf.handles} | {node_id}
+        machines[affinity] = len(used)
+        result.add_row(
+            policy="affinity (paper)" if affinity else "spread chunks",
+            machines_used=len(used),
+            failure_P_2h_task=analytic_failure_probability(len(used), 120.0),
+        )
+    result.check(
+        "affinity uses strictly fewer machines than spreading",
+        machines[True] < machines[False],
+        f"{machines[True]} vs {machines[False]} machines",
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Why skew avoidance is not enough (§2.2)
+# ---------------------------------------------------------------------------
+
+def run_skew_avoidance(scale: float = 0.5) -> ExperimentResult:
+    """Partitioning + combiners fix *algebraic* skew, not holistic UDFs.
+
+    Two jobs over the same skewed crawl, both given 29 reducers:
+
+    * COUNT pages per language — algebraic, so a map-side combiner
+      collapses the giant English group before the shuffle: perfectly
+      balanced, no straggler;
+    * TopK anchortext per language — holistic: every English record
+      must reach one reducer, so the straggler persists no matter how
+      many reducers exist.  This residual skew is exactly what
+      SpongeFiles absorb (compare its disk vs sponge runtimes).
+    """
+    from repro.experiments.common import MacroRunConfig, run_macro
+    from repro.mapreduce.job import JobConf, SpillMode
+    from repro.mapreduce.types import Record
+    from repro.mapreduce.engine import Hadoop
+    from repro.sim.cluster import paper_cluster_spec
+    from repro.sim.cluster import SimCluster
+    from repro.sim.kernel import Environment
+    from repro.workloads.jobs import load_crawl_dataset
+    from repro.workloads.webcrawl import CrawlSpec
+    from repro.util.units import GB
+
+    result = ExperimentResult(
+        exp_id="ablation-skew-avoidance",
+        title="Skew avoidance helps algebraic aggregates, not holistic UDFs",
+        columns=["job", "reducers", "runtime_s", "max_task_s",
+                 "mean_task_s", "imbalance"],
+        notes="same skewed crawl; 4 GB nodes; 29 reducers each",
+    )
+
+    def fresh_hadoop(sponge):
+        from repro.backends.sim_backends import SimSpongeDeployment
+
+        env = Environment()
+        spec = paper_cluster_spec(
+            node_memory=4 * GB, sponge_pool=(1 * GB if sponge else 0)
+        )
+        cluster = SimCluster(env, spec)
+        deploy = SimSpongeDeployment(env, cluster) if sponge else None
+        hadoop = Hadoop(env, cluster, sponge=deploy)
+        load_crawl_dataset(
+            hadoop,
+            CrawlSpec(total_bytes=int(10 * GB * scale),
+                      record_count=max(200, int(100_000 * scale))),
+        )
+        return hadoop
+
+    def record_row(name, reducers, run_result):
+        times = [t.runtime for t in run_result.counters.reduces]
+        mean = sum(times) / len(times)
+        peak = max(times)
+        result.add_row(
+            job=name, reducers=reducers, runtime_s=run_result.runtime,
+            max_task_s=peak, mean_task_s=mean,
+            imbalance=peak / mean if mean else 0.0,
+        )
+        return run_result.runtime, (peak / mean if mean else 0.0)
+
+    # Algebraic: COUNT per language with a combiner, 29 reducers.
+    hadoop = fresh_hadoop(sponge=False)
+
+    def count_map(record):
+        yield Record(record.value.language, 1, 16)
+
+    def count_combine(key, records):
+        yield Record(key, sum(r.value for r in records), 16)
+
+    def count_reduce(key, values, ctx):
+        yield Record(key, sum(v.value for v in values), 16)
+
+    algebraic = hadoop.run_job(JobConf(
+        name="count-by-language", input_file="crawl",
+        map_fn=count_map, reduce_fn=count_reduce,
+        combiner_fn=count_combine, num_reducers=29,
+    ))
+    algebraic_runtime, algebraic_imbalance = record_row(
+        "COUNT per language (algebraic + combiner)", 29, algebraic
+    )
+
+    # Holistic: TopK with 29 reducers — English still pins one of them.
+    from repro.workloads.jobs import frequent_anchortext_job
+
+    holistic_runtimes = {}
+    for mode in (SpillMode.DISK, SpillMode.SPONGE):
+        hadoop = fresh_hadoop(sponge=(mode is SpillMode.SPONGE))
+        conf, driver = frequent_anchortext_job(mode, num_reducers=29)
+        run_result = hadoop.run_job(conf, reduce_driver=driver)
+        runtime, imbalance = record_row(
+            f"TopK per language (holistic, {mode.value})", 29, run_result
+        )
+        holistic_runtimes[mode] = (runtime, imbalance)
+
+    result.check(
+        "the algebraic job is balanced: no reduce task dominates",
+        algebraic_imbalance < 3.0,
+        f"imbalance {algebraic_imbalance:.1f}x",
+    )
+    result.check(
+        "the holistic job keeps its straggler despite 29 reducers "
+        "(one task's runtime dominates)",
+        holistic_runtimes[SpillMode.DISK][1] > 5.0,
+        f"imbalance {holistic_runtimes[SpillMode.DISK][1]:.1f}x",
+    )
+    result.check(
+        "combining makes the algebraic job far faster than the "
+        "holistic one on the same data",
+        algebraic_runtime < 0.5 * holistic_runtimes[SpillMode.DISK][0],
+    )
+    result.check(
+        "SpongeFiles absorb the residual holistic skew that "
+        "partitioning cannot remove",
+        holistic_runtimes[SpillMode.SPONGE][0]
+        < holistic_runtimes[SpillMode.DISK][0],
+        f"{holistic_runtimes[SpillMode.SPONGE][0]:.0f}s vs "
+        f"{holistic_runtimes[SpillMode.DISK][0]:.0f}s",
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Speculative execution vs data skew (footnote 4)
+# ---------------------------------------------------------------------------
+
+def run_speculation(scale: float = 0.5) -> ExperimentResult:
+    """Speculation rescues slow *nodes*, not skewed *data*.
+
+    The paper's footnote 4 notes that the straggler literature covers
+    faulty/slow machines, not skew.  We show both regimes on the same
+    engine: a uniform job with one degraded disk (backup attempt wins
+    big) and the skewed median job (the backup inherits the same 10 GB
+    input and changes nothing — which is why SpongeFiles are needed).
+    """
+    from repro.experiments.common import MacroRunConfig, run_macro
+    from repro.mapreduce.engine import Hadoop
+    from repro.mapreduce.job import JobConf, SpillMode
+    from repro.mapreduce.types import Record
+    from repro.sim.cluster import SimCluster, paper_cluster_spec
+    from repro.sim.kernel import Environment
+    from repro.util.units import GB, MB
+
+    result = ExperimentResult(
+        exp_id="ablation-speculation",
+        title="Speculative execution: slow nodes yes, data skew no",
+        columns=["scenario", "speculation", "runtime_s", "backups"],
+        notes="slow-node: one disk degraded 16x; skew: the median job's "
+              "single giant reduce",
+    )
+
+    def slow_node_run(speculative):
+        env = Environment()
+        cluster = SimCluster(env, paper_cluster_spec(node_memory=4 * GB,
+                                                     sponge_pool=0))
+        hadoop = Hadoop(env, cluster)
+        victim = cluster.node_ids()[0]
+        cluster.node(victim).disk.seq_bandwidth /= 16
+        reducers = 8
+        # ~700 MB per reduce: beyond the 4 GB nodes' buffer cache, so
+        # the victim's degraded disk dominates its reduce.
+        per_key = 175
+        words = [f"w{i % reducers}" for i in range(reducers * per_key)]
+        hadoop.load_records("in",
+                            [Record(None, w, 4 * MB) for w in words])
+        healthy = [b.node_id for b in hadoop.hdfs.open("in").blocks
+                   if b.node_id != victim]
+        for block in hadoop.hdfs.open("in").blocks:
+            if block.node_id == victim:
+                block.node_id = healthy[0]
+
+        def map_fn(record):
+            yield Record(record.value, 1, record.nbytes)
+
+        def reduce_fn(key, values, ctx):
+            yield Record(key, len(values), 16)
+
+        conf = JobConf(
+            name="uniform", input_file="in", map_fn=map_fn,
+            reduce_fn=reduce_fn, num_reducers=reducers,
+            partitioner=lambda key, n: int(key[1:]) % n,
+            speculative_execution=speculative,
+        )
+        return hadoop.run_job(conf)
+
+    runtimes = {}
+    for speculative in (False, True):
+        run_result = slow_node_run(speculative)
+        backups = sum(
+            1 for t in run_result.counters.reduces
+            if t.task_id.endswith("-spec")
+        )
+        runtimes[("slow-node", speculative)] = run_result.runtime
+        result.add_row(scenario="slow node (disk 16x degraded)",
+                       speculation="on" if speculative else "off",
+                       runtime_s=run_result.runtime, backups=backups)
+
+    for speculative in (False, True):
+        outcome = run_macro(MacroRunConfig(
+            job="median", spill_mode=SpillMode.DISK, node_memory=4 * GB,
+            scale=scale,
+            conf_overrides={"speculative_execution": speculative},
+        ))
+        backups = sum(
+            1 for t in outcome.result.counters.reduces
+            if t.task_id.endswith("-spec")
+        )
+        runtimes[("skew", speculative)] = outcome.runtime
+        result.add_row(scenario="data skew (median job)",
+                       speculation="on" if speculative else "off",
+                       runtime_s=outcome.runtime, backups=backups)
+
+    result.check(
+        "a backup attempt rescues the slow-node job",
+        runtimes[("slow-node", True)] < 0.7 * runtimes[("slow-node", False)],
+        f"{runtimes[('slow-node', True)]:.0f}s vs "
+        f"{runtimes[('slow-node', False)]:.0f}s",
+    )
+    result.check(
+        "speculation does NOT fix data skew (the backup inherits the "
+        "same giant input) — footnote 4",
+        runtimes[("skew", True)] > 0.9 * runtimes[("skew", False)],
+        f"{runtimes[('skew', True)]:.0f}s vs "
+        f"{runtimes[('skew', False)]:.0f}s",
+    )
+    return result
+
+
+def run_all() -> list[ExperimentResult]:
+    return [run_chunk_size(), run_rack_policy(), run_overlap(),
+            run_affinity(), run_skew_avoidance(), run_speculation()]

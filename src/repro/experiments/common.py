@@ -1,0 +1,154 @@
+"""Shared scaffolding for the macro experiments.
+
+One place builds the §4.2.2 testbed (29 workers, 2+1 slots, 1 GbE,
+1 GB heaps, 1 GB sponge per node) and runs a foreground job — optionally
+with the background grep — under a given spill mode and memory size.
+Every figure module drives this with different knobs, so configuration
+differences between experiments are explicit and minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.mapreduce.engine import Hadoop
+from repro.mapreduce.job import JobResult, SpillMode
+from repro.sim.cluster import SimCluster, paper_cluster_spec
+from repro.sim.kernel import Environment
+from repro.sponge.config import SpongeConfig
+from repro.util.units import GB, TB
+from repro.workloads.jobs import (
+    background_grep,
+    frequent_anchortext_job,
+    load_crawl_dataset,
+    load_numbers_dataset,
+    median_job,
+    spam_quantiles_job,
+)
+from repro.workloads.webcrawl import CrawlSpec
+
+#: Paper scale: ~10 GB datasets.  Experiments accept a ``scale`` in
+#: (0, 1] so tests can run the same code in milliseconds.
+FULL_DATA_BYTES = 10 * GB
+FULL_RECORDS = 100_000
+
+JOB_BUILDERS: dict[str, Callable] = {
+    "median": median_job,
+    "frequent-anchortext": frequent_anchortext_job,
+    "spam-quantiles": spam_quantiles_job,
+}
+
+#: The three macro jobs, in the paper's presentation order.
+JOBS_DEFAULT = list(JOB_BUILDERS)
+
+
+@dataclass
+class MacroRunConfig:
+    """One macro run: job x spill mode x machine memory x tenancy."""
+
+    job: str
+    spill_mode: SpillMode
+    node_memory: int = 16 * GB
+    sponge_pool: int = 1 * GB
+    pinned: int = 0
+    background: bool = False
+    grep_corpus: int = 1 * TB
+    scale: float = 1.0
+    sponge_config: SpongeConfig = field(default_factory=SpongeConfig)
+    use_remote_sponge: bool = True
+    #: JobConf field overrides (heap_size, retain fraction, ...).
+    conf_overrides: dict = field(default_factory=dict)
+
+
+@dataclass
+class MacroRunOutcome:
+    config: MacroRunConfig
+    result: JobResult
+    grep_task_runtimes: list = field(default_factory=list)
+    deployment: Optional[SimSpongeDeployment] = None
+
+    @property
+    def runtime(self) -> float:
+        return self.result.runtime
+
+    @property
+    def straggler(self):
+        return self.result.counters.straggler()
+
+
+def run_macro(config: MacroRunConfig) -> MacroRunOutcome:
+    """Build the testbed, run the job (and background grep), measure."""
+    env = Environment()
+    sponge_pool = (
+        config.sponge_pool if config.spill_mode is SpillMode.SPONGE else 0
+    )
+    spec = paper_cluster_spec(
+        node_memory=config.node_memory,
+        sponge_pool=sponge_pool,
+        pinned=config.pinned,
+    )
+    cluster = SimCluster(env, spec)
+    deployment = None
+    if config.spill_mode is SpillMode.SPONGE:
+        deployment = SimSpongeDeployment(
+            env, cluster,
+            config=config.sponge_config,
+            use_remote=config.use_remote_sponge,
+        )
+    hadoop = Hadoop(env, cluster, sponge=deployment)
+
+    total_bytes = int(FULL_DATA_BYTES * config.scale)
+    records = max(200, int(FULL_RECORDS * config.scale))
+    if config.job == "median":
+        load_numbers_dataset(hadoop, total_bytes=total_bytes,
+                             record_count=records)
+    else:
+        load_crawl_dataset(
+            hadoop, CrawlSpec(total_bytes=total_bytes, record_count=records)
+        )
+
+    builder = JOB_BUILDERS[config.job]
+    conf, driver = builder(config.spill_mode, **config.conf_overrides)
+    job = hadoop.submit(conf, reduce_driver=driver)
+
+    grep_job = None
+    if config.background:
+        grep_conf = background_grep(
+            hadoop, corpus_bytes=int(config.grep_corpus * config.scale)
+        )
+        grep_job = hadoop.submit(grep_conf)
+
+    result = env.run(job.done)
+    grep_runtimes = []
+    if grep_job is not None:
+        grep_runtimes = [
+            t.runtime for t in grep_job.counters.maps if t.finished > 0
+        ]
+    return MacroRunOutcome(
+        config=config,
+        result=result,
+        grep_task_runtimes=grep_runtimes,
+        deployment=deployment,
+    )
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Runtime reduction of ``improved`` relative to ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (1.0 - improved / baseline)
+
+
+def grep_summary(runtimes: list) -> dict:
+    if not runtimes:
+        return {"count": 0, "p50": 0.0, "max": 0.0}
+    data = np.asarray(runtimes)
+    return {
+        "count": int(data.size),
+        "p50": float(np.median(data)),
+        "max": float(data.max()),
+    }

@@ -1,0 +1,73 @@
+"""§4.3 — effectiveness: does intermediate data fit in cluster memory?
+
+For SpongeFiles to absorb spills in memory, the aggregate intermediate
+data of running jobs must be small relative to aggregate cluster
+memory.  The paper measured at most ~25 % over a month of Yahoo!
+production traffic, thanks to (a) heavy map-side filtering (~90 % of
+input discarded on average) and (b) a workload dominated by small
+ad-hoc jobs.  It also notes remote memory is *necessary*: single tasks
+see inputs (>105 GB) beyond any one machine's RAM.
+
+We reproduce both observations on the synthesized trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.util.units import GB, fmt_size
+from repro.workloads.tracegen import (
+    TraceSpec,
+    all_reduce_inputs,
+    generate_trace,
+    intermediate_data_fractions,
+)
+
+#: A multi-thousand-node cluster's aggregate memory: 4000 x 16 GB.
+CLUSTER_MEMORY = 4000 * 16 * GB
+NODE_MEMORY = 16 * GB
+
+
+def run(spec: TraceSpec = TraceSpec(), concurrent_jobs: int = 400
+        ) -> ExperimentResult:
+    jobs = generate_trace(spec)
+    fractions = intermediate_data_fractions(
+        jobs, spec, CLUSTER_MEMORY, concurrent_jobs=concurrent_jobs
+    )
+    inputs = all_reduce_inputs(jobs)
+
+    result = ExperimentResult(
+        exp_id="effectiveness",
+        title="Aggregate intermediate data vs cluster memory",
+        columns=["statistic", "value"],
+        notes=(
+            f"{concurrent_jobs} concurrent jobs sampled from "
+            f"{len(jobs)}-job trace; cluster memory "
+            f"{fmt_size(CLUSTER_MEMORY)}"
+        ),
+    )
+    result.add_row(statistic="mean fraction of cluster memory",
+                   value=f"{fractions.mean():.1%}")
+    result.add_row(statistic="p99 fraction of cluster memory",
+                   value=f"{np.quantile(fractions, 0.99):.1%}")
+    result.add_row(statistic="max fraction of cluster memory",
+                   value=f"{fractions.max():.1%}")
+    result.add_row(statistic="largest single reduce input",
+                   value=fmt_size(float(inputs.max())))
+    result.add_row(statistic="single-node memory",
+                   value=fmt_size(NODE_MEMORY))
+
+    result.check(
+        "aggregate intermediate data stays below the paper's 25% upper "
+        "bound, so sponge memory can absorb it",
+        float(fractions.max()) <= 0.25,
+        f"max {fractions.max():.1%}",
+    )
+    result.check(
+        "some reduce inputs exceed a single machine's memory, so remote "
+        "memory is necessary (paper: >105 GB inputs vs 16 GB nodes)",
+        float(inputs.max()) > NODE_MEMORY,
+        fmt_size(float(inputs.max())),
+    )
+    return result

@@ -1,0 +1,121 @@
+"""Figure 4 — SpongeFiles vs disk spilling, no contention (§4.2.3).
+
+Each of the three jobs runs in four configurations: spill medium
+(disk vs SpongeFiles) x node memory (4 GB "low" vs 16 GB "high").
+
+Paper's shape:
+* at 4 GB SpongeFiles win for every job (buffer cache too small to
+  absorb spills; headline "up to 55%" runtime reduction is the median
+  job here);
+* at 16 GB the two Pig jobs spill small amounts that the buffer cache
+  absorbs between Pig's alternating spills and reads, so disk
+  ("effectively local memory") slightly beats SpongeFiles (remote
+  memory);
+* the median job spills everything before reading any of it back and
+  re-spills during multi-round merges (16.1 GB vs 10.3 GB), which
+  defeats the cache — SpongeFiles win even at 16 GB.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    MacroRunConfig,
+    reduction_percent,
+    run_macro,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.mapreduce.job import SpillMode
+from repro.util.units import GB, fmt_duration, fmt_size
+
+JOBS = ["median", "frequent-anchortext", "spam-quantiles"]
+MEMORY_SIZES = [4 * GB, 16 * GB]
+
+
+def run(scale: float = 1.0, background: bool = False) -> ExperimentResult:
+    exp_id = "fig5" if background else "fig4"
+    title = "Job runtimes, disk vs SpongeFile spilling"
+    title += " under disk contention" if background else " (no contention)"
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        columns=["job", "memory", "disk_s", "sponge_s", "reduction_%"],
+    )
+    runtimes: dict = {}
+    grep_stats: dict = {}
+    for job in JOBS:
+        for memory in MEMORY_SIZES:
+            row = {"job": job, "memory": fmt_size(memory)}
+            for mode in (SpillMode.DISK, SpillMode.SPONGE):
+                outcome = run_macro(
+                    MacroRunConfig(
+                        job=job, spill_mode=mode, node_memory=memory,
+                        scale=scale, background=background,
+                    )
+                )
+                runtimes[(job, memory, mode)] = outcome.runtime
+                grep_stats[(job, memory, mode)] = outcome.grep_task_runtimes
+                key = "disk_s" if mode is SpillMode.DISK else "sponge_s"
+                row[key] = outcome.runtime
+            row["reduction_%"] = reduction_percent(
+                row["disk_s"], row["sponge_s"]
+            )
+            result.add_row(**row)
+
+    _shape_checks(result, runtimes, background)
+    result.grep_stats = grep_stats  # used by the fig5 variance analysis
+    return result
+
+
+def _shape_checks(result: ExperimentResult, runtimes: dict,
+                  background: bool) -> None:
+    low, high = MEMORY_SIZES
+    disk, sponge = SpillMode.DISK, SpillMode.SPONGE
+
+    for job in JOBS:
+        result.check(
+            f"{job}: SpongeFiles win at 4 GB",
+            runtimes[(job, low, sponge)] < runtimes[(job, low, disk)],
+            f"{fmt_duration(runtimes[(job, low, sponge)])} vs "
+            f"{fmt_duration(runtimes[(job, low, disk)])}",
+        )
+    result.check(
+        "median: SpongeFiles win even at 16 GB (cache overwhelmed by "
+        "spill-everything-then-read + merge re-spills)",
+        runtimes[("median", high, sponge)] < runtimes[("median", high, disk)],
+    )
+    for job in ("frequent-anchortext", "spam-quantiles"):
+        result.check(
+            f"{job}: disk (buffer cache) competitive or better at 16 GB",
+            runtimes[(job, high, disk)] < 1.2 * runtimes[(job, high, sponge)],
+            f"disk {fmt_duration(runtimes[(job, high, disk)])} vs sponge "
+            f"{fmt_duration(runtimes[(job, high, sponge)])}",
+        )
+    best_cut = max(
+        reduction_percent(
+            runtimes[(job, mem, disk)], runtimes[(job, mem, sponge)]
+        )
+        for job in JOBS
+        for mem in MEMORY_SIZES
+    )
+    # Paper claims: up to 55% (no contention), up to 85% (contention +
+    # memory pressure).  Our disk model is coarser than a real spindle,
+    # so we assert the direction and a substantial fraction of the
+    # magnitude; EXPERIMENTS.md reports measured vs paper.
+    target = 55.0 if background else 40.0
+    claim = "85%" if background else "55%"
+    result.check(
+        f"best runtime reduction approaches the paper's 'up to {claim}'",
+        best_cut >= target,
+        f"best reduction {best_cut:.0f}%",
+    )
+    result.check(
+        "SpongeFile runtimes are insensitive to node memory (no "
+        "buffer-cache dependence)",
+        all(
+            abs(
+                runtimes[(job, low, sponge)] - runtimes[(job, high, sponge)]
+            )
+            <= 0.25 * runtimes[(job, high, sponge)]
+            for job in JOBS
+        ),
+    )

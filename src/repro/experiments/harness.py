@@ -1,0 +1,129 @@
+"""Experiment harness: result containers, tables, ASCII charts.
+
+Every experiment module produces an :class:`ExperimentResult` with the
+rows/series the paper reports, plus *shape checks* — the qualitative
+claims (who wins, roughly by how much, where the crossovers sit) that a
+reproduction on a different substrate must preserve.  The benchmark
+suite asserts the checks; ``EXPERIMENTS.md`` renders the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper, verified on our numbers."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.description}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one table/figure reproduction produces."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def check(self, description: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(ShapeCheck(description, bool(passed), detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> list[ShapeCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_table(self) -> str:
+        """A fixed-width text table of the rows."""
+        widths = {
+            col: max(
+                len(col),
+                *(len(_fmt(row.get(col, ""))) for row in self.rows or [{}]),
+            )
+            for col in self.columns
+        }
+        header = "  ".join(col.ljust(widths[col]) for col in self.columns)
+        rule = "  ".join("-" * widths[col] for col in self.columns)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row.get(col, "")).ljust(widths[col])
+                    for col in self.columns
+                )
+            )
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        """Table plus check outcomes, ready to print."""
+        parts = [f"== {self.exp_id}: {self.title} ==", self.to_table()]
+        if self.notes:
+            parts.append(self.notes)
+        parts.extend(str(check) for check in self.checks)
+        return "\n".join(parts)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_bars(
+    labels: Sequence[str], values: Sequence[float], width: int = 50,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart for figure-style results."""
+    if not values:
+        return "(no data)"
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    xs: Sequence[float], fractions: Sequence[float],
+    points: Sequence[float] = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0),
+    fmt: Callable[[float], str] = str,
+) -> list[tuple[float, str]]:
+    """Sample a CDF at the given cumulative fractions: (fraction, x)."""
+    import numpy as np
+
+    xs = np.asarray(xs)
+    fractions_arr = np.asarray(fractions)
+    samples = []
+    for point in points:
+        index = int(np.searchsorted(fractions_arr, point, side="left"))
+        index = min(index, len(xs) - 1)
+        samples.append((point, fmt(float(xs[index]))))
+    return samples

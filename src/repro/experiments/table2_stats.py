@@ -1,0 +1,84 @@
+"""Table 2 — straggling reduce statistics, plus fragmentation (§4.2.3).
+
+For each macro job with SpongeFile spilling, the paper reports the
+straggling reduce task's input bytes, spilled bytes, and spilled
+chunks:
+
+    Median               10   GB in   10.3 GB spilled   10527 chunks
+    Frequent Anchortext  2.5  GB in    7.2 GB spilled    7383 chunks
+    Spam Quantiles       3    GB in   10.2 GB spilled   10478 chunks
+
+and derives that internal fragmentation of the 1 MB chunks is well
+below 1 %.  We assert the shape: input sizes match the workload design,
+spilled >= input (spill-then-merge; multi-pass UDFs spill more), chunk
+counts ~ spilled bytes / 1 MB, fragmentation < 1 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import MacroRunConfig, run_macro
+from repro.experiments.harness import ExperimentResult
+from repro.mapreduce.job import SpillMode
+from repro.util.units import GB, MB, fmt_size
+
+PAPER = {
+    "median": {"input": 10 * GB, "spilled": 10.3 * GB, "chunks": 10527},
+    "frequent-anchortext": {"input": 2.5 * GB, "spilled": 7.2 * GB,
+                            "chunks": 7383},
+    "spam-quantiles": {"input": 3 * GB, "spilled": 10.2 * GB,
+                       "chunks": 10478},
+}
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="table2",
+        title="Straggling reduce statistics (SpongeFile spilling)",
+        columns=[
+            "job", "input", "spilled", "chunks",
+            "fragmentation_%", "paper_input", "paper_spilled", "paper_chunks",
+        ],
+    )
+    chunk_size = 1 * MB
+    for job, paper in PAPER.items():
+        outcome = run_macro(
+            MacroRunConfig(job=job, spill_mode=SpillMode.SPONGE, scale=scale)
+        )
+        straggler = outcome.straggler
+        fragmentation = straggler.chunk_fragmentation(chunk_size)
+        result.add_row(
+            job=job,
+            input=fmt_size(straggler.input_bytes),
+            spilled=fmt_size(straggler.spilled_bytes),
+            chunks=straggler.spilled_chunks,
+            **{"fragmentation_%": 100.0 * fragmentation},
+            paper_input=fmt_size(paper["input"] * scale),
+            paper_spilled=fmt_size(paper["spilled"] * scale),
+            paper_chunks=int(paper["chunks"] * scale),
+        )
+        result.check(
+            f"{job}: straggler input within 2x of the paper's "
+            f"{fmt_size(paper['input'] * scale)}",
+            0.5 * paper["input"] * scale
+            <= straggler.input_bytes
+            <= 2.0 * paper["input"] * scale,
+            fmt_size(straggler.input_bytes),
+        )
+        result.check(
+            f"{job}: spilled bytes >= input bytes (spill-then-merge)",
+            straggler.spilled_bytes >= 0.95 * straggler.input_bytes,
+            f"{fmt_size(straggler.spilled_bytes)} vs "
+            f"{fmt_size(straggler.input_bytes)}",
+        )
+        result.check(
+            f"{job}: chunk count ~ spilled bytes / 1 MB chunk",
+            straggler.spilled_chunks
+            >= 0.9 * straggler.spilled_bytes / chunk_size,
+            f"{straggler.spilled_chunks} chunks",
+        )
+        result.check(
+            f"{job}: internal fragmentation below 1%",
+            fragmentation < 0.01,
+            f"{100 * fragmentation:.3f}%",
+        )
+    return result

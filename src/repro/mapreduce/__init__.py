@@ -1,0 +1,43 @@
+"""A Hadoop-like MapReduce engine on the cluster simulator.
+
+Implements the spill/merge machinery of §2.1.2 faithfully: map-side
+sort buffers with disk spills and a final merge; shuffle over the
+network; reduce-side merges with ``io.sort.factor`` multi-round merges
+when spilling to disk, single-round merges over SpongeFiles; and the
+default retain-fraction-zero re-spill after the shuffle merge.
+
+The *data path is real* (records actually flow through map, sort,
+shuffle, merge and reduce functions) while IO/network/CPU *time* is
+charged to the discrete-event clock.  Records carry logical sizes so a
+10 GB experiment runs on a scaled-down record count.
+"""
+
+from repro.mapreduce.types import Record, records_nbytes
+from repro.mapreduce.job import JobConf, JobResult, SpillMode
+from repro.mapreduce.counters import JobCounters, TaskCounters
+from repro.mapreduce.hdfs import HdfsBlock, HdfsFile, MiniHdfs
+from repro.mapreduce.spill import (
+    DiskSpillTarget,
+    SpillRun,
+    SpillTarget,
+    SpongeSpillTarget,
+)
+from repro.mapreduce.engine import Hadoop
+
+__all__ = [
+    "Record",
+    "records_nbytes",
+    "JobConf",
+    "JobResult",
+    "SpillMode",
+    "JobCounters",
+    "TaskCounters",
+    "HdfsBlock",
+    "HdfsFile",
+    "MiniHdfs",
+    "SpillTarget",
+    "SpillRun",
+    "DiskSpillTarget",
+    "SpongeSpillTarget",
+    "Hadoop",
+]

@@ -1,0 +1,70 @@
+"""Per-task and per-job counters.
+
+These feed Table 2 (input bytes, spilled bytes, spilled chunks of the
+straggling reduce task), the fragmentation analysis of §4.2.3, and the
+per-phase breakdowns used in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TaskCounters:
+    """Counters of one task attempt."""
+
+    task_id: str = ""
+    node_id: str = ""
+    is_map: bool = True
+    input_bytes: int = 0
+    output_bytes: int = 0
+    spilled_bytes: int = 0
+    spilled_chunks: int = 0  # SpongeFile chunks (0 in disk mode)
+    spill_events: int = 0
+    merge_rounds: int = 0
+    started: float = 0.0
+    finished: float = 0.0
+    shuffle_finished: float = 0.0
+
+    @property
+    def runtime(self) -> float:
+        return self.finished - self.started
+
+    def chunk_fragmentation(self, chunk_size: int) -> float:
+        """Fraction of sponge memory wasted to internal fragmentation."""
+        if self.spilled_chunks == 0:
+            return 0.0
+        allocated = self.spilled_chunks * chunk_size
+        return max(0.0, 1.0 - self.spilled_bytes / allocated)
+
+
+@dataclass
+class JobCounters:
+    """Aggregated counters of one job run."""
+
+    job_name: str = ""
+    maps: list = field(default_factory=list)  # [TaskCounters]
+    reduces: list = field(default_factory=list)
+
+    def add(self, task: TaskCounters) -> None:
+        (self.maps if task.is_map else self.reduces).append(task)
+
+    @property
+    def total_spilled_bytes(self) -> int:
+        return sum(t.spilled_bytes for t in self.maps + self.reduces)
+
+    @property
+    def total_spilled_chunks(self) -> int:
+        return sum(t.spilled_chunks for t in self.maps + self.reduces)
+
+    def straggler(self) -> Optional[TaskCounters]:
+        """The reduce with the largest input — the paper's focus."""
+        if not self.reduces:
+            return None
+        return max(self.reduces, key=lambda t: t.input_bytes)
+
+    def task_runtimes(self, maps: bool = True) -> list[float]:
+        tasks = self.maps if maps else self.reduces
+        return [t.runtime for t in tasks]

@@ -1,0 +1,383 @@
+"""The Hadoop engine: master, slots, scheduling, job lifecycle.
+
+Mirrors the paper's testbed setup (§2.1.1, §4.2.2): each worker node
+has a fixed number of map and reduce slots (default 2 + 1); a FIFO
+scheduler assigns tasks to free slots with data-locality preference for
+maps; a job's reduces start immediately so their shuffle overlaps the
+map wave.  Submitting a background job after a foreground job gives the
+paper's multi-tenant setup — the background job soaks up every slot the
+foreground job is not using.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import JobFailedError, MapReduceError
+from repro.mapreduce.counters import JobCounters, TaskCounters
+from repro.mapreduce.hdfs import HdfsBlock, MiniHdfs
+from repro.mapreduce.job import JobConf, JobResult, SpillMode
+from repro.mapreduce.maptask import run_map_task
+from repro.mapreduce.reducetask import ReduceDriver, run_reduce_task
+from repro.mapreduce.spill import DiskSpillTarget, SpongeSpillTarget
+from repro.mapreduce.types import Record
+from repro.sim.cluster import SimCluster
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Store
+from repro.sponge.chunk import TaskId
+from repro.sponge.spongefile import SimExecutor
+
+
+@dataclass
+class JobRun:
+    """Live state of one submitted job."""
+
+    conf: JobConf
+    reduce_driver: Optional[ReduceDriver]
+    submitted_at: float
+    done: Event
+    counters: JobCounters
+    pending_blocks: list = field(default_factory=list)
+    num_maps: int = 0
+    completed_maps: int = 0
+    pending_reduces: list = field(default_factory=list)
+    completed_reduces: int = 0
+    outputs: dict = field(default_factory=dict)
+    failed: Optional[BaseException] = None
+    #: Map outputs completed so far (seeds backup-attempt queues).
+    completed_map_outputs: list = field(default_factory=list)
+    #: reduce index -> [attempt dicts]; first finisher wins.
+    reduce_attempts: dict = field(default_factory=dict)
+    reduce_done: set = field(default_factory=set)
+    speculative_launches: int = 0
+
+    @property
+    def map_only(self) -> bool:
+        return self.conf.num_reducers == 0
+
+    @property
+    def finished(self) -> bool:
+        if self.map_only:
+            return self.completed_maps >= self.num_maps
+        return self.completed_reduces >= self.conf.num_reducers
+
+
+class Hadoop:
+    """Cluster master: submit jobs, watch them run on simulated time."""
+
+    def __init__(self, env: Environment, cluster: SimCluster,
+                 sponge=None) -> None:
+        self.env = env
+        self.cluster = cluster
+        #: A ``SimSpongeDeployment`` (required for SpillMode.SPONGE jobs).
+        self.sponge = sponge
+        self.hdfs = MiniHdfs(cluster)
+        self.jobs: list[JobRun] = []
+        self._free_map_slots = {
+            node.node_id: node.spec.map_slots for node in cluster
+        }
+        self._free_reduce_slots = {
+            node.node_id: node.spec.reduce_slots for node in cluster
+        }
+        self._task_ids = itertools.count()
+        self._wake = env.event()
+        self._scheduler = env.process(self._schedule_loop())
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, conf: JobConf,
+               reduce_driver: Optional[ReduceDriver] = None) -> JobRun:
+        """Queue a job; returns its live :class:`JobRun` handle."""
+        if conf.spill_mode is SpillMode.SPONGE and self.sponge is None:
+            raise MapReduceError(
+                f"job {conf.name} wants SpongeFile spilling but the "
+                "engine has no sponge deployment"
+            )
+        hdfs_file = self.hdfs.open(conf.input_file)
+        job = JobRun(
+            conf=conf,
+            reduce_driver=reduce_driver,
+            submitted_at=self.env.now,
+            done=self.env.event(),
+            counters=JobCounters(job_name=conf.name),
+            pending_blocks=list(hdfs_file.blocks),
+            num_maps=len(hdfs_file.blocks),
+            pending_reduces=list(range(conf.num_reducers)),
+        )
+        self.jobs.append(job)
+        if conf.speculative_execution:
+            self.env.process(self._speculation_ticker(job))
+        self._kick()
+        return job
+
+    def run_job(self, conf: JobConf,
+                reduce_driver: Optional[ReduceDriver] = None) -> JobResult:
+        """Submit and run the simulation until the job completes."""
+        job = self.submit(conf, reduce_driver)
+        result = self.env.run(job.done)
+        return result
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _kick(self) -> None:
+        if not self._wake.triggered:
+            self._wake.succeed()
+
+    def _schedule_loop(self):
+        while True:
+            self._assign_tasks()
+            yield self._wake
+            self._wake = self.env.event()
+
+    def _assign_tasks(self) -> None:
+        # FIFO over jobs: earlier submissions get slots first, so a
+        # background job only soaks up leftover slots.
+        for job in self.jobs:
+            if job.failed is not None:
+                continue
+            self._assign_reduces(job)
+            self._assign_maps(job)
+            if job.conf.speculative_execution and not job.finished:
+                self._maybe_speculate(job)
+
+    def _assign_reduces(self, job: JobRun) -> None:
+        while job.pending_reduces:
+            node_id = self._find_free_slot(self._free_reduce_slots)
+            if node_id is None:
+                return
+            reduce_index = job.pending_reduces.pop(0)
+            self._free_reduce_slots[node_id] -= 1
+            self._launch_reduce(job, reduce_index, node_id,
+                                speculative=False)
+
+    def _assign_maps(self, job: JobRun) -> None:
+        while job.pending_blocks:
+            # Locality first: a node with a free slot that hosts one of
+            # the pending blocks.
+            chosen: Optional[tuple[str, HdfsBlock]] = None
+            hosts = {block.node_id for block in job.pending_blocks}
+            for node_id, free in self._free_map_slots.items():
+                if free > 0 and node_id in hosts:
+                    block = next(
+                        b for b in job.pending_blocks if b.node_id == node_id
+                    )
+                    chosen = (node_id, block)
+                    break
+            if chosen is None:
+                node_id = self._find_free_slot(self._free_map_slots)
+                if node_id is None:
+                    return
+                chosen = (node_id, job.pending_blocks[0])
+            node_id, block = chosen
+            job.pending_blocks.remove(block)
+            self._free_map_slots[node_id] -= 1
+            self._launch_map(job, block, node_id)
+
+    @staticmethod
+    def _find_free_slot(slots: dict) -> Optional[str]:
+        for node_id, free in slots.items():
+            if free > 0:
+                return node_id
+        return None
+
+    # -- task launch ------------------------------------------------------------
+
+    def _launch_map(self, job: JobRun, block: HdfsBlock, node_id: str) -> None:
+        task_id = f"{job.conf.name}-m{next(self._task_ids):05d}"
+        counters = TaskCounters(task_id=task_id, is_map=True)
+        job.counters.add(counters)
+        proc = self.env.process(
+            run_map_task(
+                self.env, self.cluster, self.hdfs, job.conf, block,
+                node_id, task_id, counters,
+            )
+        )
+        proc.callbacks.append(
+            lambda event: self._on_map_done(job, node_id, event)
+        )
+
+    def _launch_reduce(self, job: JobRun, reduce_index: int,
+                       node_id: str, speculative: bool) -> None:
+        suffix = "-spec" if speculative else ""
+        task_id = f"{job.conf.name}-r{reduce_index:03d}{suffix}"
+        counters = TaskCounters(task_id=task_id, is_map=False)
+        job.counters.add(counters)
+        spill_target = self._make_spill_target(job, task_id, node_id, counters)
+        queue = Store(self.env)
+        for map_output in job.completed_map_outputs:
+            queue.put(map_output)
+        proc = self.env.process(
+            run_reduce_task(
+                self.env, self.cluster, job.conf, reduce_index, node_id,
+                task_id, queue, job.num_maps,
+                spill_target, counters, reduce_driver=job.reduce_driver,
+            )
+        )
+        attempt = {
+            "proc": proc,
+            "node_id": node_id,
+            "queue": queue,
+            "counters": counters,
+            "owner": TaskId(node_id, task_id),
+            "index": reduce_index,
+            "cancelled": False,
+            "speculative": speculative,
+        }
+        job.reduce_attempts.setdefault(reduce_index, []).append(attempt)
+        if speculative:
+            job.speculative_launches += 1
+        proc.callbacks.append(
+            lambda event: self._on_reduce_done(job, attempt, event)
+        )
+
+    # -- speculative execution --------------------------------------------
+
+    def _speculation_ticker(self, job: JobRun):
+        """Re-check slow reduces every few simulated seconds — nothing
+        else wakes the scheduler while a lone straggler grinds on."""
+        while not job.done.triggered:
+            yield self.env.timeout(5.0)
+            self._kick()
+
+    def _maybe_speculate(self, job: JobRun) -> None:
+        baseline = self._speculation_baseline(job)
+        if baseline is None:
+            return
+        for index, attempts in job.reduce_attempts.items():
+            if index in job.reduce_done:
+                continue
+            live = [a for a in attempts if not a["cancelled"]]
+            if len(live) != 1:
+                continue  # backup already running (or nothing to back up)
+            attempt = live[0]
+            elapsed = self.env.now - attempt["counters"].started
+            if elapsed <= job.conf.speculative_slowness * baseline:
+                continue
+            node_id = self._find_free_slot_excluding(
+                self._free_reduce_slots, attempt["node_id"]
+            )
+            if node_id is None:
+                return
+            self._free_reduce_slots[node_id] -= 1
+            self._launch_reduce(job, index, node_id, speculative=True)
+
+    def _speculation_baseline(self, job: JobRun) -> Optional[float]:
+        """Median runtime of finished peer reduces; a single-reduce job
+        has no peers, so it falls back to the map median (its only
+        signal — and exactly the case where skew makes the fallback
+        useless, per the paper's footnote 4)."""
+        finished_reduces = sorted(
+            t.runtime for t in job.counters.reduces if t.finished > 0
+        )
+        if finished_reduces:
+            return finished_reduces[len(finished_reduces) // 2]
+        if job.conf.num_reducers > 1:
+            return None  # wait for peer reduces before judging slowness
+        if job.completed_maps < job.num_maps:
+            return None
+        finished_maps = sorted(
+            t.runtime for t in job.counters.maps if t.finished > 0
+        )
+        if not finished_maps:
+            return None
+        return finished_maps[len(finished_maps) // 2]
+
+    @staticmethod
+    def _find_free_slot_excluding(slots: dict, banned: str) -> Optional[str]:
+        for node_id, free in slots.items():
+            if free > 0 and node_id != banned:
+                return node_id
+        return None
+
+    def _make_spill_target(self, job: JobRun, task_id: str, node_id: str,
+                           counters: TaskCounters):
+        if job.conf.spill_mode is SpillMode.SPONGE:
+            owner = TaskId(node_id, task_id)
+            self.sponge.registry.start(owner)
+            return SpongeSpillTarget(
+                self.sponge.chain(node_id),
+                owner,
+                self.sponge.config,
+                SimExecutor(self.env),
+                counters=counters,
+            )
+        return DiskSpillTarget(self.cluster.node(node_id), task_id, counters)
+
+    # -- completion ----------------------------------------------------------
+
+    def _on_map_done(self, job: JobRun, node_id: str, event: Event) -> None:
+        self._free_map_slots[node_id] += 1
+        if not event.ok:
+            self._fail_job(job, event)
+            return
+        job.completed_maps += 1
+        map_output = event.value
+        if map_output is not None:
+            job.completed_map_outputs.append(map_output)
+            for attempts in job.reduce_attempts.values():
+                for attempt in attempts:
+                    if not attempt["cancelled"]:
+                        attempt["queue"].put(map_output)
+        self._maybe_finish(job)
+        self._kick()
+
+    def _on_reduce_done(self, job: JobRun, attempt: dict,
+                        event: Event) -> None:
+        self._free_reduce_slots[attempt["node_id"]] += 1
+        index = attempt["index"]
+        if attempt["cancelled"]:
+            # A speculative loser, interrupted on purpose.
+            event.defuse()
+            self._reclaim_attempt(job, attempt)
+            self._kick()
+            return
+        if not event.ok:
+            self._fail_job(job, event)
+            return
+        if index in job.reduce_done:
+            return  # a sibling already won (should not happen, but safe)
+        job.reduce_done.add(index)
+        job.completed_reduces += 1
+        job.outputs[index] = event.value
+        for sibling in job.reduce_attempts.get(index, []):
+            if sibling is not attempt and not sibling["cancelled"]:
+                sibling["cancelled"] = True
+                if sibling["proc"].is_alive:
+                    sibling["proc"].interrupt("speculative-loser")
+        self._maybe_finish(job)
+        self._kick()
+
+    def _reclaim_attempt(self, job: JobRun, attempt: dict) -> None:
+        """Free a killed attempt's sponge chunks via the GC path."""
+        if job.conf.spill_mode is SpillMode.SPONGE and self.sponge is not None:
+            from repro.sponge.gc import run_cluster_gc
+
+            self.sponge.registry.finish(attempt["owner"])
+            run_cluster_gc(list(self.sponge.servers.values()))
+
+    def _fail_job(self, job: JobRun, event: Event) -> None:
+        event.defuse()
+        job.failed = event.value
+        if not job.done.triggered:
+            job.done.fail(
+                JobFailedError(f"job {job.conf.name} failed: {event.value!r}")
+            )
+        self._kick()
+
+    def _maybe_finish(self, job: JobRun) -> None:
+        if job.finished and not job.done.triggered:
+            result = JobResult(
+                name=job.conf.name,
+                runtime=self.env.now - job.submitted_at,
+                outputs=dict(job.outputs),
+                counters=job.counters,
+            )
+            job.done.succeed(result)
+
+    # -- convenience ------------------------------------------------------------
+
+    def load_records(self, name: str, records: list[Record]):
+        """Shortcut to :meth:`MiniHdfs.create`."""
+        return self.hdfs.create(name, records)

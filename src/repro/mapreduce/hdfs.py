@@ -1,0 +1,163 @@
+"""A miniature HDFS: files as 128 MB blocks scattered over node disks.
+
+Enough of HDFS for the engine: block placement (round-robin over
+workers), locality lookup for the scheduler, and block reads charged to
+the hosting node's buffer cache/disk.  Replication is not modelled —
+the experiments never lose a node mid-job, and map inputs are read from
+the (single) local replica exactly as in the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import MapReduceError
+from repro.mapreduce.types import Record
+from repro.sim.cluster import SimCluster
+from repro.util.units import MB
+
+DEFAULT_BLOCK_SIZE = 128 * MB
+
+
+def _cpu(env, nbytes: float, cpu_bps: float):
+    if cpu_bps > 0 and nbytes > 0:
+        yield env.timeout(nbytes / cpu_bps)
+
+
+@dataclass
+class HdfsBlock:
+    """One block: its records, logical size, and hosting node."""
+
+    block_id: str
+    node_id: str
+    records: list[Record] = field(default_factory=list)
+    nbytes: int = 0
+
+
+@dataclass
+class HdfsFile:
+    name: str
+    blocks: list[HdfsBlock] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(block.nbytes for block in self.blocks)
+
+
+class MiniHdfs:
+    """Block store over the simulated cluster's disks."""
+
+    def __init__(self, cluster: SimCluster, block_size: int = DEFAULT_BLOCK_SIZE):
+        self.cluster = cluster
+        self.block_size = int(block_size)
+        self.files: dict[str, HdfsFile] = {}
+        self._placement = itertools.cycle(cluster.node_ids())
+
+    def create(self, name: str, records: Iterable[Record]) -> HdfsFile:
+        """Write a file, cutting blocks by logical size, round-robin
+        placed.  (Ingest time is not charged: datasets pre-exist.)"""
+        if name in self.files:
+            raise MapReduceError(f"hdfs file exists: {name}")
+        hdfs_file = HdfsFile(name)
+        block_records: list[Record] = []
+        block_bytes = 0
+
+        def cut_block() -> None:
+            nonlocal block_records, block_bytes
+            node_id = next(self._placement)
+            block = HdfsBlock(
+                block_id=f"{name}/blk-{len(hdfs_file.blocks):04d}",
+                node_id=node_id,
+                records=block_records,
+                nbytes=block_bytes,
+            )
+            hdfs_file.blocks.append(block)
+            block_records = []
+            block_bytes = 0
+
+        for record in records:
+            block_records.append(record)
+            block_bytes += record.nbytes
+            if block_bytes >= self.block_size:
+                cut_block()
+        if block_records or not hdfs_file.blocks:
+            cut_block()
+        self.files[name] = hdfs_file
+        return hdfs_file
+
+    def create_opaque(self, name: str, nbytes: int) -> HdfsFile:
+        """A file of the given size with no materialized records — for
+        background workloads (the 1 TB grep input) whose content never
+        matters, only its IO footprint."""
+        if name in self.files:
+            raise MapReduceError(f"hdfs file exists: {name}")
+        blocks = -(-int(nbytes) // self.block_size)
+        hdfs_file = HdfsFile(name)
+        for i in range(max(1, blocks)):
+            node_id = next(self._placement)
+            size = min(self.block_size, nbytes - i * self.block_size)
+            hdfs_file.blocks.append(
+                HdfsBlock(f"{name}/blk-{i:04d}", node_id, [], int(size))
+            )
+        self.files[name] = hdfs_file
+        return hdfs_file
+
+    def open(self, name: str) -> HdfsFile:
+        try:
+            return self.files[name]
+        except KeyError as exc:
+            raise MapReduceError(f"no such hdfs file: {name}") from exc
+
+    def read_block(self, block: HdfsBlock, reader_node_id: str):
+        """Charge the IO of reading one block (generator).
+
+        Local reads go through the hosting node's cache/disk; remote
+        reads add a network transfer (rare with locality scheduling).
+        """
+        host = self.cluster.node(block.node_id)
+        host.cache.seek(("hdfs", block.block_id), 0)
+        yield from host.cache.read(("hdfs", block.block_id), block.nbytes)
+        if reader_node_id != block.node_id:
+            yield self.cluster.network.transfer(
+                block.node_id, reader_node_id, block.nbytes
+            )
+        return block.records
+
+    def stream_block(self, block: HdfsBlock, reader_node_id: str,
+                     cpu_bps: float, slice_bytes: int = 16 * MB):
+        """Read a block in slices interleaved with its processing time.
+
+        This is how a map task actually touches the disk: a read, some
+        compute, another read — so the disk sees the task's IO spread
+        over its whole lifetime (which is what makes co-located spilling
+        hurt grep tasks, and vice versa, in §4.2.3).
+        """
+        host = self.cluster.node(block.node_id)
+        file_id = ("hdfs", block.block_id)
+        host.cache.seek(file_id, 0)
+        remaining = block.nbytes
+        while remaining > 0:
+            piece = min(slice_bytes, remaining)
+            yield from host.cache.read(file_id, piece)
+            if reader_node_id != block.node_id:
+                yield self.cluster.network.transfer(
+                    block.node_id, reader_node_id, piece
+                )
+            yield from _cpu(host.env, piece, cpu_bps)
+            remaining -= piece
+        return block.records
+
+    def blocks_by_node(self, name: str) -> dict[str, list[HdfsBlock]]:
+        by_node: dict[str, list[HdfsBlock]] = {}
+        for block in self.open(name).blocks:
+            by_node.setdefault(block.node_id, []).append(block)
+        return by_node
+
+    def iter_records(self, name: str) -> Iterator[Record]:
+        for block in self.open(name).blocks:
+            yield from block.records
+
+    def total_bytes(self, name: str) -> int:
+        return self.open(name).nbytes

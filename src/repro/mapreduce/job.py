@@ -1,0 +1,101 @@
+"""Job configuration.
+
+Knobs and defaults mirror Hadoop 0.20 as described in §2.1.2 of the
+paper: a 128 MB map-side sort buffer, ``io.sort.factor`` of 10, 70 % of
+the reduce heap for the shuffle merge, and a retain fraction of zero
+(merged inputs are spilled again before the reduce function runs, to
+leave the heap to application code such as Pig).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import ConfigError
+from repro.mapreduce.types import Record, default_partitioner
+from repro.util.units import GB, MB
+
+#: ``map_fn(record) -> iterable of Records`` (shuffle key in ``.key``).
+MapFn = Callable[[Record], Iterable[Record]]
+#: ``reduce_fn(key, values, context) -> iterable of Records``.
+ReduceFn = Callable[[Any, list[Record], Any], Iterable[Record]]
+
+
+class SpillMode(enum.Enum):
+    """Where tasks spill: stock Hadoop (local disk) or SpongeFiles."""
+
+    DISK = "disk"
+    SPONGE = "sponge"
+
+
+@dataclass
+class JobConf:
+    """Static description of one MapReduce job."""
+
+    name: str
+    input_file: str
+    map_fn: MapFn
+    reduce_fn: Optional[ReduceFn] = None
+    num_reducers: int = 1
+    partitioner: Callable[[Any, int], int] = default_partitioner
+    spill_mode: SpillMode = SpillMode.DISK
+    #: Optional map-side combiner ``(key, records) -> iterable`` applied
+    #: per partition before the map output is written.  Only *algebraic*
+    #: aggregates (SUM, COUNT, MAX, ...) can use one — which is exactly
+    #: why the paper's holistic UDFs cannot dodge skew this way (§2.2).
+    combiner_fn: Optional[Callable[[Any, list], Iterable[Record]]] = None
+
+    # Hadoop memory/merge knobs (§2.1.2).
+    sort_buffer: int = 128 * MB
+    io_sort_factor: int = 10
+    shuffle_merge_fraction: float = 0.70
+    reduce_retain_fraction: float = 0.0
+    heap_size: int = 1 * GB
+
+    # CPU cost model: effective processing throughput (logical bytes/s)
+    # of the user code in each phase.  Calibrated per workload.
+    map_cpu_bps: float = 200 * MB
+    reduce_cpu_bps: float = 200 * MB
+    merge_cpu_bps: float = 400 * MB
+    #: Concurrent shuffle fetchers per reduce (Hadoop default 5).
+    shuffle_parallelism: int = 5
+
+    # Speculative execution (reduce side).  A backup attempt launches
+    # on another node when a reduce runs ``speculative_slowness`` times
+    # longer than its peers; first finisher wins.  Helps against slow
+    # nodes — and, per the paper's footnote 4, does nothing for data
+    # skew: the backup gets the same giant input.
+    speculative_execution: bool = False
+    speculative_slowness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 0:
+            raise ConfigError("num_reducers must be >= 0")
+        if self.num_reducers > 0 and self.reduce_fn is None:
+            raise ConfigError(f"job {self.name} has reducers but no reduce_fn")
+        if self.io_sort_factor < 2:
+            raise ConfigError("io_sort_factor must be >= 2")
+        if not 0 < self.shuffle_merge_fraction <= 1:
+            raise ConfigError("shuffle_merge_fraction must be in (0, 1]")
+
+    @property
+    def shuffle_buffer_bytes(self) -> int:
+        return int(self.heap_size * self.shuffle_merge_fraction)
+
+
+@dataclass
+class JobResult:
+    """What a finished job hands back to the caller."""
+
+    name: str
+    runtime: float
+    outputs: dict = field(default_factory=dict)  # reducer index -> [Record]
+    counters: Any = None  # JobCounters
+
+    def output_records(self) -> list[Record]:
+        merged: list[Record] = []
+        for index in sorted(self.outputs):
+            merged.extend(self.outputs[index])
+        return merged

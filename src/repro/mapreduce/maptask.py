@@ -1,0 +1,153 @@
+"""Map task execution (§2.1.2, map side).
+
+A map task reads its HDFS block, runs the map function, and collects
+output pairs in a fixed-size in-memory sort buffer (default 128 MB).
+A full buffer is sorted and spilled to local disk; at the end all
+spills are merged into a single partitioned map-output file on local
+disk, which reduce tasks later fetch.  Map-side spilling always goes to
+local disk — the paper's modification targets the reduce merger and
+Pig's bags, and a reasonably provisioned map task rarely spills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapreduce.counters import TaskCounters
+from repro.mapreduce.hdfs import HdfsBlock, MiniHdfs
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.merge import merge_sorted_records
+from repro.mapreduce.types import Record, records_nbytes, sort_records
+from repro.sim.cluster import SimCluster
+from repro.sim.kernel import Environment
+
+
+@dataclass
+class MapOutput:
+    """One finished map task's output, partitioned by reducer."""
+
+    map_id: str
+    node_id: str
+    file_id: object
+    #: reducer index -> (records, segment bytes, segment file offset)
+    segments: dict = field(default_factory=dict)
+
+    def segment(self, partition: int) -> tuple[list[Record], int, int]:
+        return self.segments.get(partition, ([], 0, 0))
+
+
+def run_map_task(
+    env: Environment,
+    cluster: SimCluster,
+    hdfs: MiniHdfs,
+    conf: JobConf,
+    block: HdfsBlock,
+    node_id: str,
+    task_id: str,
+    counters: TaskCounters,
+):
+    """Generator: execute one map task; returns a :class:`MapOutput`
+    (or ``None`` for map-only jobs, whose output is discarded)."""
+    node = cluster.node(node_id)
+    counters.started = env.now
+    counters.node_id = node_id
+    counters.input_bytes = block.nbytes
+
+    input_records = yield from hdfs.stream_block(
+        block, node_id, cpu_bps=conf.map_cpu_bps
+    )
+
+    outputs: list[Record] = []
+    for record in input_records:
+        outputs.extend(conf.map_fn(record))
+
+    if conf.num_reducers == 0:
+        counters.finished = env.now
+        return None
+
+    # Sort buffer: cut the output stream into sorted spill runs.
+    spills: list[list[Record]] = []
+    buffered: list[Record] = []
+    buffered_bytes = 0
+    for record in outputs:
+        buffered.append(record)
+        buffered_bytes += record.nbytes
+        if buffered_bytes >= conf.sort_buffer:
+            yield from _spill_map_buffer(
+                env, node, task_id, len(spills), buffered, conf, counters
+            )
+            spills.append(sort_records(buffered))
+            buffered = []
+            buffered_bytes = 0
+
+    if spills:
+        if buffered:
+            yield from _spill_map_buffer(
+                env, node, task_id, len(spills), buffered, conf, counters
+            )
+            spills.append(sort_records(buffered))
+        # Merge all spill files into the single final output file: read
+        # every spill back and write the merged stream.
+        total = sum(records_nbytes(run) for run in spills)
+        for index in range(len(spills)):
+            spill_file = ("map-spill", task_id, index)
+            node.cache.seek(spill_file, 0)
+            yield from node.cache.read(
+                spill_file, records_nbytes(spills[index])
+            )
+        yield env.timeout(total / conf.merge_cpu_bps)
+        merged = merge_sorted_records(spills)
+        for index in range(len(spills)):
+            node.cache.drop(("map-spill", task_id, index))
+    else:
+        yield env.timeout(records_nbytes(buffered) / conf.merge_cpu_bps)
+        merged = sort_records(buffered)
+
+    # Partition the sorted output and write the final map-output file.
+    by_partition: dict[int, list[Record]] = {}
+    for record in merged:
+        partition = conf.partitioner(record.key, conf.num_reducers)
+        by_partition.setdefault(partition, []).append(record)
+
+    if conf.combiner_fn is not None:
+        for partition, segment in by_partition.items():
+            combined: list[Record] = []
+            group: list[Record] = []
+            group_key = object()
+            for record in segment:  # segments are key-sorted
+                if record.key != group_key and group:
+                    combined.extend(conf.combiner_fn(group_key, group))
+                    group = []
+                group_key = record.key
+                group.append(record)
+            if group:
+                combined.extend(conf.combiner_fn(group_key, group))
+            by_partition[partition] = combined
+        yield env.timeout(
+            sum(records_nbytes(s) for s in by_partition.values())
+            / conf.merge_cpu_bps
+        )
+
+    output = MapOutput(map_id=task_id, node_id=node_id,
+                       file_id=("mapout", task_id))
+    offset = 0
+    total_out = 0
+    for partition in sorted(by_partition):
+        segment = by_partition[partition]
+        nbytes = records_nbytes(segment)
+        output.segments[partition] = (segment, nbytes, offset)
+        offset += nbytes
+        total_out += nbytes
+    yield from node.cache.write(output.file_id, max(1, total_out))
+    counters.output_bytes = total_out
+    counters.finished = env.now
+    return output
+
+
+def _spill_map_buffer(env, node, task_id, index, buffered, conf, counters):
+    """Sort-and-spill one full sort buffer to a local spill file."""
+    nbytes = records_nbytes(buffered)
+    yield env.timeout(nbytes / conf.merge_cpu_bps)  # the sort
+    yield from node.cache.write(("map-spill", task_id, index), nbytes)
+    counters.spilled_bytes += nbytes
+    counters.spill_events += 1

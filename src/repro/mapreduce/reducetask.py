@@ -1,0 +1,193 @@
+"""Reduce task execution (§2.1.2, reduce side).
+
+Phases, matching Hadoop 0.20's shuffle/merge design:
+
+1. **Shuffle** — fetch this reduce's segment of every map output, a few
+   fetchers in parallel.  Fetched segments accumulate in an in-memory
+   buffer (70 % of the heap by default); when it fills, the buffered
+   segments are merged and spilled as one sorted run to the task's
+   spill target (local disk in stock Hadoop, a SpongeFile in the
+   paper's modified version).
+2. **Merge** — runs are merged down to a single sorted stream.  Disk
+   targets bound fan-in to ``io.sort.factor`` per round (re-spilling
+   intermediate rounds); SpongeFile targets merge in one round.  With
+   the default retain fraction of 0, segments still in memory when the
+   shuffle ends are spilled too, leaving the heap to application code.
+3. **Reduce** — the sorted stream is grouped by key and handed to the
+   reduce function (or a custom *reduce driver*, which is how the Pig
+   layer runs spillable operator pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.mapreduce.counters import TaskCounters
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.maptask import MapOutput
+from repro.mapreduce.merge import merge_runs, merge_sorted_records
+from repro.mapreduce.spill import SpillTarget
+from repro.mapreduce.types import Record, records_nbytes
+from repro.sim.cluster import SimCluster
+from repro.sim.kernel import Environment
+from repro.sim.resources import Store
+
+
+@dataclass
+class ReduceContext:
+    """Execution context handed to reduce drivers / UDF pipelines."""
+
+    env: Environment
+    conf: JobConf
+    node_id: str
+    spill_target: SpillTarget
+    counters: TaskCounters
+    extras: dict = field(default_factory=dict)
+
+
+#: Custom reduce phase: ``driver(ctx, sorted_records)`` is a generator
+#: (it may spill through the context) returning output records.
+ReduceDriver = Callable[[ReduceContext, list[Record]], Any]
+
+
+def default_reduce_driver(ctx: ReduceContext, sorted_records: list[Record]):
+    """Group by key and apply ``conf.reduce_fn`` per group."""
+    total = records_nbytes(sorted_records)
+    yield ctx.env.timeout(total / ctx.conf.reduce_cpu_bps)
+    outputs: list[Record] = []
+    group_key: Any = _SENTINEL
+    group: list[Record] = []
+    for record in sorted_records:
+        if record.key != group_key and group:
+            outputs.extend(ctx.conf.reduce_fn(group_key, group, ctx))
+            group = []
+        group_key = record.key
+        group.append(record)
+    if group:
+        outputs.extend(ctx.conf.reduce_fn(group_key, group, ctx))
+    return outputs
+
+
+_SENTINEL = object()
+
+
+def run_reduce_task(
+    env: Environment,
+    cluster: SimCluster,
+    conf: JobConf,
+    reduce_index: int,
+    node_id: str,
+    task_id: str,
+    map_output_queue: Store,
+    num_maps: int,
+    spill_target: SpillTarget,
+    counters: TaskCounters,
+    reduce_driver: Optional[ReduceDriver] = None,
+):
+    """Generator: execute one reduce task; returns its output records."""
+    node = cluster.node(node_id)
+    counters.started = env.now
+    counters.node_id = node_id
+    counters.is_map = False
+
+    # ---- Phase 1: shuffle -------------------------------------------------
+    in_memory: list[list[Record]] = []
+    in_memory_bytes = 0
+    runs = []
+    fetched = {"count": 0}
+    fetch_queue: Store = Store(env)
+
+    def fetcher():
+        from repro.sim.kernel import Interrupt
+
+        try:
+            while fetched["count"] < num_maps:
+                map_output: MapOutput = yield map_output_queue.get()
+                fetched["count"] += 1
+                segment, nbytes, offset = map_output.segment(reduce_index)
+                source = cluster.node(map_output.node_id)
+                yield from source.cache.read_range(
+                    map_output.file_id, offset, nbytes
+                )
+                if map_output.node_id != node_id:
+                    yield cluster.network.transfer(
+                        map_output.node_id, node_id, nbytes
+                    )
+                fetch_queue.put((segment, nbytes))
+        except Interrupt:
+            return  # shuffle complete; idle fetchers stand down
+
+    parallelism = max(1, conf.shuffle_parallelism)
+    fetchers = [env.process(fetcher()) for _ in range(parallelism)]
+
+    received = 0
+    while received < num_maps:
+        segment, nbytes = yield fetch_queue.get()
+        received += 1
+        counters.input_bytes += nbytes
+        if nbytes == 0 and not segment:
+            continue
+        in_memory.append(segment)
+        in_memory_bytes += nbytes
+        if in_memory_bytes > conf.shuffle_buffer_bytes:
+            # Merge the buffered segments and spill them as one run.
+            yield from _spill_in_memory(
+                env, conf, in_memory, in_memory_bytes, spill_target,
+                counters, runs, label="shuffle",
+            )
+            in_memory = []
+            in_memory_bytes = 0
+    for proc in fetchers:
+        if proc.is_alive:
+            proc.interrupt("shuffle-done")
+    counters.shuffle_finished = env.now
+
+    # ---- Phase 2: merge -----------------------------------------------------
+    retain_limit = conf.reduce_retain_fraction * conf.heap_size
+    if runs or (in_memory_bytes > retain_limit and in_memory):
+        if in_memory:
+            # Default retain fraction 0: what is still in memory is
+            # spilled again before the reduce runs (§2.1.2).
+            yield from _spill_in_memory(
+                env, conf, in_memory, in_memory_bytes, spill_target,
+                counters, runs, label="retain",
+            )
+        sorted_records = yield from merge_runs(
+            env,
+            runs,
+            spill_target,
+            conf.io_sort_factor,
+            conf.merge_cpu_bps,
+            counters=counters,
+        )
+    else:
+        yield env.timeout(in_memory_bytes / conf.merge_cpu_bps)
+        sorted_records = merge_sorted_records(in_memory)
+        counters.merge_rounds += 1 if in_memory else 0
+
+    counters.spilled_chunks = spill_target.chunks_spilled()
+
+    # ---- Phase 3: reduce ------------------------------------------------------
+    ctx = ReduceContext(env, conf, node_id, spill_target, counters)
+    driver = reduce_driver or default_reduce_driver
+    outputs = yield from driver(ctx, sorted_records)
+    counters.spilled_chunks = spill_target.chunks_spilled()
+
+    output_bytes = records_nbytes(outputs)
+    yield from node.cache.write(("reduce-out", task_id), max(1, output_bytes))
+    counters.output_bytes = output_bytes
+    counters.finished = env.now
+    return outputs
+
+
+def _spill_in_memory(env, conf, segments, nbytes, target, counters, runs,
+                     label):
+    """Merge in-memory segments and spill them as one sorted run."""
+    yield env.timeout(nbytes / conf.merge_cpu_bps)
+    merged = merge_sorted_records(segments)
+    run = target.new_run(label=label)
+    yield from run.write(merged)
+    yield from run.close()
+    runs.append(run)
+    counters.spill_events += 1

@@ -1,0 +1,273 @@
+"""Spill targets: where a task's sorted runs go.
+
+This is the seam the paper modifies in Hadoop: the reduce-side merger
+(and Pig's DataBags) write spill *runs* either to local-disk files —
+through the OS buffer cache, exactly like stock Hadoop — or to
+SpongeFiles.  Both expose the same interface, so the engine code is
+identical in the two modes.
+
+One behavioural difference carries through (per §4.2.3): a disk-backed
+merger limits merge fan-in to ``io.sort.factor`` to bound concurrent
+disk streams (seeks), while a SpongeFile-backed merger merges all runs
+in a single round — there are no seeks to avoid.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Optional
+
+from repro.mapreduce.counters import TaskCounters
+from repro.mapreduce.types import Record, records_nbytes
+from repro.sim.node import SimNode
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.blob import Payload
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SimExecutor, SpongeFile
+from repro.sponge.store import StoreOp
+
+
+class SpillRun(abc.ABC):
+    """One spilled sorted run of records."""
+
+    nbytes: int = 0
+    record_count: int = 0
+
+    @abc.abstractmethod
+    def write(self, records: list[Record]) -> StoreOp:
+        """Append a batch of records (charges IO time)."""
+
+    @abc.abstractmethod
+    def close(self) -> StoreOp: ...
+
+    @abc.abstractmethod
+    def read_all(self) -> StoreOp:
+        """Read the whole run back; returns ``list[Record]``."""
+
+    @abc.abstractmethod
+    def delete(self) -> StoreOp: ...
+
+    # -- streaming interface (k-way concurrent merges) ----------------------
+
+    def reset_read(self) -> None:
+        """Restart the streaming read cursor."""
+        self._stream_offset = 0
+
+    @property
+    def stream_remaining(self) -> int:
+        return self.nbytes - getattr(self, "_stream_offset", 0)
+
+    def stream_io(self, nbytes: int) -> StoreOp:
+        """Charge the IO of reading the next ``nbytes`` (data comes via
+        :meth:`records_nocharge` once the stream is drained).
+
+        The default charges nothing — memory-resident runs are free.
+        """
+        self._stream_offset = getattr(self, "_stream_offset", 0) + nbytes
+        return None
+        yield  # pragma: no cover
+
+    def records_nocharge(self) -> list[Record]:
+        """The run's records without charging IO (pair with stream_io)."""
+        raise NotImplementedError
+
+
+class SpillTarget(abc.ABC):
+    """Factory for spill runs, tied to one task on one node."""
+
+    #: Whether the k-way merge must bound fan-in to avoid disk seeks.
+    seek_bound_merges: bool = True
+
+    @abc.abstractmethod
+    def new_run(self, label: str = "") -> SpillRun: ...
+
+    def chunks_spilled(self) -> int:
+        """SpongeFile chunks allocated so far (0 for disk targets)."""
+        return 0
+
+
+class MaterializedRun(SpillRun):
+    """An in-memory 'run': records that were never spilled.
+
+    Lets the merge machinery treat memory-resident data (e.g. the
+    unspilled part of a Pig bag) uniformly with spilled runs; reading
+    it back costs nothing.
+    """
+
+    def __init__(self, records: list[Record]) -> None:
+        self._records = records
+        self.nbytes = records_nbytes(records)
+        self.record_count = len(records)
+
+    def write(self, records: list[Record]) -> StoreOp:
+        self._records.extend(records)
+        self.nbytes += records_nbytes(records)
+        self.record_count += len(records)
+        return None
+        yield  # pragma: no cover
+
+    def close(self) -> StoreOp:
+        return None
+        yield  # pragma: no cover
+
+    def read_all(self) -> StoreOp:
+        return list(self._records)
+        yield  # pragma: no cover
+
+    def records_nocharge(self) -> list[Record]:
+        return list(self._records)
+
+    def delete(self) -> StoreOp:
+        self._records = []
+        return None
+        yield  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Stock Hadoop: spill to local-disk files through the buffer cache
+# ---------------------------------------------------------------------------
+
+class DiskSpillRun(SpillRun):
+    def __init__(self, node: SimNode, file_id: object,
+                 counters: Optional[TaskCounters]) -> None:
+        self.node = node
+        self.file_id = file_id
+        self.counters = counters
+        self.nbytes = 0
+        self.record_count = 0
+        self._records: list[Record] = []
+
+    def write(self, records: list[Record]) -> StoreOp:
+        nbytes = records_nbytes(records)
+        yield from self.node.cache.write(self.file_id, nbytes)
+        self._records.extend(records)
+        self.nbytes += nbytes
+        self.record_count += len(records)
+        if self.counters is not None:
+            self.counters.spilled_bytes += nbytes
+        return None
+
+    def close(self) -> StoreOp:
+        return None
+        yield  # pragma: no cover
+
+    def read_all(self) -> StoreOp:
+        self.node.cache.seek(self.file_id, 0)
+        yield from self.node.cache.read(self.file_id, self.nbytes)
+        return list(self._records)
+
+    def reset_read(self) -> None:
+        super().reset_read()
+        self.node.cache.seek(self.file_id, 0)
+
+    def stream_io(self, nbytes: int) -> StoreOp:
+        self._stream_offset = getattr(self, "_stream_offset", 0) + nbytes
+        yield from self.node.cache.read(self.file_id, nbytes)
+        return None
+
+    def records_nocharge(self) -> list[Record]:
+        return list(self._records)
+
+    def delete(self) -> StoreOp:
+        self.node.cache.drop(self.file_id)
+        self._records = []
+        return None
+        yield  # pragma: no cover
+
+
+class DiskSpillTarget(SpillTarget):
+    """Spills become local files; merges are seek-bound."""
+
+    seek_bound_merges = True
+    _ids = itertools.count()
+
+    def __init__(self, node: SimNode, task_id: str,
+                 counters: Optional[TaskCounters] = None) -> None:
+        self.node = node
+        self.task_id = task_id
+        self.counters = counters
+
+    def new_run(self, label: str = "") -> DiskSpillRun:
+        file_id = ("spill", self.task_id, label, next(self._ids))
+        return DiskSpillRun(self.node, file_id, self.counters)
+
+
+# ---------------------------------------------------------------------------
+# The paper's modification: spill to SpongeFiles
+# ---------------------------------------------------------------------------
+
+class SpongeSpillRun(SpillRun):
+    def __init__(self, spongefile: SpongeFile,
+                 counters: Optional[TaskCounters]) -> None:
+        self.spongefile = spongefile
+        self.counters = counters
+        self.nbytes = 0
+        self.record_count = 0
+
+    def write(self, records: list[Record]) -> StoreOp:
+        nbytes = records_nbytes(records)
+        payload = Payload(tuple(records), nbytes)
+        yield from self.spongefile.write(payload)
+        self.nbytes += nbytes
+        self.record_count += len(records)
+        if self.counters is not None:
+            self.counters.spilled_bytes += nbytes
+        return None
+
+    def close(self) -> StoreOp:
+        yield from self.spongefile.close()
+        return None
+
+    def read_all(self) -> StoreOp:
+        reader = self.spongefile.open_reader()
+        records: list[Record] = []
+        while True:
+            chunk = yield from reader.next_chunk()
+            if chunk is None:
+                break
+            records.extend(chunk.records)
+        return records
+
+    def delete(self) -> StoreOp:
+        yield from self.spongefile.delete()
+        return None
+
+
+class SpongeSpillTarget(SpillTarget):
+    """Spills become SpongeFiles; merges are single-round."""
+
+    seek_bound_merges = False
+
+    def __init__(
+        self,
+        chain: AllocationChain,
+        owner: TaskId,
+        config: SpongeConfig,
+        executor: SimExecutor,
+        counters: Optional[TaskCounters] = None,
+    ) -> None:
+        self.chain = chain
+        self.owner = owner
+        self.config = config
+        self.executor = executor
+        self.counters = counters
+        self._files: list[SpongeFile] = []
+
+    def new_run(self, label: str = "") -> SpongeSpillRun:
+        spongefile = SpongeFile(
+            self.owner,
+            self.chain,
+            self.config,
+            executor=self.executor,
+            name=f"{self.owner.task}/{label or 'spill'}-{len(self._files)}",
+        )
+        self._files.append(spongefile)
+        return SpongeSpillRun(spongefile, self._counters_hook())
+
+    def _counters_hook(self) -> Optional[TaskCounters]:
+        return self.counters
+
+    def chunks_spilled(self) -> int:
+        return sum(sf.stats.total_chunks for sf in self._files)

@@ -1,0 +1,39 @@
+"""Records: the unit of data flowing through the engine.
+
+A record is a key/value pair with an explicit *logical* size in bytes.
+Experiments run on scaled-down record counts (e.g. one record standing
+for a thousand), so the logical size — not Python's object size — is
+what every disk, network, and memory model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One key/value pair with its logical size in bytes."""
+
+    key: Any
+    value: Any
+    nbytes: int
+
+    def with_key(self, key: Any) -> "Record":
+        return Record(key, self.value, self.nbytes)
+
+
+def records_nbytes(records: Iterable[Record]) -> int:
+    """Total logical size of a record collection."""
+    return sum(record.nbytes for record in records)
+
+
+def sort_records(records: list[Record]) -> list[Record]:
+    """Sort by key (stable, so equal keys keep arrival order)."""
+    return sorted(records, key=lambda record: record.key)
+
+
+def default_partitioner(key: Any, num_partitions: int) -> int:
+    """Hadoop's default: hash of the key modulo the reducer count."""
+    return hash(key) % num_partitions

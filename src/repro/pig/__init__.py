@@ -1,0 +1,33 @@
+"""A Pig-like dataflow layer on top of the MapReduce engine (§2.1.3).
+
+The pieces the paper's evaluation exercises:
+
+* :class:`~repro.pig.databag.DataBag` and
+  :class:`~repro.pig.databag.SortedDataBag` — Pig's primary structure
+  for intermediate data, registered with a memory manager and spilled
+  in large (10 MB) chunks under memory pressure;
+* :class:`~repro.pig.memory_manager.SpillableMemoryManager` — tracks
+  bag sizes against the heap and spills the largest bags first;
+* :mod:`~repro.pig.udf` — holistic UDFs (approximate TopK,
+  SpamQuantiles) of the kind that defeat skew avoidance;
+* :mod:`~repro.pig.plan` / :mod:`~repro.pig.compiler` — a tiny
+  LOAD/FILTER/FOREACH/GROUP/APPLY plan language compiled into one
+  MapReduce job whose reduce driver runs the spill-aware pipeline.
+"""
+
+from repro.pig.databag import DataBag, SortedDataBag
+from repro.pig.memory_manager import SpillableMemoryManager
+from repro.pig.plan import PigPlan
+from repro.pig.compiler import compile_plan
+from repro.pig.udf import PigUdf, SpamQuantiles, TopK
+
+__all__ = [
+    "DataBag",
+    "SortedDataBag",
+    "SpillableMemoryManager",
+    "PigPlan",
+    "compile_plan",
+    "PigUdf",
+    "TopK",
+    "SpamQuantiles",
+]

@@ -1,0 +1,105 @@
+"""Compile a :class:`PigPlan` into one MapReduce job (§2.1).
+
+The map side applies FOREACH/FILTER and emits records keyed by the
+group key.  The reduce side runs a custom reduce driver that feeds each
+group into the UDF's bag — through Pig's spillable memory manager, so
+groups larger than the heap budget spill in 10 MB chunks to whatever
+spill target the job uses (disk files or SpongeFiles) — and then
+applies the UDF.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mapreduce.job import JobConf, SpillMode
+from repro.mapreduce.reducetask import ReduceContext
+from repro.mapreduce.types import Record, records_nbytes
+from repro.pig.databag import BAG_SPILL_CHUNK
+from repro.pig.memory_manager import SpillableMemoryManager
+from repro.pig.plan import FilterOp, ForEachOp, PigPlan
+
+#: Fraction of the task heap Pig's memory manager hands to bags.
+PIG_BAG_MEMORY_FRACTION = 0.70
+
+
+def compile_plan(plan: PigPlan, name: str,
+                 spill_mode: SpillMode = SpillMode.DISK,
+                 **conf_overrides):
+    """Returns ``(JobConf, reduce_driver)`` ready for ``Hadoop.submit``."""
+    plan.validate()
+
+    def map_fn(record: Record):
+        current: Optional[Record] = record
+        for op in plan.map_ops:
+            if isinstance(op, FilterOp):
+                if not op.predicate(current):
+                    return
+            elif isinstance(op, ForEachOp):
+                current = op.fn(current)
+        yield current.with_key(plan.group_key(current))
+
+    def reduce_driver(ctx: ReduceContext, sorted_records: list[Record]):
+        manager = SpillableMemoryManager(
+            int(ctx.conf.heap_size * PIG_BAG_MEMORY_FRACTION)
+        )
+        ctx.extras["memory_manager"] = manager
+        outputs: list[Record] = []
+        for key, group in _iter_groups(sorted_records):
+            bag = plan.udf.make_bag(
+                ctx.env, manager, ctx.spill_target, key,
+                io_sort_factor=ctx.conf.io_sort_factor,
+            )
+            # Feed the bag in batches, letting the memory manager
+            # interleave spills with the appends (Pig alternates
+            # between spilling and reading — the Figure 4 pattern).
+            for batch in _batches(group, BAG_SPILL_CHUNK):
+                yield ctx.env.timeout(
+                    records_nbytes(batch) / ctx.conf.reduce_cpu_bps
+                )
+                yield from bag.add_all(batch)
+            outputs.extend((yield from plan.udf.apply(key, bag, ctx)))
+            yield from bag.delete()
+        return outputs
+
+    conf = JobConf(
+        name=name,
+        input_file=plan.input_file,
+        map_fn=map_fn,
+        reduce_fn=_unused_reduce_fn,
+        spill_mode=spill_mode,
+        **conf_overrides,
+    )
+    return conf, reduce_driver
+
+
+def _unused_reduce_fn(key, values, ctx):  # pragma: no cover - placeholder
+    raise AssertionError("pig jobs run through the reduce driver")
+
+
+def _iter_groups(sorted_records: list[Record]):
+    """Yield ``(key, records)`` per group of a key-sorted record list."""
+    group: list[Record] = []
+    group_key = object()
+    for record in sorted_records:
+        if record.key != group_key and group:
+            yield group_key, group
+            group = []
+        group_key = record.key
+        group.append(record)
+    if group:
+        yield group_key, group
+
+
+def _batches(records: list[Record], batch_bytes: int):
+    batch: list[Record] = []
+    size = 0
+    for record in records:
+        batch.append(record)
+        size += record.nbytes
+        if size >= batch_bytes:
+            yield batch
+            batch = []
+            size = 0
+    if batch:
+        yield batch

@@ -1,0 +1,191 @@
+"""Pig data bags: spillable collections of tuples (§2.1.3).
+
+A bag accumulates tuples in memory; when its memory manager demands it,
+the in-memory portion is written out in chunks of ``C`` (10 MB, Pig's
+default) to the task's spill target — a disk file in stock Pig, a
+SpongeFile in the paper's modified version.  Each spill event produces
+one run; reading the bag back re-reads every run.
+
+:class:`SortedDataBag` additionally sorts each chunk before it spills
+and reads back through a k-way merge — with the stock disk target that
+merge is seek-bound and may need multiple rounds (re-spilling bytes),
+with SpongeFiles it is a single round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import PigError
+from repro.mapreduce.merge import merge_runs
+from repro.mapreduce.spill import MaterializedRun, SpillRun, SpillTarget
+from repro.mapreduce.types import Record, records_nbytes
+from repro.pig.memory_manager import SpillableMemoryManager
+from repro.sim.kernel import Environment
+from repro.util.units import MB
+
+#: Pig's bag spill chunk size, ``C`` in the paper.
+BAG_SPILL_CHUNK = 10 * MB
+
+
+class DataBag:
+    """An unordered spillable collection of records."""
+
+    sorted_spills = False
+
+    def __init__(
+        self,
+        env: Environment,
+        manager: SpillableMemoryManager,
+        spill_target: SpillTarget,
+        name: str = "bag",
+        spill_chunk: int = BAG_SPILL_CHUNK,
+    ) -> None:
+        self.env = env
+        self.manager = manager
+        self.spill_target = spill_target
+        self.name = name
+        self.spill_chunk = int(spill_chunk)
+        self._memory: list[Record] = []
+        self.in_memory_bytes = 0
+        self.spilled_bytes = 0
+        self._runs: list[SpillRun] = []
+        self._deleted = False
+        manager.register(self)
+
+    def __len__(self) -> int:
+        return len(self._memory) + sum(run.record_count for run in self._runs)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.in_memory_bytes + self.spilled_bytes
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, record: Record):
+        """Generator: append one record, possibly triggering spills."""
+        self._check_live()
+        self._memory.append(record)
+        self.in_memory_bytes += record.nbytes
+        yield from self.manager.maybe_spill()
+        return None
+
+    def add_all(self, records: list[Record]):
+        """Generator: append many records, then let the manager react."""
+        self._check_live()
+        self._memory.extend(records)
+        self.in_memory_bytes += records_nbytes(records)
+        yield from self.manager.maybe_spill()
+        return None
+
+    # -- spilling ------------------------------------------------------------
+
+    def spill(self):
+        """Generator: write the in-memory portion out in C-sized chunks.
+
+        Returns the number of bytes freed.  One spill event = one run.
+        """
+        self._check_live()
+        if not self._memory:
+            return 0
+        records = self._prepare_spill(self._memory)
+        freed = self.in_memory_bytes
+        self._memory = []
+        self.in_memory_bytes = 0
+        run = self.spill_target.new_run(label=f"{self.name}-spill")
+        chunk: list[Record] = []
+        chunk_bytes = 0
+        for record in records:
+            chunk.append(record)
+            chunk_bytes += record.nbytes
+            if chunk_bytes >= self.spill_chunk:
+                yield from run.write(chunk)
+                chunk = []
+                chunk_bytes = 0
+        if chunk:
+            yield from run.write(chunk)
+        yield from run.close()
+        self._runs.append(run)
+        self.spilled_bytes += freed
+        return freed
+
+    def _prepare_spill(self, records: list[Record]) -> list[Record]:
+        return records  # unsorted bag: spill in arrival order
+
+    # -- reading ------------------------------------------------------------
+
+    def read_all(self):
+        """Generator: every record (arbitrary order); re-reads spills."""
+        self._check_live()
+        records = list(self._memory)
+        for run in self._runs:
+            records.extend((yield from run.read_all()))
+        return records
+
+    # -- cleanup ------------------------------------------------------------
+
+    def delete(self):
+        """Generator: free every spilled run and drop memory."""
+        if self._deleted:
+            return None
+        for run in self._runs:
+            yield from run.delete()
+        self._runs = []
+        self._memory = []
+        self.in_memory_bytes = 0
+        self._deleted = True
+        self.manager.deregister(self)
+        return None
+
+    def _check_live(self) -> None:
+        if self._deleted:
+            raise PigError(f"bag {self.name} already deleted")
+
+
+class SortedDataBag(DataBag):
+    """A bag whose contents read back in key order.
+
+    Used by holistic UDFs like SpamQuantiles that traverse their group
+    in sorted order.  Spilled chunks are sorted before they hit the
+    spill medium; reading merges all runs (multi-round when the spill
+    medium is seek-bound and the run count exceeds ``io.sort.factor``).
+    """
+
+    sorted_spills = True
+
+    def __init__(self, *args, io_sort_factor: int = 10,
+                 merge_cpu_bps: float = 400 * MB,
+                 sort_key: Optional[Callable[[Record], Any]] = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.io_sort_factor = io_sort_factor
+        self.merge_cpu_bps = merge_cpu_bps
+        self.sort_key = sort_key or (lambda record: record.key)
+
+    def _prepare_spill(self, records: list[Record]) -> list[Record]:
+        return sorted(records, key=self.sort_key)
+
+    def read_sorted(self, counters: Optional[Any] = None):
+        """Generator: all records in sort-key order, via a k-way merge."""
+        self._check_live()
+        if not self._runs:
+            yield self.env.timeout(self.in_memory_bytes / self.merge_cpu_bps)
+            return sorted(self._memory, key=self.sort_key)
+        runs: list[SpillRun] = list(self._runs)
+        if self._memory:
+            runs.append(MaterializedRun(self._prepare_spill(self._memory)))
+        merged = yield from merge_runs(
+            self.env,
+            runs,
+            self.spill_target,
+            self.io_sort_factor,
+            self.merge_cpu_bps,
+            counters=counters,
+            delete_inputs=False,
+            sort_key=self.sort_key,
+        )
+        return merged
+
+    def read_all(self):
+        records = yield from self.read_sorted()
+        return records

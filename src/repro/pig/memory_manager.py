@@ -1,0 +1,80 @@
+"""Pig's spillable memory manager (§2.1.3).
+
+Bags register here.  The manager tracks the estimated in-memory size of
+every live bag against a budget (a fraction of the task's heap — the
+JVM low-memory upcall in real Pig).  When the budget is exceeded it
+spills the largest bags, biggest first, until usage is back under a
+low-water mark — spilling large objects first frees the most memory
+per spill, which is also why single spills are large (tens to hundreds
+of MB) and why SpongeFiles use multi-MB chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import PigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pig.databag import DataBag
+
+
+@dataclass
+class MemoryManagerStats:
+    spill_upcalls: int = 0
+    bags_spilled: int = 0
+    bytes_spilled: int = 0
+
+
+class SpillableMemoryManager:
+    """Tracks registered bags and forces spills under pressure."""
+
+    def __init__(self, budget_bytes: int, low_water_fraction: float = 0.5):
+        if budget_bytes <= 0:
+            raise PigError(f"memory budget must be positive: {budget_bytes}")
+        if not 0 < low_water_fraction <= 1:
+            raise PigError("low_water_fraction must be in (0, 1]")
+        self.budget_bytes = int(budget_bytes)
+        self.low_water_bytes = int(budget_bytes * low_water_fraction)
+        self.stats = MemoryManagerStats()
+        self._bags: list["DataBag"] = []
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, bag: "DataBag") -> None:
+        self._bags.append(bag)
+
+    def deregister(self, bag: "DataBag") -> None:
+        try:
+            self._bags.remove(bag)
+        except ValueError:
+            pass
+
+    @property
+    def usage_bytes(self) -> int:
+        return sum(bag.in_memory_bytes for bag in self._bags)
+
+    # -- the upcall path ----------------------------------------------------------
+
+    def maybe_spill(self):
+        """Generator: spill largest-first until under the low-water mark.
+
+        Called after every bag append (standing in for the JVM's
+        low-memory notification).
+        """
+        if self.usage_bytes <= self.budget_bytes:
+            return 0
+        self.stats.spill_upcalls += 1
+        freed = 0
+        while self.usage_bytes > self.low_water_bytes:
+            victim = max(
+                self._bags, key=lambda bag: bag.in_memory_bytes, default=None
+            )
+            if victim is None or victim.in_memory_bytes == 0:
+                break
+            spilled = yield from victim.spill()
+            self.stats.bags_spilled += 1
+            self.stats.bytes_spilled += spilled
+            freed += spilled
+        return freed

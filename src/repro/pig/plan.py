@@ -1,0 +1,83 @@
+"""A tiny Pig-Latin-like logical plan.
+
+Covers exactly what the paper's two queries need::
+
+    PigPlan.load("crawl")
+        .foreach(project_language_and_anchortext)
+        .group_by(lambda r: r.value.language)
+        .apply(TopK(k=10))
+
+Map-side operators (``foreach``/``filter``) run before the group; the
+holistic UDF runs over each group's bag on the reduce side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import PigError
+from repro.mapreduce.types import Record
+from repro.pig.udf import PigUdf
+
+RecordFn = Callable[[Record], Record]
+Predicate = Callable[[Record], bool]
+KeyFn = Callable[[Record], Any]
+
+
+@dataclass
+class ForEachOp:
+    fn: RecordFn
+    label: str = "foreach"
+
+
+@dataclass
+class FilterOp:
+    predicate: Predicate
+    label: str = "filter"
+
+
+@dataclass
+class PigPlan:
+    """LOAD -> (FOREACH | FILTER)* -> GROUP BY -> APPLY <udf>."""
+
+    input_file: str
+    map_ops: list = field(default_factory=list)
+    group_key: Optional[KeyFn] = None
+    udf: Optional[PigUdf] = None
+
+    @classmethod
+    def load(cls, input_file: str) -> "PigPlan":
+        return cls(input_file=input_file)
+
+    def foreach(self, fn: RecordFn, label: str = "foreach") -> "PigPlan":
+        self._pre_group("FOREACH")
+        self.map_ops.append(ForEachOp(fn, label))
+        return self
+
+    def filter(self, predicate: Predicate, label: str = "filter") -> "PigPlan":
+        self._pre_group("FILTER")
+        self.map_ops.append(FilterOp(predicate, label))
+        return self
+
+    def group_by(self, key_fn: KeyFn) -> "PigPlan":
+        if self.group_key is not None:
+            raise PigError("plan already has a GROUP BY")
+        self.group_key = key_fn
+        return self
+
+    def apply(self, udf: PigUdf) -> "PigPlan":
+        if self.group_key is None:
+            raise PigError("APPLY requires a preceding GROUP BY")
+        if self.udf is not None:
+            raise PigError("plan already has an APPLY")
+        self.udf = udf
+        return self
+
+    def validate(self) -> None:
+        if self.group_key is None or self.udf is None:
+            raise PigError("plan must end with GROUP BY ... APPLY <udf>")
+
+    def _pre_group(self, op: str) -> None:
+        if self.group_key is not None:
+            raise PigError(f"{op} must come before GROUP BY in this subset")

@@ -1,0 +1,139 @@
+"""Holistic user-defined functions (§4.2.1).
+
+These are the kinds of UDFs that make skew avoidance fundamentally
+insufficient: they must see *all* values of a group on one node.
+
+* :class:`TopK` — the Frequent Anchortext UDF: a one-pass approximate
+  top-k (space-saving algorithm) over a group's terms.
+* :class:`SpamQuantiles` — places a group's tuples in an *ordered* bag
+  and traverses it in sorted order to read off quantiles; written, as
+  the paper says, "hastily", without projecting the tuples down to the
+  one needed column first.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from typing import Any, Callable, Sequence
+
+from repro.mapreduce.types import Record, records_nbytes
+from repro.pig.databag import DataBag, SortedDataBag
+
+
+class PigUdf(abc.ABC):
+    """A holistic aggregate applied to one group's bag."""
+
+    name = "udf"
+
+    def make_bag(self, env, manager, spill_target, group_key,
+                 io_sort_factor: int = 10) -> DataBag:
+        """The bag type this UDF accumulates its group into."""
+        return DataBag(env, manager, spill_target, name=f"{self.name}-bag")
+
+    @abc.abstractmethod
+    def apply(self, key: Any, bag: DataBag, ctx):
+        """Generator: consume the bag, return output ``list[Record]``."""
+
+
+class TopK(PigUdf):
+    """Approximate k most frequent terms per group, in one pass.
+
+    Uses the space-saving algorithm with a bounded counter table: when
+    the table is full, the minimum-count entry is evicted and the new
+    term inherits its count (+1) — the classical over-estimate bound.
+    """
+
+    name = "topk"
+
+    def __init__(self, k: int = 10, capacity: int = 4096,
+                 term_of: Callable[[Record], Any] = None) -> None:
+        self.k = int(k)
+        self.capacity = max(int(capacity), self.k)
+        self.term_of = term_of or (lambda record: record.value)
+
+    def apply(self, key: Any, bag: DataBag, ctx):
+        records = yield from bag.read_all()
+        yield ctx.env.timeout(records_nbytes(records) / ctx.conf.reduce_cpu_bps)
+        top = self.top_terms(records)
+        return [
+            Record(key=key, value=tuple(top), nbytes=16 * len(top))
+        ]
+
+    def top_terms(self, records: Sequence[Record]) -> list[tuple[Any, int]]:
+        """The pure space-saving pass (exposed for unit tests)."""
+        counts: dict[Any, int] = {}
+        heap: list[tuple[int, Any]] = []  # (count, term), lazily stale
+
+        for record in records:
+            extracted = self.term_of(record)
+            if isinstance(extracted, (list, tuple)):
+                terms = extracted
+            else:
+                terms = (extracted,)
+            for term in terms:
+                self._count_term(term, counts, heap)
+
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+        return ranked[: self.k]
+
+    def _count_term(self, term, counts, heap) -> None:
+        if term in counts:
+            counts[term] += 1
+            heapq.heappush(heap, (counts[term], term))
+        elif len(counts) < self.capacity:
+            counts[term] = 1
+            heapq.heappush(heap, (1, term))
+        else:
+            # Evict the current minimum (skipping stale heap entries).
+            while True:
+                count, victim = heapq.heappop(heap)
+                if counts.get(victim) == count:
+                    break
+            del counts[victim]
+            counts[term] = count + 1
+            heapq.heappush(heap, (count + 1, term))
+
+
+class SpamQuantiles(PigUdf):
+    """Quantiles of a group's spam-score column via an ordered bag.
+
+    The bag is keyed by spam score, so reading it back sorted gives the
+    score distribution; quantiles are read off by position.  The lack
+    of projection (tuples keep all their fields) is deliberate — it is
+    the naive-plan pathology the paper calls out.
+    """
+
+    name = "spam-quantiles"
+
+    def __init__(self, probs: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+                 score_of: Callable[[Record], float] = None) -> None:
+        self.probs = tuple(probs)
+        self.score_of = score_of or (lambda record: record.key)
+
+    def make_bag(self, env, manager, spill_target, group_key,
+                 io_sort_factor: int = 10) -> SortedDataBag:
+        return SortedDataBag(
+            env, manager, spill_target,
+            name=f"{self.name}-bag",
+            io_sort_factor=io_sort_factor,
+            sort_key=self.score_of,
+        )
+
+    def apply(self, key: Any, bag: SortedDataBag, ctx):
+        records = yield from bag.read_sorted(counters=ctx.counters)
+        yield ctx.env.timeout(records_nbytes(records) / ctx.conf.reduce_cpu_bps)
+        quantiles = self.quantiles_of(records)
+        return [
+            Record(key=key, value=tuple(quantiles), nbytes=8 * len(quantiles))
+        ]
+
+    def quantiles_of(self, sorted_records: Sequence[Record]) -> list[float]:
+        """Read quantiles off a sorted traversal (exposed for tests)."""
+        if not sorted_records:
+            return [float("nan")] * len(self.probs)
+        last = len(sorted_records) - 1
+        return [
+            float(self.score_of(sorted_records[int(round(p * last))]))
+            for p in self.probs
+        ]

@@ -1,0 +1,36 @@
+"""The real multi-process SpongeFiles runtime.
+
+A faithful single-host prototype of §3.2's deployment:
+
+* :mod:`~repro.runtime.shm_pool` — the per-machine sponge memory as
+  multiple *memory-mapped file* segments (the paper's workaround for
+  the JVM's 2 GB mmap limit) with a locked metadata region, shared by
+  every process on the host;
+* :mod:`~repro.runtime.sponge_server` — a TCP sponge server process
+  per "node": remote allocations, reads, frees, liveness checks, and a
+  periodic garbage collector for chunks of dead processes;
+* :mod:`~repro.runtime.tracker_server` — the memory tracking server:
+  polls every sponge server for free space, serves stale free lists;
+* :mod:`~repro.runtime.client` — chunk stores speaking the wire
+  protocol, pluggable into the standard
+  :class:`~repro.sponge.allocator.AllocationChain`;
+* :mod:`~repro.runtime.local_cluster` — a context manager that spins
+  the whole thing up on localhost for examples and integration tests.
+
+Performance of this prototype is *not* representative (Python, one
+machine); it exists to prove the protocol and allocator logic on real
+processes, real sockets, and real shared memory.
+"""
+
+from repro.runtime.shm_pool import MmapSpongePool
+from repro.runtime.client import RemoteServerStore, TrackerClient, build_chain
+from repro.runtime.local_cluster import LocalSpongeCluster, runtime_task_id
+
+__all__ = [
+    "MmapSpongePool",
+    "RemoteServerStore",
+    "TrackerClient",
+    "build_chain",
+    "LocalSpongeCluster",
+    "runtime_task_id",
+]

@@ -1,0 +1,176 @@
+"""Client-side stores and chain assembly for the real runtime.
+
+* :class:`LocalMmapStore` — attach the machine-local pool directly
+  (the cheap path: one memcpy, pool lock only on allocate/free);
+* :class:`RemoteServerStore` — a peer's sponge server over TCP;
+* :class:`TrackerClient` — the memory tracker's stale free list,
+  adapted to the :class:`~repro.sponge.tracker.MemoryTracker` interface
+  the :class:`~repro.sponge.allocator.AllocationChain` expects;
+* :func:`build_chain` — wire it all into a standard allocation chain,
+  so the *same* SpongeFile core runs on real processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ChunkLostError, SpongeError
+from repro.backends.file_backends import FileDiskStore
+from repro.runtime import protocol
+from repro.runtime.shm_pool import MmapSpongePool
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.store import SyncChunkStore
+from repro.sponge.tracker import ServerInfo
+
+Address = tuple[str, int]
+
+
+class LocalMmapStore(SyncChunkStore):
+    """Direct shared-memory access to this machine's pool."""
+
+    location = ChunkLocation.LOCAL_MEMORY
+
+    def __init__(self, pool: MmapSpongePool, store_id: str = "local-mmap"):
+        self.pool = pool
+        self.store_id = store_id
+
+    def free_bytes(self) -> int:
+        return self.pool.free_bytes
+
+    def _write(self, owner: TaskId, data) -> ChunkHandle:
+        raw = bytes(data)
+        index = self.pool.allocate(owner)  # raises OutOfSpongeMemory
+        self.pool.write(index, owner, raw)
+        return ChunkHandle(self.location, self.store_id, (owner, index), len(raw))
+
+    def _read(self, handle: ChunkHandle):
+        owner, index = handle.ref
+        try:
+            return self.pool.read(index, owner)
+        except SpongeError as exc:
+            raise ChunkLostError(str(exc)) from exc
+
+    def _free(self, handle: ChunkHandle) -> None:
+        owner, index = handle.ref
+        self.pool.free(index, owner)
+
+
+class RemoteServerStore(SyncChunkStore):
+    """A remote sponge server over the wire protocol."""
+
+    location = ChunkLocation.REMOTE_MEMORY
+
+    def __init__(self, server_id: str, address: Address,
+                 timeout: float = 5.0) -> None:
+        self.store_id = server_id
+        self.address = tuple(address)
+        self.timeout = timeout
+
+    def free_bytes(self) -> Optional[int]:
+        reply, _ = protocol.request(
+            self.address, {"op": "free_bytes"}, timeout=self.timeout
+        )
+        protocol.check_reply(reply)
+        return int(reply["free_bytes"])
+
+    def _write(self, owner: TaskId, data) -> ChunkHandle:
+        raw = bytes(data)
+        reply, _ = protocol.request(
+            self.address,
+            {"op": "alloc_write", **protocol.encode_owner(owner.host, owner.task)},
+            payload=raw,
+            timeout=self.timeout,
+        )
+        protocol.check_reply(reply)
+        return ChunkHandle(
+            self.location, self.store_id, (owner, int(reply["index"])), len(raw)
+        )
+
+    def _read(self, handle: ChunkHandle):
+        owner, index = handle.ref
+        reply, payload = protocol.request(
+            self.address,
+            {"op": "read", "index": index,
+             **protocol.encode_owner(owner.host, owner.task)},
+            timeout=self.timeout,
+        )
+        protocol.check_reply(reply)
+        return payload
+
+    def _free(self, handle: ChunkHandle) -> None:
+        owner, index = handle.ref
+        reply, _ = protocol.request(
+            self.address,
+            {"op": "free", "index": index,
+             **protocol.encode_owner(owner.host, owner.task)},
+            timeout=self.timeout,
+        )
+        protocol.check_reply(reply)
+
+
+class TrackerClient:
+    """Speaks to the tracker process; quacks like ``MemoryTracker``."""
+
+    def __init__(self, address: Address, timeout: float = 5.0) -> None:
+        self.address = tuple(address)
+        self.timeout = timeout
+        self.addresses: dict[str, Address] = {}
+
+    def free_list(self, rack=None, exclude_hosts=(), prefer=None):
+        reply, _ = protocol.request(
+            self.address, {"op": "free_list"}, timeout=self.timeout
+        )
+        protocol.check_reply(reply)
+        excluded = set(exclude_hosts)
+        infos = []
+        for entry in reply["servers"]:
+            if entry["free_bytes"] <= 0 or entry["host"] in excluded:
+                continue
+            if rack is not None and entry["rack"] != rack:
+                continue
+            self.addresses[entry["server_id"]] = tuple(entry["address"])
+            infos.append(
+                ServerInfo(
+                    server_id=entry["server_id"],
+                    host=entry["host"],
+                    rack=entry["rack"],
+                    free_bytes=entry["free_bytes"],
+                )
+            )
+        key = prefer if prefer is not None else (lambda info: info.free_bytes)
+        infos.sort(key=key, reverse=True)
+        return infos
+
+
+def build_chain(
+    host: str,
+    tracker_address: Address,
+    spill_dir: str | Path,
+    local_pool_dir: Optional[str | Path] = None,
+    rack: str = "rack0",
+    config: SpongeConfig = SpongeConfig(),
+) -> AllocationChain:
+    """An allocation chain over the real runtime for a task on ``host``."""
+    local = None
+    if local_pool_dir is not None:
+        local = LocalMmapStore(MmapSpongePool(local_pool_dir))
+    tracker = TrackerClient(tracker_address)
+
+    def remote_factory(info: ServerInfo) -> RemoteServerStore:
+        address = tracker.addresses.get(info.server_id)
+        if address is None:
+            raise SpongeError(f"no address known for {info.server_id}")
+        return RemoteServerStore(info.server_id, address)
+
+    return AllocationChain(
+        local_store=local,
+        tracker=tracker,
+        remote_store_factory=remote_factory,
+        disk_store=FileDiskStore(spill_dir),
+        host=host,
+        rack=rack,
+        config=config,
+    )

@@ -1,0 +1,206 @@
+"""Spin up a real sponge "cluster" on localhost.
+
+Every logical node gets a sponge server child process with its own
+mmap pool; one tracker process polls them all.  Tasks (the calling
+process, or further child processes) build allocation chains against
+the cluster and spill real bytes through real sockets and real shared
+memory — the runtime counterpart of the simulator's
+``SimSpongeDeployment``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ServerUnavailableError
+from repro.runtime import protocol
+from repro.runtime.client import TrackerClient, build_chain
+from repro.runtime.sponge_server import ServerConfig
+from repro.runtime.sponge_server import serve as serve_sponge
+from repro.runtime.tracker_server import TrackerConfig
+from repro.runtime.tracker_server import serve as serve_tracker
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.util.units import MB
+
+
+def runtime_task_id(host: str, label: str = "task",
+                    pid: Optional[int] = None) -> TaskId:
+    """A task id whose liveness a sponge server can actually probe."""
+    return TaskId(host=host, task=f"pid:{pid or os.getpid()}:{label}")
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class LocalSpongeCluster:
+    """Context manager owning the server and tracker processes."""
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        pool_size: int = 8 * MB,
+        chunk_size: int = 256 * 1024,
+        poll_interval: float = 0.2,
+        gc_interval: float = 0.5,
+        quota_per_node: Optional[int] = None,
+        workdir: Optional[str] = None,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.pool_size = pool_size
+        self.chunk_size = chunk_size
+        self.poll_interval = poll_interval
+        self.gc_interval = gc_interval
+        self.quota_per_node = quota_per_node
+        self._workdir_arg = workdir
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        self._processes: list[multiprocessing.Process] = []
+        self.server_configs: list[ServerConfig] = []
+        self.tracker_address: tuple[str, int] = ("127.0.0.1", 0)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "LocalSpongeCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._workdir_arg is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="sponge-cluster-")
+            workdir = Path(self._tmp.name)
+        else:
+            workdir = Path(self._workdir_arg)
+            workdir.mkdir(parents=True, exist_ok=True)
+        self.workdir = workdir
+
+        ports = [_free_port() for _ in range(self.num_nodes)]
+        peers = {
+            f"node{i}": ("127.0.0.1", ports[i]) for i in range(self.num_nodes)
+        }
+        for i in range(self.num_nodes):
+            config = ServerConfig(
+                server_id=f"sponge@node{i}",
+                host=f"node{i}",
+                rack="rack0",
+                port=ports[i],
+                pool_dir=str(workdir / f"pool-node{i}"),
+                pool_size=self.pool_size,
+                chunk_size=self.chunk_size,
+                gc_interval=self.gc_interval,
+                quota_per_node=self.quota_per_node,
+                peers={h: a for h, a in peers.items() if h != f"node{i}"},
+            )
+            self.server_configs.append(config)
+            process = multiprocessing.Process(
+                target=serve_sponge, args=(config,), daemon=True,
+                name=config.server_id,
+            )
+            process.start()
+            self._processes.append(process)
+
+        tracker_port = _free_port()
+        self.tracker_address = ("127.0.0.1", tracker_port)
+        tracker_config = TrackerConfig(
+            port=tracker_port,
+            poll_interval=self.poll_interval,
+            servers={
+                config.server_id: {
+                    "address": ["127.0.0.1", config.port],
+                    "host": config.host,
+                    "rack": config.rack,
+                }
+                for config in self.server_configs
+            },
+        )
+        tracker = multiprocessing.Process(
+            target=serve_tracker, args=(tracker_config,), daemon=True,
+            name="memory-tracker",
+        )
+        tracker.start()
+        self._processes.append(tracker)
+        self._await_ready()
+
+    def stop(self) -> None:
+        for process in self._processes:
+            process.terminate()
+        for process in self._processes:
+            process.join(timeout=5)
+        self._processes = []
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def _await_ready(self, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        pending = {c.server_id: ("127.0.0.1", c.port)
+                   for c in self.server_configs}
+        pending["tracker"] = self.tracker_address
+        while pending and time.monotonic() < deadline:
+            for name, address in list(pending.items()):
+                try:
+                    reply, _ = protocol.request(
+                        address, {"op": "ping"}, timeout=0.5
+                    )
+                    if reply.get("ok"):
+                        del pending[name]
+                except Exception:  # noqa: BLE001 - still starting
+                    pass
+            if pending:
+                time.sleep(0.05)
+        if pending:
+            self.stop()
+            raise ServerUnavailableError(
+                f"servers never became ready: {sorted(pending)}"
+            )
+        # Wait for the tracker's first poll to include every server.
+        client = TrackerClient(self.tracker_address)
+        while time.monotonic() < deadline:
+            if len(client.free_list()) >= self.num_nodes:
+                return
+            time.sleep(0.05)
+        self.stop()
+        raise ServerUnavailableError("tracker never saw all sponge servers")
+
+    # -- client-side helpers -------------------------------------------------
+
+    def chain(self, node_index: int = 0,
+              config: Optional[SpongeConfig] = None,
+              attach_local_pool: bool = True):
+        """An allocation chain for a task running on ``node<index>``."""
+        server = self.server_configs[node_index]
+        return build_chain(
+            host=server.host,
+            tracker_address=self.tracker_address,
+            spill_dir=self.workdir / f"spill-{server.host}",
+            local_pool_dir=server.pool_dir if attach_local_pool else None,
+            rack=server.rack,
+            config=config or SpongeConfig(chunk_size=self.chunk_size),
+        )
+
+    def task_id(self, node_index: int = 0, label: str = "task",
+                pid: Optional[int] = None) -> TaskId:
+        return runtime_task_id(self.server_configs[node_index].host,
+                               label, pid)
+
+    def server_address(self, node_index: int) -> tuple[str, int]:
+        return ("127.0.0.1", self.server_configs[node_index].port)
+
+    def request_gc(self, node_index: int) -> int:
+        reply, _ = protocol.request(
+            self.server_address(node_index),
+            {"op": "gc", "owner_host": "", "owner_task": ""},
+        )
+        protocol.check_reply(reply)
+        return int(reply["freed"])

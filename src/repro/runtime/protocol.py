@@ -1,0 +1,97 @@
+"""Wire protocol: length-prefixed JSON header + raw binary payload.
+
+Every message is::
+
+    4 bytes big-endian header length
+    <header: UTF-8 JSON object; "payload_len" gives the payload size>
+    <payload: raw bytes>
+
+Chunk payloads ride as raw bytes (never JSON-encoded), so a 1 MB chunk
+costs one memcpy, not a base64 round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+from repro.errors import ProtocolError
+
+_LENGTH = struct.Struct(">I")
+MAX_HEADER = 1 << 20  # sanity bound
+
+
+def send_message(sock: socket.socket, header: dict, payload: bytes = b"") -> None:
+    header = dict(header)
+    header["payload_len"] = len(payload)
+    raw = json.dumps(header).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(raw)) + raw + payload)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict, bytes]:
+    header_len = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))[0]
+    if header_len > MAX_HEADER:
+        raise ProtocolError(f"header too large: {header_len}")
+    try:
+        header = json.loads(_recv_exact(sock, header_len))
+    except ValueError as exc:
+        raise ProtocolError(f"malformed header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("header is not a JSON object")
+    payload = _recv_exact(sock, int(header.get("payload_len", 0)))
+    return header, payload
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    parts = []
+    remaining = nbytes
+    while remaining > 0:
+        piece = sock.recv(min(remaining, 1 << 16))
+        if not piece:
+            raise ProtocolError("connection closed mid-message")
+        parts.append(piece)
+        remaining -= len(piece)
+    return b"".join(parts)
+
+
+def request(
+    address: tuple[str, int],
+    header: dict,
+    payload: bytes = b"",
+    timeout: Optional[float] = 5.0,
+) -> tuple[dict, bytes]:
+    """One request/response exchange on a fresh connection."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        send_message(sock, header, payload)
+        return recv_message(sock)
+
+
+def error_reply(message: str, code: str = "error") -> dict:
+    return {"ok": False, "code": code, "error": message}
+
+
+def check_reply(header: dict) -> dict:
+    """Raise the error a reply carries, mapped back to our exceptions."""
+    if header.get("ok", False):
+        return header
+    code = header.get("code", "error")
+    message = header.get("error", "server error")
+    from repro.errors import (
+        ChunkLostError,
+        OutOfSpongeMemory,
+        QuotaExceededError,
+        RuntimeBackendError,
+    )
+
+    exc_type: type[Exception] = {
+        "out-of-memory": OutOfSpongeMemory,
+        "quota": QuotaExceededError,
+        "chunk-lost": ChunkLostError,
+    }.get(code, RuntimeBackendError)
+    raise exc_type(message)
+
+
+def encode_owner(host: str, task: str) -> dict[str, Any]:
+    return {"owner_host": host, "owner_task": task}

@@ -1,0 +1,259 @@
+"""The sponge pool as memory-mapped file segments (§3.2).
+
+Layout on disk (all under one pool directory, typically in ``/dev/shm``
+so the files really are RAM):
+
+* ``meta.dat`` — a header (magic, chunk size, chunk count, segment
+  size) followed by one fixed-width entry per chunk::
+
+      1 byte   state (0 free / 1 allocated)
+      4 bytes  payload length (big-endian)
+      75 bytes owner, UTF-8 "task@host", NUL-padded
+
+* ``segment-N.dat`` — the chunk payload segments.  The paper splits
+  the pool into multiple mmap'd segments to dodge Java's 2 GB mmap
+  cap; we keep the same structure.
+* ``pool.lock`` — the pool lock (``flock``), the cross-process
+  equivalent of the paper's shared-memory spin lock, taken only for
+  metadata operations (allocate/free/GC) — never on the data path.
+
+Any process on the machine may attach the pool and allocate directly —
+the "local shared memory" row of Table 1 — while the sponge server
+process uses the same pool to serve remote peers.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import mmap
+import struct
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.errors import ConfigError, OutOfSpongeMemory, SpongeError
+from repro.sponge.chunk import TaskId
+from repro.util.units import MB
+
+_MAGIC = b"SPNG"
+_HEADER = struct.Struct(">4sIIQ")  # magic, chunk_size, num_chunks, segment_size
+_ENTRY = struct.Struct(">BI75s")  # state, payload_len, owner
+_FREE, _USED = 0, 1
+
+
+class MmapSpongePool:
+    """One machine's sponge memory, shareable across processes."""
+
+    def __init__(self, directory: str | Path, create: bool = False,
+                 pool_size: int = 64 * MB, chunk_size: int = 1 * MB,
+                 segment_size: Optional[int] = None) -> None:
+        self.directory = Path(directory)
+        if create:
+            self._create(pool_size, chunk_size, segment_size)
+        self._attach()
+
+    # -- setup ------------------------------------------------------------
+
+    def _create(self, pool_size: int, chunk_size: int,
+                segment_size: Optional[int]) -> None:
+        if chunk_size <= 0 or pool_size < chunk_size:
+            raise ConfigError("pool must hold at least one chunk")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        num_chunks = pool_size // chunk_size
+        if segment_size is None:
+            segment_size = min(pool_size, 16 * MB)
+        chunks_per_segment = max(1, segment_size // chunk_size)
+        num_segments = -(-num_chunks // chunks_per_segment)
+        meta_size = _HEADER.size + num_chunks * _ENTRY.size
+        with open(self.directory / "meta.dat", "wb") as meta:
+            meta.write(
+                _HEADER.pack(_MAGIC, chunk_size, num_chunks,
+                             chunks_per_segment * chunk_size)
+            )
+            meta.write(b"\0" * (meta_size - _HEADER.size))
+        for index in range(num_segments):
+            with open(self.directory / f"segment-{index}.dat", "wb") as seg:
+                seg.truncate(chunks_per_segment * chunk_size)
+        (self.directory / "pool.lock").touch()
+
+    def _attach(self) -> None:
+        meta_path = self.directory / "meta.dat"
+        if not meta_path.exists():
+            raise ConfigError(f"no sponge pool at {self.directory}")
+        self._meta_file = open(meta_path, "r+b")
+        self._meta = mmap.mmap(self._meta_file.fileno(), 0)
+        magic, chunk_size, num_chunks, segment_size = _HEADER.unpack_from(
+            self._meta, 0
+        )
+        if magic != _MAGIC:
+            raise ConfigError(f"{meta_path} is not a sponge pool")
+        self.chunk_size = int(chunk_size)
+        self.num_chunks = int(num_chunks)
+        self.chunks_per_segment = max(1, int(segment_size) // self.chunk_size)
+        num_segments = -(-self.num_chunks // self.chunks_per_segment)
+        self._segment_files = []
+        self._segments = []
+        for index in range(num_segments):
+            seg_file = open(self.directory / f"segment-{index}.dat", "r+b")
+            self._segment_files.append(seg_file)
+            self._segments.append(mmap.mmap(seg_file.fileno(), 0))
+        self._lock_file = open(self.directory / "pool.lock", "r+b")
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.close()
+        for seg_file in self._segment_files:
+            seg_file.close()
+        self._meta.close()
+        self._meta_file.close()
+        self._lock_file.close()
+
+    def __enter__(self) -> "MmapSpongePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the pool lock ------------------------------------------------------------
+
+    class _Locked:
+        def __init__(self, lock_file) -> None:
+            self._lock_file = lock_file
+
+        def __enter__(self):
+            fcntl.flock(self._lock_file, fcntl.LOCK_EX)
+
+        def __exit__(self, *exc):
+            fcntl.flock(self._lock_file, fcntl.LOCK_UN)
+
+    def locked(self) -> "_Locked":
+        return self._Locked(self._lock_file)
+
+    # -- metadata entries ------------------------------------------------------------
+
+    def _entry_offset(self, index: int) -> int:
+        if not 0 <= index < self.num_chunks:
+            raise SpongeError(f"chunk index out of range: {index}")
+        return _HEADER.size + index * _ENTRY.size
+
+    def _read_entry(self, index: int) -> tuple[int, int, Optional[TaskId]]:
+        state, length, owner_raw = _ENTRY.unpack_from(
+            self._meta, self._entry_offset(index)
+        )
+        owner = None
+        if state == _USED:
+            text = owner_raw.rstrip(b"\0").decode("utf-8")
+            task, _, host = text.partition("@")
+            owner = TaskId(host=host, task=task)
+        return state, length, owner
+
+    def _write_entry(self, index: int, state: int, length: int,
+                     owner: Optional[TaskId]) -> None:
+        owner_raw = b""
+        if owner is not None:
+            owner_raw = f"{owner.task}@{owner.host}".encode("utf-8")
+            if len(owner_raw) > 75:
+                raise SpongeError(f"owner id too long: {owner}")
+        _ENTRY.pack_into(
+            self._meta, self._entry_offset(index), state, length,
+            owner_raw.ljust(75, b"\0"),
+        )
+
+    # -- chunk operations ----------------------------------------------------------
+
+    def allocate(self, owner: TaskId) -> int:
+        """Take a free chunk (pool lock held only for the scan)."""
+        with self.locked():
+            for index in range(self.num_chunks):
+                state, _length, _owner = self._read_entry(index)
+                if state == _FREE:
+                    self._write_entry(index, _USED, 0, owner)
+                    return index
+        raise OutOfSpongeMemory(f"pool {self.directory} is full")
+
+    def write(self, index: int, owner: TaskId, data: bytes) -> None:
+        """Fill an allocated chunk (no pool lock: entry is ours)."""
+        if len(data) > self.chunk_size:
+            raise SpongeError(
+                f"payload of {len(data)} bytes exceeds chunk size"
+            )
+        state, _length, actual = self._read_entry(index)
+        if state != _USED or actual != owner:
+            raise SpongeError(f"chunk {index} not owned by {owner}")
+        segment, offset = self._locate(index)
+        segment[offset : offset + len(data)] = data
+        self._write_entry(index, _USED, len(data), owner)
+
+    def read(self, index: int, owner: Optional[TaskId] = None) -> bytes:
+        state, length, actual = self._read_entry(index)
+        if state != _USED:
+            raise SpongeError(f"chunk {index} is free")
+        if owner is not None and actual != owner:
+            raise SpongeError(f"chunk {index} owned by {actual}, not {owner}")
+        segment, offset = self._locate(index)
+        return bytes(segment[offset : offset + length])
+
+    def free(self, index: int, owner: Optional[TaskId] = None) -> None:
+        with self.locked():
+            state, _length, actual = self._read_entry(index)
+            if state != _USED:
+                raise SpongeError(f"double free of chunk {index}")
+            if owner is not None and actual != owner:
+                raise SpongeError(
+                    f"chunk {index} owned by {actual}, not {owner}"
+                )
+            self._write_entry(index, _FREE, 0, None)
+
+    def _locate(self, index: int) -> tuple[mmap.mmap, int]:
+        segment = self._segments[index // self.chunks_per_segment]
+        offset = (index % self.chunks_per_segment) * self.chunk_size
+        return segment, offset
+
+    # -- introspection / GC --------------------------------------------------------
+
+    @property
+    def free_chunks(self) -> int:
+        return sum(
+            1 for i in range(self.num_chunks)
+            if self._read_entry(i)[0] == _FREE
+        )
+
+    @property
+    def free_bytes(self) -> int:
+        return self.free_chunks * self.chunk_size
+
+    def owners(self) -> set[TaskId]:
+        found = set()
+        for index in range(self.num_chunks):
+            state, _length, owner = self._read_entry(index)
+            if state == _USED and owner is not None:
+                found.add(owner)
+        return found
+
+    def collect(self, is_alive: Callable[[TaskId], bool]) -> int:
+        """Free chunks of dead owners; returns chunks freed."""
+        freed = 0
+        verdicts: dict[TaskId, bool] = {}
+        with self.locked():
+            for index in range(self.num_chunks):
+                state, _length, owner = self._read_entry(index)
+                if state != _USED or owner is None:
+                    continue
+                alive = verdicts.get(owner)
+                if alive is None:
+                    alive = bool(is_alive(owner))
+                    verdicts[owner] = alive
+                if not alive:
+                    self._write_entry(index, _FREE, 0, None)
+                    freed += 1
+        return freed
+
+    def destroy(self) -> None:
+        """Close and delete the backing files (creator only)."""
+        self.close()
+        for path in self.directory.glob("*.dat"):
+            path.unlink(missing_ok=True)
+        (self.directory / "pool.lock").unlink(missing_ok=True)
+        try:
+            self.directory.rmdir()
+        except OSError:
+            pass

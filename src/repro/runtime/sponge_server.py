@@ -1,0 +1,219 @@
+"""The sponge server process.
+
+One per "node": owns that node's mmap pool, answers allocation/read/
+free requests from remote SpongeFiles over TCP, exports free space to
+the memory tracker, answers liveness probes about local tasks, and
+periodically garbage-collects chunks owned by dead processes.
+
+Task identity on this runtime is ``pid:<pid>[:label]``, so liveness is
+a real ``kill(pid, 0)`` probe.  Owners whose host has no known sponge
+server are treated as dead (their machine left the cluster), matching
+the in-process GC semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import OutOfSpongeMemory, QuotaExceededError, SpongeError
+from repro.runtime import protocol
+from repro.runtime.shm_pool import MmapSpongePool
+from repro.sponge.chunk import TaskId
+from repro.util.units import MB
+
+
+def pid_of(task: str) -> Optional[int]:
+    """Extract the pid from a ``pid:<pid>[:label]`` task id."""
+    if not task.startswith("pid:"):
+        return None
+    try:
+        return int(task.split(":")[1])
+    except (IndexError, ValueError):
+        return None
+
+
+def local_process_alive(owner: TaskId) -> bool:
+    pid = pid_of(owner.task)
+    if pid is None:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+@dataclass
+class ServerConfig:
+    server_id: str
+    host: str  # logical node name
+    rack: str
+    port: int
+    pool_dir: str
+    pool_size: int = 64 * MB
+    chunk_size: int = 1 * MB
+    gc_interval: float = 2.0
+    quota_per_node: Optional[int] = None
+    #: logical host -> (address, port) of the peer sponge servers.
+    peers: dict = field(default_factory=dict)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # noqa: D102 - socketserver API
+        server: "SpongeServerProcess" = self.server.sponge  # type: ignore[attr-defined]
+        try:
+            header, payload = protocol.recv_message(self.request)
+        except Exception:  # noqa: BLE001 - client went away
+            return
+        try:
+            reply, out_payload = server.dispatch(header, payload)
+        except OutOfSpongeMemory as exc:
+            reply, out_payload = protocol.error_reply(str(exc), "out-of-memory"), b""
+        except QuotaExceededError as exc:
+            reply, out_payload = protocol.error_reply(str(exc), "quota"), b""
+        except SpongeError as exc:
+            reply, out_payload = protocol.error_reply(str(exc), "chunk-lost"), b""
+        except Exception as exc:  # noqa: BLE001 - never kill the server
+            reply, out_payload = protocol.error_reply(repr(exc)), b""
+        try:
+            protocol.send_message(self.request, reply, out_payload)
+        except Exception:  # noqa: BLE001 - client went away
+            pass
+
+
+class SpongeServerProcess:
+    """The server logic; ``serve_forever`` runs it (in a child process)."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.pool = MmapSpongePool(
+            config.pool_dir, create=True,
+            pool_size=config.pool_size, chunk_size=config.chunk_size,
+        )
+        self._usage: dict[str, int] = {}
+        self._usage_lock = threading.Lock()
+        self._tcp = socketserver.ThreadingTCPServer(
+            ("127.0.0.1", config.port), _Handler, bind_and_activate=True
+        )
+        self._tcp.daemon_threads = True
+        self._tcp.sponge = self  # type: ignore[attr-defined]
+        self._stop = threading.Event()
+
+    # -- request dispatch ------------------------------------------------------------
+
+    def dispatch(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        op = header.get("op")
+        if op == "ping":
+            return {"ok": True, "server_id": self.config.server_id}, b""
+        if op == "free_bytes":
+            return {
+                "ok": True,
+                "free_bytes": self.pool.free_bytes,
+                "host": self.config.host,
+                "rack": self.config.rack,
+                "server_id": self.config.server_id,
+            }, b""
+        owner = TaskId(host=header.get("owner_host", ""),
+                       task=header.get("owner_task", ""))
+        if op == "alloc_write":
+            self._charge_quota(owner, len(payload))
+            try:
+                index = self.pool.allocate(owner)
+            except OutOfSpongeMemory:
+                self._release_quota(owner, len(payload))
+                raise
+            self.pool.write(index, owner, payload)
+            return {"ok": True, "index": index}, b""
+        if op == "read":
+            data = self.pool.read(int(header["index"]), owner)
+            return {"ok": True}, data
+        if op == "free":
+            index = int(header["index"])
+            length = len(self.pool.read(index, owner))
+            self.pool.free(index, owner)
+            self._release_quota(owner, length)
+            return {"ok": True}, b""
+        if op == "is_alive":
+            return {"ok": True, "alive": local_process_alive(owner)}, b""
+        if op == "gc":
+            freed = self.run_gc()
+            return {"ok": True, "freed": freed}, b""
+        return protocol.error_reply(f"unknown op {op!r}"), b""
+
+    # -- quota ------------------------------------------------------------
+
+    def _charge_quota(self, owner: TaskId, nbytes: int) -> None:
+        limit = self.config.quota_per_node
+        key = str(owner)
+        with self._usage_lock:
+            used = self._usage.get(key, 0)
+            if limit is not None and used + nbytes > limit:
+                raise QuotaExceededError(
+                    f"{owner} over its {limit}-byte quota on "
+                    f"{self.config.server_id}"
+                )
+            self._usage[key] = used + nbytes
+
+    def _release_quota(self, owner: TaskId, nbytes: int) -> None:
+        key = str(owner)
+        with self._usage_lock:
+            remaining = self._usage.get(key, 0) - nbytes
+            if remaining <= 0:
+                self._usage.pop(key, None)
+            else:
+                self._usage[key] = remaining
+
+    # -- garbage collection -------------------------------------------------
+
+    def run_gc(self) -> int:
+        def is_alive(owner: TaskId) -> bool:
+            if owner.host == self.config.host:
+                return local_process_alive(owner)
+            peer = self.config.peers.get(owner.host)
+            if peer is None:
+                return False
+            try:
+                reply, _ = protocol.request(
+                    tuple(peer),
+                    {"op": "is_alive", **protocol.encode_owner(
+                        owner.host, owner.task)},
+                )
+                return bool(reply.get("alive", False))
+            except Exception:  # noqa: BLE001 - unreachable peer => dead host
+                return False
+
+        return self.pool.collect(is_alive)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        gc_thread = threading.Thread(target=self._gc_loop, daemon=True)
+        gc_thread.start()
+        try:
+            self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            self._stop.set()
+            self._tcp.server_close()
+            self.pool.close()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        self._tcp.shutdown()
+
+    def _gc_loop(self) -> None:
+        while not self._stop.wait(self.config.gc_interval):
+            try:
+                self.run_gc()
+            except Exception:  # noqa: BLE001 - GC must never kill the server
+                pass
+
+
+def serve(config: ServerConfig) -> None:
+    """Child-process entry point."""
+    SpongeServerProcess(config).serve_forever()

@@ -1,0 +1,108 @@
+"""The memory tracking server process (§3.1.1).
+
+Stateless: a polling thread asks every sponge server for its free
+space about once a second (configurable) and keeps the latest snapshot;
+a TCP front end serves that (possibly stale) free list to SpongeFiles.
+Losing the tracker loses nothing — it can restart anywhere and rebuild
+its snapshot on the next poll.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from dataclasses import dataclass, field
+
+from repro.runtime import protocol
+
+
+@dataclass
+class TrackerConfig:
+    port: int
+    poll_interval: float = 1.0
+    #: server_id -> {"address": (host, port), "host": ..., "rack": ...}
+    servers: dict = field(default_factory=dict)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # noqa: D102 - socketserver API
+        tracker: "TrackerServerProcess" = self.server.tracker  # type: ignore[attr-defined]
+        try:
+            header, _ = protocol.recv_message(self.request)
+        except Exception:  # noqa: BLE001
+            return
+        if header.get("op") == "free_list":
+            reply = {"ok": True, "servers": tracker.snapshot()}
+        elif header.get("op") == "ping":
+            reply = {"ok": True, "polls": tracker.polls}
+        else:
+            reply = protocol.error_reply(f"unknown op {header.get('op')!r}")
+        try:
+            protocol.send_message(self.request, reply)
+        except Exception:  # noqa: BLE001
+            pass
+
+
+class TrackerServerProcess:
+    def __init__(self, config: TrackerConfig) -> None:
+        self.config = config
+        self.polls = 0
+        self._snapshot: list[dict] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._tcp = socketserver.ThreadingTCPServer(
+            ("127.0.0.1", config.port), _Handler, bind_and_activate=True
+        )
+        self._tcp.daemon_threads = True
+        self._tcp.tracker = self  # type: ignore[attr-defined]
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return list(self._snapshot)
+
+    def poll_once(self) -> None:
+        snapshot = []
+        for server_id, info in self.config.servers.items():
+            try:
+                reply, _ = protocol.request(
+                    tuple(info["address"]), {"op": "free_bytes"}, timeout=1.0
+                )
+            except Exception:  # noqa: BLE001 - dead server drops out
+                continue
+            if reply.get("ok"):
+                snapshot.append(
+                    {
+                        "server_id": server_id,
+                        "host": reply.get("host", info.get("host", "")),
+                        "rack": reply.get("rack", info.get("rack", "rack0")),
+                        "free_bytes": int(reply.get("free_bytes", 0)),
+                        "address": list(info["address"]),
+                    }
+                )
+        with self._lock:
+            self._snapshot = snapshot
+            self.polls += 1
+
+    def serve_forever(self) -> None:
+        poller = threading.Thread(target=self._poll_loop, daemon=True)
+        poller.start()
+        try:
+            self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            self._stop.set()
+            self._tcp.server_close()
+
+    def _poll_loop(self) -> None:
+        # First poll immediately so clients see servers at startup.
+        while True:
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001
+                pass
+            if self._stop.wait(self.config.poll_interval):
+                return
+
+
+def serve(config: TrackerConfig) -> None:
+    """Child-process entry point."""
+    TrackerServerProcess(config).serve_forever()

@@ -1,0 +1,41 @@
+"""Discrete-event cluster simulation substrate."""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Mutex, SharedBandwidth, Store
+from repro.sim.disk import Disk, DiskStats
+from repro.sim.buffercache import BufferCache, CacheStats
+from repro.sim.network import Network, NetworkStats
+from repro.sim.node import NodeSpec, SimNode
+from repro.sim.cluster import ClusterSpec, SimCluster, paper_cluster_spec
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Mutex",
+    "Store",
+    "SharedBandwidth",
+    "Disk",
+    "DiskStats",
+    "BufferCache",
+    "CacheStats",
+    "Network",
+    "NetworkStats",
+    "NodeSpec",
+    "SimNode",
+    "ClusterSpec",
+    "SimCluster",
+    "paper_cluster_spec",
+]

@@ -1,0 +1,289 @@
+"""A write-back OS buffer-cache model.
+
+Why this matters for the paper: with abundant free memory, disk spills
+are absorbed by the page cache and "spilling to disk" is really
+spilling to local memory — which is why stock disk spilling *beats*
+SpongeFiles for the two Pig jobs at 16 GB (Figures 4-6).  With scarce
+memory the cache can neither absorb writes nor batch write-back into
+long sequential runs, so spills hit the spindle with seeks — the 4 GB
+bars and the "memory pressure" column of Table 1.
+
+Model (per node, in front of one :class:`~repro.sim.disk.Disk`):
+
+* fixed-size pages (default 1 MB), one global LRU over all files;
+* writes dirty pages at memcpy speed; a background flusher starts when
+  dirty pages exceed ``dirty_ratio`` of the cache and writes back the
+  longest contiguous dirty runs (big cache => long sequential runs =>
+  few seeks; small cache => constant small write-back => many seeks);
+* reads hit at memcpy speed, miss to disk in contiguous runs;
+* only *clean* pages can be evicted; writers block when the cache is
+  full of dirty pages until the flusher catches up;
+* dropping a file (delete of a temp spill) discards its pages,
+  including dirty ones — exactly what the kernel does for unlinked
+  files.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.disk import Disk
+from repro.sim.kernel import Environment, Event
+
+
+@dataclass
+class CacheStats:
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    absorbed_write_bytes: int = 0
+    writeback_bytes: int = 0
+    writeback_runs: int = 0
+    write_stall_time: float = 0.0
+    dropped_dirty_bytes: int = 0
+
+
+class BufferCache:
+    """Write-back page cache in front of a single disk."""
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: Disk,
+        capacity: int,
+        mem_bandwidth: float,
+        page_size: int = 1 << 20,
+        dirty_ratio: float = 0.25,
+        dirty_target: float = 0.10,
+        max_writeback_run_pages: int = 64,
+    ) -> None:
+        if capacity < page_size:
+            capacity = page_size
+        if not 0.0 < dirty_target <= dirty_ratio <= 1.0:
+            raise SimulationError("need 0 < dirty_target <= dirty_ratio <= 1")
+        self.env = env
+        self.disk = disk
+        self.page_size = int(page_size)
+        self.capacity_pages = max(1, int(capacity) // self.page_size)
+        self.mem_bandwidth = float(mem_bandwidth)
+        self.dirty_high_pages = max(1, int(self.capacity_pages * dirty_ratio))
+        self.dirty_low_pages = max(0, int(self.capacity_pages * dirty_target))
+        # IO granularity scales with cache size, like kernel readahead
+        # and write-back batching: a starved cache issues small requests
+        # (more stream interleaving => more seeks under contention), a
+        # big cache issues long sequential runs.
+        scaled = max(1, self.capacity_pages // 64)
+        self.max_read_run_pages = min(16, scaled)
+        self.max_run_pages = min(int(max_writeback_run_pages), max(4, scaled))
+        self.stats = CacheStats()
+
+        # (file_id, page_index) -> dirty flag; insertion order is LRU order.
+        self._pages: "OrderedDict[tuple[object, int], bool]" = OrderedDict()
+        self._dirty_pages = 0
+        self._write_cursor: dict[object, int] = {}
+        self._read_cursor: dict[object, int] = {}
+        self._space_waiters: list[Event] = []
+        self._flush_signal = env.event()
+        self._flusher = env.process(self._flush_loop())
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def dirty_pages(self) -> int:
+        return self._dirty_pages
+
+    def contains(self, file_id: object, page: int) -> bool:
+        return (file_id, page) in self._pages
+
+    def check_invariants(self) -> None:
+        """Raise if internal bookkeeping is inconsistent (test hook)."""
+        dirty = sum(1 for flag in self._pages.values() if flag)
+        if dirty != self._dirty_pages:
+            raise SimulationError(
+                f"dirty count drift: tracked {self._dirty_pages}, actual {dirty}"
+            )
+        if len(self._pages) > self.capacity_pages:
+            raise SimulationError("cache over capacity")
+
+    # -- write path ----------------------------------------------------------
+
+    def write(self, file_id: object, nbytes: int):
+        """Append ``nbytes`` to ``file_id`` through the cache (generator).
+
+        Dirties the covered pages; blocks only when the cache is
+        entirely dirty and the flusher must first clean pages.
+        """
+        if nbytes <= 0:
+            return
+        yield self.env.timeout(nbytes / self.mem_bandwidth)
+        start = self._write_cursor.get(file_id, 0)
+        self._write_cursor[file_id] = start + nbytes
+        self.stats.absorbed_write_bytes += nbytes
+        for page in self._page_range(start, nbytes):
+            yield from self._insert_page(file_id, page, dirty=True)
+        self._maybe_wake_flusher()
+
+    # -- read path ----------------------------------------------------------
+
+    def read(self, file_id: object, nbytes: int):
+        """Sequentially read ``nbytes`` from ``file_id`` (generator).
+
+        Returns the number of bytes served from cache.  Misses go to
+        disk in contiguous runs (one seek per run at most).
+        """
+        if nbytes <= 0:
+            return 0
+        start = self._read_cursor.get(file_id, 0)
+        self._read_cursor[file_id] = start + nbytes
+        hit = yield from self.read_range(file_id, start, nbytes)
+        return hit
+
+    def read_range(self, file_id: object, start: int, nbytes: int):
+        """Read an explicit byte range (no cursor; for shared files)."""
+        if nbytes <= 0:
+            return 0
+        hit_pages = 0
+        miss_run: list[int] = []
+        for page in self._page_range(start, nbytes):
+            key = (file_id, page)
+            if key in self._pages and not miss_run:
+                # Presence is checked at access time: fetching a miss
+                # run can evict pages we classified as hits earlier.
+                hit_pages += 1
+                self._pages.move_to_end(key)
+            elif key in self._pages:
+                yield from self._fetch_run(file_id, miss_run)
+                miss_run = []
+                if key in self._pages:
+                    hit_pages += 1
+                    self._pages.move_to_end(key)
+                else:
+                    miss_run.append(page)
+            else:
+                miss_run.append(page)
+        if miss_run:
+            yield from self._fetch_run(file_id, miss_run)
+        hit_bytes = min(nbytes, hit_pages * self.page_size)
+        yield self.env.timeout(nbytes / self.mem_bandwidth)
+        self.stats.hit_bytes += hit_bytes
+        self.stats.miss_bytes += nbytes - hit_bytes
+        return hit_bytes
+
+    def seek(self, file_id: object, offset: int) -> None:
+        """Reposition the sequential read cursor (for re-reads)."""
+        self._read_cursor[file_id] = int(offset)
+
+    def drop(self, file_id: object) -> None:
+        """Discard all pages of a deleted file, dirty ones included."""
+        doomed = [key for key in self._pages if key[0] == file_id]
+        for key in doomed:
+            if self._pages.pop(key):
+                self._dirty_pages -= 1
+                self.stats.dropped_dirty_bytes += self.page_size
+        self._write_cursor.pop(file_id, None)
+        self._read_cursor.pop(file_id, None)
+        self._wake_space_waiters()
+
+    # -- internals ----------------------------------------------------------
+
+    def _page_range(self, start: int, nbytes: int) -> range:
+        first = start // self.page_size
+        last = (start + nbytes - 1) // self.page_size
+        return range(first, last + 1)
+
+    def _fetch_run(self, file_id: object, run: list[int]):
+        """Read one contiguous miss run from disk and cache it clean.
+
+        The run is issued in read-ahead-sized requests; consecutive
+        requests of the same stream stay sequential on the disk, so the
+        split only costs anything when other streams interleave.
+        """
+        for start in range(0, len(run), self.max_read_run_pages):
+            piece = run[start : start + self.max_read_run_pages]
+            yield self.disk.read(
+                ("cache-read", file_id), len(piece) * self.page_size
+            )
+            for page in piece:
+                yield from self._insert_page(file_id, page, dirty=False)
+
+    def _insert_page(self, file_id: object, page: int, dirty: bool):
+        key = (file_id, page)
+        if key in self._pages:
+            was_dirty = self._pages[key]
+            self._pages[key] = was_dirty or dirty
+            self._pages.move_to_end(key)
+            if dirty and not was_dirty:
+                self._dirty_pages += 1
+            return
+        while len(self._pages) >= self.capacity_pages:
+            if not self._evict_one_clean():
+                # Everything is dirty: wait for the flusher.
+                self._maybe_wake_flusher(force=True)
+                waiter = self.env.event()
+                self._space_waiters.append(waiter)
+                stalled_at = self.env.now
+                yield waiter
+                self.stats.write_stall_time += self.env.now - stalled_at
+        self._pages[key] = dirty
+        if dirty:
+            self._dirty_pages += 1
+
+    def _evict_one_clean(self) -> bool:
+        for key, is_dirty in self._pages.items():
+            if not is_dirty:
+                del self._pages[key]
+                return True
+        return False
+
+    def _maybe_wake_flusher(self, force: bool = False) -> None:
+        if force or self._dirty_pages > self.dirty_high_pages:
+            if not self._flush_signal.triggered:
+                self._flush_signal.succeed()
+
+    def _wake_space_waiters(self) -> None:
+        waiters, self._space_waiters = self._space_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    def _pick_writeback_run(self) -> tuple[object, list[int]] | None:
+        """The longest contiguous dirty run, preferring the dirtiest file."""
+        dirty_by_file: dict[object, list[int]] = {}
+        for (file_id, page), is_dirty in self._pages.items():
+            if is_dirty:
+                dirty_by_file.setdefault(file_id, []).append(page)
+        if not dirty_by_file:
+            return None
+        file_id = max(dirty_by_file, key=lambda f: len(dirty_by_file[f]))
+        pages = sorted(dirty_by_file[file_id])
+        run = [pages[0]]
+        for page in pages[1:]:
+            if page == run[-1] + 1 and len(run) < self.max_run_pages:
+                run.append(page)
+            else:
+                break
+        return file_id, run
+
+    def _flush_loop(self):
+        while True:
+            yield self._flush_signal
+            self._flush_signal = self.env.event()
+            while self._dirty_pages > self.dirty_low_pages or self._space_waiters:
+                picked = self._pick_writeback_run()
+                if picked is None:
+                    break
+                file_id, run = picked
+                run_bytes = len(run) * self.page_size
+                yield self.disk.write(("writeback", file_id), run_bytes)
+                for page in run:
+                    key = (file_id, page)
+                    if key in self._pages and self._pages[key]:
+                        self._pages[key] = False
+                        self._dirty_pages -= 1
+                self.stats.writeback_bytes += run_bytes
+                self.stats.writeback_runs += 1
+                self._wake_space_waiters()

@@ -1,0 +1,95 @@
+"""Cluster assembly: racks of nodes behind a shared fabric.
+
+The default spec matches the paper's macro testbed (§4.2.2): 30 nodes
+(1 master + 29 workers) in one rack, 1 GbE, two map slots and one
+reduce slot per worker with 1 GB heaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.node import NodeSpec, SimNode
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of the whole cluster."""
+
+    racks: int = 1
+    nodes_per_rack: int = 29
+    node: NodeSpec = field(default_factory=NodeSpec)
+    nic_bandwidth: float = 125 * MB  # 1 GbE, bytes/s per direction
+    rtt: float = 0.0002  # 200 us within the rack
+    #: Aggregate cross-rack bandwidth per rack (per direction); ``None``
+    #: means a non-blocking core.  The default models 4:1
+    #: oversubscription of a 40-node rack of 1 GbE nodes.
+    rack_uplink_bandwidth: Optional[float] = None
+
+    def with_node(self, **changes) -> "ClusterSpec":
+        """A copy of this spec with ``NodeSpec`` fields overridden."""
+        return replace(self, node=replace(self.node, **changes))
+
+    @property
+    def total_nodes(self) -> int:
+        return self.racks * self.nodes_per_rack
+
+
+def paper_cluster_spec(
+    node_memory: int = 16 * GB, sponge_pool: int = 1 * GB, pinned: int = 0
+) -> ClusterSpec:
+    """The §4.2.2 testbed: 29 workers, one rack, 1 GbE, 1 GB heaps."""
+    return ClusterSpec(
+        racks=1,
+        nodes_per_rack=29,
+        node=NodeSpec(
+            memory=node_memory,
+            sponge_pool=sponge_pool,
+            pinned=pinned,
+        ),
+    )
+
+
+class SimCluster:
+    """Live cluster: one :class:`SimNode` per machine plus the network."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec) -> None:
+        if spec.racks < 1 or spec.nodes_per_rack < 1:
+            raise ConfigError("cluster needs at least one node")
+        self.env = env
+        self.spec = spec
+        self.network = Network(
+            env,
+            nic_bandwidth=spec.nic_bandwidth,
+            rtt=spec.rtt,
+            rack_uplink_bandwidth=spec.rack_uplink_bandwidth,
+        )
+        self.nodes: dict[str, SimNode] = {}
+        for rack_index in range(spec.racks):
+            rack = f"rack{rack_index}"
+            for node_index in range(spec.nodes_per_rack):
+                node_id = f"{rack}-n{node_index:02d}"
+                self.network.add_node(node_id, rack)
+                self.nodes[node_id] = SimNode(env, node_id, rack, spec.node)
+
+    def __iter__(self) -> Iterator[SimNode]:
+        return iter(self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: str) -> SimNode:
+        return self.nodes[node_id]
+
+    def node_ids(self) -> list[str]:
+        return list(self.nodes)
+
+    def rack_peers(self, node_id: str) -> list[str]:
+        """Other nodes in the same rack (remote-spill candidates)."""
+        rack = self.nodes[node_id].rack
+        return [n for n in self.nodes if n != node_id and self.nodes[n].rack == rack]

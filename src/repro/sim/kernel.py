@@ -1,0 +1,369 @@
+"""A minimal discrete-event simulation kernel.
+
+This is the substrate the simulated cluster runs on: a clock, a
+priority queue of events, and cooperative *processes* written as Python
+generators that ``yield`` events to wait on.  The design follows the
+well-known simpy model but is self-contained (no third-party simulation
+dependency) and deliberately small:
+
+* :class:`Environment` owns the clock and the event queue.
+* :class:`Event` is a one-shot occurrence that callbacks subscribe to.
+* :class:`Timeout` is an event scheduled a fixed delay in the future.
+* :class:`Process` drives a generator; yielding an event suspends the
+  process until the event triggers.  A process is itself an event that
+  succeeds with the generator's return value, so processes compose.
+* :class:`AllOf` / :class:`AnyOf` combine events (used for parallel
+  shuffle fetches, fan-out writes, ...).
+
+Determinism: ties in time are broken by a monotonically increasing
+sequence number, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimDeadlock, SimulationError
+
+# Sentinel for "event not yet triggered".
+_PENDING = object()
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; exactly once it is either succeeded with
+    a value or failed with an exception.  Processes waiting on it are
+    resumed (or have the exception thrown into them) when the
+    environment processes the event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._scheduled = False
+        #: Set when a failure has been delivered to at least one waiter,
+        #: or explicitly via :meth:`defuse`; undelivered failures crash
+        #: the simulation so bugs never pass silently.
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if not self._triggered:
+            raise SimulationError("value of an untriggered event")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(value, ok=True)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(exception, ok=False)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled out-of-band (no waiter)."""
+        self._defused = True
+
+    def _trigger(self, value: Any, ok: bool) -> None:
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self._ok = ok
+        self._triggered = True
+        self.env._schedule(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        env._schedule(self, delay)
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Process(Event):
+    """Drives a generator; suspends on every yielded :class:`Event`.
+
+    The process is itself an event: it succeeds with the generator's
+    ``return`` value, or fails with the generator's uncaught exception.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on whatever event it yielded (the
+        event itself stays valid and may trigger later, unobserved).
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        waited = self._waiting_on
+        if waited is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        poke = Event(self.env)
+        poke.callbacks.append(self._resume)
+        poke.fail(Interrupt(cause))
+        poke.defuse()
+
+    # -- internals ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            kind = type(target).__name__
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded a non-event ({kind})"))
+            return
+        if target.env is not self.env:
+            self._generator.close()
+            self.fail(SimulationError("process yielded an event from another environment"))
+            return
+        if target._processed:
+            # Its callbacks already ran: resume on the next scheduling
+            # round (a fresh relay event) rather than synchronously.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            relay._value = target._value
+            relay._ok = target._ok
+            relay._triggered = True
+            if not target._ok:
+                target._defused = True
+            self.env._schedule(relay)
+            self._waiting_on = relay
+        else:
+            # Pending, or triggered-but-unprocessed (its callbacks will
+            # run when the event is popped): subscribing works either way.
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            if event._processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> list[Any]:
+        return [e.value for e in self._events if e.triggered and e.ok]
+
+
+class AllOf(Condition):
+    """Succeeds when every child event has succeeded.
+
+    Fails as soon as any child fails (remaining children keep running,
+    unobserved).  Succeeds with the list of child values, in the order
+    the events were given.
+    """
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event._defused = True
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Condition):
+    """Succeeds with the first child's value; fails on first failure."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event._defused = True
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event._defused = True
+            self.fail(event.value)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self.now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline, or an event triggers.
+
+        ``until`` may be a simulated-time deadline or an :class:`Event`;
+        when it is an event, its value is returned (or its failure
+        raised).  Running until a pending event with a drained queue is
+        a deadlock and raises :class:`SimDeadlock`.
+        """
+        deadline: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self.now:
+                raise SimulationError(f"run(until={deadline}) is in the past")
+
+        while self._heap:
+            if stop_event is not None and stop_event._processed:
+                break
+            when = self._heap[0][0]
+            if deadline is not None and when > deadline:
+                self.now = deadline
+                return None
+            self._step()
+
+        if stop_event is not None:
+            if not stop_event._processed:
+                raise SimDeadlock(
+                    "event queue drained while waiting on an untriggered event"
+                )
+            if stop_event.ok:
+                return stop_event.value
+            stop_event._defused = True
+            raise stop_event.value
+        if deadline is not None:
+            self.now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- internals ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def _step(self) -> None:
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event._defused:
+            # A failure nobody observed: crash loudly rather than lose it.
+            raise event.value

@@ -1,0 +1,235 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Topology matches the paper's setting: nodes with full-duplex NICs
+hanging off a non-blocking rack switch, racks joined by an
+oversubscribed core.  A transfer is a *flow* across the links it
+traverses (sender uplink, rack uplinks when crossing racks, receiver
+downlink); active flows get the max-min fair allocation, recomputed
+whenever a flow starts or ends.  Each transfer additionally pays one
+round-trip of latency up front (connection setup), which is exactly the
+cost the paper amortizes by using multi-megabyte chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment, Event
+
+
+class Link:
+    """A single direction of a physical link."""
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"link capacity must be positive: {name}")
+        self.name = name
+        self.capacity = float(capacity)
+        self.flows: set["_Flow"] = set()
+
+
+class _Flow:
+    __slots__ = ("remaining", "rate", "links", "event")
+
+    def __init__(self, nbytes: float, links: list[Link], event: Event) -> None:
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.links = links
+        self.event = event
+
+
+@dataclass
+class NetworkStats:
+    bytes_transferred: int = 0
+    transfers: int = 0
+    cross_rack_transfers: int = 0
+
+
+@dataclass
+class _Endpoint:
+    node_id: object
+    rack: object
+    up: Link = field(repr=False, default=None)  # type: ignore[assignment]
+    down: Link = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class Network:
+    """The cluster fabric.
+
+    ``nic_bandwidth`` is per-direction NIC capacity (bytes/s);
+    ``rtt`` is the connection round-trip charged per transfer;
+    ``rack_uplink_bandwidth`` caps each rack's aggregate cross-rack
+    traffic (per direction) — the oversubscription the paper cites as
+    the reason to keep spilling within a rack.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nic_bandwidth: float,
+        rtt: float,
+        rack_uplink_bandwidth: Optional[float] = None,
+    ) -> None:
+        self.env = env
+        self.nic_bandwidth = float(nic_bandwidth)
+        self.rtt = float(rtt)
+        self.rack_uplink_bandwidth = rack_uplink_bandwidth
+        self.stats = NetworkStats()
+        self._endpoints: dict[object, _Endpoint] = {}
+        self._rack_up: dict[object, Link] = {}
+        self._rack_down: dict[object, Link] = {}
+        self._flows: list[_Flow] = []
+        self._last_update = env.now
+        self._wakeup_token = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def add_node(self, node_id: object, rack: object) -> None:
+        if node_id in self._endpoints:
+            raise SimulationError(f"duplicate node {node_id!r}")
+        endpoint = _Endpoint(node_id, rack)
+        endpoint.up = Link(f"{node_id}.up", self.nic_bandwidth)
+        endpoint.down = Link(f"{node_id}.down", self.nic_bandwidth)
+        self._endpoints[node_id] = endpoint
+        if self.rack_uplink_bandwidth is not None and rack not in self._rack_up:
+            self._rack_up[rack] = Link(f"rack{rack}.up", self.rack_uplink_bandwidth)
+            self._rack_down[rack] = Link(
+                f"rack{rack}.down", self.rack_uplink_bandwidth
+            )
+
+    def rack_of(self, node_id: object) -> object:
+        return self._endpoints[node_id].rack
+
+    def same_rack(self, a: object, b: object) -> bool:
+        return self.rack_of(a) == self.rack_of(b)
+
+    # -- transfers --------------------------------------------------------------
+
+    def transfer(self, src: object, dst: object, nbytes: float) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``; event fires on completion."""
+        if src == dst:
+            # Loopback never leaves the host; charge nothing here (the
+            # caller models memcpy costs).
+            done = self.env.event()
+            done.succeed()
+            return done
+        links = self._path(src, dst)
+        return self.env.process(self._run_transfer(links, nbytes, src, dst))
+
+    def transfer_time_estimate(self, nbytes: float) -> float:
+        """Uncontended single-flow transfer time (for calibration tests)."""
+        return self.rtt + nbytes / self.nic_bandwidth
+
+    # -- internals ----------------------------------------------------------
+
+    def _path(self, src: object, dst: object) -> list[Link]:
+        try:
+            a, b = self._endpoints[src], self._endpoints[dst]
+        except KeyError as exc:
+            raise SimulationError(f"unknown node in transfer: {exc}") from exc
+        links = [a.up]
+        if a.rack != b.rack:
+            self.stats.cross_rack_transfers += 1
+            if self.rack_uplink_bandwidth is not None:
+                links.append(self._rack_up[a.rack])
+                links.append(self._rack_down[b.rack])
+        links.append(b.down)
+        return links
+
+    def _run_transfer(self, links: list[Link], nbytes: float, src, dst):
+        yield self.env.timeout(self.rtt)
+        self.stats.transfers += 1
+        self.stats.bytes_transferred += int(nbytes)
+        if nbytes <= 0:
+            return None
+        done = self.env.event()
+        self._advance()
+        flow = _Flow(nbytes, links, done)
+        self._flows.append(flow)
+        for link in links:
+            link.flows.add(flow)
+        self._recompute_and_reschedule()
+        yield done
+        return None
+
+    def _advance(self) -> None:
+        elapsed = self.env.now - self._last_update
+        self._last_update = self.env.now
+        if elapsed <= 0 or not self._flows:
+            return
+        finished = []
+        for flow in self._flows:
+            flow.remaining -= flow.rate * elapsed
+            # A flow is done when its residual bytes are dust, or when
+            # its residual *time* falls below the clock's resolution —
+            # otherwise the wakeup loop would spin without the clock
+            # ever advancing (float underflow livelock).
+            residual_time = flow.remaining / flow.rate if flow.rate > 0 else float("inf")
+            if flow.remaining <= 1e-6 or residual_time < 1e-9:
+                finished.append(flow)
+        for flow in finished:
+            self._remove(flow)
+            flow.event.succeed()
+
+    def _remove(self, flow: _Flow) -> None:
+        self._flows.remove(flow)
+        for link in flow.links:
+            link.flows.discard(flow)
+
+    def _recompute_rates(self) -> None:
+        """Water-filling max-min fair allocation across all links."""
+        unfrozen = set(self._flows)
+        for flow in self._flows:
+            flow.rate = 0.0
+        residual = {}
+        links = set()
+        for flow in self._flows:
+            links.update(flow.links)
+        for link in links:
+            residual[link] = link.capacity
+        while unfrozen:
+            # The bottleneck link is the one offering the smallest fair
+            # share to its unfrozen flows.
+            best_share = None
+            best_link = None
+            for link in links:
+                active = [f for f in link.flows if f in unfrozen]
+                if not active:
+                    continue
+                share = residual[link] / len(active)
+                if best_share is None or share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                break
+            for flow in [f for f in best_link.flows if f in unfrozen]:
+                flow.rate = best_share
+                unfrozen.discard(flow)
+                for link in flow.links:
+                    residual[link] -= best_share
+
+    def _recompute_and_reschedule(self) -> None:
+        self._recompute_rates()
+        self._wakeup_token += 1
+        if not self._flows:
+            return
+        token = self._wakeup_token
+        delay = min(
+            flow.remaining / flow.rate for flow in self._flows if flow.rate > 0
+        )
+        # Never schedule below the clock's float resolution at the
+        # current time, or now + delay == now and we livelock.
+        delay = max(delay, 1e-9, self.env.now * 1e-12)
+
+        def on_wakeup(_event: Event) -> None:
+            if token != self._wakeup_token:
+                return
+            self._advance()
+            self._recompute_and_reschedule()
+
+        wakeup = self.env.timeout(delay)
+        wakeup.callbacks.append(on_wakeup)

@@ -1,0 +1,101 @@
+"""A simulated worker machine.
+
+Mirrors the paper's testbed box (§4.1): two quad-core Xeons, 16 GB RAM,
+one 7200 RPM SATA disk, 1 GbE.  Memory on a node is partitioned the
+Hadoop way: a fixed heap per task slot, an optional sponge pool, and
+whatever is left belongs to the OS buffer cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sim.buffercache import BufferCache
+from repro.sim.disk import Disk
+from repro.sim.kernel import Environment
+from repro.util.units import GB, MB, fmt_size
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static hardware + partitioning description of one machine."""
+
+    memory: int = 16 * GB
+    disk_seq_bandwidth: float = 100 * MB  # bytes/s
+    disk_seek_time: float = 0.015  # s
+    mem_bandwidth: float = 1.0 * GB  # effective memcpy, bytes/s
+    map_slots: int = 2
+    reduce_slots: int = 1
+    heap_per_slot: int = 1 * GB
+    sponge_pool: int = 0
+    os_reserved: int = 512 * MB
+    #: Memory pinned by co-tenants (the "memory pressure" knob of
+    #: Table 1 / §4.1: a background process pinning 12 GB).
+    pinned: int = 0
+
+    @property
+    def slots(self) -> int:
+        return self.map_slots + self.reduce_slots
+
+    @property
+    def heap_total(self) -> int:
+        return self.heap_per_slot * self.slots
+
+    @property
+    def cache_capacity(self) -> int:
+        """Memory left to the OS buffer cache.
+
+        Heaps, the OS itself, and pinned co-tenants are hard
+        commitments; an over-commitment there is a config error.  The
+        sponge pool only consumes pages as chunks fill, so a configured
+        pool may squeeze the cache down to a small floor (64 MB) but
+        never below it — matching the paper's 4 GB nodes that still
+        configure 1 GB of sponge.
+        """
+        hard_free = (
+            self.memory - self.heap_total - self.os_reserved - self.pinned
+        )
+        if hard_free < 0:
+            raise ConfigError(
+                f"node memory over-committed: {fmt_size(self.memory)} total, "
+                f"{fmt_size(-hard_free)} short"
+            )
+        return max(hard_free - self.sponge_pool, 64 * MB)
+
+
+class SimNode:
+    """Runtime state of one machine: disk, buffer cache, identity."""
+
+    def __init__(
+        self, env: Environment, node_id: str, rack: str, spec: NodeSpec
+    ) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.rack = rack
+        self.spec = spec
+        self.disk = Disk(
+            env,
+            seq_bandwidth=spec.disk_seq_bandwidth,
+            seek_time=spec.disk_seek_time,
+            name=f"{node_id}.disk",
+        )
+        self.cache = BufferCache(
+            env,
+            self.disk,
+            capacity=spec.cache_capacity,
+            mem_bandwidth=spec.mem_bandwidth,
+        )
+
+    def memcpy(self, nbytes: float):
+        """Charge an in-memory copy of ``nbytes`` (generator)."""
+        yield self.env.timeout(nbytes / self.spec.mem_bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimNode {self.node_id} rack={self.rack}>"
+
+
+@dataclass
+class FailureEvent:
+    node_id: str
+    at: float = field(default=0.0)

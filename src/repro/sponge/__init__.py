@@ -1,0 +1,75 @@
+"""SpongeFiles: the paper's core contribution.
+
+Public surface::
+
+    from repro.sponge import (
+        SpongeFile, SpongeConfig, TaskId,
+        AllocationChain, SpongePool, SpongeServer, MemoryTracker,
+    )
+
+Build an :class:`AllocationChain` from chunk stores (in-memory stores
+from ``repro.backends.memory_backends``, simulated stores from
+``repro.backends.sim_backends``, or the real multi-process runtime in
+``repro.runtime``), then create :class:`SpongeFile` objects that spill
+through it.
+"""
+
+from repro.sponge.allocator import AllocationChain, AllocationSession, ChainStats
+from repro.sponge.compression import CompressedStore
+from repro.sponge.crypto import EncryptedStore, decrypt_chunk, encrypt_chunk
+from repro.sponge.blob import Payload, blob_concat, blob_size, blob_take
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
+from repro.sponge.gc import GcReport, TaskRegistry, run_cluster_gc, wire_peers
+from repro.sponge.pool import PoolStats, SpongePool
+from repro.sponge.quota import QuotaPolicy
+from repro.sponge.server import ServerStats, SpongeServer
+from repro.sponge.spongefile import (
+    FileState,
+    SimExecutor,
+    SpongeFile,
+    SpongeFileReader,
+    SpongeFileStats,
+    SyncExecutor,
+)
+from repro.sponge.store import ChunkStore, SyncChunkStore, run_sync
+from repro.sponge.tracker import MemoryTracker, ServerInfo
+
+__all__ = [
+    "SpongeFile",
+    "SpongeFileReader",
+    "SpongeFileStats",
+    "FileState",
+    "SpongeConfig",
+    "DEFAULT_CONFIG",
+    "TaskId",
+    "ChunkHandle",
+    "ChunkLocation",
+    "Payload",
+    "blob_size",
+    "blob_concat",
+    "blob_take",
+    "SpongePool",
+    "PoolStats",
+    "SpongeServer",
+    "ServerStats",
+    "MemoryTracker",
+    "ServerInfo",
+    "AllocationChain",
+    "AllocationSession",
+    "ChainStats",
+    "ChunkStore",
+    "SyncChunkStore",
+    "run_sync",
+    "SyncExecutor",
+    "SimExecutor",
+    "QuotaPolicy",
+    "TaskRegistry",
+    "run_cluster_gc",
+    "wire_peers",
+    "GcReport",
+    "EncryptedStore",
+    "encrypt_chunk",
+    "decrypt_chunk",
+    "CompressedStore",
+]

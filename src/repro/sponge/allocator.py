@@ -1,0 +1,248 @@
+"""The chunk allocation chain (§3.1.1).
+
+Order of preference for every chunk:
+
+1. the machine's local sponge pool;
+2. remote sponge memory — candidate servers come from the memory
+   tracker's (stale) free list, filtered to the local rack, with
+   *affinity*: servers this task already uses are tried first, to keep
+   the number of machines a task depends on small (fault tolerance);
+3. local disk — and if the previous chunk also went to local disk, the
+   new chunk is *appended* to it, coalescing into one large on-disk
+   chunk (fewer files, fewer metadata operations, contiguous layout);
+4. the distributed file system, as a last resort.
+
+A SpongeFile opens an :class:`AllocationSession` at creation time; the
+session snapshots the tracker's free list once (the paper's design) and
+walks it on each remote allocation, dropping servers that turn out to
+be full — the relaxed-consistency trade-off of §3.1.1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ChunkAllocationError, OutOfSpongeMemory
+from repro.sponge.blob import blob_size
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
+from repro.sponge.store import ChunkStore, StoreOp
+from repro.sponge.tracker import MemoryTracker, ServerInfo
+
+#: Maps a tracker entry to a client-side store for that remote server.
+RemoteStoreFactory = Callable[[ServerInfo], ChunkStore]
+
+
+@dataclass
+class ChainStats:
+    """Cluster-visible allocation accounting (feeds Table 2)."""
+
+    chunks: Counter = field(default_factory=Counter)  # ChunkLocation -> count
+    bytes: Counter = field(default_factory=Counter)  # ChunkLocation -> bytes
+    disk_appends: int = 0
+    remote_stale_misses: int = 0
+
+    def record(self, location: ChunkLocation, nbytes: int, appended: bool) -> None:
+        self.bytes[location] += nbytes
+        if appended:
+            self.disk_appends += 1
+        else:
+            self.chunks[location] += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(self.chunks.values())
+
+
+class AllocationChain:
+    """Per-node wiring of the four spill media plus the tracker."""
+
+    def __init__(
+        self,
+        local_store: Optional[ChunkStore],
+        tracker: Optional[MemoryTracker],
+        remote_store_factory: Optional[RemoteStoreFactory],
+        disk_store: Optional[ChunkStore],
+        dfs_store: Optional[ChunkStore] = None,
+        host: str = "localhost",
+        rack: str = "rack0",
+        config: SpongeConfig = DEFAULT_CONFIG,
+    ) -> None:
+        if local_store is None and tracker is None and disk_store is None:
+            raise ChunkAllocationError("allocation chain has no stores at all")
+        self.local_store = local_store
+        self.tracker = tracker
+        self.remote_store_factory = remote_store_factory
+        self.disk_store = disk_store
+        self.dfs_store = dfs_store
+        self.host = host
+        self.rack = rack
+        self.config = config
+        self.stats = ChainStats()
+        self._remote_stores: dict[str, ChunkStore] = {}
+
+    def new_session(self, owner: TaskId) -> "AllocationSession":
+        return AllocationSession(self, owner)
+
+    def store_for(self, handle: ChunkHandle) -> ChunkStore:
+        """Resolve the store that can read/free ``handle``."""
+        if (
+            self.local_store is not None
+            and handle.store_id == self.local_store.store_id
+        ):
+            return self.local_store
+        if handle.location is ChunkLocation.REMOTE_MEMORY:
+            return self._remote_store(handle.store_id)
+        if (
+            self.disk_store is not None
+            and handle.store_id == self.disk_store.store_id
+        ):
+            return self.disk_store
+        if (
+            self.dfs_store is not None
+            and handle.store_id == self.dfs_store.store_id
+        ):
+            return self.dfs_store
+        raise ChunkAllocationError(f"no store can resolve handle {handle!r}")
+
+    # -- internals ----------------------------------------------------------
+
+    def _remote_store(self, server_id: str) -> ChunkStore:
+        store = self._remote_stores.get(server_id)
+        if store is None:
+            if self.remote_store_factory is None:
+                raise ChunkAllocationError("no remote store factory configured")
+            info = ServerInfo(server_id=server_id, host="", rack="", free_bytes=0)
+            store = self.remote_store_factory(info)
+            self._remote_stores[server_id] = store
+        return store
+
+    def _remote_store_for(self, info: ServerInfo) -> ChunkStore:
+        store = self._remote_stores.get(info.server_id)
+        if store is None:
+            assert self.remote_store_factory is not None
+            store = self.remote_store_factory(info)
+            self._remote_stores[info.server_id] = store
+        return store
+
+
+class AllocationSession:
+    """One SpongeFile's view of the chain.
+
+    Snapshots the tracker free list at creation (one tracker query per
+    SpongeFile) and keeps per-task server affinity across allocations.
+    """
+
+    def __init__(self, chain: AllocationChain, owner: TaskId) -> None:
+        self.chain = chain
+        self.owner = owner
+        self._free_list: list[ServerInfo] = []
+        if chain.tracker is not None and chain.remote_store_factory is not None:
+            rack = chain.rack if chain.config.restrict_to_rack else None
+            self._free_list = chain.tracker.free_list(
+                rack=rack, exclude_hosts=[chain.host]
+            )
+        self._used_servers: list[str] = []
+
+    @property
+    def candidate_servers(self) -> list[str]:
+        return [info.server_id for info in self._free_list]
+
+    def allocate(
+        self, data: Any, last_handle: Optional[ChunkHandle]
+    ) -> StoreOp:
+        """Place one chunk; returns ``(handle, appended)``.
+
+        ``appended`` is True when the chunk was coalesced into
+        ``last_handle`` (which has been grown in place).
+        """
+        nbytes = blob_size(data)
+        chain = self.chain
+
+        if chain.local_store is not None:
+            try:
+                handle = yield from chain.local_store.write_chunk(self.owner, data)
+            except OutOfSpongeMemory:
+                pass
+            else:
+                chain.stats.record(handle.location, nbytes, appended=False)
+                return handle, False
+
+        if self._free_list:
+            handle = yield from self._allocate_remote(data)
+            if handle is not None:
+                chain.stats.record(handle.location, nbytes, appended=False)
+                return handle, False
+
+        if chain.disk_store is not None:
+            can_append = (
+                last_handle is not None
+                and last_handle.location is ChunkLocation.LOCAL_DISK
+                and last_handle.store_id == chain.disk_store.store_id
+                and chain.disk_store.supports_append
+            )
+            if can_append:
+                try:
+                    handle = yield from chain.disk_store.append_chunk(
+                        last_handle, data
+                    )
+                except OutOfSpongeMemory:
+                    pass
+                else:
+                    chain.stats.record(handle.location, nbytes, appended=True)
+                    return handle, True
+            try:
+                handle = yield from chain.disk_store.write_chunk(self.owner, data)
+            except OutOfSpongeMemory:
+                pass
+            else:
+                chain.stats.record(handle.location, nbytes, appended=False)
+                return handle, False
+
+        if chain.dfs_store is not None:
+            handle = yield from chain.dfs_store.write_chunk(self.owner, data)
+            chain.stats.record(handle.location, nbytes, appended=False)
+            return handle, False
+
+        raise ChunkAllocationError(
+            f"no medium could hold a {nbytes}-byte chunk for {self.owner}"
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _allocate_remote(self, data: Any) -> StoreOp:
+        """Walk the cached free list, affinity-first; None if exhausted."""
+        ordered = self._affinity_order()
+        attempts = self.chain.config.max_remote_attempts
+        if attempts is not None:
+            ordered = ordered[:attempts]
+        for info in ordered:
+            store = self.chain._remote_store_for(info)
+            try:
+                handle = yield from store.write_chunk(self.owner, data)
+            except OutOfSpongeMemory:
+                # Stale tracker entry: that server filled up since the
+                # last poll.  Drop it for this file and keep walking.
+                self.chain.stats.remote_stale_misses += 1
+                self._free_list = [
+                    i for i in self._free_list if i.server_id != info.server_id
+                ]
+                continue
+            if info.server_id not in self._used_servers:
+                self._used_servers.append(info.server_id)
+            return handle
+        return None
+
+    def _affinity_order(self) -> list[ServerInfo]:
+        by_id = {info.server_id: info for info in self._free_list}
+        ordered = [by_id[s] for s in self._used_servers if s in by_id]
+        ordered.extend(
+            info for info in self._free_list if info.server_id not in self._used_servers
+        )
+        return ordered

@@ -1,0 +1,114 @@
+"""Spill payloads ("blobs") and size accounting.
+
+The SpongeFile core is generic over what a spilled byte actually is:
+
+* plain ``bytes`` — what the real multi-process runtime stores, and
+  what a library user spills;
+* :class:`Payload` — a list of records plus a *logical* byte size, used
+  by the simulated MapReduce/Pig stack so that a 10 GB experiment can
+  run over ~10^5 real records while charging 10 GB of simulated IO.
+
+Everything the core needs from a blob is: its size, concatenation, and
+splitting a chunk-sized prefix off the front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import SpongeError
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Records with an explicit logical size (may exceed real size)."""
+
+    records: tuple
+    nbytes: int
+
+    @classmethod
+    def of(cls, records: Sequence[Any], nbytes: int) -> "Payload":
+        return cls(tuple(records), int(nbytes))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def snap_record_size(nbytes: int, chunk_size: int = 1 << 20) -> int:
+    """Largest record size <= ``nbytes`` that packs chunks tightly.
+
+    Scaled-down experiments use few large records standing in for many
+    small ones; a record size that does not divide the chunk size would
+    fake internal fragmentation that real (small) tuples do not have.
+    Snapping to ``chunk_size // ceil(chunk_size / nbytes)`` keeps the
+    per-chunk waste below one record's rounding (paper: < 1 %).
+    """
+    if nbytes <= 0:
+        return 1
+    if nbytes >= chunk_size:
+        return chunk_size
+    per_chunk = max(1, round(chunk_size / nbytes))
+    return chunk_size // per_chunk
+
+
+def blob_size(blob: Any) -> int:
+    """Logical size of a blob in bytes."""
+    if isinstance(blob, (bytes, bytearray, memoryview)):
+        return len(blob)
+    if isinstance(blob, Payload):
+        return blob.nbytes
+    raise SpongeError(f"not a spillable blob: {type(blob).__name__}")
+
+
+def blob_concat(parts: Sequence[Any]) -> Any:
+    """Concatenate blobs of a uniform kind."""
+    if not parts:
+        return b""
+    if len(parts) == 1:
+        return parts[0]
+    first = parts[0]
+    if isinstance(first, (bytes, bytearray, memoryview)):
+        return b"".join(bytes(p) for p in parts)
+    if isinstance(first, Payload):
+        records: list = []
+        nbytes = 0
+        for part in parts:
+            if not isinstance(part, Payload):
+                raise SpongeError("cannot mix Payload and bytes blobs")
+            records.extend(part.records)
+            nbytes += part.nbytes
+        return Payload(tuple(records), nbytes)
+    raise SpongeError(f"not a spillable blob: {type(first).__name__}")
+
+
+def blob_take(blob: Any, size: int) -> tuple[Any, Any]:
+    """Split off a prefix of at most ``size`` bytes.
+
+    For ``bytes`` the split is exact.  For :class:`Payload` the cut
+    falls on a record boundary, greedily staying *under* ``size``; a
+    single record larger than ``size`` is emitted alone (an oversize
+    chunk — the paper's spills are record streams where this is rare).
+    Returns ``(head, rest)``; ``rest`` is ``None`` when nothing is left.
+    """
+    total = blob_size(blob)
+    if total <= size:
+        return blob, None
+    if isinstance(blob, (bytes, bytearray, memoryview)):
+        raw = bytes(blob)
+        return raw[:size], raw[size:]
+    assert isinstance(blob, Payload)
+    if not blob.records:
+        raise SpongeError("payload size/record mismatch: bytes but no records")
+    per_record = blob.nbytes / len(blob.records)
+    taken = 0.0
+    cut = 0
+    for _ in blob.records:
+        if cut > 0 and taken + per_record > size:
+            break
+        taken += per_record
+        cut += 1
+    head = Payload(blob.records[:cut], int(round(cut * per_record)))
+    rest_records = blob.records[cut:]
+    rest = Payload(rest_records, blob.nbytes - head.nbytes)
+    return head, rest

@@ -1,0 +1,65 @@
+"""Chunk handles: where one SpongeFile chunk lives.
+
+A SpongeFile's private metadata (its "inode", §3.1.1) is simply the
+ordered list of these handles.  A handle records the spill medium, the
+store that holds the chunk, an opaque store-specific reference, and the
+payload size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class ChunkLocation(enum.Enum):
+    """Spill media in the paper's preference order."""
+
+    LOCAL_MEMORY = "local-memory"
+    REMOTE_MEMORY = "remote-memory"
+    LOCAL_DISK = "local-disk"
+    DFS = "dfs"
+
+    @property
+    def in_memory(self) -> bool:
+        return self in (ChunkLocation.LOCAL_MEMORY, ChunkLocation.REMOTE_MEMORY)
+
+    @property
+    def on_disk(self) -> bool:
+        return not self.in_memory
+
+
+@dataclass
+class ChunkHandle:
+    """One chunk of one SpongeFile.
+
+    ``ref`` is meaningful only to the store that issued the handle
+    (a pool slot index, a file path, a remote chunk id, ...).
+    ``nbytes`` is the payload's logical size; disk chunks grow via
+    appends (§3.1.1's coalescing), so it is mutable.
+    """
+
+    location: ChunkLocation
+    store_id: str
+    ref: Any
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative chunk size: {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class TaskId:
+    """Identity of a chunk owner: which task on which host.
+
+    The paper's pool metadata stores exactly this (process id + IP);
+    liveness checks and garbage collection key off it.
+    """
+
+    host: str
+    task: str
+
+    def __str__(self) -> str:
+        return f"{self.task}@{self.host}"

@@ -1,0 +1,50 @@
+"""SpongeFile configuration.
+
+Defaults follow the paper's implementation choices (§3.2): 1 MB
+in-memory chunks (balancing internal fragmentation against per-chunk
+setup cost), a 1-second memory-tracker poll, remote spilling restricted
+to the local rack, prefetching on reads and asynchronous writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.util.units import MB
+
+
+@dataclass(frozen=True)
+class SpongeConfig:
+    """Tunables of the SpongeFile layer."""
+
+    #: Fixed size of in-memory chunks; also the write-buffer size.
+    chunk_size: int = 1 * MB
+    #: How often the memory tracker polls sponge servers for free space.
+    tracker_poll_interval: float = 1.0
+    #: Restrict remote spilling to same-rack sponge servers (§3.1.1:
+    #: cross-rack links are oversubscribed).
+    restrict_to_rack: bool = True
+    #: Prefetch the next chunk while the reader consumes the current one.
+    prefetch: bool = True
+    #: Overlap chunk writes with computation (one outstanding write).
+    async_writes: bool = True
+    #: Cap on remote servers tried per allocation before falling back to
+    #: disk; ``None`` tries the whole free list.
+    max_remote_attempts: Optional[int] = None
+    #: Per-task, per-node sponge quota in bytes; ``None`` = unlimited.
+    quota_per_node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ConfigError(f"chunk_size must be positive: {self.chunk_size}")
+        if self.tracker_poll_interval <= 0:
+            raise ConfigError("tracker_poll_interval must be positive")
+        if self.max_remote_attempts is not None and self.max_remote_attempts < 0:
+            raise ConfigError("max_remote_attempts must be >= 0")
+        if self.quota_per_node is not None and self.quota_per_node < self.chunk_size:
+            raise ConfigError("quota_per_node smaller than one chunk")
+
+
+DEFAULT_CONFIG = SpongeConfig()

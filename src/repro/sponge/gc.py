@@ -1,0 +1,71 @@
+"""Cluster-wide garbage collection of orphaned chunks (§3.1.3).
+
+Tasks should delete their SpongeFiles before exiting, but crashes and
+bugs leak chunks.  Every sponge server periodically scans its local
+pool for chunks owned by dead tasks: local owners are probed directly,
+remote owners by consulting the owner host's sponge server.  Sponge
+servers and the tracker are stateless, so GC needs no coordination —
+this module just provides the cluster-level driver and a task registry
+that doubles as the liveness oracle in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sponge.chunk import TaskId
+from repro.sponge.server import SpongeServer
+
+
+class TaskRegistry:
+    """In-process liveness oracle: which tasks are currently alive.
+
+    The real runtime checks OS process liveness instead
+    (``repro.runtime.sponge_server``); the simulator and tests use this
+    registry.
+    """
+
+    def __init__(self) -> None:
+        self._alive: set[TaskId] = set()
+
+    def start(self, owner: TaskId) -> None:
+        self._alive.add(owner)
+
+    def finish(self, owner: TaskId) -> None:
+        self._alive.discard(owner)
+
+    def is_alive(self, owner: TaskId) -> bool:
+        return owner in self._alive
+
+    def probe_for_host(self, host: str):
+        """A :data:`LocalLivenessProbe` scoped to one host."""
+
+        def probe(owner: TaskId) -> bool:
+            return owner.host == host and self.is_alive(owner)
+
+        return probe
+
+
+@dataclass
+class GcReport:
+    chunks_freed: int = 0
+    per_server: dict = field(default_factory=dict)
+
+
+def run_cluster_gc(servers: list[SpongeServer]) -> GcReport:
+    """One GC sweep across every server; returns what was reclaimed."""
+    report = GcReport()
+    for server in servers:
+        freed = server.run_gc()
+        report.chunks_freed += freed
+        if freed:
+            report.per_server[server.server_id] = freed
+    return report
+
+
+def wire_peers(servers: list[SpongeServer]) -> None:
+    """Make every server able to consult every other for liveness."""
+    for server in servers:
+        for other in servers:
+            if other is not server:
+                server.register_peer(other)

@@ -1,0 +1,198 @@
+"""The sponge memory pool: fixed-size chunks plus owner metadata.
+
+This is the per-machine "memory sponge" of §3.1.1: a memory region
+outside all task heaps, divided into equal fixed-size chunks and a
+metadata area with one entry per chunk naming the owning task (host +
+task id), or FREE.  A pool is shared by every task on the machine and
+by the machine's sponge server.
+
+The paper splits the pool into multiple memory-mapped segments to work
+around Java's 2 GB mmap limit; we keep the segment structure (it also
+shapes the real ``multiprocessing.shared_memory`` pool in
+``repro.runtime.shm_pool``) while storing chunk payloads as Python
+objects here, since this class is the in-process reference
+implementation used by the simulator and by unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import ConfigError, OutOfSpongeMemory, SpongeError
+from repro.sponge.blob import blob_size
+from repro.sponge.chunk import TaskId
+from repro.util.units import MB, fmt_size
+
+
+@dataclass
+class PoolStats:
+    allocations: int = 0
+    failed_allocations: int = 0
+    frees: int = 0
+    gc_freed: int = 0
+    lock_acquisitions: int = 0
+    peak_used_chunks: int = 0
+
+
+class SpongePool:
+    """Fixed-chunk shared pool with per-chunk owner entries."""
+
+    def __init__(
+        self,
+        pool_size: int,
+        chunk_size: int = 1 * MB,
+        segment_size: Optional[int] = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ConfigError(f"chunk_size must be positive: {chunk_size}")
+        if pool_size < chunk_size:
+            raise ConfigError(
+                f"pool of {fmt_size(pool_size)} cannot hold one "
+                f"{fmt_size(chunk_size)} chunk"
+            )
+        self.chunk_size = int(chunk_size)
+        self.num_chunks = int(pool_size) // self.chunk_size
+        # Segment layout is bookkeeping parity with the mmap'd design:
+        # chunk i lives in segment i // chunks_per_segment.
+        if segment_size is None:
+            segment_size = self.num_chunks * self.chunk_size
+        self.chunks_per_segment = max(1, int(segment_size) // self.chunk_size)
+        self.num_segments = -(-self.num_chunks // self.chunks_per_segment)
+        self.stats = PoolStats()
+        self._owners: list[Optional[TaskId]] = [None] * self.num_chunks
+        self._payloads: list[Any] = [None] * self.num_chunks
+        self._free: list[int] = list(range(self.num_chunks - 1, -1, -1))
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_chunks * self.chunk_size
+
+    @property
+    def used_chunks(self) -> int:
+        return self.num_chunks - len(self._free)
+
+    @property
+    def free_chunks(self) -> int:
+        return len(self._free)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.free_chunks * self.chunk_size
+
+    def segment_of(self, index: int) -> int:
+        return index // self.chunks_per_segment
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, owner: TaskId) -> int:
+        """Take a free chunk for ``owner``; returns its index.
+
+        Models the §3.1.1 protocol: acquire the pool lock, scan for a
+        free entry, stamp the owner, release.  The in-process pool is
+        driven from a single thread, so the "lock" is a counter, but
+        every access path goes through here to keep the protocol shape.
+        """
+        self.stats.lock_acquisitions += 1
+        if not self._free:
+            self.stats.failed_allocations += 1
+            raise OutOfSpongeMemory(
+                f"pool full: {self.num_chunks} chunks all in use"
+            )
+        index = self._free.pop()
+        self._owners[index] = owner
+        self.stats.allocations += 1
+        self.stats.peak_used_chunks = max(self.stats.peak_used_chunks, self.used_chunks)
+        return index
+
+    def store(self, index: int, owner: TaskId, data: Any) -> None:
+        """Fill an allocated chunk.  Payload must fit the chunk."""
+        self._check_owned(index, owner)
+        if blob_size(data) > self.chunk_size and not self._oversize_ok(data):
+            raise SpongeError(
+                f"payload of {blob_size(data)} bytes exceeds chunk size "
+                f"{self.chunk_size}"
+            )
+        self._payloads[index] = data
+
+    def fetch(self, index: int, owner: Optional[TaskId] = None) -> Any:
+        if owner is not None:
+            self._check_owned(index, owner)
+        elif self._owners[index] is None:
+            raise SpongeError(f"chunk {index} is free")
+        return self._payloads[index]
+
+    def free(self, index: int, owner: Optional[TaskId] = None) -> None:
+        """Release a chunk back to the pool."""
+        if owner is not None:
+            self._check_owned(index, owner)
+        elif self._owners[index] is None:
+            raise SpongeError(f"double free of chunk {index}")
+        self.stats.lock_acquisitions += 1
+        self._owners[index] = None
+        self._payloads[index] = None
+        self._free.append(index)
+        self.stats.frees += 1
+
+    # -- garbage collection -------------------------------------------------
+
+    def owners(self) -> set[TaskId]:
+        """Distinct owners currently holding chunks."""
+        return {owner for owner in self._owners if owner is not None}
+
+    def chunks_of(self, owner: TaskId) -> list[int]:
+        return [i for i, o in enumerate(self._owners) if o == owner]
+
+    def collect(self, is_alive: Callable[[TaskId], bool]) -> int:
+        """Free every chunk whose owner is dead; returns chunks freed."""
+        freed = 0
+        verdicts: dict[TaskId, bool] = {}
+        for index, owner in enumerate(self._owners):
+            if owner is None:
+                continue
+            alive = verdicts.get(owner)
+            if alive is None:
+                alive = bool(is_alive(owner))
+                verdicts[owner] = alive
+            if not alive:
+                self.free(index)
+                freed += 1
+        self.stats.gc_freed += freed
+        return freed
+
+    # -- introspection ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[int, Optional[TaskId]]]:
+        return iter(enumerate(self._owners))
+
+    def check_invariants(self) -> None:
+        """Raise if bookkeeping is inconsistent (test hook)."""
+        free_set = set(self._free)
+        if len(free_set) != len(self._free):
+            raise SpongeError("free list contains duplicates")
+        for index, owner in enumerate(self._owners):
+            if (owner is None) != (index in free_set):
+                raise SpongeError(f"chunk {index}: owner/free-list disagreement")
+            if owner is None and self._payloads[index] is not None:
+                raise SpongeError(f"chunk {index}: free but holds a payload")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_owned(self, index: int, owner: TaskId) -> None:
+        if not 0 <= index < self.num_chunks:
+            raise SpongeError(f"chunk index out of range: {index}")
+        actual = self._owners[index]
+        if actual != owner:
+            raise SpongeError(
+                f"chunk {index} owned by {actual}, not {owner}"
+            )
+
+    @staticmethod
+    def _oversize_ok(data: Any) -> bool:
+        # A single record larger than the chunk size is stored alone in
+        # an oversize chunk (see blob_take); only Payloads can do this.
+        from repro.sponge.blob import Payload
+
+        return isinstance(data, Payload) and len(data.records) <= 1

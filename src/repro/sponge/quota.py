@@ -1,0 +1,48 @@
+"""Per-task, per-node sponge quotas (§3.1.4).
+
+The paper leaves quota enforcement as future work; we implement the
+scheme it sketches: enforcement is distributed — each sponge server
+refuses to allocate chunks to a task beyond its per-node limit, and can
+flag offenders for corrective action (the engine kills the task and the
+GC reclaims its space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import QuotaExceededError
+from repro.sponge.chunk import TaskId
+
+
+@dataclass
+class QuotaPolicy:
+    """Tracks per-owner usage on one node and enforces a byte limit."""
+
+    limit_per_node: Optional[int] = None
+    usage: dict = field(default_factory=dict)
+
+    def charge(self, owner: TaskId, nbytes: int) -> None:
+        """Account an allocation; raises if it would exceed the limit."""
+        current = self.usage.get(owner, 0)
+        if self.limit_per_node is not None and current + nbytes > self.limit_per_node:
+            raise QuotaExceededError(
+                f"{owner} would use {current + nbytes} bytes on this node "
+                f"(limit {self.limit_per_node})"
+            )
+        self.usage[owner] = current + nbytes
+
+    def release(self, owner: TaskId, nbytes: int) -> None:
+        current = self.usage.get(owner, 0)
+        remaining = current - nbytes
+        if remaining <= 0:
+            self.usage.pop(owner, None)
+        else:
+            self.usage[owner] = remaining
+
+    def offenders(self) -> list[TaskId]:
+        """Owners at or above the limit (candidates for corrective action)."""
+        if self.limit_per_node is None:
+            return []
+        return [o for o, used in self.usage.items() if used >= self.limit_per_node]

@@ -1,0 +1,152 @@
+"""Sponge servers: per-machine owners of the local sponge pool.
+
+A sponge server (§3.1.1) shares its machine's pool with local tasks,
+exports the pool's free space to the memory tracker, serves allocation
+requests from remote SpongeFiles, and garbage-collects chunks owned by
+dead tasks (checking liveness of local tasks itself and consulting the
+peer server for remote owners).
+
+This class is pure logic, independent of transport: the simulator calls
+it directly (charging network/IPC time around the calls) and the real
+runtime wraps it in a TCP server (``repro.runtime.sponge_server``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ChunkLostError, SpongeError
+from repro.sponge.blob import blob_size
+from repro.sponge.chunk import TaskId
+from repro.sponge.pool import SpongePool
+from repro.sponge.quota import QuotaPolicy
+
+#: Answers "is this task on *my* host alive?".
+LocalLivenessProbe = Callable[[TaskId], bool]
+
+
+@dataclass
+class ServerStats:
+    remote_allocations: int = 0
+    remote_denied: int = 0
+    reads_served: int = 0
+    gc_runs: int = 0
+    gc_chunks_freed: int = 0
+
+
+class SpongeServer:
+    """The per-node pool owner."""
+
+    def __init__(
+        self,
+        server_id: str,
+        host: str,
+        pool: SpongePool,
+        rack: str = "rack0",
+        quota: Optional[QuotaPolicy] = None,
+        local_liveness: Optional[LocalLivenessProbe] = None,
+    ) -> None:
+        self.server_id = server_id
+        self.host = host
+        self.rack = rack
+        self.pool = pool
+        self.quota = quota or QuotaPolicy()
+        self.stats = ServerStats()
+        self._local_liveness = local_liveness or (lambda owner: True)
+        #: host -> peer server, for cross-host liveness checks during GC.
+        self._peers: dict[str, "SpongeServer"] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def register_peer(self, server: "SpongeServer") -> None:
+        self._peers[server.host] = server
+
+    def set_local_liveness(self, probe: LocalLivenessProbe) -> None:
+        self._local_liveness = probe
+
+    # -- the RPC surface ----------------------------------------------------
+
+    def free_bytes(self) -> int:
+        """Exported to the memory tracker."""
+        return self.pool.free_bytes
+
+    def alloc_and_store(self, owner: TaskId, data: Any) -> int:
+        """Allocate a chunk for ``owner`` and fill it; returns the slot.
+
+        Raises :class:`~repro.errors.OutOfSpongeMemory` when full (the
+        free list at the tracker may be stale — callers fall through to
+        the next server) and
+        :class:`~repro.errors.QuotaExceededError` when ``owner`` is over
+        its per-node quota.
+        """
+        nbytes = blob_size(data)
+        self.quota.charge(owner, nbytes)
+        try:
+            index = self.pool.allocate(owner)
+        except SpongeError:
+            self.quota.release(owner, nbytes)
+            self.stats.remote_denied += 1
+            raise
+        self.pool.store(index, owner, data)
+        self.stats.remote_allocations += 1
+        return index
+
+    def read(self, owner: TaskId, index: int) -> Any:
+        try:
+            data = self.pool.fetch(index, owner)
+        except SpongeError as exc:
+            raise ChunkLostError(
+                f"chunk {index} on {self.server_id} is gone: {exc}"
+            ) from exc
+        self.stats.reads_served += 1
+        return data
+
+    def free(self, owner: TaskId, index: int) -> None:
+        data = self.pool.fetch(index, owner)
+        self.pool.free(index, owner)
+        self.quota.release(owner, blob_size(data) if data is not None else 0)
+
+    def is_task_alive(self, owner: TaskId) -> bool:
+        """Liveness of a task *on this server's host* (peer-consulted)."""
+        if owner.host != self.host:
+            raise SpongeError(
+                f"{self.server_id} asked about a task on {owner.host}"
+            )
+        return self._local_liveness(owner)
+
+    # -- garbage collection -------------------------------------------------
+
+    def run_gc(self) -> int:
+        """Free chunks owned by dead tasks; returns chunks freed.
+
+        Local owners are probed directly; owners on other hosts are
+        checked by consulting that host's sponge server.  Unknown hosts
+        are treated as dead (their machines left the cluster).
+        """
+
+        def is_alive(owner: TaskId) -> bool:
+            if owner.host == self.host:
+                return self._local_liveness(owner)
+            peer = self._peers.get(owner.host)
+            if peer is None:
+                return False
+            return peer.is_task_alive(owner)
+
+        bytes_before: dict[TaskId, int] = {}
+        for owner in self.pool.owners():
+            total = 0
+            for index in self.pool.chunks_of(owner):
+                data = self.pool.fetch(index, owner)
+                total += blob_size(data) if data is not None else 0
+            bytes_before[owner] = total
+        freed = self.pool.collect(is_alive)
+        if freed:
+            # Keep quota accounting in step with reclaimed space.
+            survivors = self.pool.owners()
+            for owner, nbytes in bytes_before.items():
+                if owner not in survivors:
+                    self.quota.release(owner, nbytes)
+        self.stats.gc_runs += 1
+        self.stats.gc_chunks_freed += freed
+        return freed

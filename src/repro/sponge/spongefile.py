@@ -1,0 +1,361 @@
+"""The SpongeFile: a logical byte array of spilled chunks (§3.1).
+
+Lifecycle (strictly enforced): *write* any number of times, *close*,
+*open a reader* and read sequentially, *delete*.  Single writer, single
+reader, no concurrent access, no durability — if a chunk is lost the
+owning task fails and is re-run by the framework.
+
+Performance behaviours from the paper, all implemented here:
+
+* an internal write buffer the size of one chunk, so in-memory chunks
+  are written whole and network round trips amortize;
+* asynchronous chunk writes (one outstanding) to overlap IO with
+  computation;
+* read prefetching of the next chunk while the current one is consumed;
+* on-disk chunk coalescing via the allocation chain.
+
+All IO methods are generators (*store ops*): inside the simulator they
+are driven with ``yield from`` by the task coroutine; against
+synchronous backends, :class:`SyncExecutor` completes them inline and
+the plain wrapper methods on :class:`SpongeFile` (``write_all`` etc.)
+can be used instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SpongeError, SpongeFileStateError
+from repro.sponge.allocator import AllocationChain, AllocationSession
+from repro.sponge.blob import blob_concat, blob_size, blob_take
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
+from repro.sponge.store import StoreOp, run_sync
+
+
+# ---------------------------------------------------------------------------
+# Executors: how store-op generators run (inline vs. simulation processes)
+# ---------------------------------------------------------------------------
+
+class _Completed:
+    """A finished operation: a value or a captured exception."""
+
+    __slots__ = ("value", "error")
+
+    def __init__(self, value: Any = None, error: Optional[BaseException] = None):
+        self.value = value
+        self.error = error
+
+
+class SyncExecutor:
+    """Runs store ops inline; 'async' writes just complete eagerly."""
+
+    def spawn(self, op: StoreOp) -> _Completed:
+        try:
+            return _Completed(value=run_sync(op))
+        except Exception as exc:  # noqa: BLE001 - delivered at wait()
+            return _Completed(error=exc)
+
+    def wait(self, completion: _Completed) -> StoreOp:
+        if completion.error is not None:
+            raise completion.error
+        return completion.value
+        yield  # pragma: no cover
+
+
+class SimExecutor:
+    """Runs store ops as simulation processes (true overlap)."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+
+    def spawn(self, op: StoreOp):
+        return self.env.process(op)
+
+    def wait(self, completion) -> StoreOp:
+        value = yield completion
+        return value
+
+
+# ---------------------------------------------------------------------------
+# SpongeFile
+# ---------------------------------------------------------------------------
+
+class FileState(enum.Enum):
+    WRITING = "writing"
+    CLOSED = "closed"
+    READING = "reading"
+    DELETED = "deleted"
+
+
+@dataclass
+class SpongeFileStats:
+    """Per-file accounting (chunk counts feed Table 2)."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    chunks: Counter = field(default_factory=Counter)  # ChunkLocation -> count
+    disk_appends: int = 0
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(self.chunks.values())
+
+
+class SpongeFile:
+    """One spilled object.  See module docstring for the lifecycle."""
+
+    def __init__(
+        self,
+        owner: TaskId,
+        chain: AllocationChain,
+        config: SpongeConfig = DEFAULT_CONFIG,
+        executor: Optional[Any] = None,
+        name: str = "",
+    ) -> None:
+        self.owner = owner
+        self.config = config
+        self.name = name or f"spongefile-{id(self):x}"
+        self.executor = executor if executor is not None else SyncExecutor()
+        self.session: AllocationSession = chain.new_session(owner)
+        self.stats = SpongeFileStats()
+        self._state = FileState.WRITING
+        self._handles: list[ChunkHandle] = []
+        self._buffer: list[Any] = []
+        self._buffered = 0
+        self._pending = None  # outstanding async chunk write
+        self._pending_appended_to: Optional[ChunkHandle] = None
+        self._reader: Optional[SpongeFileReader] = None
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def state(self) -> FileState:
+        return self._state
+
+    @property
+    def size(self) -> int:
+        """Total bytes written (buffered bytes included)."""
+        return self.stats.bytes_written
+
+    @property
+    def handles(self) -> tuple[ChunkHandle, ...]:
+        """The file's private metadata: its chunk list (read-only view)."""
+        return tuple(self._handles)
+
+    def chunk_count(self) -> int:
+        return len(self._handles)
+
+    # -- write path ----------------------------------------------------------
+
+    def write(self, data: Any) -> StoreOp:
+        """Append a blob (bytes or Payload).  Generator store-op."""
+        self._require(FileState.WRITING, "write")
+        nbytes = blob_size(data)
+        if nbytes == 0:
+            return None
+        self.stats.bytes_written += nbytes
+        self._buffer.append(data)
+        self._buffered += nbytes
+        while self._buffered >= self.config.chunk_size:
+            whole = blob_concat(self._buffer)
+            chunk, rest = blob_take(whole, self.config.chunk_size)
+            if rest is None:
+                self._buffer = []
+                self._buffered = 0
+            else:
+                self._buffer = [rest]
+                self._buffered = blob_size(rest)
+            yield from self._emit_chunk(chunk)
+        return None
+
+    def close(self) -> StoreOp:
+        """Flush the partial final chunk and seal the file."""
+        self._require(FileState.WRITING, "close")
+        if self._buffer:
+            chunk = blob_concat(self._buffer)
+            self._buffer = []
+            self._buffered = 0
+            yield from self._emit_chunk(chunk)
+        yield from self._drain_pending()
+        self._state = FileState.CLOSED
+        return None
+
+    # -- read path ----------------------------------------------------------
+
+    def open_reader(self) -> "SpongeFileReader":
+        """Start a sequential read pass.
+
+        Legal once the file is closed.  May be called again after a
+        pass to re-read from the start — a small extension beyond the
+        paper's read-once lifecycle that Pig's multi-pass UDFs need.
+        """
+        if self._state not in (FileState.CLOSED, FileState.READING):
+            raise SpongeFileStateError(
+                f"{self.name}: open_reader requires a closed file, "
+                f"file is {self._state.value}"
+            )
+        self._state = FileState.READING
+        self._reader = SpongeFileReader(self)
+        return self._reader
+
+    # -- delete ------------------------------------------------------------
+
+    def delete(self) -> StoreOp:
+        """Free every chunk.  Legal from any live state (cleanup path)."""
+        if self._state is FileState.DELETED:
+            raise SpongeFileStateError(f"{self.name}: double delete")
+        yield from self._drain_pending()
+        if self._reader is not None:
+            yield from self._reader._drain()
+        chain = self.session.chain
+        for handle in self._handles:
+            store = chain.store_for(handle)
+            yield from store.free_chunk(handle)
+        self._handles = []
+        self._buffer = []
+        self._buffered = 0
+        self._state = FileState.DELETED
+        return None
+
+    # -- convenience synchronous wrappers ------------------------------------
+
+    def write_all(self, data: Any) -> None:
+        """Synchronous :meth:`write` (non-simulated backends only)."""
+        run_sync(self.write(data))
+
+    def close_sync(self) -> None:
+        run_sync(self.close())
+
+    def delete_sync(self) -> None:
+        run_sync(self.delete())
+
+    def read_all(self) -> Any:
+        """Close-to-read convenience: concatenation of every chunk."""
+        reader = self.open_reader()
+        parts = []
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            parts.append(chunk)
+        return blob_concat(parts)
+
+    # -- internals ----------------------------------------------------------
+
+    def _require(self, state: FileState, operation: str) -> None:
+        if self._state is not state:
+            raise SpongeFileStateError(
+                f"{self.name}: {operation} requires state {state.value}, "
+                f"file is {self._state.value}"
+            )
+
+    def _last_disk_handle(self) -> Optional[ChunkHandle]:
+        if self._pending_appended_to is not None:
+            return self._pending_appended_to
+        if self._handles and self._handles[-1].location is ChunkLocation.LOCAL_DISK:
+            return self._handles[-1]
+        return None
+
+    def _emit_chunk(self, chunk: Any) -> StoreOp:
+        yield from self._drain_pending()
+        op = self.session.allocate(chunk, last_handle=self._last_disk_handle())
+        if self.config.async_writes:
+            self._pending = self.executor.spawn(op)
+        else:
+            result = yield from op
+            self._record(result)
+        return None
+
+    def _drain_pending(self) -> StoreOp:
+        if self._pending is not None:
+            pending, self._pending = self._pending, None
+            result = yield from self.executor.wait(pending)
+            self._record(result)
+        return None
+
+    def _record(self, result: tuple[ChunkHandle, bool]) -> None:
+        handle, appended = result
+        if appended:
+            self.stats.disk_appends += 1
+            self._pending_appended_to = handle
+        else:
+            self._handles.append(handle)
+            self.stats.chunks[handle.location] += 1
+            self._pending_appended_to = None
+
+
+class SpongeFileReader:
+    """Sequential reader with one-chunk prefetch."""
+
+    def __init__(self, spongefile: SpongeFile) -> None:
+        self.file = spongefile
+        self._index = 0
+        self._prefetched = None  # completion for chunk self._index
+        self._leftover: Any = None  # partial chunk for byte-mode read()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self.file._handles) and self._leftover is None
+
+    def next_chunk(self) -> StoreOp:
+        """The next chunk's payload, or ``None`` at end of file."""
+        handles = self.file._handles
+        if self._index >= len(handles):
+            return None
+        if self._prefetched is not None:
+            completion, self._prefetched = self._prefetched, None
+        else:
+            completion = self._start_fetch(self._index)
+        self._index += 1
+        if self.file.config.prefetch and self._index < len(handles):
+            self._prefetched = self._start_fetch(self._index)
+        try:
+            data = yield from self.file.executor.wait(completion)
+        except BaseException:
+            # Absorb the in-flight prefetch before propagating (its
+            # chunk is likely lost too; an unobserved failure would
+            # crash the simulation instead of failing just this task).
+            yield from self._drain()
+            raise
+        self.file.stats.bytes_read += blob_size(data)
+        return data
+
+    def read(self, nbytes: int) -> StoreOp:
+        """Byte-mode sequential read of up to ``nbytes`` (b'' at EOF)."""
+        parts: list[bytes] = []
+        needed = nbytes
+        while needed > 0:
+            if self._leftover:
+                take, rest = blob_take(self._leftover, needed)
+                if not isinstance(take, (bytes, bytearray, memoryview)):
+                    raise SpongeError("read(n) requires a bytes-mode SpongeFile")
+                parts.append(bytes(take))
+                needed -= len(take)
+                self._leftover = rest
+                continue
+            chunk = yield from self.next_chunk()
+            if chunk is None:
+                break
+            self._leftover = chunk
+        return b"".join(parts)
+
+    # -- internals ----------------------------------------------------------
+
+    def _start_fetch(self, index: int):
+        handle = self.file._handles[index]
+        store = self.file.session.chain.store_for(handle)
+        return self.file.executor.spawn(store.read_chunk(handle))
+
+    def _drain(self) -> StoreOp:
+        """Absorb an outstanding prefetch (delete and error paths)."""
+        if self._prefetched is not None:
+            pending, self._prefetched = self._prefetched, None
+            try:
+                yield from self.file.executor.wait(pending)
+            except Exception:  # noqa: BLE001 - outcome deliberately dropped
+                pass
+        return None

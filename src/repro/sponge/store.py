@@ -1,0 +1,130 @@
+"""The chunk-store protocol and the sans-IO execution helpers.
+
+Every spill medium (local sponge pool, remote sponge server, local
+disk, DFS) is a :class:`ChunkStore`.  All store operations are written
+as *generators* so the same SpongeFile core runs in two worlds:
+
+* inside the discrete-event simulator, stores yield simulation events
+  (disk requests, network transfers) and the enclosing task coroutine
+  drives them with ``yield from``;
+* in the real multi-process runtime and in unit tests, stores yield
+  nothing and :func:`run_sync` drains the generator immediately.
+
+:class:`SyncChunkStore` is the convenience base for the second kind:
+subclasses implement plain methods and get generator wrappers for free.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator, Optional
+
+from repro.errors import SpongeError
+from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+
+StoreOp = Generator[Any, Any, Any]
+
+
+def run_sync(gen: StoreOp) -> Any:
+    """Drain a store-operation generator that must not block.
+
+    Raises :class:`SpongeError` if the generator yields anything — that
+    means a simulation-backed store is being driven without a
+    simulation loop, which is a programming error.
+    """
+    try:
+        yielded = next(gen)
+    except StopIteration as stop:
+        return stop.value
+    gen.close()
+    raise SpongeError(
+        f"store operation yielded {yielded!r} outside a simulation; "
+        "use the simulation executor to drive this store"
+    )
+
+
+class ChunkStore(abc.ABC):
+    """One spill medium that can hold SpongeFile chunks."""
+
+    #: Which medium this store represents.
+    location: ChunkLocation
+    #: Stable identifier (node id, server address, filesystem name).
+    store_id: str
+    #: Whether :meth:`append_chunk` works (disk-backed stores only).
+    supports_append = False
+
+    @abc.abstractmethod
+    def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        """Store ``data``; return a :class:`ChunkHandle`.
+
+        Raises :class:`~repro.errors.OutOfSpongeMemory` when the medium
+        is full — the allocator chain then falls through to the next
+        medium.
+        """
+
+    @abc.abstractmethod
+    def read_chunk(self, handle: ChunkHandle) -> StoreOp:
+        """Return the chunk's payload.
+
+        Raises :class:`~repro.errors.ChunkLostError` if the chunk is
+        gone (freed, GC'd, or its host failed).
+        """
+
+    @abc.abstractmethod
+    def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        """Release the chunk.  Freeing an already-freed chunk is an error."""
+
+    def append_chunk(self, handle: ChunkHandle, data: Any) -> StoreOp:
+        """Append to an existing chunk, growing it in place.
+
+        Only disk-backed stores support this (§3.1.1's coalescing of
+        consecutive on-disk chunks); the default refuses.  Returns the
+        grown handle.
+        """
+        raise SpongeError(f"{type(self).__name__} does not support append")
+        yield  # pragma: no cover - makes this a generator
+
+    def free_bytes(self) -> Optional[int]:
+        """Free capacity estimate, or ``None`` for unbounded media."""
+        return None
+
+
+class SyncChunkStore(ChunkStore):
+    """Base for stores whose operations complete immediately.
+
+    Subclasses implement ``_write`` / ``_read`` / ``_free`` (and
+    optionally ``_append``); the generator protocol is provided here.
+    """
+
+    supports_append = False
+
+    @abc.abstractmethod
+    def _write(self, owner: TaskId, data: Any) -> ChunkHandle: ...
+
+    @abc.abstractmethod
+    def _read(self, handle: ChunkHandle) -> Any: ...
+
+    @abc.abstractmethod
+    def _free(self, handle: ChunkHandle) -> None: ...
+
+    def _append(self, handle: ChunkHandle, data: Any) -> ChunkHandle:
+        raise SpongeError(f"{type(self).__name__} does not support append")
+
+    def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        return self._write(owner, data)
+        yield  # pragma: no cover
+
+    def read_chunk(self, handle: ChunkHandle) -> StoreOp:
+        return self._read(handle)
+        yield  # pragma: no cover
+
+    def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        self._free(handle)
+        return None
+        yield  # pragma: no cover
+
+    def append_chunk(self, handle: ChunkHandle, data: Any) -> StoreOp:
+        if not self.supports_append:
+            raise SpongeError(f"{type(self).__name__} does not support append")
+        return self._append(handle, data)
+        yield  # pragma: no cover

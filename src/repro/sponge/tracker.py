@@ -1,0 +1,107 @@
+"""The memory tracking server (§3.1.1, "Remote Memory Chunk Allocator").
+
+A single stateless server periodically polls every sponge server for
+free space and hands SpongeFiles a (possibly stale) list of servers
+with free memory.  Staleness is the deliberate trade-off: allocation
+walks the list and falls through to disk if every candidate turns out
+to be full, rather than paying for a consistent global view.
+
+This class is transport-free; the simulator drives :meth:`poll_once`
+from a periodic process and the real runtime wraps it in a TCP server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.sponge.server import SpongeServer
+
+
+@dataclass
+class TrackerStats:
+    polls: int = 0
+    queries: int = 0
+
+
+@dataclass(frozen=True)
+class ServerInfo:
+    """One tracker entry: a server and its last-polled free space."""
+
+    server_id: str
+    host: str
+    rack: str
+    free_bytes: int
+
+
+class MemoryTracker:
+    """Polls sponge servers; serves stale free lists."""
+
+    def __init__(self, poll_interval: float = 1.0) -> None:
+        self.poll_interval = float(poll_interval)
+        self.stats = TrackerStats()
+        self._servers: dict[str, SpongeServer] = {}
+        self._snapshot: dict[str, ServerInfo] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, server: SpongeServer) -> None:
+        self._servers[server.server_id] = server
+
+    def deregister(self, server_id: str) -> None:
+        self._servers.pop(server_id, None)
+        self._snapshot.pop(server_id, None)
+
+    @property
+    def server_ids(self) -> list[str]:
+        return list(self._servers)
+
+    # -- polling ------------------------------------------------------------
+
+    def poll_once(self) -> None:
+        """Refresh the free-space snapshot from every server.
+
+        Servers that fail to answer are dropped from the snapshot until
+        the next successful poll (the tracker is stateless, §3.1.3).
+        """
+        snapshot: dict[str, ServerInfo] = {}
+        for server_id, server in self._servers.items():
+            try:
+                free = server.free_bytes()
+            except Exception:  # noqa: BLE001 - an unreachable server
+                continue
+            snapshot[server_id] = ServerInfo(
+                server_id=server_id,
+                host=server.host,
+                rack=server.rack,
+                free_bytes=free,
+            )
+        self._snapshot = snapshot
+        self.stats.polls += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def free_list(
+        self,
+        rack: Optional[str] = None,
+        exclude_hosts: Iterable[str] = (),
+        prefer: Callable[[ServerInfo], float] | None = None,
+    ) -> list[ServerInfo]:
+        """Servers believed to have free memory, most-free first.
+
+        ``rack`` filters to one rack (the paper's same-rack policy);
+        ``exclude_hosts`` removes the requester's own machine;
+        ``prefer`` optionally overrides the sort key (higher first).
+        """
+        self.stats.queries += 1
+        excluded = set(exclude_hosts)
+        infos = [
+            info
+            for info in self._snapshot.values()
+            if info.free_bytes > 0
+            and info.host not in excluded
+            and (rack is None or info.rack == rack)
+        ]
+        key = prefer if prefer is not None else (lambda info: info.free_bytes)
+        infos.sort(key=key, reverse=True)
+        return infos

@@ -1,0 +1,19 @@
+"""Shared utilities: units, statistics."""
+
+from repro.util.units import GB, KB, MB, TB, fmt_duration, fmt_size, parse_size
+from repro.util.stats import Summary, ecdf, median, quantiles, skewness
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "parse_size",
+    "fmt_size",
+    "fmt_duration",
+    "skewness",
+    "ecdf",
+    "quantiles",
+    "median",
+    "Summary",
+]

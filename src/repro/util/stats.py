@@ -1,0 +1,101 @@
+"""Statistics helpers used by the skew analyses (Figure 1) and reports.
+
+The central piece is the *unbiased estimator of skewness* the paper uses
+(citing Bulmer's *Principles of Statistics*) to quantify intra-job skew
+of reduce-task input sizes: values below -1 or above +1 indicate a
+highly skewed distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def skewness(values: Sequence[float] | np.ndarray) -> float:
+    """Unbiased (adjusted Fisher-Pearson) sample skewness G1.
+
+    ``G1 = g1 * sqrt(n * (n - 1)) / (n - 2)`` where
+    ``g1 = m3 / m2**1.5`` is the biased moment estimator.
+
+    Requires at least three samples and nonzero variance; degenerate
+    inputs return ``0.0`` (a constant sample is perfectly symmetric,
+    which is the convention most useful for the Figure 1(b) CDF).
+    """
+    data = np.asarray(values, dtype=float)
+    n = data.size
+    if n < 3:
+        return 0.0
+    mean = data.mean()
+    deviations = data - mean
+    m2 = float(np.mean(deviations**2))
+    if m2 <= 0.0:
+        return 0.0
+    denominator = m2**1.5
+    if denominator == 0.0:  # m2 so small that the power underflowed
+        return 0.0
+    m3 = float(np.mean(deviations**3))
+    g1 = m3 / denominator
+    return g1 * math.sqrt(n * (n - 1)) / (n - 2)
+
+
+def ecdf(values: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted sample points and cumulative fractions.
+
+    Returns ``(xs, fractions)`` where ``fractions[i]`` is the fraction
+    of samples ``<= xs[i]``; both arrays have the sample's length.
+    """
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        return data, data
+    fractions = np.arange(1, data.size + 1, dtype=float) / data.size
+    return data, fractions
+
+
+def quantiles(values: Iterable[float], probs: Sequence[float]) -> list[float]:
+    """Quantiles of ``values`` at each probability in ``probs``.
+
+    Uses linear interpolation (numpy's default), matching what an
+    analyst would get from standard tooling.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("quantiles of an empty sample")
+    return [float(q) for q in np.quantile(data, probs)]
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of ``values`` (the paper's holistic example aggregate)."""
+    return quantiles(values, [0.5])[0]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample, for experiment reports."""
+
+    count: int
+    mean: float
+    minimum: float
+    p50: float
+    p99: float
+    maximum: float
+    skew: float
+
+    @classmethod
+    def of(cls, values: Sequence[float] | np.ndarray) -> "Summary":
+        data = np.asarray(values, dtype=float)
+        if data.size == 0:
+            raise ValueError("summary of an empty sample")
+        p50, p99 = np.quantile(data, [0.5, 0.99])
+        return cls(
+            count=int(data.size),
+            mean=float(data.mean()),
+            minimum=float(data.min()),
+            p50=float(p50),
+            p99=float(p99),
+            maximum=float(data.max()),
+            skew=skewness(data),
+        )

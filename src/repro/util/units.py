@@ -1,0 +1,92 @@
+"""Byte-size units, parsing and formatting.
+
+All sizes in this package are plain ``int`` byte counts.  These helpers
+exist so that configuration and reports can speak in human units
+(``"10 GB"``) without ambiguity: units here are binary (KB = 1024 bytes),
+matching Hadoop's conventions.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_UNITS = {
+    "": 1,
+    "B": 1,
+    "K": KB,
+    "KB": KB,
+    "M": MB,
+    "MB": MB,
+    "G": GB,
+    "GB": GB,
+    "T": TB,
+    "TB": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size like ``"10 GB"`` into bytes.
+
+    Accepts a bare number (taken as bytes) or a number followed by one
+    of B/KB/MB/GB/TB (case-insensitive, the trailing B optional).
+
+    >>> parse_size("1.5 MB")
+    1572864
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ConfigError(f"unparseable size: {text!r}")
+    number, unit = match.groups()
+    unit = unit.upper()
+    if unit not in _UNITS:
+        raise ConfigError(f"unknown size unit {unit!r} in {text!r}")
+    return int(float(number) * _UNITS[unit])
+
+
+def fmt_size(nbytes: int | float) -> str:
+    """Format a byte count for reports: ``fmt_size(10 * GB) == '10.0 GB'``.
+
+    Negative values are formatted with a leading minus sign.
+    """
+    sign = "-" if nbytes < 0 else ""
+    value = abs(float(nbytes))
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if value >= factor:
+            return f"{sign}{value / factor:.1f} {unit}"
+    return f"{sign}{value:.0f} B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration for reports, picking a readable unit.
+
+    >>> fmt_duration(0.0251)
+    '25.1 ms'
+    >>> fmt_duration(135)
+    '2m15s'
+    """
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 120:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

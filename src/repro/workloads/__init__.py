@@ -1,0 +1,34 @@
+"""Workloads: synthetic datasets, production-trace synthesis, and the
+paper's evaluation jobs (median, frequent anchortext, spam quantiles,
+and the background grep)."""
+
+from repro.workloads.zipf import bounded_pareto, lognormal_sizes, zipf_choices
+from repro.workloads.webcrawl import CrawlSpec, Page, generate_crawl
+from repro.workloads.tracegen import TraceSpec, generate_trace
+from repro.workloads.jobs import (
+    MacroJob,
+    background_grep,
+    frequent_anchortext_job,
+    load_crawl_dataset,
+    load_numbers_dataset,
+    median_job,
+    spam_quantiles_job,
+)
+
+__all__ = [
+    "zipf_choices",
+    "bounded_pareto",
+    "lognormal_sizes",
+    "CrawlSpec",
+    "Page",
+    "generate_crawl",
+    "TraceSpec",
+    "generate_trace",
+    "MacroJob",
+    "median_job",
+    "frequent_anchortext_job",
+    "spam_quantiles_job",
+    "background_grep",
+    "load_numbers_dataset",
+    "load_crawl_dataset",
+]

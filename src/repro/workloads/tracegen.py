@@ -1,0 +1,130 @@
+"""Synthetic production trace for Figure 1.
+
+The paper's Figure 1 comes from one month of a multi-thousand-node
+Yahoo! cluster.  We cannot have that trace; we synthesize a job
+population whose published summary statistics we *can* match:
+
+* reduce-task input sizes span ~8 orders of magnitude from median to
+  max (Fig. 1(a): median in the MB range, max ~105 GB > any node's
+  RAM);
+* a large fraction of jobs have |skewness| > 1 across their own reduce
+  tasks (Fig. 1(b));
+* most jobs are small ad-hoc queries (the Facebook observation cited
+  in §4.3), with heavy analytical jobs in the tail;
+* map-side filtering discards ~90 % of input on average (§4.3), which
+  the effectiveness experiment uses to bound aggregate intermediate
+  data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.stats import skewness
+from repro.util.units import GB, KB
+from repro.workloads.zipf import bounded_pareto, lognormal_sizes
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    num_jobs: int = 4000
+    seed: int = 1
+
+    # Job-population mixture (fractions sum to 1).
+    adhoc_fraction: float = 0.70  # small interactive queries
+    medium_fraction: float = 0.25  # routine pipelines
+    heavy_fraction: float = 0.05  # big analytical jobs, skewed
+
+    #: Mean fraction of map input discarded before the shuffle (§4.3).
+    map_filter_mean: float = 0.90
+
+
+@dataclass
+class JobTrace:
+    """One job: the input size of each of its reduce tasks."""
+
+    job_id: int
+    kind: str
+    reduce_inputs: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def mean_input(self) -> float:
+        return float(self.reduce_inputs.mean())
+
+    @property
+    def skew(self) -> float:
+        return skewness(self.reduce_inputs)
+
+
+def generate_trace(spec: TraceSpec = TraceSpec()) -> list[JobTrace]:
+    """Synthesize the month-long job population."""
+    rng = np.random.default_rng(spec.seed)
+    jobs: list[JobTrace] = []
+    kinds = rng.choice(
+        ["adhoc", "medium", "heavy"],
+        size=spec.num_jobs,
+        p=[spec.adhoc_fraction, spec.medium_fraction, spec.heavy_fraction],
+    )
+    for job_id, kind in enumerate(kinds):
+        if kind == "adhoc":
+            num_reduces = int(rng.integers(1, 20))
+            # Tiny interactive queries: most reduces see a few KB.
+            inputs = lognormal_sizes(rng, median=2 * KB, sigma=2.5,
+                                     size=num_reduces)
+            inputs = np.maximum(inputs, 64)
+        elif kind == "medium":
+            num_reduces = int(rng.integers(10, 400))
+            # Routine pipelines: reduces around the high-KB/low-MB
+            # range (map-side filtering discards ~90% of the input).
+            inputs = lognormal_sizes(rng, median=48 * KB, sigma=2.4,
+                                     size=num_reduces)
+        else:  # heavy: Zipf-skewed group sizes, giant stragglers
+            num_reduces = int(rng.integers(20, 800))
+            inputs = bounded_pareto(
+                rng, low=4 * KB, high=105 * GB, alpha=0.42,
+                size=num_reduces,
+            )
+        jobs.append(JobTrace(job_id, str(kind), np.asarray(inputs)))
+    return jobs
+
+
+def all_reduce_inputs(jobs: list[JobTrace]) -> np.ndarray:
+    """Every reduce task's input size (Fig. 1(a), first curve)."""
+    return np.concatenate([job.reduce_inputs for job in jobs])
+
+
+def per_job_mean_inputs(jobs: list[JobTrace]) -> np.ndarray:
+    """Average input per reduce per job (Fig. 1(a), second curve)."""
+    return np.array([job.mean_input for job in jobs])
+
+
+def per_job_skewness(jobs: list[JobTrace], min_reduces: int = 3) -> np.ndarray:
+    """Unbiased skewness of same-job reduce inputs (Fig. 1(b))."""
+    return np.array(
+        [job.skew for job in jobs if job.reduce_inputs.size >= min_reduces]
+    )
+
+
+def intermediate_data_fractions(
+    jobs: list[JobTrace],
+    spec: TraceSpec,
+    cluster_memory_bytes: float,
+    concurrent_jobs: int = 50,
+    seed: int = 7,
+) -> np.ndarray:
+    """§4.3 effectiveness: aggregate live intermediate data vs. cluster
+    memory, sampled over many scheduling instants.
+
+    At any instant ~``concurrent_jobs`` run together; each job's live
+    intermediate data is the sum of its reduce inputs (already
+    post-map-filtering in this trace's accounting).
+    """
+    rng = np.random.default_rng(seed)
+    totals = np.array([float(job.reduce_inputs.sum()) for job in jobs])
+    samples = []
+    for _ in range(500):
+        picked = rng.choice(totals.size, size=concurrent_jobs, replace=False)
+        samples.append(totals[picked].sum() / cluster_memory_bytes)
+    return np.asarray(samples)

@@ -1,0 +1,129 @@
+"""Synthetic web-crawl dataset (§4.2.1).
+
+The paper's macro dataset is a ~10 GB sample of URLs with metadata
+(domain, language, spam score, anchortext), rescaled so the largest of
+100 domains matches its real size on the web.  We regenerate the same
+*shape* synthetically:
+
+* 100 domains with Zipf page counts — one dominant domain holds a
+  large share of all pages (the Spam Quantiles straggler group);
+* a handful of languages with English dominant (the Frequent
+  Anchortext straggler group);
+* per-page anchortext terms drawn Zipf from a term vocabulary;
+* per-page spam scores (Beta-distributed, domain-biased).
+
+Records carry *logical* sizes: a run at ``total_bytes=10 GB`` with
+``record_count=100_000`` means each page record stands for ~100 KB of
+crawl data, split into field groups so queries can project:
+URL+metadata ~45 %, anchortext ~25 %, scores/links ~30 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.mapreduce.types import Record
+from repro.util.units import GB
+
+#: Field-group shares of a page record's bytes (sum to 1.0).
+URL_META_SHARE = 0.45
+ANCHORTEXT_SHARE = 0.25
+SCORES_SHARE = 0.30
+
+
+@dataclass(frozen=True)
+class Page:
+    """One crawled page (the value of a crawl record)."""
+
+    url_id: int
+    domain: str
+    language: str
+    spam_score: float
+    anchor_terms: tuple
+
+
+@dataclass(frozen=True)
+class CrawlSpec:
+    """Knobs of the synthetic crawl."""
+
+    total_bytes: int = 10 * GB
+    record_count: int = 100_000
+    num_domains: int = 100
+    domain_zipf_alpha: float = 1.6
+    languages: tuple = ("en", "fr", "de", "es", "pt", "it", "nl", "zh")
+    language_zipf_alpha: float = 2.2
+    vocabulary_size: int = 20_000
+    term_zipf_alpha: float = 1.1
+    terms_per_page: int = 4
+    seed: int = 2014
+
+    @property
+    def record_bytes(self) -> int:
+        from repro.sponge.blob import snap_record_size
+
+        return snap_record_size(
+            max(1, self.total_bytes // self.record_count)
+        )
+
+    def anchortext_bytes(self) -> int:
+        return int(self.record_bytes * ANCHORTEXT_SHARE)
+
+    def projected_bytes(self, *shares: float) -> int:
+        return int(self.record_bytes * sum(shares))
+
+
+def generate_crawl(spec: CrawlSpec = CrawlSpec()) -> Iterator[Record]:
+    """Yield crawl records (key ``None``; value a :class:`Page`)."""
+    rng = np.random.default_rng(spec.seed)
+    from repro.workloads.zipf import zipf_weights
+
+    domains = [f"domain{i:03d}.example" for i in range(spec.num_domains)]
+    domain_weights = zipf_weights(spec.num_domains, spec.domain_zipf_alpha)
+    language_weights = zipf_weights(
+        len(spec.languages), spec.language_zipf_alpha
+    )
+    term_weights = zipf_weights(spec.vocabulary_size, spec.term_zipf_alpha)
+
+    domain_picks = rng.choice(
+        spec.num_domains, size=spec.record_count, p=domain_weights
+    )
+    language_picks = rng.choice(
+        len(spec.languages), size=spec.record_count, p=language_weights
+    )
+    term_picks = rng.choice(
+        spec.vocabulary_size,
+        size=(spec.record_count, spec.terms_per_page),
+        p=term_weights,
+    )
+    # Spam scores: mostly low, with spammy domains (higher rank => more
+    # likely spam-farm) skewing high.
+    base_scores = rng.beta(2.0, 8.0, size=spec.record_count)
+    spam_bias = (domain_picks / max(1, spec.num_domains - 1)) * 0.5
+    scores = np.clip(base_scores + spam_bias * rng.random(spec.record_count), 0, 1)
+
+    nbytes = spec.record_bytes
+    for i in range(spec.record_count):
+        page = Page(
+            url_id=i,
+            domain=domains[domain_picks[i]],
+            language=spec.languages[language_picks[i]],
+            spam_score=float(scores[i]),
+            anchor_terms=tuple(f"t{t}" for t in term_picks[i]),
+        )
+        yield Record(key=None, value=page, nbytes=nbytes)
+
+
+def crawl_summary(records: list[Record]) -> dict:
+    """Group sizes by domain and language (for tests and reports)."""
+    by_domain: dict[str, int] = {}
+    by_language: dict[str, int] = {}
+    for record in records:
+        page = record.value
+        by_domain[page.domain] = by_domain.get(page.domain, 0) + record.nbytes
+        by_language[page.language] = (
+            by_language.get(page.language, 0) + record.nbytes
+        )
+    return {"by_domain": by_domain, "by_language": by_language}

@@ -1,0 +1,51 @@
+"""Skewed samplers: Zipf, bounded Pareto, log-normal.
+
+Web data is Zipf-distributed almost everywhere it is measured —
+domains by page count, languages by page count, anchortext terms by
+frequency — which is exactly why MapReduce groups skew (§1).  All
+samplers take a seeded ``numpy`` generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf weights for ranks ``1..n``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+def zipf_choices(
+    rng: np.random.Generator, items: list, alpha: float, size: int
+) -> list:
+    """Sample ``size`` items with Zipf(alpha) popularity by list order."""
+    weights = zipf_weights(len(items), alpha)
+    indices = rng.choice(len(items), size=size, p=weights)
+    return [items[i] for i in indices]
+
+
+def bounded_pareto(
+    rng: np.random.Generator,
+    low: float,
+    high: float,
+    alpha: float,
+    size: int,
+) -> np.ndarray:
+    """Bounded Pareto samples in ``[low, high]`` (heavy upper tail)."""
+    if not 0 < low < high:
+        raise ValueError("need 0 < low < high")
+    u = rng.uniform(0.0, 1.0, size=size)
+    la, ha = low**alpha, high**alpha
+    return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+def lognormal_sizes(
+    rng: np.random.Generator, median: float, sigma: float, size: int
+) -> np.ndarray:
+    """Log-normal samples with the given median and log-space sigma."""
+    return rng.lognormal(mean=np.log(median), sigma=sigma, size=size)

@@ -1,0 +1,81 @@
+"""The real local-filesystem chunk store."""
+
+import pytest
+
+from repro.errors import ChunkLostError, OutOfSpongeMemory, SpongeError
+from repro.backends.file_backends import FileDiskStore
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+
+OWNER = TaskId("hostA", "task-7")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FileDiskStore(tmp_path / "spill")
+
+
+class TestFileDiskStore:
+    def test_write_creates_real_file(self, store, tmp_path):
+        handle = run_sync(store.write_chunk(OWNER, b"bytes on disk"))
+        assert handle.location is ChunkLocation.LOCAL_DISK
+        files = list((tmp_path / "spill").rglob("chunk-*"))
+        assert len(files) == 1
+        assert files[0].read_bytes() == b"bytes on disk"
+
+    def test_chunks_live_in_per_task_directories(self, store, tmp_path):
+        run_sync(store.write_chunk(OWNER, b"a"))
+        other = TaskId("hostB", "task-8")
+        run_sync(store.write_chunk(other, b"b"))
+        dirs = {p.name for p in (tmp_path / "spill").iterdir()}
+        assert dirs == {"task-7@hostA", "task-8@hostB"}
+
+    def test_append_grows_the_same_file(self, store):
+        handle = run_sync(store.write_chunk(OWNER, b"first"))
+        handle = run_sync(store.append_chunk(handle, b"+second"))
+        assert handle.nbytes == len(b"first+second")
+        assert run_sync(store.read_chunk(handle)) == b"first+second"
+
+    def test_free_unlinks(self, store, tmp_path):
+        handle = run_sync(store.write_chunk(OWNER, b"doomed"))
+        run_sync(store.free_chunk(handle))
+        assert not list((tmp_path / "spill").rglob("chunk-*"))
+        with pytest.raises(ChunkLostError):
+            run_sync(store.read_chunk(handle))
+
+    def test_capacity_enforced(self, tmp_path):
+        store = FileDiskStore(tmp_path / "s", capacity=10)
+        run_sync(store.write_chunk(OWNER, b"12345"))
+        with pytest.raises(OutOfSpongeMemory):
+            run_sync(store.write_chunk(OWNER, b"678901"))
+
+    def test_non_bytes_rejected(self, store):
+        from repro.sponge.blob import Payload
+
+        with pytest.raises(SpongeError):
+            run_sync(store.write_chunk(OWNER, Payload.of([1], 10)))
+
+    def test_cleanup_task_removes_directory(self, store, tmp_path):
+        run_sync(store.write_chunk(OWNER, b"temp"))
+        store.cleanup_task(OWNER)
+        assert not (tmp_path / "spill" / "task-7@hostA").exists()
+
+    def test_spongefile_spills_to_real_files(self, store, tmp_path):
+        config = SpongeConfig(chunk_size=1024)
+        chain = AllocationChain(
+            local_store=None, tracker=None, remote_store_factory=None,
+            disk_store=store, config=config,
+        )
+        sf = SpongeFile(OWNER, chain, config)
+        payload = bytes(range(256)) * 16  # 4 KB
+        sf.write_all(payload)
+        sf.close_sync()
+        # Coalescing: 4 chunks appended into ONE file on disk.
+        files = list((tmp_path / "spill").rglob("chunk-*"))
+        assert len(files) == 1
+        assert sf.read_all() == payload
+        sf.delete_sync()
+        assert not list((tmp_path / "spill").rglob("chunk-*"))

@@ -1,0 +1,112 @@
+"""In-process chunk stores: the reference backends."""
+
+import pytest
+
+from repro.backends.memory_backends import (
+    LocalPoolStore,
+    MemoryDfsStore,
+    MemoryDiskStore,
+    ServerStore,
+)
+from repro.errors import ChunkLostError, OutOfSpongeMemory
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.pool import SpongePool
+from repro.sponge.server import SpongeServer
+from repro.sponge.store import run_sync
+
+OWNER = TaskId("h0", "t0")
+CHUNK = 1024
+
+
+class TestLocalPoolStore:
+    def make(self, chunks=2):
+        pool = SpongePool(chunks * CHUNK, CHUNK)
+        return pool, LocalPoolStore(pool)
+
+    def test_roundtrip_and_free(self):
+        pool, store = self.make()
+        handle = run_sync(store.write_chunk(OWNER, b"data"))
+        assert handle.location is ChunkLocation.LOCAL_MEMORY
+        assert run_sync(store.read_chunk(handle)) == b"data"
+        run_sync(store.free_chunk(handle))
+        assert pool.free_chunks == 2
+
+    def test_full_pool_raises_out_of_memory(self):
+        pool, store = self.make(chunks=1)
+        run_sync(store.write_chunk(OWNER, b"x"))
+        with pytest.raises(OutOfSpongeMemory):
+            run_sync(store.write_chunk(OWNER, b"y"))
+
+    def test_read_after_free_is_chunk_lost(self):
+        pool, store = self.make()
+        handle = run_sync(store.write_chunk(OWNER, b"gone"))
+        run_sync(store.free_chunk(handle))
+        with pytest.raises(ChunkLostError):
+            run_sync(store.read_chunk(handle))
+
+    def test_free_bytes_tracks_pool(self):
+        pool, store = self.make(chunks=2)
+        assert store.free_bytes() == 2 * CHUNK
+        run_sync(store.write_chunk(OWNER, b"x"))
+        assert store.free_bytes() == CHUNK
+
+
+class TestServerStore:
+    def make(self):
+        pool = SpongePool(2 * CHUNK, CHUNK)
+        server = SpongeServer("srv", "h1", pool)
+        return server, ServerStore(server)
+
+    def test_roundtrip_counts_server_stats(self):
+        server, store = self.make()
+        handle = run_sync(store.write_chunk(OWNER, b"remote"))
+        assert handle.location is ChunkLocation.REMOTE_MEMORY
+        assert run_sync(store.read_chunk(handle)) == b"remote"
+        assert server.stats.remote_allocations == 1
+        assert server.stats.reads_served == 1
+
+    def test_store_id_is_server_id(self):
+        server, store = self.make()
+        assert store.store_id == "srv"
+
+    def test_full_server_denied(self):
+        server, store = self.make()
+        run_sync(store.write_chunk(OWNER, b"1"))
+        run_sync(store.write_chunk(OWNER, b"2"))
+        with pytest.raises(OutOfSpongeMemory):
+            run_sync(store.write_chunk(OWNER, b"3"))
+        assert server.stats.remote_denied == 1
+
+
+class TestDiskAndDfsStores:
+    def test_disk_append_coalesces(self):
+        store = MemoryDiskStore()
+        handle = run_sync(store.write_chunk(OWNER, b"ab"))
+        handle = run_sync(store.append_chunk(handle, b"cd"))
+        assert handle.nbytes == 4
+        assert run_sync(store.read_chunk(handle)) == b"abcd"
+
+    def test_disk_usage_accounting(self):
+        store = MemoryDiskStore(capacity=10)
+        handle = run_sync(store.write_chunk(OWNER, b"12345"))
+        assert store.free_bytes() == 5
+        run_sync(store.free_chunk(handle))
+        assert store.free_bytes() == 10
+
+    def test_dfs_refuses_append(self):
+        store = MemoryDfsStore()
+        handle = run_sync(store.write_chunk(OWNER, b"x"))
+        with pytest.raises(Exception):
+            run_sync(store.append_chunk(handle, b"y"))
+
+    def test_dfs_location(self):
+        store = MemoryDfsStore()
+        handle = run_sync(store.write_chunk(OWNER, b"x"))
+        assert handle.location is ChunkLocation.DFS
+
+    def test_lost_disk_chunk(self):
+        store = MemoryDiskStore()
+        handle = run_sync(store.write_chunk(OWNER, b"x"))
+        run_sync(store.free_chunk(handle))
+        with pytest.raises(ChunkLostError):
+            run_sync(store.read_chunk(handle))

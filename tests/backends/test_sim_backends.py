@@ -1,0 +1,171 @@
+"""Simulated backends: cost ordering (Table 1 shape) and deployment."""
+
+import pytest
+
+from repro.backends.sim_backends import (
+    IpcCosts,
+    SimDiskChunkStore,
+    SimLocalMemoryStore,
+    SimLocalServerStore,
+    SimRemoteMemoryStore,
+    SimSpongeDeployment,
+)
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.kernel import Environment
+from repro.sim.node import NodeSpec
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.pool import SpongePool
+from repro.sponge.server import SpongeServer
+from repro.sponge.spongefile import SimExecutor, SpongeFile
+from repro.util.units import GB, MB
+
+
+def small_cluster(nodes=3, sponge_pool=4 * MB, memory=16 * GB):
+    env = Environment()
+    spec = ClusterSpec(
+        racks=1,
+        nodes_per_rack=nodes,
+        node=NodeSpec(memory=memory, sponge_pool=sponge_pool),
+    )
+    return env, SimCluster(env, spec)
+
+
+def timed(env, gen):
+    start = env.now
+    result = env.run(env.process(gen))
+    return env.now - start, result
+
+
+class TestStoreCosts:
+    """The Table 1 ordering must emerge from the cost models."""
+
+    def setup_method(self):
+        self.env, self.cluster = small_cluster()
+        self.node = next(iter(self.cluster))
+        self.owner = TaskId(self.node.node_id, "t")
+        self.pool = SpongePool(8 * MB, 1 * MB)
+
+    def _write_once(self, store, nbytes=1 * MB):
+        def op():
+            handle = yield from store.write_chunk(self.owner, b"x" * nbytes)
+            return handle
+
+        return timed(self.env, op())
+
+    def test_local_shared_memory_is_cheapest(self):
+        store = SimLocalMemoryStore(self.node, self.pool)
+        elapsed, handle = self._write_once(store)
+        assert elapsed == pytest.approx(0.001, rel=0.05)  # ~1 ms/MB
+        assert handle.location is ChunkLocation.LOCAL_MEMORY
+
+    def test_local_server_costs_more_than_shared_memory(self):
+        server = SpongeServer("s", self.node.node_id, self.pool)
+        store = SimLocalServerStore(self.node, server)
+        elapsed, _ = self._write_once(store)
+        assert 0.004 < elapsed < 0.010  # ~7 ms/MB
+
+    def test_remote_memory_costs_more_than_local_server(self):
+        peer = self.cluster.node_ids()[1]
+        server = SpongeServer("s", peer, self.pool)
+        store = SimRemoteMemoryStore(
+            self.node, peer, server, self.cluster
+        )
+        elapsed, handle = self._write_once(store)
+        assert 0.007 < elapsed < 0.012  # ~9 ms/MB on 1 GbE
+        assert handle.location is ChunkLocation.REMOTE_MEMORY
+
+    def test_ordering_matches_table1(self):
+        shm = SimLocalMemoryStore(self.node, SpongePool(8 * MB, 1 * MB))
+        srv_pool = SpongePool(8 * MB, 1 * MB)
+        server = SpongeServer("s", self.node.node_id, srv_pool)
+        srv = SimLocalServerStore(self.node, server)
+        peer_id = self.cluster.node_ids()[1]
+        remote_server = SpongeServer("r", peer_id, SpongePool(8 * MB, 1 * MB))
+        rem = SimRemoteMemoryStore(self.node, peer_id, remote_server, self.cluster)
+
+        t_shm, _ = self._write_once(shm)
+        t_srv, _ = self._write_once(srv)
+        t_rem, _ = self._write_once(rem)
+
+        def disk_write():
+            # Direct disk write with a seek (the Table 1 pattern).
+            yield self.node.disk.write("bench", 1 * MB, random=True)
+
+        t_disk, _ = timed(self.env, disk_write())
+        assert t_shm < t_srv < t_rem < t_disk
+        assert t_disk > 10 * t_shm  # memory vs disk: order of magnitude+
+
+    def test_ipc_cost_model(self):
+        ipc = IpcCosts()
+        assert ipc.cost(1 * MB) > ipc.cost(0)
+
+
+class TestSimDiskStore:
+    def test_roundtrip_and_append(self):
+        env, cluster = small_cluster()
+        node = next(iter(cluster))
+        store = SimDiskChunkStore(node)
+        owner = TaskId(node.node_id, "t")
+
+        def workload():
+            handle = yield from store.write_chunk(owner, b"aa")
+            handle = yield from store.append_chunk(handle, b"bb")
+            data = yield from store.read_chunk(handle)
+            yield from store.free_chunk(handle)
+            return handle, data
+
+        handle, data = env.run(env.process(workload()))
+        assert handle.nbytes == 4
+        assert data == b"aabb"
+
+
+class TestDeployment:
+    def test_spongefile_over_simulated_cluster(self):
+        env, cluster = small_cluster(nodes=3, sponge_pool=2 * MB)
+        deploy = SimSpongeDeployment(env, cluster)
+        node_id = cluster.node_ids()[0]
+        owner = TaskId(node_id, "task-0")
+        deploy.registry.start(owner)
+        executor = SimExecutor(env)
+        payload = b"q" * (5 * MB)  # 2 local + 3 remote chunks
+
+        def task():
+            sf = SpongeFile(owner, deploy.chain(node_id), deploy.config,
+                            executor=executor)
+            yield from sf.write(payload)
+            yield from sf.close()
+            reader = sf.open_reader()
+            parts = []
+            while True:
+                chunk = yield from reader.next_chunk()
+                if chunk is None:
+                    break
+                parts.append(chunk)
+            locations = [h.location for h in sf.handles]
+            yield from sf.delete()
+            return b"".join(parts), locations
+
+        proc = env.process(task())
+        data, locations = env.run(proc)
+        assert data == payload
+        assert locations.count(ChunkLocation.LOCAL_MEMORY) == 2
+        assert locations.count(ChunkLocation.REMOTE_MEMORY) == 3
+        assert deploy.total_sponge_bytes_used() == 0  # deleted
+
+    def test_nodes_without_pool_spill_remotely(self):
+        env, cluster = small_cluster(nodes=2, sponge_pool=0)
+        deploy = SimSpongeDeployment(env, cluster)
+        assert deploy.pools == {}
+        node_id = cluster.node_ids()[0]
+        owner = TaskId(node_id, "t")
+
+        def task():
+            sf = SpongeFile(owner, deploy.chain(node_id), deploy.config,
+                            executor=SimExecutor(env))
+            yield from sf.write(b"z" * (2 * MB))
+            yield from sf.close()
+            return sf
+
+        sf = env.run(env.process(task()))
+        assert all(h.location is ChunkLocation.LOCAL_DISK for h in sf.handles)

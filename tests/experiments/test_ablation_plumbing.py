@@ -1,0 +1,41 @@
+"""Fast structural checks of the ablation experiments.
+
+The full shape checks run in the benchmark suite; here the quick
+ablations run outright and the expensive ones are verified for
+registration and row structure only.
+"""
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.ablations import run_affinity, run_overlap
+
+
+class TestQuickAblations:
+    def test_overlap_ablation_passes(self):
+        result = run_overlap()
+        assert result.all_passed, result.failed_checks()
+        assert {row["config"] for row in result.rows} == {
+            "prefetch + async writes", "serialized IO"
+        }
+
+    def test_affinity_ablation_passes(self):
+        result = run_affinity()
+        assert result.all_passed, result.failed_checks()
+        policies = [row["machines_used"] for row in result.rows]
+        assert policies[0] < policies[1]
+
+
+class TestRegistration:
+    def test_all_ablations_registered(self):
+        expected = {
+            "ablation-chunk-size",
+            "ablation-rack",
+            "ablation-overlap",
+            "ablation-affinity",
+            "ablation-skew-avoidance",
+            "ablation-speculation",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_registry_entries_are_callable(self):
+        for runner in EXPERIMENTS.values():
+            assert callable(runner)

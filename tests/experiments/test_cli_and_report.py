@@ -1,0 +1,55 @@
+"""The CLI and the EXPERIMENTS.md report writer."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import PAPER_CONTEXT, generate_report
+
+
+class TestCli:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table1" in out
+
+    def test_experiment_runs_and_reports(self, capsys):
+        assert main(["experiment", "failure-model"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_report_writes_file(self, tmp_path, capsys):
+        # Restrict to a cheap experiment through the report API instead
+        # of the CLI (the CLI always runs everything).
+        target = tmp_path / "out.md"
+        generate_report(exp_ids=["failure-model"], path=target,
+                        verbose=False)
+        text = target.read_text()
+        assert "failure-model" in text
+        assert "- [x]" in text
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_every_registered_experiment_has_paper_context(self):
+        from repro.experiments import EXPERIMENTS
+
+        missing = [e for e in EXPERIMENTS
+                   if e not in PAPER_CONTEXT
+                   and not e.startswith("ablation-")]
+        assert not missing
+
+    def test_report_renders_rows_and_checks(self, tmp_path):
+        text = generate_report(
+            exp_ids=["fig1", "effectiveness"],
+            path=tmp_path / "r.md", verbose=False,
+        )
+        assert "## fig1" in text
+        assert "## effectiveness" in text
+        assert "shape checks passed" in text
+        assert "```text" in text

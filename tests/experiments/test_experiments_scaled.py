@@ -1,0 +1,112 @@
+"""Scaled-down runs of every experiment.
+
+The benchmark suite runs the paper-scale versions; here each experiment
+runs at a small scale to verify the *plumbing* — rows present, checks
+evaluated, determinism — quickly enough for the unit suite.  Shape
+checks that need paper scale to hold are not asserted here (scaled
+physics differ); structural invariants are.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import (
+    MacroRunConfig,
+    grep_summary,
+    reduction_percent,
+    run_macro,
+)
+from repro.mapreduce.job import SpillMode
+from repro.util.units import GB
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        for exp_id in ("fig1", "table1", "table2", "fig4", "fig5", "fig6",
+                       "grep-variance", "failure-model", "effectiveness"):
+            assert exp_id in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        assert [e for e in EXPERIMENTS if e.startswith("ablation-")]
+
+
+class TestCheapExperiments:
+    """These run at full fidelity in well under a second."""
+
+    def test_fig1_passes(self):
+        result = EXPERIMENTS["fig1"]()
+        assert result.all_passed, result.failed_checks()
+        assert len(result.rows) == 24  # 3 series x 8 CDF points
+
+    def test_failure_model_passes(self):
+        result = EXPERIMENTS["failure-model"](trials=20_000)
+        assert result.all_passed, result.failed_checks()
+
+    def test_effectiveness_passes(self):
+        result = EXPERIMENTS["effectiveness"]()
+        assert result.all_passed, result.failed_checks()
+
+
+class TestTable1Scaled:
+    def test_ordering_holds_with_few_iterations(self):
+        result = EXPERIMENTS["table1"](iterations=30)
+        assert result.all_passed, result.failed_checks()
+        media = [row["medium"] for row in result.rows]
+        assert media[0] == "local shared memory"
+        assert media[-1] == "disk + background IO + memory pressure"
+
+
+class TestMacroScaled:
+    SCALE = 0.1
+
+    def test_table2_rows_and_structure(self):
+        result = EXPERIMENTS["table2"](scale=self.SCALE)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row["chunks"] > 0
+
+    def test_fig4_rows(self):
+        result = EXPERIMENTS["fig4"](scale=self.SCALE)
+        assert len(result.rows) == 6  # 3 jobs x 2 memory sizes
+        for row in result.rows:
+            assert row["disk_s"] > 0 and row["sponge_s"] > 0
+
+    def test_fig6_rows(self):
+        result = EXPERIMENTS["fig6"](scale=self.SCALE)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row["no spilling"] > 0
+
+
+class TestMacroRunner:
+    def test_determinism(self):
+        config = MacroRunConfig(job="median", spill_mode=SpillMode.SPONGE,
+                                scale=0.05)
+        first = run_macro(config)
+        second = run_macro(config)
+        assert first.runtime == second.runtime
+        assert (first.straggler.spilled_chunks
+                == second.straggler.spilled_chunks)
+
+    def test_background_grep_runs(self):
+        # Needs enough scale that grep tasks (~16 s each) finish before
+        # the foreground job does.
+        outcome = run_macro(
+            MacroRunConfig(job="median", spill_mode=SpillMode.DISK,
+                           scale=0.3, background=True)
+        )
+        summary = grep_summary(outcome.grep_task_runtimes)
+        assert summary["count"] > 0
+        assert summary["p50"] > 0
+
+    def test_memory_knob_respected(self):
+        outcome = run_macro(
+            MacroRunConfig(job="median", spill_mode=SpillMode.DISK,
+                           node_memory=4 * GB, scale=0.05)
+        )
+        assert outcome.runtime > 0
+
+    def test_reduction_percent(self):
+        assert reduction_percent(100.0, 45.0) == pytest.approx(55.0)
+        assert reduction_percent(0.0, 10.0) == 0.0
+        assert grep_summary([]) == {"count": 0, "p50": 0.0, "max": 0.0}

@@ -1,0 +1,72 @@
+"""The experiment harness: results, tables, checks, CDF sampling."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    ShapeCheck,
+    ascii_bars,
+    ascii_cdf,
+)
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult("exp", "A Title", ["a", "b"])
+        result.add_row(a=1, b="x")
+        result.add_row(a=2.5, b="y")
+        return result
+
+    def test_table_renders_all_rows(self):
+        table = self.make().to_table()
+        assert "a" in table and "b" in table
+        assert "2.5" in table and "y" in table
+
+    def test_checks_aggregate(self):
+        result = self.make()
+        result.check("good", True)
+        result.check("bad", False, "details")
+        assert not result.all_passed
+        assert len(result.failed_checks()) == 1
+        assert "details" in str(result.failed_checks()[0])
+
+    def test_report_contains_checks(self):
+        result = self.make()
+        result.check("claim", True)
+        report = result.report()
+        assert "[PASS] claim" in report
+        assert "A Title" in report
+
+    def test_empty_result_renders(self):
+        result = ExperimentResult("e", "t", ["col"])
+        assert "col" in result.to_table()
+
+    def test_missing_column_value_blank(self):
+        result = ExperimentResult("e", "t", ["a", "b"])
+        result.add_row(a=1)
+        assert "1" in result.to_table()
+
+
+class TestShapeCheck:
+    def test_str_shows_outcome(self):
+        assert "[PASS]" in str(ShapeCheck("d", True))
+        assert "[FAIL]" in str(ShapeCheck("d", False))
+
+
+class TestAsciiHelpers:
+    def test_bars_scale_to_peak(self):
+        chart = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bars_empty(self):
+        assert ascii_bars([], []) == "(no data)"
+
+    def test_cdf_sampling(self):
+        xs = list(range(1, 101))
+        fractions = [i / 100 for i in xs]
+        samples = dict(ascii_cdf(xs, fractions, points=(0.5, 1.0),
+                                 fmt=lambda v: v))
+        assert samples[0.5] == pytest.approx(50, abs=1)
+        assert samples[1.0] == 100

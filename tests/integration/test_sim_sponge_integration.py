@@ -1,0 +1,162 @@
+"""Cross-module integration on the simulator: SpongeFiles under real
+cluster dynamics — concurrency, contention, failure injection."""
+
+import pytest
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.errors import ChunkLostError
+from repro.sim import Environment, SimCluster
+from repro.sim.cluster import ClusterSpec
+from repro.sim.kernel import AllOf
+from repro.sim.node import NodeSpec
+from repro.sponge import SimExecutor, SpongeConfig, SpongeFile, TaskId
+from repro.sponge.gc import run_cluster_gc
+from repro.util.units import GB, MB
+
+
+def deploy_cluster(nodes=4, sponge_pool=8 * MB, config=None):
+    env = Environment()
+    spec = ClusterSpec(
+        racks=1, nodes_per_rack=nodes,
+        node=NodeSpec(memory=16 * GB, sponge_pool=sponge_pool),
+    )
+    cluster = SimCluster(env, spec)
+    deploy = SimSpongeDeployment(env, cluster,
+                                 config=config or SpongeConfig())
+    return env, cluster, deploy
+
+
+def spill_task(env, deploy, node_id, label, nbytes, config=None):
+    """A task coroutine: write, close, read back, verify, delete."""
+    config = config or deploy.config
+    owner = TaskId(node_id, label)
+    deploy.registry.start(owner)
+
+    def task():
+        sf = SpongeFile(owner, deploy.chain(node_id), config,
+                        executor=SimExecutor(env), name=label)
+        payload = label.encode() * (nbytes // len(label))
+        yield from sf.write(payload)
+        yield from sf.close()
+        reader = sf.open_reader()
+        parts = []
+        while True:
+            chunk = yield from reader.next_chunk()
+            if chunk is None:
+                break
+            parts.append(chunk)
+        assert b"".join(parts) == payload
+        yield from sf.delete()
+        deploy.registry.finish(owner)
+        return env.now
+
+    return env.process(task())
+
+
+class TestConcurrentSpilling:
+    def test_many_tasks_share_the_sponge(self):
+        env, cluster, deploy = deploy_cluster(nodes=4, sponge_pool=8 * MB)
+        nodes = cluster.node_ids()
+        procs = [
+            spill_task(env, deploy, nodes[i % 4], f"task{i}", 6 * MB)
+            for i in range(8)
+        ]
+        env.run(AllOf(env, procs))
+        assert deploy.total_sponge_bytes_used() == 0
+
+    def test_contention_slows_spills(self):
+        """Tasks spilling to the same remote server share its NIC."""
+
+        def run_with(count):
+            env, cluster, deploy = deploy_cluster(nodes=2,
+                                                  sponge_pool=64 * MB)
+            source = cluster.node_ids()[0]
+            # Drain the local pool so every chunk crosses the network.
+            pool = deploy.pools[source]
+            hog = TaskId(source, "hog")
+            while pool.free_chunks:
+                pool.store(pool.allocate(hog), hog, b"")
+            deploy.tracker.poll_once()
+            procs = [
+                spill_task(env, deploy, source, f"t{i}", 8 * MB)
+                for i in range(count)
+            ]
+            times = env.run(AllOf(env, procs))
+            return max(times)
+
+        solo_time = run_with(1)
+        contended_time = run_with(4)
+        assert contended_time > 1.5 * solo_time
+
+    def test_pool_pressure_overflows_to_disk_not_deadlock(self):
+        config = SpongeConfig()
+        env, cluster, deploy = deploy_cluster(nodes=2, sponge_pool=2 * MB,
+                                              config=config)
+        nodes = cluster.node_ids()
+        procs = [
+            spill_task(env, deploy, nodes[i % 2], f"big{i}", 16 * MB)
+            for i in range(3)
+        ]
+        env.run(AllOf(env, procs))  # would deadlock/fail if stuck
+
+
+class TestFailureInjection:
+    def test_lost_chunk_fails_the_read(self):
+        env, cluster, deploy = deploy_cluster(nodes=2, sponge_pool=8 * MB)
+        node_id = cluster.node_ids()[0]
+        owner = TaskId(node_id, "victim")
+
+        def task():
+            sf = SpongeFile(owner, deploy.chain(node_id), deploy.config,
+                            executor=SimExecutor(env))
+            yield from sf.write(b"x" * (4 * MB))
+            yield from sf.close()
+            # A "node failure": its pool chunks vanish.
+            pool = deploy.pools[node_id]
+            pool.collect(lambda o: False)
+            reader = sf.open_reader()
+            with pytest.raises(ChunkLostError):
+                while True:
+                    chunk = yield from reader.next_chunk()
+                    if chunk is None:
+                        break
+            return True
+
+        assert env.run(env.process(task()))
+
+    def test_gc_reclaims_after_simulated_task_death(self):
+        env, cluster, deploy = deploy_cluster(nodes=3, sponge_pool=4 * MB)
+        node_id = cluster.node_ids()[0]
+        owner = TaskId(node_id, "doomed")
+        deploy.registry.start(owner)
+
+        def task():
+            sf = SpongeFile(owner, deploy.chain(node_id), deploy.config,
+                            executor=SimExecutor(env))
+            yield from sf.write(b"y" * (8 * MB))  # spans local + remote
+            yield from sf.close()
+            # dies here: no delete
+
+        env.run(env.process(task()))
+        used_before = deploy.total_sponge_bytes_used()
+        assert used_before > 0
+        deploy.registry.finish(owner)  # the task is now dead
+        report = run_cluster_gc(list(deploy.servers.values()))
+        assert report.chunks_freed == used_before // (1 * MB)
+        assert deploy.total_sponge_bytes_used() == 0
+
+
+class TestTrackerDynamics:
+    def test_periodic_polling_refreshes_free_list(self):
+        env, cluster, deploy = deploy_cluster(nodes=2, sponge_pool=4 * MB)
+        node_id = cluster.node_ids()[1]
+        pool = deploy.pools[node_id]
+        hog = TaskId(node_id, "hog")
+        while pool.free_chunks:
+            pool.store(pool.allocate(hog), hog, b"")
+        # Immediately the tracker still believes the node has space.
+        stale = [i.host for i in deploy.tracker.free_list()]
+        assert node_id in stale
+        env.run(until=deploy.config.tracker_poll_interval * 2.5)
+        fresh = [i.host for i in deploy.tracker.free_list()]
+        assert node_id not in fresh

@@ -1,0 +1,44 @@
+"""Property: the spill medium must never change a job's *answer*.
+
+Disk spilling and SpongeFile spilling take completely different code
+paths (buffer cache vs pools/servers/network, multi-round vs single-
+round merges, seek-bound vs streaming bag reads) — but they must be
+semantically invisible.  Every macro job is run in both modes at small
+scale and the outputs compared exactly.
+"""
+
+import pytest
+
+from repro.experiments.common import MacroRunConfig, run_macro
+from repro.mapreduce.job import SpillMode
+from repro.util.units import GB
+
+SCALE = 0.08
+MEMORY_SIZES = [4 * GB, 16 * GB]
+
+
+def outputs_of(job, mode, memory):
+    outcome = run_macro(
+        MacroRunConfig(job=job, spill_mode=mode, node_memory=memory,
+                       scale=SCALE)
+    )
+    return sorted(
+        (record.key, record.value)
+        for record in outcome.result.output_records()
+    )
+
+
+@pytest.mark.parametrize("job", ["median", "frequent-anchortext",
+                                 "spam-quantiles"])
+@pytest.mark.parametrize("memory", MEMORY_SIZES)
+def test_spill_medium_is_semantically_invisible(job, memory):
+    disk = outputs_of(job, SpillMode.DISK, memory)
+    sponge = outputs_of(job, SpillMode.SPONGE, memory)
+    assert disk == sponge
+    assert disk  # sanity: the job actually produced output
+
+
+def test_memory_size_does_not_change_answers():
+    small = outputs_of("median", SpillMode.SPONGE, 4 * GB)
+    large = outputs_of("median", SpillMode.SPONGE, 16 * GB)
+    assert small == large

@@ -1,0 +1,77 @@
+"""Map-side combiners (the algebraic-aggregate path of §2.2)."""
+
+import pytest
+
+from repro.mapreduce import Hadoop, JobConf, Record
+from repro.sim import Environment, SimCluster
+from repro.sim.cluster import ClusterSpec
+from repro.util.units import MB
+
+
+def make_hadoop(nodes=4):
+    env = Environment()
+    cluster = SimCluster(env, ClusterSpec(racks=1, nodes_per_rack=nodes))
+    return Hadoop(env, cluster)
+
+
+def count_map(record):
+    yield Record(record.value, 1, record.nbytes)
+
+
+def count_combine(key, records):
+    yield Record(key, sum(r.value for r in records), 16)
+
+
+def count_reduce(key, values, ctx):
+    yield Record(key, sum(v.value for v in values), 16)
+
+
+def conf(**kwargs):
+    defaults = dict(name="wc", input_file="in", map_fn=count_map,
+                    reduce_fn=count_reduce, num_reducers=2)
+    defaults.update(kwargs)
+    return JobConf(**defaults)
+
+
+def load(hadoop, words, nbytes=1 * MB):
+    hadoop.load_records("in", [Record(None, w, nbytes) for w in words])
+
+
+class TestCombiner:
+    def test_results_identical_with_and_without(self):
+        words = ["a", "b", "a", "c"] * 30
+        with_combiner = make_hadoop()
+        load(with_combiner, words)
+        combined = with_combiner.run_job(conf(combiner_fn=count_combine))
+
+        without = make_hadoop()
+        load(without, words)
+        plain = without.run_job(conf())
+
+        as_dict = lambda res: {r.key: r.value for r in res.output_records()}
+        assert as_dict(combined) == as_dict(plain) == {"a": 60, "b": 30,
+                                                       "c": 30}
+
+    def test_combiner_shrinks_shuffle(self):
+        words = ["hot"] * 200
+        with_combiner = make_hadoop()
+        load(with_combiner, words)
+        combined = with_combiner.run_job(
+            conf(num_reducers=1, combiner_fn=count_combine)
+        )
+        without = make_hadoop()
+        load(without, words)
+        plain = without.run_job(conf(num_reducers=1))
+        combined_in = combined.counters.straggler().input_bytes
+        plain_in = plain.counters.straggler().input_bytes
+        assert combined_in < plain_in / 50
+
+    def test_combiner_applied_per_partition(self):
+        """Keys in different partitions never get merged together."""
+        words = [f"w{i}" for i in range(8)] * 10
+        hadoop = make_hadoop()
+        load(hadoop, words)
+        result = hadoop.run_job(conf(num_reducers=4,
+                                     combiner_fn=count_combine))
+        counts = {r.key: r.value for r in result.output_records()}
+        assert counts == {f"w{i}": 10 for i in range(8)}

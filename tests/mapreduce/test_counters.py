@@ -1,0 +1,57 @@
+"""Task/job counters and the straggler accounting behind Table 2."""
+
+from repro.mapreduce.counters import JobCounters, TaskCounters
+from repro.util.units import MB
+
+
+class TestTaskCounters:
+    def test_runtime(self):
+        task = TaskCounters(started=10.0, finished=25.5)
+        assert task.runtime == 15.5
+
+    def test_fragmentation_zero_without_chunks(self):
+        assert TaskCounters().chunk_fragmentation(1 * MB) == 0.0
+
+    def test_fragmentation_math(self):
+        task = TaskCounters(spilled_bytes=3 * MB, spilled_chunks=4)
+        assert task.chunk_fragmentation(1 * MB) == 0.25
+
+    def test_fragmentation_never_negative(self):
+        # Oversize chunks can make spilled bytes exceed chunks x size.
+        task = TaskCounters(spilled_bytes=10 * MB, spilled_chunks=2)
+        assert task.chunk_fragmentation(1 * MB) == 0.0
+
+
+class TestJobCounters:
+    def make(self):
+        job = JobCounters(job_name="j")
+        job.add(TaskCounters(task_id="m0", is_map=True, spilled_bytes=5))
+        job.add(TaskCounters(task_id="r0", is_map=False, input_bytes=100,
+                             spilled_bytes=10, spilled_chunks=2,
+                             started=0, finished=50))
+        job.add(TaskCounters(task_id="r1", is_map=False, input_bytes=900,
+                             spilled_bytes=30, spilled_chunks=5,
+                             started=0, finished=200))
+        return job
+
+    def test_maps_and_reduces_separated(self):
+        job = self.make()
+        assert len(job.maps) == 1
+        assert len(job.reduces) == 2
+
+    def test_totals(self):
+        job = self.make()
+        assert job.total_spilled_bytes == 45
+        assert job.total_spilled_chunks == 7
+
+    def test_straggler_is_biggest_input_reduce(self):
+        assert self.make().straggler().task_id == "r1"
+
+    def test_straggler_none_for_map_only(self):
+        job = JobCounters()
+        job.add(TaskCounters(is_map=True))
+        assert job.straggler() is None
+
+    def test_task_runtimes(self):
+        job = self.make()
+        assert job.task_runtimes(maps=False) == [50, 200]

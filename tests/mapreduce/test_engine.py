@@ -1,0 +1,222 @@
+"""End-to-end engine tests: correctness, scheduling, spilling, failure."""
+
+import pytest
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.errors import JobFailedError, MapReduceError
+from repro.mapreduce import Hadoop, JobConf, Record, SpillMode
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.kernel import Environment
+from repro.sim.node import NodeSpec
+from repro.util.units import GB, MB
+
+
+def make_hadoop(nodes=4, sponge=False, heap=1 * GB):
+    env = Environment()
+    spec = ClusterSpec(
+        racks=1, nodes_per_rack=nodes,
+        node=NodeSpec(memory=16 * GB, sponge_pool=(1 * GB if sponge else 0)),
+    )
+    cluster = SimCluster(env, spec)
+    deploy = SimSpongeDeployment(env, cluster) if sponge else None
+    return env, cluster, Hadoop(env, cluster, sponge=deploy)
+
+
+def word_records(words, nbytes=1 * MB):
+    return [Record(None, w, nbytes) for w in words]
+
+
+def wc_map(record):
+    yield Record(record.value, 1, record.nbytes)
+
+
+def wc_reduce(key, values, ctx):
+    yield Record(key, sum(v.value for v in values), 16)
+
+
+def wc_conf(**kwargs):
+    defaults = dict(
+        name="wc", input_file="input", map_fn=wc_map, reduce_fn=wc_reduce,
+        num_reducers=2,
+    )
+    defaults.update(kwargs)
+    return JobConf(**defaults)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("sponge", [False, True])
+    def test_word_count(self, sponge):
+        env, cluster, hadoop = make_hadoop(sponge=sponge)
+        hadoop.load_records("input", word_records(["a", "b", "a"] * 40))
+        mode = SpillMode.SPONGE if sponge else SpillMode.DISK
+        result = hadoop.run_job(wc_conf(spill_mode=mode))
+        counts = {r.key: r.value for r in result.output_records()}
+        assert counts == {"a": 80, "b": 40}
+
+    def test_output_is_key_grouped_once(self):
+        """Each key reaches exactly one reduce call."""
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", word_records(list("abcabcabc")))
+        calls = []
+
+        def spy_reduce(key, values, ctx):
+            calls.append(key)
+            return wc_reduce(key, values, ctx)
+
+        result = hadoop.run_job(wc_conf(reduce_fn=spy_reduce))
+        assert sorted(calls) == ["a", "b", "c"]
+        assert {r.value for r in result.output_records()} == {3}
+
+    def test_map_only_job(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.hdfs.create_opaque("corpus", 512 * MB)
+        seen = {"count": 0}
+
+        def count_map(record):
+            seen["count"] += 1
+            return ()
+
+        conf = JobConf(name="scan", input_file="corpus", map_fn=count_map,
+                       num_reducers=0)
+        result = hadoop.run_job(conf)
+        assert result.outputs == {}
+        assert len(result.counters.maps) == 4  # 512 MB / 128 MB blocks
+
+    def test_empty_input(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", [])
+        result = hadoop.run_job(wc_conf())
+        assert result.output_records() == []
+
+
+class TestSpillBehaviour:
+    def test_large_reduce_input_spills(self):
+        env, cluster, hadoop = make_hadoop(sponge=True)
+        # 3 GB into one reducer with a 1 GB heap: must spill.
+        hadoop.load_records(
+            "input", word_records(["k"] * 3072, nbytes=1 * MB)
+        )
+        conf = wc_conf(num_reducers=1, spill_mode=SpillMode.SPONGE)
+        result = hadoop.run_job(conf)
+        straggler = result.counters.straggler()
+        assert straggler.spilled_bytes >= 2 * GB
+        assert straggler.spilled_chunks > 1000
+
+    def test_small_reduce_input_stays_in_memory(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", word_records(["k"] * 16, nbytes=4 * MB))
+        result = hadoop.run_job(wc_conf(num_reducers=1))
+        straggler = result.counters.straggler()
+        # 64 MB < 700 MB shuffle buffer, but retain fraction 0 means one
+        # re-spill of the merged inputs (§2.1.2's default behaviour).
+        assert straggler.spill_events == 1
+
+    def test_retain_fraction_one_avoids_spilling(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", word_records(["k"] * 16, nbytes=4 * MB))
+        result = hadoop.run_job(
+            wc_conf(num_reducers=1, reduce_retain_fraction=1.0)
+        )
+        assert result.counters.straggler().spilled_bytes == 0
+
+    def test_map_side_sort_buffer_spills(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", word_records(["k"] * 8, nbytes=32 * MB))
+
+        def expand_map(record):
+            # Map output (3x input) overflows a small sort buffer.
+            for i in range(3):
+                yield Record(f"{record.value}-{i}", 1, record.nbytes)
+
+        conf = wc_conf(map_fn=expand_map, sort_buffer=64 * MB)
+        result = hadoop.run_job(conf)
+        assert any(m.spill_events > 0 for m in result.counters.maps)
+        assert sum(len(r) for r in result.outputs.values()) == 3
+
+    def test_sponge_mode_without_deployment_rejected(self):
+        env, cluster, hadoop = make_hadoop(sponge=False)
+        hadoop.load_records("input", word_records(["a"]))
+        with pytest.raises(MapReduceError):
+            hadoop.submit(wc_conf(spill_mode=SpillMode.SPONGE))
+
+
+class TestScheduling:
+    def test_map_locality_preferred(self):
+        env, cluster, hadoop = make_hadoop(nodes=4)
+        hadoop.load_records("input", word_records(["w"] * 32, nbytes=16 * MB))
+        result = hadoop.run_job(wc_conf())
+        blocks = {b.block_id: b.node_id
+                  for b in hadoop.hdfs.open("input").blocks}
+        local = sum(
+            1 for m in result.counters.maps if m.node_id in blocks.values()
+        )
+        assert local == len(result.counters.maps)
+
+    def test_slots_bound_concurrency(self):
+        env, cluster, hadoop = make_hadoop(nodes=2)
+        hadoop.load_records("input", word_records(["w"] * 64, nbytes=16 * MB))
+        result = hadoop.run_job(wc_conf())
+        # 8 blocks, 2 nodes x 2 map slots: at least two map waves.
+        starts = sorted(m.started for m in result.counters.maps)
+        assert starts[-1] > starts[0]
+
+    def test_background_job_uses_leftover_slots(self):
+        env, cluster, hadoop = make_hadoop(nodes=3)
+        hadoop.load_records("input", word_records(["w"] * 12, nbytes=16 * MB))
+        hadoop.hdfs.create_opaque("corpus", 4 * GB)
+        foreground = hadoop.submit(wc_conf())
+        grep = JobConf(name="grep", input_file="corpus",
+                       map_fn=lambda r: (), num_reducers=0)
+        background = hadoop.submit(grep)
+        env.run(foreground.done)
+        assert background.completed_maps > 0
+        assert not background.finished  # still grinding when fg is done
+
+    def test_two_foreground_jobs_fifo(self):
+        env, cluster, hadoop = make_hadoop(nodes=2)
+        hadoop.load_records("first", word_records(["x"] * 8, nbytes=16 * MB))
+        hadoop.load_records("second", word_records(["y"] * 8, nbytes=16 * MB))
+        job1 = hadoop.submit(wc_conf(name="one", input_file="first"))
+        job2 = hadoop.submit(wc_conf(name="two", input_file="second"))
+        result2 = env.run(job2.done)
+        assert job1.done.triggered
+        assert env.run(job1.done).runtime <= result2.runtime
+
+
+class TestFailurePropagation:
+    def test_map_exception_fails_job(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", word_records(["a", "b"]))
+
+        def broken_map(record):
+            raise ValueError("user code bug")
+
+        job = hadoop.submit(wc_conf(map_fn=broken_map))
+        with pytest.raises(JobFailedError):
+            env.run(job.done)
+
+    def test_reduce_exception_fails_job(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", word_records(["a", "b"]))
+
+        def broken_reduce(key, values, ctx):
+            raise RuntimeError("reducer bug")
+
+        job = hadoop.submit(wc_conf(reduce_fn=broken_reduce))
+        with pytest.raises(JobFailedError):
+            env.run(job.done)
+
+    def test_failed_job_releases_slots(self):
+        env, cluster, hadoop = make_hadoop()
+        hadoop.load_records("input", word_records(["a"]))
+        hadoop.load_records("input2", word_records(["b"] * 4))
+
+        def broken_map(record):
+            raise ValueError("boom")
+
+        bad = hadoop.submit(wc_conf(map_fn=broken_map))
+        with pytest.raises(JobFailedError):
+            env.run(bad.done)
+        good = hadoop.submit(wc_conf(name="good", input_file="input2"))
+        result = env.run(good.done)
+        assert {r.key for r in result.output_records()} == {"b"}

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.errors import MapReduceError
+from repro.mapreduce.hdfs import MiniHdfs
+from repro.mapreduce.types import Record
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.kernel import Environment
+from repro.util.units import MB
+
+
+def make_hdfs(nodes=4, block_size=4 * MB):
+    env = Environment()
+    cluster = SimCluster(env, ClusterSpec(racks=1, nodes_per_rack=nodes))
+    return env, cluster, MiniHdfs(cluster, block_size=block_size)
+
+
+def records(count, nbytes=1 * MB):
+    return [Record(None, i, nbytes) for i in range(count)]
+
+
+class TestBlockLayout:
+    def test_blocks_cut_at_block_size(self):
+        env, cluster, hdfs = make_hdfs(block_size=4 * MB)
+        hdfs_file = hdfs.create("f", records(10))
+        assert len(hdfs_file.blocks) == 3  # 4+4+2 MB
+        assert hdfs_file.blocks[0].nbytes == 4 * MB
+        assert hdfs_file.nbytes == 10 * MB
+
+    def test_round_robin_placement(self):
+        env, cluster, hdfs = make_hdfs(nodes=4)
+        hdfs_file = hdfs.create("f", records(16))
+        hosts = [block.node_id for block in hdfs_file.blocks]
+        assert len(set(hosts)) == 4
+
+    def test_empty_file_gets_one_block(self):
+        env, cluster, hdfs = make_hdfs()
+        hdfs_file = hdfs.create("empty", [])
+        assert len(hdfs_file.blocks) == 1
+        assert hdfs_file.nbytes == 0
+
+    def test_duplicate_name_rejected(self):
+        env, cluster, hdfs = make_hdfs()
+        hdfs.create("f", records(1))
+        with pytest.raises(MapReduceError):
+            hdfs.create("f", records(1))
+
+    def test_open_missing_rejected(self):
+        env, cluster, hdfs = make_hdfs()
+        with pytest.raises(MapReduceError):
+            hdfs.open("nope")
+
+    def test_records_roundtrip(self):
+        env, cluster, hdfs = make_hdfs()
+        hdfs.create("f", records(9))
+        assert [r.value for r in hdfs.iter_records("f")] == list(range(9))
+
+
+class TestOpaqueFiles:
+    def test_opaque_sizes(self):
+        env, cluster, hdfs = make_hdfs(block_size=4 * MB)
+        hdfs_file = hdfs.create_opaque("big", 10 * MB)
+        assert hdfs_file.nbytes == 10 * MB
+        assert all(not b.records for b in hdfs_file.blocks)
+
+
+class TestReads:
+    def test_local_read_charges_host_disk(self):
+        env, cluster, hdfs = make_hdfs()
+        hdfs_file = hdfs.create("f", records(4))
+        block = hdfs_file.blocks[0]
+
+        def reader():
+            got = yield from hdfs.read_block(block, block.node_id)
+            return got
+
+        got = env.run(env.process(reader()))
+        assert got == block.records
+        assert cluster.node(block.node_id).disk.stats.bytes_read >= block.nbytes
+
+    def test_remote_read_crosses_network(self):
+        env, cluster, hdfs = make_hdfs()
+        hdfs_file = hdfs.create("f", records(4))
+        block = hdfs_file.blocks[0]
+        other = next(
+            n for n in cluster.node_ids() if n != block.node_id
+        )
+
+        def reader():
+            yield from hdfs.read_block(block, other)
+
+        env.run(env.process(reader()))
+        assert cluster.network.stats.bytes_transferred >= block.nbytes
+
+    def test_stream_block_interleaves_cpu(self):
+        env, cluster, hdfs = make_hdfs()
+        hdfs_file = hdfs.create("f", records(4))
+        block = hdfs_file.blocks[0]
+
+        def reader():
+            got = yield from hdfs.stream_block(
+                block, block.node_id, cpu_bps=1 * MB
+            )
+            return got
+
+        got = env.run(env.process(reader()))
+        assert got == block.records
+        # CPU time alone: 4 MB at 1 MB/s -> at least 4 simulated seconds.
+        assert env.now >= 4.0
+
+    def test_second_read_hits_cache(self):
+        env, cluster, hdfs = make_hdfs()
+        hdfs_file = hdfs.create("f", records(4))
+        block = hdfs_file.blocks[0]
+        node = cluster.node(block.node_id)
+
+        def reader():
+            yield from hdfs.read_block(block, block.node_id)
+            before = node.disk.stats.bytes_read
+            yield from hdfs.read_block(block, block.node_id)
+            return before
+
+        before = env.run(env.process(reader()))
+        assert node.disk.stats.bytes_read == before  # all cached

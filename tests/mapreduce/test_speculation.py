@@ -1,0 +1,128 @@
+"""Speculative execution: helps slow nodes, cannot fix data skew."""
+
+import pytest
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.mapreduce import Hadoop, JobConf, Record, SpillMode
+from repro.sim import Environment, SimCluster
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+from repro.util.units import GB, MB
+
+
+def make_hadoop(nodes=6, slow_node_factor=None, sponge=False,
+                memory=4 * GB):
+    env = Environment()
+    spec = ClusterSpec(
+        racks=1, nodes_per_rack=nodes,
+        node=NodeSpec(memory=memory,
+                      sponge_pool=(1 * GB if sponge else 0)),
+    )
+    cluster = SimCluster(env, spec)
+    victim = cluster.node_ids()[0]
+    if slow_node_factor:
+        # Degrade one machine's disk (a failing spindle).
+        node = cluster.node(victim)
+        node.disk.seq_bandwidth /= slow_node_factor
+    deploy = SimSpongeDeployment(env, cluster) if sponge else None
+    return env, cluster, Hadoop(env, cluster, sponge=deploy), victim
+
+
+def uniform_job(hadoop, victim, reducers=5, speculative=False,
+                records_per_key=175):
+    words = [f"w{i % reducers}" for i in range(reducers * records_per_key)]
+    hadoop.load_records(
+        "in", [Record(None, w, 4 * MB) for w in words]
+    )
+    # Keep the victim's degraded disk off the map path, so the slow
+    # node only matters for the reduce that lands on it.
+    healthy = [b.node_id for b in hadoop.hdfs.open("in").blocks
+               if b.node_id != victim]
+    for block in hadoop.hdfs.open("in").blocks:
+        if block.node_id == victim:
+            block.node_id = healthy[0]
+
+    def map_fn(record):
+        yield Record(record.value, 1, record.nbytes)
+
+    def reduce_fn(key, values, ctx):
+        yield Record(key, len(values), 16)
+
+    return JobConf(
+        name="uniform", input_file="in", map_fn=map_fn,
+        reduce_fn=reduce_fn, num_reducers=reducers,
+        partitioner=lambda key, n: int(key[1:]) % n,
+        speculative_execution=speculative,
+    )
+
+
+class TestSlowNode:
+    def run_once(self, speculative):
+        env, cluster, hadoop, victim = make_hadoop(slow_node_factor=16)
+        result = hadoop.run_job(
+            uniform_job(hadoop, victim, speculative=speculative)
+        )
+        counts = {r.key: r.value for r in result.output_records()}
+        assert set(counts.values()) == {175}
+        return result
+
+    def test_backup_attempt_rescues_the_job(self):
+        baseline = self.run_once(speculative=False)
+        speculated = self.run_once(speculative=True)
+        assert speculated.runtime < 0.7 * baseline.runtime
+
+    def test_backup_recorded_in_counters(self):
+        result = self.run_once(speculative=True)
+        attempts = [t.task_id for t in result.counters.reduces]
+        assert any(t.endswith("-spec") for t in attempts)
+
+    def test_results_identical_with_speculation(self):
+        baseline = self.run_once(speculative=False)
+        speculated = self.run_once(speculative=True)
+        as_dict = lambda r: {o.key: o.value for o in r.output_records()}
+        assert as_dict(baseline) == as_dict(speculated)
+
+
+class TestDataSkew:
+    """The paper's footnote 4: speculation does not address skew —
+    the backup attempt inherits the same giant input."""
+
+    def run_once(self, speculative):
+        env, cluster, hadoop, victim = make_hadoop(nodes=6)
+        # All records share one key: a single skewed reduce.
+        hadoop.load_records(
+            "in", [Record(None, "hot", 4 * MB) for _ in range(300)]
+        )
+
+        def map_fn(record):
+            yield Record(record.value, 1, record.nbytes)
+
+        def reduce_fn(key, values, ctx):
+            yield Record(key, len(values), 16)
+
+        conf = JobConf(
+            name="skewed", input_file="in", map_fn=map_fn,
+            reduce_fn=reduce_fn, num_reducers=1,
+            speculative_execution=speculative,
+        )
+        return hadoop.run_job(conf)
+
+    def test_speculation_does_not_fix_skew(self):
+        baseline = self.run_once(speculative=False)
+        speculated = self.run_once(speculative=True)
+        # At best a few percent of noise — never a rescue.
+        assert speculated.runtime > 0.9 * baseline.runtime
+
+    def test_sponge_cleanup_after_losing_attempt(self):
+        env, cluster, hadoop, victim = make_hadoop(
+            nodes=6, slow_node_factor=16, sponge=True
+        )
+        conf = uniform_job(hadoop, victim, speculative=True)
+        conf = JobConf(
+            name=conf.name, input_file=conf.input_file, map_fn=conf.map_fn,
+            reduce_fn=conf.reduce_fn, num_reducers=conf.num_reducers,
+            speculative_execution=True, spill_mode=SpillMode.SPONGE,
+        )
+        hadoop.run_job(conf)
+        # Losing attempts' chunks were garbage-collected.
+        assert hadoop.sponge.total_sponge_bytes_used() == 0

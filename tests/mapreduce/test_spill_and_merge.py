@@ -1,0 +1,199 @@
+"""Spill targets and the k-way merge policies."""
+
+import pytest
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.mapreduce.counters import TaskCounters
+from repro.mapreduce.merge import (
+    merge_runs,
+    merge_sorted_records,
+    plan_merge_rounds,
+)
+from repro.mapreduce.spill import (
+    DiskSpillTarget,
+    MaterializedRun,
+    SpongeSpillTarget,
+)
+from repro.mapreduce.types import Record
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.kernel import Environment
+from repro.sim.node import NodeSpec
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SimExecutor
+from repro.util.units import GB, MB
+
+
+def rec(key, nbytes=1 * MB):
+    return Record(key, None, nbytes)
+
+
+def sorted_run_records(start, count):
+    return [rec(start + i) for i in range(count)]
+
+
+def build_env(sponge=False, memory=16 * GB):
+    env = Environment()
+    spec = ClusterSpec(
+        racks=1, nodes_per_rack=3,
+        node=NodeSpec(memory=memory, sponge_pool=(1 * GB if sponge else 0)),
+    )
+    cluster = SimCluster(env, spec)
+    deploy = SimSpongeDeployment(env, cluster) if sponge else None
+    return env, cluster, deploy
+
+
+def disk_target(env, cluster, counters=None):
+    node = next(iter(cluster))
+    return DiskSpillTarget(node, "task-0", counters)
+
+
+def sponge_target(env, cluster, deploy, counters=None):
+    node_id = cluster.node_ids()[0]
+    owner = TaskId(node_id, "task-0")
+    return SpongeSpillTarget(
+        deploy.chain(node_id), owner, deploy.config, SimExecutor(env),
+        counters=counters,
+    )
+
+
+def write_run(env, target, records, label="run"):
+    def op():
+        run = target.new_run(label)
+        yield from run.write(records)
+        yield from run.close()
+        return run
+
+    return env.run(env.process(op()))
+
+
+class TestSpillRuns:
+    @pytest.mark.parametrize("sponge", [False, True])
+    def test_roundtrip(self, sponge):
+        env, cluster, deploy = build_env(sponge=sponge)
+        counters = TaskCounters()
+        target = (
+            sponge_target(env, cluster, deploy, counters)
+            if sponge
+            else disk_target(env, cluster, counters)
+        )
+        records = sorted_run_records(0, 8)
+        run = write_run(env, target, records)
+        assert run.nbytes == 8 * MB
+        assert counters.spilled_bytes == 8 * MB
+
+        def read():
+            got = yield from run.read_all()
+            return got
+
+        assert env.run(env.process(read())) == records
+
+    def test_sponge_target_counts_chunks(self):
+        env, cluster, deploy = build_env(sponge=True)
+        target = sponge_target(env, cluster, deploy)
+        write_run(env, target, sorted_run_records(0, 5))
+        assert target.chunks_spilled() == 5
+
+    def test_disk_target_reports_zero_chunks(self):
+        env, cluster, deploy = build_env()
+        target = disk_target(env, cluster)
+        write_run(env, target, sorted_run_records(0, 3))
+        assert target.chunks_spilled() == 0
+
+    def test_seek_bound_flags(self):
+        env, cluster, deploy = build_env(sponge=True)
+        assert disk_target(env, cluster).seek_bound_merges is True
+        assert sponge_target(env, cluster, deploy).seek_bound_merges is False
+
+    def test_materialized_run_is_free(self):
+        env, cluster, deploy = build_env()
+        run = MaterializedRun(sorted_run_records(0, 4))
+        assert run.nbytes == 4 * MB
+        assert run.records_nocharge() == sorted_run_records(0, 4)
+
+
+class TestMergePolicy:
+    def test_plan_merge_rounds(self):
+        assert plan_merge_rounds(5, 10) == 0
+        assert plan_merge_rounds(11, 10) == 1
+        assert plan_merge_rounds(28, 10) == 2
+        assert plan_merge_rounds(100, 10) == 10
+
+    def test_pure_merge_orders_by_key(self):
+        runs = [sorted_run_records(0, 3), sorted_run_records(1, 3)]
+        merged = merge_sorted_records(runs)
+        assert [r.key for r in merged] == sorted(r.key for run in runs for r in run)
+
+    def test_custom_sort_key(self):
+        runs = [[rec((1, "b")), rec((3, "a"))], [rec((2, "c"))]]
+        merged = merge_sorted_records(runs, key=lambda r: r.key[0])
+        assert [r.key[0] for r in merged] == [1, 2, 3]
+
+    def _merge(self, env, runs, target, counters, factor=3):
+        def op():
+            merged = yield from merge_runs(
+                env, runs, target, io_sort_factor=factor,
+                merge_cpu_bps=1 * GB, counters=counters,
+            )
+            return merged
+
+        return env.run(env.process(op()))
+
+    def test_disk_merge_respills_in_rounds(self):
+        env, cluster, deploy = build_env()
+        counters = TaskCounters()
+        target = disk_target(env, cluster, counters)
+        runs = [
+            write_run(env, target, sorted_run_records(i, 4), f"r{i}")
+            for i in range(5)
+        ]
+        spilled_before = counters.spilled_bytes
+        merged = self._merge(env, runs, target, counters, factor=3)
+        assert len(merged) == 20
+        assert [r.key for r in merged] == sorted(r.key for r in merged)
+        # 5 runs > factor 3: one intermediate round re-spilled bytes.
+        assert counters.merge_rounds == 2
+        assert counters.spilled_bytes > spilled_before
+
+    def test_sponge_merge_single_round_no_respill(self):
+        env, cluster, deploy = build_env(sponge=True)
+        counters = TaskCounters()
+        target = sponge_target(env, cluster, deploy, counters)
+        runs = [
+            write_run(env, target, sorted_run_records(i, 4), f"r{i}")
+            for i in range(5)
+        ]
+        spilled_before = counters.spilled_bytes
+        merged = self._merge(env, runs, target, counters, factor=3)
+        assert len(merged) == 20
+        assert counters.merge_rounds == 1
+        assert counters.spilled_bytes == spilled_before  # no re-spill
+
+    def test_merge_deletes_inputs_by_default(self):
+        env, cluster, deploy = build_env(sponge=True)
+        target = sponge_target(env, cluster, deploy)
+        runs = [write_run(env, target, sorted_run_records(i, 2))
+                for i in range(2)]
+        self._merge(env, runs, target, TaskCounters())
+        assert deploy.total_sponge_bytes_used() == 0
+
+    def test_merge_keeps_inputs_when_asked(self):
+        env, cluster, deploy = build_env(sponge=True)
+        target = sponge_target(env, cluster, deploy)
+        runs = [write_run(env, target, sorted_run_records(i, 2))
+                for i in range(2)]
+
+        def op():
+            merged = yield from merge_runs(
+                env, runs, target, io_sort_factor=10,
+                merge_cpu_bps=1 * GB, delete_inputs=False,
+            )
+            return merged
+
+        env.run(env.process(op()))
+        assert deploy.total_sponge_bytes_used() > 0
+
+    def test_empty_runs_merge_to_empty(self):
+        env, cluster, deploy = build_env()
+        target = disk_target(env, cluster)
+        assert self._merge(env, [], target, TaskCounters()) == []

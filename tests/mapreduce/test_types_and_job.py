@@ -1,0 +1,86 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mapreduce.job import JobConf, SpillMode
+from repro.mapreduce.types import (
+    Record,
+    default_partitioner,
+    records_nbytes,
+    sort_records,
+)
+
+
+def rec(key, nbytes=10):
+    return Record(key=key, value=None, nbytes=nbytes)
+
+
+class TestRecord:
+    def test_with_key_keeps_value_and_size(self):
+        record = Record("a", {"payload": 1}, 123)
+        rekeyed = record.with_key("b")
+        assert rekeyed.key == "b"
+        assert rekeyed.value == {"payload": 1}
+        assert rekeyed.nbytes == 123
+
+    def test_records_nbytes_sums(self):
+        assert records_nbytes([rec("a", 5), rec("b", 7)]) == 12
+        assert records_nbytes([]) == 0
+
+    def test_sort_is_stable(self):
+        records = [Record("k", i, 1) for i in range(5)]
+        assert [r.value for r in sort_records(records)] == list(range(5))
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_sort_orders_keys(self, keys):
+        sorted_keys = [r.key for r in sort_records([rec(k) for k in keys])]
+        assert sorted_keys == sorted(keys)
+
+
+class TestPartitioner:
+    def test_in_range(self):
+        for key in ["a", 42, ("x", 1)]:
+            assert 0 <= default_partitioner(key, 7) < 7
+
+    def test_single_partition(self):
+        assert default_partitioner("anything", 1) == 0
+
+
+class TestJobConf:
+    def base(self, **kwargs):
+        defaults = dict(
+            name="job",
+            input_file="f",
+            map_fn=lambda r: [r],
+            reduce_fn=lambda k, v, c: [],
+        )
+        defaults.update(kwargs)
+        return JobConf(**defaults)
+
+    def test_defaults_match_hadoop(self):
+        conf = self.base()
+        assert conf.io_sort_factor == 10
+        assert conf.shuffle_merge_fraction == 0.70
+        assert conf.reduce_retain_fraction == 0.0
+        assert conf.spill_mode is SpillMode.DISK
+
+    def test_shuffle_buffer_is_fraction_of_heap(self):
+        conf = self.base(heap_size=1000, shuffle_merge_fraction=0.7)
+        assert conf.shuffle_buffer_bytes == 700
+
+    def test_reducers_without_reduce_fn_rejected(self):
+        with pytest.raises(ConfigError):
+            JobConf(name="j", input_file="f", map_fn=lambda r: [r])
+
+    def test_map_only_job_allowed(self):
+        conf = self.base(reduce_fn=None, num_reducers=0)
+        assert conf.num_reducers == 0
+
+    def test_bad_sort_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            self.base(io_sort_factor=1)
+
+    def test_negative_reducers_rejected(self):
+        with pytest.raises(ConfigError):
+            self.base(num_reducers=-1)

@@ -1,0 +1,192 @@
+"""Data bags and the spillable memory manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PigError
+from repro.mapreduce.spill import DiskSpillTarget
+from repro.mapreduce.types import Record
+from repro.pig.databag import DataBag, SortedDataBag
+from repro.pig.memory_manager import SpillableMemoryManager
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.kernel import Environment
+from repro.util.units import KB, MB
+
+
+@pytest.fixture
+def ctx():
+    env = Environment()
+    cluster = SimCluster(env, ClusterSpec(racks=1, nodes_per_rack=1))
+    node = next(iter(cluster))
+    target = DiskSpillTarget(node, "t0")
+    return env, target
+
+
+def rec(key, nbytes=64 * KB):
+    return Record(key, None, nbytes)
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def fill(env, bag, records):
+    def op():
+        yield from bag.add_all(records)
+
+    run(env, op())
+
+
+def read(env, bag):
+    def op():
+        got = yield from bag.read_all()
+        return got
+
+    return run(env, op())
+
+
+class TestDataBag:
+    def test_small_bag_stays_in_memory(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(1 * MB)
+        bag = DataBag(env, manager, target)
+        fill(env, bag, [rec(i) for i in range(4)])
+        assert bag.spilled_bytes == 0
+        assert len(bag) == 4
+
+    def test_overflow_triggers_spill(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(512 * KB)
+        bag = DataBag(env, manager, target, spill_chunk=128 * KB)
+        fill(env, bag, [rec(i) for i in range(20)])  # 1.25 MB
+        assert bag.spilled_bytes > 0
+        assert manager.stats.bags_spilled >= 1
+        assert bag.in_memory_bytes <= 512 * KB
+
+    def test_read_all_returns_everything(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(256 * KB)
+        bag = DataBag(env, manager, target)
+        records = [rec(i) for i in range(30)]
+        fill(env, bag, records)
+        got = read(env, bag)
+        assert sorted(r.key for r in got) == list(range(30))
+
+    def test_largest_bag_spilled_first(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(1 * MB)
+        small = DataBag(env, manager, target, name="small")
+        big = DataBag(env, manager, target, name="big")
+        fill(env, small, [rec(0)] * 2)
+        fill(env, big, [rec(1)] * 16)  # pushes usage over 1 MB
+        assert big.spilled_bytes > 0
+        assert small.spilled_bytes == 0
+
+    def test_deleted_bag_rejects_use(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(1 * MB)
+        bag = DataBag(env, manager, target)
+
+        def delete():
+            yield from bag.delete()
+
+        run(env, delete())
+        with pytest.raises(PigError):
+            fill(env, bag, [rec(0)])
+
+    def test_delete_releases_manager_accounting(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(1 * MB)
+        bag = DataBag(env, manager, target)
+        fill(env, bag, [rec(0)] * 4)
+
+        def delete():
+            yield from bag.delete()
+
+        run(env, delete())
+        assert manager.usage_bytes == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(counts=st.lists(st.integers(1, 30), min_size=1, max_size=5),
+           budget_kb=st.integers(128, 2048))
+    def test_no_records_lost_property(self, counts, budget_kb):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec(racks=1, nodes_per_rack=1))
+        target = DiskSpillTarget(next(iter(cluster)), "prop")
+        manager = SpillableMemoryManager(budget_kb * KB)
+        bag = DataBag(env, manager, target)
+        expected = 0
+        for batch, count in enumerate(counts):
+            fill(env, bag, [rec((batch, i)) for i in range(count)])
+            expected += count
+        got = read(env, bag)
+        assert len(got) == expected == len(bag)
+
+
+class TestSortedDataBag:
+    def test_read_sorted_orders_across_spills(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(256 * KB)
+        bag = SortedDataBag(env, manager, target)
+        import random
+
+        keys = list(range(40))
+        random.Random(3).shuffle(keys)
+        fill(env, bag, [rec(k) for k in keys])
+        assert bag.spilled_bytes > 0
+
+        def op():
+            got = yield from bag.read_sorted()
+            return got
+
+        got = run(env, op())
+        assert [r.key for r in got] == sorted(keys)
+
+    def test_custom_sort_key(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(10 * MB)
+        bag = SortedDataBag(env, manager, target,
+                            sort_key=lambda r: -r.key)
+        fill(env, bag, [rec(k) for k in (3, 1, 2)])
+
+        def op():
+            got = yield from bag.read_sorted()
+            return got
+
+        assert [r.key for r in run(env, op())] == [3, 2, 1]
+
+    def test_bag_rereadable_after_sorted_pass(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(256 * KB)
+        bag = SortedDataBag(env, manager, target)
+        fill(env, bag, [rec(k) for k in range(24)])
+
+        def op():
+            first = yield from bag.read_sorted()
+            second = yield from bag.read_sorted()
+            return first, second
+
+        first, second = run(env, op())
+        assert [r.key for r in first] == [r.key for r in second]
+
+
+class TestMemoryManager:
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(PigError):
+            SpillableMemoryManager(0)
+
+    def test_usage_tracks_registered_bags(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(10 * MB)
+        bags = [DataBag(env, manager, target) for _ in range(3)]
+        for bag in bags:
+            fill(env, bag, [rec(0, nbytes=100)])
+        assert manager.usage_bytes == 300
+
+    def test_spills_until_low_water(self, ctx):
+        env, target = ctx
+        manager = SpillableMemoryManager(1 * MB, low_water_fraction=0.5)
+        bag = DataBag(env, manager, target)
+        fill(env, bag, [rec(i) for i in range(20)])
+        assert manager.usage_bytes <= 512 * KB

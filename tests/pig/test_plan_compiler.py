@@ -1,0 +1,127 @@
+"""The plan language and its compilation to MapReduce jobs."""
+
+import pytest
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.errors import PigError
+from repro.mapreduce import Hadoop, Record, SpillMode
+from repro.pig import PigPlan, TopK, compile_plan
+from repro.pig.udf import SpamQuantiles
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.kernel import Environment
+from repro.sim.node import NodeSpec
+from repro.util.units import GB, KB, MB
+
+
+def make_hadoop(sponge=False):
+    env = Environment()
+    spec = ClusterSpec(
+        racks=1, nodes_per_rack=4,
+        node=NodeSpec(memory=16 * GB, sponge_pool=(1 * GB if sponge else 0)),
+    )
+    cluster = SimCluster(env, spec)
+    deploy = SimSpongeDeployment(env, cluster) if sponge else None
+    return Hadoop(env, cluster, sponge=deploy)
+
+
+class TestPlanValidation:
+    def test_builder_chain(self):
+        plan = (
+            PigPlan.load("f")
+            .filter(lambda r: True)
+            .foreach(lambda r: r)
+            .group_by(lambda r: r.value)
+            .apply(TopK())
+        )
+        plan.validate()
+
+    def test_apply_requires_group(self):
+        with pytest.raises(PigError):
+            PigPlan.load("f").apply(TopK())
+
+    def test_map_ops_after_group_rejected(self):
+        plan = PigPlan.load("f").group_by(lambda r: r.value)
+        with pytest.raises(PigError):
+            plan.foreach(lambda r: r)
+
+    def test_double_group_rejected(self):
+        plan = PigPlan.load("f").group_by(lambda r: r.value)
+        with pytest.raises(PigError):
+            plan.group_by(lambda r: r.value)
+
+    def test_incomplete_plan_fails_validation(self):
+        with pytest.raises(PigError):
+            PigPlan.load("f").validate()
+
+
+class TestCompiledExecution:
+    def crawl_records(self, rows, nbytes=256 * KB):
+        return [Record(None, row, nbytes) for row in rows]
+
+    def test_filter_and_group(self):
+        hadoop = make_hadoop()
+        rows = [("en", "x")] * 6 + [("fr", "y")] * 3 + [("xx", "z")] * 2
+        hadoop.load_records("crawl", self.crawl_records(rows))
+        plan = (
+            PigPlan.load("crawl")
+            .filter(lambda r: r.value[0] != "xx")
+            .group_by(lambda r: r.value[0])
+            .apply(TopK(k=1, term_of=lambda r: r.value[1]))
+        )
+        conf, driver = compile_plan(plan, name="q")
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        out = {r.key: r.value for r in result.output_records()}
+        assert set(out) == {"en", "fr"}
+        assert out["en"] == (("x", 6),)
+
+    def test_projection_shrinks_shuffle(self):
+        hadoop = make_hadoop()
+        rows = [("en", "t")] * 8
+        hadoop.load_records("crawl", self.crawl_records(rows, nbytes=1 * MB))
+        plan = (
+            PigPlan.load("crawl")
+            .foreach(lambda r: Record(r.key, r.value, r.nbytes // 4))
+            .group_by(lambda r: r.value[0])
+            .apply(TopK(k=1, term_of=lambda r: r.value[1]))
+        )
+        conf, driver = compile_plan(plan, name="projected")
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        straggler = result.counters.straggler()
+        assert straggler.input_bytes == 2 * MB  # 8 MB / 4
+
+    @pytest.mark.parametrize("spill_mode",
+                             [SpillMode.DISK, SpillMode.SPONGE])
+    def test_big_group_spills_through_bags(self, spill_mode):
+        hadoop = make_hadoop(sponge=(spill_mode is SpillMode.SPONGE))
+        rows = [("en", i / 4000) for i in range(4000)]  # one 1 GB group
+        hadoop.load_records("crawl", self.crawl_records(rows, nbytes=256 * KB))
+        plan = (
+            PigPlan.load("crawl")
+            .group_by(lambda r: r.value[0])
+            .apply(SpamQuantiles(probs=(0.0, 0.5, 1.0),
+                                 score_of=lambda r: r.value[1]))
+        )
+        conf, driver = compile_plan(plan, name="quant",
+                                    spill_mode=spill_mode)
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        (record,) = result.output_records()
+        low, mid, high = record.value
+        assert low == 0.0
+        assert mid == pytest.approx(0.5, abs=0.01)
+        assert high == pytest.approx(0.99975, abs=0.01)
+        straggler = result.counters.straggler()
+        assert straggler.spilled_bytes > straggler.input_bytes  # bag + shuffle
+
+    def test_group_count_preserved_under_spilling(self):
+        hadoop = make_hadoop()
+        rows = [(f"d{i % 7}", float(i)) for i in range(700)]
+        hadoop.load_records("crawl", self.crawl_records(rows, nbytes=512 * KB))
+        plan = (
+            PigPlan.load("crawl")
+            .group_by(lambda r: r.value[0])
+            .apply(SpamQuantiles(probs=(0.5,),
+                                 score_of=lambda r: r.value[1]))
+        )
+        conf, driver = compile_plan(plan, name="groups")
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        assert len(result.output_records()) == 7

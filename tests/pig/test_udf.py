@@ -1,0 +1,93 @@
+"""Holistic UDFs: TopK (space-saving) and SpamQuantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.types import Record
+from repro.pig.udf import SpamQuantiles, TopK
+
+
+def term_records(terms):
+    return [Record("g", t, 8) for t in terms]
+
+
+class TestTopK:
+    def test_exact_when_under_capacity(self):
+        udf = TopK(k=2, capacity=100)
+        terms = ["a"] * 5 + ["b"] * 3 + ["c"] * 1
+        top = udf.top_terms(term_records(terms))
+        assert top == [("a", 5), ("b", 3)]
+
+    def test_deterministic_tiebreak(self):
+        udf = TopK(k=3, capacity=100)
+        top = udf.top_terms(term_records(["z", "y", "x"]))
+        assert top == [("x", 1), ("y", 1), ("z", 1)]
+
+    def test_space_saving_keeps_heavy_hitters(self):
+        """With Zipf data and a tight counter budget, the true heavy
+        hitters must survive eviction (the space-saving guarantee)."""
+        rng = np.random.default_rng(5)
+        ranks = rng.zipf(1.5, size=20_000)
+        terms = [f"t{r}" for r in ranks if r < 5000]
+        udf = TopK(k=5, capacity=64)
+        top_terms = [term for term, _ in udf.top_terms(term_records(terms))]
+        # The three most common Zipf ranks are 1, 2, 3.
+        assert {"t1", "t2", "t3"} <= set(top_terms)
+
+    def test_counts_overestimate_at_most(self):
+        """Space-saving never under-counts a surviving term."""
+        terms = (["hot"] * 50) + [f"cold{i}" for i in range(200)]
+        udf = TopK(k=1, capacity=16)
+        (term, count), = udf.top_terms(term_records(terms))
+        assert term == "hot"
+        assert count >= 50  # over-estimate allowed, under-estimate not
+
+    def test_multi_term_records(self):
+        udf = TopK(k=1, capacity=100,
+                   term_of=lambda record: record.value)
+        records = [Record("g", ("a", "b", "a"), 8)]
+        assert udf.top_terms(records) == [("a", 2)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=200))
+    def test_matches_exact_counts_with_room(self, terms):
+        udf = TopK(k=6, capacity=100)
+        from collections import Counter
+
+        expected = Counter(terms)
+        got = dict(udf.top_terms(term_records(terms)))
+        assert got == dict(expected)
+
+
+class TestSpamQuantiles:
+    def score_records(self, scores):
+        return [Record(None, ("d", s), 8) for s in scores]
+
+    def make_udf(self, probs=(0.0, 0.5, 1.0)):
+        return SpamQuantiles(probs=probs,
+                             score_of=lambda record: record.value[1])
+
+    def test_quantiles_of_sorted_traversal(self):
+        udf = self.make_udf()
+        records = self.score_records([i / 10 for i in range(11)])
+        assert udf.quantiles_of(records) == [0.0, 0.5, 1.0]
+
+    def test_empty_group_gives_nan(self):
+        udf = self.make_udf()
+        result = udf.quantiles_of([])
+        assert len(result) == 3
+        assert all(q != q for q in result)  # NaNs
+
+    def test_single_record(self):
+        udf = self.make_udf()
+        assert udf.quantiles_of(self.score_records([0.7])) == [0.7] * 3
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=50))
+    def test_quantiles_monotone(self, scores):
+        udf = self.make_udf(probs=(0.0, 0.25, 0.5, 0.75, 1.0))
+        result = udf.quantiles_of(self.score_records(sorted(scores)))
+        assert result == sorted(result)
+        assert result[0] == min(scores)
+        assert result[-1] == max(scores)

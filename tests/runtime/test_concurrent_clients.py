@@ -1,0 +1,63 @@
+"""Concurrency on the real runtime: parallel processes share pools.
+
+Exercises the flock'd metadata region and the threaded TCP servers
+under simultaneous allocation from several live processes — the
+closest thing to the paper's "multiple tasks per machine" reality.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.runtime import LocalSpongeCluster
+from repro.runtime.client import build_chain
+from repro.runtime.local_cluster import runtime_task_id
+from repro.sponge import SpongeConfig, SpongeFile
+
+CHUNK = 64 * 1024
+
+
+def _worker(worker_id, host, pool_dir, tracker_address, spill_dir,
+            result_queue):
+    chain = build_chain(
+        host=host,
+        tracker_address=tuple(tracker_address),
+        spill_dir=spill_dir,
+        local_pool_dir=pool_dir,
+        config=SpongeConfig(chunk_size=CHUNK),
+    )
+    owner = runtime_task_id(host, f"worker{worker_id}")
+    payload = bytes([worker_id]) * (5 * CHUNK)
+    spongefile = SpongeFile(owner, chain, SpongeConfig(chunk_size=CHUNK))
+    try:
+        spongefile.write_all(payload)
+        spongefile.close_sync()
+        ok = spongefile.read_all() == payload
+        spongefile.delete_sync()
+        result_queue.put((worker_id, ok))
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        result_queue.put((worker_id, repr(exc)))
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_tasks_spill_without_corruption(workers, tmp_path):
+    with LocalSpongeCluster(num_nodes=2, pool_size=8 * CHUNK,
+                            chunk_size=CHUNK, poll_interval=0.1) as cluster:
+        config = cluster.server_configs[0]
+        queue = multiprocessing.Queue()
+        processes = [
+            multiprocessing.Process(
+                target=_worker,
+                args=(i + 1, config.host, config.pool_dir,
+                      cluster.tracker_address,
+                      str(tmp_path / f"spill{i}"), queue),
+            )
+            for i in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        results = [queue.get(timeout=60) for _ in processes]
+        for process in processes:
+            process.join(timeout=30)
+        failures = [r for r in results if r[1] is not True]
+        assert not failures, failures

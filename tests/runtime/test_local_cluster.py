@@ -1,0 +1,136 @@
+"""Integration tests of the real multi-process runtime.
+
+These spin up actual sponge-server and tracker processes on localhost
+(TCP + mmap pools) and exercise the same SpongeFile core the simulator
+uses — write/read/delete, remote overflow, staleness fallback, quotas,
+and garbage collection of crashed tasks.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.runtime import LocalSpongeCluster
+from repro.runtime.client import build_chain
+from repro.sponge import ChunkLocation, SpongeConfig, SpongeFile
+from repro.sponge.chunk import TaskId
+
+CHUNK = 64 * 1024
+POOL = 4 * CHUNK  # 4 chunks per node
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalSpongeCluster(num_nodes=3, pool_size=POOL, chunk_size=CHUNK,
+                            poll_interval=0.1, gc_interval=0.3) as cluster:
+        yield cluster
+
+
+def make_file(cluster, node=0, label="t", config=None):
+    config = config or SpongeConfig(chunk_size=CHUNK)
+    chain = cluster.chain(node, config=config)
+    owner = cluster.task_id(node, label)
+    return SpongeFile(owner, chain, config)
+
+
+class TestEndToEnd:
+    def test_local_then_remote_placement(self, cluster):
+        sf = make_file(cluster, label="overflow")
+        payload = bytes(range(256)) * 1536  # 6 chunks
+        sf.write_all(payload)
+        sf.close_sync()
+        locations = [h.location for h in sf.handles]
+        assert locations.count(ChunkLocation.LOCAL_MEMORY) == 4
+        assert locations.count(ChunkLocation.REMOTE_MEMORY) == 2
+        assert sf.read_all() == payload
+        sf.delete_sync()
+
+    def test_delete_returns_chunks_everywhere(self, cluster):
+        sf = make_file(cluster, label="cleanup")
+        sf.write_all(b"z" * (6 * CHUNK))
+        sf.close_sync()
+        sf.delete_sync()
+        from repro.runtime.client import TrackerClient
+
+        time.sleep(0.3)  # let the tracker re-poll
+        client = TrackerClient(cluster.tracker_address)
+        free = {info.host: info.free_bytes for info in client.free_list()}
+        assert all(v == POOL for v in free.values())
+
+    def test_disk_fallback_when_cluster_full(self, cluster, tmp_path):
+        # 3 nodes x 4 chunks = 12 chunks; write 16.
+        sf = make_file(cluster, label="big")
+        payload = b"q" * (16 * CHUNK)
+        sf.write_all(payload)
+        sf.close_sync()
+        locations = {h.location for h in sf.handles}
+        assert ChunkLocation.LOCAL_DISK in locations
+        assert sf.read_all() == payload
+        sf.delete_sync()
+
+    def test_two_tasks_share_the_pools(self, cluster):
+        first = make_file(cluster, node=0, label="one")
+        second = make_file(cluster, node=1, label="two")
+        first.write_all(b"a" * (2 * CHUNK))
+        second.write_all(b"b" * (2 * CHUNK))
+        first.close_sync()
+        second.close_sync()
+        assert first.read_all() == b"a" * (2 * CHUNK)
+        assert second.read_all() == b"b" * (2 * CHUNK)
+        first.delete_sync()
+        second.delete_sync()
+
+
+def _crash_after_spill(host, pool_dir, tracker_address, spill_dir):
+    chain = build_chain(
+        host=host,
+        tracker_address=tuple(tracker_address),
+        spill_dir=spill_dir,
+        local_pool_dir=pool_dir,
+        config=SpongeConfig(chunk_size=CHUNK),
+    )
+    from repro.runtime.local_cluster import runtime_task_id
+
+    owner = runtime_task_id(host, "leaky")
+    leak = SpongeFile(owner, chain, SpongeConfig(chunk_size=CHUNK))
+    leak.write_all(b"orphan" * (CHUNK // 2))
+    leak.close_sync()
+    # exit without delete -> orphaned chunks
+
+
+class TestGarbageCollection:
+    def test_crashed_task_chunks_reclaimed(self, cluster):
+        config = cluster.server_configs[2]
+        child = multiprocessing.Process(
+            target=_crash_after_spill,
+            args=(config.host, config.pool_dir, cluster.tracker_address,
+                  str(cluster.workdir / "gc-spill")),
+        )
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == 0
+        freed = 0
+        deadline = time.time() + 15
+        while time.time() < deadline and freed == 0:
+            freed = cluster.request_gc(2)
+            time.sleep(0.1)
+        assert freed > 0
+
+
+class TestQuota:
+    def test_server_side_quota_enforced(self):
+        with LocalSpongeCluster(
+            num_nodes=2, pool_size=8 * CHUNK, chunk_size=CHUNK,
+            poll_interval=0.1, quota_per_node=2 * CHUNK,
+        ) as cluster:
+            # Spill remotely only (no local pool attachment): the peer
+            # server must cut this task off after 2 chunks.
+            config = SpongeConfig(chunk_size=CHUNK)
+            chain = cluster.chain(0, config=config, attach_local_pool=False)
+            owner = cluster.task_id(0, "greedy")
+            sf = SpongeFile(owner, chain, config)
+            with pytest.raises(QuotaExceededError):
+                sf.write_all(b"x" * (8 * CHUNK))
+                sf.close_sync()

@@ -1,0 +1,120 @@
+"""Wire protocol framing and error mapping."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    ChunkLostError,
+    OutOfSpongeMemory,
+    ProtocolError,
+    QuotaExceededError,
+    RuntimeBackendError,
+)
+from repro.runtime import protocol
+
+
+def socket_pair():
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    accepted, _ = server.accept()
+    server.close()
+    return client, accepted
+
+
+class TestFraming:
+    def test_roundtrip_header_and_payload(self):
+        client, server = socket_pair()
+        try:
+            protocol.send_message(client, {"op": "x", "n": 3}, b"\x00\x01")
+            header, payload = protocol.recv_message(server)
+            assert header["op"] == "x"
+            assert header["n"] == 3
+            assert header["payload_len"] == 2
+            assert payload == b"\x00\x01"
+        finally:
+            client.close()
+            server.close()
+
+    def test_empty_payload(self):
+        client, server = socket_pair()
+        try:
+            protocol.send_message(client, {"op": "ping"})
+            header, payload = protocol.recv_message(server)
+            assert payload == b""
+        finally:
+            client.close()
+            server.close()
+
+    def test_large_binary_payload(self):
+        client, server = socket_pair()
+        blob = bytes(range(256)) * 4096  # 1 MB
+        received = {}
+
+        def reader():
+            received["msg"] = protocol.recv_message(server)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            protocol.send_message(client, {"op": "data"}, blob)
+            thread.join(timeout=10)
+            _header, payload = received["msg"]
+            assert payload == blob
+        finally:
+            client.close()
+            server.close()
+
+    def test_truncated_stream_raises(self):
+        client, server = socket_pair()
+        try:
+            client.sendall(b"\x00\x00\x00\x10partial")
+            client.close()
+            with pytest.raises(ProtocolError):
+                protocol.recv_message(server)
+        finally:
+            server.close()
+
+    def test_malformed_header_raises(self):
+        client, server = socket_pair()
+        try:
+            raw = b"not json!!"
+            client.sendall(len(raw).to_bytes(4, "big") + raw)
+            with pytest.raises(ProtocolError):
+                protocol.recv_message(server)
+        finally:
+            client.close()
+            server.close()
+
+    def test_oversized_header_rejected(self):
+        client, server = socket_pair()
+        try:
+            client.sendall((protocol.MAX_HEADER + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                protocol.recv_message(server)
+        finally:
+            client.close()
+            server.close()
+
+
+class TestErrorMapping:
+    def test_ok_reply_passes_through(self):
+        assert protocol.check_reply({"ok": True, "x": 1})["x"] == 1
+
+    @pytest.mark.parametrize(
+        "code,exc",
+        [
+            ("out-of-memory", OutOfSpongeMemory),
+            ("quota", QuotaExceededError),
+            ("chunk-lost", ChunkLostError),
+            ("error", RuntimeBackendError),
+            ("unknown-code", RuntimeBackendError),
+        ],
+    )
+    def test_error_codes_map_to_exceptions(self, code, exc):
+        reply = protocol.error_reply("boom", code)
+        with pytest.raises(exc, match="boom"):
+            protocol.check_reply(reply)

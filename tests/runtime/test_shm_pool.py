@@ -1,0 +1,133 @@
+"""The mmap-backed sponge pool, including cross-process sharing."""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import ConfigError, OutOfSpongeMemory, SpongeError
+from repro.runtime.shm_pool import MmapSpongePool
+from repro.sponge.chunk import TaskId
+
+CHUNK = 64 * 1024
+OWNER = TaskId("hostA", "pid:1:writer")
+OTHER = TaskId("hostB", "pid:2:other")
+
+
+@pytest.fixture
+def pool(tmp_path):
+    with MmapSpongePool(tmp_path / "pool", create=True,
+                        pool_size=8 * CHUNK, chunk_size=CHUNK) as pool:
+        yield pool
+
+
+class TestBasics:
+    def test_layout(self, pool):
+        assert pool.num_chunks == 8
+        assert pool.free_chunks == 8
+        assert pool.free_bytes == 8 * CHUNK
+
+    def test_write_read_roundtrip(self, pool):
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"hello mmap")
+        assert pool.read(index, OWNER) == b"hello mmap"
+
+    def test_full_chunk(self, pool):
+        index = pool.allocate(OWNER)
+        data = bytes(range(256)) * (CHUNK // 256)
+        pool.write(index, OWNER, data)
+        assert pool.read(index) == data
+
+    def test_oversized_write_rejected(self, pool):
+        index = pool.allocate(OWNER)
+        with pytest.raises(SpongeError):
+            pool.write(index, OWNER, b"x" * (CHUNK + 1))
+
+    def test_exhaustion(self, pool):
+        for _ in range(8):
+            pool.allocate(OWNER)
+        with pytest.raises(OutOfSpongeMemory):
+            pool.allocate(OWNER)
+
+    def test_free_recycles(self, pool):
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"x")
+        pool.free(index, OWNER)
+        assert pool.free_chunks == 8
+        assert pool.allocate(OTHER) == index
+
+    def test_double_free_rejected(self, pool):
+        index = pool.allocate(OWNER)
+        pool.free(index, OWNER)
+        with pytest.raises(SpongeError):
+            pool.free(index, OWNER)
+
+    def test_wrong_owner_rejected(self, pool):
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"mine")
+        with pytest.raises(SpongeError):
+            pool.write(index, OTHER, b"stolen")
+        with pytest.raises(SpongeError):
+            pool.read(index, OTHER)
+
+    def test_owners_listed(self, pool):
+        pool.allocate(OWNER)
+        pool.allocate(OTHER)
+        assert pool.owners() == {OWNER, OTHER}
+
+    def test_collect_frees_dead(self, pool):
+        pool.allocate(OWNER)
+        pool.allocate(OTHER)
+        freed = pool.collect(lambda owner: owner == OWNER)
+        assert freed == 1
+        assert pool.owners() == {OWNER}
+
+    def test_attach_missing_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            MmapSpongePool(tmp_path / "nope")
+
+    def test_multi_segment_layout(self, tmp_path):
+        with MmapSpongePool(tmp_path / "pool", create=True,
+                            pool_size=16 * CHUNK, chunk_size=CHUNK,
+                            segment_size=4 * CHUNK) as pool:
+            assert len(pool._segments) == 4
+            # Chunks in different segments hold independent data.
+            first = pool.allocate(OWNER)
+            indices = [pool.allocate(OWNER) for _ in range(14)]
+            last = pool.allocate(OWNER)
+            pool.write(first, OWNER, b"first")
+            pool.write(last, OWNER, b"last")
+            assert pool.read(first) == b"first"
+            assert pool.read(last) == b"last"
+
+
+def _child_writes(pool_dir, result_queue):
+    pool = MmapSpongePool(pool_dir)
+    owner = TaskId("hostA", "pid:child:writer")
+    index = pool.allocate(owner)
+    pool.write(index, owner, b"written by child")
+    result_queue.put(index)
+    pool.close()
+
+
+class TestCrossProcess:
+    def test_child_writes_parent_reads(self, tmp_path):
+        pool_dir = tmp_path / "pool"
+        pool = MmapSpongePool(pool_dir, create=True,
+                              pool_size=4 * CHUNK, chunk_size=CHUNK)
+        queue = multiprocessing.Queue()
+        child = multiprocessing.Process(
+            target=_child_writes, args=(str(pool_dir), queue)
+        )
+        child.start()
+        child.join(timeout=20)
+        index = queue.get(timeout=5)
+        assert pool.read(index) == b"written by child"
+        assert pool.free_chunks == 3
+        pool.close()
+
+    def test_destroy_removes_files(self, tmp_path):
+        pool_dir = tmp_path / "pool"
+        pool = MmapSpongePool(pool_dir, create=True,
+                              pool_size=2 * CHUNK, chunk_size=CHUNK)
+        pool.destroy()
+        assert not (pool_dir / "meta.dat").exists()

@@ -1,0 +1,180 @@
+"""Buffer-cache model tests: absorption, write-back, eviction, stalls."""
+
+import pytest
+
+from repro.sim.buffercache import BufferCache
+from repro.sim.disk import Disk
+from repro.sim.kernel import Environment
+from repro.util.units import GB, MB
+
+
+def make_cache(env, capacity=64 * MB, **kwargs):
+    disk = Disk(env, seq_bandwidth=100 * MB, seek_time=0.015)
+    cache = BufferCache(
+        env, disk, capacity=capacity, mem_bandwidth=1 * GB, **kwargs
+    )
+    return cache, disk
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def test_small_write_absorbed_without_disk_io():
+    env = Environment()
+    cache, disk = make_cache(env)
+
+    def writer():
+        yield from cache.write("f", 4 * MB)
+
+    run(env, writer())
+    assert disk.stats.bytes_written == 0
+    assert cache.dirty_pages == 4
+    # Absorbed at memory speed: ~4ms, not ~55ms of disk time.
+    assert env.now < 0.01
+
+
+def test_read_after_write_hits_cache():
+    env = Environment()
+    cache, disk = make_cache(env)
+
+    def workload():
+        yield from cache.write("f", 8 * MB)
+        hit = yield from cache.read("f", 8 * MB)
+        return hit
+
+    hit_bytes = run(env, workload())
+    assert hit_bytes == 8 * MB
+    assert disk.stats.bytes_read == 0
+
+
+def test_cold_read_misses_to_disk():
+    env = Environment()
+    cache, disk = make_cache(env)
+
+    def workload():
+        hit = yield from cache.read("cold-file", 8 * MB)
+        return hit
+
+    hit_bytes = run(env, workload())
+    assert hit_bytes == 0
+    assert disk.stats.bytes_read == 8 * MB
+
+
+def test_writes_beyond_capacity_reach_disk():
+    env = Environment()
+    cache, disk = make_cache(env, capacity=16 * MB)
+
+    def writer():
+        yield from cache.write("big", 64 * MB)
+
+    run(env, writer())
+    # The cache cannot hold 64 MB; most of it was written back.
+    assert disk.stats.bytes_written >= 32 * MB
+    cache.check_invariants()
+
+
+def test_sequential_flooding_evicts_head_of_file():
+    """Write more than capacity, then re-read from the start: the early
+    pages were evicted (LRU), so re-reads miss — the median-job story."""
+    env = Environment()
+    cache, disk = make_cache(env, capacity=16 * MB)
+
+    def workload():
+        yield from cache.write("spill", 64 * MB)
+        hit = yield from cache.read("spill", 64 * MB)
+        return hit
+
+    hit_bytes = run(env, workload())
+    assert hit_bytes < 16 * MB
+    assert disk.stats.bytes_read > 32 * MB
+
+
+def test_small_spill_fully_served_from_cache_when_memory_abundant():
+    """The frequent-anchortext story at 16 GB: spill fits in cache, so
+    'disk' spilling is really memory spilling."""
+    env = Environment()
+    cache, disk = make_cache(env, capacity=1 * GB)
+
+    def workload():
+        yield from cache.write("spill", 100 * MB)
+        hit = yield from cache.read("spill", 100 * MB)
+        return hit
+
+    hit_bytes = run(env, workload())
+    assert hit_bytes == 100 * MB
+    assert disk.stats.bytes_read == 0
+
+
+def test_drop_discards_dirty_pages_without_writeback():
+    env = Environment()
+    cache, disk = make_cache(env)
+
+    def workload():
+        yield from cache.write("temp", 8 * MB)
+        cache.drop("temp")
+        yield env.timeout(10.0)
+
+    run(env, workload())
+    assert cache.cached_pages == 0
+    assert cache.stats.dropped_dirty_bytes == 8 * MB
+
+
+def test_writeback_batches_scale_with_cache_size():
+    """A big cache batches write-back into long sequential runs; a
+    starved cache degrades to small requests (more seeks under
+    contention) — the memory-pressure mechanism of Table 1."""
+
+    def measure(capacity):
+        env = Environment()
+        cache, disk = make_cache(env, capacity=capacity)
+
+        def writer():
+            yield from cache.write("f", 4 * capacity)
+
+        run(env, writer())
+        assert cache.stats.writeback_runs > 0
+        return cache.stats.writeback_bytes / cache.stats.writeback_runs
+
+    big_cache_run = measure(1 * GB)
+    small_cache_run = measure(32 * MB)
+    assert big_cache_run >= 8 * MB
+    assert small_cache_run <= 4 * MB
+    assert big_cache_run > small_cache_run
+
+
+def test_invariants_hold_under_mixed_workload():
+    env = Environment()
+    cache, disk = make_cache(env, capacity=8 * MB)
+
+    def workload():
+        for i in range(8):
+            yield from cache.write(f"f{i}", 3 * MB)
+            yield from cache.read(f"f{i % 3}", 1 * MB)
+        cache.drop("f0")
+        yield from cache.write("f9", 10 * MB)
+
+    run(env, workload())
+    cache.check_invariants()
+
+    def flush_settle():
+        yield env.timeout(60)
+
+    run(env, flush_settle())
+    cache.check_invariants()
+
+
+def test_read_cursor_seek_supports_rereads():
+    env = Environment()
+    cache, disk = make_cache(env, capacity=64 * MB)
+
+    def workload():
+        yield from cache.write("f", 4 * MB)
+        first = yield from cache.read("f", 4 * MB)
+        cache.seek("f", 0)
+        second = yield from cache.read("f", 4 * MB)
+        return first, second
+
+    first, second = run(env, workload())
+    assert first == 4 * MB
+    assert second == 4 * MB

@@ -1,0 +1,109 @@
+"""Disk model tests: sequential speed, seeks, contention collapse."""
+
+import pytest
+
+from repro.sim.disk import Disk
+from repro.sim.kernel import Environment
+from repro.util.units import MB
+
+
+def make_disk(env, bw=100 * MB, seek=0.015):
+    return Disk(env, seq_bandwidth=bw, seek_time=seek)
+
+
+def test_single_sequential_stream_runs_at_full_bandwidth():
+    env = Environment()
+    disk = make_disk(env)
+
+    def writer():
+        for _ in range(10):
+            yield disk.write("f", 10 * MB)
+
+    env.run(env.process(writer()))
+    # One seek at the start, then pure sequential transfer.
+    expected = 0.015 + 100 * MB / (100 * MB)
+    assert env.now == pytest.approx(expected)
+    assert disk.stats.seeks == 1
+    assert disk.stats.bytes_written == 100 * MB
+
+
+def test_random_writes_seek_every_time():
+    env = Environment()
+    disk = make_disk(env)
+
+    def writer():
+        for _ in range(10):
+            yield disk.write("f", 1 * MB, random=True)
+
+    env.run(env.process(writer()))
+    assert disk.stats.seeks == 10
+    assert env.now == pytest.approx(10 * (0.015 + 0.01))
+
+
+def test_interleaved_streams_cause_seeks():
+    env = Environment()
+    disk = make_disk(env)
+
+    def reader(stream, chunk, count):
+        for _ in range(count):
+            yield disk.read(stream, chunk)
+
+    a = env.process(reader("a", 1 * MB, 5))
+    b = env.process(reader("b", 1 * MB, 5))
+    env.run()
+    assert a.triggered and b.triggered
+    # Streams alternate: nearly every request pays a seek.
+    assert disk.stats.seeks >= 9
+
+
+def test_contention_collapses_throughput():
+    """Two interleaved streams are much slower than one stream of the
+    same total size — the §3.1.5 argument for network spilling."""
+    total = 50 * MB
+    chunk = 1 * MB
+
+    env = Environment()
+    solo = make_disk(env)
+
+    def run_stream(disk, stream, nbytes):
+        for _ in range(int(nbytes // chunk)):
+            yield disk.read(stream, chunk)
+
+    env.run(env.process(run_stream(solo, "s", total)))
+    solo_time = env.now
+
+    env2 = Environment()
+    shared = make_disk(env2)
+    env2.process(run_stream(shared, "a", total // 2))
+    env2.process(run_stream(shared, "b", total // 2))
+    env2.run()
+    contended_time = env2.now
+
+    assert contended_time > 2.0 * solo_time
+
+
+def test_queueing_delay_observed_by_later_request():
+    env = Environment()
+    disk = make_disk(env)
+    finish = {}
+
+    def submit(name, stream, nbytes):
+        yield disk.read(stream, nbytes)
+        finish[name] = env.now
+
+    env.process(submit("big", "a", 100 * MB))
+    env.process(submit("small", "b", 1 * MB))
+    env.run()
+    # The small request waits behind the big one (FCFS).
+    assert finish["small"] > 1.0
+
+
+def test_service_time_helper_matches_simulation():
+    env = Environment()
+    disk = make_disk(env)
+
+    def one():
+        yield disk.write("x", 1 * MB)
+
+    env.run(env.process(one()))
+    assert env.now == pytest.approx(disk.service_time(1 * MB, seek=True))

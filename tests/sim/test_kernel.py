@@ -1,0 +1,250 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimDeadlock, SimulationError
+from repro.sim.kernel import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = env.timeout(5.0)
+    env.run(done)
+    assert env.now == 5.0
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    assert env.run(env.timeout(1.0, value="hello")) == "hello"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_process_returns_value():
+    env = Environment()
+
+    def work():
+        yield env.timeout(2.0)
+        yield env.timeout(3.0)
+        return 42
+
+    proc = env.process(work())
+    assert env.run(proc) == 42
+    assert env.now == 5.0
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    log = []
+
+    def worker(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker("slow", 10))
+    env.process(worker("fast", 1))
+    env.process(worker("mid", 5))
+    env.run()
+    assert log == [(1, "fast"), (5, "mid"), (10, "slow")]
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(7)
+        return "inner-result"
+
+    def outer():
+        result = yield env.process(inner())
+        return result + "!"
+
+    assert env.run(env.process(outer())) == "inner-result!"
+
+
+def test_event_succeed_resumes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append(value)
+
+    env.process(waiter())
+
+    def opener():
+        yield env.timeout(3)
+        gate.succeed("open")
+
+    env.process(opener())
+    env.run()
+    assert seen == ["open"]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield env.process(failing())
+        return "survived"
+
+    assert env.run(env.process(waiter())) == "survived"
+
+
+def test_unobserved_failure_crashes_the_run():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("unseen")
+
+    env.process(failing())
+    with pytest.raises(ValueError, match="unseen"):
+        env.run()
+
+
+def test_run_until_event_failure_reraises():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise RuntimeError("fatal")
+
+    proc = env.process(failing())
+    with pytest.raises(RuntimeError, match="fatal"):
+        env.run(proc)
+
+
+def test_run_until_deadline_stops_early():
+    env = Environment()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(ticker())
+    env.run(until=3.5)
+    assert ticks == [1, 2, 3]
+    assert env.now == 3.5
+
+
+def test_deadlock_detected():
+    env = Environment()
+
+    def stuck():
+        yield env.event()  # never triggered
+
+    proc = env.process(stuck())
+    with pytest.raises(SimDeadlock):
+        env.run(proc)
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    proc = env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run(proc)
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+
+    def waiter():
+        values = yield AllOf(env, [env.timeout(3, "c"), env.timeout(1, "a")])
+        return values
+
+    assert env.run(env.process(waiter())) == ["c", "a"]
+    assert env.now == 3
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+
+    def waiter():
+        values = yield AllOf(env, [])
+        return values
+
+    assert env.run(env.process(waiter())) == []
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def waiter():
+        value = yield AnyOf(env, [env.timeout(3, "slow"), env.timeout(1, "fast")])
+        return value
+
+    assert env.run(env.process(waiter())) == "fast"
+    assert env.now == 1
+
+
+def test_interrupt_delivers_into_process():
+    env = Environment()
+    caught = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            caught.append((env.now, interrupt.cause))
+        return "done"
+
+    proc = env.process(sleeper())
+
+    def killer():
+        yield env.timeout(2)
+        proc.interrupt("node-failure")
+
+    env.process(killer())
+    env.run(proc)
+    assert caught == [(2, "node-failure")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run(proc)
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_ties_broken_deterministically():
+    env = Environment()
+    order = []
+
+    def worker(name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abc":
+        env.process(worker(name))
+    env.run()
+    assert order == ["a", "b", "c"]

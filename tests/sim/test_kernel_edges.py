@@ -1,0 +1,108 @@
+"""Kernel edge cases: condition failures, cross-env guards, defusing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import AllOf, AnyOf, Environment
+
+
+class TestConditionFailures:
+    def test_all_of_fails_fast_on_child_failure(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1)
+            raise ValueError("child died")
+
+        def slow():
+            yield env.timeout(100)
+            return "late"
+
+        def waiter():
+            with pytest.raises(ValueError, match="child died"):
+                yield AllOf(env, [env.process(failing()),
+                                  env.process(slow())])
+            return env.now
+
+        failed_at = env.run(env.process(waiter()))
+        assert failed_at == 1  # did not wait for the slow child
+
+    def test_any_of_failure_propagates(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1)
+            raise RuntimeError("first to finish, badly")
+
+        def waiter():
+            with pytest.raises(RuntimeError):
+                yield AnyOf(env, [env.process(failing()),
+                                  env.timeout(50)])
+
+        env.run(env.process(waiter()))
+
+    def test_all_of_with_pretriggered_events(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("early")
+        env.run(until=0.1)  # process the event
+
+        def waiter():
+            values = yield AllOf(env, [done, env.timeout(1, "late")])
+            return values
+
+        assert env.run(env.process(waiter())) == ["early", "late"]
+
+    def test_late_failures_after_condition_resolution_are_defused(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(10)
+            raise ValueError("nobody is watching anymore")
+
+        def waiter():
+            value = yield AnyOf(env, [env.timeout(1, "fast"),
+                                      env.process(failing())])
+            return value
+
+        proc = env.process(waiter())
+        assert env.run(proc) == "fast"
+        env.run()  # the late failure must not crash the drain
+
+
+class TestCrossEnvironmentGuards:
+    def test_yielding_foreign_event_fails_process(self):
+        env_a = Environment()
+        env_b = Environment()
+
+        def confused():
+            yield env_b.timeout(1)
+
+        proc = env_a.process(confused())
+        with pytest.raises(SimulationError, match="another environment"):
+            env_a.run(proc)
+
+
+class TestRunSemantics:
+    def test_run_until_past_deadline_rejected(self):
+        env = Environment()
+        env.timeout(5)
+        env.run(until=5)
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7
+
+    def test_value_of_pending_event_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")

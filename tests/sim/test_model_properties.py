@@ -1,0 +1,138 @@
+"""Property-based tests of the hardware models' conservation laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.buffercache import BufferCache
+from repro.sim.disk import Disk
+from repro.sim.kernel import AllOf, Environment
+from repro.sim.network import Network
+from repro.util.units import GB, MB
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "drop", "reread"]),
+            st.integers(0, 3),  # file id
+            st.integers(1, 12),  # MB
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    capacity_mb=st.integers(4, 64),
+)
+def test_buffercache_invariants_under_random_workloads(ops, capacity_mb):
+    """No op sequence may corrupt dirty accounting or overflow capacity,
+    and the simulation must always terminate (no writer deadlock)."""
+    env = Environment()
+    disk = Disk(env, seq_bandwidth=100 * MB, seek_time=0.01)
+    cache = BufferCache(env, disk, capacity=capacity_mb * MB,
+                        mem_bandwidth=1 * GB)
+
+    def workload():
+        for op, file_index, size_mb in ops:
+            file_id = f"f{file_index}"
+            if op == "write":
+                yield from cache.write(file_id, size_mb * MB)
+            elif op == "read":
+                yield from cache.read(file_id, size_mb * MB)
+            elif op == "reread":
+                cache.seek(file_id, 0)
+                yield from cache.read(file_id, size_mb * MB)
+            else:
+                cache.drop(file_id)
+            cache.check_invariants()
+
+    env.run(env.process(workload()))
+    env.run(until=env.now + 120)  # let the flusher settle
+    cache.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    transfers=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3),
+                  st.integers(1, 64)),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_network_conserves_bytes_and_respects_link_capacity(transfers):
+    """Every transfer completes; total bytes match; nothing finishes
+    faster than the NIC line rate allows."""
+    env = Environment()
+    net = Network(env, nic_bandwidth=125 * MB, rtt=0.0002)
+    for i in range(4):
+        net.add_node(f"n{i}", "rack0")
+
+    events = []
+    expected_bytes = 0
+    for src, dst, size_mb in transfers:
+        events.append(
+            net.transfer(f"n{src}", f"n{dst}", size_mb * MB)
+        )
+        if src != dst:
+            expected_bytes += size_mb * MB
+    env.run(AllOf(env, events))
+    assert net.stats.bytes_transferred == expected_bytes
+    assert not net._flows  # nothing leaked
+    # Line-rate bound: per-receiver inbound bytes / capacity is a lower
+    # bound on the finish time.
+    inbound: dict = {}
+    for src, dst, size_mb in transfers:
+        if src != dst:
+            inbound[dst] = inbound.get(dst, 0) + size_mb * MB
+    if inbound:
+        busiest = max(inbound.values())
+        assert env.now >= busiest / (125 * MB) - 1e-6
+
+
+def test_network_rates_never_exceed_capacity_snapshot():
+    """At an instant with many concurrent flows, the max-min allocation
+    must respect every link's capacity."""
+    env = Environment()
+    net = Network(env, nic_bandwidth=100 * MB, rtt=0.0)
+    for i in range(5):
+        net.add_node(f"n{i}", "rack0")
+    for src in range(4):
+        for _ in range(2):
+            net.transfer(f"n{src}", "n4", 500 * MB)
+    env.run(until=0.5)  # flows established, none finished
+    per_link: dict = {}
+    for flow in net._flows:
+        for link in flow.links:
+            per_link[link] = per_link.get(link, 0.0) + flow.rate
+    for link, total_rate in per_link.items():
+        assert total_rate <= link.capacity * (1 + 1e-9)
+    # The receiver's downlink is the bottleneck and must be saturated.
+    saturated = [
+        link for link, rate in per_link.items()
+        if rate == pytest.approx(link.capacity, rel=1e-6)
+    ]
+    assert saturated
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 32), min_size=1, max_size=10)
+)
+def test_disk_work_conservation(sizes):
+    """Total service time equals seeks + bytes/bandwidth regardless of
+    arrival interleaving."""
+    env = Environment()
+    disk = Disk(env, seq_bandwidth=100 * MB, seek_time=0.01)
+
+    def submit(stream, size_mb):
+        def op():
+            yield disk.read(stream, size_mb * MB)
+
+        return env.process(op())
+
+    procs = [submit(f"s{i}", size) for i, size in enumerate(sizes)]
+    env.run(AllOf(env, procs))
+    expected = disk.stats.seeks * 0.01 + sum(sizes) * MB / (100 * MB)
+    assert env.now == pytest.approx(expected, rel=1e-9)
+    assert disk.stats.bytes_read == sum(sizes) * MB

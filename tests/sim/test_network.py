@@ -1,0 +1,128 @@
+"""Network model tests: fair sharing, rack locality, RTT accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.util.units import MB
+
+
+def make_net(env, nodes=4, racks=1, uplink=None):
+    net = Network(env, nic_bandwidth=125 * MB, rtt=0.0002,
+                  rack_uplink_bandwidth=uplink)
+    for r in range(racks):
+        for n in range(nodes):
+            net.add_node(f"r{r}n{n}", f"rack{r}")
+    return net
+
+
+def test_single_transfer_time_matches_estimate():
+    env = Environment()
+    net = make_net(env)
+
+    def xfer():
+        yield net.transfer("r0n0", "r0n1", 1 * MB)
+
+    env.run(env.process(xfer()))
+    assert env.now == pytest.approx(net.transfer_time_estimate(1 * MB), rel=1e-6)
+
+
+def test_loopback_transfer_is_free():
+    env = Environment()
+    net = make_net(env)
+    event = net.transfer("r0n0", "r0n0", 100 * MB)
+    assert event.triggered
+
+
+def test_receiver_bottleneck_shared_fairly():
+    env = Environment()
+    net = make_net(env)
+    finishes = {}
+
+    def xfer(name, src):
+        yield net.transfer(src, "r0n3", 10 * MB)
+        finishes[name] = env.now
+
+    env.process(xfer("a", "r0n0"))
+    env.process(xfer("b", "r0n1"))
+    env.run()
+    # Two flows into one downlink: each gets half the NIC.
+    expected = 0.0002 + 20 * MB / (125 * MB)
+    assert finishes["a"] == pytest.approx(expected, rel=0.01)
+    assert finishes["b"] == pytest.approx(expected, rel=0.01)
+
+
+def test_disjoint_pairs_do_not_interfere():
+    env = Environment()
+    net = make_net(env)
+    finishes = {}
+
+    def xfer(name, src, dst):
+        yield net.transfer(src, dst, 10 * MB)
+        finishes[name] = env.now
+
+    env.process(xfer("a", "r0n0", "r0n1"))
+    env.process(xfer("b", "r0n2", "r0n3"))
+    env.run()
+    expected = 0.0002 + 10 * MB / (125 * MB)
+    for t in finishes.values():
+        assert t == pytest.approx(expected, rel=0.01)
+
+
+def test_cross_rack_flows_share_oversubscribed_uplink():
+    env = Environment()
+    net = make_net(env, nodes=4, racks=2, uplink=125 * MB)
+    finishes = {}
+
+    def xfer(name, src, dst):
+        yield net.transfer(src, dst, 10 * MB)
+        finishes[name] = env.now
+
+    # Four cross-rack flows from distinct senders to distinct receivers
+    # all squeeze through one 125 MB/s rack uplink.
+    for i in range(4):
+        env.process(xfer(f"x{i}", f"r0n{i}", f"r1n{i}"))
+    env.run()
+    expected = 0.0002 + 40 * MB / (125 * MB)
+    for t in finishes.values():
+        assert t == pytest.approx(expected, rel=0.02)
+    assert net.stats.cross_rack_transfers == 4
+
+
+def test_same_rack_flows_bypass_uplink():
+    env = Environment()
+    net = make_net(env, nodes=4, racks=2, uplink=1 * MB)
+
+    def xfer():
+        yield net.transfer("r0n0", "r0n1", 10 * MB)
+
+    env.run(env.process(xfer()))
+    # A tiny uplink does not matter for same-rack traffic.
+    assert env.now == pytest.approx(0.0002 + 10 * MB / (125 * MB), rel=0.01)
+
+
+def test_unknown_node_rejected():
+    env = Environment()
+    net = make_net(env)
+    with pytest.raises(SimulationError):
+        net.transfer("nope", "r0n0", 1)
+
+
+def test_duplicate_node_rejected():
+    env = Environment()
+    net = make_net(env)
+    with pytest.raises(SimulationError):
+        net.add_node("r0n0", "rack0")
+
+
+def test_stats_accumulate():
+    env = Environment()
+    net = make_net(env)
+
+    def xfer():
+        yield net.transfer("r0n0", "r0n1", 3 * MB)
+
+    env.run(env.process(xfer()))
+    assert net.stats.transfers == 1
+    assert net.stats.bytes_transferred == 3 * MB

@@ -1,0 +1,86 @@
+"""Node memory partitioning and cluster topology."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cluster import ClusterSpec, SimCluster, paper_cluster_spec
+from repro.sim.kernel import Environment
+from repro.sim.node import NodeSpec
+from repro.util.units import GB, MB
+
+
+class TestNodeSpec:
+    def test_paper_defaults(self):
+        spec = NodeSpec()
+        assert spec.slots == 3  # 2 map + 1 reduce
+        assert spec.heap_total == 3 * GB
+
+    def test_cache_gets_leftover_memory(self):
+        spec = NodeSpec(memory=16 * GB, sponge_pool=1 * GB)
+        expected = 16 * GB - 3 * GB - 512 * MB - 1 * GB
+        assert spec.cache_capacity == expected
+
+    def test_sponge_pool_squeezes_cache_to_floor_not_error(self):
+        # The paper's 4 GB nodes still configure 1 GB of sponge: the
+        # pool only consumes pages as chunks fill.
+        spec = NodeSpec(memory=4 * GB, sponge_pool=1 * GB)
+        assert spec.cache_capacity == 64 * MB
+
+    def test_hard_overcommit_rejected(self):
+        spec = NodeSpec(memory=2 * GB)  # 3 GB of heaps cannot fit
+        with pytest.raises(ConfigError):
+            _ = spec.cache_capacity
+
+    def test_pinned_memory_shrinks_cache(self):
+        free = NodeSpec(memory=16 * GB).cache_capacity
+        pressured = NodeSpec(memory=16 * GB, pinned=12 * GB).cache_capacity
+        assert pressured < free
+        assert pressured >= 64 * MB
+
+
+class TestClusterSpec:
+    def test_paper_cluster_shape(self):
+        spec = paper_cluster_spec()
+        assert spec.total_nodes == 29
+        assert spec.racks == 1
+
+    def test_with_node_override(self):
+        spec = ClusterSpec().with_node(memory=8 * GB)
+        assert spec.node.memory == 8 * GB
+        assert spec.nodes_per_rack == ClusterSpec().nodes_per_rack
+
+    def test_empty_cluster_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigError):
+            SimCluster(env, ClusterSpec(racks=0))
+
+
+class TestSimCluster:
+    def test_topology_and_lookup(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec(racks=2, nodes_per_rack=3))
+        assert len(cluster) == 6
+        node_id = cluster.node_ids()[0]
+        assert cluster.node(node_id).node_id == node_id
+        peers = cluster.rack_peers(node_id)
+        assert len(peers) == 2
+        assert node_id not in peers
+        assert all(cluster.node(p).rack == "rack0" for p in peers)
+
+    def test_each_node_has_independent_disk_and_cache(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec(racks=1, nodes_per_rack=2))
+        first, second = list(cluster)
+        assert first.disk is not second.disk
+        assert first.cache is not second.cache
+
+    def test_memcpy_charges_time(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec(racks=1, nodes_per_rack=1))
+        node = next(iter(cluster))
+
+        def op():
+            yield from node.memcpy(1 * GB)
+
+        env.run(env.process(op()))
+        assert env.now == pytest.approx(1.0)  # 1 GB at 1 GB/s

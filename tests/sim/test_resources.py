@@ -1,0 +1,168 @@
+"""Unit tests for mutex, store, and shared-bandwidth resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+from repro.sim.resources import Mutex, SharedBandwidth, Store
+
+
+class TestMutex:
+    def test_uncontended_acquire_is_immediate(self):
+        env = Environment()
+        mutex = Mutex(env)
+
+        def work():
+            yield mutex.acquire()
+            assert mutex.locked
+            mutex.release()
+
+        env.run(env.process(work()))
+        assert not mutex.locked
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        mutex = Mutex(env)
+        order = []
+
+        def worker(name, hold):
+            yield mutex.acquire()
+            order.append(name)
+            yield env.timeout(hold)
+            mutex.release()
+
+        env.process(worker("first", 5))
+        env.process(worker("second", 1))
+        env.process(worker("third", 1))
+        env.run()
+        assert order == ["first", "second", "third"]
+        assert env.now == 7
+
+    def test_release_unlocked_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Mutex(env).release()
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+
+        def getter():
+            item = yield store.get()
+            return item
+
+        assert env.run(env.process(getter())) == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((env.now, item))
+
+        env.process(getter())
+
+        def putter():
+            yield env.timeout(4)
+            store.put("late")
+
+        env.process(putter())
+        env.run()
+        assert got == [(4, "late")]
+
+    def test_fifo_items(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+
+        def getter():
+            items = []
+            for _ in range(3):
+                items.append((yield store.get()))
+            return items
+
+        assert env.run(env.process(getter())) == [0, 1, 2]
+
+
+class TestSharedBandwidth:
+    def test_single_flow_gets_full_capacity(self):
+        env = Environment()
+        link = SharedBandwidth(env, capacity=100.0)
+
+        def xfer():
+            yield link.transfer(500.0)
+
+        env.run(env.process(xfer()))
+        assert env.now == pytest.approx(5.0)
+
+    def test_two_equal_flows_halve_throughput(self):
+        env = Environment()
+        link = SharedBandwidth(env, capacity=100.0)
+        finishes = []
+
+        def xfer(name):
+            yield link.transfer(500.0)
+            finishes.append((env.now, name))
+
+        env.process(xfer("a"))
+        env.process(xfer("b"))
+        env.run()
+        assert [t for t, _ in finishes] == [pytest.approx(10.0)] * 2
+
+    def test_late_joiner_slows_first_flow(self):
+        env = Environment()
+        link = SharedBandwidth(env, capacity=100.0)
+        finishes = {}
+
+        def xfer(name, start, nbytes):
+            yield env.timeout(start)
+            yield link.transfer(nbytes)
+            finishes[name] = env.now
+
+        env.process(xfer("early", 0, 1000))
+        env.process(xfer("late", 5, 250))
+        env.run()
+        # early: 5s alone (500 bytes) + shared until late finishes.
+        # late: 250 bytes at 50 B/s -> 5s, ends at t=10.
+        assert finishes["late"] == pytest.approx(10.0)
+        # early then has 250 left, alone at 100 B/s -> ends at 12.5.
+        assert finishes["early"] == pytest.approx(12.5)
+
+    def test_zero_byte_transfer_completes_instantly(self):
+        env = Environment()
+        link = SharedBandwidth(env, capacity=10.0)
+        event = link.transfer(0)
+        assert event.triggered
+
+    def test_negative_transfer_rejected(self):
+        env = Environment()
+        link = SharedBandwidth(env, capacity=10.0)
+        with pytest.raises(SimulationError):
+            link.transfer(-1)
+
+    def test_bytes_served_accounted(self):
+        env = Environment()
+        link = SharedBandwidth(env, capacity=100.0)
+
+        def xfer():
+            yield link.transfer(300.0)
+
+        env.run(env.process(xfer()))
+        assert link.bytes_served == 300.0
+
+    def test_utilization_reflects_busy_fraction(self):
+        env = Environment()
+        link = SharedBandwidth(env, capacity=100.0)
+
+        def xfer():
+            yield link.transfer(100.0)  # busy 1s
+            yield env.timeout(9.0)  # idle 9s
+
+        env.run(env.process(xfer()))
+        assert link.utilization() == pytest.approx(0.1)

@@ -1,0 +1,84 @@
+"""Shared fixtures: in-process sponge clusters built from memory backends."""
+
+import pytest
+
+from repro.backends.memory_backends import (
+    LocalPoolStore,
+    MemoryDfsStore,
+    MemoryDiskStore,
+    ServerStore,
+)
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.gc import TaskRegistry, wire_peers
+from repro.sponge.pool import SpongePool
+from repro.sponge.quota import QuotaPolicy
+from repro.sponge.server import SpongeServer
+from repro.sponge.tracker import MemoryTracker
+
+CHUNK = 1024  # small chunks keep tests fast
+
+
+@pytest.fixture
+def config():
+    return SpongeConfig(chunk_size=CHUNK)
+
+
+class MiniCluster:
+    """A handful of in-process sponge nodes plus tracker and chains."""
+
+    def __init__(self, hosts, pool_chunks, config, quota=None, local_pool=True,
+                 disk_capacity=None, with_dfs=True):
+        self.config = config
+        self.registry = TaskRegistry()
+        self.tracker = MemoryTracker()
+        self.pools = {}
+        self.servers = {}
+        self.disks = {}
+        self.chains = {}
+        for host in hosts:
+            pool = SpongePool(pool_chunks * config.chunk_size, config.chunk_size)
+            server = SpongeServer(
+                server_id=f"sponge@{host}",
+                host=host,
+                pool=pool,
+                quota=QuotaPolicy(quota),
+                local_liveness=self.registry.probe_for_host(host),
+            )
+            self.pools[host] = pool
+            self.servers[host] = server
+            self.tracker.register(server)
+        wire_peers(list(self.servers.values()))
+        self.tracker.poll_once()
+        for host in hosts:
+            disk = MemoryDiskStore(store_id=f"{host}/disk", capacity=disk_capacity)
+            self.disks[host] = disk
+            self.chains[host] = AllocationChain(
+                local_store=(
+                    LocalPoolStore(self.pools[host], store_id=f"{host}/pool")
+                    if local_pool
+                    else None
+                ),
+                tracker=self.tracker,
+                remote_store_factory=lambda info: ServerStore(
+                    self.servers[info.host or info.server_id.split("@", 1)[1]]
+                ),
+                disk_store=disk,
+                dfs_store=MemoryDfsStore() if with_dfs else None,
+                host=host,
+                config=config,
+            )
+
+    def chain(self, host):
+        return self.chains[host]
+
+
+@pytest.fixture
+def cluster(config):
+    return MiniCluster(["h0", "h1", "h2"], pool_chunks=4, config=config)
+
+
+@pytest.fixture
+def owner():
+    return TaskId("h0", "task-0")

@@ -1,0 +1,178 @@
+"""Allocation-chain behaviours: staleness, affinity, rack policy."""
+
+import pytest
+
+from repro.backends.memory_backends import MemoryDiskStore, ServerStore
+from repro.errors import ChunkAllocationError
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.pool import SpongePool
+from repro.sponge.server import SpongeServer
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.tracker import MemoryTracker
+
+CHUNK = 1024
+CONFIG = SpongeConfig(chunk_size=CHUNK)
+
+
+def build(hosts, pool_chunks=4, racks=None, config=CONFIG):
+    tracker = MemoryTracker()
+    servers = {}
+    for i, host in enumerate(hosts):
+        rack = racks[i] if racks else "rack0"
+        pool = SpongePool(pool_chunks * config.chunk_size, config.chunk_size)
+        servers[host] = SpongeServer(
+            f"sponge@{host}", host=host, pool=pool, rack=rack
+        )
+        tracker.register(servers[host])
+    tracker.poll_once()
+
+    def factory(info):
+        return ServerStore(servers[info.host or info.server_id.split("@")[1]])
+
+    return tracker, servers, factory
+
+
+def make_chain(tracker, factory, host="h0", rack="rack0", config=CONFIG,
+               local=None, disk=None):
+    return AllocationChain(
+        local_store=local,
+        tracker=tracker,
+        remote_store_factory=factory,
+        disk_store=disk if disk is not None else MemoryDiskStore(),
+        host=host,
+        rack=rack,
+        config=config,
+    )
+
+
+def spill(chain, owner, nbytes, config=CONFIG):
+    sf = SpongeFile(owner, chain, config)
+    sf.write_all(b"x" * nbytes)
+    sf.close_sync()
+    return sf
+
+
+class TestStaleness:
+    def test_stale_free_list_falls_through_to_next_server(self):
+        tracker, servers, factory = build(["h0", "h1", "h2"], pool_chunks=2)
+        chain = make_chain(tracker, factory)
+        owner = TaskId("h0", "t")
+        # After the poll, fill h1's pool behind the tracker's back, so
+        # its snapshot entry is stale.
+        other = TaskId("h1", "hog")
+        pool1 = servers["h1"].pool
+        while pool1.free_chunks:
+            pool1.store(pool1.allocate(other), other, b"hog")
+
+        sf = spill(chain, owner, 2 * CHUNK)
+        # Both chunks landed on h2 (h1 was stale-full).
+        assert all(h.location is ChunkLocation.REMOTE_MEMORY for h in sf.handles)
+        assert all(h.store_id == "sponge@h2" for h in sf.handles)
+        assert chain.stats.remote_stale_misses >= 1
+
+    def test_all_remote_full_falls_to_disk(self):
+        tracker, servers, factory = build(["h0", "h1"], pool_chunks=1)
+        chain = make_chain(tracker, factory)
+        owner = TaskId("h0", "t")
+        sf = spill(chain, owner, 3 * CHUNK)
+        locations = [h.location for h in sf.handles]
+        assert locations.count(ChunkLocation.REMOTE_MEMORY) == 1
+        assert ChunkLocation.LOCAL_DISK in locations
+
+
+class TestAffinity:
+    def test_chunks_stick_to_first_server_used(self):
+        tracker, servers, factory = build(["h0", "h1", "h2", "h3"], pool_chunks=8)
+        chain = make_chain(tracker, factory)
+        owner = TaskId("h0", "t")
+        sf = spill(chain, owner, 5 * CHUNK)
+        used = {h.store_id for h in sf.handles}
+        # Affinity keeps the whole file on ONE remote server.
+        assert len(used) == 1
+
+    def test_affinity_reduces_machines_at_risk(self):
+        tracker, servers, factory = build(
+            ["h0"] + [f"h{i}" for i in range(1, 6)], pool_chunks=3
+        )
+        chain = make_chain(tracker, factory)
+        owner = TaskId("h0", "t")
+        sf = spill(chain, owner, 6 * CHUNK)
+        used = {h.store_id for h in sf.handles}
+        # 6 chunks across 3-chunk pools: exactly 2 servers, not 6.
+        assert len(used) == 2
+
+
+class TestRackPolicy:
+    def test_remote_spill_restricted_to_same_rack(self):
+        tracker, servers, factory = build(
+            ["h0", "h1", "h2"], pool_chunks=4, racks=["rack0", "rack0", "rack1"]
+        )
+        chain = make_chain(tracker, factory)
+        owner = TaskId("h0", "t")
+        sf = spill(chain, owner, 6 * CHUNK)
+        remote = [h for h in sf.handles if h.location is ChunkLocation.REMOTE_MEMORY]
+        assert remote and all(h.store_id == "sponge@h1" for h in remote)
+
+    def test_rack_restriction_can_be_disabled(self):
+        config = SpongeConfig(chunk_size=CHUNK, restrict_to_rack=False)
+        tracker, servers, factory = build(
+            ["h0", "h1"], pool_chunks=4, racks=["rack0", "rack1"], config=config
+        )
+        chain = make_chain(tracker, factory, config=config)
+        owner = TaskId("h0", "t")
+        sf = spill(chain, owner, 2 * CHUNK, config=config)
+        assert {h.store_id for h in sf.handles} == {"sponge@h1"}
+
+
+class TestMaxAttempts:
+    def test_attempt_cap_probes_one_server_per_allocation(self):
+        config = SpongeConfig(chunk_size=CHUNK, max_remote_attempts=1)
+        tracker, servers, factory = build(["h0", "h1", "h2"], pool_chunks=1,
+                                          config=config)
+        chain = make_chain(tracker, factory, config=config)
+        owner = TaskId("h0", "t")
+        # Fill every remote pool AFTER the tracker poll, so all entries
+        # are stale.  With a cap of 1, each allocation probes exactly
+        # one stale server before falling back to disk.
+        for host in ("h1", "h2"):
+            pool = servers[host].pool
+            hog = TaskId(host, "hog")
+            while pool.free_chunks:
+                pool.store(pool.allocate(hog), hog, b"hog")
+        sf = spill(chain, owner, 2 * CHUNK, config=config)
+        locations = [h.location for h in sf.handles]
+        assert ChunkLocation.REMOTE_MEMORY not in locations
+        assert chain.stats.remote_stale_misses == 2
+
+
+class TestChainEdges:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChunkAllocationError):
+            AllocationChain(
+                local_store=None,
+                tracker=None,
+                remote_store_factory=None,
+                disk_store=None,
+            )
+
+    def test_tracker_down_mid_run_still_spills_to_disk(self):
+        tracker, servers, factory = build(["h0", "h1"])
+        # Simulate tracker losing every server.
+        for server_id in list(tracker.server_ids):
+            tracker.deregister(server_id)
+        tracker.poll_once()
+        chain = make_chain(tracker, factory)
+        owner = TaskId("h0", "t")
+        sf = spill(chain, owner, 2 * CHUNK)
+        assert all(h.location is ChunkLocation.LOCAL_DISK for h in sf.handles)
+
+    def test_store_for_unknown_handle_raises(self):
+        tracker, servers, factory = build(["h0"])
+        chain = make_chain(tracker, factory)
+        from repro.sponge.chunk import ChunkHandle
+
+        bogus = ChunkHandle(ChunkLocation.LOCAL_DISK, "elsewhere", 0, 1)
+        with pytest.raises(ChunkAllocationError):
+            chain.store_for(bogus)

@@ -1,0 +1,86 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpongeError
+from repro.sponge.blob import Payload, blob_concat, blob_size, blob_take
+
+
+class TestBytesBlobs:
+    def test_size(self):
+        assert blob_size(b"abc") == 3
+        assert blob_size(bytearray(5)) == 5
+        assert blob_size(memoryview(b"xy")) == 2
+
+    def test_concat(self):
+        assert blob_concat([b"ab", b"cd", b"e"]) == b"abcde"
+        assert blob_concat([]) == b""
+        assert blob_concat([b"solo"]) == b"solo"
+
+    def test_take_exact(self):
+        head, rest = blob_take(b"abcdef", 4)
+        assert head == b"abcd"
+        assert rest == b"ef"
+
+    def test_take_whole_when_fits(self):
+        head, rest = blob_take(b"ab", 10)
+        assert head == b"ab"
+        assert rest is None
+
+    @given(st.binary(max_size=200), st.integers(min_value=1, max_value=64))
+    def test_take_preserves_content(self, data, size):
+        head, rest = blob_take(data, size)
+        reassembled = head + (rest or b"")
+        assert reassembled == data
+        assert len(head) <= max(size, len(data) if rest is None else size)
+
+
+class TestPayloadBlobs:
+    def test_size_is_logical(self):
+        payload = Payload.of([1, 2, 3], nbytes=3_000_000)
+        assert blob_size(payload) == 3_000_000
+        assert len(payload) == 3
+
+    def test_concat_merges_records_and_sizes(self):
+        merged = blob_concat([Payload.of([1], 10), Payload.of([2, 3], 20)])
+        assert merged.records == (1, 2, 3)
+        assert merged.nbytes == 30
+
+    def test_mixing_kinds_rejected(self):
+        with pytest.raises(SpongeError):
+            blob_concat([Payload.of([1], 10), b"raw"])
+
+    def test_take_cuts_on_record_boundary_under_size(self):
+        payload = Payload.of(list(range(10)), nbytes=100)  # 10 bytes/record
+        head, rest = blob_take(payload, 35)
+        assert len(head.records) == 3
+        assert head.nbytes == 30
+        assert rest.nbytes == 70
+        assert head.records + rest.records == payload.records
+
+    def test_take_oversize_single_record_emitted_alone(self):
+        payload = Payload.of(["big", "next"], nbytes=200)  # 100 bytes each
+        head, rest = blob_take(payload, 50)
+        assert head.records == ("big",)
+        assert rest.records == ("next",)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=1, max_value=500),
+    )
+    def test_take_conserves_bytes_and_records(self, nrecords, nbytes, size):
+        payload = Payload.of(list(range(nrecords)), nbytes)
+        head, rest = blob_take(payload, size)
+        if rest is None:
+            assert head is payload
+        else:
+            assert head.records + rest.records == payload.records
+            assert head.nbytes + rest.nbytes == payload.nbytes
+            assert len(head.records) >= 1
+
+    def test_non_blob_rejected(self):
+        with pytest.raises(SpongeError):
+            blob_size(42)
+        with pytest.raises(SpongeError):
+            blob_concat([42, 43])

@@ -1,0 +1,133 @@
+"""Property tests of the allocation chain under randomized conditions.
+
+Invariants, regardless of pool sizes, payload shapes, or which servers
+fill up behind the tracker's back:
+
+* every written byte reads back, in order;
+* chunk placements respect the preference order at each allocation
+  instant (local pool never refused while it has space);
+* deletion returns every pool to its starting occupancy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.memory_backends import (
+    LocalPoolStore,
+    MemoryDfsStore,
+    MemoryDiskStore,
+    ServerStore,
+)
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.gc import wire_peers
+from repro.sponge.pool import SpongePool
+from repro.sponge.server import SpongeServer
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.tracker import MemoryTracker
+
+CHUNK = 512
+
+
+def build_cluster(local_chunks, remote_chunk_counts, disk_capacity):
+    config = SpongeConfig(chunk_size=CHUNK)
+    tracker = MemoryTracker()
+    servers = {}
+    for index, chunks in enumerate(remote_chunk_counts):
+        host = f"peer{index}"
+        pool = SpongePool(max(1, chunks) * CHUNK, CHUNK)
+        servers[host] = SpongeServer(f"sponge@{host}", host=host, pool=pool)
+        tracker.register(servers[host])
+    wire_peers(list(servers.values()))
+    tracker.poll_once()
+    local_pool = SpongePool(max(1, local_chunks) * CHUNK, CHUNK)
+    chain = AllocationChain(
+        local_store=LocalPoolStore(local_pool, "local/pool"),
+        tracker=tracker,
+        remote_store_factory=lambda info: ServerStore(servers[info.host]),
+        disk_store=MemoryDiskStore(capacity=disk_capacity),
+        dfs_store=MemoryDfsStore(),
+        host="local",
+        config=config,
+    )
+    return config, chain, local_pool, servers
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    local_chunks=st.integers(1, 6),
+    remote_chunk_counts=st.lists(st.integers(0, 6), min_size=0, max_size=3),
+    disk_chunks=st.integers(0, 8),
+    writes=st.lists(st.integers(1, 4 * CHUNK), min_size=1, max_size=10),
+    fill_remote_after_poll=st.booleans(),
+)
+def test_chain_invariants(local_chunks, remote_chunk_counts, disk_chunks,
+                          writes, fill_remote_after_poll):
+    config, chain, local_pool, servers = build_cluster(
+        local_chunks, remote_chunk_counts, disk_chunks * CHUNK
+    )
+    if fill_remote_after_poll and servers:
+        # Make some tracker entries stale.
+        victim = next(iter(servers.values()))
+        hog = TaskId(victim.host, "hog")
+        while victim.pool.free_chunks:
+            victim.pool.store(victim.pool.allocate(hog), hog, b"")
+
+    owner = TaskId("local", "prop")
+    spongefile = SpongeFile(owner, chain, config)
+    payload = b"".join(
+        bytes([i % 251]) * size for i, size in enumerate(writes)
+    )
+    for i, size in enumerate(writes):
+        spongefile.write_all(bytes([i % 251]) * size)
+    spongefile.close_sync()
+
+    # 1) content integrity
+    assert spongefile.read_all() == payload
+
+    # 2) preference order: if any chunk went remote/disk, the local
+    # pool must have been full at some point (it never lies idle).
+    locations = [h.location for h in spongefile.handles]
+    if any(loc is not ChunkLocation.LOCAL_MEMORY for loc in locations):
+        local_count = sum(
+            1 for loc in locations if loc is ChunkLocation.LOCAL_MEMORY
+        )
+        assert local_count == min(local_chunks, len(locations))
+
+    # 3) cleanup restores every pool
+    spongefile.delete_sync()
+    assert local_pool.used_chunks == 0
+    for server in servers.values():
+        hogged = sum(
+            1 for _i, o in server.pool if o is not None and o.task == "hog"
+        )
+        assert server.pool.used_chunks == hogged
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    file_count=st.integers(2, 5),
+    chunks_each=st.integers(1, 5),
+)
+def test_interleaved_files_do_not_cross_contaminate(file_count, chunks_each):
+    config, chain, local_pool, servers = build_cluster(
+        local_chunks=4, remote_chunk_counts=[6, 6], disk_capacity=None
+    )
+    files = []
+    for index in range(file_count):
+        owner = TaskId("local", f"task{index}")
+        spongefile = SpongeFile(owner, chain, config, name=f"f{index}")
+        files.append((index, spongefile))
+    # Interleave writes across all files.
+    for round_index in range(chunks_each):
+        for index, spongefile in files:
+            spongefile.write_all(bytes([index + 1]) * CHUNK)
+    for index, spongefile in files:
+        spongefile.close_sync()
+    for index, spongefile in files:
+        data = spongefile.read_all()
+        assert data == bytes([index + 1]) * (CHUNK * chunks_each)
+        spongefile.delete_sync()
+    assert local_pool.used_chunks == 0

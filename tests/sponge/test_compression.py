@@ -1,0 +1,102 @@
+"""Transparent chunk compression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backends.memory_backends import LocalPoolStore, MemoryDiskStore
+from repro.errors import SpongeError
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import TaskId
+from repro.sponge.compression import CompressedStore
+from repro.sponge.config import SpongeConfig
+from repro.sponge.crypto import EncryptedStore
+from repro.sponge.pool import SpongePool
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+
+OWNER = TaskId("h0", "squeeze")
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+def make_store():
+    pool = SpongePool(8 * 65536, 65536)
+    return pool, CompressedStore(LocalPoolStore(pool))
+
+
+class TestCompressedStore:
+    def test_roundtrip(self):
+        _pool, store = make_store()
+        data = b"spill data " * 500
+        handle = run_sync(store.write_chunk(OWNER, data))
+        assert run_sync(store.read_chunk(handle)) == data
+        assert handle.nbytes == len(data)
+
+    def test_compressible_data_shrinks_in_the_pool(self):
+        pool, store = make_store()
+        data = b"A" * 50_000
+        handle = run_sync(store.write_chunk(OWNER, data))
+        stored = pool.fetch(handle.ref[1], OWNER)
+        assert len(stored) < len(data) // 10
+        assert store.stats.ratio > 10
+
+    def test_incompressible_data_stored_raw(self):
+        import os
+
+        _pool, store = make_store()
+        data = os.urandom(4096)
+        handle = run_sync(store.write_chunk(OWNER, data))
+        assert run_sync(store.read_chunk(handle)) == data
+        # Overhead bounded by the 4-byte marker.
+        assert store.stats.stored_bytes <= len(data) + 4
+
+    def test_bad_level_rejected(self):
+        pool = SpongePool(65536, 65536)
+        with pytest.raises(SpongeError):
+            CompressedStore(LocalPoolStore(pool), level=0)
+
+    def test_non_bytes_rejected(self):
+        from repro.sponge.blob import Payload
+
+        _pool, store = make_store()
+        with pytest.raises(SpongeError):
+            run_sync(store.write_chunk(OWNER, Payload.of([1], 8)))
+
+    @given(st.binary(max_size=20_000))
+    def test_roundtrip_property(self, data):
+        pool = SpongePool(4 * (1 << 20), 1 << 20)
+        store = CompressedStore(LocalPoolStore(pool))
+        if not data:
+            return
+        handle = run_sync(store.write_chunk(OWNER, data))
+        assert run_sync(store.read_chunk(handle)) == data
+
+
+class TestComposition:
+    def test_compress_then_encrypt_roundtrip(self):
+        pool = SpongePool(8 * 65536, 65536)
+        store = CompressedStore(
+            EncryptedStore(LocalPoolStore(pool), KEY)
+        )
+        data = b"compressible secret " * 400
+        handle = run_sync(store.write_chunk(OWNER, data))
+        raw = pool.fetch(handle.ref[1], OWNER)
+        assert b"compressible" not in raw  # sealed
+        assert run_sync(store.read_chunk(handle)) == data
+
+    def test_spongefile_over_compressed_chain(self):
+        config = SpongeConfig(chunk_size=4096)
+        pool = SpongePool(4 * 8192, 8192)
+        chain = AllocationChain(
+            local_store=CompressedStore(LocalPoolStore(pool)),
+            tracker=None,
+            remote_store_factory=None,
+            disk_store=CompressedStore(MemoryDiskStore()),
+            config=config,
+        )
+        sf = SpongeFile(OWNER, chain, config)
+        payload = b"row,row,row,your,boat\n" * 3000  # ~64 KB, compressible
+        sf.write_all(payload)
+        sf.close_sync()
+        assert sf.read_all() == payload
+        sf.delete_sync()

@@ -1,0 +1,100 @@
+"""Chunk encryption (the §3.1.4 access-control extension)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpongeError
+from repro.sponge.chunk import TaskId
+from repro.sponge.crypto import EncryptedStore, decrypt_chunk, encrypt_chunk
+from repro.sponge.pool import SpongePool
+from repro.backends.memory_backends import LocalPoolStore, MemoryDiskStore
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+
+KEY = b"0123456789abcdef0123456789abcdef"
+OWNER = TaskId("h0", "secret-task")
+
+
+class TestCipher:
+    def test_roundtrip(self):
+        sealed = encrypt_chunk(KEY, b"top secret payload")
+        assert decrypt_chunk(KEY, sealed) == b"top secret payload"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sealed = encrypt_chunk(KEY, b"A" * 256)
+        assert b"A" * 64 not in sealed
+
+    def test_nonce_randomizes(self):
+        first = encrypt_chunk(KEY, b"same data")
+        second = encrypt_chunk(KEY, b"same data")
+        assert first != second
+
+    def test_wrong_key_rejected(self):
+        sealed = encrypt_chunk(KEY, b"data")
+        with pytest.raises(SpongeError, match="authentication"):
+            decrypt_chunk(b"x" * 32, sealed)
+
+    def test_tampering_detected(self):
+        sealed = bytearray(encrypt_chunk(KEY, b"data"))
+        sealed[20] ^= 0xFF
+        with pytest.raises(SpongeError, match="authentication"):
+            decrypt_chunk(KEY, bytes(sealed))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(SpongeError, match="too short"):
+            decrypt_chunk(KEY, b"short")
+
+    @given(st.binary(max_size=5000))
+    def test_roundtrip_property(self, data):
+        assert decrypt_chunk(KEY, encrypt_chunk(KEY, data)) == data
+
+
+class TestEncryptedStore:
+    def make_store(self):
+        pool = SpongePool(8 * 65536, 65536)
+        return pool, EncryptedStore(LocalPoolStore(pool), KEY)
+
+    def test_pool_holds_only_ciphertext(self):
+        pool, store = self.make_store()
+        from repro.sponge.store import run_sync
+
+        handle = run_sync(store.write_chunk(OWNER, b"plaintext" * 100))
+        raw = pool.fetch(handle.ref[1], OWNER)
+        assert b"plaintext" not in raw
+        assert run_sync(store.read_chunk(handle)) == b"plaintext" * 100
+
+    def test_handle_reports_plaintext_size(self):
+        pool, store = self.make_store()
+        from repro.sponge.store import run_sync
+
+        handle = run_sync(store.write_chunk(OWNER, b"x" * 100))
+        assert handle.nbytes == 100
+
+    def test_short_key_rejected(self):
+        pool = SpongePool(8 * 65536, 65536)
+        with pytest.raises(SpongeError):
+            EncryptedStore(LocalPoolStore(pool), b"weak")
+
+    def test_spongefile_over_encrypted_chain(self):
+        config = SpongeConfig(chunk_size=4096)
+        # Pool chunks leave headroom for the 48-byte nonce+MAC seal.
+        pool = SpongePool(16 * 4160, 4160)
+        chain = AllocationChain(
+            local_store=EncryptedStore(LocalPoolStore(pool), KEY),
+            tracker=None,
+            remote_store_factory=None,
+            disk_store=EncryptedStore(MemoryDiskStore(), KEY),
+            config=config,
+        )
+        sf = SpongeFile(OWNER, chain, config)
+        payload = bytes(range(256)) * 256  # 64 KB -> 16 chunks + disk
+        sf.write_all(payload)
+        sf.close_sync()
+        assert sf.read_all() == payload
+        # Nothing in the pool is plaintext.
+        for index, owner in pool:
+            if owner is not None:
+                assert bytes(range(64)) not in pool.fetch(index, owner)
+        sf.delete_sync()

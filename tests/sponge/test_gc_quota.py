@@ -1,0 +1,115 @@
+"""Garbage collection of orphaned chunks and quota enforcement."""
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.gc import run_cluster_gc
+from repro.sponge.spongefile import SpongeFile
+
+from .conftest import CHUNK, MiniCluster
+
+
+class TestGarbageCollection:
+    def test_orphans_of_dead_local_task_reclaimed(self, cluster, config):
+        owner = TaskId("h0", "leaky")
+        cluster.registry.start(owner)
+        sf = SpongeFile(owner, cluster.chain("h0"), config)
+        sf.write_all(b"x" * (2 * CHUNK))
+        sf.close_sync()
+        # The task dies without deleting its SpongeFile.
+        cluster.registry.finish(owner)
+        report = run_cluster_gc(list(cluster.servers.values()))
+        assert report.chunks_freed == 2
+        assert cluster.pools["h0"].used_chunks == 0
+
+    def test_live_task_chunks_survive_gc(self, cluster, config):
+        owner = TaskId("h0", "alive")
+        cluster.registry.start(owner)
+        sf = SpongeFile(owner, cluster.chain("h0"), config)
+        sf.write_all(b"x" * (2 * CHUNK))
+        sf.close_sync()
+        report = run_cluster_gc(list(cluster.servers.values()))
+        assert report.chunks_freed == 0
+        assert sf.read_all() == b"x" * (2 * CHUNK)
+
+    def test_remote_owner_liveness_consulted_via_peer(self, cluster, config):
+        """Chunks on h1 owned by a task on h0: h1's server must ask
+        h0's server whether the owner is alive."""
+        owner = TaskId("h0", "spiller")
+        cluster.registry.start(owner)
+        sf = SpongeFile(owner, cluster.chain("h0"), config)
+        sf.write_all(b"x" * (6 * CHUNK))  # overflows the 4-chunk local pool
+        sf.close_sync()
+        remote = [
+            h for h in sf.handles if h.location is ChunkLocation.REMOTE_MEMORY
+        ]
+        assert remote, "test needs remote chunks"
+        # While alive: nothing reclaimed anywhere.
+        assert run_cluster_gc(list(cluster.servers.values())).chunks_freed == 0
+        cluster.registry.finish(owner)
+        report = run_cluster_gc(list(cluster.servers.values()))
+        assert report.chunks_freed == 6
+        for pool in cluster.pools.values():
+            assert pool.used_chunks == 0
+
+    def test_unknown_host_owner_treated_as_dead(self, cluster):
+        ghost = TaskId("vanished-host", "ghost")
+        pool = cluster.pools["h1"]
+        pool.store(pool.allocate(ghost), ghost, b"orphan")
+        report = run_cluster_gc(list(cluster.servers.values()))
+        assert report.chunks_freed == 1
+
+    def test_gc_report_names_servers(self, cluster, config):
+        owner = TaskId("h0", "dead")
+        sf = SpongeFile(owner, cluster.chain("h0"), config)
+        sf.write_all(b"x" * CHUNK)
+        sf.close_sync()
+        report = run_cluster_gc(list(cluster.servers.values()))
+        assert report.per_server == {"sponge@h0": 1}
+
+
+class TestQuota:
+    def make_quota_cluster(self, config, quota_chunks):
+        return MiniCluster(
+            ["h0", "h1"],
+            pool_chunks=8,
+            config=config,
+            quota=quota_chunks * config.chunk_size,
+            local_pool=False,  # force everything through servers
+        )
+
+    def test_server_refuses_over_quota(self, config):
+        cluster = self.make_quota_cluster(config, quota_chunks=2)
+        owner = TaskId("h0", "greedy")
+        server = cluster.servers["h1"]
+        server.alloc_and_store(owner, b"x" * CHUNK)
+        server.alloc_and_store(owner, b"x" * CHUNK)
+        with pytest.raises(QuotaExceededError):
+            server.alloc_and_store(owner, b"x" * CHUNK)
+
+    def test_quota_released_on_free(self, config):
+        cluster = self.make_quota_cluster(config, quota_chunks=1)
+        owner = TaskId("h0", "t")
+        server = cluster.servers["h1"]
+        index = server.alloc_and_store(owner, b"x" * CHUNK)
+        server.free(owner, index)
+        # Quota freed: the next allocation succeeds.
+        server.alloc_and_store(owner, b"x" * CHUNK)
+
+    def test_quota_released_by_gc(self, config):
+        cluster = self.make_quota_cluster(config, quota_chunks=1)
+        owner = TaskId("h0", "dead")
+        server = cluster.servers["h1"]
+        server.alloc_and_store(owner, b"x" * CHUNK)
+        # Owner dies without freeing; GC reclaims chunk AND quota.
+        run_cluster_gc([server])
+        assert server.quota.usage.get(owner, 0) == 0
+        server.alloc_and_store(owner, b"x" * CHUNK)
+
+    def test_offenders_listed(self, config):
+        cluster = self.make_quota_cluster(config, quota_chunks=1)
+        owner = TaskId("h0", "greedy")
+        server = cluster.servers["h1"]
+        server.alloc_and_store(owner, b"x" * CHUNK)
+        assert server.quota.offenders() == [owner]

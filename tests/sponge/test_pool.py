@@ -1,0 +1,130 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, OutOfSpongeMemory, SpongeError
+from repro.sponge.chunk import TaskId
+from repro.sponge.pool import SpongePool
+from repro.util.units import MB
+
+T1 = TaskId("host-a", "task-1")
+T2 = TaskId("host-b", "task-2")
+
+
+def make_pool(chunks=4, chunk_size=1 * MB):
+    return SpongePool(pool_size=chunks * chunk_size, chunk_size=chunk_size)
+
+
+class TestAllocation:
+    def test_allocate_store_fetch_roundtrip(self):
+        pool = make_pool()
+        index = pool.allocate(T1)
+        pool.store(index, T1, b"x" * 100)
+        assert pool.fetch(index, T1) == b"x" * 100
+
+    def test_capacity_accounting(self):
+        pool = make_pool(chunks=3)
+        assert pool.free_chunks == 3
+        pool.allocate(T1)
+        assert pool.used_chunks == 1
+        assert pool.free_bytes == 2 * MB
+
+    def test_exhaustion_raises(self):
+        pool = make_pool(chunks=2)
+        pool.allocate(T1)
+        pool.allocate(T1)
+        with pytest.raises(OutOfSpongeMemory):
+            pool.allocate(T2)
+        assert pool.stats.failed_allocations == 1
+
+    def test_free_returns_chunk_to_pool(self):
+        pool = make_pool(chunks=1)
+        index = pool.allocate(T1)
+        pool.free(index, T1)
+        assert pool.allocate(T2) == index
+
+    def test_double_free_rejected(self):
+        pool = make_pool()
+        index = pool.allocate(T1)
+        pool.free(index, T1)
+        with pytest.raises(SpongeError):
+            pool.free(index)
+
+    def test_wrong_owner_rejected(self):
+        pool = make_pool()
+        index = pool.allocate(T1)
+        with pytest.raises(SpongeError):
+            pool.store(index, T2, b"evil")
+        with pytest.raises(SpongeError):
+            pool.free(index, T2)
+
+    def test_oversized_payload_rejected(self):
+        pool = make_pool(chunk_size=1024)
+        index = pool.allocate(T1)
+        with pytest.raises(SpongeError):
+            pool.store(index, T1, b"x" * 2048)
+
+    def test_pool_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            SpongePool(pool_size=10, chunk_size=1 * MB)
+
+    def test_segment_layout(self):
+        pool = SpongePool(pool_size=8 * MB, chunk_size=1 * MB, segment_size=2 * MB)
+        assert pool.num_segments == 4
+        assert pool.segment_of(0) == 0
+        assert pool.segment_of(3) == 1
+        assert pool.segment_of(7) == 3
+
+
+class TestGarbageCollection:
+    def test_collect_frees_dead_owners_only(self):
+        pool = make_pool(chunks=4)
+        for _ in range(2):
+            pool.store(pool.allocate(T1), T1, b"a")
+        pool.store(pool.allocate(T2), T2, b"b")
+        freed = pool.collect(lambda owner: owner == T2)
+        assert freed == 2
+        assert pool.owners() == {T2}
+        pool.check_invariants()
+
+    def test_collect_noop_when_all_alive(self):
+        pool = make_pool()
+        pool.allocate(T1)
+        assert pool.collect(lambda owner: True) == 0
+
+    def test_chunks_of(self):
+        pool = make_pool(chunks=4)
+        mine = [pool.allocate(T1) for _ in range(2)]
+        pool.allocate(T2)
+        assert sorted(pool.chunks_of(T1)) == sorted(mine)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free", "gc"]), st.integers(0, 1)),
+        max_size=60,
+    )
+)
+def test_pool_invariants_under_random_ops(ops):
+    """Property: no op sequence can break owner/free-list consistency."""
+    pool = make_pool(chunks=5)
+    owners = [T1, T2]
+    held: dict = {T1: [], T2: []}
+    for op, which in ops:
+        owner = owners[which]
+        if op == "alloc":
+            try:
+                index = pool.allocate(owner)
+                pool.store(index, owner, b"data")
+                held[owner].append(index)
+            except OutOfSpongeMemory:
+                assert pool.free_chunks == 0
+        elif op == "free" and held[owner]:
+            pool.free(held[owner].pop(), owner)
+        elif op == "gc":
+            dead = owners[1 - which]
+            pool.collect(lambda o: o != dead)
+            held[dead] = []
+        pool.check_invariants()
+    assert pool.used_chunks == len(held[T1]) + len(held[T2])

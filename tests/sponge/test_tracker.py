@@ -1,0 +1,95 @@
+"""Memory tracker: polling, staleness, filtering."""
+
+from repro.sponge.chunk import TaskId
+from repro.sponge.pool import SpongePool
+from repro.sponge.server import SpongeServer
+from repro.sponge.tracker import MemoryTracker
+
+CHUNK = 1024
+
+
+def make_server(host, chunks=4, rack="rack0"):
+    pool = SpongePool(chunks * CHUNK, CHUNK)
+    return SpongeServer(f"sponge@{host}", host=host, pool=pool, rack=rack)
+
+
+def test_free_list_sorted_by_free_space():
+    tracker = MemoryTracker()
+    small = make_server("small", chunks=1)
+    big = make_server("big", chunks=8)
+    tracker.register(small)
+    tracker.register(big)
+    tracker.poll_once()
+    infos = tracker.free_list()
+    assert [i.host for i in infos] == ["big", "small"]
+
+
+def test_full_servers_excluded():
+    tracker = MemoryTracker()
+    server = make_server("h0", chunks=1)
+    owner = TaskId("h0", "t")
+    server.pool.store(server.pool.allocate(owner), owner, b"x")
+    tracker.register(server)
+    tracker.poll_once()
+    assert tracker.free_list() == []
+
+
+def test_snapshot_is_stale_until_next_poll():
+    tracker = MemoryTracker()
+    server = make_server("h0", chunks=2)
+    tracker.register(server)
+    tracker.poll_once()
+    owner = TaskId("h0", "t")
+    server.pool.store(server.pool.allocate(owner), owner, b"x")
+    server.pool.store(server.pool.allocate(owner), owner, b"x")
+    # Stale: the tracker still believes h0 has space.
+    assert [i.host for i in tracker.free_list()] == ["h0"]
+    tracker.poll_once()
+    assert tracker.free_list() == []
+
+
+def test_rack_and_host_filters():
+    tracker = MemoryTracker()
+    tracker.register(make_server("a", rack="rack0"))
+    tracker.register(make_server("b", rack="rack1"))
+    tracker.register(make_server("c", rack="rack0"))
+    tracker.poll_once()
+    hosts = {i.host for i in tracker.free_list(rack="rack0")}
+    assert hosts == {"a", "c"}
+    hosts = {i.host for i in tracker.free_list(rack="rack0", exclude_hosts=["a"])}
+    assert hosts == {"c"}
+
+
+def test_unreachable_server_dropped_from_snapshot():
+    class BrokenServer:
+        server_id = "sponge@broken"
+        host = "broken"
+        rack = "rack0"
+
+        def free_bytes(self):
+            raise ConnectionError("down")
+
+    tracker = MemoryTracker()
+    tracker.register(make_server("ok"))
+    tracker._servers["sponge@broken"] = BrokenServer()  # simulate a dead node
+    tracker.poll_once()
+    assert {i.host for i in tracker.free_list()} == {"ok"}
+
+
+def test_deregister_removes_server():
+    tracker = MemoryTracker()
+    server = make_server("gone")
+    tracker.register(server)
+    tracker.poll_once()
+    tracker.deregister(server.server_id)
+    assert tracker.free_list() == []
+
+
+def test_stats_count_polls_and_queries():
+    tracker = MemoryTracker()
+    tracker.register(make_server("h0"))
+    tracker.poll_once()
+    tracker.free_list()
+    tracker.free_list()
+    assert tracker.stats.polls == 1
+    assert tracker.stats.queries == 2

@@ -1,0 +1,55 @@
+"""The exception hierarchy contract: one base, distinct subsystems."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.SimulationError,
+    errors.SimDeadlock,
+    errors.ProcessKilled,
+    errors.SpongeError,
+    errors.OutOfSpongeMemory,
+    errors.ChunkAllocationError,
+    errors.ChunkLostError,
+    errors.SpongeFileStateError,
+    errors.QuotaExceededError,
+    errors.RuntimeBackendError,
+    errors.ProtocolError,
+    errors.ServerUnavailableError,
+    errors.MapReduceError,
+    errors.JobFailedError,
+    errors.PigError,
+]
+
+
+@pytest.mark.parametrize("exc_type", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(exc_type):
+    assert issubclass(exc_type, errors.ReproError)
+
+
+def test_sponge_errors_grouped(self=None):
+    for exc_type in (errors.OutOfSpongeMemory, errors.ChunkLostError,
+                     errors.QuotaExceededError,
+                     errors.SpongeFileStateError):
+        assert issubclass(exc_type, errors.SpongeError)
+
+
+def test_runtime_errors_grouped():
+    assert issubclass(errors.ProtocolError, errors.RuntimeBackendError)
+    assert issubclass(errors.ServerUnavailableError,
+                      errors.RuntimeBackendError)
+
+
+def test_subsystems_disjoint():
+    assert not issubclass(errors.SpongeError, errors.SimulationError)
+    assert not issubclass(errors.MapReduceError, errors.SpongeError)
+    assert not issubclass(errors.PigError, errors.MapReduceError)
+
+
+def test_catching_the_base_catches_everything():
+    for exc_type in ALL_ERRORS:
+        with pytest.raises(errors.ReproError):
+            raise exc_type("boom")

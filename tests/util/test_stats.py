@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import Summary, ecdf, median, quantiles, skewness
+
+
+class TestSkewness:
+    def test_symmetric_sample_is_near_zero(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=20_000)
+        assert abs(skewness(data)) < 0.1
+
+    def test_right_tailed_sample_is_positive(self):
+        rng = np.random.default_rng(7)
+        data = rng.lognormal(mean=0, sigma=1.5, size=5_000)
+        assert skewness(data) > 1.0
+
+    def test_left_tailed_sample_is_negative(self):
+        rng = np.random.default_rng(7)
+        data = -rng.lognormal(mean=0, sigma=1.5, size=5_000)
+        assert skewness(data) < -1.0
+
+    def test_matches_scipy_unbiased_estimator(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(11)
+        data = rng.exponential(size=137)
+        ours = skewness(data)
+        theirs = scipy_stats.skew(data, bias=False)
+        assert ours == pytest.approx(theirs, rel=1e-9)
+
+    def test_degenerate_inputs_return_zero(self):
+        assert skewness([]) == 0.0
+        assert skewness([1.0]) == 0.0
+        assert skewness([1.0, 2.0]) == 0.0
+        assert skewness([5.0] * 100) == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=50))
+    def test_finite_on_arbitrary_samples(self, values):
+        result = skewness(values)
+        assert np.isfinite(result)
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=50),
+        st.floats(min_value=-100.0, max_value=100.0),
+    )
+    def test_translation_invariant(self, values, shift):
+        base = skewness(values)
+        shifted = skewness([v + shift for v in values])
+        assert shifted == pytest.approx(base, abs=1e-6)
+
+
+class TestEcdf:
+    def test_fractions_reach_one(self):
+        xs, fractions = ecdf([3, 1, 2])
+        assert list(xs) == [1, 2, 3]
+        assert fractions[-1] == 1.0
+
+    def test_empty(self):
+        xs, fractions = ecdf([])
+        assert xs.size == 0
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
+    def test_monotone(self, values):
+        xs, fractions = ecdf(values)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(fractions) > 0)
+
+
+class TestQuantiles:
+    def test_median_of_odd_sample(self):
+        assert median([5, 1, 3]) == 3
+
+    def test_quantiles_interpolate(self):
+        q25, q75 = quantiles(range(101), [0.25, 0.75])
+        assert q25 == 25
+        assert q75 == 75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantiles([], [0.5])
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = Summary.of(list(range(100)))
+        assert summary.count == 100
+        assert summary.minimum == 0
+        assert summary.maximum == 99
+        assert summary.p50 == pytest.approx(49.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary.of([])

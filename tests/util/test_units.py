@@ -1,0 +1,59 @@
+import pytest
+
+from repro.errors import ConfigError
+from repro.util.units import GB, KB, MB, TB, fmt_duration, fmt_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("1024", 1024),
+            ("1 KB", KB),
+            ("1K", KB),
+            ("10 MB", 10 * MB),
+            ("1.5 MB", int(1.5 * MB)),
+            ("2GB", 2 * GB),
+            ("1 TB", TB),
+            ("128 mb", 128 * MB),
+            ("7 B", 7),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_numbers_pass_through(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(1.5) == 1
+
+    @pytest.mark.parametrize("text", ["", "GB", "10 XB", "ten MB", "1..5 MB"])
+    def test_invalid(self, text):
+        with pytest.raises(ConfigError):
+            parse_size(text)
+
+
+class TestFmtSize:
+    def test_picks_readable_units(self):
+        assert fmt_size(10 * GB) == "10.0 GB"
+        assert fmt_size(512) == "512 B"
+        assert fmt_size(int(2.5 * MB)) == "2.5 MB"
+
+    def test_negative(self):
+        assert fmt_size(-1 * MB) == "-1.0 MB"
+
+    def test_roundtrip_magnitude(self):
+        for value in [3, 3 * KB, 3 * MB, 3 * GB, 3 * TB]:
+            assert parse_size(fmt_size(value)) == value
+
+
+class TestFmtDuration:
+    def test_units(self):
+        assert fmt_duration(25e-3) == "25.0 ms"
+        assert fmt_duration(5e-7) == "0.5 us"
+        assert fmt_duration(42.0) == "42.0 s"
+        assert fmt_duration(135) == "2m15s"
+        assert fmt_duration(7200 + 120) == "2h02m"
+
+    def test_negative(self):
+        assert fmt_duration(-0.5) == "-500.0 ms"

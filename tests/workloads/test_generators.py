@@ -1,0 +1,139 @@
+"""Workload generators: samplers, crawl dataset, production trace."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import skewness
+from repro.util.units import GB, KB, MB
+from repro.workloads.tracegen import (
+    TraceSpec,
+    all_reduce_inputs,
+    generate_trace,
+    intermediate_data_fractions,
+    per_job_mean_inputs,
+    per_job_skewness,
+)
+from repro.workloads.webcrawl import CrawlSpec, crawl_summary, generate_crawl
+from repro.workloads.zipf import bounded_pareto, lognormal_sizes, zipf_weights
+
+
+class TestSamplers:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    @given(st.integers(1, 500), st.floats(0.1, 3.0))
+    def test_zipf_weights_property(self, n, alpha):
+        weights = zipf_weights(n, alpha)
+        assert weights.shape == (n,)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_bounded_pareto_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = bounded_pareto(rng, low=1 * KB, high=1 * GB, alpha=0.5,
+                                 size=10_000)
+        assert samples.min() >= 1 * KB * 0.999
+        assert samples.max() <= 1 * GB * 1.001
+
+    def test_bounded_pareto_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        samples = bounded_pareto(rng, low=1 * KB, high=1 * GB, alpha=0.5,
+                                 size=50_000)
+        assert samples.max() > 100 * np.median(samples)
+
+    def test_bounded_pareto_invalid_bounds(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, low=10, high=5, alpha=1.0, size=1)
+
+    def test_lognormal_median(self):
+        rng = np.random.default_rng(0)
+        samples = lognormal_sizes(rng, median=1 * MB, sigma=1.0, size=50_000)
+        assert np.median(samples) == pytest.approx(1 * MB, rel=0.05)
+
+
+class TestCrawlDataset:
+    def test_logical_total_close_to_spec(self):
+        spec = CrawlSpec(total_bytes=100 * MB, record_count=1000)
+        records = list(generate_crawl(spec))
+        assert len(records) == 1000
+        total = sum(r.nbytes for r in records)
+        assert total == pytest.approx(100 * MB, rel=0.05)
+
+    def test_deterministic_for_seed(self):
+        spec = CrawlSpec(total_bytes=10 * MB, record_count=100, seed=9)
+        first = [r.value for r in generate_crawl(spec)]
+        second = [r.value for r in generate_crawl(spec)]
+        assert first == second
+
+    def test_language_skew_english_dominant(self):
+        spec = CrawlSpec(total_bytes=100 * MB, record_count=5000)
+        summary = crawl_summary(list(generate_crawl(spec)))
+        by_language = summary["by_language"]
+        english = by_language["en"]
+        assert english > 0.5 * sum(by_language.values())
+
+    def test_domain_skew_one_giant(self):
+        spec = CrawlSpec(total_bytes=100 * MB, record_count=5000)
+        summary = crawl_summary(list(generate_crawl(spec)))
+        sizes = sorted(summary["by_domain"].values(), reverse=True)
+        assert sizes[0] > 5 * sizes[len(sizes) // 2]
+
+    def test_spam_scores_in_unit_interval(self):
+        spec = CrawlSpec(total_bytes=10 * MB, record_count=500)
+        for record in generate_crawl(spec):
+            assert 0.0 <= record.value.spam_score <= 1.0
+
+    def test_record_size_snapped_to_pack_chunks(self):
+        spec = CrawlSpec(total_bytes=10 * GB, record_count=100_000)
+        per_chunk = (1 * MB) // spec.record_bytes
+        waste = 1 * MB - per_chunk * spec.record_bytes
+        assert waste / (1 * MB) < 0.01
+
+
+class TestTrace:
+    def test_deterministic(self):
+        first = generate_trace(TraceSpec(num_jobs=50, seed=3))
+        second = generate_trace(TraceSpec(num_jobs=50, seed=3))
+        assert all(
+            np.array_equal(a.reduce_inputs, b.reduce_inputs)
+            for a, b in zip(first, second)
+        )
+
+    def test_population_mixture(self):
+        jobs = generate_trace(TraceSpec(num_jobs=2000))
+        kinds = [job.kind for job in jobs]
+        assert 0.6 < kinds.count("adhoc") / len(kinds) < 0.8
+        assert kinds.count("heavy") / len(kinds) < 0.10
+
+    def test_figure1_statistics(self):
+        jobs = generate_trace(TraceSpec())
+        inputs = all_reduce_inputs(jobs)
+        orders = math.log10(inputs.max() / np.median(inputs))
+        assert orders > 5.0  # paper: ~8 orders; we reach ~6.5
+        assert inputs.max() > 16 * GB
+        skews = per_job_skewness(jobs)
+        assert np.mean(np.abs(skews) > 1.0) > 0.5
+
+    def test_per_job_means_shape(self):
+        jobs = generate_trace(TraceSpec(num_jobs=100))
+        assert per_job_mean_inputs(jobs).shape == (100,)
+
+    def test_intermediate_fractions_bounded(self):
+        spec = TraceSpec(num_jobs=1000)
+        jobs = generate_trace(spec)
+        fractions = intermediate_data_fractions(
+            jobs, spec, cluster_memory_bytes=4000 * 16 * GB,
+            concurrent_jobs=100,
+        )
+        assert fractions.min() >= 0
+        assert fractions.max() < 0.25

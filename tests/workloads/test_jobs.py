@@ -1,0 +1,134 @@
+"""The three macro jobs produce correct answers and paper-shaped stats."""
+
+import numpy as np
+import pytest
+
+from repro.backends.sim_backends import SimSpongeDeployment
+from repro.mapreduce import Hadoop, SpillMode
+from repro.sim import Environment, SimCluster
+from repro.sim.cluster import paper_cluster_spec
+from repro.util.units import GB, MB
+from repro.workloads.jobs import (
+    background_grep,
+    frequent_anchortext_job,
+    load_crawl_dataset,
+    load_numbers_dataset,
+    median_job,
+    spam_quantiles_job,
+)
+from repro.workloads.webcrawl import CrawlSpec, generate_crawl
+
+SCALE_BYTES = 1 * GB
+SCALE_RECORDS = 10_000
+
+
+@pytest.fixture
+def hadoop():
+    env = Environment()
+    cluster = SimCluster(env, paper_cluster_spec(sponge_pool=1 * GB))
+    deploy = SimSpongeDeployment(env, cluster)
+    return Hadoop(env, cluster, sponge=deploy)
+
+
+class TestMedianJob:
+    def test_median_is_statistically_correct(self, hadoop):
+        load_numbers_dataset(hadoop, total_bytes=SCALE_BYTES,
+                             record_count=SCALE_RECORDS, seed=7)
+        conf, driver = median_job(SpillMode.SPONGE)
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        (record,) = result.output_records()
+        # Uniform(0,1) numbers: the median must be ~0.5.
+        assert record.value == pytest.approx(0.5, abs=0.03)
+
+    def test_single_reducer_receives_everything(self, hadoop):
+        hdfs_file = load_numbers_dataset(
+            hadoop, total_bytes=SCALE_BYTES, record_count=SCALE_RECORDS
+        )
+        conf, driver = median_job(SpillMode.SPONGE)
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        straggler = result.counters.straggler()
+        assert straggler.input_bytes == hdfs_file.nbytes
+
+    def test_spills_about_its_input(self, hadoop):
+        load_numbers_dataset(hadoop, total_bytes=SCALE_BYTES,
+                             record_count=SCALE_RECORDS)
+        conf, driver = median_job(SpillMode.SPONGE)
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        straggler = result.counters.straggler()
+        assert straggler.spilled_bytes == pytest.approx(
+            straggler.input_bytes, rel=0.05
+        )
+
+
+class TestAnchortextJob:
+    def test_top_terms_match_exact_counts(self, hadoop):
+        spec = CrawlSpec(total_bytes=SCALE_BYTES, record_count=SCALE_RECORDS)
+        load_crawl_dataset(hadoop, spec)
+        conf, driver = frequent_anchortext_job(SpillMode.SPONGE, k=3)
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        outputs = {r.key: r.value for r in result.output_records()}
+
+        from collections import Counter
+
+        exact: dict = {}
+        for record in generate_crawl(spec):
+            page = record.value
+            exact.setdefault(page.language, Counter()).update(
+                page.anchor_terms
+            )
+        for language, ranked in outputs.items():
+            expected_top = exact[language].most_common(1)[0][0]
+            assert ranked[0][0] == expected_top
+
+    def test_straggler_input_is_projected_quarter(self, hadoop):
+        spec = CrawlSpec(total_bytes=SCALE_BYTES, record_count=SCALE_RECORDS)
+        load_crawl_dataset(hadoop, spec)
+        conf, driver = frequent_anchortext_job(SpillMode.SPONGE)
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        straggler = result.counters.straggler()
+        assert straggler.input_bytes == pytest.approx(
+            0.25 * SCALE_BYTES, rel=0.1
+        )
+
+
+class TestSpamQuantilesJob:
+    def test_quantiles_match_numpy(self, hadoop):
+        spec = CrawlSpec(total_bytes=SCALE_BYTES, record_count=SCALE_RECORDS)
+        load_crawl_dataset(hadoop, spec)
+        conf, driver = spam_quantiles_job(SpillMode.SPONGE,
+                                          probs=(0.0, 0.5, 1.0))
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        outputs = {r.key: r.value for r in result.output_records()}
+
+        scores: dict = {}
+        for record in generate_crawl(spec):
+            page = record.value
+            scores.setdefault(page.domain, []).append(page.spam_score)
+        biggest = max(scores, key=lambda d: len(scores[d]))
+        low, mid, high = outputs[biggest]
+        assert low == pytest.approx(min(scores[biggest]), abs=1e-9)
+        assert high == pytest.approx(max(scores[biggest]), abs=1e-9)
+        assert mid == pytest.approx(
+            float(np.median(scores[biggest])), abs=0.01
+        )
+
+    def test_every_domain_reported(self, hadoop):
+        spec = CrawlSpec(total_bytes=SCALE_BYTES, record_count=SCALE_RECORDS)
+        load_crawl_dataset(hadoop, spec)
+        conf, driver = spam_quantiles_job(SpillMode.SPONGE)
+        result = hadoop.run_job(conf, reduce_driver=driver)
+        domains = {r.value.domain for r in generate_crawl(spec)}
+        assert len(result.output_records()) == len(domains)
+
+
+class TestBackgroundGrep:
+    def test_uncontended_task_near_sixteen_seconds(self, hadoop):
+        conf = background_grep(hadoop, corpus_bytes=2 * GB)
+        result = hadoop.run_job(conf)
+        runtimes = [t.runtime for t in result.counters.maps]
+        assert np.median(runtimes) == pytest.approx(16.0, rel=0.25)
+
+    def test_corpus_created_once(self, hadoop):
+        background_grep(hadoop, corpus_bytes=1 * GB)
+        background_grep(hadoop, corpus_bytes=1 * GB)  # no duplicate error
+        assert hadoop.hdfs.total_bytes("webcorpus") == 1 * GB
