@@ -85,6 +85,17 @@ class ProtocolError(RuntimeBackendError):
     """Malformed or unexpected message on the wire."""
 
 
+class ConnectionClosedError(ProtocolError):
+    """The peer closed the connection cleanly at a message boundary.
+
+    Distinguished from a mid-message truncation (plain
+    :class:`ProtocolError`) because it is the *normal* end of a
+    persistent connection: the server's handler loop exits quietly, and
+    a connection pool may safely retry the request on a fresh socket —
+    the request was never processed.
+    """
+
+
 class ServerUnavailableError(RuntimeBackendError):
     """A sponge server or the memory tracker could not be reached."""
 

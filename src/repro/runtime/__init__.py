@@ -23,11 +23,16 @@ processes, real sockets, and real shared memory.
 """
 
 from repro.runtime.shm_pool import MmapSpongePool
+from repro.runtime.connection_pool import ConnectionPool, default_pool
+from repro.runtime.executor import ThreadExecutor
 from repro.runtime.client import RemoteServerStore, TrackerClient, build_chain
 from repro.runtime.local_cluster import LocalSpongeCluster, runtime_task_id
 
 __all__ = [
     "MmapSpongePool",
+    "ConnectionPool",
+    "default_pool",
+    "ThreadExecutor",
     "RemoteServerStore",
     "TrackerClient",
     "build_chain",

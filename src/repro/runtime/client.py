@@ -2,22 +2,29 @@
 
 * :class:`LocalMmapStore` — attach the machine-local pool directly
   (the cheap path: one memcpy, pool lock only on allocate/free);
-* :class:`RemoteServerStore` — a peer's sponge server over TCP;
+* :class:`RemoteServerStore` — a peer's sponge server over TCP, on
+  pooled persistent connections (one warm socket per server instead of
+  a fresh connect per chunk);
 * :class:`TrackerClient` — the memory tracker's stale free list,
   adapted to the :class:`~repro.sponge.tracker.MemoryTracker` interface
-  the :class:`~repro.sponge.allocator.AllocationChain` expects;
+  the :class:`~repro.sponge.allocator.AllocationChain` expects, with a
+  short client-side cache: the paper's relaxed-consistency polling
+  already tolerates ~1 s of staleness, so re-asking the tracker per
+  SpongeFile is wasted RPC;
 * :func:`build_chain` — wire it all into a standard allocation chain,
   so the *same* SpongeFile core runs on real processes.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import ChunkLostError, SpongeError
 from repro.backends.file_backends import FileDiskStore
 from repro.runtime import protocol
+from repro.runtime.connection_pool import ConnectionPool, default_pool
 from repro.runtime.shm_pool import MmapSpongePool
 from repro.sponge.allocator import AllocationChain
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
@@ -41,10 +48,10 @@ class LocalMmapStore(SyncChunkStore):
         return self.pool.free_bytes
 
     def _write(self, owner: TaskId, data) -> ChunkHandle:
-        raw = bytes(data)
+        nbytes = len(data)
         index = self.pool.allocate(owner)  # raises OutOfSpongeMemory
-        self.pool.write(index, owner, raw)
-        return ChunkHandle(self.location, self.store_id, (owner, index), len(raw))
+        self.pool.write(index, owner, data)  # one memcpy into shared memory
+        return ChunkHandle(self.location, self.store_id, (owner, index), nbytes)
 
     def _read(self, handle: ChunkHandle):
         owner, index = handle.ref
@@ -59,39 +66,40 @@ class LocalMmapStore(SyncChunkStore):
 
 
 class RemoteServerStore(SyncChunkStore):
-    """A remote sponge server over the wire protocol."""
+    """A remote sponge server over pooled persistent connections."""
 
     location = ChunkLocation.REMOTE_MEMORY
 
     def __init__(self, server_id: str, address: Address,
-                 timeout: float = 5.0) -> None:
+                 timeout: float = 5.0,
+                 pool: Optional[ConnectionPool] = None) -> None:
         self.store_id = server_id
         self.address = tuple(address)
         self.timeout = timeout
+        self.connections = pool if pool is not None else default_pool()
 
     def free_bytes(self) -> Optional[int]:
-        reply, _ = protocol.request(
+        reply, _ = self.connections.request(
             self.address, {"op": "free_bytes"}, timeout=self.timeout
         )
         protocol.check_reply(reply)
         return int(reply["free_bytes"])
 
     def _write(self, owner: TaskId, data) -> ChunkHandle:
-        raw = bytes(data)
-        reply, _ = protocol.request(
+        reply, _ = self.connections.request(
             self.address,
             {"op": "alloc_write", **protocol.encode_owner(owner.host, owner.task)},
-            payload=raw,
+            payload=data,
             timeout=self.timeout,
         )
         protocol.check_reply(reply)
         return ChunkHandle(
-            self.location, self.store_id, (owner, int(reply["index"])), len(raw)
+            self.location, self.store_id, (owner, int(reply["index"])), len(data)
         )
 
     def _read(self, handle: ChunkHandle):
         owner, index = handle.ref
-        reply, payload = protocol.request(
+        reply, payload = self.connections.request(
             self.address,
             {"op": "read", "index": index,
              **protocol.encode_owner(owner.host, owner.task)},
@@ -102,7 +110,7 @@ class RemoteServerStore(SyncChunkStore):
 
     def _free(self, handle: ChunkHandle) -> None:
         owner, index = handle.ref
-        reply, _ = protocol.request(
+        reply, _ = self.connections.request(
             self.address,
             {"op": "free", "index": index,
              **protocol.encode_owner(owner.host, owner.task)},
@@ -112,26 +120,56 @@ class RemoteServerStore(SyncChunkStore):
 
 
 class TrackerClient:
-    """Speaks to the tracker process; quacks like ``MemoryTracker``."""
+    """Speaks to the tracker process; quacks like ``MemoryTracker``.
 
-    def __init__(self, address: Address, timeout: float = 5.0) -> None:
+    ``free_list`` replies are cached for ``cache_ttl`` seconds: the
+    tracker's own snapshot is already up to a poll interval stale
+    (§3.1.1's relaxed consistency), so a short client-side cache adds
+    no new failure mode while removing one RPC per chunk allocation.
+    Pass ``cache_ttl=0`` to fetch fresh on every call.
+    """
+
+    def __init__(self, address: Address, timeout: float = 5.0,
+                 pool: Optional[ConnectionPool] = None,
+                 cache_ttl: float = 1.0) -> None:
         self.address = tuple(address)
         self.timeout = timeout
+        self.cache_ttl = cache_ttl
+        self.connections = pool if pool is not None else default_pool()
         self.addresses: dict[str, Address] = {}
+        self._cached: Optional[list[dict]] = None
+        self._cached_at = 0.0
 
-    def free_list(self, rack=None, exclude_hosts=(), prefer=None):
-        reply, _ = protocol.request(
+    def _fetch(self) -> list[dict]:
+        now = time.monotonic()
+        if (
+            self._cached is not None
+            and now - self._cached_at <= self.cache_ttl
+        ):
+            return self._cached
+        reply, _ = self.connections.request(
             self.address, {"op": "free_list"}, timeout=self.timeout
         )
         protocol.check_reply(reply)
+        servers = reply["servers"]
+        for entry in servers:
+            self.addresses[entry["server_id"]] = tuple(entry["address"])
+        self._cached = servers
+        self._cached_at = time.monotonic()
+        return servers
+
+    def invalidate(self) -> None:
+        """Drop the cached free list (next call re-fetches)."""
+        self._cached = None
+
+    def free_list(self, rack=None, exclude_hosts=(), prefer=None):
         excluded = set(exclude_hosts)
         infos = []
-        for entry in reply["servers"]:
+        for entry in self._fetch():
             if entry["free_bytes"] <= 0 or entry["host"] in excluded:
                 continue
             if rack is not None and entry["rack"] != rack:
                 continue
-            self.addresses[entry["server_id"]] = tuple(entry["address"])
             infos.append(
                 ServerInfo(
                     server_id=entry["server_id"],
@@ -152,18 +190,29 @@ def build_chain(
     local_pool_dir: Optional[str | Path] = None,
     rack: str = "rack0",
     config: SpongeConfig = SpongeConfig(),
+    executor=None,
+    connection_pool: Optional[ConnectionPool] = None,
 ) -> AllocationChain:
-    """An allocation chain over the real runtime for a task on ``host``."""
+    """An allocation chain over the real runtime for a task on ``host``.
+
+    ``executor`` (e.g. a :class:`~repro.runtime.executor.ThreadExecutor`)
+    becomes the chain's default executor: SpongeFiles built on the chain
+    overlap their async writes and prefetches with computation.
+    """
     local = None
     if local_pool_dir is not None:
         local = LocalMmapStore(MmapSpongePool(local_pool_dir))
-    tracker = TrackerClient(tracker_address)
+    connections = connection_pool if connection_pool is not None else default_pool()
+    tracker = TrackerClient(
+        tracker_address, pool=connections,
+        cache_ttl=config.tracker_poll_interval,
+    )
 
     def remote_factory(info: ServerInfo) -> RemoteServerStore:
         address = tracker.addresses.get(info.server_id)
         if address is None:
             raise SpongeError(f"no address known for {info.server_id}")
-        return RemoteServerStore(info.server_id, address)
+        return RemoteServerStore(info.server_id, address, pool=connections)
 
     return AllocationChain(
         local_store=local,
@@ -173,4 +222,5 @@ def build_chain(
         host=host,
         rack=rack,
         config=config,
+        default_executor=executor,
     )

@@ -1,0 +1,220 @@
+"""Client-side pooling of persistent runtime connections.
+
+The paper's sponge servers are long-lived peers that every spilling
+task talks to once per chunk; opening a fresh TCP connection per chunk
+(the old behaviour) puts a connect/teardown round trip and slow-start
+on the hot spill path.  A :class:`ConnectionPool` keeps idle sockets
+per server address and hands each request/response exchange an
+exclusive connection, so a task streaming a SpongeFile reuses one warm
+socket per server.
+
+Staleness is handled two ways:
+
+* a cheap *health check* at checkout — an idle socket that polls
+  readable is either closed or carrying junk, so it is discarded;
+* a *reconnect-once retry* — if a pooled (reused) socket dies before
+  the reply starts (send fails, or the peer closed at the message
+  boundary), the request is retried exactly once on a fresh
+  connection.  The request cannot have been processed in those cases,
+  so the retry is side-effect safe; a connection torn down mid-reply
+  propagates instead.
+
+The pool is thread-safe and fork-aware: a forked child starts with an
+empty pool rather than sharing file descriptors with its parent.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import struct
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConnectionClosedError, ProtocolError
+from repro.runtime import protocol
+
+Address = tuple[str, int]
+
+
+class ConnectionPool:
+    """Thread-safe pool of persistent connections, keyed by address."""
+
+    def __init__(self, timeout: float = 5.0, max_idle_per_address: int = 8) -> None:
+        self.timeout = timeout
+        self.max_idle_per_address = max_idle_per_address
+        self._idle: dict[Address, deque[socket.socket]] = {}
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    # -- the one public operation ---------------------------------------------
+
+    def request(
+        self,
+        address: Address,
+        header: dict,
+        payload: protocol.Buffer = b"",
+        timeout: Optional[float] = None,
+    ) -> tuple[dict, memoryview]:
+        """One request/response exchange on a pooled connection."""
+        address = tuple(address)
+        timeout = self.timeout if timeout is None else timeout
+        sock, reused = self._checkout(address, timeout)
+        try:
+            reply = self._exchange(sock, header, payload)
+        except (OSError, ProtocolError) as exc:
+            self._close(sock)
+            if not reused or not _retry_safe(exc):
+                raise
+            # Stale pooled socket: the request never reached dispatch,
+            # so one retry on a fresh connection is safe.
+            sock = self._connect(address, timeout)
+            try:
+                reply = self._exchange(sock, header, payload)
+            except BaseException:
+                self._close(sock)
+                raise
+        self._checkin(address, sock)
+        return reply
+
+    def _exchange(
+        self, sock: socket.socket, header: dict, payload: protocol.Buffer
+    ) -> tuple[dict, memoryview]:
+        try:
+            protocol.send_message(sock, header, payload)
+        except OSError as exc:
+            # Send never completed — the peer cannot have processed the
+            # request.  A reply-side OSError (e.g. a receive timeout)
+            # must NOT be retried: the request may well have run.
+            raise _SendFailed(exc) from exc
+        return protocol.recv_message(sock)
+
+    # -- socket lifecycle ------------------------------------------------------
+
+    def _checkout(
+        self, address: Address, timeout: float
+    ) -> tuple[socket.socket, bool]:
+        with self._lock:
+            self._reset_if_forked()
+            idle = self._idle.get(address)
+            while idle:
+                sock = idle.pop()
+                if _healthy(sock):
+                    _set_io_timeout(sock, timeout)
+                    return sock, True
+                _close_quietly(sock)
+        return self._connect(address, timeout), False
+
+    def _checkin(self, address: Address, sock: socket.socket) -> None:
+        with self._lock:
+            if os.getpid() == self._pid:
+                idle = self._idle.setdefault(address, deque())
+                if len(idle) < self.max_idle_per_address:
+                    idle.append(sock)
+                    return
+        _close_quietly(sock)
+
+    def _connect(self, address: Address, timeout: float) -> socket.socket:
+        sock = socket.create_connection(address, timeout=timeout)
+        protocol.configure_socket(sock)
+        _set_io_timeout(sock, timeout)
+        return sock
+
+    def _close(self, sock: socket.socket) -> None:
+        _close_quietly(sock)
+
+    def _reset_if_forked(self) -> None:
+        if os.getpid() != self._pid:
+            # Inherited sockets are shared with the parent; abandon them
+            # (closing would reset the parent's connections).
+            self._idle = {}
+            self._pid = os.getpid()
+
+    # -- introspection / teardown ---------------------------------------------
+
+    def idle_count(self, address: Optional[Address] = None) -> int:
+        with self._lock:
+            if address is not None:
+                return len(self._idle.get(tuple(address), ()))
+            return sum(len(q) for q in self._idle.values())
+
+    def close(self) -> None:
+        with self._lock:
+            sockets = [s for q in self._idle.values() for s in q]
+            self._idle = {}
+        for sock in sockets:
+            _close_quietly(sock)
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _SendFailed(OSError):
+    """Wrapper marking an OSError as raised during the send phase."""
+
+    def __init__(self, cause: OSError) -> None:
+        super().__init__(*cause.args)
+
+
+def _retry_safe(exc: Exception) -> bool:
+    """True when the failed request cannot have been processed."""
+    if isinstance(exc, ConnectionClosedError):
+        return True  # peer closed at the message boundary, before replying
+    if isinstance(exc, ProtocolError):
+        return False  # torn or malformed mid-reply: it may have run
+    return isinstance(exc, _SendFailed)  # reply-side OSErrors never retry
+
+
+def _set_io_timeout(sock: socket.socket, timeout: float) -> None:
+    """Bound socket IO with *kernel* timeouts, keeping the socket blocking.
+
+    A Python-level timeout flips the socket to non-blocking mode, where
+    receiving a chunk degrades into a poll-plus-short-``recv`` loop.  A
+    blocking socket lets ``MSG_WAITALL`` assemble a whole chunk in one
+    syscall, and ``SO_RCVTIMEO``/``SO_SNDTIMEO`` still guard against a
+    dead peer (IO past the deadline fails with ``EAGAIN``).
+    """
+    try:
+        tv = struct.pack("@ll", int(timeout), int(timeout % 1 * 1_000_000))
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVTIMEO, tv)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO, tv)
+    except (OSError, struct.error):  # pragma: no cover - exotic platforms
+        sock.settimeout(timeout)
+        return
+    sock.settimeout(None)
+
+
+def _healthy(sock: socket.socket) -> bool:
+    """An idle connection is healthy iff it has nothing to say."""
+    if sock.fileno() < 0:
+        return False
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+    except (OSError, ValueError):
+        return False
+    return not readable
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+_default_pool: Optional[ConnectionPool] = None
+_default_lock = threading.Lock()
+
+
+def default_pool() -> ConnectionPool:
+    """The process-wide pool shared by runtime clients."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None:
+            _default_pool = ConnectionPool()
+        return _default_pool

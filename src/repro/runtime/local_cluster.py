@@ -164,8 +164,9 @@ class LocalSpongeCluster:
             raise ServerUnavailableError(
                 f"servers never became ready: {sorted(pending)}"
             )
-        # Wait for the tracker's first poll to include every server.
-        client = TrackerClient(self.tracker_address)
+        # Wait for the tracker's first poll to include every server
+        # (cache disabled: we want every iteration to re-ask).
+        client = TrackerClient(self.tracker_address, cache_ttl=0.0)
         while time.monotonic() < deadline:
             if len(client.free_list()) >= self.num_nodes:
                 return
@@ -177,8 +178,14 @@ class LocalSpongeCluster:
 
     def chain(self, node_index: int = 0,
               config: Optional[SpongeConfig] = None,
-              attach_local_pool: bool = True):
-        """An allocation chain for a task running on ``node<index>``."""
+              attach_local_pool: bool = True,
+              executor=None):
+        """An allocation chain for a task running on ``node<index>``.
+
+        Pass ``executor=ThreadExecutor()`` (or any spawn/wait executor)
+        to make SpongeFiles on the chain pipeline their writes and
+        prefetches instead of completing them inline.
+        """
         server = self.server_configs[node_index]
         return build_chain(
             host=server.host,
@@ -187,6 +194,7 @@ class LocalSpongeCluster:
             local_pool_dir=server.pool_dir if attach_local_pool else None,
             rack=server.rack,
             config=config or SpongeConfig(chunk_size=self.chunk_size),
+            executor=executor,
         )
 
     def task_id(self, node_index: int = 0, label: str = "task",

@@ -6,8 +6,23 @@ Every message is::
     <header: UTF-8 JSON object; "payload_len" gives the payload size>
     <payload: raw bytes>
 
-Chunk payloads ride as raw bytes (never JSON-encoded), so a 1 MB chunk
-costs one memcpy, not a base64 round trip.
+Chunk payloads ride as raw bytes (never JSON-encoded) and both
+directions are zero-copy on the Python side:
+
+* *receive* — the payload is read with ``recv_into`` straight into one
+  preallocated ``bytearray`` (no 64 KB ``recv``-and-join loop); callers
+  get a ``memoryview`` over it, which the mmap pool can consume without
+  another copy;
+* *send* — ``[length][header]`` and the payload go out scatter-gather
+  via ``sendmsg`` (concatenating would copy the whole chunk just to
+  prepend a ~100-byte prefix).
+
+Connections are *persistent*: any number of messages may flow over one
+socket, and a peer signals it is done by closing between messages,
+which surfaces as :class:`~repro.errors.ConnectionClosedError` (a clean
+close; truncation mid-message stays a plain ``ProtocolError``).  The
+one-shot :func:`request` helper still works against looping servers —
+it simply closes after the first exchange.
 """
 
 from __future__ import annotations
@@ -15,23 +30,65 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any, Optional
+from typing import Any, Optional, Sequence, Union
 
-from repro.errors import ProtocolError
+from repro.errors import ConnectionClosedError, ProtocolError
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 _LENGTH = struct.Struct(">I")
 MAX_HEADER = 1 << 20  # sanity bound
 
 
-def send_message(sock: socket.socket, header: dict, payload: bytes = b"") -> None:
+def send_message(sock: socket.socket, header: dict, payload: Buffer = b"") -> None:
     header = dict(header)
     header["payload_len"] = len(payload)
-    raw = json.dumps(header).encode("utf-8")
-    sock.sendall(_LENGTH.pack(len(raw)) + raw + payload)
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    prefix = _LENGTH.pack(len(raw)) + raw
+    if len(payload) == 0:
+        sock.sendall(prefix)
+    else:
+        _sendall_vectored(sock, (prefix, payload))
 
 
-def recv_message(sock: socket.socket) -> tuple[dict, bytes]:
-    header_len = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))[0]
+def _sendall_vectored(sock: socket.socket, buffers: Sequence[Buffer]) -> None:
+    """``sendall`` a list of buffers without concatenating them."""
+    views = [memoryview(b).cast("B") for b in buffers if len(b)]
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX fallback
+        for view in views:
+            sock.sendall(view)
+        return
+    while views:
+        sent = sock.sendmsg(views)
+        while views and sent >= len(views[0]):
+            sent -= len(views[0])
+            views.pop(0)
+        if views and sent:
+            views[0] = views[0][sent:]
+
+
+def recv_message(
+    sock: socket.socket,
+    sink: Optional[Any] = None,
+) -> tuple[dict, memoryview]:
+    """Receive one message; the payload is a ``memoryview``.
+
+    ``sink``, if given, is called as ``sink(header, payload_len)`` once
+    the header is parsed and may return a writable buffer of exactly
+    ``payload_len`` bytes to receive the payload *in place* (e.g. a view
+    into an mmap'd chunk — network to shared memory in one kernel copy),
+    or ``None`` to fall back to a fresh ``bytearray``.  If the sink
+    raises, the payload is drained from the socket (keeping the stream
+    framed for the next message) and the sink's exception propagates.
+
+    Raises :class:`ConnectionClosedError` when the peer closed the
+    connection cleanly *between* messages (normal end of a persistent
+    connection) and :class:`ProtocolError` on anything torn or
+    malformed.
+    """
+    header_len = _LENGTH.unpack(
+        _recv_exact(sock, _LENGTH.size, at_boundary=True)
+    )[0]
     if header_len > MAX_HEADER:
         raise ProtocolError(f"header too large: {header_len}")
     try:
@@ -40,30 +97,95 @@ def recv_message(sock: socket.socket) -> tuple[dict, bytes]:
         raise ProtocolError(f"malformed header: {exc}") from exc
     if not isinstance(header, dict):
         raise ProtocolError("header is not a JSON object")
-    payload = _recv_exact(sock, int(header.get("payload_len", 0)))
-    return header, payload
+    payload_len = int(header.get("payload_len", 0))
+    if payload_len < 0:
+        raise ProtocolError(f"negative payload_len: {payload_len}")
+    view: Optional[memoryview] = None
+    if sink is not None and payload_len:
+        try:
+            provided = sink(header, payload_len)
+        except Exception:
+            _drain_payload(sock, payload_len)
+            raise
+        if provided is not None:
+            view = memoryview(provided)
+    if view is None:
+        view = memoryview(bytearray(payload_len))
+    if payload_len:
+        _recv_into_exact(sock, view)
+    return header, view
 
 
-def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
-    parts = []
+def _drain_payload(sock: socket.socket, nbytes: int) -> None:
+    """Discard a payload after its sink refused it (best effort)."""
+    scratch = memoryview(bytearray(min(nbytes, 1 << 16)))
     remaining = nbytes
-    while remaining > 0:
-        piece = sock.recv(min(remaining, 1 << 16))
-        if not piece:
+    try:
+        while remaining > 0:
+            got = sock.recv_into(scratch[: min(remaining, len(scratch))])
+            if got == 0:
+                return  # dead connection; the next recv will notice
+            remaining -= got
+    except OSError:
+        pass
+
+
+def _recv_exact(sock: socket.socket, nbytes: int, at_boundary: bool = False) -> bytes:
+    buf = bytearray(nbytes)
+    view = memoryview(buf)
+    filled = 0
+    while filled < nbytes:
+        got = sock.recv_into(view[filled:])
+        if got == 0:
+            if at_boundary and filled == 0:
+                raise ConnectionClosedError("connection closed")
             raise ProtocolError("connection closed mid-message")
-        parts.append(piece)
-        remaining -= len(piece)
-    return b"".join(parts)
+        filled += got
+    return bytes(buf)
+
+
+def _recv_into_exact(sock: socket.socket, view: memoryview) -> None:
+    filled = 0
+    total = len(view)
+    if total and sock.gettimeout() is None:
+        # Blocking socket (the server side): let the kernel assemble the
+        # whole payload in one syscall instead of a recv-sized loop.
+        got = sock.recv_into(view, total, socket.MSG_WAITALL)
+        if got == 0:
+            raise ProtocolError("connection closed mid-message")
+        filled = got  # may still be short on an interrupt; finish below
+    while filled < total:
+        got = sock.recv_into(view[filled:])
+        if got == 0:
+            raise ProtocolError("connection closed mid-message")
+        filled += got
+
+
+#: Kernel socket buffer size for chunk traffic: one chunk plus framing
+#: headroom, so a whole-chunk message fits in flight without the sender
+#: stalling mid-chunk on a drained window.
+SOCKET_BUFFER = 2 << 20
+
+
+def configure_socket(sock: socket.socket) -> None:
+    """Tune a connected socket for the chunk data path."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, SOCKET_BUFFER)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, SOCKET_BUFFER)
+    except OSError:  # pragma: no cover - esoteric transports
+        pass
 
 
 def request(
     address: tuple[str, int],
     header: dict,
-    payload: bytes = b"",
+    payload: Buffer = b"",
     timeout: Optional[float] = 5.0,
-) -> tuple[dict, bytes]:
+) -> tuple[dict, memoryview]:
     """One request/response exchange on a fresh connection."""
     with socket.create_connection(address, timeout=timeout) as sock:
+        configure_socket(sock)
         send_message(sock, header, payload)
         return recv_message(sock)
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import fcntl
 import mmap
 import struct
+import threading
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -97,6 +98,10 @@ class MmapSpongePool:
             self._segment_files.append(seg_file)
             self._segments.append(mmap.mmap(seg_file.fileno(), 0))
         self._lock_file = open(self.directory / "pool.lock", "r+b")
+        # ``flock`` excludes other *processes* but not threads sharing
+        # this open file description (re-locking the same fd is a no-op),
+        # so a threading server needs an in-process lock as well.
+        self._thread_lock = threading.Lock()
 
     def close(self) -> None:
         for segment in self._segments:
@@ -116,17 +121,26 @@ class MmapSpongePool:
     # -- the pool lock ------------------------------------------------------------
 
     class _Locked:
-        def __init__(self, lock_file) -> None:
+        def __init__(self, lock_file, thread_lock) -> None:
             self._lock_file = lock_file
+            self._thread_lock = thread_lock
 
         def __enter__(self):
-            fcntl.flock(self._lock_file, fcntl.LOCK_EX)
+            self._thread_lock.acquire()
+            try:
+                fcntl.flock(self._lock_file, fcntl.LOCK_EX)
+            except BaseException:
+                self._thread_lock.release()
+                raise
 
         def __exit__(self, *exc):
-            fcntl.flock(self._lock_file, fcntl.LOCK_UN)
+            try:
+                fcntl.flock(self._lock_file, fcntl.LOCK_UN)
+            finally:
+                self._thread_lock.release()
 
     def locked(self) -> "_Locked":
-        return self._Locked(self._lock_file)
+        return self._Locked(self._lock_file, self._thread_lock)
 
     # -- metadata entries ------------------------------------------------------------
 
@@ -170,8 +184,12 @@ class MmapSpongePool:
                     return index
         raise OutOfSpongeMemory(f"pool {self.directory} is full")
 
-    def write(self, index: int, owner: TaskId, data: bytes) -> None:
-        """Fill an allocated chunk (no pool lock: entry is ours)."""
+    def write(self, index: int, owner: TaskId, data) -> None:
+        """Fill an allocated chunk (no pool lock: entry is ours).
+
+        ``data`` is any bytes-like object; a ``memoryview`` straight off
+        the wire is copied into shared memory exactly once.
+        """
         if len(data) > self.chunk_size:
             raise SpongeError(
                 f"payload of {len(data)} bytes exceeds chunk size"
@@ -183,18 +201,65 @@ class MmapSpongePool:
         segment[offset : offset + len(data)] = data
         self._write_entry(index, _USED, len(data), owner)
 
+    def chunk_buffer(self, index: int, owner: TaskId, nbytes: int) -> memoryview:
+        """A writable view into an allocated chunk for direct fills.
+
+        With :meth:`commit_write`, this lets a producer (the sponge
+        server's receive path) land payload bytes straight in shared
+        memory — no staging buffer, no second memcpy.
+        """
+        if nbytes > self.chunk_size:
+            raise SpongeError(
+                f"payload of {nbytes} bytes exceeds chunk size"
+            )
+        state, _length, actual = self._read_entry(index)
+        if state != _USED or actual != owner:
+            raise SpongeError(f"chunk {index} not owned by {owner}")
+        segment, offset = self._locate(index)
+        return memoryview(segment)[offset : offset + nbytes]
+
+    def commit_write(self, index: int, owner: TaskId, nbytes: int) -> None:
+        """Record the payload length of a chunk filled via ``chunk_buffer``."""
+        if nbytes > self.chunk_size:
+            raise SpongeError(
+                f"payload of {nbytes} bytes exceeds chunk size"
+            )
+        state, _length, actual = self._read_entry(index)
+        if state != _USED or actual != owner:
+            raise SpongeError(f"chunk {index} not owned by {owner}")
+        self._write_entry(index, _USED, nbytes, owner)
+
     def read(self, index: int, owner: Optional[TaskId] = None) -> bytes:
+        return bytes(self.read_view(index, owner))
+
+    def read_view(self, index: int, owner: Optional[TaskId] = None) -> memoryview:
+        """A zero-copy view of the chunk's payload in shared memory.
+
+        The view stays valid only while the chunk remains allocated —
+        it is meant for immediate consumption (e.g. scatter-gather send
+        of the payload by the sponge server).
+        """
         state, length, actual = self._read_entry(index)
         if state != _USED:
             raise SpongeError(f"chunk {index} is free")
         if owner is not None and actual != owner:
             raise SpongeError(f"chunk {index} owned by {actual}, not {owner}")
         segment, offset = self._locate(index)
-        return bytes(segment[offset : offset + length])
+        return memoryview(segment)[offset : offset + length]
 
-    def free(self, index: int, owner: Optional[TaskId] = None) -> None:
+    def chunk_length(self, index: int, owner: Optional[TaskId] = None) -> int:
+        """Payload length from chunk metadata alone (no payload read)."""
+        state, length, actual = self._read_entry(index)
+        if state != _USED:
+            raise SpongeError(f"chunk {index} is free")
+        if owner is not None and actual != owner:
+            raise SpongeError(f"chunk {index} owned by {actual}, not {owner}")
+        return length
+
+    def free(self, index: int, owner: Optional[TaskId] = None) -> int:
+        """Release a chunk; returns the freed payload length."""
         with self.locked():
-            state, _length, actual = self._read_entry(index)
+            state, length, actual = self._read_entry(index)
             if state != _USED:
                 raise SpongeError(f"double free of chunk {index}")
             if owner is not None and actual != owner:
@@ -202,6 +267,7 @@ class MmapSpongePool:
                     f"chunk {index} owned by {actual}, not {owner}"
                 )
             self._write_entry(index, _FREE, 0, None)
+            return length
 
     def _locate(self, index: int) -> tuple[mmap.mmap, int]:
         segment = self._segments[index // self.chunks_per_segment]

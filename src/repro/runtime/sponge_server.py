@@ -13,17 +13,27 @@ the in-process GC semantics.
 
 from __future__ import annotations
 
+import logging
 import os
 import socketserver
 import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import OutOfSpongeMemory, QuotaExceededError, SpongeError
+from repro.errors import (
+    ConnectionClosedError,
+    OutOfSpongeMemory,
+    ProtocolError,
+    QuotaExceededError,
+    SpongeError,
+)
 from repro.runtime import protocol
+from repro.runtime.connection_pool import ConnectionPool
 from repro.runtime.shm_pool import MmapSpongePool
 from repro.sponge.chunk import TaskId
 from repro.util.units import MB
+
+log = logging.getLogger(__name__)
 
 
 def pid_of(task: str) -> Optional[int]:
@@ -65,26 +75,67 @@ class ServerConfig:
 
 
 class _Handler(socketserver.BaseRequestHandler):
+    """Serves *many* messages per connection (persistent protocol).
+
+    One-shot clients remain fully supported: they close after their
+    single exchange, which ends the loop via a clean-close signal.
+    """
+
     def handle(self) -> None:  # noqa: D102 - socketserver API
         server: "SpongeServerProcess" = self.server.sponge  # type: ignore[attr-defined]
+        sock = self.request
+        protocol.configure_socket(sock)
+        while True:
+            # ``staged`` carries a chunk pre-allocated by the payload
+            # sink (alloc_write streams the payload straight into the
+            # mmap pool); any failure before the reply must undo it.
+            staged: dict = {}
+            try:
+                header, payload = protocol.recv_message(
+                    sock, sink=lambda h, n: server.payload_sink(h, n, staged)
+                )
+            except ConnectionClosedError:
+                return  # client finished with the connection
+            except (OutOfSpongeMemory, QuotaExceededError, SpongeError) as exc:
+                # The sink refused the payload (pool full / over quota);
+                # the stream was drained, so the connection stays good.
+                if not self._reply(sock, _map_error(exc)):
+                    return
+                continue
+            except ProtocolError as exc:
+                # Malformed framing: tell the client why (best effort)
+                # instead of silently dropping the connection.
+                server.abort_staged(staged)
+                log.debug("dropping connection after bad request: %s", exc)
+                self._reply(sock, protocol.error_reply(str(exc), "protocol"))
+                return
+            except Exception:  # noqa: BLE001 - client went away
+                server.abort_staged(staged)
+                return
+            try:
+                reply, out_payload = server.dispatch(header, payload, staged)
+            except Exception as exc:  # noqa: BLE001 - never kill the server
+                server.abort_staged(staged)
+                reply, out_payload = _map_error(exc), b""
+            if not self._reply(sock, reply, out_payload):
+                return
+
+    def _reply(self, sock, reply: dict, out_payload=b"") -> bool:
         try:
-            header, payload = protocol.recv_message(self.request)
+            protocol.send_message(sock, reply, out_payload)
         except Exception:  # noqa: BLE001 - client went away
-            return
-        try:
-            reply, out_payload = server.dispatch(header, payload)
-        except OutOfSpongeMemory as exc:
-            reply, out_payload = protocol.error_reply(str(exc), "out-of-memory"), b""
-        except QuotaExceededError as exc:
-            reply, out_payload = protocol.error_reply(str(exc), "quota"), b""
-        except SpongeError as exc:
-            reply, out_payload = protocol.error_reply(str(exc), "chunk-lost"), b""
-        except Exception as exc:  # noqa: BLE001 - never kill the server
-            reply, out_payload = protocol.error_reply(repr(exc)), b""
-        try:
-            protocol.send_message(self.request, reply, out_payload)
-        except Exception:  # noqa: BLE001 - client went away
-            pass
+            return False
+        return True
+
+
+def _map_error(exc: Exception) -> dict:
+    if isinstance(exc, OutOfSpongeMemory):
+        return protocol.error_reply(str(exc), "out-of-memory")
+    if isinstance(exc, QuotaExceededError):
+        return protocol.error_reply(str(exc), "quota")
+    if isinstance(exc, SpongeError):
+        return protocol.error_reply(str(exc), "chunk-lost")
+    return protocol.error_reply(repr(exc))
 
 
 class SpongeServerProcess:
@@ -98,6 +149,8 @@ class SpongeServerProcess:
         )
         self._usage: dict[str, int] = {}
         self._usage_lock = threading.Lock()
+        # Persistent connections to peer servers for liveness probes.
+        self._peer_pool = ConnectionPool(timeout=2.0)
         self._tcp = socketserver.ThreadingTCPServer(
             ("127.0.0.1", config.port), _Handler, bind_and_activate=True
         )
@@ -107,7 +160,43 @@ class SpongeServerProcess:
 
     # -- request dispatch ------------------------------------------------------------
 
-    def dispatch(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+    def payload_sink(self, header: dict, nbytes: int, staged: dict):
+        """Provide the receive buffer for an incoming payload.
+
+        For ``alloc_write`` the chunk is allocated *before* the payload
+        arrives and the socket fills the mmap'd segment directly — the
+        whole remote-spill write path is a single kernel-to-shared-memory
+        copy.  Other ops fall back to a plain buffer (return ``None``).
+        """
+        if header.get("op") != "alloc_write":
+            return None
+        if nbytes > self.pool.chunk_size:
+            raise SpongeError(f"payload of {nbytes} bytes exceeds chunk size")
+        owner = TaskId(host=header.get("owner_host", ""),
+                       task=header.get("owner_task", ""))
+        self._charge_quota(owner, nbytes)
+        try:
+            index = self.pool.allocate(owner)
+        except OutOfSpongeMemory:
+            self._release_quota(owner, nbytes)
+            raise
+        staged["alloc_write"] = (owner, index, nbytes)
+        return self.pool.chunk_buffer(index, owner, nbytes)
+
+    def abort_staged(self, staged: dict) -> None:
+        """Undo a sink-allocated chunk whose request never completed."""
+        entry = staged.pop("alloc_write", None)
+        if entry is None:
+            return
+        owner, index, nbytes = entry
+        try:
+            self.pool.free(index, owner)
+        except SpongeError:  # pragma: no cover - already reclaimed
+            pass
+        self._release_quota(owner, nbytes)
+
+    def dispatch(self, header: dict, payload,
+                 staged: Optional[dict] = None) -> tuple[dict, bytes]:
         op = header.get("op")
         if op == "ping":
             return {"ok": True, "server_id": self.config.server_id}, b""
@@ -122,6 +211,16 @@ class SpongeServerProcess:
         owner = TaskId(host=header.get("owner_host", ""),
                        task=header.get("owner_task", ""))
         if op == "alloc_write":
+            entry = staged.get("alloc_write") if staged else None
+            if entry is not None:
+                # Payload already sits in the pool (streamed by the
+                # sink); just publish its length.
+                s_owner, index, nbytes = entry
+                self.pool.commit_write(index, s_owner, nbytes)
+                staged.pop("alloc_write")
+                return {"ok": True, "index": index}, b""
+            # Fallback (direct dispatch calls, e.g. in tests): stage the
+            # payload through the classic copy path.
             self._charge_quota(owner, len(payload))
             try:
                 index = self.pool.allocate(owner)
@@ -131,12 +230,15 @@ class SpongeServerProcess:
             self.pool.write(index, owner, payload)
             return {"ok": True, "index": index}, b""
         if op == "read":
-            data = self.pool.read(int(header["index"]), owner)
+            # Zero-copy: the reply payload is a view straight into the
+            # mmap'd segment; the scatter-gather send consumes it before
+            # the chunk can be freed by its (single-reader) owner.
+            data = self.pool.read_view(int(header["index"]), owner)
             return {"ok": True}, data
         if op == "free":
-            index = int(header["index"])
-            length = len(self.pool.read(index, owner))
-            self.pool.free(index, owner)
+            # The freed payload length comes from chunk metadata, so no
+            # O(chunk) payload read is needed to release the quota.
+            length = self.pool.free(int(header["index"]), owner)
             self._release_quota(owner, length)
             return {"ok": True}, b""
         if op == "is_alive":
@@ -179,7 +281,7 @@ class SpongeServerProcess:
             if peer is None:
                 return False
             try:
-                reply, _ = protocol.request(
+                reply, _ = self._peer_pool.request(
                     tuple(peer),
                     {"op": "is_alive", **protocol.encode_owner(
                         owner.host, owner.task)},
@@ -200,6 +302,7 @@ class SpongeServerProcess:
         finally:
             self._stop.set()
             self._tcp.server_close()
+            self._peer_pool.close()
             self.pool.close()
 
     def shutdown(self) -> None:

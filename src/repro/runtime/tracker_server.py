@@ -9,11 +9,16 @@ its snapshot on the next poll.
 
 from __future__ import annotations
 
+import logging
 import socketserver
 import threading
 from dataclasses import dataclass, field
 
+from repro.errors import ConnectionClosedError, ProtocolError
 from repro.runtime import protocol
+from repro.runtime.connection_pool import ConnectionPool
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -25,22 +30,38 @@ class TrackerConfig:
 
 
 class _Handler(socketserver.BaseRequestHandler):
+    """Serves many messages per connection; one-shot clients still work."""
+
     def handle(self) -> None:  # noqa: D102 - socketserver API
         tracker: "TrackerServerProcess" = self.server.tracker  # type: ignore[attr-defined]
-        try:
-            header, _ = protocol.recv_message(self.request)
-        except Exception:  # noqa: BLE001
-            return
-        if header.get("op") == "free_list":
-            reply = {"ok": True, "servers": tracker.snapshot()}
-        elif header.get("op") == "ping":
-            reply = {"ok": True, "polls": tracker.polls}
-        else:
-            reply = protocol.error_reply(f"unknown op {header.get('op')!r}")
-        try:
-            protocol.send_message(self.request, reply)
-        except Exception:  # noqa: BLE001
-            pass
+        sock = self.request
+        protocol.configure_socket(sock)
+        while True:
+            try:
+                header, _ = protocol.recv_message(sock)
+            except ConnectionClosedError:
+                return
+            except ProtocolError as exc:
+                log.debug("dropping connection after bad request: %s", exc)
+                try:
+                    protocol.send_message(
+                        sock, protocol.error_reply(str(exc), "protocol")
+                    )
+                except Exception:  # noqa: BLE001
+                    pass
+                return
+            except Exception:  # noqa: BLE001
+                return
+            if header.get("op") == "free_list":
+                reply = {"ok": True, "servers": tracker.snapshot()}
+            elif header.get("op") == "ping":
+                reply = {"ok": True, "polls": tracker.polls}
+            else:
+                reply = protocol.error_reply(f"unknown op {header.get('op')!r}")
+            try:
+                protocol.send_message(sock, reply)
+            except Exception:  # noqa: BLE001
+                return
 
 
 class TrackerServerProcess:
@@ -50,6 +71,8 @@ class TrackerServerProcess:
         self._snapshot: list[dict] = []
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        # Persistent connections to the sponge servers being polled.
+        self._poll_pool = ConnectionPool(timeout=1.0)
         self._tcp = socketserver.ThreadingTCPServer(
             ("127.0.0.1", config.port), _Handler, bind_and_activate=True
         )
@@ -64,8 +87,8 @@ class TrackerServerProcess:
         snapshot = []
         for server_id, info in self.config.servers.items():
             try:
-                reply, _ = protocol.request(
-                    tuple(info["address"]), {"op": "free_bytes"}, timeout=1.0
+                reply, _ = self._poll_pool.request(
+                    tuple(info["address"]), {"op": "free_bytes"}
                 )
             except Exception:  # noqa: BLE001 - dead server drops out
                 continue
@@ -91,6 +114,7 @@ class TrackerServerProcess:
         finally:
             self._stop.set()
             self._tcp.server_close()
+            self._poll_pool.close()
 
     def _poll_loop(self) -> None:
         # First poll immediately so clients see servers at startup.

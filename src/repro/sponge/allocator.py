@@ -73,6 +73,7 @@ class AllocationChain:
         host: str = "localhost",
         rack: str = "rack0",
         config: SpongeConfig = DEFAULT_CONFIG,
+        default_executor: Optional[Any] = None,
     ) -> None:
         if local_store is None and tracker is None and disk_store is None:
             raise ChunkAllocationError("allocation chain has no stores at all")
@@ -84,6 +85,9 @@ class AllocationChain:
         self.host = host
         self.rack = rack
         self.config = config
+        #: Executor SpongeFiles on this chain use unless given their own
+        #: (e.g. a ThreadExecutor on the real runtime for true overlap).
+        self.default_executor = default_executor
         self.stats = ChainStats()
         self._remote_stores: dict[str, ChunkStore] = {}
 

@@ -28,8 +28,18 @@ class SpongeConfig:
     restrict_to_rack: bool = True
     #: Prefetch the next chunk while the reader consumes the current one.
     prefetch: bool = True
+    #: How many chunks to keep prefetched ahead of the reader.  The
+    #: paper's implementation prefetches one; deeper pipelines help the
+    #: real runtime hide per-chunk network latency.
+    prefetch_depth: int = 1
     #: Overlap chunk writes with computation (one outstanding write).
     async_writes: bool = True
+    #: How many chunk writes may be in flight at once.  1 reproduces the
+    #: paper's single outstanding async write; deeper pipelines trade
+    #: the disk-append coalescing opportunity (the previous chunk's
+    #: placement is unknown while it is still in flight) for overlap,
+    #: which pays off on the real runtime's remote spills.
+    async_write_depth: int = 1
     #: Cap on remote servers tried per allocation before falling back to
     #: disk; ``None`` tries the whole free list.
     max_remote_attempts: Optional[int] = None
@@ -41,6 +51,10 @@ class SpongeConfig:
             raise ConfigError(f"chunk_size must be positive: {self.chunk_size}")
         if self.tracker_poll_interval <= 0:
             raise ConfigError("tracker_poll_interval must be positive")
+        if self.prefetch_depth < 1:
+            raise ConfigError("prefetch_depth must be >= 1")
+        if self.async_write_depth < 1:
+            raise ConfigError("async_write_depth must be >= 1")
         if self.max_remote_attempts is not None and self.max_remote_attempts < 0:
             raise ConfigError("max_remote_attempts must be >= 0")
         if self.quota_per_node is not None and self.quota_per_node < self.chunk_size:

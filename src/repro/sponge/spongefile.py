@@ -9,9 +9,10 @@ Performance behaviours from the paper, all implemented here:
 
 * an internal write buffer the size of one chunk, so in-memory chunks
   are written whole and network round trips amortize;
-* asynchronous chunk writes (one outstanding) to overlap IO with
-  computation;
-* read prefetching of the next chunk while the current one is consumed;
+* asynchronous chunk writes (``config.async_write_depth`` outstanding;
+  the paper's implementation keeps one) to overlap IO with computation;
+* read prefetching of the next ``config.prefetch_depth`` chunks while
+  the current one is consumed;
 * on-disk chunk coalescing via the allocation chain.
 
 All IO methods are generators (*store ops*): inside the simulator they
@@ -24,7 +25,7 @@ can be used instead.
 from __future__ import annotations
 
 import enum
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -119,6 +120,8 @@ class SpongeFile:
         self.owner = owner
         self.config = config
         self.name = name or f"spongefile-{id(self):x}"
+        if executor is None:
+            executor = getattr(chain, "default_executor", None)
         self.executor = executor if executor is not None else SyncExecutor()
         self.session: AllocationSession = chain.new_session(owner)
         self.stats = SpongeFileStats()
@@ -126,7 +129,7 @@ class SpongeFile:
         self._handles: list[ChunkHandle] = []
         self._buffer: list[Any] = []
         self._buffered = 0
-        self._pending = None  # outstanding async chunk write
+        self._pending: deque = deque()  # in-flight async chunk writes, oldest first
         self._pending_appended_to: Optional[ChunkHandle] = None
         self._reader: Optional[SpongeFileReader] = None
 
@@ -261,20 +264,27 @@ class SpongeFile:
         return None
 
     def _emit_chunk(self, chunk: Any) -> StoreOp:
-        yield from self._drain_pending()
+        # Admit the next write once the pipeline has room.  At depth 1
+        # (the paper's single outstanding write) this fully drains first,
+        # so disk-append coalescing still sees the previous placement.
+        while len(self._pending) >= self.config.async_write_depth:
+            yield from self._drain_one()
         op = self.session.allocate(chunk, last_handle=self._last_disk_handle())
         if self.config.async_writes:
-            self._pending = self.executor.spawn(op)
+            self._pending.append(self.executor.spawn(op))
         else:
             result = yield from op
             self._record(result)
         return None
 
+    def _drain_one(self) -> StoreOp:
+        result = yield from self.executor.wait(self._pending.popleft())
+        self._record(result)
+        return None
+
     def _drain_pending(self) -> StoreOp:
-        if self._pending is not None:
-            pending, self._pending = self._pending, None
-            result = yield from self.executor.wait(pending)
-            self._record(result)
+        while self._pending:
+            yield from self._drain_one()
         return None
 
     def _record(self, result: tuple[ChunkHandle, bool]) -> None:
@@ -289,12 +299,13 @@ class SpongeFile:
 
 
 class SpongeFileReader:
-    """Sequential reader with one-chunk prefetch."""
+    """Sequential reader with chunk prefetch (``config.prefetch_depth``)."""
 
     def __init__(self, spongefile: SpongeFile) -> None:
         self.file = spongefile
         self._index = 0
-        self._prefetched = None  # completion for chunk self._index
+        # Completions for chunks [self._index, self._index + len) in order.
+        self._prefetched: deque = deque()
         self._leftover: Any = None  # partial chunk for byte-mode read()
 
     @property
@@ -306,13 +317,19 @@ class SpongeFileReader:
         handles = self.file._handles
         if self._index >= len(handles):
             return None
-        if self._prefetched is not None:
-            completion, self._prefetched = self._prefetched, None
+        if self._prefetched:
+            completion = self._prefetched.popleft()
         else:
             completion = self._start_fetch(self._index)
         self._index += 1
-        if self.file.config.prefetch and self._index < len(handles):
-            self._prefetched = self._start_fetch(self._index)
+        if self.file.config.prefetch:
+            # Top the pipeline back up: while chunk i is being consumed,
+            # chunks i+1 .. i+depth are in flight.
+            first_unqueued = self._index + len(self._prefetched)
+            while (len(self._prefetched) < self.file.config.prefetch_depth
+                   and first_unqueued < len(handles)):
+                self._prefetched.append(self._start_fetch(first_unqueued))
+                first_unqueued += 1
         try:
             data = yield from self.file.executor.wait(completion)
         except BaseException:
@@ -351,11 +368,10 @@ class SpongeFileReader:
         return self.file.executor.spawn(store.read_chunk(handle))
 
     def _drain(self) -> StoreOp:
-        """Absorb an outstanding prefetch (delete and error paths)."""
-        if self._prefetched is not None:
-            pending, self._prefetched = self._prefetched, None
+        """Absorb outstanding prefetches (delete and error paths)."""
+        while self._prefetched:
             try:
-                yield from self.file.executor.wait(pending)
+                yield from self.file.executor.wait(self._prefetched.popleft())
             except Exception:  # noqa: BLE001 - outcome deliberately dropped
                 pass
         return None

@@ -31,6 +31,10 @@ def skewness(values: Sequence[float] | np.ndarray) -> float:
         return 0.0
     mean = data.mean()
     deviations = data - mean
+    # Two-pass centering: fl(sum(x)/n) need not equal x even for a
+    # constant sample, and at large magnitudes that rounding residue
+    # masquerades as spread (skewness ±1 for a constant input).
+    deviations -= deviations.mean()
     m2 = float(np.mean(deviations**2))
     if m2 <= 0.0:
         return 0.0

@@ -1,0 +1,133 @@
+"""Connection pooling: reuse, health checks, and retry safety."""
+
+import socketserver
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime import protocol
+from repro.runtime.connection_pool import ConnectionPool
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self):
+        server = self.server
+        with server.stats_lock:
+            server.connections += 1
+        sock = self.request
+        while True:
+            try:
+                header, payload = protocol.recv_message(sock)
+            except ProtocolError:
+                return
+            with server.stats_lock:
+                server.requests += 1
+            if server.mode == "mute":
+                time.sleep(server.mute_for)
+                return
+            if server.barrier is not None:
+                server.barrier.wait(timeout=5)
+            protocol.send_message(
+                sock, {"ok": True, "echo": header.get("op")}, payload
+            )
+            if server.mode == "oneshot":
+                return
+
+
+@pytest.fixture
+def server():
+    tcp = socketserver.ThreadingTCPServer(("127.0.0.1", 0), _Handler)
+    tcp.daemon_threads = True
+    tcp.connections = 0
+    tcp.requests = 0
+    tcp.stats_lock = threading.Lock()
+    tcp.mode = "echo"
+    tcp.mute_for = 1.0
+    tcp.barrier = None
+    thread = threading.Thread(target=tcp.serve_forever, daemon=True)
+    thread.start()
+    yield tcp
+    tcp.shutdown()
+    tcp.server_close()
+
+
+def _address(server):
+    return server.server_address
+
+
+class TestReuse:
+    def test_sequential_requests_share_one_connection(self, server):
+        with ConnectionPool() as pool:
+            for i in range(5):
+                reply, payload = pool.request(
+                    _address(server), {"op": f"r{i}"}, b"data"
+                )
+                assert reply["ok"] and bytes(payload) == b"data"
+            assert server.connections == 1
+            assert server.requests == 5
+            assert pool.idle_count(_address(server)) == 1
+
+    def test_payload_roundtrip_via_pool(self, server):
+        blob = bytes(range(256)) * 1024  # 256 KB
+        with ConnectionPool() as pool:
+            _reply, payload = pool.request(_address(server), {"op": "d"}, blob)
+            assert bytes(payload) == blob
+
+    def test_idle_cap_enforced(self, server):
+        server.barrier = threading.Barrier(2)
+        with ConnectionPool(max_idle_per_address=1) as pool:
+            results = []
+
+            def one_request():
+                results.append(pool.request(_address(server), {"op": "par"}))
+
+            threads = [threading.Thread(target=one_request) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert len(results) == 2
+            assert server.connections == 2  # both ran concurrently
+            assert pool.idle_count(_address(server)) == 1  # one was dropped
+
+
+class TestStaleness:
+    def test_reconnects_after_peer_closed_idle_socket(self, server):
+        server.mode = "oneshot"
+        with ConnectionPool() as pool:
+            pool.request(_address(server), {"op": "a"})
+            # The server closed the connection after replying; the next
+            # request must detect the stale socket (health check or
+            # clean-close retry) and still succeed on a fresh one.
+            time.sleep(0.05)
+            reply, _ = pool.request(_address(server), {"op": "b"})
+            assert reply["echo"] == "b"
+            assert server.connections == 2
+
+    def test_reply_timeout_is_not_retried(self, server):
+        server.mode = "mute"
+        with ConnectionPool(timeout=0.2) as pool:
+            with pytest.raises(OSError):
+                pool.request(_address(server), {"op": "slow"})
+            # The request reached the server exactly once: a missing
+            # reply must never be retried (it may have been processed).
+            assert server.requests == 1
+
+    def test_fresh_connection_failures_propagate(self):
+        with ConnectionPool(timeout=0.2) as pool:
+            with pytest.raises(OSError):
+                pool.request(("127.0.0.1", 1), {"op": "nope"})
+
+
+class TestForkAwareness:
+    def test_forked_child_abandons_inherited_sockets(self, server):
+        with ConnectionPool() as pool:
+            pool.request(_address(server), {"op": "parent"})
+            assert pool.idle_count() == 1
+            pool._pid = -1  # simulate: this process is a fresh fork
+            reply, _ = pool.request(_address(server), {"op": "child"})
+            assert reply["ok"]
+            # The inherited socket was discarded, not reused.
+            assert server.connections == 2

@@ -1,0 +1,144 @@
+"""Persistent-connection behaviour of the sponge server protocol.
+
+One connection carries many messages; one-shot clients (close after a
+single exchange) remain fully supported — backward compatibility with
+the pre-pooling wire behaviour.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import ConnectionClosedError
+from repro.runtime import LocalSpongeCluster, protocol
+from repro.runtime.client import TrackerClient
+
+CHUNK = 64 * 1024
+POOL = 4 * CHUNK
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalSpongeCluster(num_nodes=2, pool_size=POOL, chunk_size=CHUNK,
+                            poll_interval=0.1, gc_interval=5.0) as cluster:
+        yield cluster
+
+
+def _connect(cluster, node=0):
+    sock = socket.create_connection(cluster.server_address(node), timeout=5)
+    protocol.configure_socket(sock)
+    return sock
+
+
+def _exchange(sock, header, payload=b""):
+    protocol.send_message(sock, header, payload)
+    return protocol.recv_message(sock)
+
+
+OWNER = {"owner_host": "node0", "owner_task": "pid:1:proto"}
+
+
+class TestPersistentConnections:
+    def test_many_messages_on_one_connection(self, cluster):
+        sock = _connect(cluster)
+        try:
+            for _ in range(3):
+                reply, _ = _exchange(sock, {"op": "ping"})
+                assert reply["ok"]
+            # A full chunk lifecycle, still on the same connection.
+            reply, _ = _exchange(sock, {"op": "alloc_write", **OWNER},
+                                 b"x" * CHUNK)
+            index = protocol.check_reply(reply)["index"]
+            reply, payload = _exchange(sock, {"op": "read", "index": index,
+                                              **OWNER})
+            protocol.check_reply(reply)
+            assert bytes(payload) == b"x" * CHUNK
+            reply, _ = _exchange(sock, {"op": "free", "index": index, **OWNER})
+            protocol.check_reply(reply)
+        finally:
+            sock.close()
+
+    def test_oneshot_client_still_works(self, cluster):
+        # The pre-pooling client behaviour: fresh connection, one
+        # exchange, close.  Must keep working against looping servers.
+        for _ in range(2):
+            reply, _ = protocol.request(cluster.server_address(0),
+                                        {"op": "ping"})
+            assert reply["ok"]
+
+    def test_malformed_request_gets_error_reply_then_close(self, cluster):
+        sock = _connect(cluster)
+        try:
+            raw = b"this is not json"
+            sock.sendall(len(raw).to_bytes(4, "big") + raw)
+            reply, _ = protocol.recv_message(sock)
+            assert not reply["ok"]
+            assert reply["code"] == "protocol"
+            # The server hangs up after a framing error (the stream
+            # position is unknowable); the close is clean.
+            with pytest.raises(ConnectionClosedError):
+                protocol.recv_message(sock)
+        finally:
+            sock.close()
+
+    def test_refused_payload_keeps_connection_usable(self, cluster):
+        sock = _connect(cluster)
+        try:
+            # Payload larger than the chunk size: the receive sink
+            # refuses it, the server drains the stream, replies with an
+            # error — and the connection stays good.
+            reply, _ = _exchange(sock, {"op": "alloc_write", **OWNER},
+                                 b"y" * (CHUNK + 1))
+            assert not reply["ok"]
+            reply, _ = _exchange(sock, {"op": "ping"})
+            assert reply["ok"]
+        finally:
+            sock.close()
+
+    def test_free_releases_quota_without_payload_read(self, cluster):
+        sock = _connect(cluster)
+        try:
+            indices = []
+            for _ in range(POOL // CHUNK):
+                reply, _ = _exchange(sock, {"op": "alloc_write", **OWNER},
+                                     b"z" * CHUNK)
+                indices.append(protocol.check_reply(reply)["index"])
+            for index in indices:
+                reply, _ = _exchange(sock, {"op": "free", "index": index,
+                                            **OWNER})
+                protocol.check_reply(reply)
+            reply, _ = _exchange(sock, {"op": "free_bytes"})
+            assert reply["free_bytes"] == POOL
+            # Quota accounting survived the metadata-only free path:
+            # the pool accepts a full round of writes again.
+            reply, _ = _exchange(sock, {"op": "alloc_write", **OWNER},
+                                 b"w" * CHUNK)
+            index = protocol.check_reply(reply)["index"]
+            _exchange(sock, {"op": "free", "index": index, **OWNER})
+        finally:
+            sock.close()
+
+
+class TestTrackerCache:
+    def test_free_list_cached_within_ttl(self, cluster):
+        client = TrackerClient(cluster.tracker_address, cache_ttl=30.0)
+        first = client._fetch()
+        assert client._fetch() is first  # served from cache, no RPC
+
+    def test_invalidate_forces_refetch(self, cluster):
+        client = TrackerClient(cluster.tracker_address, cache_ttl=30.0)
+        first = client._fetch()
+        client.invalidate()
+        assert client._fetch() is not first
+
+    def test_zero_ttl_always_fetches(self, cluster):
+        client = TrackerClient(cluster.tracker_address, cache_ttl=0.0)
+        first = client._fetch()
+        assert client._fetch() is not first
+
+    def test_expired_cache_refetches(self, cluster):
+        client = TrackerClient(cluster.tracker_address, cache_ttl=0.05)
+        first = client._fetch()
+        time.sleep(0.1)
+        assert client._fetch() is not first

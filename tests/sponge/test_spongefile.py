@@ -225,6 +225,71 @@ class TestByteReader:
         assert _read(reader, 100) == b"tiny"
         assert _read(reader, 100) == b""
 
+    def test_reads_straddle_chunk_boundaries(self, cluster, owner):
+        # Request sizes that never divide the chunk size, so every read
+        # either splits a leftover or stitches a leftover to the next
+        # chunk's head.
+        sf = make_file(cluster, owner)
+        payload = bytes(range(256)) * (3 * CHUNK // 256)
+        sf.write_all(payload)
+        sf.close_sync()
+        reader = sf.open_reader()
+        offset = 0
+        for size in (300, CHUNK - 1, 1, 2 * CHUNK + 7, 900):
+            got = _read(reader, size)
+            assert got == payload[offset:offset + size]
+            offset += len(got)
+        assert _read(reader, CHUNK) == payload[offset:]
+        assert reader.exhausted
+        assert _read(reader, 1) == b""
+
+    def test_split_leftover_survives_in_reader(self, cluster, owner):
+        sf = make_file(cluster, owner)
+        sf.write_all(b"a" * CHUNK)
+        sf.close_sync()
+        reader = sf.open_reader()
+        assert _read(reader, 300) == b"a" * 300
+        # The unconsumed tail of the chunk stays buffered — the next
+        # read must not refetch.
+        assert not reader.exhausted
+        assert len(bytes(reader._leftover)) == CHUNK - 300
+        assert _read(reader, CHUNK) == b"a" * (CHUNK - 300)
+
+    def test_read_larger_than_file_returns_remainder(self, cluster, owner):
+        sf = make_file(cluster, owner)
+        payload = b"r" * (CHUNK + CHUNK // 2)
+        sf.write_all(payload)
+        sf.close_sync()
+        reader = sf.open_reader()
+        assert _read(reader, 10 * CHUNK) == payload
+        assert _read(reader, 10 * CHUNK) == b""
+
+
+class TestReaderErrorPath:
+    def test_lost_chunk_drains_prefetch(self, cluster, owner):
+        from repro.errors import ChunkLostError
+        from repro.sponge.store import run_sync
+
+        config = SpongeConfig(chunk_size=CHUNK, prefetch_depth=2)
+        mini = MiniCluster(["h0"], pool_chunks=8, config=config)
+        sf = SpongeFile(TaskId("h0", "lost"), mini.chain("h0"), config)
+        sf.write_all(b"q" * (4 * CHUNK))
+        sf.close_sync()
+        reader = sf.open_reader()
+        # Free every chunk after the first behind the reader's back,
+        # before any prefetch is issued.
+        chain = sf.session.chain
+        for handle in sf.handles[1:]:
+            chain.store_for(handle)._free(handle)
+        assert run_sync(reader.next_chunk()) == b"q" * CHUNK
+        assert len(reader._prefetched) == 2  # pipeline topped up
+        with pytest.raises(ChunkLostError):
+            run_sync(reader.next_chunk())
+        # The failed read absorbed the other in-flight prefetches; an
+        # unobserved completion would crash later instead of failing
+        # just this read.
+        assert len(reader._prefetched) == 0
+
 
 def _read(reader, n):
     from repro.sponge.store import run_sync

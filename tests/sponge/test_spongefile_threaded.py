@@ -1,0 +1,122 @@
+"""The SpongeFile lifecycle suite, re-run on a real ThreadExecutor.
+
+Substitutes :class:`~repro.runtime.executor.ThreadExecutor` for the
+default :class:`SyncExecutor` (async writes and prefetches really run
+on worker threads) and re-uses the existing lifecycle/chunking/spill
+test classes unchanged — the executor must be behaviourally invisible.
+
+Also covers the write/prefetch pipeline depths (``async_write_depth``,
+``prefetch_depth``) beyond the paper's single outstanding operation.
+"""
+
+import pytest
+
+from repro.errors import ChunkAllocationError
+from repro.sponge import spongefile as spongefile_module
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.runtime.executor import ThreadExecutor
+
+from . import test_spongefile as base
+from .conftest import CHUNK, MiniCluster
+
+
+@pytest.fixture(scope="module")
+def _thread_executor():
+    executor = ThreadExecutor(max_workers=4, name="test-sponge-io")
+    yield executor
+    executor.close()
+
+
+@pytest.fixture(autouse=True)
+def _substitute_executor(monkeypatch, _thread_executor):
+    # SpongeFile looks the default executor up at call time, so files
+    # built without an explicit executor now pipeline for real.
+    monkeypatch.setattr(
+        spongefile_module, "SyncExecutor", lambda: _thread_executor
+    )
+
+
+class TestLifecycleThreaded(base.TestLifecycle):
+    pass
+
+
+class TestChunkingThreaded(base.TestChunking):
+    # The hypothesis property creates its own clusters per example;
+    # replace it with fixed cases (the property itself runs in the
+    # sync suite).
+    def test_roundtrip_property(self):
+        for writes in ([b""], [b"a" * (3 * CHUNK), b"b"],
+                       [b"x" * 700] * 5, [b"y" * (CHUNK - 1), b"z" * 2]):
+            cluster = MiniCluster(
+                ["h0", "h1"], pool_chunks=64,
+                config=SpongeConfig(chunk_size=CHUNK),
+            )
+            owner = TaskId("h0", "thread-prop")
+            sf = SpongeFile(owner, cluster.chain("h0"), cluster.config)
+            for data in writes:
+                sf.write_all(data)
+            sf.close_sync()
+            assert sf.read_all() == b"".join(writes)
+            sf.delete_sync()
+
+
+class TestSpillOrderThreaded(base.TestSpillOrder):
+    pass
+
+
+class TestStatsThreaded(base.TestStats):
+    pass
+
+
+class TestByteReaderThreaded(base.TestByteReader):
+    pass
+
+
+class TestPipelineDepth:
+    """Deeper write/prefetch pipelines (depth > 1) stay correct.
+
+    A single-worker executor keeps the in-process test stores free of
+    concurrent access (they are not thread-safe) while still running
+    the pipeline hand-off across real threads; concurrent deep
+    pipelines run against the real runtime in the throughput benchmark.
+    """
+
+    def _deep_config(self):
+        return SpongeConfig(chunk_size=CHUNK, async_write_depth=4,
+                            prefetch_depth=4)
+
+    def test_deep_pipeline_preserves_order_and_content(self):
+        config = self._deep_config()
+        cluster = MiniCluster(["h0"], pool_chunks=64, config=config)
+        owner = TaskId("h0", "deep")
+        payload = bytes(range(256)) * ((10 * CHUNK) // 256)
+        with ThreadExecutor(max_workers=1) as executor:
+            sf = SpongeFile(owner, cluster.chain("h0"), config,
+                            executor=executor)
+            sf.write_all(payload)
+            sf.close_sync()
+            assert [h.nbytes for h in sf.handles] == [CHUNK] * 10
+            assert sf.read_all() == payload
+            sf.delete_sync()
+        assert cluster.pools["h0"].used_chunks == 0
+
+    def test_deep_pipeline_error_delivered_at_close(self):
+        config = self._deep_config()
+        cluster = MiniCluster(["h0"], pool_chunks=1, config=config,
+                              disk_capacity=CHUNK, with_dfs=False)
+        with ThreadExecutor(max_workers=1) as executor:
+            sf = SpongeFile(TaskId("h0", "doomed"), cluster.chain("h0"),
+                            config, executor=executor)
+            with pytest.raises(ChunkAllocationError):
+                sf.write_all(b"x" * (8 * CHUNK))
+                sf.close_sync()
+
+    def test_depth_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SpongeConfig(chunk_size=CHUNK, async_write_depth=0)
+        with pytest.raises(ConfigError):
+            SpongeConfig(chunk_size=CHUNK, prefetch_depth=0)
