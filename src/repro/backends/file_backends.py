@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.errors import ChunkLostError, OutOfSpongeMemory, SpongeError
+from repro.faults import hooks as faults
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
 from repro.sponge.store import SyncChunkStore
 
@@ -63,6 +64,9 @@ class FileDiskStore(SyncChunkStore):
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise SpongeError("FileDiskStore stores real bytes only")
         nbytes = len(data)
+        if faults._armed is not None:
+            faults.fire("disk.write", store_id=self.store_id,
+                        owner=str(owner), nbytes=nbytes)
         self._check_space(nbytes)
         path = self._task_dir(owner) / f"chunk-{next(self._ids):06d}"
         with open(path, "wb") as chunk_file:
@@ -75,6 +79,9 @@ class FileDiskStore(SyncChunkStore):
 
     def _append(self, handle: ChunkHandle, data) -> ChunkHandle:
         nbytes = len(data)
+        if faults._armed is not None:
+            faults.fire("disk.write", store_id=self.store_id,
+                        owner="", nbytes=nbytes)
         self._check_space(nbytes)
         with open(handle.ref, "ab") as chunk_file:
             chunk_file.write(data)
@@ -102,3 +109,20 @@ class FileDiskStore(SyncChunkStore):
     def cleanup_task(self, owner: TaskId) -> None:
         """Framework-style cleanup: drop the task's whole spill dir."""
         shutil.rmtree(self._task_dir(owner), ignore_errors=True)
+
+
+class FileDfsStore(FileDiskStore):
+    """A directory standing in for the distributed filesystem.
+
+    The last-resort spill tier (§3.1.1).  Same chunk-file layout as
+    :class:`FileDiskStore`, but DFS chunks never coalesce (appending to
+    a DFS file would be a network round trip per record batch, not a
+    local ``O_APPEND``).
+    """
+
+    location = ChunkLocation.DFS
+    supports_append = False
+
+    def __init__(self, root: str | Path, store_id: str = "dfs",
+                 capacity: Optional[int] = None) -> None:
+        super().__init__(root, store_id=store_id, capacity=capacity)

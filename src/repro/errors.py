@@ -73,6 +73,19 @@ class QuotaExceededError(SpongeError):
     """A task exceeded its per-node sponge memory quota."""
 
 
+class StoreUnavailableError(SpongeError):
+    """A chunk store could not be reached *before* the request ran.
+
+    Raised only when the request provably never executed (connect
+    refused, send never completed, peer closed at a message boundary).
+    Like :class:`OutOfSpongeMemory`, this is control flow inside the
+    allocation chain: the server is stale or dead, so the allocator
+    drops it and falls through to the next medium.  Failures where the
+    request *may* have run (torn replies, receive timeouts) must not be
+    mapped to this class.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Real (multi-process) runtime
 # ---------------------------------------------------------------------------
@@ -96,8 +109,12 @@ class ConnectionClosedError(ProtocolError):
     """
 
 
-class ServerUnavailableError(RuntimeBackendError):
-    """A sponge server or the memory tracker could not be reached."""
+class ServerUnavailableError(RuntimeBackendError, ConnectionError):
+    """A sponge server or the memory tracker could not be reached.
+
+    Also a :class:`ConnectionError` so callers treating transport
+    failures generically (``except OSError``) keep working.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,33 @@
+"""Fault injection and chaos testing for the spill fallback chain.
+
+The paper's robustness story (§3–§4.3) is graceful degradation: spills
+walk local sponge -> remote sponge -> disk -> DFS, tolerate stale
+tracker entries, reclaim chunks of dead tasks, and turn a lost chunk
+into exactly one failed (re-runnable) task.  This package makes those
+scenarios reproducible on demand:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, deterministic,
+  composable fault rules (allocation refusals, connection resets at and
+  inside message boundaries, stalled links, frozen/empty tracker lists,
+  failed disk writes);
+* :mod:`repro.faults.hooks` — the process-global arm/fire registry the
+  runtime's hook points consult (free when disarmed);
+* :mod:`repro.faults.chaos` — a seeded chaos/soak harness running
+  concurrent SpongeFile writers over a real local cluster while the
+  plan injects faults and servers are killed and restarted, asserting
+  the paper's invariants (``python -m repro.faults.chaos``).
+"""
+
+from repro.faults.hooks import arm, disarm, fire, injected
+from repro.faults.plan import Contains, FaultAction, FaultPlan, FaultRule
+
+__all__ = [
+    "arm",
+    "disarm",
+    "fire",
+    "injected",
+    "Contains",
+    "FaultAction",
+    "FaultPlan",
+    "FaultRule",
+]

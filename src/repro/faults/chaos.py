@@ -1,0 +1,493 @@
+"""Seeded chaos/soak harness for the spill fallback chain.
+
+Runs concurrent SpongeFile writer processes against a real
+:class:`~repro.runtime.local_cluster.LocalSpongeCluster` while a seeded
+:class:`~repro.faults.plan.FaultPlan` injects faults (allocation
+refusals, connection resets at and inside message boundaries, stalled
+links, empty/frozen tracker lists, failed disk writes) and the harness
+kills and restarts sponge servers and the tracker mid-run.  One writer
+is deliberately SIGKILLed mid-write so GC reclamation is exercised on
+every run.
+
+The schedule — fault rules *and* kill/restart events — is a pure
+function of the seed: same seed, same schedule, same pass/fail.
+
+Invariants asserted (the paper's §3.1/§4.3 degradation story):
+
+* every write round either completes with a **byte-exact** read-back
+  (no spilled byte lost or duplicated, whatever tier each chunk landed
+  in) or fails with an *expected* failure class (chunk lost with its
+  host, allocation chain exhausted, quota) — never with data
+  corruption or an unclassified error;
+* a possibly-delivered ``alloc_write`` is never retried, so faults can
+  not manufacture duplicate chunks (caught by the byte-exact compare);
+* after every writer has exited and GC has run, every sponge pool is
+  fully free again — dead tasks' chunks (including the crashed
+  writer's) are reclaimed, nothing leaks.
+
+Run it directly::
+
+    python -m repro.faults.chaos --seed 7 --writers 3 --rounds 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import multiprocessing
+import os
+import queue as queue_mod
+import random
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    ChunkAllocationError,
+    ChunkLostError,
+    OutOfSpongeMemory,
+    QuotaExceededError,
+    RuntimeBackendError,
+    SpongeError,
+    StoreUnavailableError,
+)
+from repro.faults import hooks as faults
+from repro.faults.plan import FaultPlan
+from repro.runtime import protocol
+from repro.runtime.executor import ThreadExecutor
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+
+#: Failure classes a fault schedule is *allowed* to produce in a writer
+#: round.  Anything else — above all a read-back mismatch — is a
+#: violation of the paper's degradation contract.
+EXPECTED_FAILURES = (
+    ChunkAllocationError,
+    ChunkLostError,
+    OutOfSpongeMemory,
+    QuotaExceededError,
+    StoreUnavailableError,
+    RuntimeBackendError,
+    OSError,
+)
+
+
+@dataclass
+class ChaosSettings:
+    """Everything that shapes one chaos run (schedule included)."""
+
+    seed: int = 0
+    num_nodes: int = 3
+    writers: int = 3
+    rounds: int = 3
+    chunk_size: int = 32 * 1024
+    chunks_per_pool: int = 4
+    #: Largest file, in chunks (sized to overflow one pool, forcing the
+    #: remote -> disk -> DFS tiers into play).
+    max_file_chunks: int = 6
+    async_write_depth: int = 2
+    prefetch_depth: int = 2
+    #: Kill/restart servers and the tracker between epochs.
+    kill_servers: bool = True
+    #: SIGKILL one extra writer mid-write (GC reclamation check).
+    crash_writer: bool = True
+    #: Seconds between kill/restart events.
+    epoch_sleep: float = 0.4
+    join_timeout: float = 120.0
+
+
+@dataclass
+class ChaosReport:
+    seed: int
+    schedule: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    writer_results: list = field(default_factory=list)
+    rounds_ok: int = 0
+    expected_failures: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.rounds_ok > 0
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos seed={self.seed}: "
+            f"{'OK' if self.ok else 'FAILED'} — "
+            f"{self.rounds_ok} rounds clean, "
+            f"{len(self.expected_failures)} expected failures, "
+            f"{len(self.violations)} violations",
+        ]
+        lines.extend(f"  event: {event}" for event in self.events)
+        lines.extend(f"  expected: {name}" for name in self.expected_failures)
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+# -- the seeded schedule -----------------------------------------------------
+
+
+def build_fault_plan(settings: ChaosSettings) -> FaultPlan:
+    """The injected-fault half of the schedule (seed-deterministic).
+
+    Every fault class from the plan's repertoire appears, each with a
+    small seed-chosen budget (``times``) so the run is bounded: faults
+    perturb the chain, they don't wedge it.
+    """
+    rng = random.Random(settings.seed * 65537 + 1)
+    plan = FaultPlan(seed=settings.seed)
+    # (a) refused pool allocations — stale-tracker-entry behaviour.
+    plan.deny_alloc(times=rng.randint(1, 4), after=rng.randint(0, 3))
+    # (b) connection resets at and inside message boundaries, plus a
+    # stalled link.
+    plan.reset_connections(when="mid-payload", times=rng.randint(1, 2),
+                           after=rng.randint(2, 6))
+    plan.reset_connections(when="before", times=rng.randint(1, 2),
+                           after=rng.randint(2, 6))
+    plan.stall("conn.send", delay=0.01 * rng.randint(1, 3),
+               times=rng.randint(1, 3), probability=0.5)
+    # (d) stale/empty tracker free lists.
+    plan.tracker_serves_empty(times=rng.randint(1, 3),
+                              after=rng.randint(0, 2))
+    plan.tracker_freezes(times=rng.randint(1, 3), after=rng.randint(1, 4))
+    # (a') a server that advertises exhaustion for a while.
+    host = f"node{rng.randrange(settings.num_nodes)}"
+    plan.exhaust_server(host, times=rng.randint(1, 3))
+    # (e) disk-backend failures: "full" falls through to DFS.
+    plan.fail_disk_writes(full=True, times=rng.randint(1, 3),
+                          after=rng.randint(0, 2))
+    # Occasional server-side chunk loss on read (owning task fails).
+    plan.lose_chunks(times=1, probability=0.25)
+    return plan
+
+
+def build_events(settings: ChaosSettings) -> list[tuple]:
+    """The kill/restart half of the schedule (seed-deterministic).
+
+    Each event is ``("server", index, wipe_pool)`` or ``("tracker",)``,
+    applied (kill + immediate restart) one epoch apart while the
+    writers run.
+    """
+    if not settings.kill_servers:
+        return []
+    rng = random.Random(settings.seed * 65537 + 2)
+    events: list[tuple] = []
+    for _ in range(max(1, settings.rounds - 1)):
+        if rng.random() < 0.25:
+            events.append(("tracker",))
+        else:
+            index = rng.randrange(settings.num_nodes)
+            wipe = rng.random() < 0.3
+            events.append(("server", index, wipe))
+    return events
+
+
+def describe_schedule(settings: ChaosSettings) -> list[str]:
+    """The full schedule as stable strings (determinism checks)."""
+    lines = build_fault_plan(settings).describe()
+    lines.extend(repr(event) for event in build_events(settings))
+    return lines
+
+
+# -- writers -----------------------------------------------------------------
+
+
+def payload_for(seed: int, writer: int, round_no: int, nbytes: int) -> bytes:
+    """Deterministic pseudo-random payload, reproducible for compare."""
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        block = hashlib.sha256(
+            f"{seed}:{writer}:{round_no}:{counter}".encode()
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def _writer_rng(settings: ChaosSettings, writer_id: int) -> random.Random:
+    return random.Random(settings.seed * 65537 + 1000 + writer_id)
+
+
+def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
+                 spec: dict, results) -> None:
+    """Child-process body of one chaos writer."""
+    faults.arm(plan)  # client-side fault sites, this process's counters
+    rng = _writer_rng(settings, writer_id)
+    config = SpongeConfig(
+        chunk_size=settings.chunk_size,
+        tracker_poll_interval=0.2,
+        async_write_depth=settings.async_write_depth,
+        prefetch_depth=settings.prefetch_depth,
+    )
+    result = {"writer": writer_id, "rounds_ok": 0,
+              "expected": [], "violations": []}
+    executor = ThreadExecutor(max_workers=2, name=f"chaos-w{writer_id}")
+    try:
+        from repro.runtime.client import build_chain
+
+        chain = build_chain(
+            host=spec["host"],
+            tracker_address=spec["tracker"],
+            spill_dir=spec["spill_dir"],
+            local_pool_dir=spec["pool_dir"],
+            rack=spec["rack"],
+            config=config,
+            executor=executor,
+            dfs_dir=spec["dfs_dir"],
+            tracker_client_id=f"writer{writer_id}",
+        )
+        owner = TaskId(host=spec["host"],
+                       task=f"pid:{os.getpid()}:chaos-w{writer_id}")
+        for round_no in range(settings.rounds):
+            chunks = rng.randint(1, settings.max_file_chunks)
+            nbytes = chunks * settings.chunk_size - rng.randrange(512)
+            data = payload_for(settings.seed, writer_id, round_no, nbytes)
+            sponge_file = None
+            try:
+                sponge_file = SpongeFile(
+                    owner, chain, config=config,
+                    name=f"w{writer_id}-r{round_no}",
+                )
+                cursor = 0
+                while cursor < nbytes:
+                    step = min(nbytes - cursor,
+                               rng.randint(1, settings.chunk_size))
+                    sponge_file.write_all(data[cursor:cursor + step])
+                    cursor += step
+                sponge_file.close_sync()
+                back = sponge_file.read_all()
+                if bytes(back) != data:
+                    result["violations"].append(
+                        f"writer {writer_id} round {round_no}: read-back "
+                        f"mismatch ({len(back)} vs {nbytes} bytes)"
+                    )
+                else:
+                    result["rounds_ok"] += 1
+                sponge_file.delete_sync()
+            except EXPECTED_FAILURES as exc:
+                result["expected"].append(
+                    f"{type(exc).__name__}: w{writer_id} r{round_no}"
+                )
+                _best_effort_delete(sponge_file)
+            except SpongeError as exc:
+                result["violations"].append(
+                    f"writer {writer_id} round {round_no}: unexpected "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                _best_effort_delete(sponge_file)
+    except Exception as exc:  # noqa: BLE001 - setup failure
+        result["violations"].append(
+            f"writer {writer_id} died outside a round: "
+            f"{type(exc).__name__}: {exc}"
+        )
+    finally:
+        executor.close(wait=False)
+        results.put(result)
+
+
+def _best_effort_delete(sponge_file: Optional[SpongeFile]) -> None:
+    if sponge_file is None:
+        return
+    try:
+        sponge_file.delete_sync()
+    except Exception:  # noqa: BLE001 - GC reclaims whatever remains
+        pass
+
+
+def _crasher_main(settings: ChaosSettings, plan: FaultPlan,
+                  spec: dict) -> None:
+    """Writes a couple of chunks, then dies without cleanup (SIGKILL)."""
+    faults.disarm()  # die from violence, not from an injected fault
+    config = SpongeConfig(chunk_size=settings.chunk_size,
+                          tracker_poll_interval=0.2)
+    from repro.runtime.client import build_chain
+
+    chain = build_chain(
+        host=spec["host"],
+        tracker_address=spec["tracker"],
+        spill_dir=spec["spill_dir"],
+        local_pool_dir=spec["pool_dir"],
+        rack=spec["rack"],
+        config=config,
+        dfs_dir=spec["dfs_dir"],
+    )
+    owner = TaskId(host=spec["host"], task=f"pid:{os.getpid()}:chaos-crash")
+    sponge_file = SpongeFile(owner, chain, config=config, name="crasher")
+    try:
+        for round_no in range(2):
+            sponge_file.write_all(
+                payload_for(settings.seed, -1, round_no, settings.chunk_size)
+            )
+    except EXPECTED_FAILURES:
+        pass
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- the run -----------------------------------------------------------------
+
+
+def run_chaos(settings: ChaosSettings) -> ChaosReport:
+    report = ChaosReport(seed=settings.seed,
+                         schedule=describe_schedule(settings))
+    plan = build_fault_plan(settings)
+    events = build_events(settings)
+    cluster = LocalSpongeCluster(
+        num_nodes=settings.num_nodes,
+        pool_size=settings.chunk_size * settings.chunks_per_pool,
+        chunk_size=settings.chunk_size,
+        poll_interval=0.2,
+        gc_interval=0.5,
+        fault_plan=plan,
+    )
+    with cluster:
+        specs = []
+        for i in range(settings.writers + 1):
+            server = cluster.server_configs[i % settings.num_nodes]
+            specs.append({
+                "host": server.host,
+                "rack": server.rack,
+                "pool_dir": server.pool_dir,
+                "tracker": cluster.tracker_address,
+                "spill_dir": str(cluster.workdir / f"spill-{server.host}"),
+                "dfs_dir": str(cluster.workdir / "dfs"),
+            })
+
+        results: multiprocessing.Queue = multiprocessing.Queue()
+        writers = [
+            multiprocessing.Process(
+                target=_writer_main,
+                args=(i, settings, plan, specs[i], results),
+                daemon=True, name=f"chaos-writer-{i}",
+            )
+            for i in range(settings.writers)
+        ]
+        crasher = None
+        if settings.crash_writer:
+            crasher = multiprocessing.Process(
+                target=_crasher_main,
+                args=(settings, plan, specs[settings.writers]),
+                daemon=True, name="chaos-crasher",
+            )
+        for process in writers:
+            process.start()
+        if crasher is not None:
+            crasher.start()
+
+        # Apply the kill/restart schedule while the writers run.
+        for event in events:
+            time.sleep(settings.epoch_sleep)
+            try:
+                if event[0] == "tracker":
+                    cluster.restart_tracker()
+                    report.events.append("bounced tracker")
+                else:
+                    _, index, wipe = event
+                    cluster.restart_server(index, wipe_pool=wipe)
+                    report.events.append(
+                        f"bounced server {index}"
+                        + (" (pool wiped)" if wipe else "")
+                    )
+            except Exception as exc:  # noqa: BLE001
+                report.violations.append(
+                    f"restart failed for event {event!r}: {exc}"
+                )
+
+        deadline = time.monotonic() + settings.join_timeout
+        for process in writers:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        if crasher is not None:
+            crasher.join(timeout=max(0.1, deadline - time.monotonic()))
+
+        reported = set()
+        while True:
+            try:
+                result = results.get_nowait()
+            except queue_mod.Empty:
+                break
+            reported.add(result["writer"])
+            report.writer_results.append(result)
+            report.rounds_ok += result["rounds_ok"]
+            report.expected_failures.extend(result["expected"])
+            report.violations.extend(result["violations"])
+        for i, process in enumerate(writers):
+            if i not in reported:
+                report.violations.append(
+                    f"writer {i} never reported (exitcode "
+                    f"{process.exitcode})"
+                )
+            if process.is_alive():
+                process.kill()
+
+        _check_pools_reclaimed(cluster, settings, report)
+    return report
+
+
+def _check_pools_reclaimed(cluster: LocalSpongeCluster,
+                           settings: ChaosSettings,
+                           report: ChaosReport) -> None:
+    """Every writer is dead; GC must return every pool to fully free."""
+    pool_size = settings.chunk_size * settings.chunks_per_pool
+    # Events may have left a server mid-restart race; make sure every
+    # server answers before judging leaks (restart preserves pools).
+    for index in range(settings.num_nodes):
+        try:
+            cluster._await_ping(cluster.server_address(index), 5.0,
+                                f"server {index}")
+        except Exception:  # noqa: BLE001
+            cluster.restart_server(index)
+    deadline = time.monotonic() + 20.0
+    leaked: dict[int, int] = {}
+    while time.monotonic() < deadline:
+        leaked = {}
+        for index in range(settings.num_nodes):
+            try:
+                cluster.request_gc(index)
+                reply, _ = protocol.request(
+                    cluster.server_address(index), {"op": "free_bytes"},
+                    timeout=2.0,
+                )
+                free = int(reply.get("free_bytes", -1))
+            except Exception:  # noqa: BLE001 - mid-restart blip
+                free = -1
+            if free != pool_size:
+                leaked[index] = free
+        if not leaked:
+            return
+        time.sleep(0.25)
+    for index, free in leaked.items():
+        report.violations.append(
+            f"node{index} pool not reclaimed: {free}/{pool_size} "
+            f"bytes free after GC"
+        )
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="seeded chaos run over the spill fallback chain"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--writers", type=int, default=3)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--no-kills", action="store_true",
+                        help="skip server/tracker kill-restart events")
+    args = parser.parse_args(argv)
+    settings = ChaosSettings(
+        seed=args.seed, writers=args.writers, rounds=args.rounds,
+        num_nodes=args.nodes, kill_servers=not args.no_kills,
+    )
+    report = run_chaos(settings)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The process-global fault hook: arm a plan, call sites fire events.
+
+Kept deliberately tiny and dependency-free so every hook point in the
+runtime can do::
+
+    from repro.faults import hooks as faults
+    ...
+    if faults._armed is not None:
+        faults.fire("server.alloc", host=..., owner=..., nbytes=...)
+
+The ``is not None`` guard is the entire disarmed-path cost — one module
+attribute load per hook — so fault instrumentation adds nothing
+measurable to the hot data path when no plan is armed (the default).
+
+Arming is per-process: the sponge-server and tracker child processes
+arm the plan handed to them via their configs at startup; tests and the
+chaos harness arm client-side plans with :func:`injected`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+#: The armed plan, or None.  Read directly by hot-path guards.
+_armed: Optional[Any] = None
+
+
+def arm(plan: Any) -> Any:
+    """Arm ``plan`` process-wide (replacing any previous plan)."""
+    global _armed
+    _armed = plan
+    return plan
+
+
+def disarm() -> None:
+    global _armed
+    _armed = None
+
+
+def active() -> Optional[Any]:
+    return _armed
+
+
+def fire(site: str, **ctx) -> Optional[Any]:
+    """Evaluate one event against the armed plan (no-op when disarmed).
+
+    Returns the plan's directive :class:`~repro.faults.plan.FaultAction`
+    (or ``None``); raise-kind rules raise from here.
+    """
+    plan = _armed
+    if plan is None:
+        return None
+    return plan.fire(site, **ctx)
+
+
+@contextmanager
+def injected(plan: Any) -> Iterator[Any]:
+    """Arm ``plan`` for the duration of a ``with`` block."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()

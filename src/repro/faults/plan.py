@@ -1,0 +1,308 @@
+"""Deterministic, composable fault injection for the spill fallback chain.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultRule`\\ s.  Hook
+points threaded through the runtime and the backends call
+:func:`repro.faults.hooks.fire` with a *site* name and a context dict;
+an armed plan matches the event against its rules and either raises an
+exception (modelling a refused allocation, a failed disk write, ...),
+sleeps (a stalled link), or returns a directive the call site
+interprets (tear this connection mid-payload, report zero free space,
+serve an empty free list, ...).
+
+Hook sites
+==========
+
+===================  =====================================  =================
+site                 fired from                             context keys
+===================  =====================================  =================
+``local.alloc``      ``LocalMmapStore._write``              host, owner, nbytes
+``server.alloc``     sponge server ``alloc_write``          host, owner, nbytes
+``server.read``      sponge server ``read``                 host, index
+``server.free_bytes``  sponge server ``free_bytes``         host
+``tracker.poll``     tracker snapshot refresh               (none)
+``tracker.free_list``  tracker ``free_list`` reply          client
+``conn.connect``     ``ConnectionPool._connect``            host, port
+``conn.send``        ``protocol.send_message``              op, payload_len
+``conn.await_reply``  pool exchange, between send and recv  op
+``disk.write``       ``FileDiskStore`` write/append         store_id, owner, nbytes
+===================  =====================================  =================
+
+Determinism
+===========
+
+Every probabilistic decision is a pure function of ``(plan seed, rule
+index, how many matching events the rule has seen)`` — never of wall
+clock or a shared RNG.  Under concurrency the thread interleaving may
+change *which* writer absorbs the k-th fault, but the schedule — the
+k-th matching event faults or not — is fixed by the seed.  Plans are
+picklable, so the same plan can be shipped to the sponge-server and
+tracker child processes (each process keeps its own counters).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Optional
+
+from repro.errors import OutOfSpongeMemory, ServerUnavailableError
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What happens when a rule triggers.
+
+    ``kind`` is one of:
+
+    * ``"raise"`` — :meth:`FaultPlan.fire` raises ``exception(message)``;
+    * ``"stall"`` — :meth:`FaultPlan.fire` sleeps ``delay`` seconds and
+      the operation then proceeds normally;
+    * a directive token (``"reset"``, ``"zero"``, ``"empty"``,
+      ``"freeze"``) returned to the call site, which implements it.
+    """
+
+    kind: str
+    exception: Optional[type] = None
+    message: str = ""
+    delay: float = 0.0
+    #: For ``"reset"``: ``"before"`` tears the connection at the message
+    #: boundary, ``"mid-payload"`` after the header and half the payload.
+    when: str = "before"
+
+    def throw(self) -> None:
+        assert self.kind == "raise" and self.exception is not None
+        raise self.exception(self.message or "injected fault")
+
+
+class Contains:
+    """Picklable substring predicate for rule matching."""
+
+    def __init__(self, needle: str) -> None:
+        self.needle = needle
+
+    def __call__(self, value: Any) -> bool:
+        return isinstance(value, str) and self.needle in value
+
+    def __repr__(self) -> str:
+        return f"Contains({self.needle!r})"
+
+
+class FaultRule:
+    """One site-pattern -> action mapping with trigger bookkeeping.
+
+    ``match`` filters on context keys: plain values compare equal,
+    sets/frozensets test membership, callables (e.g. :class:`Contains`)
+    are predicates.  A missing context key never matches.  ``after``
+    skips the first N matching events; ``times`` caps how often the
+    rule fires; ``probability`` gates each firing deterministically off
+    the plan seed.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        action: FaultAction,
+        match: Optional[dict] = None,
+        times: Optional[int] = None,
+        after: int = 0,
+        probability: float = 1.0,
+        name: str = "",
+    ) -> None:
+        self.site = site
+        self.action = action
+        self.match = dict(match or {})
+        self.times = times
+        self.after = after
+        self.probability = probability
+        self.name = name or f"{site}:{action.kind}"
+        self.seen = 0
+        self.fired = 0
+        self._lock = threading.Lock()
+
+    def _matches(self, site: str, ctx: dict) -> bool:
+        if not fnmatchcase(site, self.site):
+            return False
+        for key, want in self.match.items():
+            if key not in ctx:
+                return False
+            have = ctx[key]
+            if isinstance(want, (set, frozenset)):
+                if have not in want:
+                    return False
+            elif callable(want):
+                if not want(have):
+                    return False
+            elif have != want:
+                return False
+        return True
+
+    def consider(self, seed: int, index: int, site: str,
+                 ctx: dict) -> Optional[FaultAction]:
+        """The action to perform for this event, or ``None``."""
+        if not self._matches(site, ctx):
+            return None
+        with self._lock:
+            event = self.seen
+            self.seen += 1
+            if event < self.after:
+                return None
+            if self.times is not None and self.fired >= self.times:
+                return None
+            if self.probability < 1.0:
+                draw = random.Random(
+                    seed * 1_000_003 + index * 7919 + event
+                ).random()
+                if draw >= self.probability:
+                    return None
+            self.fired += 1
+        return self.action
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultRule({self.name!r}, site={self.site!r}, "
+            f"action={self.action.kind!r}, match={self.match!r}, "
+            f"times={self.times}, after={self.after}, "
+            f"p={self.probability})"
+        )
+
+
+@dataclass
+class FiredFault:
+    """One log entry: a rule that triggered on an event."""
+
+    site: str
+    rule: str
+    ctx: dict = field(default_factory=dict)
+
+
+class FaultPlan:
+    """A seeded, composable schedule of injected faults."""
+
+    MAX_LOG = 10_000
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rules: list[FaultRule] = []
+        self.log: list[FiredFault] = []
+        self._lock = threading.Lock()
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def rule(self, site: str, action: FaultAction, **kwargs) -> "FaultPlan":
+        return self.add(FaultRule(site, action, **kwargs))
+
+    # Convenience constructors, one per fault class.
+
+    def deny_alloc(self, site: str = "server.alloc", **kwargs) -> "FaultPlan":
+        """Refuse pool allocations (stale-tracker-entry behaviour)."""
+        return self.rule(site, FaultAction(
+            "raise", OutOfSpongeMemory, "injected allocation refusal",
+        ), **kwargs)
+
+    def exhaust_server(self, host: str, **kwargs) -> "FaultPlan":
+        """A server with no memory: advertises zero and refuses allocs."""
+        self.rule("server.free_bytes", FaultAction("zero"),
+                  match={"host": host}, **kwargs)
+        return self.deny_alloc(match={"host": host}, **kwargs)
+
+    def reset_connections(self, when: str = "before",
+                          **kwargs) -> "FaultPlan":
+        """Tear connections down at ``conn.send`` (boundary/mid-payload)."""
+        return self.rule("conn.send", FaultAction("reset", when=when),
+                         **kwargs)
+
+    def reset_awaiting_reply(self, **kwargs) -> "FaultPlan":
+        """Kill the connection after the request went out (torn reply)."""
+        return self.rule("conn.await_reply", FaultAction("reset"), **kwargs)
+
+    def refuse_connect(self, **kwargs) -> "FaultPlan":
+        return self.rule("conn.connect", FaultAction(
+            "raise", ServerUnavailableError, "injected connect refusal",
+        ), **kwargs)
+
+    def stall(self, site: str, delay: float, **kwargs) -> "FaultPlan":
+        return self.rule(site, FaultAction("stall", delay=delay), **kwargs)
+
+    def tracker_serves_empty(self, **kwargs) -> "FaultPlan":
+        return self.rule("tracker.free_list", FaultAction("empty"), **kwargs)
+
+    def tracker_freezes(self, **kwargs) -> "FaultPlan":
+        """Polls stop refreshing the snapshot (arbitrarily stale lists)."""
+        return self.rule("tracker.poll", FaultAction("freeze"), **kwargs)
+
+    def fail_disk_writes(self, full: bool = True, **kwargs) -> "FaultPlan":
+        """``full=True`` models disk-full (falls through to DFS);
+        ``full=False`` a hard IO error (fails the owning task)."""
+        if full:
+            action = FaultAction("raise", OutOfSpongeMemory,
+                                 "injected disk full")
+        else:
+            action = FaultAction("raise", OSError, "injected disk IO error")
+        return self.rule("disk.write", action, **kwargs)
+
+    def lose_chunks(self, **kwargs) -> "FaultPlan":
+        """Server-side reads fail as if the chunk's host was lost."""
+        from repro.errors import SpongeError
+
+        return self.rule("server.read", FaultAction(
+            "raise", SpongeError, "injected chunk loss",
+        ), **kwargs)
+
+    # -- firing --------------------------------------------------------------
+
+    def fire(self, site: str, **ctx) -> Optional[FaultAction]:
+        """Evaluate one event.  Raise-kind rules raise; stalls sleep and
+        the event continues; the first directive action is returned."""
+        directive: Optional[FaultAction] = None
+        for index, rule in enumerate(self.rules):
+            action = rule.consider(self.seed, index, site, ctx)
+            if action is None:
+                continue
+            self._record(site, rule, ctx)
+            if action.kind == "stall":
+                time.sleep(action.delay)
+            elif action.kind == "raise":
+                action.throw()
+            elif directive is None:
+                directive = action
+        return directive
+
+    def _record(self, site: str, rule: FaultRule, ctx: dict) -> None:
+        with self._lock:
+            if len(self.log) < self.MAX_LOG:
+                self.log.append(FiredFault(site, rule.name, dict(ctx)))
+
+    # -- introspection -------------------------------------------------------
+
+    def fired(self, site: Optional[str] = None) -> list[FiredFault]:
+        with self._lock:
+            return [f for f in self.log if site is None or f.site == site]
+
+    def describe(self) -> list[str]:
+        """A stable, human-readable schedule (for determinism checks)."""
+        return [repr(rule) for rule in self.rules]
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

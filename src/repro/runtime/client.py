@@ -17,14 +17,27 @@
 
 from __future__ import annotations
 
+import logging
 import time
 from pathlib import Path
 from typing import Optional
 
-from repro.errors import ChunkLostError, SpongeError
-from repro.backends.file_backends import FileDiskStore
+from repro.errors import (
+    ChunkLostError,
+    RuntimeBackendError,
+    SpongeError,
+    StoreUnavailableError,
+)
+from repro.backends.file_backends import FileDfsStore, FileDiskStore
+from repro.faults import hooks as faults
 from repro.runtime import protocol
-from repro.runtime.connection_pool import ConnectionPool, default_pool
+from repro.runtime.connection_pool import (
+    NOT_PROCESSED_ERRORS,
+    ConnectionPool,
+    default_pool,
+)
+
+log = logging.getLogger(__name__)
 from repro.runtime.shm_pool import MmapSpongePool
 from repro.sponge.allocator import AllocationChain
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
@@ -40,15 +53,20 @@ class LocalMmapStore(SyncChunkStore):
 
     location = ChunkLocation.LOCAL_MEMORY
 
-    def __init__(self, pool: MmapSpongePool, store_id: str = "local-mmap"):
+    def __init__(self, pool: MmapSpongePool, store_id: str = "local-mmap",
+                 host: str = ""):
         self.pool = pool
         self.store_id = store_id
+        self.host = host
 
     def free_bytes(self) -> int:
         return self.pool.free_bytes
 
     def _write(self, owner: TaskId, data) -> ChunkHandle:
         nbytes = len(data)
+        if faults._armed is not None:
+            faults.fire("local.alloc", host=self.host, owner=str(owner),
+                        nbytes=nbytes)
         index = self.pool.allocate(owner)  # raises OutOfSpongeMemory
         self.pool.write(index, owner, data)  # one memcpy into shared memory
         return ChunkHandle(self.location, self.store_id, (owner, index), nbytes)
@@ -66,7 +84,23 @@ class LocalMmapStore(SyncChunkStore):
 
 
 class RemoteServerStore(SyncChunkStore):
-    """A remote sponge server over pooled persistent connections."""
+    """A remote sponge server over pooled persistent connections.
+
+    Failure mapping (the paper's degradation semantics, §3.1.1/§4.3):
+
+    * *allocation* against an unreachable or freshly-dead server raises
+      :class:`StoreUnavailableError` — but only for failures where the
+      request provably never ran (connect refused, send failed, clean
+      close before the reply).  The allocation chain drops the server
+      and falls through, exactly like a stale tracker entry.  A torn
+      reply stays a hard error: the chunk may exist server-side.
+    * a *read* that cannot reach the server raises
+      :class:`ChunkLostError` — the chunk's host is gone, so the owning
+      task fails and is re-run by the framework.
+    * a *free* against a dead server (or of an already-reclaimed chunk)
+      succeeds silently: the goal of free — the chunk no longer being
+      held — is already met, and GC covers any stragglers.
+    """
 
     location = ChunkLocation.REMOTE_MEMORY
 
@@ -86,12 +120,18 @@ class RemoteServerStore(SyncChunkStore):
         return int(reply["free_bytes"])
 
     def _write(self, owner: TaskId, data) -> ChunkHandle:
-        reply, _ = self.connections.request(
-            self.address,
-            {"op": "alloc_write", **protocol.encode_owner(owner.host, owner.task)},
-            payload=data,
-            timeout=self.timeout,
-        )
+        try:
+            reply, _ = self.connections.request(
+                self.address,
+                {"op": "alloc_write",
+                 **protocol.encode_owner(owner.host, owner.task)},
+                payload=data,
+                timeout=self.timeout,
+            )
+        except NOT_PROCESSED_ERRORS as exc:
+            raise StoreUnavailableError(
+                f"{self.store_id} unreachable: {exc}"
+            ) from exc
         protocol.check_reply(reply)
         return ChunkHandle(
             self.location, self.store_id, (owner, int(reply["index"])), len(data)
@@ -99,24 +139,33 @@ class RemoteServerStore(SyncChunkStore):
 
     def _read(self, handle: ChunkHandle):
         owner, index = handle.ref
-        reply, payload = self.connections.request(
-            self.address,
-            {"op": "read", "index": index,
-             **protocol.encode_owner(owner.host, owner.task)},
-            timeout=self.timeout,
-        )
+        try:
+            reply, payload = self.connections.request(
+                self.address,
+                {"op": "read", "index": index,
+                 **protocol.encode_owner(owner.host, owner.task)},
+                timeout=self.timeout,
+            )
+        except (OSError, RuntimeBackendError) as exc:
+            raise ChunkLostError(
+                f"chunk {index} on {self.store_id} unreachable: {exc}"
+            ) from exc
         protocol.check_reply(reply)
         return payload
 
     def _free(self, handle: ChunkHandle) -> None:
         owner, index = handle.ref
-        reply, _ = self.connections.request(
-            self.address,
-            {"op": "free", "index": index,
-             **protocol.encode_owner(owner.host, owner.task)},
-            timeout=self.timeout,
-        )
-        protocol.check_reply(reply)
+        try:
+            reply, _ = self.connections.request(
+                self.address,
+                {"op": "free", "index": index,
+                 **protocol.encode_owner(owner.host, owner.task)},
+                timeout=self.timeout,
+            )
+            protocol.check_reply(reply)
+        except (OSError, RuntimeBackendError, ChunkLostError) as exc:
+            log.debug("free of chunk %s on %s skipped: %s",
+                      index, self.store_id, exc)
 
 
 class TrackerClient:
@@ -131,14 +180,18 @@ class TrackerClient:
 
     def __init__(self, address: Address, timeout: float = 5.0,
                  pool: Optional[ConnectionPool] = None,
-                 cache_ttl: float = 1.0) -> None:
+                 cache_ttl: float = 1.0,
+                 client_id: str = "") -> None:
         self.address = tuple(address)
         self.timeout = timeout
         self.cache_ttl = cache_ttl
+        self.client_id = client_id
         self.connections = pool if pool is not None else default_pool()
         self.addresses: dict[str, Address] = {}
         self._cached: Optional[list[dict]] = None
         self._cached_at = 0.0
+        #: Fetches that failed and fell back to the (stale) cache.
+        self.stale_fallbacks = 0
 
     def _fetch(self) -> list[dict]:
         now = time.monotonic()
@@ -147,10 +200,25 @@ class TrackerClient:
             and now - self._cached_at <= self.cache_ttl
         ):
             return self._cached
-        reply, _ = self.connections.request(
-            self.address, {"op": "free_list"}, timeout=self.timeout
-        )
-        protocol.check_reply(reply)
+        try:
+            reply, _ = self.connections.request(
+                self.address, {"op": "free_list", "client": self.client_id},
+                timeout=self.timeout,
+            )
+            protocol.check_reply(reply)
+        except (OSError, RuntimeBackendError) as exc:
+            # The tracker is down or restarting.  Losing it loses
+            # nothing (§3.1.3): keep spilling off the last-known free
+            # list (just one more notch of the staleness the design
+            # already tolerates), or local/disk-only if we never had
+            # one.  Re-ask only after a TTL (negative cache), so a dead
+            # tracker doesn't add a connect timeout per allocation.
+            log.debug("tracker %s unreachable, using stale free list: %s",
+                      self.address, exc)
+            self.stale_fallbacks += 1
+            self._cached = self._cached or []
+            self._cached_at = time.monotonic()
+            return self._cached
         servers = reply["servers"]
         for entry in servers:
             self.addresses[entry["server_id"]] = tuple(entry["address"])
@@ -192,26 +260,33 @@ def build_chain(
     config: SpongeConfig = SpongeConfig(),
     executor=None,
     connection_pool: Optional[ConnectionPool] = None,
+    dfs_dir: Optional[str | Path] = None,
+    tracker_client_id: str = "",
 ) -> AllocationChain:
     """An allocation chain over the real runtime for a task on ``host``.
 
     ``executor`` (e.g. a :class:`~repro.runtime.executor.ThreadExecutor`)
     becomes the chain's default executor: SpongeFiles built on the chain
     overlap their async writes and prefetches with computation.
+    ``dfs_dir``, if given, adds a last-resort DFS tier (a directory
+    standing in for the distributed filesystem).
     """
     local = None
     if local_pool_dir is not None:
-        local = LocalMmapStore(MmapSpongePool(local_pool_dir))
+        local = LocalMmapStore(MmapSpongePool(local_pool_dir), host=host)
     connections = connection_pool if connection_pool is not None else default_pool()
     tracker = TrackerClient(
         tracker_address, pool=connections,
         cache_ttl=config.tracker_poll_interval,
+        client_id=tracker_client_id,
     )
 
     def remote_factory(info: ServerInfo) -> RemoteServerStore:
         address = tracker.addresses.get(info.server_id)
         if address is None:
-            raise SpongeError(f"no address known for {info.server_id}")
+            raise StoreUnavailableError(
+                f"no address known for {info.server_id}"
+            )
         return RemoteServerStore(info.server_id, address, pool=connections)
 
     return AllocationChain(
@@ -219,6 +294,7 @@ def build_chain(
         tracker=tracker,
         remote_store_factory=remote_factory,
         disk_store=FileDiskStore(spill_dir),
+        dfs_store=FileDfsStore(dfs_dir) if dfs_dir is not None else None,
         host=host,
         rack=rack,
         config=config,

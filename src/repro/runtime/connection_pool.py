@@ -33,7 +33,12 @@ import threading
 from collections import deque
 from typing import Optional
 
-from repro.errors import ConnectionClosedError, ProtocolError
+from repro.errors import (
+    ConnectionClosedError,
+    ProtocolError,
+    ServerUnavailableError,
+)
+from repro.faults import hooks as faults
 from repro.runtime import protocol
 
 Address = tuple[str, int]
@@ -88,7 +93,13 @@ class ConnectionPool:
             # Send never completed — the peer cannot have processed the
             # request.  A reply-side OSError (e.g. a receive timeout)
             # must NOT be retried: the request may well have run.
-            raise _SendFailed(exc) from exc
+            raise SendFailedError(exc) from exc
+        if faults._armed is not None:
+            action = faults.fire("conn.await_reply", op=header.get("op"))
+            if action is not None and action.kind == "reset":
+                # The request is out; tearing the connection here models
+                # a peer lost mid-reply — deliberately NOT retry-safe.
+                _close_quietly(sock)
         return protocol.recv_message(sock)
 
     # -- socket lifecycle ------------------------------------------------------
@@ -117,7 +128,17 @@ class ConnectionPool:
         _close_quietly(sock)
 
     def _connect(self, address: Address, timeout: float) -> socket.socket:
-        sock = socket.create_connection(address, timeout=timeout)
+        if faults._armed is not None:
+            faults.fire("conn.connect", host=address[0], port=address[1])
+        try:
+            sock = socket.create_connection(address, timeout=timeout)
+        except OSError as exc:
+            # Connect failures mean the request never ran anywhere, so
+            # callers (the allocation chain) may safely fall through to
+            # another server.  The class is still an OSError.
+            raise ServerUnavailableError(
+                f"cannot connect to {address}: {exc}"
+            ) from exc
         protocol.configure_socket(sock)
         _set_io_timeout(sock, timeout)
         return sock
@@ -154,11 +175,26 @@ class ConnectionPool:
         self.close()
 
 
-class _SendFailed(OSError):
-    """Wrapper marking an OSError as raised during the send phase."""
+class SendFailedError(OSError):
+    """An OSError raised during the send phase of an exchange.
+
+    The request never fully left this process, so the peer cannot have
+    acted on it — safe to retry or to fall through to another server.
+    """
 
     def __init__(self, cause: OSError) -> None:
         super().__init__(*cause.args)
+
+
+#: True when an exchange failure means the request was never processed
+#: by the peer: a clean close at the message boundary, a failed send,
+#: or a failed connect.  Torn replies and receive timeouts are *not*
+#: in this set — the request may well have run.
+NOT_PROCESSED_ERRORS = (
+    ConnectionClosedError,
+    SendFailedError,
+    ServerUnavailableError,
+)
 
 
 def _retry_safe(exc: Exception) -> bool:
@@ -167,7 +203,7 @@ def _retry_safe(exc: Exception) -> bool:
         return True  # peer closed at the message boundary, before replying
     if isinstance(exc, ProtocolError):
         return False  # torn or malformed mid-reply: it may have run
-    return isinstance(exc, _SendFailed)  # reply-side OSErrors never retry
+    return isinstance(exc, SendFailedError)  # reply-side OSErrors never retry
 
 
 def _set_io_timeout(sock: socket.socket, timeout: float) -> None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
 import socket
 import tempfile
 import time
@@ -54,6 +55,8 @@ class LocalSpongeCluster:
         gc_interval: float = 0.5,
         quota_per_node: Optional[int] = None,
         workdir: Optional[str] = None,
+        fault_plan=None,
+        peer_dead_after: int = 3,
     ) -> None:
         self.num_nodes = num_nodes
         self.pool_size = pool_size
@@ -61,9 +64,15 @@ class LocalSpongeCluster:
         self.poll_interval = poll_interval
         self.gc_interval = gc_interval
         self.quota_per_node = quota_per_node
+        #: Optional picklable FaultPlan, re-armed inside every server and
+        #: tracker child (fire counters are per-process).
+        self.fault_plan = fault_plan
+        self.peer_dead_after = peer_dead_after
         self._workdir_arg = workdir
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
-        self._processes: list[multiprocessing.Process] = []
+        self._server_processes: list[Optional[multiprocessing.Process]] = []
+        self._tracker_process: Optional[multiprocessing.Process] = None
+        self._tracker_config: Optional[TrackerConfig] = None
         self.server_configs: list[ServerConfig] = []
         self.tracker_address: tuple[str, int] = ("127.0.0.1", 0)
 
@@ -101,18 +110,15 @@ class LocalSpongeCluster:
                 gc_interval=self.gc_interval,
                 quota_per_node=self.quota_per_node,
                 peers={h: a for h, a in peers.items() if h != f"node{i}"},
+                peer_dead_after=self.peer_dead_after,
+                fault_plan=self.fault_plan,
             )
             self.server_configs.append(config)
-            process = multiprocessing.Process(
-                target=serve_sponge, args=(config,), daemon=True,
-                name=config.server_id,
-            )
-            process.start()
-            self._processes.append(process)
+            self._server_processes.append(self._spawn_server(config))
 
         tracker_port = _free_port()
         self.tracker_address = ("127.0.0.1", tracker_port)
-        tracker_config = TrackerConfig(
+        self._tracker_config = TrackerConfig(
             port=tracker_port,
             poll_interval=self.poll_interval,
             servers={
@@ -123,24 +129,96 @@ class LocalSpongeCluster:
                 }
                 for config in self.server_configs
             },
+            fault_plan=self.fault_plan,
         )
-        tracker = multiprocessing.Process(
-            target=serve_tracker, args=(tracker_config,), daemon=True,
-            name="memory-tracker",
-        )
-        tracker.start()
-        self._processes.append(tracker)
+        self._tracker_process = self._spawn_tracker()
         self._await_ready()
 
+    def _spawn_server(self, config: ServerConfig) -> multiprocessing.Process:
+        process = multiprocessing.Process(
+            target=serve_sponge, args=(config,), daemon=True,
+            name=config.server_id,
+        )
+        process.start()
+        return process
+
+    def _spawn_tracker(self) -> multiprocessing.Process:
+        process = multiprocessing.Process(
+            target=serve_tracker, args=(self._tracker_config,), daemon=True,
+            name="memory-tracker",
+        )
+        process.start()
+        return process
+
     def stop(self) -> None:
-        for process in self._processes:
+        processes = [p for p in self._server_processes if p is not None]
+        if self._tracker_process is not None:
+            processes.append(self._tracker_process)
+        for process in processes:
             process.terminate()
-        for process in self._processes:
+        for process in processes:
             process.join(timeout=5)
-        self._processes = []
+        self._server_processes = []
+        self._tracker_process = None
+        self.server_configs = []
         if self._tmp is not None:
             self._tmp.cleanup()
             self._tmp = None
+
+    # -- chaos: kill / restart ------------------------------------------------
+
+    def kill_server(self, node_index: int) -> None:
+        """SIGKILL ``node<index>``'s sponge server (its pool survives)."""
+        process = self._server_processes[node_index]
+        if process is None:
+            return
+        process.kill()
+        process.join(timeout=5)
+        self._server_processes[node_index] = None
+
+    def restart_server(self, node_index: int, wipe_pool: bool = False,
+                       timeout: float = 10.0) -> None:
+        """Bring ``node<index>``'s server back on its old port.
+
+        By default the restarted server re-attaches the surviving mmap
+        pool, so chunks written before the crash stay readable.
+        ``wipe_pool=True`` models losing the machine's memory outright:
+        every chunk it held is gone (readers get ``ChunkLostError``).
+        """
+        self.kill_server(node_index)
+        config = self.server_configs[node_index]
+        if wipe_pool:
+            shutil.rmtree(config.pool_dir, ignore_errors=True)
+        self._server_processes[node_index] = self._spawn_server(config)
+        self._await_ping(("127.0.0.1", config.port), timeout,
+                         config.server_id)
+
+    def kill_tracker(self) -> None:
+        if self._tracker_process is None:
+            return
+        self._tracker_process.kill()
+        self._tracker_process.join(timeout=5)
+        self._tracker_process = None
+
+    def restart_tracker(self, timeout: float = 10.0) -> None:
+        """Restart the (stateless) tracker on its old port."""
+        self.kill_tracker()
+        self._tracker_process = self._spawn_tracker()
+        self._await_ping(self.tracker_address, timeout, "tracker")
+
+    def _await_ping(self, address: tuple[str, int], timeout: float,
+                    name: str) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                reply, _ = protocol.request(address, {"op": "ping"},
+                                            timeout=0.5)
+                if reply.get("ok"):
+                    return
+            except Exception:  # noqa: BLE001 - still starting
+                pass
+            time.sleep(0.05)
+        raise ServerUnavailableError(f"{name} never came back at {address}")
 
     def _await_ready(self, timeout: float = 10.0) -> None:
         deadline = time.monotonic() + timeout
@@ -179,12 +257,17 @@ class LocalSpongeCluster:
     def chain(self, node_index: int = 0,
               config: Optional[SpongeConfig] = None,
               attach_local_pool: bool = True,
-              executor=None):
+              executor=None,
+              with_dfs: bool = False,
+              tracker_client_id: str = ""):
         """An allocation chain for a task running on ``node<index>``.
 
         Pass ``executor=ThreadExecutor()`` (or any spawn/wait executor)
         to make SpongeFiles on the chain pipeline their writes and
-        prefetches instead of completing them inline.
+        prefetches instead of completing them inline.  ``with_dfs``
+        adds the shared last-resort DFS tier (one directory for the
+        whole cluster); ``tracker_client_id`` tags this chain's
+        free-list requests so fault rules can target specific clients.
         """
         server = self.server_configs[node_index]
         return build_chain(
@@ -195,6 +278,8 @@ class LocalSpongeCluster:
             rack=server.rack,
             config=config or SpongeConfig(chunk_size=self.chunk_size),
             executor=executor,
+            dfs_dir=(self.workdir / "dfs") if with_dfs else None,
+            tracker_client_id=tracker_client_id,
         )
 
     def task_id(self, node_index: int = 0, label: str = "task",

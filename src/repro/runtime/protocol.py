@@ -33,6 +33,7 @@ import struct
 from typing import Any, Optional, Sequence, Union
 
 from repro.errors import ConnectionClosedError, ProtocolError
+from repro.faults import hooks as faults
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -45,10 +46,29 @@ def send_message(sock: socket.socket, header: dict, payload: Buffer = b"") -> No
     header["payload_len"] = len(payload)
     raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
     prefix = _LENGTH.pack(len(raw)) + raw
+    if faults._armed is not None:
+        action = faults.fire(
+            "conn.send", op=header.get("op"), payload_len=len(payload)
+        )
+        if action is not None and action.kind == "reset":
+            _injected_reset(sock, prefix, payload, action)
     if len(payload) == 0:
         sock.sendall(prefix)
     else:
         _sendall_vectored(sock, (prefix, payload))
+
+
+def _injected_reset(sock: socket.socket, prefix: bytes, payload: Buffer,
+                    action) -> None:
+    """Tear the connection down, optionally after a partial payload."""
+    try:
+        if action.when == "mid-payload" and len(payload):
+            half = memoryview(payload)[: max(1, len(payload) // 2)]
+            _sendall_vectored(sock, (prefix, half))
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    raise ConnectionResetError("injected connection reset")
 
 
 def _sendall_vectored(sock: socket.socket, buffers: Sequence[Buffer]) -> None:

@@ -18,6 +18,7 @@ import os
 import socketserver
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
 from repro.errors import (
@@ -27,6 +28,7 @@ from repro.errors import (
     QuotaExceededError,
     SpongeError,
 )
+from repro.faults import hooks as faults
 from repro.runtime import protocol
 from repro.runtime.connection_pool import ConnectionPool
 from repro.runtime.shm_pool import MmapSpongePool
@@ -72,6 +74,14 @@ class ServerConfig:
     quota_per_node: Optional[int] = None
     #: logical host -> (address, port) of the peer sponge servers.
     peers: dict = field(default_factory=dict)
+    #: Consecutive failed GC rounds before an unreachable peer's host is
+    #: declared dead (and its tasks' chunks become reclaimable).  A
+    #: single failed probe is treated as transient — a slow or
+    #: restarting peer must not get live chunks collected.
+    peer_dead_after: int = 3
+    #: Optional :class:`~repro.faults.plan.FaultPlan`, armed by
+    #: :func:`serve` in the server's process (chaos testing).
+    fault_plan: Optional[object] = None
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -138,20 +148,32 @@ def _map_error(exc: Exception) -> dict:
     return protocol.error_reply(repr(exc))
 
 
+class _TCPServer(socketserver.ThreadingTCPServer):
+    # A restarted server must be able to rebind its old port while the
+    # previous incarnation's sockets linger in TIME_WAIT.
+    allow_reuse_address = True
+
+
 class SpongeServerProcess:
     """The server logic; ``serve_forever`` runs it (in a child process)."""
 
     def __init__(self, config: ServerConfig) -> None:
         self.config = config
+        # Attach to an existing pool when one survives in ``pool_dir``
+        # (server restart after a crash): the chunks in shared memory
+        # outlive the process, so readers can still find their data.
+        existing = (Path(config.pool_dir) / "meta.dat").exists()
         self.pool = MmapSpongePool(
-            config.pool_dir, create=True,
+            config.pool_dir, create=not existing,
             pool_size=config.pool_size, chunk_size=config.chunk_size,
         )
         self._usage: dict[str, int] = {}
         self._usage_lock = threading.Lock()
         # Persistent connections to peer servers for liveness probes.
         self._peer_pool = ConnectionPool(timeout=2.0)
-        self._tcp = socketserver.ThreadingTCPServer(
+        #: host -> consecutive GC rounds its peer server was unreachable.
+        self._peer_failures: dict[str, int] = {}
+        self._tcp = _TCPServer(
             ("127.0.0.1", config.port), _Handler, bind_and_activate=True
         )
         self._tcp.daemon_threads = True
@@ -174,6 +196,10 @@ class SpongeServerProcess:
             raise SpongeError(f"payload of {nbytes} bytes exceeds chunk size")
         owner = TaskId(host=header.get("owner_host", ""),
                        task=header.get("owner_task", ""))
+        if faults._armed is not None:
+            faults.fire("server.alloc", server_id=self.config.server_id,
+                        host=self.config.host, owner=str(owner),
+                        nbytes=nbytes)
         self._charge_quota(owner, nbytes)
         try:
             index = self.pool.allocate(owner)
@@ -201,9 +227,19 @@ class SpongeServerProcess:
         if op == "ping":
             return {"ok": True, "server_id": self.config.server_id}, b""
         if op == "free_bytes":
+            free = self.pool.free_bytes
+            if faults._armed is not None:
+                action = faults.fire(
+                    "server.free_bytes", server_id=self.config.server_id,
+                    host=self.config.host, free_bytes=free,
+                )
+                if action is not None and action.kind == "zero":
+                    # Advertise exhaustion: the tracker (and through it
+                    # every client free list) sees this server as full.
+                    free = 0
             return {
                 "ok": True,
-                "free_bytes": self.pool.free_bytes,
+                "free_bytes": free,
                 "host": self.config.host,
                 "rack": self.config.rack,
                 "server_id": self.config.server_id,
@@ -221,6 +257,10 @@ class SpongeServerProcess:
                 return {"ok": True, "index": index}, b""
             # Fallback (direct dispatch calls, e.g. in tests): stage the
             # payload through the classic copy path.
+            if faults._armed is not None:
+                faults.fire("server.alloc", server_id=self.config.server_id,
+                            host=self.config.host, owner=str(owner),
+                            nbytes=len(payload))
             self._charge_quota(owner, len(payload))
             try:
                 index = self.pool.allocate(owner)
@@ -230,6 +270,10 @@ class SpongeServerProcess:
             self.pool.write(index, owner, payload)
             return {"ok": True, "index": index}, b""
         if op == "read":
+            if faults._armed is not None:
+                faults.fire("server.read", server_id=self.config.server_id,
+                            host=self.config.host, owner=str(owner),
+                            index=int(header["index"]))
             # Zero-copy: the reply payload is a view straight into the
             # mmap'd segment; the scatter-gather send consumes it before
             # the chunk can be freed by its (single-reader) owner.
@@ -274,11 +318,21 @@ class SpongeServerProcess:
     # -- garbage collection -------------------------------------------------
 
     def run_gc(self) -> int:
+        # Peer-probe failures are counted once per host per GC round;
+        # only ``peer_dead_after`` *consecutive* failed rounds make a
+        # host's tasks collectable.  A single failed probe is just as
+        # likely a slow or restarting peer as a dead machine, and
+        # reclaiming a live task's chunks turns a transient network
+        # blip into data loss.
+        probed_down: set[str] = set()
+
         def is_alive(owner: TaskId) -> bool:
             if owner.host == self.config.host:
                 return local_process_alive(owner)
             peer = self.config.peers.get(owner.host)
             if peer is None:
+                # No server is registered for the host: the machine left
+                # the cluster, which *is* the confirmed-dead case.
                 return False
             try:
                 reply, _ = self._peer_pool.request(
@@ -286,9 +340,22 @@ class SpongeServerProcess:
                     {"op": "is_alive", **protocol.encode_owner(
                         owner.host, owner.task)},
                 )
-                return bool(reply.get("alive", False))
-            except Exception:  # noqa: BLE001 - unreachable peer => dead host
-                return False
+                if not reply.get("ok", False):
+                    raise SpongeError(f"probe refused: {reply}")
+            except Exception as exc:  # noqa: BLE001 - probe failed
+                if owner.host not in probed_down:
+                    probed_down.add(owner.host)
+                    self._peer_failures[owner.host] = (
+                        self._peer_failures.get(owner.host, 0) + 1
+                    )
+                    log.debug(
+                        "GC probe to %s failed (%d consecutive): %s",
+                        owner.host, self._peer_failures[owner.host], exc,
+                    )
+                # Transient until proven dead: keep the chunks.
+                return self._peer_failures[owner.host] < self.config.peer_dead_after
+            self._peer_failures.pop(owner.host, None)
+            return bool(reply.get("alive", False))
 
         return self.pool.collect(is_alive)
 
@@ -319,4 +386,6 @@ class SpongeServerProcess:
 
 def serve(config: ServerConfig) -> None:
     """Child-process entry point."""
+    if config.fault_plan is not None:
+        faults.arm(config.fault_plan)
     SpongeServerProcess(config).serve_forever()

@@ -13,8 +13,10 @@ import logging
 import socketserver
 import threading
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConnectionClosedError, ProtocolError
+from repro.faults import hooks as faults
 from repro.runtime import protocol
 from repro.runtime.connection_pool import ConnectionPool
 
@@ -27,6 +29,9 @@ class TrackerConfig:
     poll_interval: float = 1.0
     #: server_id -> {"address": (host, port), "host": ..., "rack": ...}
     servers: dict = field(default_factory=dict)
+    #: Optional :class:`~repro.faults.plan.FaultPlan`, armed by
+    #: :func:`serve` in the tracker's process (chaos testing).
+    fault_plan: Optional[object] = None
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -53,7 +58,18 @@ class _Handler(socketserver.BaseRequestHandler):
             except Exception:  # noqa: BLE001
                 return
             if header.get("op") == "free_list":
-                reply = {"ok": True, "servers": tracker.snapshot()}
+                servers = tracker.snapshot()
+                if faults._armed is not None:
+                    action = faults.fire(
+                        "tracker.free_list",
+                        client=header.get("client", ""),
+                        servers=len(servers),
+                    )
+                    if action is not None and action.kind == "empty":
+                        # Advertise nothing: every client falls back to
+                        # its local pool and disk tiers.
+                        servers = []
+                reply = {"ok": True, "servers": servers}
             elif header.get("op") == "ping":
                 reply = {"ok": True, "polls": tracker.polls}
             else:
@@ -62,6 +78,11 @@ class _Handler(socketserver.BaseRequestHandler):
                 protocol.send_message(sock, reply)
             except Exception:  # noqa: BLE001
                 return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    # A restarted tracker must rebind its old port immediately.
+    allow_reuse_address = True
 
 
 class TrackerServerProcess:
@@ -73,7 +94,7 @@ class TrackerServerProcess:
         self._stop = threading.Event()
         # Persistent connections to the sponge servers being polled.
         self._poll_pool = ConnectionPool(timeout=1.0)
-        self._tcp = socketserver.ThreadingTCPServer(
+        self._tcp = _TCPServer(
             ("127.0.0.1", config.port), _Handler, bind_and_activate=True
         )
         self._tcp.daemon_threads = True
@@ -84,6 +105,15 @@ class TrackerServerProcess:
             return list(self._snapshot)
 
     def poll_once(self) -> None:
+        if faults._armed is not None:
+            action = faults.fire("tracker.poll", polls=self.polls)
+            if action is not None and action.kind == "freeze":
+                # Stop refreshing the snapshot: clients keep being
+                # served an ever-staler free list (§3.1.1's relaxed
+                # consistency, taken to its extreme).
+                with self._lock:
+                    self.polls += 1
+                return
         snapshot = []
         for server_id, info in self.config.servers.items():
             try:
@@ -129,4 +159,6 @@ class TrackerServerProcess:
 
 def serve(config: TrackerConfig) -> None:
     """Child-process entry point."""
+    if config.fault_plan is not None:
+        faults.arm(config.fault_plan)
     TrackerServerProcess(config).serve_forever()

@@ -24,7 +24,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.errors import ChunkAllocationError, OutOfSpongeMemory
+from repro.errors import (
+    ChunkAllocationError,
+    OutOfSpongeMemory,
+    StoreUnavailableError,
+)
 from repro.sponge.blob import blob_size
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
 from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
@@ -43,6 +47,7 @@ class ChainStats:
     bytes: Counter = field(default_factory=Counter)  # ChunkLocation -> bytes
     disk_appends: int = 0
     remote_stale_misses: int = 0
+    remote_unreachable: int = 0
 
     def record(self, location: ChunkLocation, nbytes: int, appended: bool) -> None:
         self.bytes[location] += nbytes
@@ -227,13 +232,19 @@ class AllocationSession:
         if attempts is not None:
             ordered = ordered[:attempts]
         for info in ordered:
-            store = self.chain._remote_store_for(info)
             try:
+                store = self.chain._remote_store_for(info)
                 handle = yield from store.write_chunk(self.owner, data)
-            except OutOfSpongeMemory:
-                # Stale tracker entry: that server filled up since the
-                # last poll.  Drop it for this file and keep walking.
-                self.chain.stats.remote_stale_misses += 1
+            except (OutOfSpongeMemory, StoreUnavailableError) as exc:
+                # Stale tracker entry: the server filled up since the
+                # last poll — or died outright (an unreachable server is
+                # just the extreme case of staleness, and the write
+                # provably never ran there).  Drop it for this file and
+                # keep walking.
+                if isinstance(exc, StoreUnavailableError):
+                    self.chain.stats.remote_unreachable += 1
+                else:
+                    self.chain.stats.remote_stale_misses += 1
                 self._free_list = [
                     i for i in self._free_list if i.server_id != info.server_id
                 ]

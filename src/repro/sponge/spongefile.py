@@ -257,6 +257,14 @@ class SpongeFile:
             )
 
     def _last_disk_handle(self) -> Optional[ChunkHandle]:
+        if self._pending:
+            # A later chunk is still in flight, so the most recent
+            # *recorded* disk handle is not the file's last chunk —
+            # appending to it would splice this chunk in ahead of the
+            # pending one.  Deep write pipelines give up coalescing
+            # (the documented trade-off); depth 1 always drains first
+            # and keeps it.
+            return None
         if self._pending_appended_to is not None:
             return self._pending_appended_to
         if self._handles and self._handles[-1].location is ChunkLocation.LOCAL_DISK:

@@ -1,0 +1,116 @@
+"""Unit tests of the FaultPlan mechanics (no cluster involved)."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.errors import OutOfSpongeMemory
+from repro.faults import hooks
+from repro.faults.plan import Contains, FaultAction, FaultPlan, FaultRule
+
+
+def test_site_patterns_and_match_filters():
+    rule = FaultRule("server.*", FaultAction("zero"),
+                     match={"host": "node1"})
+    assert rule.consider(0, 0, "server.alloc", {"host": "node1"}) is not None
+    assert rule.consider(0, 0, "server.alloc", {"host": "node2"}) is None
+    assert rule.consider(0, 0, "conn.send", {"host": "node1"}) is None
+    # A missing context key never matches.
+    assert rule.consider(0, 0, "server.alloc", {}) is None
+
+
+def test_match_set_membership_and_predicates():
+    rule = FaultRule("x", FaultAction("zero"),
+                     match={"op": {"read", "free"}})
+    assert rule.consider(0, 0, "x", {"op": "read"}) is not None
+    assert rule.consider(0, 0, "x", {"op": "alloc_write"}) is None
+
+    rule = FaultRule("x", FaultAction("zero"),
+                     match={"owner": Contains("victim")})
+    assert rule.consider(0, 0, "x", {"owner": "pid:9:victim"}) is not None
+    assert rule.consider(0, 0, "x", {"owner": "pid:9:other"}) is None
+
+
+def test_after_skips_and_times_caps():
+    rule = FaultRule("x", FaultAction("zero"), after=2, times=2)
+    decisions = [rule.consider(0, 0, "x", {}) is not None for _ in range(6)]
+    assert decisions == [False, False, True, True, False, False]
+
+
+def test_probability_is_seed_deterministic():
+    def draws(seed):
+        rule = FaultRule("x", FaultAction("zero"), probability=0.5)
+        return [
+            rule.consider(seed, 3, "x", {}) is not None for _ in range(64)
+        ]
+
+    first = draws(42)
+    assert first == draws(42)
+    assert any(first) and not all(first)
+    assert first != draws(43)
+
+
+def test_raise_stall_and_directive_semantics():
+    plan = FaultPlan(seed=1)
+    plan.deny_alloc(times=1)
+    with pytest.raises(OutOfSpongeMemory):
+        plan.fire("server.alloc", host="n", owner="t", nbytes=1)
+    assert plan.fire("server.alloc", host="n", owner="t", nbytes=1) is None
+
+    plan = FaultPlan().stall("conn.send", delay=0.05, times=1)
+    start = time.monotonic()
+    assert plan.fire("conn.send", op="ping", payload_len=0) is None
+    assert time.monotonic() - start >= 0.04
+
+    plan = FaultPlan().reset_connections(when="mid-payload", times=1)
+    action = plan.fire("conn.send", op="alloc_write", payload_len=100)
+    assert action is not None
+    assert (action.kind, action.when) == ("reset", "mid-payload")
+
+
+def test_fired_log_records_rule_and_context():
+    plan = FaultPlan().tracker_serves_empty(times=2)
+    plan.fire("tracker.free_list", client="w1", servers=3)
+    plan.fire("tracker.free_list", client="w2", servers=3)
+    fired = plan.fired("tracker.free_list")
+    assert [f.ctx["client"] for f in fired] == ["w1", "w2"]
+    assert plan.fired("conn.send") == []
+
+
+def test_plan_pickles_across_process_boundaries():
+    plan = FaultPlan(seed=9)
+    plan.exhaust_server("node2", times=3)
+    plan.reset_connections(when="before", probability=0.5)
+    plan.rule("server.alloc", FaultAction("zero"),
+              match={"owner": Contains("w0")})
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.seed == plan.seed
+    assert clone.describe() == plan.describe()
+    # The clone works (fresh lock, fresh counters).
+    assert clone.fire("server.free_bytes", host="node2",
+                      free_bytes=10).kind == "zero"
+
+
+def test_hooks_disarmed_is_a_noop_and_injected_scopes_arming():
+    hooks.disarm()
+    assert hooks.fire("server.alloc", host="n") is None
+    assert hooks.active() is None
+    plan = FaultPlan().deny_alloc()
+    with hooks.injected(plan):
+        assert hooks.active() is plan
+        with pytest.raises(OutOfSpongeMemory):
+            hooks.fire("server.alloc", host="n")
+    assert hooks.active() is None
+
+
+def test_describe_is_stable_for_equal_plans():
+    def build():
+        plan = FaultPlan(seed=4)
+        plan.deny_alloc(times=2, after=1)
+        plan.fail_disk_writes(full=True, probability=0.25)
+        return plan
+
+    assert build().describe() == build().describe()
+    other = FaultPlan(seed=4).deny_alloc(times=3, after=1)
+    assert build().describe() != other.describe()

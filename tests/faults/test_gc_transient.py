@@ -1,0 +1,160 @@
+"""GC must not reclaim live chunks over transient peer failures.
+
+The satellite fix under test: a sponge server's GC used to treat *any*
+failed liveness probe as "dead host" and reclaimed immediately, so a GC
+pass racing a slow or restarting peer destroyed live chunks.  Now a
+peer host is only declared dead after ``peer_dead_after`` consecutive
+failed GC rounds; a single successful probe resets the count.
+"""
+
+import multiprocessing
+import os
+import socket
+import tempfile
+import time
+
+import pytest
+
+from repro.runtime import protocol
+from repro.runtime.sponge_server import (
+    ServerConfig,
+    SpongeServerProcess,
+    serve as serve_sponge,
+)
+from repro.sponge.chunk import TaskId
+
+CHUNK = 4096
+POOL = 4 * CHUNK
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def make_server(tmp: str, name: str, peers: dict,
+                peer_dead_after: int = 3) -> SpongeServerProcess:
+    config = ServerConfig(
+        server_id=f"sponge@{name}", host=name, rack="r0",
+        port=_free_port(), pool_dir=os.path.join(tmp, f"pool-{name}"),
+        pool_size=POOL, chunk_size=CHUNK,
+        peers=peers, peer_dead_after=peer_dead_after,
+    )
+    return SpongeServerProcess(config)
+
+
+def close_server(server: SpongeServerProcess) -> None:
+    server._tcp.server_close()
+    server._peer_pool.close()
+    server.pool.close()
+
+
+@pytest.fixture()
+def tmp():
+    with tempfile.TemporaryDirectory() as tmp:
+        yield tmp
+
+
+def put_chunk(server: SpongeServerProcess, owner: TaskId) -> None:
+    index = server.pool.allocate(owner)
+    server.pool.write(index, owner, b"d" * 16)
+
+
+def spawn_peer(tmp: str, port: int) -> multiprocessing.Process:
+    """A real child-process peer (killing it really severs connections)."""
+    config = ServerConfig(
+        server_id="sponge@b", host="b", rack="r0", port=port,
+        pool_dir=os.path.join(tmp, "pool-b"),
+        pool_size=POOL, chunk_size=CHUNK,
+    )
+    process = multiprocessing.Process(
+        target=serve_sponge, args=(config,), daemon=True,
+    )
+    process.start()
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        try:
+            reply, _ = protocol.request(("127.0.0.1", port), {"op": "ping"},
+                                        timeout=0.5)
+            if reply.get("ok"):
+                return process
+        except Exception:  # noqa: BLE001 - still starting
+            time.sleep(0.05)
+    raise AssertionError("peer never came up")
+
+
+def kill_peer(process: multiprocessing.Process) -> None:
+    process.kill()
+    process.join(timeout=5)
+
+
+def test_transient_peer_failure_does_not_reclaim_until_threshold(tmp):
+    dead_address = ("127.0.0.1", _free_port())  # nobody listening
+    server = make_server(tmp, "a", peers={"b": dead_address},
+                         peer_dead_after=3)
+    try:
+        put_chunk(server, TaskId(host="b", task=f"pid:{os.getpid()}:t"))
+        # Two failed rounds: still transient, the chunk must survive.
+        assert server.run_gc() == 0
+        assert server.run_gc() == 0
+        assert server.pool.free_chunks == 3
+        # Third consecutive failure: the host is confirmed dead.
+        assert server.run_gc() == 1
+        assert server.pool.free_chunks == 4
+    finally:
+        close_server(server)
+
+
+def test_successful_probe_resets_the_failure_count(tmp):
+    port = _free_port()
+    server = make_server(tmp, "a", peers={"b": ("127.0.0.1", port)},
+                         peer_dead_after=2)
+    try:
+        put_chunk(server, TaskId(host="b", task=f"pid:{os.getpid()}:t"))
+        assert server.run_gc() == 0  # peer down: 1 failed round
+
+        # The peer comes back before the threshold; its probe confirms
+        # the owner (this process) alive and resets the count.
+        peer = spawn_peer(tmp, port)
+        try:
+            assert server.run_gc() == 0
+            assert server._peer_failures == {}
+        finally:
+            kill_peer(peer)
+
+        # Down again: the count restarts from zero — one failed round
+        # is once more not enough.
+        assert server.run_gc() == 0
+        assert server.pool.free_chunks == 3
+        assert server.run_gc() == 1  # second consecutive failure: dead
+    finally:
+        close_server(server)
+
+
+def test_peer_confirming_owner_dead_reclaims_immediately(tmp):
+    port = _free_port()
+    server = make_server(tmp, "a", peers={"b": ("127.0.0.1", port)})
+    peer = spawn_peer(tmp, port)
+    try:
+        child = multiprocessing.Process(target=lambda: None)
+        child.start()
+        child.join()
+        put_chunk(server, TaskId(host="b", task=f"pid:{child.pid}:gone"))
+        put_chunk(server, TaskId(host="b", task=f"pid:{os.getpid()}:live"))
+        # The peer answers: one owner dead, one alive.  No transient
+        # grace applies to a *successful* probe.
+        assert server.run_gc() == 1
+        assert server.pool.free_chunks == 3
+    finally:
+        kill_peer(peer)
+        close_server(server)
+
+
+def test_unknown_host_is_confirmed_dead(tmp):
+    server = make_server(tmp, "a", peers={})
+    try:
+        put_chunk(server, TaskId(host="ghost", task="pid:1:t"))
+        assert server.run_gc() == 1  # no server for the host: it left
+    finally:
+        close_server(server)

@@ -1,0 +1,364 @@
+"""Fault injection against the real runtime.
+
+Each fault class from the plan's repertoire gets a test that fails if
+the runtime's handling of it is removed:
+
+* server-side allocation refusals  -> chain falls through to disk
+  (this is also the tracker-staleness test: the session walks its
+  cached free list and every advertised server refuses);
+* mid-payload connection reset     -> provably-unprocessed failure,
+  chain falls through, no server-side leak;
+* boundary reset on a reused socket -> transparent reconnect-retry,
+  exactly one chunk lands (no duplicates);
+* reset while awaiting the reply   -> hard error, never retried
+  (the alloc_write may have been delivered);
+* refused connects                  -> fall-through, like staleness;
+* exhausted server                  -> advertises zero free bytes and
+  refuses allocations;
+* empty tracker free list           -> targeted client sees no remote
+  tier, others unaffected;
+* frozen tracker polls              -> snapshot stops refreshing;
+* disk-full                         -> falls through to DFS;
+* disk IO error                     -> fails the owning task;
+* dead task's remote chunks         -> reclaimed by GC.
+"""
+
+import multiprocessing
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.errors import (
+    ChunkLostError,
+    OutOfSpongeMemory,
+    StoreUnavailableError,
+)
+from repro.faults import Contains, FaultPlan, injected
+from repro.faults import hooks
+from repro.runtime import protocol
+from repro.runtime.client import RemoteServerStore, TrackerClient
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.local_cluster import LocalSpongeCluster, runtime_task_id
+from repro.runtime.sponge_server import ServerConfig, SpongeServerProcess
+from repro.runtime.tracker_server import TrackerConfig, TrackerServerProcess
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+from repro.backends.file_backends import FileDfsStore, FileDiskStore
+
+CHUNK = 64 * 1024
+POOL = 4 * CHUNK
+
+
+def server_side_plan() -> FaultPlan:
+    """Armed inside every server/tracker child of the module cluster.
+
+    Rules are scoped by owner-task labels and tracker client ids, so
+    each test triggers only its own faults.
+    """
+    plan = FaultPlan(seed=101)
+    plan.deny_alloc(match={"owner": Contains("deny-remote")})
+    plan.lose_chunks(match={"owner": Contains("lose-read")})
+    plan.tracker_serves_empty(match={"client": "empty-client"})
+    return plan
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalSpongeCluster(
+        num_nodes=2, pool_size=POOL, chunk_size=CHUNK,
+        poll_interval=0.1, gc_interval=30.0,
+        fault_plan=server_side_plan(),
+    ) as cluster:
+        yield cluster
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    yield
+    hooks.disarm()
+
+
+def fresh_store(cluster, node_index: int) -> RemoteServerStore:
+    """A remote store on its own (cold) connection pool."""
+    server = cluster.server_configs[node_index]
+    return RemoteServerStore(
+        server.server_id, cluster.server_address(node_index),
+        pool=ConnectionPool(),
+    )
+
+
+def server_free_bytes(cluster, node_index: int) -> int:
+    reply, _ = protocol.request(
+        cluster.server_address(node_index), {"op": "free_bytes"}
+    )
+    return int(reply["free_bytes"])
+
+
+# -- (a) refused allocations / tracker staleness ------------------------------
+
+
+def test_stale_free_list_falls_through_to_disk(cluster):
+    """Satellite: every advertised server refuses -> disk absorbs all.
+
+    The session's free list is the tracker's (cached, stale) view; the
+    injected refusals make every entry stale, and the chain must keep
+    walking and land on local disk without failing the write.
+    """
+    chain = cluster.chain(0, attach_local_pool=False)
+    owner = cluster.task_id(0, "deny-remote")
+    payload = os.urandom(2 * CHUNK + 100)
+    spongefile = SpongeFile(owner, chain, config=chain.config)
+    assert len(spongefile.session.candidate_servers) >= 1  # list was served
+    spongefile.write_all(payload)
+    spongefile.close_sync()
+    assert bytes(spongefile.read_all()) == payload
+    assert all(
+        handle.location is ChunkLocation.LOCAL_DISK
+        for handle in spongefile.handles
+    )
+    assert chain.stats.remote_stale_misses >= 1
+    spongefile.delete_sync()
+
+
+# -- (b) connection resets at and inside message boundaries -------------------
+
+
+def test_mid_payload_reset_falls_through_without_leak(cluster):
+    store = fresh_store(cluster, 1)
+    owner = cluster.task_id(0, "midreset")
+    before = server_free_bytes(cluster, 1)
+    plan = FaultPlan().reset_connections(
+        when="mid-payload", match={"op": "alloc_write"}, times=1
+    )
+    with injected(plan):
+        with pytest.raises(StoreUnavailableError):
+            run_sync(store.write_chunk(owner, b"x" * CHUNK))
+    assert len(plan.fired("conn.send")) == 1
+    # The server saw a torn payload: it must abort the staged chunk, so
+    # nothing leaks and the pool returns to its prior free space.
+    deadline = time.monotonic() + 5
+    while server_free_bytes(cluster, 1) != before:
+        assert time.monotonic() < deadline, "staged chunk leaked"
+        time.sleep(0.05)
+    # The connection stream stays usable for the next request.
+    handle = run_sync(store.write_chunk(owner, b"y" * 100))
+    assert bytes(run_sync(store.read_chunk(handle))) == b"y" * 100
+    run_sync(store.free_chunk(handle))
+
+
+def test_boundary_reset_on_reused_socket_retries_transparently(cluster):
+    store = fresh_store(cluster, 1)
+    owner = cluster.task_id(0, "boundary")
+    store.free_bytes()  # warm one pooled connection
+    assert store.connections.idle_count() == 1
+    before = server_free_bytes(cluster, 1)
+    plan = FaultPlan().reset_connections(when="before", times=1)
+    with injected(plan):
+        handle = run_sync(store.write_chunk(owner, b"r" * CHUNK))
+    assert len(plan.fired("conn.send")) == 1  # the fault really fired
+    # Retried on a fresh connection; exactly one chunk landed.
+    assert server_free_bytes(cluster, 1) == before - CHUNK
+    assert bytes(run_sync(store.read_chunk(handle))) == b"r" * CHUNK
+    run_sync(store.free_chunk(handle))
+
+
+def test_reset_awaiting_reply_is_never_retried(cluster):
+    """A possibly-delivered alloc_write must surface as a hard error."""
+    store = fresh_store(cluster, 1)
+    dead_pid_owner = _exited_child_owner("node1", "maybe-delivered")
+    store.free_bytes()  # warm a pooled connection
+    before = server_free_bytes(cluster, 1)
+    plan = FaultPlan().reset_awaiting_reply(
+        match={"op": "alloc_write"}, times=1
+    )
+    with injected(plan):
+        with pytest.raises(OSError) as excinfo:
+            run_sync(store.write_chunk(dead_pid_owner, b"m" * CHUNK))
+    assert not isinstance(excinfo.value, StoreUnavailableError)
+    # The request *was* delivered: the chunk exists server-side.  A
+    # retry would have allocated it twice.
+    assert server_free_bytes(cluster, 1) == before - CHUNK
+    # Its owner is a dead pid, so GC reclaims it (the §3.1.3 backstop
+    # for exactly this maybe-delivered case).
+    cluster.request_gc(1)
+    assert server_free_bytes(cluster, 1) == before
+
+
+def _exited_child_owner(host: str, label: str) -> TaskId:
+    child = multiprocessing.Process(target=lambda: None)
+    child.start()
+    child.join()
+    return TaskId(host=host, task=f"pid:{child.pid}:{label}")
+
+
+def test_refused_connect_falls_through(cluster):
+    store = fresh_store(cluster, 1)
+    owner = cluster.task_id(0, "refuse")
+    plan = FaultPlan().refuse_connect(times=1)
+    with injected(plan):
+        with pytest.raises(StoreUnavailableError):
+            run_sync(store.write_chunk(owner, b"c" * 100))
+    # Next attempt (budget spent) goes through.
+    handle = run_sync(store.write_chunk(owner, b"c" * 100))
+    run_sync(store.free_chunk(handle))
+
+
+# -- (a') exhausted server ----------------------------------------------------
+
+
+def test_exhausted_server_advertises_zero_and_refuses():
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServerConfig(
+            server_id="sponge@ex", host="ex", rack="r0",
+            port=_free_port(), pool_dir=os.path.join(tmp, "pool"),
+            pool_size=POOL, chunk_size=CHUNK,
+        )
+        server = SpongeServerProcess(config)
+        try:
+            plan = FaultPlan().exhaust_server("ex", times=1)
+            with injected(plan):
+                reply, _ = server.dispatch({"op": "free_bytes"}, b"")
+                assert reply["free_bytes"] == 0
+                with pytest.raises(OutOfSpongeMemory):
+                    server.dispatch(
+                        {"op": "alloc_write", "owner_host": "ex",
+                         "owner_task": "pid:1:t"},
+                        b"z" * 100,
+                    )
+            reply, _ = server.dispatch({"op": "free_bytes"}, b"")
+            assert reply["free_bytes"] == POOL
+        finally:
+            server._tcp.server_close()
+            server.pool.close()
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+# -- (d) stale / empty tracker free lists -------------------------------------
+
+
+def test_tracker_serves_empty_list_to_targeted_client(cluster):
+    targeted = TrackerClient(cluster.tracker_address, cache_ttl=0.0,
+                             client_id="empty-client")
+    bystander = TrackerClient(cluster.tracker_address, cache_ttl=0.0,
+                              client_id="other-client")
+    assert targeted.free_list() == []
+    assert len(bystander.free_list()) == 2
+
+
+def test_frozen_tracker_polls_stop_refreshing_the_snapshot():
+    config = TrackerConfig(port=_free_port(), servers={})
+    tracker = TrackerServerProcess(config)
+    try:
+        sentinel = [{"server_id": "ghost", "free_bytes": 1,
+                     "host": "h", "rack": "r", "address": ["127.0.0.1", 1]}]
+        tracker._snapshot = list(sentinel)
+        polls_before = tracker.polls
+        with injected(FaultPlan().tracker_freezes(times=1)):
+            tracker.poll_once()
+        assert tracker.polls == polls_before + 1  # the poll "happened"
+        assert tracker.snapshot() == sentinel  # ...but refreshed nothing
+        tracker.poll_once()  # budget spent: polls refresh again
+        assert tracker.snapshot() == []
+    finally:
+        tracker._tcp.server_close()
+        tracker._poll_pool.close()
+
+
+# -- (e) disk / DFS backend failures ------------------------------------------
+
+
+def _disk_dfs_chain(tmp: str) -> AllocationChain:
+    return AllocationChain(
+        local_store=None,
+        tracker=None,
+        remote_store_factory=None,
+        disk_store=FileDiskStore(os.path.join(tmp, "disk")),
+        dfs_store=FileDfsStore(os.path.join(tmp, "dfs")),
+        host="h0",
+        config=SpongeConfig(chunk_size=1024),
+    )
+
+
+def test_disk_full_falls_through_to_dfs():
+    with tempfile.TemporaryDirectory() as tmp:
+        chain = _disk_dfs_chain(tmp)
+        owner = TaskId("h0", "disk-full")
+        spongefile = SpongeFile(owner, chain, config=chain.config)
+        payload = bytes(range(256)) * 8  # two 1 KiB chunks
+        with injected(FaultPlan().fail_disk_writes(full=True, times=1)):
+            spongefile.write_all(payload)
+            spongefile.close_sync()
+        locations = [handle.location for handle in spongefile.handles]
+        assert ChunkLocation.DFS in locations  # the refused write moved down
+        assert ChunkLocation.LOCAL_DISK in locations  # later writes recovered
+        assert bytes(spongefile.read_all()) == payload
+        spongefile.delete_sync()
+
+
+def test_disk_io_error_fails_the_owning_task():
+    with tempfile.TemporaryDirectory() as tmp:
+        chain = _disk_dfs_chain(tmp)
+        owner = TaskId("h0", "disk-err")
+        spongefile = SpongeFile(owner, chain, config=chain.config)
+        with injected(FaultPlan().fail_disk_writes(full=False, times=1)):
+            with pytest.raises(OSError):
+                spongefile.write_all(b"e" * 4096)
+        spongefile.delete_sync()
+
+
+# -- lost chunks fail exactly the owning task ---------------------------------
+
+
+def test_injected_chunk_loss_fails_only_the_owning_reader(cluster):
+    lost_store = fresh_store(cluster, 1)
+    ok_store = fresh_store(cluster, 1)
+    lost_owner = cluster.task_id(0, "lose-read")  # matches the server plan
+    ok_owner = cluster.task_id(0, "keep-read")
+    lost = run_sync(lost_store.write_chunk(lost_owner, b"l" * 100))
+    kept = run_sync(ok_store.write_chunk(ok_owner, b"k" * 100))
+    with pytest.raises(ChunkLostError):
+        run_sync(lost_store.read_chunk(lost))
+    # The bystander task's chunk is untouched.
+    assert bytes(run_sync(ok_store.read_chunk(kept))) == b"k" * 100
+    run_sync(ok_store.free_chunk(kept))
+    run_sync(lost_store.free_chunk(lost))
+
+
+# -- GC reclaims dead tasks' chunks -------------------------------------------
+
+
+def _write_and_exit(address, server_id, host):
+    store = RemoteServerStore(server_id, address, pool=ConnectionPool())
+    owner = TaskId(host=host, task=f"pid:{os.getpid()}:leaker")
+    run_sync(store.write_chunk(owner, b"g" * CHUNK))
+    # exits without freeing
+
+
+def test_gc_reclaims_chunks_of_exited_tasks(cluster):
+    before = server_free_bytes(cluster, 0)
+    child = multiprocessing.Process(
+        target=_write_and_exit,
+        args=(cluster.server_address(0),
+              cluster.server_configs[0].server_id, "node0"),
+    )
+    child.start()
+    child.join(timeout=30)
+    assert child.exitcode == 0
+    assert server_free_bytes(cluster, 0) == before - CHUNK
+    deadline = time.monotonic() + 10
+    while server_free_bytes(cluster, 0) != before:
+        assert time.monotonic() < deadline, "dead task's chunk never reclaimed"
+        cluster.request_gc(0)
+        time.sleep(0.1)
