@@ -145,6 +145,10 @@ def test_bench_runtime_data_path(benchmark, tmp_path):
             return results
 
         results = benchmark.pedantic(run, rounds=1, iterations=1)
+        # Post-run metrics report: the client stays registry-free (the
+        # timed path measures the disarmed hot path), but the server
+        # processes count everything — scrape them before teardown.
+        metrics = cluster.scrape()
 
     print()
     print(f"{'medium':20s} {'write MB/s':>12s} {'read MB/s':>12s} {'free us':>9s}")
@@ -154,6 +158,17 @@ def test_bench_runtime_data_path(benchmark, tmp_path):
     pooled, oneshot = results["remote-pooled"], results["remote-oneshot"]
     print(f"pooled/oneshot: write {pooled['write'] / oneshot['write']:.2f}x  "
           f"read {pooled['read'] / oneshot['read']:.2f}x")
+
+    print("server-side metrics (scraped):")
+    for name in ("server.alloc.count", "server.alloc.bytes",
+                 "server.read.count", "server.read.bytes",
+                 "server.free.count", "tracker.polls"):
+        print(f"  {name:24s} {metrics.counters.get(name, 0)}")
+    assert not metrics.empty
+    assert metrics.negative_counters() == []
+    # Every remote chunk the benchmark pushed is visible server-side.
+    expected_remote = 2 * ROUNDS * ROUND_CHUNKS  # pooled + oneshot stores
+    assert metrics.counters["server.alloc.count"] >= expected_remote
 
     # Table-1 ordering: local shared memory beats the network, the
     # network beats stable storage.

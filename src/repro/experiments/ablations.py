@@ -370,7 +370,8 @@ def run_skew_avoidance(scale: float = 0.5) -> ExperimentResult:
         return hadoop
 
     def record_row(name, reducers, run_result):
-        times = [t.runtime for t in run_result.counters.reduces]
+        times = [t.runtime for t in run_result.counters.reduces
+                 if t.finished > 0]
         mean = sum(times) / len(times)
         peak = max(times)
         result.add_row(

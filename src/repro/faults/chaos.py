@@ -53,8 +53,10 @@ from repro.errors import (
     SpongeError,
     StoreUnavailableError,
 )
+from repro import obs
 from repro.faults import hooks as faults
 from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsSnapshot
 from repro.runtime import protocol
 from repro.runtime.executor import ThreadExecutor
 from repro.runtime.local_cluster import LocalSpongeCluster
@@ -109,6 +111,9 @@ class ChaosReport:
     rounds_ok: int = 0
     expected_failures: list = field(default_factory=list)
     violations: list = field(default_factory=list)
+    #: Cluster-wide :class:`~repro.obs.MetricsSnapshot` dict — servers,
+    #: tracker and every writer process, folded into one.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -122,6 +127,13 @@ class ChaosReport:
             f"{len(self.expected_failures)} expected failures, "
             f"{len(self.violations)} violations",
         ]
+        if self.metrics:
+            lines.append(
+                f"  metrics: {len(self.metrics.get('counters', {}))} "
+                f"counters, {len(self.metrics.get('gauges', {}))} gauges, "
+                f"{len(self.metrics.get('histograms', {}))} histograms "
+                f"from {len(self.metrics.get('sources', []))} sources"
+            )
         lines.extend(f"  event: {event}" for event in self.events)
         lines.extend(f"  expected: {name}" for name in self.expected_failures)
         lines.extend(f"  VIOLATION: {v}" for v in self.violations)
@@ -217,6 +229,7 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
                  spec: dict, results) -> None:
     """Child-process body of one chaos writer."""
     faults.arm(plan)  # client-side fault sites, this process's counters
+    registry = obs.install(source=f"writer{writer_id}")
     rng = _writer_rng(settings, writer_id)
     config = SpongeConfig(
         chunk_size=settings.chunk_size,
@@ -287,6 +300,9 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
         )
     finally:
         executor.close(wait=False)
+        # The registry dies with this process; ship its snapshot home so
+        # the parent can fold it into the cluster-wide scrape.
+        result["metrics"] = registry.snapshot().to_dict()
         results.put(result)
 
 
@@ -424,7 +440,28 @@ def run_chaos(settings: ChaosSettings) -> ChaosReport:
                 process.kill()
 
         _check_pools_reclaimed(cluster, settings, report)
+        _collect_metrics(cluster, report)
     return report
+
+
+def _collect_metrics(cluster: LocalSpongeCluster,
+                     report: ChaosReport) -> None:
+    """Fold server/tracker scrapes and writer snapshots into the report.
+
+    An empty scrape or a negative counter is an observability bug, so
+    both count as violations — the CI soak gates on them.
+    """
+    merged = cluster.scrape()
+    for result in report.writer_results:
+        writer_metrics = result.get("metrics")
+        if writer_metrics:
+            merged = merged.merge(MetricsSnapshot.from_dict(writer_metrics))
+    report.metrics = merged.to_dict()
+    if merged.empty:
+        report.violations.append("metrics scrape came back empty")
+    negative = merged.negative_counters()
+    if negative:
+        report.violations.append(f"negative counters in scrape: {negative}")
 
 
 def _check_pools_reclaimed(cluster: LocalSpongeCluster,
@@ -479,6 +516,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--nodes", type=int, default=3)
     parser.add_argument("--no-kills", action="store_true",
                         help="skip server/tracker kill-restart events")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the merged metrics snapshot as JSON "
+                             "(readable by python -m repro.obs.dump --input)")
     args = parser.parse_args(argv)
     settings = ChaosSettings(
         seed=args.seed, writers=args.writers, rounds=args.rounds,
@@ -486,6 +526,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     report = run_chaos(settings)
     print(report.summary())
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(report.metrics, handle, indent=2, sort_keys=True)
+        print(f"metrics snapshot written to {args.metrics_out}")
     return 0 if report.ok else 1
 
 

@@ -29,7 +29,16 @@ class TaskCounters:
     shuffle_finished: float = 0.0
 
     @property
-    def runtime(self) -> float:
+    def runtime(self) -> Optional[float]:
+        """Wall-clock runtime, or ``None`` while the task is unfinished.
+
+        ``finished`` stays 0.0 until the task completes, so the old
+        ``finished - started`` returned a large *negative* number for
+        running or cancelled attempts, poisoning medians and straggler
+        ratios computed from them.
+        """
+        if self.finished <= 0.0:
+            return None
         return self.finished - self.started
 
     def chunk_fragmentation(self, chunk_size: int) -> float:
@@ -60,11 +69,16 @@ class JobCounters:
         return sum(t.spilled_chunks for t in self.maps + self.reduces)
 
     def straggler(self) -> Optional[TaskCounters]:
-        """The reduce with the largest input — the paper's focus."""
-        if not self.reduces:
+        """The *finished* reduce with the largest input — the paper's
+        focus.  Unfinished attempts (cancelled speculative losers, or
+        tasks still running when counters are inspected) carry partial
+        byte counts and must not win."""
+        finished = [t for t in self.reduces if t.finished > 0]
+        if not finished:
             return None
-        return max(self.reduces, key=lambda t: t.input_bytes)
+        return max(finished, key=lambda t: t.input_bytes)
 
     def task_runtimes(self, maps: bool = True) -> list[float]:
+        """Runtimes of the *finished* tasks of one kind."""
         tasks = self.maps if maps else self.reduces
-        return [t.runtime for t in tasks]
+        return [t.runtime for t in tasks if t.finished > 0]

@@ -15,6 +15,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.errors import JobFailedError, MapReduceError
 from repro.mapreduce.counters import JobCounters, TaskCounters
 from repro.mapreduce.hdfs import HdfsBlock, MiniHdfs
@@ -195,7 +196,7 @@ class Hadoop:
             )
         )
         proc.callbacks.append(
-            lambda event: self._on_map_done(job, node_id, event)
+            lambda event: self._on_map_done(job, node_id, counters, event)
         )
 
     def _launch_reduce(self, job: JobRun, reduce_index: int,
@@ -307,12 +308,18 @@ class Hadoop:
 
     # -- completion ----------------------------------------------------------
 
-    def _on_map_done(self, job: JobRun, node_id: str, event: Event) -> None:
+    def _on_map_done(self, job: JobRun, node_id: str,
+                     counters: TaskCounters, event: Event) -> None:
         self._free_map_slots[node_id] += 1
         if not event.ok:
             self._fail_job(job, event)
             return
         job.completed_maps += 1
+        registry = obs._registry
+        if registry is not None and counters.finished > 0:
+            registry.histogram("engine.map.runtime_seconds").record(
+                counters.runtime
+            )
         map_output = event.value
         if map_output is not None:
             job.completed_map_outputs.append(map_output)
@@ -341,6 +348,19 @@ class Hadoop:
         job.reduce_done.add(index)
         job.completed_reduces += 1
         job.outputs[index] = event.value
+        counters = attempt["counters"]
+        registry = obs._registry
+        if registry is not None and counters.finished > 0:
+            registry.histogram("engine.reduce.runtime_seconds").record(
+                counters.runtime
+            )
+            if counters.shuffle_finished > 0:
+                registry.histogram("engine.reduce.shuffle_seconds").record(
+                    counters.shuffle_finished - counters.started
+                )
+                registry.histogram("engine.reduce.reduce_seconds").record(
+                    counters.finished - counters.shuffle_finished
+                )
         for sibling in job.reduce_attempts.get(index, []):
             if sibling is not attempt and not sibling["cancelled"]:
                 sibling["cancelled"] = True

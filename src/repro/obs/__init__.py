@@ -1,0 +1,84 @@
+"""Observability for the sponge runtime: metrics and tracing.
+
+Two layers, mirroring memcached ``stats`` + Dapper-style tracing:
+
+* :mod:`repro.obs.metrics` — cheap always-on counters, gauges and
+  log-bucket histograms per process, with mergeable snapshots;
+* :mod:`repro.obs.trace` — opt-in per-operation spans in a bounded
+  ring buffer.
+
+The process-global registry follows the :mod:`repro.faults.hooks`
+precedent exactly: when nothing is installed (the default), every hook
+point in the runtime costs one module attribute load::
+
+    from repro import obs
+    ...
+    registry = obs._registry
+    if registry is not None:
+        registry.counter("conn.connects").inc()
+
+Server and tracker child processes install a registry at startup (their
+configs carry ``metrics_enabled``); client processes opt in with
+:func:`install`.  ``python -m repro.obs.dump`` scrapes live processes
+and prints JSON or Prometheus text.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs import trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+#: The installed registry, or None.  Read directly by hot-path guards.
+_registry: Optional[MetricsRegistry] = None
+
+
+def install(registry: Optional[MetricsRegistry] = None,
+            source: str = "") -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) process-wide."""
+    global _registry
+    if registry is None:
+        registry = MetricsRegistry(source=source)
+    _registry = registry
+    return registry
+
+
+def uninstall() -> None:
+    global _registry
+    _registry = None
+
+
+def installed() -> Optional[MetricsRegistry]:
+    return _registry
+
+
+@contextmanager
+def collecting(source: str = "") -> Iterator[MetricsRegistry]:
+    """Install a fresh registry for the duration of a ``with`` block."""
+    registry = install(source=source)
+    try:
+        yield registry
+    finally:
+        uninstall()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "collecting",
+    "install",
+    "installed",
+    "trace",
+    "uninstall",
+]

@@ -1,0 +1,99 @@
+"""Scrape live runtime processes and print their merged metrics.
+
+The runtime's sponge servers and tracker answer a ``stats`` message
+(see :mod:`repro.runtime.protocol`); this CLI queries any number of
+them, folds the per-process snapshots into one, and prints the result
+as JSON or Prometheus text exposition::
+
+    python -m repro.obs.dump --address 127.0.0.1:40001 \
+        --address 127.0.0.1:40002 --format prom
+
+    python -m repro.obs.dump --input metrics-report.json --format prom
+
+``--input`` reformats a snapshot previously written by the chaos
+harness (``--metrics-out``) or :meth:`LocalSpongeCluster.scrape`,
+without touching the network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.runtime import protocol
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"address must be host:port, got {text!r}"
+        )
+    return host, int(port)
+
+
+def scrape_addresses(addresses: list[tuple[str, int]],
+                     timeout: float = 2.0) -> tuple[MetricsSnapshot, list[str]]:
+    """Fetch and merge stats from each address; returns (snapshot, errors)."""
+    merged = MetricsSnapshot()
+    errors: list[str] = []
+    for address in addresses:
+        try:
+            stats = protocol.fetch_stats(address, timeout=timeout)
+        except Exception as exc:  # noqa: BLE001 - report and keep going
+            errors.append(f"{address[0]}:{address[1]}: {exc}")
+            continue
+        merged = merged.merge(MetricsSnapshot.from_dict(stats))
+    return merged, errors
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.dump",
+        description="dump merged runtime metrics as JSON or Prometheus text",
+    )
+    parser.add_argument(
+        "--address", action="append", type=parse_address, default=[],
+        metavar="HOST:PORT",
+        help="a sponge server or tracker to scrape (repeatable)",
+    )
+    parser.add_argument(
+        "--input", metavar="FILE",
+        help="read a previously written snapshot JSON instead of scraping",
+    )
+    parser.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="output format (default: json)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=2.0,
+        help="per-address scrape timeout in seconds",
+    )
+    args = parser.parse_args(argv)
+    if not args.address and args.input is None:
+        parser.error("need --address and/or --input")
+
+    snapshot = MetricsSnapshot()
+    if args.input is not None:
+        with open(args.input, encoding="utf-8") as handle:
+            snapshot = MetricsSnapshot.from_dict(json.load(handle))
+    snapshot_net, errors = scrape_addresses(args.address, timeout=args.timeout)
+    snapshot = snapshot.merge(snapshot_net)
+
+    for error in errors:
+        print(f"warning: {error}", file=sys.stderr)
+    if args.format == "prom":
+        sys.stdout.write(snapshot.to_prometheus())
+    else:
+        print(snapshot.to_json())
+    if snapshot.empty:
+        print("warning: snapshot is empty", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

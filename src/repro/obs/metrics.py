@@ -1,0 +1,335 @@
+"""Cheap always-on metrics: counters, gauges, log-bucket histograms.
+
+Memcached's ``stats`` command is the model: every process keeps a flat
+set of named metrics that cost almost nothing to update and can be
+dumped on demand.  Three design rules shape the implementation:
+
+* **lock-cheap updates** — the registry dict is only locked on metric
+  *creation*; lookups ride the GIL (``dict.get``), and each metric has
+  its own tiny lock held just for the read-modify-write.  Call sites
+  additionally guard on the module global (see :mod:`repro.obs`), so
+  the disarmed path is a single attribute load, exactly like
+  ``faults._armed``;
+* **per-process, mergeable snapshots** — every server, tracker and
+  client process keeps its own registry; :class:`MetricsSnapshot`
+  values merge by summation (counters, gauges, histogram buckets) and
+  min/max, which makes merging associative and commutative, so a
+  cluster-wide scrape is a fold in any order;
+* **fixed log-scale histogram buckets** — bucket ``k`` covers
+  ``[2**k, 2**(k+1))``, derived exactly via ``math.frexp`` (no float
+  ``log2`` edge wobble), so the same bucketing serves microsecond
+  latencies and gigabyte sizes and snapshots from different processes
+  always line up bucket-for-bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+Number = Union[int, float]
+
+#: Histogram bucket exponent clamp: 2**-30 (~1 ns) .. 2**50 (~1 PB).
+MIN_BUCKET_EXP = -30
+MAX_BUCKET_EXP = 50
+
+
+def bucket_index(value: Number) -> int:
+    """The log2 bucket holding ``value``: ``[2**k, 2**(k+1)) -> k``.
+
+    Exact at the edges: ``bucket_index(2.0) == 1`` while
+    ``bucket_index(2.0 - 2**-52) == 0``.  Non-positive values land in
+    the underflow bucket (:data:`MIN_BUCKET_EXP`).
+    """
+    if value <= 0:
+        return MIN_BUCKET_EXP
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    # mantissa is in [0.5, 1), so floor(log2(value)) == exponent - 1.
+    return min(MAX_BUCKET_EXP, max(MIN_BUCKET_EXP, exponent - 1))
+
+
+class Counter:
+    """A monotonically increasing count (negative increments rejected)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (pool occupancy, poll age, queue depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: Number) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """Fixed log2-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "_buckets", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def record(self, value: Number) -> None:
+        index = bucket_index(value)
+        with self._lock:
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                # JSON keys must be strings; keep exponents as such.
+                "buckets": {str(k): v for k, v in sorted(self._buckets.items())},
+            }
+
+
+def _merge_histogram(a: dict, b: dict) -> dict:
+    buckets = dict(a.get("buckets", {}))
+    for key, count in b.get("buckets", {}).items():
+        buckets[key] = buckets.get(key, 0) + count
+    mins = [m for m in (a.get("min"), b.get("min")) if m is not None]
+    maxes = [m for m in (a.get("max"), b.get("max")) if m is not None]
+    return {
+        "count": a.get("count", 0) + b.get("count", 0),
+        "sum": a.get("sum", 0.0) + b.get("sum", 0.0),
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+        "buckets": {k: buckets[k] for k in sorted(buckets, key=int)},
+    }
+
+
+@dataclass
+class MetricsSnapshot:
+    """A frozen, mergeable view of one (or many) registries.
+
+    Merging sums counters, gauges and histogram buckets and tracks
+    min/max, so ``a.merge(b).merge(c) == a.merge(b.merge(c))`` — the
+    cluster scrape can fold per-process snapshots in any order.
+    Summing gauges is the deliberate cross-process semantics: pool
+    occupancy or in-flight depth summed over nodes is the cluster
+    figure.
+    """
+
+    sources: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = gauges.get(name, 0) + value
+        histograms = dict(self.histograms)
+        for name, hist in other.histograms.items():
+            if name in histograms:
+                histograms[name] = _merge_histogram(histograms[name], hist)
+            else:
+                histograms[name] = hist
+        return MetricsSnapshot(
+            sources=list(self.sources) + list(other.sources),
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+        )
+
+    def negative_counters(self) -> list[str]:
+        """Counter names with values below zero (accounting bugs)."""
+        return sorted(n for n, v in self.counters.items() if v < 0)
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "sources": list(self.sources),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {n: dict(h) for n, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        return cls(
+            sources=list(data.get("sources", [])),
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={n: dict(h)
+                        for n, h in data.get("histograms", {}).items()},
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (counters, gauges, histograms)."""
+        lines: list[str] = []
+        for name in sorted(self.counters):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(self.counters[name])}")
+        for name in sorted(self.gauges):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(self.gauges[name])}")
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for key in sorted(hist.get("buckets", {}), key=int):
+                cumulative += hist["buckets"][key]
+                upper = 2.0 ** (int(key) + 1)
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(upper)}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.get("count", 0)}')
+            lines.append(f"{prom}_sum {_prom_value(hist.get('sum', 0.0))}")
+            lines.append(f"{prom}_count {hist.get('count', 0)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    cleaned = _PROM_BAD.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_value(value: Number) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """One process's metrics, keyed by flat dotted names."""
+
+    def __init__(self, source: str = "") -> None:
+        self.source = source
+        self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # -- find-or-create accessors ----------------------------------------
+    # The unlocked dict.get is safe under the GIL; the lock only guards
+    # racing *creation* (setdefault keeps the first instance).
+
+    def counter(self, name: str) -> Counter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, Counter(name))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name} is a {type(metric).__name__}, not Counter")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, Gauge(name))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name} is a {type(metric).__name__}, not Gauge")
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, Histogram(name))
+        if not isinstance(metric, Histogram):
+            raise TypeError(
+                f"{name} is a {type(metric).__name__}, not Histogram"
+            )
+        return metric
+
+    def observe(self, name: str, started_at: float, ended_at: float) -> None:
+        """Record ``ended_at - started_at`` seconds into a histogram."""
+        self.histogram(name).record(ended_at - started_at)
+
+    # -- introspection ----------------------------------------------------
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            metrics = dict(self._metrics)
+        counters: dict[str, Number] = {}
+        gauges: dict[str, Number] = {}
+        histograms: dict[str, dict] = {}
+        for name, metric in metrics.items():
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            elif isinstance(metric, Histogram):
+                histograms[name] = metric.to_dict()
+        return MetricsSnapshot(
+            sources=[self.source] if self.source else [],
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+        )

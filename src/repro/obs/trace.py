@@ -1,0 +1,185 @@
+"""Opt-in per-operation timing: Dapper-style spans in a ring buffer.
+
+Where the metrics registry answers *how many / how long on average*,
+spans answer *what did this one operation do*: each span has a name,
+wall-clock start/end, a parent id (spans opened while another span is
+active on the same thread nest under it), and free-form attributes.
+Retention is a fixed-size ring buffer — tracing is always bounded, the
+newest ``capacity`` spans win, and export is a JSON-ready list.
+
+Like :mod:`repro.faults.hooks` and the metrics registry, the tracer is
+a module global and the disarmed path is one attribute load::
+
+    from repro.obs import trace
+    ...
+    if trace._tracer is not None:
+        with trace.span("server.alloc", nbytes=n):
+            ...
+
+Generator-based store ops cannot wrap a context manager around their
+suspended lifetime without entangling the thread-local stack, so
+:func:`record` exists for them: measure with ``perf_counter`` and log
+the finished span in one call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class Span:
+    """One finished operation."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    started_at: float
+    ended_at: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Thread-safe span collector with ring-buffer retention."""
+
+    def __init__(self, capacity: int = 2048, source: str = "") -> None:
+        self.capacity = capacity
+        self.source = source
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- recording --------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span; nesting on the same thread sets parent ids."""
+        stack = self._stack()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=stack[-1] if stack else None,
+            started_at=time.perf_counter(),
+            ended_at=0.0,
+            attrs=dict(attrs),
+        )
+        stack.append(span.span_id)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.ended_at = time.perf_counter()
+            with self._lock:
+                self._spans.append(span)
+
+    def record(self, name: str, started_at: float, ended_at: float,
+               **attrs: Any) -> Span:
+        """Log an already-finished span (generator-safe, no nesting)."""
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=self.current_span_id(),
+            started_at=started_at,
+            ended_at=ended_at,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    # -- export -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def export(self, name: Optional[str] = None) -> list[dict]:
+        """The retained spans, oldest first, optionally filtered."""
+        with self._lock:
+            spans = list(self._spans)
+        return [s.to_dict() for s in spans if name is None or s.name == name]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(
+            {"source": self.source, "spans": self.export()}, indent=indent
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+#: The installed tracer, or None.  Read directly by hot-path guards.
+_tracer: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer] = None, capacity: int = 2048,
+            source: str = "") -> Tracer:
+    """Install ``tracer`` (or a fresh one) process-wide."""
+    global _tracer
+    if tracer is None:
+        tracer = Tracer(capacity=capacity, source=source)
+    _tracer = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    global _tracer
+    _tracer = None
+
+
+def installed() -> Optional[Tracer]:
+    return _tracer
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """Span on the installed tracer; a cheap no-op when none is."""
+    tracer = _tracer
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attrs) as opened:
+        yield opened
+
+
+@contextmanager
+def tracing(capacity: int = 2048, source: str = "") -> Iterator[Tracer]:
+    """Install a fresh tracer for the duration of a ``with`` block."""
+    tracer = install(capacity=capacity, source=source)
+    try:
+        yield tracer
+    finally:
+        uninstall()

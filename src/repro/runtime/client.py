@@ -29,6 +29,7 @@ from repro.errors import (
     StoreUnavailableError,
 )
 from repro.backends.file_backends import FileDfsStore, FileDiskStore
+from repro import obs
 from repro.faults import hooks as faults
 from repro.runtime import protocol
 from repro.runtime.connection_pool import (
@@ -216,6 +217,9 @@ class TrackerClient:
             log.debug("tracker %s unreachable, using stale free list: %s",
                       self.address, exc)
             self.stale_fallbacks += 1
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("tracker.client.stale_fallbacks").inc()
             self._cached = self._cached or []
             self._cached_at = time.monotonic()
             return self._cached

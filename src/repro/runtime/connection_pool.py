@@ -38,6 +38,7 @@ from repro.errors import (
     ProtocolError,
     ServerUnavailableError,
 )
+from repro import obs
 from repro.faults import hooks as faults
 from repro.runtime import protocol
 
@@ -75,6 +76,9 @@ class ConnectionPool:
                 raise
             # Stale pooled socket: the request never reached dispatch,
             # so one retry on a fresh connection is safe.
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("conn.retries").inc()
             sock = self._connect(address, timeout)
             try:
                 reply = self._exchange(sock, header, payload)
@@ -107,6 +111,7 @@ class ConnectionPool:
     def _checkout(
         self, address: Address, timeout: float
     ) -> tuple[socket.socket, bool]:
+        registry = obs._registry
         with self._lock:
             self._reset_if_forked()
             idle = self._idle.get(address)
@@ -114,7 +119,11 @@ class ConnectionPool:
                 sock = idle.pop()
                 if _healthy(sock):
                     _set_io_timeout(sock, timeout)
+                    if registry is not None:
+                        registry.counter("conn.reuses").inc()
                     return sock, True
+                if registry is not None:
+                    registry.counter("conn.health_check_failures").inc()
                 _close_quietly(sock)
         return self._connect(address, timeout), False
 
@@ -130,15 +139,20 @@ class ConnectionPool:
     def _connect(self, address: Address, timeout: float) -> socket.socket:
         if faults._armed is not None:
             faults.fire("conn.connect", host=address[0], port=address[1])
+        registry = obs._registry
         try:
             sock = socket.create_connection(address, timeout=timeout)
         except OSError as exc:
             # Connect failures mean the request never ran anywhere, so
             # callers (the allocation chain) may safely fall through to
             # another server.  The class is still an OSError.
+            if registry is not None:
+                registry.counter("conn.connect_failures").inc()
             raise ServerUnavailableError(
                 f"cannot connect to {address}: {exc}"
             ) from exc
+        if registry is not None:
+            registry.counter("conn.connects").inc()
         protocol.configure_socket(sock)
         _set_io_timeout(sock, timeout)
         return sock

@@ -19,7 +19,9 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro import obs
 from repro.errors import ServerUnavailableError
+from repro.obs.metrics import MetricsSnapshot
 from repro.runtime import protocol
 from repro.runtime.client import TrackerClient, build_chain
 from repro.runtime.sponge_server import ServerConfig
@@ -259,7 +261,8 @@ class LocalSpongeCluster:
               attach_local_pool: bool = True,
               executor=None,
               with_dfs: bool = False,
-              tracker_client_id: str = ""):
+              tracker_client_id: str = "",
+              connection_pool=None):
         """An allocation chain for a task running on ``node<index>``.
 
         Pass ``executor=ThreadExecutor()`` (or any spawn/wait executor)
@@ -280,6 +283,7 @@ class LocalSpongeCluster:
             executor=executor,
             dfs_dir=(self.workdir / "dfs") if with_dfs else None,
             tracker_client_id=tracker_client_id,
+            connection_pool=connection_pool,
         )
 
     def task_id(self, node_index: int = 0, label: str = "task",
@@ -289,6 +293,30 @@ class LocalSpongeCluster:
 
     def server_address(self, node_index: int) -> tuple[str, int]:
         return ("127.0.0.1", self.server_configs[node_index].port)
+
+    def scrape(self, timeout: float = 2.0,
+               include_local: bool = True) -> MetricsSnapshot:
+        """Merged metrics from every live server, the tracker, and
+        (when ``include_local``) this process's own registry.
+
+        Dead or unreachable processes are skipped silently — scrape is
+        a chaos-time diagnostic and must not throw mid-experiment; the
+        merge is associative, so fold order does not matter.
+        """
+        merged = MetricsSnapshot()
+        addresses = [("127.0.0.1", c.port) for c in self.server_configs]
+        addresses.append(self.tracker_address)
+        for address in addresses:
+            try:
+                stats = protocol.fetch_stats(address, timeout=timeout)
+            except Exception:  # noqa: BLE001 - killed/restarting process
+                continue
+            merged = merged.merge(MetricsSnapshot.from_dict(stats))
+        if include_local:
+            registry = obs._registry
+            if registry is not None:
+                merged = merged.merge(registry.snapshot())
+        return merged
 
     def request_gc(self, node_index: int) -> int:
         reply, _ = protocol.request(

@@ -210,6 +210,23 @@ def request(
         return recv_message(sock)
 
 
+#: Observability op answered by sponge servers and the tracker: replies
+#: with ``{"ok": True, "stats": <MetricsSnapshot dict>}`` (an empty
+#: snapshot when the process has no registry installed).
+STATS_OP = "stats"
+
+
+def fetch_stats(address: tuple[str, int], timeout: Optional[float] = 2.0,
+                pool: Optional[Any] = None) -> dict:
+    """One ``stats`` exchange; returns the raw snapshot dict."""
+    if pool is not None:
+        reply, _ = pool.request(address, {"op": STATS_OP}, timeout=timeout)
+    else:
+        reply, _ = request(address, {"op": STATS_OP}, timeout=timeout)
+    check_reply(reply)
+    return reply.get("stats", {})
+
+
 def error_reply(message: str, code: str = "error") -> dict:
     return {"ok": False, "code": code, "error": message}
 

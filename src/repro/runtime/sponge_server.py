@@ -17,6 +17,7 @@ import logging
 import os
 import socketserver
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -28,7 +29,9 @@ from repro.errors import (
     QuotaExceededError,
     SpongeError,
 )
+from repro import obs
 from repro.faults import hooks as faults
+from repro.obs import trace
 from repro.runtime import protocol
 from repro.runtime.connection_pool import ConnectionPool
 from repro.runtime.shm_pool import MmapSpongePool
@@ -82,6 +85,10 @@ class ServerConfig:
     #: Optional :class:`~repro.faults.plan.FaultPlan`, armed by
     #: :func:`serve` in the server's process (chaos testing).
     fault_plan: Optional[object] = None
+    #: Install a :class:`~repro.obs.MetricsRegistry` in the server's
+    #: process so it can answer ``stats`` scrapes (memcached-style
+    #: always-on counters; the per-op cost is a dict lookup + lock inc).
+    metrics_enabled: bool = True
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -201,11 +208,21 @@ class SpongeServerProcess:
                         host=self.config.host, owner=str(owner),
                         nbytes=nbytes)
         self._charge_quota(owner, nbytes)
+        started = time.perf_counter()
         try:
             index = self.pool.allocate(owner)
         except OutOfSpongeMemory:
             self._release_quota(owner, nbytes)
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("server.alloc.refused").inc()
             raise
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.alloc.count").inc()
+            registry.counter("server.alloc.bytes").inc(nbytes)
+            registry.observe("server.alloc.seconds", started,
+                             time.perf_counter())
         staged["alloc_write"] = (owner, index, nbytes)
         return self.pool.chunk_buffer(index, owner, nbytes)
 
@@ -224,8 +241,17 @@ class SpongeServerProcess:
     def dispatch(self, header: dict, payload,
                  staged: Optional[dict] = None) -> tuple[dict, bytes]:
         op = header.get("op")
+        if trace._tracer is None:
+            return self._dispatch(op, header, payload, staged)
+        with trace.span(f"server.{op}", server_id=self.config.server_id):
+            return self._dispatch(op, header, payload, staged)
+
+    def _dispatch(self, op, header: dict, payload,
+                  staged: Optional[dict]) -> tuple[dict, bytes]:
         if op == "ping":
             return {"ok": True, "server_id": self.config.server_id}, b""
+        if op == protocol.STATS_OP:
+            return {"ok": True, "stats": self.stats_snapshot()}, b""
         if op == "free_bytes":
             free = self.pool.free_bytes
             if faults._armed is not None:
@@ -262,12 +288,22 @@ class SpongeServerProcess:
                             host=self.config.host, owner=str(owner),
                             nbytes=len(payload))
             self._charge_quota(owner, len(payload))
+            started = time.perf_counter()
             try:
                 index = self.pool.allocate(owner)
             except OutOfSpongeMemory:
                 self._release_quota(owner, len(payload))
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("server.alloc.refused").inc()
                 raise
             self.pool.write(index, owner, payload)
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("server.alloc.count").inc()
+                registry.counter("server.alloc.bytes").inc(len(payload))
+                registry.observe("server.alloc.seconds", started,
+                                 time.perf_counter())
             return {"ok": True, "index": index}, b""
         if op == "read":
             if faults._armed is not None:
@@ -277,13 +313,27 @@ class SpongeServerProcess:
             # Zero-copy: the reply payload is a view straight into the
             # mmap'd segment; the scatter-gather send consumes it before
             # the chunk can be freed by its (single-reader) owner.
+            started = time.perf_counter()
             data = self.pool.read_view(int(header["index"]), owner)
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("server.read.count").inc()
+                registry.counter("server.read.bytes").inc(len(data))
+                registry.observe("server.read.seconds", started,
+                                 time.perf_counter())
             return {"ok": True}, data
         if op == "free":
             # The freed payload length comes from chunk metadata, so no
             # O(chunk) payload read is needed to release the quota.
+            started = time.perf_counter()
             length = self.pool.free(int(header["index"]), owner)
             self._release_quota(owner, length)
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("server.free.count").inc()
+                registry.counter("server.free.bytes").inc(length)
+                registry.observe("server.free.seconds", started,
+                                 time.perf_counter())
             return {"ok": True}, b""
         if op == "is_alive":
             return {"ok": True, "alive": local_process_alive(owner)}, b""
@@ -291,6 +341,24 @@ class SpongeServerProcess:
             freed = self.run_gc()
             return {"ok": True, "freed": freed}, b""
         return protocol.error_reply(f"unknown op {op!r}"), b""
+
+    # -- observability -----------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """This process's metrics, with pool gauges refreshed."""
+        registry = obs._registry
+        if registry is None:
+            return {}
+        free = self.pool.free_bytes
+        pool_bytes = self.pool.num_chunks * self.pool.chunk_size
+        registry.gauge("server.pool.free_bytes").set(free)
+        registry.gauge("server.pool.used_chunks").set(
+            (pool_bytes - free) // self.pool.chunk_size
+        )
+        registry.gauge("server.pool.occupancy").set(
+            (pool_bytes - free) / pool_bytes if pool_bytes else 0.0
+        )
+        return registry.snapshot().to_dict()
 
     # -- quota ------------------------------------------------------------
 
@@ -357,7 +425,13 @@ class SpongeServerProcess:
             self._peer_failures.pop(owner.host, None)
             return bool(reply.get("alive", False))
 
-        return self.pool.collect(is_alive)
+        freed = self.pool.collect(is_alive)
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.gc.runs").inc()
+            if freed:
+                registry.counter("server.gc.reclaimed_chunks").inc(freed)
+        return freed
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -388,4 +462,6 @@ def serve(config: ServerConfig) -> None:
     """Child-process entry point."""
     if config.fault_plan is not None:
         faults.arm(config.fault_plan)
+    if config.metrics_enabled:
+        obs.install(source=config.server_id)
     SpongeServerProcess(config).serve_forever()

@@ -12,10 +12,12 @@ from __future__ import annotations
 import logging
 import socketserver
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConnectionClosedError, ProtocolError
+from repro import obs
 from repro.faults import hooks as faults
 from repro.runtime import protocol
 from repro.runtime.connection_pool import ConnectionPool
@@ -32,6 +34,9 @@ class TrackerConfig:
     #: Optional :class:`~repro.faults.plan.FaultPlan`, armed by
     #: :func:`serve` in the tracker's process (chaos testing).
     fault_plan: Optional[object] = None
+    #: Install a :class:`~repro.obs.MetricsRegistry` so the tracker can
+    #: answer ``stats`` scrapes (poll age, poll errors, query counts).
+    metrics_enabled: bool = True
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -69,7 +74,12 @@ class _Handler(socketserver.BaseRequestHandler):
                         # Advertise nothing: every client falls back to
                         # its local pool and disk tiers.
                         servers = []
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("tracker.freelist.queries").inc()
                 reply = {"ok": True, "servers": servers}
+            elif header.get("op") == protocol.STATS_OP:
+                reply = {"ok": True, "stats": tracker.stats_snapshot()}
             elif header.get("op") == "ping":
                 reply = {"ok": True, "polls": tracker.polls}
             else:
@@ -89,6 +99,7 @@ class TrackerServerProcess:
     def __init__(self, config: TrackerConfig) -> None:
         self.config = config
         self.polls = 0
+        self._last_poll_at: Optional[float] = None
         self._snapshot: list[dict] = []
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -111,9 +122,12 @@ class TrackerServerProcess:
                 # Stop refreshing the snapshot: clients keep being
                 # served an ever-staler free list (§3.1.1's relaxed
                 # consistency, taken to its extreme).
+                # The snapshot was NOT refreshed, so the poll-age gauge
+                # keeps growing — exactly what staleness looks like.
                 with self._lock:
                     self.polls += 1
                 return
+        registry = obs._registry
         snapshot = []
         for server_id, info in self.config.servers.items():
             try:
@@ -121,6 +135,8 @@ class TrackerServerProcess:
                     tuple(info["address"]), {"op": "free_bytes"}
                 )
             except Exception:  # noqa: BLE001 - dead server drops out
+                if registry is not None:
+                    registry.counter("tracker.poll.unreachable_servers").inc()
                 continue
             if reply.get("ok"):
                 snapshot.append(
@@ -135,6 +151,21 @@ class TrackerServerProcess:
         with self._lock:
             self._snapshot = snapshot
             self.polls += 1
+            self._last_poll_at = time.monotonic()
+        if registry is not None:
+            registry.counter("tracker.polls").inc()
+            registry.gauge("tracker.poll.servers").set(len(snapshot))
+
+    def stats_snapshot(self) -> dict:
+        """This process's metrics, with the poll-age gauge refreshed."""
+        registry = obs._registry
+        if registry is None:
+            return {}
+        with self._lock:
+            last = self._last_poll_at
+        age = (time.monotonic() - last) if last is not None else -1.0
+        registry.gauge("tracker.poll.age_seconds").set(age)
+        return registry.snapshot().to_dict()
 
     def serve_forever(self) -> None:
         poller = threading.Thread(target=self._poll_loop, daemon=True)
@@ -161,4 +192,6 @@ def serve(config: TrackerConfig) -> None:
     """Child-process entry point."""
     if config.fault_plan is not None:
         faults.arm(config.fault_plan)
+    if config.metrics_enabled:
+        obs.install(source="tracker")
     TrackerServerProcess(config).serve_forever()

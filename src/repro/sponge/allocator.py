@@ -24,6 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro import obs
 from repro.errors import (
     ChunkAllocationError,
     OutOfSpongeMemory,
@@ -39,6 +40,13 @@ from repro.sponge.tracker import MemoryTracker, ServerInfo
 RemoteStoreFactory = Callable[[ServerInfo], ChunkStore]
 
 
+def _count_fallthrough(reason: str) -> None:
+    """Count one tier falling through, when a registry is installed."""
+    registry = obs._registry
+    if registry is not None:
+        registry.counter(f"alloc.fallthrough.{reason}").inc()
+
+
 @dataclass
 class ChainStats:
     """Cluster-visible allocation accounting (feeds Table 2)."""
@@ -50,11 +58,21 @@ class ChainStats:
     remote_unreachable: int = 0
 
     def record(self, location: ChunkLocation, nbytes: int, appended: bool) -> None:
+        # Every placed chunk counts toward its location, whether or not
+        # it was coalesced into the previous on-disk chunk; ``appended``
+        # only tracks how many of the disk chunks were coalesced.  (The
+        # old accounting skipped ``chunks`` for appends, under-counting
+        # local disk in Table 2.)
         self.bytes[location] += nbytes
+        self.chunks[location] += 1
         if appended:
             self.disk_appends += 1
-        else:
-            self.chunks[location] += 1
+        registry = obs._registry
+        if registry is not None:
+            registry.counter(f"alloc.outcome.{location.value}").inc()
+            registry.counter(f"alloc.bytes.{location.value}").inc(nbytes)
+            if appended:
+                registry.counter("alloc.disk_appends").inc()
 
     @property
     def total_bytes(self) -> int:
@@ -178,7 +196,7 @@ class AllocationSession:
             try:
                 handle = yield from chain.local_store.write_chunk(self.owner, data)
             except OutOfSpongeMemory:
-                pass
+                _count_fallthrough("local_full")
             else:
                 chain.stats.record(handle.location, nbytes, appended=False)
                 return handle, False
@@ -188,6 +206,7 @@ class AllocationSession:
             if handle is not None:
                 chain.stats.record(handle.location, nbytes, appended=False)
                 return handle, False
+            _count_fallthrough("remote_exhausted")
 
         if chain.disk_store is not None:
             can_append = (
@@ -209,7 +228,7 @@ class AllocationSession:
             try:
                 handle = yield from chain.disk_store.write_chunk(self.owner, data)
             except OutOfSpongeMemory:
-                pass
+                _count_fallthrough("disk_full")
             else:
                 chain.stats.record(handle.location, nbytes, appended=False)
                 return handle, False
@@ -243,8 +262,10 @@ class AllocationSession:
                 # keep walking.
                 if isinstance(exc, StoreUnavailableError):
                     self.chain.stats.remote_unreachable += 1
+                    _count_fallthrough("remote_unreachable")
                 else:
                     self.chain.stats.remote_stale_misses += 1
+                    _count_fallthrough("remote_stale")
                 self._free_list = [
                     i for i in self._free_list if i.server_id != info.server_id
                 ]

@@ -29,6 +29,7 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro import obs
 from repro.errors import SpongeError, SpongeFileStateError
 from repro.sponge.allocator import AllocationChain, AllocationSession
 from repro.sponge.blob import blob_concat, blob_size, blob_take
@@ -98,7 +99,11 @@ class SpongeFileStats:
 
     bytes_written: int = 0
     bytes_read: int = 0
-    chunks: Counter = field(default_factory=Counter)  # ChunkLocation -> count
+    #: ChunkLocation -> count of *logical* chunks placed there.  A chunk
+    #: coalesced into the previous on-disk chunk still counts (Table 2
+    #: counts spilled chunks, not on-disk files); ``disk_appends`` says
+    #: how many of the disk chunks were coalesced.
+    chunks: Counter = field(default_factory=Counter)
     disk_appends: int = 0
 
     @property
@@ -280,6 +285,11 @@ class SpongeFile:
         op = self.session.allocate(chunk, last_handle=self._last_disk_handle())
         if self.config.async_writes:
             self._pending.append(self.executor.spawn(op))
+            registry = obs._registry
+            if registry is not None:
+                registry.histogram("spongefile.pipeline.depth").record(
+                    len(self._pending)
+                )
         else:
             result = yield from op
             self._record(result)
@@ -297,12 +307,12 @@ class SpongeFile:
 
     def _record(self, result: tuple[ChunkHandle, bool]) -> None:
         handle, appended = result
+        self.stats.chunks[handle.location] += 1
         if appended:
             self.stats.disk_appends += 1
             self._pending_appended_to = handle
         else:
             self._handles.append(handle)
-            self.stats.chunks[handle.location] += 1
             self._pending_appended_to = None
 
 

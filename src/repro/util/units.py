@@ -8,6 +8,7 @@ matching Hadoop's conventions.
 
 from __future__ import annotations
 
+import math
 import re
 
 from repro.errors import ConfigError
@@ -45,6 +46,13 @@ def parse_size(text: str | int | float) -> int:
     4096
     """
     if isinstance(text, (int, float)):
+        # Sizes are byte counts: negative, NaN and infinite numbers
+        # used to slip through (``int(nan)`` raised a bare ValueError,
+        # ``int(-5)`` silently produced a negative size).
+        if isinstance(text, float) and not math.isfinite(text):
+            raise ConfigError(f"size must be finite, got {text!r}")
+        if text < 0:
+            raise ConfigError(f"size must be non-negative, got {text!r}")
         return int(text)
     match = _SIZE_RE.match(text)
     if not match:

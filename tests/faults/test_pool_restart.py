@@ -82,7 +82,14 @@ def test_wiped_restart_loses_the_chunks(cluster):
 def test_tracker_outage_serves_stale_list_then_recovers(cluster):
     client = TrackerClient(cluster.tracker_address, cache_ttl=0.05,
                            pool=ConnectionPool())
+    # The previous test just restarted a server; under load the
+    # tracker's next poll may not have re-seen it yet, so wait for a
+    # full free list before snapshotting it as the stale baseline.
+    deadline = time.monotonic() + 10
     live = client.free_list()
+    while len(live) < 2 and time.monotonic() < deadline:
+        time.sleep(0.1)  # cache TTL, then a real re-fetch
+        live = client.free_list()
     assert len(live) == 2
 
     cluster.kill_tracker()

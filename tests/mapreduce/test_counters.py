@@ -9,6 +9,12 @@ class TestTaskCounters:
         task = TaskCounters(started=10.0, finished=25.5)
         assert task.runtime == 15.5
 
+    def test_runtime_none_while_unfinished(self):
+        # ``finished`` stays 0.0 until completion; the old code returned
+        # started-finished as a huge negative runtime for live tasks.
+        assert TaskCounters(started=10.0).runtime is None
+        assert TaskCounters().runtime is None
+
     def test_fragmentation_zero_without_chunks(self):
         assert TaskCounters().chunk_fragmentation(1 * MB) == 0.0
 
@@ -55,3 +61,22 @@ class TestJobCounters:
     def test_task_runtimes(self):
         job = self.make()
         assert job.task_runtimes(maps=False) == [50, 200]
+
+    def test_task_runtimes_skip_unfinished(self):
+        job = self.make()
+        job.add(TaskCounters(task_id="r2", is_map=False, started=100.0))
+        assert job.task_runtimes(maps=False) == [50, 200]
+
+    def test_straggler_skips_unfinished_attempts(self):
+        # A cancelled speculative attempt with the biggest partial input
+        # must not win the straggler slot.
+        job = self.make()
+        job.add(TaskCounters(task_id="r9", is_map=False, input_bytes=9999,
+                             started=10.0))
+        assert job.straggler().task_id == "r1"
+
+    def test_straggler_none_when_nothing_finished(self):
+        job = JobCounters()
+        job.add(TaskCounters(task_id="r0", is_map=False, input_bytes=5,
+                             started=1.0))
+        assert job.straggler() is None

@@ -1,0 +1,86 @@
+"""Integration: a remote spill shows up in ``LocalSpongeCluster.scrape``.
+
+Spins up real server/tracker processes, spills a SpongeFile whose
+chunks must land in *remote* sponge memory (no local pool attached),
+reads it back, and asserts the merged scrape carries the acceptance
+signals: server alloc/read counters, the tracker poll-age gauge,
+connection reuse counts, and per-location allocation outcomes.
+"""
+
+import pytest
+
+from repro import obs
+from repro.runtime import LocalSpongeCluster
+from repro.runtime.connection_pool import ConnectionPool
+from repro.sponge import ChunkLocation, SpongeConfig, SpongeFile
+
+CHUNK = 64 * 1024
+POOL = 4 * CHUNK
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalSpongeCluster(num_nodes=3, pool_size=POOL, chunk_size=CHUNK,
+                            poll_interval=0.1, gc_interval=0.5) as cluster:
+        yield cluster
+
+
+def test_remote_spill_visible_in_scrape(cluster):
+    with obs.collecting(source="client") as registry:
+        config = SpongeConfig(chunk_size=CHUNK)
+        # A private pool so this test's reuse counts are its own.
+        connections = ConnectionPool()
+        chain = cluster.chain(0, config=config, attach_local_pool=False,
+                              connection_pool=connections)
+        owner = cluster.task_id(0, "scraped")
+        sf = SpongeFile(owner, chain, config)
+        payload = bytes(range(256)) * (3 * CHUNK // 256)
+        sf.write_all(payload)
+        sf.close_sync()
+        assert all(
+            h.location is ChunkLocation.REMOTE_MEMORY for h in sf.handles
+        )
+        assert sf.read_all() == payload
+
+        snapshot = cluster.scrape()
+
+        # Server side: allocations and reads of real bytes.
+        assert snapshot.counters["server.alloc.count"] >= 3
+        assert snapshot.counters["server.alloc.bytes"] >= 3 * CHUNK
+        assert snapshot.counters["server.read.count"] >= 3
+        assert snapshot.histograms["server.alloc.seconds"]["count"] >= 3
+        # Tracker side: it polled recently and answered our free-list ask.
+        assert 0.0 <= snapshot.gauges["tracker.poll.age_seconds"] < 30.0
+        assert snapshot.counters["tracker.polls"] >= 1
+        assert snapshot.counters["tracker.freelist.queries"] >= 1
+        # Client side: per-location outcomes and pooled-connection reuse.
+        assert snapshot.counters["alloc.outcome.remote-memory"] == 3
+        assert snapshot.counters["alloc.bytes.remote-memory"] == 3 * CHUNK
+        assert "alloc.outcome.local-memory" not in snapshot.counters
+        assert snapshot.counters["conn.connects"] >= 1
+        assert snapshot.counters["conn.reuses"] >= 1
+        # The merged fold saw one snapshot per process plus our own.
+        assert "client" in snapshot.sources
+        assert any(s.startswith("sponge@") for s in snapshot.sources)
+        assert "tracker" in snapshot.sources
+        assert snapshot.negative_counters() == []
+
+        sf.delete_sync()
+        after_delete = cluster.scrape()
+        assert after_delete.counters["server.free.count"] >= 3
+        connections.close()
+
+
+def test_scrape_without_client_registry_still_sees_servers(cluster):
+    assert obs._registry is None
+    snapshot = cluster.scrape()
+    assert not snapshot.empty
+    assert "tracker.poll.age_seconds" in snapshot.gauges
+
+
+def test_stats_op_direct(cluster):
+    from repro.runtime import protocol
+
+    stats = protocol.fetch_stats(cluster.server_address(0))
+    assert "counters" in stats and "gauges" in stats
+    assert "server.pool.free_bytes" in stats["gauges"]

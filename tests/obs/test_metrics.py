@@ -1,0 +1,203 @@
+"""Unit tests for the metrics registry: kinds, buckets, merge laws."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    MAX_BUCKET_EXP,
+    MIN_BUCKET_EXP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    bucket_index,
+)
+
+
+class TestBucketIndex:
+    def test_exact_power_of_two_edges(self):
+        # Bucket k covers [2**k, 2**(k+1)): the edge belongs to the
+        # upper bucket, one ulp below it to the lower.
+        assert bucket_index(1.0) == 0
+        assert bucket_index(2.0) == 1
+        assert bucket_index(2.0 - 2**-52) == 0
+        assert bucket_index(4.0) == 2
+        assert bucket_index(3.999999) == 1
+        assert bucket_index(0.5) == -1
+        assert bucket_index(1024) == 10
+
+    def test_clamping_and_non_positive(self):
+        assert bucket_index(0) == MIN_BUCKET_EXP
+        assert bucket_index(-5.0) == MIN_BUCKET_EXP
+        assert bucket_index(2.0**-100) == MIN_BUCKET_EXP
+        assert bucket_index(2.0**200) == MAX_BUCKET_EXP
+
+
+class TestMetricKinds:
+    def test_counter_rejects_negative_increment(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 8.0):
+            hist.record(value)
+        data = hist.to_dict()
+        assert data["count"] == 3
+        assert data["sum"] == 11.0
+        assert data["min"] == 1.0
+        assert data["max"] == 8.0
+        assert data["buckets"] == {"0": 1, "1": 1, "3": 1}
+
+    def test_registry_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_observe_records_duration(self):
+        registry = MetricsRegistry()
+        registry.observe("op.seconds", started_at=1.0, ended_at=1.5)
+        snap = registry.snapshot()
+        assert snap.histograms["op.seconds"]["count"] == 1
+        assert snap.histograms["op.seconds"]["sum"] == 0.5
+
+
+class TestSnapshotMerge:
+    def build(self, source, counter, gauge, values):
+        registry = MetricsRegistry(source=source)
+        registry.counter("c").inc(counter)
+        registry.gauge("g").set(gauge)
+        for value in values:
+            registry.histogram("h").record(value)
+        return registry.snapshot()
+
+    def test_merge_sums_counters_gauges_buckets(self):
+        a = self.build("a", 3, 10, [1.0])
+        b = self.build("b", 4, 5, [2.0, 1.5])
+        merged = a.merge(b)
+        assert merged.counters["c"] == 7
+        assert merged.gauges["g"] == 15
+        assert merged.histograms["h"]["count"] == 3
+        assert merged.histograms["h"]["min"] == 1.0
+        assert merged.histograms["h"]["max"] == 2.0
+        assert merged.sources == ["a", "b"]
+
+    def test_merge_is_associative(self):
+        a = self.build("a", 1, 2, [0.5])
+        b = self.build("b", 10, 20, [4.0, 4.5])
+        c = self.build("c", 100, 200, [64.0])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_dict() == right.to_dict()
+
+    def test_merge_with_empty_is_identity(self):
+        a = self.build("a", 5, 1, [2.0])
+        empty = MetricsSnapshot()
+        assert empty.merge(a).counters == a.counters
+        assert a.merge(empty).histograms == a.histograms
+        assert empty.empty and not a.empty
+
+    def test_roundtrip_through_json_dict(self):
+        a = self.build("a", 2, 3, [1.0, 1024.0])
+        again = MetricsSnapshot.from_dict(a.to_dict())
+        assert again.to_dict() == a.to_dict()
+        assert again.merge(a).counters["c"] == 4
+
+    def test_negative_counters_flagged(self):
+        snap = MetricsSnapshot(counters={"ok": 1, "bad": -2})
+        assert snap.negative_counters() == ["bad"]
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        registry = MetricsRegistry(source="node0")
+        registry.counter("server.alloc.count").inc(2)
+        registry.gauge("server.pool.occupancy").set(0.5)
+        registry.histogram("server.alloc.seconds").record(0.25)
+        text = registry.snapshot().to_prometheus()
+        assert "# TYPE server_alloc_count counter" in text
+        assert "server_alloc_count 2" in text
+        assert "# TYPE server_pool_occupancy gauge" in text
+        assert "# TYPE server_alloc_seconds histogram" in text
+        assert 'server_alloc_seconds_bucket{le="+Inf"} 1' in text
+        assert "server_alloc_seconds_count 1" in text
+
+    def test_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 1.5, 4.0):
+            registry.histogram("h").record(value)
+        text = registry.snapshot().to_prometheus()
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="8"} 3' in text
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_drop(self):
+        registry = MetricsRegistry()
+        per_thread = 2000
+
+        def worker():
+            counter = registry.counter("hits")
+            hist = registry.histogram("lat")
+            for i in range(per_thread):
+                counter.inc()
+                hist.record(i % 7 + 0.5)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap.counters["hits"] == 8 * per_thread
+        assert snap.histograms["lat"]["count"] == 8 * per_thread
+
+    def test_concurrent_creation_yields_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(registry.counter("same"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestModuleGlobal:
+    def test_install_uninstall(self):
+        assert obs.installed() is None
+        registry = obs.install(source="test")
+        try:
+            assert obs._registry is registry
+            assert obs.installed() is registry
+        finally:
+            obs.uninstall()
+        assert obs._registry is None
+
+    def test_collecting_context(self):
+        with obs.collecting(source="ctx") as registry:
+            registry.counter("x").inc()
+            assert obs._registry is registry
+        assert obs._registry is None

@@ -1,0 +1,91 @@
+"""Unit tests for the span tracer: nesting, ring buffer, no-op path."""
+
+import json
+import threading
+
+from repro.obs import trace
+from repro.obs.trace import Tracer
+
+
+class TestTracer:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("op", nbytes=42) as span:
+            pass
+        assert len(tracer) == 1
+        exported = tracer.export()[0]
+        assert exported["name"] == "op"
+        assert exported["attrs"] == {"nbytes": 42}
+        assert exported["duration"] >= 0
+        assert span.ended_at >= span.started_at
+
+    def test_nested_spans_set_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id() == inner.span_id
+            assert tracer.current_span_id() == outer.span_id
+        assert tracer.current_span_id() is None
+        by_name = {s["name"]: s for s in tracer.export()}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_record_is_generator_safe(self):
+        tracer = Tracer()
+        span = tracer.record("store.write", 1.0, 3.5, location="local-disk")
+        assert span.duration == 2.5
+        assert tracer.export("store.write")[0]["attrs"] == {
+            "location": "local-disk"
+        }
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.record(f"op{i}", 0.0, 1.0)
+        names = [s["name"] for s in tracer.export()]
+        assert names == ["op6", "op7", "op8", "op9"]
+
+    def test_export_filter_and_json(self):
+        tracer = Tracer(source="t")
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 0.0, 1.0)
+        assert [s["name"] for s in tracer.export("b")] == ["b"]
+        data = json.loads(tracer.to_json())
+        assert data["source"] == "t"
+        assert len(data["spans"]) == 2
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_threads_have_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name):
+                seen[name] = tracer.current_span_id()
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        parents = {s["name"]: s["parent_id"] for s in tracer.export()}
+        assert all(p is None for p in parents.values())
+        assert len(set(seen.values())) == 4
+
+
+class TestModuleGlobal:
+    def test_disarmed_span_is_noop(self):
+        assert trace._tracer is None
+        with trace.span("ignored") as span:
+            assert span is None
+
+    def test_tracing_context_installs_and_removes(self):
+        with trace.tracing(source="ctx") as tracer:
+            assert trace._tracer is tracer
+            with trace.span("seen") as span:
+                assert span is not None
+            assert len(tracer) == 1
+        assert trace._tracer is None

@@ -1,7 +1,11 @@
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.util.units import GB, KB, MB, TB, fmt_duration, fmt_size, parse_size
+
+_FACTORS = {"B": 1, "KB": KB, "MB": MB, "GB": GB, "TB": TB}
 
 
 class TestParseSize:
@@ -27,10 +31,25 @@ class TestParseSize:
         assert parse_size(4096) == 4096
         assert parse_size(1.5) == 1
 
-    @pytest.mark.parametrize("text", ["", "GB", "10 XB", "ten MB", "1..5 MB"])
+    @pytest.mark.parametrize(
+        "text", ["", "GB", "10 XB", "ten MB", "1..5 MB", "1 QB", "-1 MB"]
+    )
     def test_invalid(self, text):
         with pytest.raises(ConfigError):
             parse_size(text)
+
+    def test_rejects_negative_numbers(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+        with pytest.raises(ConfigError):
+            parse_size(-0.5)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_non_finite_numbers(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
 
 
 class TestFmtSize:
@@ -45,6 +64,34 @@ class TestFmtSize:
     def test_roundtrip_magnitude(self):
         for value in [3, 3 * KB, 3 * MB, 3 * GB, 3 * TB]:
             assert parse_size(fmt_size(value)) == value
+
+
+class TestRoundTripProperties:
+    """fmt_size -> parse_size round-trips within display precision."""
+
+    @given(st.integers(min_value=0, max_value=100 * TB))
+    def test_roundtrip_error_is_bounded(self, nbytes):
+        text = fmt_size(nbytes)
+        parsed = parse_size(text)
+        # fmt_size keeps one decimal place of the displayed unit, and
+        # parse_size truncates to whole bytes: the round-trip error is
+        # at most half an ulp of the display (0.05 unit) plus 1 byte.
+        factor = _FACTORS[text.split()[-1]]
+        assert abs(parsed - nbytes) <= 0.05 * factor + 1
+
+    @given(
+        st.sampled_from([1, KB, MB, GB, TB]),
+        st.integers(min_value=0, max_value=1023),
+    )
+    def test_exact_unit_multiples_roundtrip_exactly(self, factor, count):
+        nbytes = count * factor
+        assert parse_size(fmt_size(nbytes)) == nbytes
+
+    @given(st.integers(min_value=0, max_value=100 * TB))
+    def test_parse_output_is_nonnegative_int(self, nbytes):
+        parsed = parse_size(fmt_size(nbytes))
+        assert isinstance(parsed, int)
+        assert parsed >= 0
 
 
 class TestFmtDuration:
