@@ -1,0 +1,196 @@
+"""Batched spill throughput vs batch depth: MB/s and RPCs per spill.
+
+Spills one 64 MB SpongeFile (64 x 1 MB chunks, every chunk remote)
+through a 3-server :class:`LocalSpongeCluster` at several client batch
+depths, and reports for each depth the best-round write/read throughput
+plus the number of round trips (RPCs) the spill cost — the quantity the
+batching work actually optimises: depth 1 pays one ``alloc_write`` per
+chunk (~64 RPCs per spill), depth 32 coalesces the same bytes into a
+couple of ``write_batch`` calls plus a lease.
+
+Results are written as JSON (default ``BENCH_runtime.json``) so CI can
+upload them; ``--check`` additionally enforces the acceptance floor
+(>= 1.5x write throughput at depth 32 vs 1, <= 8 write RPCs per 64 MB
+spill) and exits non-zero when it regresses.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_depth.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+from repro.util.units import MB
+
+CHUNK = 1 * MB
+SPILL_CHUNKS = 64  # one spill = 64 MB, the ISSUE's reference size
+
+
+class _DepthBench:
+    """One batch depth's long-lived client state plus its round log."""
+
+    def __init__(self, cluster: LocalSpongeCluster, depth: int) -> None:
+        # lease_ahead stays 0: leasing trades an up-front RPC for
+        # skipping the server's allocation scan on later writes, which
+        # pays off under multi-writer allocation contention (the chaos
+        # harness covers it) but only adds round trips to a
+        # single-writer spill like this one.  No executor either: the
+        # synchronous path is the paper's "64 synchronous RPCs" framing
+        # and isolates batching (fewer round trips) from pipelining
+        # (overlapped round trips), which PR 3 measures separately —
+        # and serial rounds are far less scheduler-noise-sensitive on a
+        # shared host.
+        self.config = SpongeConfig(
+            chunk_size=CHUNK,
+            batch_depth=depth,
+        )
+        self.pool = ConnectionPool()
+        self.chain = cluster.chain(
+            0, config=self.config, attach_local_pool=False,
+            connection_pool=self.pool,
+        )
+        self.owner = cluster.task_id(0, f"bench-depth{depth}")
+        self.rows: list[dict] = []
+
+    def one_round(self, payload: bytes) -> dict:
+        spill = SpongeFile(self.owner, self.chain, config=self.config)
+        rpc0 = self.pool.request_count
+        t0 = time.perf_counter()
+        for _ in range(SPILL_CHUNKS):
+            spill.write_all(payload)
+        spill.close_sync()
+        t1 = time.perf_counter()
+        write_rpcs = self.pool.request_count - rpc0
+        reader = spill.open_reader()
+        received = 0
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            received += len(chunk)
+        t2 = time.perf_counter()
+        read_rpcs = self.pool.request_count - rpc0 - write_rpcs
+        spill.delete_sync()
+        assert received == SPILL_CHUNKS * CHUNK, "spill truncated"
+        return {
+            "write_mb_s": SPILL_CHUNKS / (t1 - t0),
+            "read_mb_s": SPILL_CHUNKS / (t2 - t1),
+            "write_rpcs": write_rpcs,
+            "read_rpcs": read_rpcs,
+        }
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def median(self) -> dict:
+        # Median write round: on a shared/single-CPU host both tails
+        # are noise (a stalled round *and* a lucky one), so the middle
+        # round is the steady-state figure.  RPC counts are
+        # deterministic per round.
+        rows = sorted(self.rows, key=lambda r: r["write_mb_s"])
+        return rows[len(rows) // 2]
+
+
+def run(depths: list[int], rounds: int) -> dict:
+    payload = bytes(CHUNK)
+    # Slow background poll/GC: their periodic free_bytes RPCs otherwise
+    # contend with the timed rounds on a single-CPU host.
+    with LocalSpongeCluster(
+        num_nodes=3, pool_size=64 * MB, chunk_size=CHUNK,
+        poll_interval=2.0, gc_interval=60.0,
+    ) as cluster:
+        benches = {d: _DepthBench(cluster, d) for d in depths}
+        try:
+            # Round-robin across depths so every depth samples the same
+            # machine-noise regime — back-to-back per-depth blocks let a
+            # load spike land entirely on one depth and skew the ratio.
+            # Round 0 is an untimed warm-up (connection setup,
+            # first-touch page faults).
+            for round_no in range(rounds + 1):
+                for bench in benches.values():
+                    row = bench.one_round(payload)
+                    if round_no > 0:
+                        bench.rows.append(row)
+        finally:
+            for bench in benches.values():
+                bench.close()
+        results = {str(d): benches[d].median() for d in depths}
+    report = {
+        "benchmark": "runtime-batch-depth",
+        "chunk_mb": CHUNK // MB,
+        "spill_mb": SPILL_CHUNKS * CHUNK // MB,
+        "rounds": rounds,
+        "depths": results,
+    }
+    lo, hi = min(depths), max(depths)
+    if lo != hi:
+        # Paired per-round ratios: round r's deepest-depth spill runs
+        # seconds after round r's depth-1 spill, so dividing within the
+        # round cancels the slow machine-load drift that independent
+        # per-depth medians are exposed to (runs minutes apart can
+        # otherwise swing the ratio by +-10% on a shared host).
+        ratios = sorted(
+            deep["write_mb_s"] / shallow["write_mb_s"]
+            for shallow, deep in zip(benches[lo].rows, benches[hi].rows)
+        )
+        report["write_speedup_max_vs_min_depth"] = round(
+            ratios[len(ratios) // 2], 3
+        )
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="spill throughput and RPC counts vs client batch depth"
+    )
+    parser.add_argument("--depths", type=int, nargs="+", default=[1, 8, 32])
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the acceptance floor (1.5x write "
+                             "speedup, <= 8 write RPCs per 64 MB spill)")
+    args = parser.parse_args(argv)
+
+    report = run(sorted(set(args.depths)), args.rounds)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(f"{'depth':>6s} {'write MB/s':>12s} {'read MB/s':>12s} "
+          f"{'write RPCs':>11s} {'read RPCs':>10s}")
+    for depth, row in report["depths"].items():
+        print(f"{depth:>6s} {row['write_mb_s']:12.1f} {row['read_mb_s']:12.1f}"
+              f" {row['write_rpcs']:11d} {row['read_rpcs']:10d}")
+    speedup = report.get("write_speedup_max_vs_min_depth")
+    if speedup is not None:
+        print(f"write speedup (deepest vs depth "
+              f"{min(report['depths'], key=int)}): {speedup:.2f}x")
+    print(f"written to {args.out}")
+
+    if args.check:
+        failures = []
+        deepest = report["depths"][max(report["depths"], key=int)]
+        if speedup is not None and speedup < 1.5:
+            failures.append(f"write speedup {speedup:.2f}x < 1.5x")
+        if deepest["write_rpcs"] > 8:
+            failures.append(
+                f"{deepest['write_rpcs']} write RPCs per 64 MB spill > 8"
+            )
+        for failure in failures:
+            print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,38 +39,50 @@ ROUNDS = 8  # 8 rounds x 32 MB = 256 MB through every medium
 class _OneShotConnections:
     """The pre-change client behaviour: a fresh TCP connection per request."""
 
+    def __init__(self):
+        self.request_count = 0
+
     def request(self, address, header, payload=b"", timeout=None):
+        self.request_count += 1
         return protocol.request(address, header, payload, timeout=timeout)
 
 
+def _rpc_count(store) -> int:
+    """Round trips the store's connection layer has issued (0 if local)."""
+    return getattr(getattr(store, "connections", None), "request_count", 0)
+
+
 def _store_lifecycle(store, owner, payload):
-    """Push one round through a store; returns (write_s, read_s, free_s)."""
-    write_s = read_s = free_s = 0.0
+    """Push one round through a store; returns per-phase (seconds, RPCs)."""
+    r0 = _rpc_count(store)
     t0 = time.perf_counter()
     handles = [store._write(owner, payload) for _ in range(ROUND_CHUNKS)]
     t1 = time.perf_counter()
+    r1 = _rpc_count(store)
     for handle in handles:
         assert len(store._read(handle)) == CHUNK
     t2 = time.perf_counter()
+    r2 = _rpc_count(store)
     for handle in handles:
         store._free(handle)
     t3 = time.perf_counter()
-    write_s += t1 - t0
-    read_s += t2 - t1
-    free_s += t3 - t2
-    return write_s, read_s, free_s
+    r3 = _rpc_count(store)
+    return (t1 - t0, t2 - t1, t3 - t2), (r1 - r0, r2 - r1, r3 - r2)
 
 
 def _measure_store(store, owner, payload):
     """Best-round throughput: the first round pays first-touch page
     faults and connection warm-up, and a single-CPU host adds noise
-    spikes, so the fastest round is the steady-state figure."""
+    spikes, so the fastest round is the steady-state figure.  RPC
+    counts are deterministic per round, so the last round's stand."""
     rounds = [_store_lifecycle(store, owner, payload) for _ in range(ROUNDS)]
-    best = [min(phases) for phases in zip(*rounds)]
+    best = [min(phases) for phases in zip(*(times for times, _rpcs in rounds))]
+    rpcs = rounds[-1][1]
     return {
         "write": ROUND_CHUNKS / best[0],
         "read": ROUND_CHUNKS / best[1],
         "free_us": best[2] / ROUND_CHUNKS * 1e6,
+        "rpcs": rpcs,
     }
 
 
@@ -79,18 +91,22 @@ def _measure_spongefile(cluster, owner):
     config = SpongeConfig(chunk_size=CHUNK, async_write_depth=4,
                           prefetch_depth=4)
     executor = ThreadExecutor(max_workers=8)
+    pool = ConnectionPool()
     chain = cluster.chain(0, config=config, attach_local_pool=False,
-                          executor=executor)
+                          executor=executor, connection_pool=pool)
     payload = bytes(CHUNK)
     best_write = best_read = float("inf")
+    rpcs = (0, 0, 0)
     try:
         for _ in range(ROUNDS):
             spill = SpongeFile(owner, chain, config=config)
+            r0 = pool.request_count
             t0 = time.perf_counter()
             for _ in range(ROUND_CHUNKS):
                 spill.write_all(payload)
             spill.close_sync()
             t1 = time.perf_counter()
+            r1 = pool.request_count
             reader = spill.open_reader()
             received = 0
             while True:
@@ -99,14 +115,18 @@ def _measure_spongefile(cluster, owner):
                     break
                 received += len(chunk)
             t2 = time.perf_counter()
+            r2 = pool.request_count
             spill.delete_sync()
+            r3 = pool.request_count
             assert received == ROUND_CHUNKS * CHUNK
             best_write = min(best_write, t1 - t0)
             best_read = min(best_read, t2 - t1)
+            rpcs = (r1 - r0, r2 - r1, r3 - r2)
     finally:
         executor.close()
+        pool.close()
     return {"write": ROUND_CHUNKS / best_write,
-            "read": ROUND_CHUNKS / best_read, "free_us": 0.0}
+            "read": ROUND_CHUNKS / best_read, "free_us": 0.0, "rpcs": rpcs}
 
 
 @pytest.mark.benchmark(group="runtime-throughput")
@@ -151,10 +171,12 @@ def test_bench_runtime_data_path(benchmark, tmp_path):
         metrics = cluster.scrape()
 
     print()
-    print(f"{'medium':20s} {'write MB/s':>12s} {'read MB/s':>12s} {'free us':>9s}")
+    print(f"{'medium':20s} {'write MB/s':>12s} {'read MB/s':>12s} "
+          f"{'free us':>9s} {'RPCs w/r/f':>12s}")
     for medium, row in results.items():
+        w_rpc, r_rpc, f_rpc = row["rpcs"]
         print(f"{medium:20s} {row['write']:12.1f} {row['read']:12.1f} "
-              f"{row['free_us']:9.1f}")
+              f"{row['free_us']:9.1f} {f'{w_rpc}/{r_rpc}/{f_rpc}':>12s}")
     pooled, oneshot = results["remote-pooled"], results["remote-oneshot"]
     print(f"pooled/oneshot: write {pooled['write'] / oneshot['write']:.2f}x  "
           f"read {pooled['read'] / oneshot['read']:.2f}x")

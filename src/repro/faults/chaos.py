@@ -93,6 +93,14 @@ class ChaosSettings:
     max_file_chunks: int = 6
     async_write_depth: int = 2
     prefetch_depth: int = 2
+    #: Writer-side chunk batching depth (1 = the classic one-chunk-per-
+    #: RPC path; >1 exercises lease/write_batch/read_batch under chaos).
+    batch_depth: int = 1
+    #: Lease-ahead target per remote store (0 disables leasing).
+    lease_ahead: int = 0
+    #: Server-side lease TTL.  Deliberately short so a crashed writer's
+    #: reservations are reclaimed within the harness' GC deadline.
+    lease_ttl: float = 2.0
     #: Kill/restart servers and the tracker between epochs.
     kill_servers: bool = True
     #: SIGKILL one extra writer mid-write (GC reclamation check).
@@ -174,6 +182,14 @@ def build_fault_plan(settings: ChaosSettings) -> FaultPlan:
                           after=rng.randint(0, 2))
     # Occasional server-side chunk loss on read (owning task fails).
     plan.lose_chunks(times=1, probability=0.25)
+    if settings.batch_depth > 1:
+        # (f) batched-path faults: refused leases (writers must degrade
+        # to plain writes), a stalled batch sink, and whole-batch chunk
+        # loss on read.
+        plan.deny_lease(times=rng.randint(1, 3), after=rng.randint(0, 2))
+        plan.stall("server.write_batch", delay=0.01 * rng.randint(1, 3),
+                   times=rng.randint(1, 2), probability=0.5)
+        plan.lose_chunks(site="server.read_batch", times=1, probability=0.25)
     return plan
 
 
@@ -236,6 +252,8 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
         tracker_poll_interval=0.2,
         async_write_depth=settings.async_write_depth,
         prefetch_depth=settings.prefetch_depth,
+        batch_depth=settings.batch_depth,
+        lease_ahead=settings.lease_ahead,
     )
     result = {"writer": writer_id, "rounds_ok": 0,
               "expected": [], "violations": []}
@@ -358,6 +376,7 @@ def run_chaos(settings: ChaosSettings) -> ChaosReport:
         chunk_size=settings.chunk_size,
         poll_interval=0.2,
         gc_interval=0.5,
+        lease_ttl=settings.lease_ttl,
         fault_plan=plan,
     )
     with cluster:
@@ -462,6 +481,15 @@ def _collect_metrics(cluster: LocalSpongeCluster,
     negative = merged.negative_counters()
     if negative:
         report.violations.append(f"negative counters in scrape: {negative}")
+    # The merge sums gauges, so the cluster-wide outstanding-lease count
+    # is zero iff every server's is.  Anything left after the writers
+    # are dead and GC has run is leaked pool capacity (satellite: leased
+    # -but-never-written chunks must not leak).
+    outstanding = merged.gauges.get("server.leases.outstanding", 0)
+    if outstanding:
+        report.violations.append(
+            f"{outstanding} leases still outstanding after GC"
+        )
 
 
 def _check_pools_reclaimed(cluster: LocalSpongeCluster,
@@ -516,6 +544,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--nodes", type=int, default=3)
     parser.add_argument("--no-kills", action="store_true",
                         help="skip server/tracker kill-restart events")
+    parser.add_argument("--batch-depth", type=int, default=1,
+                        help="writer chunk-batching depth (default 1)")
+    parser.add_argument("--lease-ahead", type=int, default=0,
+                        help="lease-ahead target per remote store "
+                             "(default 0: no leasing)")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the merged metrics snapshot as JSON "
                              "(readable by python -m repro.obs.dump --input)")
@@ -523,6 +556,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     settings = ChaosSettings(
         seed=args.seed, writers=args.writers, rounds=args.rounds,
         num_nodes=args.nodes, kill_servers=not args.no_kills,
+        batch_depth=args.batch_depth, lease_ahead=args.lease_ahead,
     )
     report = run_chaos(settings)
     print(report.summary())

@@ -22,6 +22,25 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+#: Every site name fired anywhere in the tree.  Purely documentary —
+#: ``fire`` never validates against it — but tests assert fault plans
+#: only target known sites, which catches typos in rule patterns.
+KNOWN_SITES = frozenset({
+    "local.alloc",
+    "server.alloc",
+    "server.lease",
+    "server.write_batch",
+    "server.read",
+    "server.read_batch",
+    "server.free_bytes",
+    "tracker.poll",
+    "tracker.free_list",
+    "conn.connect",
+    "conn.send",
+    "conn.await_reply",
+    "disk.write",
+})
+
 #: The armed plan, or None.  Read directly by hot-path guards.
 _armed: Optional[Any] = None
 

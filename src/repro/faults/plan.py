@@ -17,7 +17,10 @@ site                 fired from                             context keys
 ===================  =====================================  =================
 ``local.alloc``      ``LocalMmapStore._write``              host, owner, nbytes
 ``server.alloc``     sponge server ``alloc_write``          host, owner, nbytes
+``server.lease``     sponge server ``lease``                host, owner, count
+``server.write_batch``  sponge server ``write_batch`` sink  host, owner, chunks, nbytes
 ``server.read``      sponge server ``read``                 host, index
+``server.read_batch``  sponge server ``read_batch``         host, owner, chunks
 ``server.free_bytes``  sponge server ``free_bytes``         host
 ``tracker.poll``     tracker snapshot refresh               (none)
 ``tracker.free_list``  tracker ``free_list`` reply          client
@@ -256,12 +259,22 @@ class FaultPlan:
             action = FaultAction("raise", OSError, "injected disk IO error")
         return self.rule("disk.write", action, **kwargs)
 
-    def lose_chunks(self, **kwargs) -> "FaultPlan":
-        """Server-side reads fail as if the chunk's host was lost."""
+    def lose_chunks(self, site: str = "server.read", **kwargs) -> "FaultPlan":
+        """Server-side reads fail as if the chunk's host was lost.
+
+        Pass ``site="server.read_batch"`` to lose whole batched reads.
+        """
         from repro.errors import SpongeError
 
-        return self.rule("server.read", FaultAction(
+        return self.rule(site, FaultAction(
             "raise", SpongeError, "injected chunk loss",
+        ), **kwargs)
+
+    def deny_lease(self, **kwargs) -> "FaultPlan":
+        """Refuse chunk-lease reservations (leasing is best-effort, so
+        writers must degrade to plain batched/single writes)."""
+        return self.rule("server.lease", FaultAction(
+            "raise", OutOfSpongeMemory, "injected lease refusal",
         ), **kwargs)
 
     # -- firing --------------------------------------------------------------

@@ -31,6 +31,7 @@ from typing import Iterator, Optional
 from repro.obs import trace
 from repro.obs.metrics import (
     Counter,
+    Ewma,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -72,6 +73,7 @@ def collecting(source: str = "") -> Iterator[MetricsRegistry]:
 
 __all__ = [
     "Counter",
+    "Ewma",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -96,6 +96,36 @@ class Gauge:
         return self._value
 
 
+class Ewma:
+    """An exponentially weighted moving average of a sampled rate.
+
+    The tracker uses one per sponge server to smooth the
+    allocations-per-second it derives from consecutive polls into a
+    load signal for placement (a single busy poll should not eject a
+    server from every client's candidate list, but a sustained burst
+    should push it down the order).
+    """
+
+    __slots__ = ("alpha", "_value")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"EWMA alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return 0.0 if self._value is None else self._value
+
+
 class Histogram:
     """Fixed log2-bucket histogram with count/sum/min/max."""
 

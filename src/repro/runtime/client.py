@@ -18,12 +18,15 @@
 from __future__ import annotations
 
 import logging
+import math
 import time
+from collections import deque
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import (
     ChunkLostError,
+    ConfigError,
     RuntimeBackendError,
     SpongeError,
     StoreUnavailableError,
@@ -104,6 +107,7 @@ class RemoteServerStore(SyncChunkStore):
     """
 
     location = ChunkLocation.REMOTE_MEMORY
+    supports_batch = True
 
     def __init__(self, server_id: str, address: Address,
                  timeout: float = 5.0,
@@ -112,6 +116,11 @@ class RemoteServerStore(SyncChunkStore):
         self.address = tuple(address)
         self.timeout = timeout
         self.connections = pool if pool is not None else default_pool()
+        #: str(owner) -> chunk indices reserved on the server but not
+        #: yet written (the ``lease`` op).  Consumed oldest-first by
+        #: batched writes; released at close; reclaimed by the server's
+        #: GC sweep if this process dies holding them.
+        self._leases: dict[str, deque[int]] = {}
 
     def free_bytes(self) -> Optional[int]:
         reply, _ = self.connections.request(
@@ -168,6 +177,187 @@ class RemoteServerStore(SyncChunkStore):
             log.debug("free of chunk %s on %s skipped: %s",
                       index, self.store_id, exc)
 
+    # -- batched operations (one round trip for N chunks) -------------------
+
+    def lease(self, owner: TaskId, count: int) -> int:
+        """Reserve up to ``count`` chunks ahead in one round trip.
+
+        Returns how many reservations are now cached for ``owner``.
+        Leasing is purely an optimization — any failure (server full,
+        unreachable, op unknown to an old server) leaves the store in
+        its unleased state and batched writes simply allocate inline.
+        """
+        key = str(owner)
+        held = self._leases.setdefault(key, deque())
+        count = min(count, protocol.MAX_LEASE)
+        if count <= 0:
+            return len(held)
+        try:
+            reply, _ = self.connections.request(
+                self.address,
+                {"op": "lease", "count": count,
+                 **protocol.encode_owner(owner.host, owner.task)},
+                timeout=self.timeout,
+            )
+            protocol.check_reply(reply)
+        except (OSError, RuntimeBackendError, SpongeError) as exc:
+            log.debug("lease of %d chunks on %s skipped: %s",
+                      count, self.store_id, exc)
+            return len(held)
+        granted = [int(i) for i in reply.get("indices", [])]
+        held.extend(granted)
+        registry = obs._registry
+        if registry is not None and granted:
+            registry.counter("client.lease.granted").inc(len(granted))
+        return len(held)
+
+    def leases_held(self, owner: TaskId) -> int:
+        return len(self._leases.get(str(owner), ()))
+
+    def release_leases(self, owner: TaskId) -> None:
+        """Give unused reservations back (one best-effort round trip)."""
+        held = self._leases.pop(str(owner), None)
+        if not held:
+            return
+        try:
+            reply, _ = self.connections.request(
+                self.address,
+                {"op": "free_batch", "indices": list(held),
+                 **protocol.encode_owner(owner.host, owner.task)},
+                timeout=self.timeout,
+            )
+            protocol.check_reply(reply)
+        except (OSError, RuntimeBackendError, SpongeError) as exc:
+            # The server's lease TTL covers us: unreleased reservations
+            # are reclaimed by its GC sweep.
+            log.debug("lease release on %s skipped: %s", self.store_id, exc)
+
+    def _take_leases(self, owner: TaskId, count: int) -> Optional[list]:
+        """Cached reservations for a batch, padded with ``None`` where
+        the server must allocate inline; ``None`` when holding none."""
+        held = self._leases.get(str(owner))
+        if not held:
+            return None
+        return [held.popleft() if held else None for _ in range(count)]
+
+    def _write_batch(self, owner: TaskId, blobs: list) -> list[ChunkHandle]:
+        if not blobs:
+            return []
+        lens = [len(b) for b in blobs]
+        header = {
+            "op": "write_batch", "lens": lens,
+            **protocol.encode_owner(owner.host, owner.task),
+        }
+        indices = self._take_leases(owner, len(blobs))
+        if indices is not None:
+            header["indices"] = indices
+        try:
+            reply, _ = self.connections.request(
+                self.address, header, payload=blobs, timeout=self.timeout,
+            )
+        except NOT_PROCESSED_ERRORS as exc:
+            # Server gone (as far as this batch is concerned): abandon
+            # any cached reservations to its GC sweep.
+            self._leases.pop(str(owner), None)
+            raise StoreUnavailableError(
+                f"{self.store_id} unreachable: {exc}"
+            ) from exc
+        if (not reply.get("ok", False) and indices is not None
+                and "lease" in str(reply.get("error", ""))):
+            # A lease expired under us.  The batch is atomic server-side
+            # (nothing was committed), so retrying once without the
+            # reservations is safe; the rest of our cache is equally
+            # suspect, so drop it all.
+            self._leases.pop(str(owner), None)
+            header.pop("indices")
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("client.lease.expired_retries").inc()
+            try:
+                reply, _ = self.connections.request(
+                    self.address, header, payload=blobs, timeout=self.timeout,
+                )
+            except NOT_PROCESSED_ERRORS as exc:
+                raise StoreUnavailableError(
+                    f"{self.store_id} unreachable: {exc}"
+                ) from exc
+        protocol.check_reply(reply)
+        placed = reply.get("indices", [])
+        if len(placed) != len(blobs):
+            raise SpongeError(
+                f"write_batch placed {len(placed)} of {len(blobs)} chunks"
+            )
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("client.write_batch.count").inc()
+            registry.counter("client.write_batch.chunks").inc(len(blobs))
+            registry.histogram("client.write_batch.size").record(len(blobs))
+        return [
+            ChunkHandle(self.location, self.store_id, (owner, int(i)), ln)
+            for i, ln in zip(placed, lens)
+        ]
+
+    def _read_batch(self, handles: list) -> list:
+        if not handles:
+            return []
+        owner = handles[0].ref[0]
+        indices = [int(h.ref[1]) for h in handles]
+        try:
+            reply, payload = self.connections.request(
+                self.address,
+                {"op": "read_batch", "indices": indices,
+                 **protocol.encode_owner(owner.host, owner.task)},
+                timeout=self.timeout,
+            )
+        except (OSError, RuntimeBackendError) as exc:
+            raise ChunkLostError(
+                f"chunks {indices} on {self.store_id} unreachable: {exc}"
+            ) from exc
+        protocol.check_reply(reply)
+        lens = [int(n) for n in reply.get("lens", [])]
+        parts = protocol.split_batch(payload, lens)
+        if len(parts) != len(handles):
+            raise ChunkLostError(
+                f"read_batch returned {len(parts)} of {len(handles)} chunks"
+            )
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("client.read_batch.count").inc()
+            registry.counter("client.read_batch.chunks").inc(len(parts))
+        return parts
+
+    def _free_batch(self, handles: list) -> None:
+        if not handles:
+            return
+        owner = handles[0].ref[0]
+        indices = [int(h.ref[1]) for h in handles]
+        try:
+            reply, _ = self.connections.request(
+                self.address,
+                {"op": "free_batch", "indices": indices,
+                 **protocol.encode_owner(owner.host, owner.task)},
+                timeout=self.timeout,
+            )
+            protocol.check_reply(reply)
+        except (OSError, RuntimeBackendError, ChunkLostError) as exc:
+            # Same semantics as single free: the goal (chunks no longer
+            # held) is met or GC will meet it.
+            log.debug("free_batch of %s on %s skipped: %s",
+                      indices, self.store_id, exc)
+
+    def write_chunk_batch(self, owner: TaskId, blobs: list):
+        return self._write_batch(owner, blobs)
+        yield  # pragma: no cover
+
+    def read_chunk_batch(self, handles: list):
+        return self._read_batch(handles)
+        yield  # pragma: no cover
+
+    def free_chunk_batch(self, handles: list):
+        self._free_batch(handles)
+        return None
+        yield  # pragma: no cover
+
 
 class TrackerClient:
     """Speaks to the tracker process; quacks like ``MemoryTracker``.
@@ -176,29 +366,51 @@ class TrackerClient:
     tracker's own snapshot is already up to a poll interval stale
     (§3.1.1's relaxed consistency), so a short client-side cache adds
     no new failure mode while removing one RPC per chunk allocation.
-    Pass ``cache_ttl=0`` to fetch fresh on every call.
+    Pass ``cache_ttl=0`` to fetch fresh on every call, or leave it
+    ``None`` to adopt the TTL the tracker advertises in its replies
+    (``TrackerConfig.client_cache_ttl`` — the staleness budget then has
+    a single cluster-wide knob).
     """
 
     def __init__(self, address: Address, timeout: float = 5.0,
                  pool: Optional[ConnectionPool] = None,
-                 cache_ttl: float = 1.0,
+                 cache_ttl: Optional[float] = None,
                  client_id: str = "") -> None:
         self.address = tuple(address)
         self.timeout = timeout
+        if cache_ttl is not None:
+            try:
+                cache_ttl = float(cache_ttl)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"cache_ttl must be a number or None, got {cache_ttl!r}"
+                ) from None
+            if not math.isfinite(cache_ttl) or cache_ttl < 0:
+                raise ConfigError(
+                    f"cache_ttl must be >= 0 and finite, got {cache_ttl!r}"
+                )
         self.cache_ttl = cache_ttl
         self.client_id = client_id
         self.connections = pool if pool is not None else default_pool()
         self.addresses: dict[str, Address] = {}
         self._cached: Optional[list[dict]] = None
         self._cached_at = 0.0
+        #: TTL last advertised by the tracker (used when ``cache_ttl``
+        #: is None); starts at the tracker's default.
+        self._advertised_ttl = 1.0
         #: Fetches that failed and fell back to the (stale) cache.
         self.stale_fallbacks = 0
+
+    @property
+    def effective_ttl(self) -> float:
+        return (self._advertised_ttl if self.cache_ttl is None
+                else self.cache_ttl)
 
     def _fetch(self) -> list[dict]:
         now = time.monotonic()
         if (
             self._cached is not None
-            and now - self._cached_at <= self.cache_ttl
+            and now - self._cached_at <= self.effective_ttl
         ):
             return self._cached
         try:
@@ -226,6 +438,9 @@ class TrackerClient:
         servers = reply["servers"]
         for entry in servers:
             self.addresses[entry["server_id"]] = tuple(entry["address"])
+        advertised = reply.get("cache_ttl")
+        if isinstance(advertised, (int, float)) and advertised > 0:
+            self._advertised_ttl = float(advertised)
         self._cached = servers
         self._cached_at = time.monotonic()
         return servers
@@ -233,6 +448,21 @@ class TrackerClient:
     def invalidate(self) -> None:
         """Drop the cached free list (next call re-fetches)."""
         self._cached = None
+
+    def invalidate_server(self, server_id: str) -> None:
+        """Drop one server from the cached list immediately.
+
+        Called after a failed remote alloc/connect proved the entry
+        stale — without this, every new session keeps re-offering the
+        dead server for the rest of the TTL.
+        """
+        if self._cached:
+            self._cached = [
+                e for e in self._cached if e["server_id"] != server_id
+            ]
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("tracker.client.server_invalidations").inc()
 
     def free_list(self, rack=None, exclude_hosts=(), prefer=None):
         excluded = set(exclude_hosts)
@@ -248,6 +478,7 @@ class TrackerClient:
                     host=entry["host"],
                     rack=entry["rack"],
                     free_bytes=entry["free_bytes"],
+                    alloc_ewma=float(entry.get("alloc_ewma", 0.0) or 0.0),
                 )
             )
         key = prefer if prefer is not None else (lambda info: info.free_bytes)
@@ -279,9 +510,12 @@ def build_chain(
     if local_pool_dir is not None:
         local = LocalMmapStore(MmapSpongePool(local_pool_dir), host=host)
     connections = connection_pool if connection_pool is not None else default_pool()
+    # cache_ttl=None: adopt the TTL the tracker advertises
+    # (``TrackerConfig.client_cache_ttl``), so the staleness budget is
+    # configured in one place for the whole cluster.
     tracker = TrackerClient(
         tracker_address, pool=connections,
-        cache_ttl=config.tracker_poll_interval,
+        cache_ttl=None,
         client_id=tracker_client_id,
     )
 

@@ -59,6 +59,7 @@ class LocalSpongeCluster:
         workdir: Optional[str] = None,
         fault_plan=None,
         peer_dead_after: int = 3,
+        lease_ttl: float = 30.0,
     ) -> None:
         self.num_nodes = num_nodes
         self.pool_size = pool_size
@@ -70,6 +71,11 @@ class LocalSpongeCluster:
         #: tracker child (fire counters are per-process).
         self.fault_plan = fault_plan
         self.peer_dead_after = peer_dead_after
+        #: Seconds a leased-but-unwritten chunk survives before the
+        #: server's GC sweep reclaims it.  Chaos runs use a short TTL so
+        #: crashed writers' reservations come back within the test's
+        #: reclamation deadline.
+        self.lease_ttl = lease_ttl
         self._workdir_arg = workdir
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         self._server_processes: list[Optional[multiprocessing.Process]] = []
@@ -113,6 +119,7 @@ class LocalSpongeCluster:
                 quota_per_node=self.quota_per_node,
                 peers={h: a for h, a in peers.items() if h != f"node{i}"},
                 peer_dead_after=self.peer_dead_after,
+                lease_ttl=self.lease_ttl,
                 fault_plan=self.fault_plan,
             )
             self.server_configs.append(config)

@@ -23,6 +23,27 @@ which surfaces as :class:`~repro.errors.ConnectionClosedError` (a clean
 close; truncation mid-message stays a plain ``ProtocolError``).  The
 one-shot :func:`request` helper still works against looping servers —
 it simply closes after the first exchange.
+
+Batched messages
+================
+
+The batch ops (``write_batch`` / ``read_batch`` / ``free_batch`` /
+``lease``) amortize the request/reply round trip over many chunks.  A
+batched payload is the chunks *concatenated*, with the per-chunk split
+carried as a ``"lens"`` list in the JSON header — one header, N chunk
+payloads, still one ``sendmsg``/``recv`` framing unit:
+
+* *send* — the payload may be a **sequence of buffers** (e.g. N mmap
+  chunk views); they go out scatter-gather in one vectored send, never
+  concatenated in user space;
+* *receive* — a ``sink`` may return a **sequence of writable buffers**
+  whose lengths sum to ``payload_len`` (e.g. N freshly allocated mmap
+  chunks); the wire payload is scattered straight into them with
+  ``recv_into``, so a whole batch lands in shared memory with one
+  kernel copy per chunk and zero staging buffers.
+
+:func:`split_batch` is the receive-side complement for flat payloads:
+it slices one payload view into per-chunk views without copying.
 """
 
 from __future__ import annotations
@@ -36,35 +57,61 @@ from repro.errors import ConnectionClosedError, ProtocolError
 from repro.faults import hooks as faults
 
 Buffer = Union[bytes, bytearray, memoryview]
+#: A message payload: one buffer, or a sequence of buffers sent
+#: scatter-gather as one framing unit (batched chunk transfers).
+Payloads = Union[Buffer, Sequence[Buffer]]
 
 _LENGTH = struct.Struct(">I")
 MAX_HEADER = 1 << 20  # sanity bound
+#: Most chunks one batched op may carry.  Bounds the server-side
+#: allocation a single request can stage and keeps any one message
+#: under ~64 chunk payloads, so batches cannot starve the connection.
+MAX_BATCH = 64
+#: Most chunks one ``lease`` request may reserve.
+MAX_LEASE = 256
 
 
-def send_message(sock: socket.socket, header: dict, payload: Buffer = b"") -> None:
+def _as_views(payload: Payloads) -> list[memoryview]:
+    """Normalise a payload (single buffer or sequence) to buffer views."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return [memoryview(payload)] if len(payload) else []
+    return [memoryview(b) for b in payload if len(b)]
+
+
+def send_message(sock: socket.socket, header: dict,
+                 payload: Payloads = b"") -> None:
+    views = _as_views(payload)
+    total = sum(len(v) for v in views)
     header = dict(header)
-    header["payload_len"] = len(payload)
+    header["payload_len"] = total
     raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
     prefix = _LENGTH.pack(len(raw)) + raw
     if faults._armed is not None:
         action = faults.fire(
-            "conn.send", op=header.get("op"), payload_len=len(payload)
+            "conn.send", op=header.get("op"), payload_len=total
         )
         if action is not None and action.kind == "reset":
-            _injected_reset(sock, prefix, payload, action)
-    if len(payload) == 0:
+            _injected_reset(sock, prefix, views, total, action)
+    if total == 0:
         sock.sendall(prefix)
     else:
-        _sendall_vectored(sock, (prefix, payload))
+        _sendall_vectored(sock, [prefix, *views])
 
 
-def _injected_reset(sock: socket.socket, prefix: bytes, payload: Buffer,
-                    action) -> None:
+def _injected_reset(sock: socket.socket, prefix: bytes,
+                    views: list[memoryview], total: int, action) -> None:
     """Tear the connection down, optionally after a partial payload."""
     try:
-        if action.when == "mid-payload" and len(payload):
-            half = memoryview(payload)[: max(1, len(payload) // 2)]
-            _sendall_vectored(sock, (prefix, half))
+        if action.when == "mid-payload" and total:
+            half = max(1, total // 2)
+            partial: list[Buffer] = [prefix]
+            for view in views:
+                take = min(half, len(view))
+                partial.append(view[:take])
+                half -= take
+                if half <= 0:
+                    break
+            _sendall_vectored(sock, partial)
         sock.shutdown(socket.SHUT_RDWR)
     except OSError:
         pass
@@ -97,9 +144,13 @@ def recv_message(
     the header is parsed and may return a writable buffer of exactly
     ``payload_len`` bytes to receive the payload *in place* (e.g. a view
     into an mmap'd chunk — network to shared memory in one kernel copy),
-    or ``None`` to fall back to a fresh ``bytearray``.  If the sink
-    raises, the payload is drained from the socket (keeping the stream
-    framed for the next message) and the sink's exception propagates.
+    a *sequence* of writable buffers whose lengths sum to
+    ``payload_len`` (a batched payload scattered straight into N mmap
+    chunks; the returned view is then empty — the bytes live in the
+    sink's buffers), or ``None`` to fall back to a fresh ``bytearray``.
+    If the sink raises, the payload is drained from the socket (keeping
+    the stream framed for the next message) and the sink's exception
+    propagates.
 
     Raises :class:`ConnectionClosedError` when the peer closed the
     connection cleanly *between* messages (normal end of a persistent
@@ -127,6 +178,12 @@ def recv_message(
         except Exception:
             _drain_payload(sock, payload_len)
             raise
+        if isinstance(provided, (list, tuple)):
+            # Scatter receive: fill the sink's buffers in order.  The
+            # sink guarantees their lengths sum to payload_len.
+            for part in provided:
+                _recv_into_exact(sock, memoryview(part))
+            return header, memoryview(b"")
         if provided is not None:
             view = memoryview(provided)
     if view is None:
@@ -225,6 +282,49 @@ def fetch_stats(address: tuple[str, int], timeout: Optional[float] = 2.0,
         reply, _ = request(address, {"op": STATS_OP}, timeout=timeout)
     check_reply(reply)
     return reply.get("stats", {})
+
+
+def check_lens(lens: Any, payload_len: int,
+               max_chunk: Optional[int] = None) -> list[int]:
+    """Validate a batch header's per-chunk length list.
+
+    Returns the lengths as ints.  Raises :class:`ProtocolError` when the
+    list is malformed, oversized, or does not sum to ``payload_len`` —
+    all cases where trusting it would desync the stream framing.
+    """
+    if not isinstance(lens, (list, tuple)):
+        raise ProtocolError(f"batch lens is not a list: {lens!r}")
+    if len(lens) > MAX_BATCH:
+        raise ProtocolError(f"batch of {len(lens)} chunks exceeds {MAX_BATCH}")
+    out: list[int] = []
+    for raw in lens:
+        if isinstance(raw, bool) or not isinstance(raw, int) or raw <= 0:
+            raise ProtocolError(f"bad chunk length in batch: {raw!r}")
+        if max_chunk is not None and raw > max_chunk:
+            raise ProtocolError(
+                f"chunk of {raw} bytes exceeds chunk size {max_chunk}"
+            )
+        out.append(raw)
+    if sum(out) != payload_len:
+        raise ProtocolError(
+            f"batch lens sum to {sum(out)}, payload is {payload_len} bytes"
+        )
+    return out
+
+
+def split_batch(payload: Buffer, lens: Sequence[int]) -> list[memoryview]:
+    """Slice one flat batched payload into per-chunk views (zero copy)."""
+    view = memoryview(payload)
+    if sum(lens) != len(view):
+        raise ProtocolError(
+            f"batch lens sum to {sum(lens)}, payload is {len(view)} bytes"
+        )
+    chunks: list[memoryview] = []
+    offset = 0
+    for length in lens:
+        chunks.append(view[offset:offset + length])
+        offset += length
+    return chunks
 
 
 def error_reply(message: str, code: str = "error") -> dict:

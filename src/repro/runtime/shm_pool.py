@@ -184,6 +184,36 @@ class MmapSpongePool:
                     return index
         raise OutOfSpongeMemory(f"pool {self.directory} is full")
 
+    def allocate_many(self, owner: TaskId, count: int,
+                      allow_partial: bool = False) -> list[int]:
+        """Take up to ``count`` free chunks under one lock acquisition.
+
+        One metadata scan and one flock round trip serve the whole
+        batch, instead of ``count`` separate ``allocate`` calls each
+        re-scanning from the front.  With ``allow_partial`` a smaller
+        (non-empty) grant is returned when the pool cannot cover the
+        request; otherwise the allocation is all-or-nothing.  Raises
+        :class:`OutOfSpongeMemory` when nothing can be granted.
+        """
+        if count <= 0:
+            raise SpongeError(f"cannot allocate {count} chunks")
+        granted: list[int] = []
+        with self.locked():
+            for index in range(self.num_chunks):
+                if len(granted) >= count:
+                    break
+                state, _length, _owner = self._read_entry(index)
+                if state == _FREE:
+                    self._write_entry(index, _USED, 0, owner)
+                    granted.append(index)
+            if len(granted) < count and not (allow_partial and granted):
+                for index in granted:
+                    self._write_entry(index, _FREE, 0, None)
+                raise OutOfSpongeMemory(
+                    f"pool {self.directory} cannot grant {count} chunks"
+                )
+        return granted
+
     def write(self, index: int, owner: TaskId, data) -> None:
         """Fill an allocated chunk (no pool lock: entry is ours).
 

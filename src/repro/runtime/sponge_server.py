@@ -36,6 +36,7 @@ from repro.runtime import protocol
 from repro.runtime.connection_pool import ConnectionPool
 from repro.runtime.shm_pool import MmapSpongePool
 from repro.sponge.chunk import TaskId
+from repro.sponge.gc import LeaseTable
 from repro.util.units import MB
 
 log = logging.getLogger(__name__)
@@ -82,6 +83,10 @@ class ServerConfig:
     #: single failed probe is treated as transient — a slow or
     #: restarting peer must not get live chunks collected.
     peer_dead_after: int = 3
+    #: Seconds a ``lease`` reservation may sit unwritten before the GC
+    #: sweep reclaims it.  Covers clients that leased chunks and then
+    #: lost the server (or died before their first batch write landed).
+    lease_ttl: float = 30.0
     #: Optional :class:`~repro.faults.plan.FaultPlan`, armed by
     #: :func:`serve` in the server's process (chaos testing).
     fault_plan: Optional[object] = None
@@ -176,6 +181,12 @@ class SpongeServerProcess:
         )
         self._usage: dict[str, int] = {}
         self._usage_lock = threading.Lock()
+        #: Outstanding ``lease`` reservations (batched allocation).
+        self.leases = LeaseTable()
+        #: Cumulative chunk allocations (leases included); reported to
+        #: the tracker so it can derive a recent-allocation-rate EWMA
+        #: for load-aware placement.
+        self._alloc_total = 0
         # Persistent connections to peer servers for liveness probes.
         self._peer_pool = ConnectionPool(timeout=2.0)
         #: host -> consecutive GC rounds its peer server was unreachable.
@@ -195,9 +206,15 @@ class SpongeServerProcess:
         For ``alloc_write`` the chunk is allocated *before* the payload
         arrives and the socket fills the mmap'd segment directly — the
         whole remote-spill write path is a single kernel-to-shared-memory
-        copy.  Other ops fall back to a plain buffer (return ``None``).
+        copy.  ``write_batch`` does the same for N chunks at once: the
+        batch is allocated up front (leased indices are consumed in
+        place) and the payload is *scattered* straight into the N mmap
+        chunks.  Other ops fall back to a plain buffer (return ``None``).
         """
-        if header.get("op") != "alloc_write":
+        op = header.get("op")
+        if op == "write_batch":
+            return self._batch_sink(header, nbytes, staged)
+        if op != "alloc_write":
             return None
         if nbytes > self.pool.chunk_size:
             raise SpongeError(f"payload of {nbytes} bytes exceeds chunk size")
@@ -224,10 +241,88 @@ class SpongeServerProcess:
             registry.observe("server.alloc.seconds", started,
                              time.perf_counter())
         staged["alloc_write"] = (owner, index, nbytes)
+        self._note_allocs(1)
         return self.pool.chunk_buffer(index, owner, nbytes)
 
+    def _batch_sink(self, header: dict, nbytes: int, staged: dict):
+        """Stage a ``write_batch``: N chunks allocated (or leased
+        indices consumed), quota charged once for the whole batch, and
+        the writable mmap views returned for the scatter receive."""
+        lens = protocol.check_lens(header.get("lens"), nbytes,
+                                   max_chunk=self.pool.chunk_size)
+        owner = TaskId(host=header.get("owner_host", ""),
+                       task=header.get("owner_task", ""))
+        if faults._armed is not None:
+            faults.fire("server.write_batch", server_id=self.config.server_id,
+                        host=self.config.host, owner=str(owner),
+                        chunks=len(lens), nbytes=nbytes)
+        leased = header.get("indices")
+        if leased is not None and len(leased) != len(lens):
+            raise SpongeError(
+                f"batch carries {len(leased)} indices for {len(lens)} chunks"
+            )
+        self._charge_quota(owner, nbytes)
+        started = time.perf_counter()
+        indices: list[int] = []
+        fresh = 0
+        try:
+            for i, length in enumerate(lens):
+                index = leased[i] if leased is not None else None
+                if index is not None:
+                    if not self.leases.consume(int(index), owner):
+                        raise SpongeError(
+                            f"lease on chunk {index} expired or not held "
+                            f"by {owner}"
+                        )
+                    indices.append(int(index))
+                else:
+                    fresh += 1
+                    indices.append(-1)
+            if fresh:
+                granted = iter(self.pool.allocate_many(owner, fresh))
+                indices = [i if i >= 0 else next(granted) for i in indices]
+            buffers = [
+                self.pool.chunk_buffer(index, owner, length)
+                for index, length in zip(indices, lens)
+            ]
+        except (OutOfSpongeMemory, SpongeError):
+            # Atomic batch: undo everything staged so far.  Consumed
+            # leases stay consumed — their chunks are freed with the
+            # rest and the client retries without them.
+            for index in indices:
+                if index >= 0:
+                    try:
+                        self.pool.free(index, owner)
+                    except SpongeError:  # pragma: no cover - raced GC
+                        pass
+            self._release_quota(owner, nbytes)
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("server.write_batch.refused").inc()
+            raise
+        self._note_allocs(fresh)
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.write_batch.count").inc()
+            registry.counter("server.write_batch.chunks").inc(len(lens))
+            registry.counter("server.alloc.bytes").inc(nbytes)
+            registry.histogram("server.write_batch.size").record(len(lens))
+            registry.observe("server.write_batch.seconds", started,
+                             time.perf_counter())
+        staged["write_batch"] = (owner, list(zip(indices, lens)), nbytes)
+        return buffers
+
     def abort_staged(self, staged: dict) -> None:
-        """Undo a sink-allocated chunk whose request never completed."""
+        """Undo sink-allocated chunks whose request never completed."""
+        batch = staged.pop("write_batch", None)
+        if batch is not None:
+            owner, entries, nbytes = batch
+            for index, _length in entries:
+                try:
+                    self.pool.free(index, owner)
+                except SpongeError:  # pragma: no cover - already reclaimed
+                    pass
+            self._release_quota(owner, nbytes)
         entry = staged.pop("alloc_write", None)
         if entry is None:
             return
@@ -237,6 +332,10 @@ class SpongeServerProcess:
         except SpongeError:  # pragma: no cover - already reclaimed
             pass
         self._release_quota(owner, nbytes)
+
+    def _note_allocs(self, count: int) -> None:
+        with self._usage_lock:
+            self._alloc_total += count
 
     def dispatch(self, header: dict, payload,
                  staged: Optional[dict] = None) -> tuple[dict, bytes]:
@@ -269,9 +368,21 @@ class SpongeServerProcess:
                 "host": self.config.host,
                 "rack": self.config.rack,
                 "server_id": self.config.server_id,
+                # Cumulative allocation count: the tracker differences
+                # consecutive polls into a rate EWMA for load-aware
+                # placement.
+                "alloc_count": self._alloc_total,
             }, b""
         owner = TaskId(host=header.get("owner_host", ""),
                        task=header.get("owner_task", ""))
+        if op == "lease":
+            return self._dispatch_lease(header, owner)
+        if op == "write_batch":
+            return self._dispatch_write_batch(header, payload, staged, owner)
+        if op == "read_batch":
+            return self._dispatch_read_batch(header, owner)
+        if op == "free_batch":
+            return self._dispatch_free_batch(header, owner)
         if op == "alloc_write":
             entry = staged.get("alloc_write") if staged else None
             if entry is not None:
@@ -327,6 +438,7 @@ class SpongeServerProcess:
             # O(chunk) payload read is needed to release the quota.
             started = time.perf_counter()
             length = self.pool.free(int(header["index"]), owner)
+            self.leases.release(int(header["index"]), owner)
             self._release_quota(owner, length)
             registry = obs._registry
             if registry is not None:
@@ -341,6 +453,120 @@ class SpongeServerProcess:
             freed = self.run_gc()
             return {"ok": True, "freed": freed}, b""
         return protocol.error_reply(f"unknown op {op!r}"), b""
+
+    # -- batched ops -------------------------------------------------------
+
+    def _dispatch_lease(self, header: dict, owner: TaskId) -> tuple[dict, bytes]:
+        count = header.get("count")
+        if (not isinstance(count, int) or isinstance(count, bool)
+                or not 1 <= count <= protocol.MAX_LEASE):
+            return protocol.error_reply(
+                f"lease count must be 1..{protocol.MAX_LEASE}, got {count!r}"
+            ), b""
+        if faults._armed is not None:
+            faults.fire("server.lease", server_id=self.config.server_id,
+                        host=self.config.host, owner=str(owner), count=count)
+        started = time.perf_counter()
+        # Partial grants are useful: a client asked for ``lease_ahead``
+        # chunks but any number shortens its next batch's round trips.
+        indices = self.pool.allocate_many(owner, count, allow_partial=True)
+        self._note_allocs(len(indices))
+        self.leases.grant(indices, owner, self.config.lease_ttl)
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.lease.count").inc()
+            registry.counter("server.lease.chunks").inc(len(indices))
+            registry.observe("server.lease.seconds", started,
+                             time.perf_counter())
+        return {
+            "ok": True, "indices": indices, "ttl": self.config.lease_ttl,
+        }, b""
+
+    def _dispatch_write_batch(self, header: dict, payload,
+                              staged: Optional[dict],
+                              owner: TaskId) -> tuple[dict, bytes]:
+        entry = staged.pop("write_batch", None) if staged else None
+        if entry is not None:
+            # Payloads already sit scattered in the pool (streamed by the
+            # sink); just publish their lengths.
+            s_owner, entries, _nbytes = entry
+            for index, length in entries:
+                self.pool.commit_write(index, s_owner, length)
+            return {"ok": True, "indices": [i for i, _l in entries]}, b""
+        # Fallback (direct dispatch calls, e.g. in tests): stage the
+        # batch through the sink machinery, then copy the payload in.
+        lens = protocol.check_lens(header.get("lens"), len(payload),
+                                   max_chunk=self.pool.chunk_size)
+        if not lens:
+            return {"ok": True, "indices": []}, b""
+        direct: dict = {}
+        buffers = self._batch_sink(header, len(payload), direct)
+        for buf, view in zip(buffers, protocol.split_batch(payload, lens)):
+            buf[:] = view
+        s_owner, entries, _nbytes = direct.pop("write_batch")
+        for index, length in entries:
+            self.pool.commit_write(index, s_owner, length)
+        return {"ok": True, "indices": [i for i, _l in entries]}, b""
+
+    def _dispatch_read_batch(self, header: dict,
+                             owner: TaskId) -> tuple[dict, list]:
+        indices = header.get("indices")
+        if (not isinstance(indices, list)
+                or len(indices) > protocol.MAX_BATCH):
+            return protocol.error_reply(
+                f"read_batch needs a list of at most {protocol.MAX_BATCH} "
+                f"indices, got {indices!r}"
+            ), b""
+        if faults._armed is not None:
+            faults.fire("server.read_batch", server_id=self.config.server_id,
+                        host=self.config.host, owner=str(owner),
+                        chunks=len(indices))
+        started = time.perf_counter()
+        # Zero-copy: the reply payload is N views straight into the
+        # mmap'd segments, gathered onto the socket in one send.
+        views = [self.pool.read_view(int(i), owner) for i in indices]
+        lens = [len(v) for v in views]
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.read_batch.count").inc()
+            registry.counter("server.read_batch.chunks").inc(len(views))
+            registry.counter("server.read.bytes").inc(sum(lens))
+            registry.histogram("server.read_batch.size").record(len(views))
+            registry.observe("server.read_batch.seconds", started,
+                             time.perf_counter())
+        return {"ok": True, "lens": lens}, views
+
+    def _dispatch_free_batch(self, header: dict,
+                             owner: TaskId) -> tuple[dict, bytes]:
+        indices = header.get("indices")
+        if not isinstance(indices, list):
+            return protocol.error_reply(
+                f"free_batch needs a list of indices, got {indices!r}"
+            ), b""
+        # Best-effort per chunk, mirroring the client-side semantics of
+        # single ``free`` (failures are swallowed there): one already
+        # reclaimed chunk must not strand the rest of the batch.
+        freed = 0
+        freed_bytes = 0
+        started = time.perf_counter()
+        for raw in indices:
+            index = int(raw)
+            try:
+                length = self.pool.free(index, owner)
+            except SpongeError:
+                continue
+            self.leases.release(index, owner)
+            self._release_quota(owner, length)
+            freed += 1
+            freed_bytes += length
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.free.count").inc(freed)
+            registry.counter("server.free.bytes").inc(freed_bytes)
+            registry.counter("server.free_batch.count").inc()
+            registry.observe("server.free_batch.seconds", started,
+                             time.perf_counter())
+        return {"ok": True, "freed": freed}, b""
 
     # -- observability -----------------------------------------------------
 
@@ -357,6 +583,11 @@ class SpongeServerProcess:
         )
         registry.gauge("server.pool.occupancy").set(
             (pool_bytes - free) / pool_bytes if pool_bytes else 0.0
+        )
+        # Summed across servers by the scrape merge, so a cluster-wide
+        # zero means *no* server holds unconsumed lease reservations.
+        registry.gauge("server.leases.outstanding").set(
+            self.leases.outstanding
         )
         return registry.snapshot().to_dict()
 
@@ -386,6 +617,19 @@ class SpongeServerProcess:
     # -- garbage collection -------------------------------------------------
 
     def run_gc(self) -> int:
+        # Expired leases first: chunks reserved in one round trip but
+        # never written (owner died, or lost the server) go back to the
+        # pool.  A lease being consumed concurrently by a write is safe:
+        # ``consume`` and ``expire`` race on the same table entry, and
+        # whichever pops it owns the chunk's fate.
+        expired = self.leases.expire()
+        lease_freed = 0
+        for index, lease_owner in expired:
+            try:
+                self.pool.free(index, lease_owner)
+            except SpongeError:  # pragma: no cover - dead-owner GC raced
+                continue
+            lease_freed += 1
         # Peer-probe failures are counted once per host per GC round;
         # only ``peer_dead_after`` *consecutive* failed rounds make a
         # host's tasks collectable.  A single failed probe is just as
@@ -426,12 +670,26 @@ class SpongeServerProcess:
             return bool(reply.get("alive", False))
 
         freed = self.pool.collect(is_alive)
+
+        # Dead-owner collection may have freed leased-but-unwritten
+        # chunks directly; prune their table entries so a later expiry
+        # can't double-free a since-reallocated chunk.
+        def _still_held(index: int, lease_owner: TaskId) -> bool:
+            try:
+                self.pool.chunk_length(index, lease_owner)
+            except SpongeError:
+                return False
+            return True
+
+        self.leases.prune(_still_held)
         registry = obs._registry
         if registry is not None:
             registry.counter("server.gc.runs").inc()
             if freed:
                 registry.counter("server.gc.reclaimed_chunks").inc(freed)
-        return freed
+            if lease_freed:
+                registry.counter("server.lease.expired").inc(lease_freed)
+        return freed + lease_freed
 
     # -- lifecycle ------------------------------------------------------------
 

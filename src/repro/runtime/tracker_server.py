@@ -10,19 +10,33 @@ its snapshot on the next poll.
 from __future__ import annotations
 
 import logging
+import math
 import socketserver
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ConnectionClosedError, ProtocolError
+from repro.errors import ConfigError, ConnectionClosedError, ProtocolError
 from repro import obs
 from repro.faults import hooks as faults
+from repro.obs.metrics import Ewma
 from repro.runtime import protocol
 from repro.runtime.connection_pool import ConnectionPool
 
 log = logging.getLogger(__name__)
+
+
+def _check_positive_finite(name: str, value) -> float:
+    """``parse_size``-style validation: reject junk loudly at config
+    time instead of surfacing it as a mystery mid-run."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number, got {value!r}") from None
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigError(f"{name} must be positive and finite, got {value!r}")
+    return value
 
 
 @dataclass
@@ -31,12 +45,29 @@ class TrackerConfig:
     poll_interval: float = 1.0
     #: server_id -> {"address": (host, port), "host": ..., "rack": ...}
     servers: dict = field(default_factory=dict)
+    #: How long clients may cache a served free list before re-fetching.
+    #: Advertised in every ``free_list`` reply so the staleness budget
+    #: is set in one place (the tracker) instead of per client.
+    client_cache_ttl: float = 1.0
+    #: Smoothing factor for the per-server allocation-rate EWMA derived
+    #: from consecutive polls (load-aware placement signal).
+    ewma_alpha: float = 0.3
     #: Optional :class:`~repro.faults.plan.FaultPlan`, armed by
     #: :func:`serve` in the tracker's process (chaos testing).
     fault_plan: Optional[object] = None
     #: Install a :class:`~repro.obs.MetricsRegistry` so the tracker can
     #: answer ``stats`` scrapes (poll age, poll errors, query counts).
     metrics_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        self.poll_interval = _check_positive_finite(
+            "poll_interval", self.poll_interval)
+        self.client_cache_ttl = _check_positive_finite(
+            "client_cache_ttl", self.client_cache_ttl)
+        self.ewma_alpha = _check_positive_finite("ewma_alpha", self.ewma_alpha)
+        if self.ewma_alpha > 1.0:
+            raise ConfigError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}")
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -77,7 +108,12 @@ class _Handler(socketserver.BaseRequestHandler):
                 registry = obs._registry
                 if registry is not None:
                     registry.counter("tracker.freelist.queries").inc()
-                reply = {"ok": True, "servers": servers}
+                reply = {
+                    "ok": True,
+                    "servers": servers,
+                    # Clients without an explicit TTL adopt this one.
+                    "cache_ttl": tracker.config.client_cache_ttl,
+                }
             elif header.get("op") == protocol.STATS_OP:
                 reply = {"ok": True, "stats": tracker.stats_snapshot()}
             elif header.get("op") == "ping":
@@ -105,6 +141,11 @@ class TrackerServerProcess:
         self._stop = threading.Event()
         # Persistent connections to the sponge servers being polled.
         self._poll_pool = ConnectionPool(timeout=1.0)
+        #: server_id -> (last cumulative alloc_count, poll timestamp);
+        #: consecutive polls difference into an allocations/sec rate.
+        self._alloc_seen: dict[str, tuple[int, float]] = {}
+        #: server_id -> smoothed allocation rate.
+        self._alloc_rates: dict[str, Ewma] = {}
         self._tcp = _TCPServer(
             ("127.0.0.1", config.port), _Handler, bind_and_activate=True
         )
@@ -146,6 +187,8 @@ class TrackerServerProcess:
                         "rack": reply.get("rack", info.get("rack", "rack0")),
                         "free_bytes": int(reply.get("free_bytes", 0)),
                         "address": list(info["address"]),
+                        "alloc_ewma": self._note_alloc_rate(
+                            server_id, reply.get("alloc_count")),
                     }
                 )
         with self._lock:
@@ -155,6 +198,28 @@ class TrackerServerProcess:
         if registry is not None:
             registry.counter("tracker.polls").inc()
             registry.gauge("tracker.poll.servers").set(len(snapshot))
+
+    def _note_alloc_rate(self, server_id: str, alloc_count) -> float:
+        """Fold one poll's cumulative allocation count into the
+        server's rate EWMA; returns the smoothed allocations/sec.
+
+        Pre-batching servers don't report ``alloc_count``; their rate
+        stays 0.0 so placement degrades to the pure free-space order.
+        A count that went *backwards* means the server restarted —
+        restart the baseline rather than record a negative rate.
+        """
+        if not isinstance(alloc_count, int):
+            return 0.0
+        now = time.monotonic()
+        seen = self._alloc_seen.get(server_id)
+        self._alloc_seen[server_id] = (alloc_count, now)
+        ewma = self._alloc_rates.get(server_id)
+        if ewma is None:
+            ewma = self._alloc_rates[server_id] = Ewma(
+                alpha=self.config.ewma_alpha)
+        if seen is None or alloc_count < seen[0] or now <= seen[1]:
+            return ewma.value
+        return ewma.update((alloc_count - seen[0]) / (now - seen[1]))
 
     def stats_snapshot(self) -> dict:
         """This process's metrics, with the poll-age gauge refreshed."""

@@ -24,6 +24,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+#: Most chunks one batched placement groups into a single store RPC;
+#: matches the runtime protocol's ``MAX_BATCH`` (kept as a literal so
+#: the sponge layer stays transport-free).
+MAX_GROUP = 64
+
 from repro import obs
 from repro.errors import (
     ChunkAllocationError,
@@ -242,43 +247,257 @@ class AllocationSession:
             f"no medium could hold a {nbytes}-byte chunk for {self.owner}"
         )
 
+    def allocate_batch(
+        self, blobs: list, last_handle: Optional[ChunkHandle] = None
+    ) -> StoreOp:
+        """Place many chunks at once; returns ``(handle, appended)``
+        per blob, in blob order.
+
+        Semantics match N :meth:`allocate` calls, but remote placements
+        are *batched*: runs of blobs that fall through the local pool
+        are grouped (up to ``config.batch_depth`` chunks, capped at
+        :data:`MAX_GROUP`) and each group goes out as one batched store
+        RPC, with consecutive groups *striped* across the top candidate
+        servers instead of all hammering the first.  Disk coalescing
+        only appends a blob onto the chunk holding the blob immediately
+        before it (or onto ``last_handle`` for the first blob), so
+        read-back order is preserved no matter how the batch scattered.
+        """
+        chain = self.chain
+        results: list = [None] * len(blobs)
+        if not blobs:
+            return results
+
+        # -- tier 1: the local pool takes blobs until it runs out.
+        pending: list[int] = []
+        for pos, data in enumerate(blobs):
+            if chain.local_store is None:
+                pending.append(pos)
+                continue
+            try:
+                handle = yield from chain.local_store.write_chunk(
+                    self.owner, data
+                )
+            except OutOfSpongeMemory:
+                _count_fallthrough("local_full")
+                pending.append(pos)
+            else:
+                chain.stats.record(handle.location, blob_size(data), False)
+                results[pos] = (handle, False)
+
+        # -- tier 2: remote sponge memory, batched and striped.
+        unplaced: list[int] = []
+        if pending and self._free_list:
+            depth = min(chain.config.batch_depth, MAX_GROUP)
+            groups = [
+                pending[i:i + depth] for i in range(0, len(pending), depth)
+            ]
+            servers_used: set[str] = set()
+            for group_no, group in enumerate(groups):
+                placed = False
+                while not placed:
+                    candidates = self._remote_candidates()
+                    if not candidates:
+                        break
+                    # Striping: group g starts at candidate g mod N, so
+                    # a burst of groups spreads over the top candidates
+                    # instead of dogpiling the most-free server.
+                    info = candidates[group_no % len(candidates)]
+                    store = chain._remote_store_for(info)
+                    if len(group) > 1 and not getattr(
+                        store, "supports_batch", False
+                    ):
+                        break  # per-chunk fallback below
+                    data = [blobs[pos] for pos in group]
+                    try:
+                        if len(group) == 1:
+                            handles = [
+                                (yield from store.write_chunk(
+                                    self.owner, data[0]))
+                            ]
+                        else:
+                            handles = yield from store.write_chunk_batch(
+                                self.owner, data
+                            )
+                    except (OutOfSpongeMemory, StoreUnavailableError) as exc:
+                        self._drop_server(info, exc)
+                        continue
+                    for pos, handle in zip(group, handles):
+                        chain.stats.record(
+                            handle.location, blob_size(blobs[pos]), False
+                        )
+                        results[pos] = (handle, False)
+                    if info.server_id not in self._used_servers:
+                        self._used_servers.append(info.server_id)
+                    servers_used.add(info.server_id)
+                    self._top_up_leases(store)
+                    placed = True
+                if not placed:
+                    # Batched path exhausted or unavailable for this
+                    # group: fall back to the per-chunk walk (which
+                    # handles partial placement safely).
+                    for pos in group:
+                        handle = yield from self._allocate_remote(blobs[pos])
+                        if handle is None:
+                            _count_fallthrough("remote_exhausted")
+                            unplaced.append(pos)
+                        else:
+                            chain.stats.record(
+                                handle.location, blob_size(blobs[pos]), False
+                            )
+                            results[pos] = (handle, False)
+            registry = obs._registry
+            if registry is not None:
+                registry.histogram("alloc.batch.size").record(len(blobs))
+                if servers_used:
+                    registry.histogram("alloc.batch.spread").record(
+                        len(servers_used)
+                    )
+        else:
+            unplaced = pending
+
+        # -- tiers 3/4: local disk (append-coalescing) and DFS.
+        unplaced.sort()
+        for pos in unplaced:
+            prev = results[pos - 1][0] if pos > 0 else last_handle
+            handle, appended = yield from self._allocate_spill(
+                blobs[pos], prev
+            )
+            results[pos] = (handle, appended)
+        return results
+
+    def _allocate_spill(
+        self, data: Any, prev: Optional[ChunkHandle]
+    ) -> StoreOp:
+        """Disk-then-DFS placement of one blob (the batch's tail tiers)."""
+        chain = self.chain
+        nbytes = blob_size(data)
+        if chain.disk_store is not None:
+            can_append = (
+                prev is not None
+                and prev.location is ChunkLocation.LOCAL_DISK
+                and prev.store_id == chain.disk_store.store_id
+                and chain.disk_store.supports_append
+            )
+            if can_append:
+                try:
+                    handle = yield from chain.disk_store.append_chunk(
+                        prev, data
+                    )
+                except OutOfSpongeMemory:
+                    pass
+                else:
+                    chain.stats.record(handle.location, nbytes, appended=True)
+                    return handle, True
+            try:
+                handle = yield from chain.disk_store.write_chunk(
+                    self.owner, data
+                )
+            except OutOfSpongeMemory:
+                _count_fallthrough("disk_full")
+            else:
+                chain.stats.record(handle.location, nbytes, appended=False)
+                return handle, False
+        if chain.dfs_store is not None:
+            handle = yield from chain.dfs_store.write_chunk(self.owner, data)
+            chain.stats.record(handle.location, nbytes, appended=False)
+            return handle, False
+        raise ChunkAllocationError(
+            f"no medium could hold a {nbytes}-byte chunk for {self.owner}"
+        )
+
+    def _top_up_leases(self, store: Any) -> None:
+        """Keep ``lease_ahead`` reservations cached on a server we just
+        wrote to, so the *next* batch there skips inline allocation."""
+        ahead = self.chain.config.lease_ahead
+        if ahead <= 0:
+            return
+        lease = getattr(store, "lease", None)
+        held = getattr(store, "leases_held", None)
+        if lease is None or held is None:
+            return
+        holding = held(self.owner)
+        # Hysteresis: top up only once the cache is below half target,
+        # then refill all the way — one lease RPC per ~ahead/2 chunks
+        # consumed instead of one per batched write.
+        if holding * 2 >= ahead:
+            return
+        short = ahead - holding
+        if short > 0:
+            lease(self.owner, short)
+
+    def release_leases(self) -> None:
+        """Give back unconsumed chunk reservations on every server this
+        session wrote to (SpongeFile close/delete calls this)."""
+        for server_id in self._used_servers:
+            store = self.chain._remote_stores.get(server_id)
+            release = getattr(store, "release_leases", None)
+            if release is not None:
+                release(self.owner)
+
     # -- internals ----------------------------------------------------------
 
     def _allocate_remote(self, data: Any) -> StoreOp:
         """Walk the cached free list, affinity-first; None if exhausted."""
-        ordered = self._affinity_order()
-        attempts = self.chain.config.max_remote_attempts
-        if attempts is not None:
-            ordered = ordered[:attempts]
-        for info in ordered:
+        for info in self._remote_candidates():
             try:
                 store = self.chain._remote_store_for(info)
                 handle = yield from store.write_chunk(self.owner, data)
             except (OutOfSpongeMemory, StoreUnavailableError) as exc:
-                # Stale tracker entry: the server filled up since the
-                # last poll — or died outright (an unreachable server is
-                # just the extreme case of staleness, and the write
-                # provably never ran there).  Drop it for this file and
-                # keep walking.
-                if isinstance(exc, StoreUnavailableError):
-                    self.chain.stats.remote_unreachable += 1
-                    _count_fallthrough("remote_unreachable")
-                else:
-                    self.chain.stats.remote_stale_misses += 1
-                    _count_fallthrough("remote_stale")
-                self._free_list = [
-                    i for i in self._free_list if i.server_id != info.server_id
-                ]
+                self._drop_server(info, exc)
                 continue
             if info.server_id not in self._used_servers:
                 self._used_servers.append(info.server_id)
             return handle
         return None
 
+    def _remote_candidates(self) -> list[ServerInfo]:
+        ordered = self._affinity_order()
+        attempts = self.chain.config.max_remote_attempts
+        if attempts is not None:
+            ordered = ordered[:attempts]
+        return ordered
+
+    def _drop_server(self, info: ServerInfo, exc: Exception) -> None:
+        """Remove a server that refused an allocation from this session.
+
+        Stale tracker entry: the server filled up since the last poll —
+        or died outright (an unreachable server is just the extreme
+        case of staleness, and the write provably never ran there).  An
+        unreachable server is also evicted from the tracker client's
+        *shared* cached free list, so other sessions stop retrying it
+        for the remainder of the cache TTL.
+        """
+        if isinstance(exc, StoreUnavailableError):
+            self.chain.stats.remote_unreachable += 1
+            _count_fallthrough("remote_unreachable")
+            invalidate = getattr(self.chain.tracker, "invalidate_server", None)
+            if invalidate is not None:
+                invalidate(info.server_id)
+        else:
+            self.chain.stats.remote_stale_misses += 1
+            _count_fallthrough("remote_stale")
+        self._free_list = [
+            i for i in self._free_list if i.server_id != info.server_id
+        ]
+
+    def _load_score(self, info: ServerInfo) -> float:
+        """Free space discounted by the memory the server's recent
+        allocation rate is expected to consume before the next tracker
+        poll refreshes the entry.  With no rate reported this is just
+        ``free_bytes`` (the classic most-free-first order)."""
+        config = self.chain.config
+        return info.free_bytes - (
+            info.alloc_ewma * config.chunk_size * config.tracker_poll_interval
+        )
+
     def _affinity_order(self) -> list[ServerInfo]:
         by_id = {info.server_id: info for info in self._free_list}
         ordered = [by_id[s] for s in self._used_servers if s in by_id]
-        ordered.extend(
-            info for info in self._free_list if info.server_id not in self._used_servers
-        )
+        rest = [
+            info for info in self._free_list
+            if info.server_id not in self._used_servers
+        ]
+        rest.sort(key=self._load_score, reverse=True)
+        ordered.extend(rest)
         return ordered

@@ -43,6 +43,18 @@ class SpongeConfig:
     #: Cap on remote servers tried per allocation before falling back to
     #: disk; ``None`` tries the whole free list.
     max_remote_attempts: Optional[int] = None
+    #: How many queued chunks the async-write pipeline may coalesce
+    #: into one batched remote RPC (``write_batch``), and likewise how
+    #: many non-local chunks a reader may fetch in one ``read_batch``.
+    #: 1 keeps the paper's one-RPC-per-chunk behaviour (and is the only
+    #: mode the simulator models); the real runtime amortizes its
+    #: request/reply round trip at higher depths.
+    batch_depth: int = 1
+    #: How many chunks ahead a writer leases on a remote server (one
+    #: ``lease`` round trip reserves them); 0 disables leasing.  Unused
+    #: reservations are released at close, or reclaimed by the server's
+    #: GC sweep after its lease TTL.
+    lease_ahead: int = 0
     #: Per-task, per-node sponge quota in bytes; ``None`` = unlimited.
     quota_per_node: Optional[int] = None
 
@@ -57,6 +69,10 @@ class SpongeConfig:
             raise ConfigError("async_write_depth must be >= 1")
         if self.max_remote_attempts is not None and self.max_remote_attempts < 0:
             raise ConfigError("max_remote_attempts must be >= 0")
+        if self.batch_depth < 1:
+            raise ConfigError("batch_depth must be >= 1")
+        if self.lease_ahead < 0:
+            raise ConfigError("lease_ahead must be >= 0")
         if self.quota_per_node is not None and self.quota_per_node < self.chunk_size:
             raise ConfigError("quota_per_node smaller than one chunk")
 

@@ -5,16 +5,101 @@ bugs leak chunks.  Every sponge server periodically scans its local
 pool for chunks owned by dead tasks: local owners are probed directly,
 remote owners by consulting the owner host's sponge server.  Sponge
 servers and the tracker are stateless, so GC needs no coordination —
-this module just provides the cluster-level driver and a task registry
-that doubles as the liveness oracle in-process.
+this module just provides the cluster-level driver, a task registry
+that doubles as the liveness oracle in-process, and the
+:class:`LeaseTable` bookkeeping that lets the GC sweep reclaim chunk
+*reservations* (the batched ``lease`` op) whose owner never wrote them.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.sponge.chunk import TaskId
 from repro.sponge.server import SpongeServer
+
+
+class LeaseTable:
+    """Deadline-stamped chunk reservations, reclaimed by the GC sweep.
+
+    A ``lease`` reserves chunks for an owner in one round trip; the
+    chunks sit allocated-but-unwritten until the owner writes into them
+    (``consume``), releases them, or the deadline passes and the
+    server's GC sweep takes them back (``expire``).  A dead owner's
+    leases also fall to the ordinary dead-owner pool collection —
+    ``prune`` drops table entries whose chunk the pool already freed,
+    so the two reclamation paths never double-free.
+
+    Thread-safe: handler threads grant/consume while the GC thread
+    expires.  The clock is injectable for tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: chunk index -> (owner, absolute deadline)
+        self._leases: dict[int, tuple[TaskId, float]] = {}
+
+    def grant(self, indices: list[int], owner: TaskId, ttl: float) -> float:
+        """Record a lease on ``indices``; returns the deadline."""
+        deadline = self._clock() + ttl
+        with self._lock:
+            for index in indices:
+                self._leases[index] = (owner, deadline)
+        return deadline
+
+    def consume(self, index: int, owner: TaskId) -> bool:
+        """Take the lease on ``index`` for a write.  False if the lease
+        is gone (expired and reclaimed, or never granted) or belongs to
+        another owner — the chunk must not be written through it."""
+        with self._lock:
+            entry = self._leases.get(index)
+            if entry is None or entry[0] != owner:
+                return False
+            del self._leases[index]
+            return True
+
+    def release(self, index: int, owner: Optional[TaskId] = None) -> bool:
+        """Drop the lease on ``index`` (chunk freed by its owner)."""
+        with self._lock:
+            entry = self._leases.get(index)
+            if entry is None or (owner is not None and entry[0] != owner):
+                return False
+            del self._leases[index]
+            return True
+
+    def expire(self, now: Optional[float] = None) -> list[tuple[int, TaskId]]:
+        """Pop every lease past its deadline; the caller frees the chunks."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            dead = [(i, owner) for i, (owner, deadline) in self._leases.items()
+                    if deadline <= now]
+            for index, _owner in dead:
+                del self._leases[index]
+        return dead
+
+    def prune(self, still_held: Callable[[int, TaskId], bool]) -> int:
+        """Drop entries whose chunk the pool no longer holds for the
+        lease owner (dead-owner GC got there first).  Returns count."""
+        with self._lock:
+            stale = [i for i, (owner, _d) in self._leases.items()
+                     if not still_held(i, owner)]
+            for index in stale:
+                del self._leases[index]
+        return len(stale)
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def indices_for(self, owner: TaskId) -> list[int]:
+        with self._lock:
+            return sorted(i for i, (o, _d) in self._leases.items()
+                          if o == owner)
 
 
 class TaskRegistry:

@@ -31,11 +31,19 @@ from typing import Any, Optional
 
 from repro import obs
 from repro.errors import SpongeError, SpongeFileStateError
-from repro.sponge.allocator import AllocationChain, AllocationSession
+from repro.sponge.allocator import MAX_GROUP, AllocationChain, AllocationSession
 from repro.sponge.blob import blob_concat, blob_size, blob_take
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
 from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
 from repro.sponge.store import StoreOp, run_sync
+
+#: Most chunks one batched-allocation RPC carries.  Deep batches are
+#: split into stripes of this size so the async pipeline keeps several
+#: transfers (to several servers) in flight — one monolithic RPC per
+#: flush would serialise the whole batch behind a single round trip,
+#: and the last stripe of a file drains with no overlap at all, so
+#: oversized stripes turn into a serial tail.
+STRIPE_CHUNKS = 8
 
 
 # ---------------------------------------------------------------------------
@@ -134,6 +142,9 @@ class SpongeFile:
         self._handles: list[ChunkHandle] = []
         self._buffer: list[Any] = []
         self._buffered = 0
+        #: Whole chunks accumulated for one batched allocation
+        #: (``config.batch_depth > 1`` only; else always empty).
+        self._batch: list[Any] = []
         self._pending: deque = deque()  # in-flight async chunk writes, oldest first
         self._pending_appended_to: Optional[ChunkHandle] = None
         self._reader: Optional[SpongeFileReader] = None
@@ -188,7 +199,9 @@ class SpongeFile:
             self._buffer = []
             self._buffered = 0
             yield from self._emit_chunk(chunk)
+        yield from self._flush_batch()
         yield from self._drain_pending()
+        self.session.release_leases()
         self._state = FileState.CLOSED
         return None
 
@@ -216,13 +229,19 @@ class SpongeFile:
         """Free every chunk.  Legal from any live state (cleanup path)."""
         if self._state is FileState.DELETED:
             raise SpongeFileStateError(f"{self.name}: double delete")
+        self._batch = []  # unallocated chunks are just dropped
         yield from self._drain_pending()
         if self._reader is not None:
             yield from self._reader._drain()
         chain = self.session.chain
-        for handle in self._handles:
-            store = chain.store_for(handle)
-            yield from store.free_chunk(handle)
+        for store, group in _store_groups(
+            chain, self._handles, self.config.batch_depth
+        ):
+            if len(group) == 1:
+                yield from store.free_chunk(group[0])
+            else:
+                yield from store.free_chunk_batch(group)
+        self.session.release_leases()
         self._handles = []
         self._buffer = []
         self._buffered = 0
@@ -277,6 +296,15 @@ class SpongeFile:
         return None
 
     def _emit_chunk(self, chunk: Any) -> StoreOp:
+        if self.config.batch_depth > 1:
+            # Coalesce whole chunks and place them in one batched
+            # allocation (the chain groups same-server runs into single
+            # batched RPCs).  The write buffer already sits on chunks,
+            # so this adds no copy — only placement is deferred.
+            self._batch.append(chunk)
+            if len(self._batch) >= self.config.batch_depth:
+                yield from self._flush_batch()
+            return None
         # Admit the next write once the pipeline has room.  At depth 1
         # (the paper's single outstanding write) this fully drains first,
         # so disk-append coalescing still sees the previous placement.
@@ -295,15 +323,68 @@ class SpongeFile:
             self._record(result)
         return None
 
+    def _flush_batch(self) -> StoreOp:
+        """Dispatch accumulated chunks as batched allocations.
+
+        On the async pipeline a large batch is split into stripes of
+        :data:`STRIPE_CHUNKS` so several batched RPCs (to several
+        servers — the session stripes consecutive groups across
+        candidates) are in flight at once instead of one monolithic
+        transfer serialising the pipeline.  ``_pending`` drains
+        oldest-first, so handles still land in chunk order.  The
+        synchronous path has no pipeline to keep fed, so it ships the
+        whole batch in as few round trips as the allocator allows —
+        splitting there would only add scheduling ping-pongs."""
+        if not self._batch:
+            return None
+        # Striping only pays when more than one op can actually be in
+        # flight; at pipeline depth 1 (or sync writes) each stripe
+        # drains before the next is sent, so splitting just multiplies
+        # round trips.
+        pipelined = self.config.async_writes and self.config.async_write_depth > 1
+        stride = STRIPE_CHUNKS if pipelined else MAX_GROUP
+        batch, self._batch = self._batch, []
+        while batch:
+            stripe, batch = batch[:stride], batch[stride:]
+            while len(self._pending) >= self.config.async_write_depth:
+                yield from self._drain_one()
+            if len(stripe) == 1:
+                op = self.session.allocate(
+                    stripe[0], last_handle=self._last_disk_handle()
+                )
+            else:
+                op = self.session.allocate_batch(
+                    stripe, last_handle=self._last_disk_handle()
+                )
+            if self.config.async_writes:
+                self._pending.append(self.executor.spawn(op))
+                registry = obs._registry
+                if registry is not None:
+                    registry.histogram("spongefile.pipeline.depth").record(
+                        len(self._pending)
+                    )
+            else:
+                self._record_result((yield from op))
+        return None
+
     def _drain_one(self) -> StoreOp:
         result = yield from self.executor.wait(self._pending.popleft())
-        self._record(result)
+        self._record_result(result)
         return None
 
     def _drain_pending(self) -> StoreOp:
         while self._pending:
             yield from self._drain_one()
         return None
+
+    def _record_result(self, result) -> None:
+        """Record one completion: a ``(handle, appended)`` pair, or a
+        list of them from a batched allocation (in blob order)."""
+        if isinstance(result, list):
+            for item in result:
+                self._record(item)
+        else:
+            self._record(result)
 
     def _record(self, result: tuple[ChunkHandle, bool]) -> None:
         handle, appended = result
@@ -316,8 +397,63 @@ class SpongeFile:
             self._pending_appended_to = None
 
 
+def _store_groups(chain: AllocationChain, handles: list, depth: int):
+    """Runs of consecutive same-store handles, as ``(store, [handle..])``.
+
+    Handles on batch-capable stores group up to ``depth`` (capped at
+    :data:`MAX_GROUP`); everything else comes out singly.  Order is
+    preserved, so callers iterating the groups see the handles in their
+    original sequence.
+    """
+    depth = min(depth, MAX_GROUP)
+    i = 0
+    while i < len(handles):
+        store = chain.store_for(handles[i])
+        if depth > 1 and getattr(store, "supports_batch", False):
+            j = i + 1
+            while (
+                j < len(handles)
+                and j - i < depth
+                and handles[j].location is handles[i].location
+                and handles[j].store_id == handles[i].store_id
+            ):
+                j += 1
+            yield store, handles[i:j]
+            i = j
+        else:
+            yield store, [handles[i]]
+            i += 1
+
+
+class _BatchHolder:
+    """One in-flight batched read shared by its chunks' queue slots."""
+
+    __slots__ = ("completion", "parts", "error")
+
+    def __init__(self, completion: Any) -> None:
+        self.completion = completion
+        self.parts: Optional[list] = None
+        self.error: Optional[BaseException] = None
+
+
+class _BatchSlot:
+    """One chunk's position inside a shared batched read."""
+
+    __slots__ = ("holder", "offset")
+
+    def __init__(self, holder: _BatchHolder, offset: int) -> None:
+        self.holder = holder
+        self.offset = offset
+
+
 class SpongeFileReader:
-    """Sequential reader with chunk prefetch (``config.prefetch_depth``)."""
+    """Sequential reader with chunk prefetch (``config.prefetch_depth``).
+
+    With ``config.batch_depth > 1``, prefetches of consecutive chunks
+    living on the same batch-capable (remote) store coalesce into one
+    ``read_batch`` round trip; the queue still holds one entry per
+    chunk, so the consumption order and depth accounting are unchanged.
+    """
 
     def __init__(self, spongefile: SpongeFile) -> None:
         self.file = spongefile
@@ -346,10 +482,11 @@ class SpongeFileReader:
             first_unqueued = self._index + len(self._prefetched)
             while (len(self._prefetched) < self.file.config.prefetch_depth
                    and first_unqueued < len(handles)):
-                self._prefetched.append(self._start_fetch(first_unqueued))
-                first_unqueued += 1
+                entries = self._start_fetch_group(first_unqueued)
+                self._prefetched.extend(entries)
+                first_unqueued += len(entries)
         try:
-            data = yield from self.file.executor.wait(completion)
+            data = yield from self._await(completion)
         except BaseException:
             # Absorb the in-flight prefetch before propagating (its
             # chunk is likely lost too; an unobserved failure would
@@ -385,11 +522,60 @@ class SpongeFileReader:
         store = self.file.session.chain.store_for(handle)
         return self.file.executor.spawn(store.read_chunk(handle))
 
+    def _start_fetch_group(self, index: int) -> list:
+        """Queue entries for chunks ``index..``: one batched fetch when
+        a run of them lives on the same batch-capable store, else one
+        ordinary fetch for chunk ``index`` alone.
+
+        A batched fetch always pulls a full ``batch_depth`` run even if
+        fewer prefetch slots are free — otherwise steady-state top-ups
+        (one slot freed per chunk consumed) would degrade back to
+        single-chunk RPCs.  The queue may transiently overshoot
+        ``prefetch_depth`` by at most ``batch_depth - 1`` chunks."""
+        handles = self.file._handles
+        depth = min(self.file.config.batch_depth, STRIPE_CHUNKS, MAX_GROUP)
+        store = self.file.session.chain.store_for(handles[index])
+        if depth <= 1 or not getattr(store, "supports_batch", False):
+            return [self._start_fetch(index)]
+        j = index + 1
+        while (
+            j < len(handles)
+            and j - index < depth
+            and handles[j].location is handles[index].location
+            and handles[j].store_id == handles[index].store_id
+        ):
+            j += 1
+        if j - index == 1:
+            return [self._start_fetch(index)]
+        group = list(handles[index:j])
+        holder = _BatchHolder(
+            self.file.executor.spawn(store.read_chunk_batch(group))
+        )
+        return [_BatchSlot(holder, k) for k in range(len(group))]
+
+    def _await(self, entry) -> StoreOp:
+        """Resolve a queue entry: a plain completion, or one chunk of a
+        shared batched read (resolved once, memoized for its siblings)."""
+        if not isinstance(entry, _BatchSlot):
+            result = yield from self.file.executor.wait(entry)
+            return result
+        holder = entry.holder
+        if holder.parts is None and holder.error is None:
+            try:
+                holder.parts = yield from self.file.executor.wait(
+                    holder.completion
+                )
+            except BaseException as exc:  # noqa: BLE001 - replayed per slot
+                holder.error = exc
+        if holder.error is not None:
+            raise holder.error
+        return holder.parts[entry.offset]
+
     def _drain(self) -> StoreOp:
         """Absorb outstanding prefetches (delete and error paths)."""
         while self._prefetched:
             try:
-                yield from self.file.executor.wait(self._prefetched.popleft())
+                yield from self._await(self._prefetched.popleft())
             except Exception:  # noqa: BLE001 - outcome deliberately dropped
                 pass
         return None

@@ -84,6 +84,37 @@ class ChunkStore(abc.ABC):
         raise SpongeError(f"{type(self).__name__} does not support append")
         yield  # pragma: no cover - makes this a generator
 
+    #: Whether the batched operations below actually amortize round
+    #: trips (remote stores with batch ops on the wire).  The default
+    #: implementations work everywhere but are just loops, so callers
+    #: use this to decide whether grouping chunks is worth anything.
+    supports_batch = False
+
+    def write_chunk_batch(self, owner: TaskId, blobs: list) -> StoreOp:
+        """Store ``blobs`` in order; returns their handles, in order.
+
+        Semantics match N :meth:`write_chunk` calls; stores that can
+        amortize the per-chunk round trip override this (and set
+        :attr:`supports_batch`).  The batch is all-or-nothing for
+        overriding stores: on failure, nothing was placed.
+        """
+        handles = []
+        for blob in blobs:
+            handles.append((yield from self.write_chunk(owner, blob)))
+        return handles
+
+    def read_chunk_batch(self, handles: list) -> StoreOp:
+        """Read many chunks; returns their payloads, in order."""
+        payloads = []
+        for handle in handles:
+            payloads.append((yield from self.read_chunk(handle)))
+        return payloads
+
+    def free_chunk_batch(self, handles: list) -> StoreOp:
+        """Release many chunks (one round trip for overriding stores)."""
+        for handle in handles:
+            yield from self.free_chunk(handle)
+
     def free_bytes(self) -> Optional[int]:
         """Free capacity estimate, or ``None`` for unbounded media."""
         return None

@@ -32,6 +32,11 @@ class ServerInfo:
     host: str
     rack: str
     free_bytes: int
+    #: Smoothed recent allocation rate (allocations/sec, from the
+    #: tracker's poll-to-poll EWMA).  Load-aware placement subtracts
+    #: the memory this rate is expected to consume before the next
+    #: poll from ``free_bytes``; 0.0 when the server doesn't report.
+    alloc_ewma: float = 0.0
 
 
 class MemoryTracker:

@@ -1,0 +1,195 @@
+"""Fault injection against the batched data path.
+
+The batched ops widen the blast radius of every fault class — one RPC
+now carries N chunks and a lease can sit reserved with no bytes behind
+it — so each gets its own regression:
+
+* refused lease            -> leasing is best-effort; batched writes
+  degrade to inline allocation and still land every chunk;
+* stalled write_batch      -> slow, not wrong: the batch completes;
+* lost batched read        -> ChunkLostError fails exactly the owner;
+* mid-payload reset on a
+  write_batch              -> provably unprocessed, nothing staged
+  leaks server-side;
+* leased-then-abandoned
+  chunks                   -> the lease TTL expires and the GC sweep
+  returns them; ``server.leases.outstanding`` drops to zero.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ChunkLostError, StoreUnavailableError
+from repro.faults import Contains, FaultPlan, injected
+from repro.faults import hooks
+from repro.runtime import protocol
+from repro.runtime.client import RemoteServerStore
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.chunk import ChunkLocation
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+
+CHUNK = 64 * 1024
+POOL = 16 * CHUNK
+LEASE_TTL = 0.5  # short, so abandoned reservations expire within a test
+
+
+def server_side_plan() -> FaultPlan:
+    """Armed in every server child; rules scoped by owner-task label."""
+    plan = FaultPlan(seed=202)
+    plan.deny_lease(match={"owner": Contains("deny-lease")})
+    plan.stall("server.write_batch", delay=0.05,
+               match={"owner": Contains("stall-batch")})
+    plan.lose_chunks(site="server.read_batch",
+                     match={"owner": Contains("lose-batch")})
+    return plan
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalSpongeCluster(
+        num_nodes=2, pool_size=POOL, chunk_size=CHUNK,
+        poll_interval=0.1, gc_interval=30.0, lease_ttl=LEASE_TTL,
+        fault_plan=server_side_plan(),
+    ) as cluster:
+        yield cluster
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    yield
+    hooks.disarm()
+
+
+def batched_config() -> SpongeConfig:
+    return SpongeConfig(chunk_size=CHUNK, batch_depth=4, lease_ahead=4)
+
+
+def fresh_store(cluster, node_index: int) -> RemoteServerStore:
+    server = cluster.server_configs[node_index]
+    return RemoteServerStore(
+        server.server_id, cluster.server_address(node_index),
+        pool=ConnectionPool(),
+    )
+
+
+def server_free_bytes(cluster, node_index: int) -> int:
+    reply, _ = protocol.request(
+        cluster.server_address(node_index), {"op": "free_bytes"}
+    )
+    return int(reply["free_bytes"])
+
+
+def spill_and_verify(cluster, label: str) -> SpongeFile:
+    """Write a 6-chunk spill through the batched path and read it back."""
+    config = batched_config()
+    chain = cluster.chain(0, config=config, attach_local_pool=False)
+    owner = cluster.task_id(0, label)
+    payload = bytes(range(256)) * 256 * 6  # 6 chunks
+    spongefile = SpongeFile(owner, chain, config=config)
+    spongefile.write_all(payload)
+    spongefile.close_sync()
+    assert bytes(spongefile.read_all()) == payload
+    return spongefile
+
+
+# -- refused lease: best-effort means no lease, not no write ------------------
+
+
+def test_denied_lease_degrades_to_inline_batched_writes(cluster):
+    spongefile = spill_and_verify(cluster, "deny-lease")
+    # Every chunk still landed (remotely or on disk); nothing was lost
+    # to the refused reservation.
+    assert len(spongefile.handles) == 6
+    spongefile.delete_sync()
+
+
+# -- stalled write_batch: slow, not wrong -------------------------------------
+
+
+def test_stalled_write_batch_still_lands_every_chunk(cluster):
+    spongefile = spill_and_verify(cluster, "stall-batch")
+    assert len(spongefile.handles) == 6
+    spongefile.delete_sync()
+
+
+# -- lost batched read fails exactly the owner --------------------------------
+
+
+def test_lost_batched_read_raises_chunk_lost(cluster):
+    store = fresh_store(cluster, 1)
+    lost_owner = cluster.task_id(0, "lose-batch")
+    ok_owner = cluster.task_id(0, "keep-batch")
+    lost = run_sync(store.write_chunk_batch(lost_owner, [b"l" * 100] * 3))
+    kept = run_sync(store.write_chunk_batch(ok_owner, [b"k" * 100] * 3))
+    with pytest.raises(ChunkLostError):
+        run_sync(store.read_chunk_batch(lost))
+    # The bystander's batch reads back fine on the same connection pool.
+    parts = run_sync(store.read_chunk_batch(kept))
+    assert [bytes(p) for p in parts] == [b"k" * 100] * 3
+    run_sync(store.free_chunk_batch(kept))
+    run_sync(store.free_chunk_batch(lost))
+
+
+# -- mid-payload reset on a write_batch: unprocessed, no leak -----------------
+
+
+def test_mid_payload_reset_on_write_batch_leaks_nothing(cluster):
+    store = fresh_store(cluster, 1)
+    owner = cluster.task_id(0, "batch-midreset")
+    before = server_free_bytes(cluster, 1)
+    plan = FaultPlan().reset_connections(
+        when="mid-payload", match={"op": "write_batch"}, times=1
+    )
+    with injected(plan):
+        with pytest.raises(StoreUnavailableError):
+            run_sync(store.write_chunk_batch(owner, [b"x" * CHUNK] * 4))
+    assert len(plan.fired("conn.send")) == 1
+    # The server saw a torn batch: every staged chunk must be aborted.
+    deadline = time.monotonic() + 5
+    while server_free_bytes(cluster, 1) != before:
+        assert time.monotonic() < deadline, "staged batch chunks leaked"
+        time.sleep(0.05)
+    # The stream recovers for the next batched request.
+    handles = run_sync(store.write_chunk_batch(owner, [b"y" * 100] * 2))
+    parts = run_sync(store.read_chunk_batch(handles))
+    assert [bytes(p) for p in parts] == [b"y" * 100] * 2
+    run_sync(store.free_chunk_batch(handles))
+
+
+# -- abandoned leases expire and the GC sweep reclaims them -------------------
+
+
+def test_expired_leases_are_reclaimed_by_gc(cluster):
+    store = fresh_store(cluster, 1)
+    owner = cluster.task_id(0, "lease-abandoner")
+    before = server_free_bytes(cluster, 1)
+    held = store.lease(owner, 4)
+    assert held == 4
+    assert server_free_bytes(cluster, 1) == before - 4 * CHUNK
+    # Abandon the reservations (no write, no release) past their TTL.
+    store._leases.clear()
+    time.sleep(LEASE_TTL + 0.1)
+    deadline = time.monotonic() + 10
+    while server_free_bytes(cluster, 1) != before:
+        assert time.monotonic() < deadline, "expired leases never reclaimed"
+        cluster.request_gc(1)
+        time.sleep(0.1)
+    snapshot = cluster.scrape()
+    assert snapshot.gauges.get("server.leases.outstanding", 0) == 0
+
+
+def test_released_leases_return_before_expiry(cluster):
+    store = fresh_store(cluster, 0)
+    owner = cluster.task_id(0, "lease-releaser")
+    before = server_free_bytes(cluster, 0)
+    assert store.lease(owner, 3) == 3
+    store.release_leases(owner)
+    assert store.leases_held(owner) == 0
+    deadline = time.monotonic() + 5
+    while server_free_bytes(cluster, 0) != before:
+        assert time.monotonic() < deadline, "released leases not freed"
+        time.sleep(0.05)

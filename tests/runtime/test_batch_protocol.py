@@ -1,0 +1,166 @@
+"""Batched wire framing: vectored payloads, lens validation, scatter sinks.
+
+The batched ops put one JSON header plus N concatenated chunk payloads
+in a single framing unit; the receiver trusts ``lens`` only after
+:func:`protocol.check_lens` proves it consistent with ``payload_len``
+(anything else would desync the stream).  These tests pin the framing
+round trip — including scatter-gather send and scatter-sink receive
+over real sockets — with hypothesis driving the chunk shapes.
+"""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.runtime import protocol
+
+
+def socket_pair():
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    accepted, _ = server.accept()
+    server.close()
+    return client, accepted
+
+
+# -- check_lens / split_batch (pure) ------------------------------------------
+
+
+class TestCheckLens:
+    def test_accepts_consistent_lens(self):
+        assert protocol.check_lens([1, 2, 3], 6) == [1, 2, 3]
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ProtocolError):
+            protocol.check_lens("nope", 4)
+
+    def test_rejects_oversized_batch(self):
+        lens = [1] * (protocol.MAX_BATCH + 1)
+        with pytest.raises(ProtocolError):
+            protocol.check_lens(lens, len(lens))
+
+    def test_accepts_max_batch_exactly(self):
+        lens = [1] * protocol.MAX_BATCH
+        assert protocol.check_lens(lens, len(lens)) == lens
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.5, "2", None])
+    def test_rejects_non_positive_or_non_int_entries(self, bad):
+        with pytest.raises(ProtocolError):
+            protocol.check_lens([1, bad], 3)
+
+    def test_rejects_sum_mismatch(self):
+        with pytest.raises(ProtocolError):
+            protocol.check_lens([2, 2], 5)
+
+    def test_rejects_chunk_over_max_chunk(self):
+        with pytest.raises(ProtocolError):
+            protocol.check_lens([10], 10, max_chunk=8)
+
+
+class TestSplitBatch:
+    def test_zero_copy_views(self):
+        payload = b"aabbbc"
+        parts = protocol.split_batch(payload, [2, 3, 1])
+        assert [bytes(p) for p in parts] == [b"aa", b"bbb", b"c"]
+        assert all(isinstance(p, memoryview) for p in parts)
+
+    def test_rejects_sum_mismatch(self):
+        with pytest.raises(ProtocolError):
+            protocol.split_batch(b"abc", [1, 1])
+
+    @given(st.lists(st.binary(min_size=1, max_size=64),
+                    min_size=1, max_size=protocol.MAX_BATCH))
+    def test_split_inverts_concat(self, chunks):
+        lens = [len(c) for c in chunks]
+        payload = b"".join(chunks)
+        assert protocol.check_lens(lens, len(payload)) == lens
+        parts = protocol.split_batch(payload, lens)
+        assert [bytes(p) for p in parts] == chunks
+
+
+# -- socket round trips -------------------------------------------------------
+
+
+def _exchange(header, chunks, sink=None):
+    """One send_message/recv_message exchange over a real socket pair."""
+    client, server = socket_pair()
+    received = {}
+
+    def reader():
+        received["msg"] = protocol.recv_message(server, sink=sink)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        protocol.send_message(client, header, chunks)
+        thread.join(timeout=10)
+        assert "msg" in received, "receiver never completed"
+        return received["msg"]
+    finally:
+        client.close()
+        server.close()
+
+
+class TestVectoredFraming:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8192),
+                    min_size=1, max_size=protocol.MAX_BATCH))
+    def test_scatter_gather_send_reassembles(self, chunks):
+        """N buffers go out in one framing unit; flat payload comes in."""
+        lens = [len(c) for c in chunks]
+        header, payload = _exchange({"op": "write_batch", "lens": lens}, chunks)
+        assert header["payload_len"] == sum(lens)
+        got = protocol.split_batch(payload, protocol.check_lens(
+            header["lens"], header["payload_len"]))
+        assert [bytes(p) for p in got] == chunks
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8192),
+                    min_size=1, max_size=16))
+    def test_scatter_sink_receives_in_place(self, chunks):
+        """A sink returning N buffers gets each chunk landed in place."""
+        lens = [len(c) for c in chunks]
+        buffers = [bytearray(n) for n in lens]
+
+        def sink(header, payload_len):
+            assert payload_len == sum(lens)
+            return buffers
+
+        header, payload = _exchange(
+            {"op": "write_batch", "lens": lens}, chunks, sink=sink)
+        assert payload == b""  # bytes live in the sink's buffers
+        assert [bytes(b) for b in buffers] == chunks
+
+    def test_single_buffer_payload_unchanged(self):
+        """Old single-chunk framing still round-trips (compat path)."""
+        header, payload = _exchange({"op": "alloc_write"}, b"\x01" * 1000)
+        assert header["payload_len"] == 1000
+        assert payload == b"\x01" * 1000
+
+    def test_empty_chunk_list_sends_header_only(self):
+        header, payload = _exchange({"op": "write_batch", "lens": []}, [])
+        assert header["payload_len"] == 0
+        assert payload == b""
+
+    def test_sink_exception_keeps_stream_framed(self):
+        """A refusing sink drains the payload; the next message parses."""
+        client, server = socket_pair()
+        try:
+            protocol.send_message(client, {"op": "a"}, [b"x" * 4096])
+            protocol.send_message(client, {"op": "b"}, b"tail")
+            with pytest.raises(MemoryError):
+                protocol.recv_message(
+                    server, sink=lambda h, n: (_ for _ in ()).throw(
+                        MemoryError("no room")))
+            header, payload = protocol.recv_message(server)
+            assert header["op"] == "b"
+            assert payload == b"tail"
+        finally:
+            client.close()
+            server.close()
