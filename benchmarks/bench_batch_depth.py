@@ -8,8 +8,9 @@ batching work actually optimises: depth 1 pays one ``alloc_write`` per
 chunk (~64 RPCs per spill), depth 32 coalesces the same bytes into a
 couple of ``write_batch`` calls plus a lease.
 
-Results are written as JSON (default ``BENCH_runtime.json``) so CI can
-upload them; ``--check`` additionally enforces the acceptance floor
+Results merge into ``BENCH_runtime.json`` under the ``"batch_depth"``
+key (the compression bench owns ``"compression"``) so CI can upload
+one combined file; ``--check`` additionally enforces the acceptance floor
 (>= 1.5x write throughput at depth 32 vs 1, <= 8 write RPCs per 64 MB
 spill) and exits non-zero when it regresses.
 
@@ -163,8 +164,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     report = run(sorted(set(args.depths)), args.rounds)
+    merged: dict = {}
+    try:
+        with open(args.out, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    if "benchmark" in merged:
+        merged = {"batch_depth": merged}  # pre-namespacing layout
+    merged["batch_depth"] = report
     with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump(merged, handle, indent=2, sort_keys=True)
 
     print(f"{'depth':>6s} {'write MB/s':>12s} {'read MB/s':>12s} "
           f"{'write RPCs':>11s} {'read RPCs':>10s}")

@@ -1,0 +1,227 @@
+"""Spill throughput and effective capacity with pipeline compression.
+
+Spills one 32 MB SpongeFile (32 x 1 MB chunks) through a 3-server
+:class:`LocalSpongeCluster` for every (compression mode, payload kind)
+cell and reports write/read MB/s plus the *effective capacity factor*
+— raw bytes spilled per stored pool chunk, the quantity compression
+actually buys: a factor of 3 means the same sponge memory absorbs 3x
+the skew before falling to disk (the paper's §3.1.1 motivation).
+
+Two payloads bound the codec's behaviour: ``text`` is structured
+tab-separated records (the shuffle-spill shape, compresses well at
+zlib-6) and ``random`` is incompressible bytes, where adaptive mode
+must probe once, pass everything through raw, and stay within a few
+percent of ``compression=off``.
+
+Results merge into ``BENCH_runtime.json`` under the ``"compression"``
+key (the batch-depth bench owns ``"batch_depth"``); ``--check``
+enforces the acceptance floors — >= 2x effective capacity on text,
+<= 5% write regression on random — and exits non-zero on a miss.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_compression.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+from repro.util.units import MB
+
+CHUNK = 1 * MB
+SPILL_CHUNKS = 32  # one spill = 32 MB
+
+
+def text_payload() -> bytes:
+    """~1 MB of varied structured records (a realistic spill shape:
+    compresses well, but nothing like a single repeated line)."""
+    lines = [
+        b"%08d\t%016x\tuser-%05d\tevent-%04d\tstatus=%d\tregion=rack%d\n"
+        % (i, i * 2654435761 % (1 << 64), i % 40_000, i % 3_000,
+           i % 7, i % 12)
+        for i in range(18_000)
+    ]
+    blob = b"".join(lines)
+    return blob[:CHUNK]
+
+
+class _CellBench:
+    """One (mode, payload) cell's long-lived client state + round log."""
+
+    def __init__(self, cluster: LocalSpongeCluster, mode: str,
+                 payload: bytes) -> None:
+        # Synchronous client, lease_ahead 0 — the bench isolates the
+        # codec from batching/pipelining gains, same rationale as
+        # bench_batch_depth.py.
+        self.config = SpongeConfig(chunk_size=CHUNK, compression=mode)
+        self.payload = payload
+        self.pool = ConnectionPool()
+        self.chain = cluster.chain(
+            0, config=self.config, attach_local_pool=False,
+            connection_pool=self.pool,
+        )
+        self.owner = cluster.task_id(0, f"bench-codec-{mode}")
+        self.rows: list[dict] = []
+
+    def one_round(self) -> dict:
+        spill = SpongeFile(self.owner, self.chain, config=self.config)
+        t0 = time.perf_counter()
+        for _ in range(SPILL_CHUNKS):
+            spill.write_all(self.payload)
+        spill.close_sync()
+        t1 = time.perf_counter()
+        reader = spill.open_reader()
+        received = 0
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            received += len(chunk)
+        t2 = time.perf_counter()
+        stored_chunks = spill.chunk_count()
+        spill.delete_sync()
+        assert received == SPILL_CHUNKS * CHUNK, "spill truncated"
+        return {
+            "write_mb_s": SPILL_CHUNKS / (t1 - t0),
+            "read_mb_s": SPILL_CHUNKS / (t2 - t1),
+            "stored_chunks": stored_chunks,
+            "capacity_factor": SPILL_CHUNKS / stored_chunks,
+        }
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def median(self) -> dict:
+        rows = sorted(self.rows, key=lambda r: r["write_mb_s"])
+        row = dict(rows[len(rows) // 2])
+        row["capacity_factor"] = round(row["capacity_factor"], 3)
+        return row
+
+
+def run(modes: list[str], rounds: int) -> dict:
+    payloads = {"text": text_payload(), "random": os.urandom(CHUNK)}
+    with LocalSpongeCluster(
+        num_nodes=3, pool_size=64 * MB, chunk_size=CHUNK,
+        poll_interval=2.0, gc_interval=60.0,
+    ) as cluster:
+        benches = {
+            (mode, kind): _CellBench(cluster, mode, payload)
+            for mode in modes
+            for kind, payload in payloads.items()
+        }
+        try:
+            # Round-robin across cells; round 0 is an untimed warm-up.
+            for round_no in range(rounds + 1):
+                for bench in benches.values():
+                    row = bench.one_round()
+                    if round_no > 0:
+                        bench.rows.append(row)
+        finally:
+            for bench in benches.values():
+                bench.close()
+        results = {
+            f"{mode}/{kind}": benches[(mode, kind)].median()
+            for (mode, kind) in benches
+        }
+    report = {
+        "benchmark": "runtime-compression",
+        "chunk_mb": CHUNK // MB,
+        "spill_mb": SPILL_CHUNKS * CHUNK // MB,
+        "rounds": rounds,
+        "cells": results,
+    }
+    if "off" in modes and "adaptive" in modes:
+        # Paired per-round ratio (cancels machine-load drift): the
+        # adaptive passthrough tax on incompressible data.
+        ratios = sorted(
+            adaptive["write_mb_s"] / off["write_mb_s"]
+            for off, adaptive in zip(
+                benches[("off", "random")].rows,
+                benches[("adaptive", "random")].rows,
+            )
+        )
+        report["adaptive_random_write_ratio"] = round(
+            ratios[len(ratios) // 2], 3
+        )
+    return report
+
+
+def merge_into(path: str, key: str, report: dict) -> None:
+    """Update one bench's namespace in the shared results file."""
+    merged: dict = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    if "benchmark" in merged:
+        # Pre-namespacing layout (a bare batch-depth report): fold the
+        # old content under its key rather than discarding it.
+        merged = {"batch_depth": merged}
+    merged[key] = report
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="spill throughput and effective capacity vs "
+                    "compression mode"
+    )
+    parser.add_argument("--modes", nargs="+",
+                        default=["off", "adaptive", "always"],
+                        choices=["off", "adaptive", "always"])
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the acceptance floors (>= 2x "
+                             "capacity on text, <= 5% write regression "
+                             "on random)")
+    args = parser.parse_args(argv)
+
+    report = run(list(dict.fromkeys(args.modes)), args.rounds)
+    merge_into(args.out, "compression", report)
+
+    print(f"{'cell':>16s} {'write MB/s':>12s} {'read MB/s':>12s} "
+          f"{'chunks':>7s} {'capacity':>9s}")
+    for cell, row in report["cells"].items():
+        print(f"{cell:>16s} {row['write_mb_s']:12.1f} "
+              f"{row['read_mb_s']:12.1f} {row['stored_chunks']:7d} "
+              f"{row['capacity_factor']:8.2f}x")
+    ratio = report.get("adaptive_random_write_ratio")
+    if ratio is not None:
+        print(f"adaptive/off write ratio on random: {ratio:.3f}")
+    print(f"written to {args.out}")
+
+    if args.check:
+        failures = []
+        for mode in ("adaptive", "always"):
+            cell = report["cells"].get(f"{mode}/text")
+            if cell and cell["capacity_factor"] < 2.0:
+                failures.append(
+                    f"{mode}/text capacity {cell['capacity_factor']:.2f}x "
+                    f"< 2.0x"
+                )
+        if ratio is not None and ratio < 0.95:
+            failures.append(
+                f"adaptive write ratio on random {ratio:.3f} < 0.95"
+            )
+        for failure in failures:
+            print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

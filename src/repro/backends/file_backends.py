@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.errors import ChunkLostError, OutOfSpongeMemory, SpongeError
 from repro.faults import hooks as faults
+from repro.sponge.blob import FrameBlob
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
 from repro.sponge.store import SyncChunkStore
 
@@ -60,8 +61,17 @@ class FileDiskStore(SyncChunkStore):
         if self.capacity is not None and self.used + nbytes > self.capacity:
             raise OutOfSpongeMemory(f"{self.store_id} full")
 
+    @staticmethod
+    def _write_parts(chunk_file, data) -> None:
+        """One ``write`` per buffer: bytes-like whole, packs part-wise."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            chunk_file.write(data)
+        else:
+            for part in data:
+                chunk_file.write(part)
+
     def _write(self, owner: TaskId, data) -> ChunkHandle:
-        if not isinstance(data, (bytes, bytearray, memoryview)):
+        if not isinstance(data, (bytes, bytearray, memoryview, FrameBlob)):
             raise SpongeError("FileDiskStore stores real bytes only")
         nbytes = len(data)
         if faults._armed is not None:
@@ -70,7 +80,7 @@ class FileDiskStore(SyncChunkStore):
         self._check_space(nbytes)
         path = self._task_dir(owner) / f"chunk-{next(self._ids):06d}"
         with open(path, "wb") as chunk_file:
-            chunk_file.write(data)
+            self._write_parts(chunk_file, data)
             if self.fsync:
                 chunk_file.flush()
                 os.fsync(chunk_file.fileno())
@@ -84,7 +94,7 @@ class FileDiskStore(SyncChunkStore):
                         owner="", nbytes=nbytes)
         self._check_space(nbytes)
         with open(handle.ref, "ab") as chunk_file:
-            chunk_file.write(data)
+            self._write_parts(chunk_file, data)
             if self.fsync:
                 chunk_file.flush()
                 os.fsync(chunk_file.fileno())

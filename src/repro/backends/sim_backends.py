@@ -226,9 +226,14 @@ class SimDiskChunkStore(ChunkStore):
         return blob_concat(parts)
 
     def free_chunk(self, handle: ChunkHandle) -> StoreOp:
+        from repro.sponge.blob import blob_size
+
         parts = self._files.pop(handle.ref, None)
         if parts is not None:
-            self.used -= handle.nbytes
+            # Sum what was actually charged at write/append time; the
+            # handle's nbytes may have been restamped to the *raw*
+            # (pre-codec) size by the SpongeFile layer.
+            self.used -= sum(blob_size(p) for p in parts)
         self.node.cache.drop(handle.ref)
         return None
         yield  # pragma: no cover

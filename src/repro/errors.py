@@ -61,6 +61,18 @@ class ChunkLostError(SpongeError):
     """
 
 
+class CorruptChunkError(ChunkLostError):
+    """A stored chunk's framing failed validation on read.
+
+    Raised by the spill codec when a frame header fails its checksum,
+    a compressed body fails zlib's integrity check, or a stored chunk
+    is truncated mid-frame.  A :class:`ChunkLostError` subclass because
+    the recovery is identical: the payload is unrecoverable, the owning
+    task fails and the framework re-runs it — corruption must never
+    surface as silently wrong bytes.
+    """
+
+
 class SpongeFileStateError(SpongeError):
     """An operation was attempted in the wrong lifecycle state.
 

@@ -98,6 +98,11 @@ class ChaosSettings:
     batch_depth: int = 1
     #: Lease-ahead target per remote store (0 disables leasing).
     lease_ahead: int = 0
+    #: Spill compression mode for the writers (``off``/``adaptive``/
+    #: ``always``).  Non-off runs add codec fault rules (corrupted
+    #: frames, failed probes) and alternate compressible rounds in, and
+    #: the byte-exact read-back now also proves the codec round-trip.
+    compression: str = "off"
     #: Server-side lease TTL.  Deliberately short so a crashed writer's
     #: reservations are reclaimed within the harness' GC deadline.
     lease_ttl: float = 2.0
@@ -190,6 +195,13 @@ def build_fault_plan(settings: ChaosSettings) -> FaultPlan:
         plan.stall("server.write_batch", delay=0.01 * rng.randint(1, 3),
                    times=rng.randint(1, 2), probability=0.5)
         plan.lose_chunks(site="server.read_batch", times=1, probability=0.25)
+    if settings.compression != "off":
+        # (g) codec faults: a corrupted stored frame must fail the
+        # reader *classified* (CorruptChunkError, an expected failure),
+        # and failed adaptive probes must degrade to passthrough —
+        # still byte-exact on read-back.
+        plan.corrupt_frames(times=1, probability=0.25)
+        plan.fail_probe(times=rng.randint(1, 2))
     return plan
 
 
@@ -224,15 +236,28 @@ def describe_schedule(settings: ChaosSettings) -> list[str]:
 # -- writers -----------------------------------------------------------------
 
 
-def payload_for(seed: int, writer: int, round_no: int, nbytes: int) -> bytes:
-    """Deterministic pseudo-random payload, reproducible for compare."""
+def payload_for(seed: int, writer: int, round_no: int, nbytes: int,
+                compressible: bool = False) -> bytes:
+    """Deterministic payload, reproducible for the byte-exact compare.
+
+    The default is pseudo-random (incompressible: exercises the codec's
+    passthrough path); ``compressible=True`` produces structured
+    record-like text (exercises the compress path).  Both are pure
+    functions of their arguments.
+    """
     out = bytearray()
     counter = 0
     while len(out) < nbytes:
-        block = hashlib.sha256(
-            f"{seed}:{writer}:{round_no}:{counter}".encode()
-        ).digest()
-        out.extend(block)
+        if compressible:
+            out.extend(
+                b"%08d\tkey-%05d\tvalue-%07d\tchaos-record\n"
+                % (counter, (seed + writer + counter) % 100_000,
+                   (round_no * 31 + counter) % 10_000_000)
+            )
+        else:
+            out.extend(hashlib.sha256(
+                f"{seed}:{writer}:{round_no}:{counter}".encode()
+            ).digest())
         counter += 1
     return bytes(out[:nbytes])
 
@@ -254,6 +279,7 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
         prefetch_depth=settings.prefetch_depth,
         batch_depth=settings.batch_depth,
         lease_ahead=settings.lease_ahead,
+        compression=settings.compression,
     )
     result = {"writer": writer_id, "rounds_ok": 0,
               "expected": [], "violations": []}
@@ -277,7 +303,12 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
         for round_no in range(settings.rounds):
             chunks = rng.randint(1, settings.max_file_chunks)
             nbytes = chunks * settings.chunk_size - rng.randrange(512)
-            data = payload_for(settings.seed, writer_id, round_no, nbytes)
+            # With compression on, alternate compressible rounds in so
+            # both codec verdicts run under chaos.
+            compressible = (settings.compression != "off"
+                            and round_no % 2 == 0)
+            data = payload_for(settings.seed, writer_id, round_no, nbytes,
+                               compressible=compressible)
             sponge_file = None
             try:
                 sponge_file = SpongeFile(
@@ -549,6 +580,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--lease-ahead", type=int, default=0,
                         help="lease-ahead target per remote store "
                              "(default 0: no leasing)")
+    parser.add_argument("--compression", default="off",
+                        choices=("off", "adaptive", "always"),
+                        help="writer spill-compression mode (default off)")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the merged metrics snapshot as JSON "
                              "(readable by python -m repro.obs.dump --input)")
@@ -557,6 +591,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         seed=args.seed, writers=args.writers, rounds=args.rounds,
         num_nodes=args.nodes, kill_servers=not args.no_kills,
         batch_depth=args.batch_depth, lease_ahead=args.lease_ahead,
+        compression=args.compression,
     )
     report = run_chaos(settings)
     print(report.summary())

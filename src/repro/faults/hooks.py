@@ -39,6 +39,8 @@ KNOWN_SITES = frozenset({
     "conn.send",
     "conn.await_reply",
     "disk.write",
+    "compress.encode",
+    "compress.probe",
 })
 
 #: The armed plan, or None.  Read directly by hot-path guards.

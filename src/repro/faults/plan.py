@@ -28,6 +28,8 @@ site                 fired from                             context keys
 ``conn.send``        ``protocol.send_message``              op, payload_len
 ``conn.await_reply``  pool exchange, between send and recv  op
 ``disk.write``       ``FileDiskStore`` write/append         store_id, owner, nbytes
+``compress.encode``  ``SpillCodec.encode``                  nbytes
+``compress.probe``   ``SpillCodec._probe``                  nbytes
 ===================  =====================================  =================
 
 Determinism
@@ -64,7 +66,9 @@ class FaultAction:
     * ``"stall"`` — :meth:`FaultPlan.fire` sleeps ``delay`` seconds and
       the operation then proceeds normally;
     * a directive token (``"reset"``, ``"zero"``, ``"empty"``,
-      ``"freeze"``) returned to the call site, which implements it.
+      ``"freeze"``, ``"corrupt"``) returned to the call site, which
+      implements it (``"corrupt"`` makes the spill codec's packer flip
+      a frame-header byte so the read side must fail *classified*).
     """
 
     kind: str
@@ -275,6 +279,22 @@ class FaultPlan:
         writers must degrade to plain batched/single writes)."""
         return self.rule("server.lease", FaultAction(
             "raise", OutOfSpongeMemory, "injected lease refusal",
+        ), **kwargs)
+
+    def corrupt_frames(self, **kwargs) -> "FaultPlan":
+        """Flip a frame-header byte in stored packs: the reader must
+        raise :class:`~repro.errors.CorruptChunkError`, never return
+        silently wrong bytes."""
+        return self.rule("compress.encode", FaultAction("corrupt"), **kwargs)
+
+    def fail_probe(self, **kwargs) -> "FaultPlan":
+        """Adaptive-probe failures: the codec must degrade to raw
+        passthrough (compression is an optimization, not a correctness
+        dependency)."""
+        from repro.errors import SpongeError
+
+        return self.rule("compress.probe", FaultAction(
+            "raise", SpongeError, "injected probe failure",
         ), **kwargs)
 
     # -- firing --------------------------------------------------------------

@@ -50,6 +50,26 @@ def scrape_addresses(addresses: list[tuple[str, int]],
     return merged, errors
 
 
+def compression_summary(snapshot: MetricsSnapshot) -> Optional[str]:
+    """One line of cluster-wide codec accounting, or ``None`` when the
+    snapshot records no compression activity."""
+    raw = snapshot.counters.get("compress.raw_bytes", 0)
+    if not raw:
+        return None
+    stored = snapshot.counters.get("compress.stored_bytes", 0)
+    passthrough = snapshot.counters.get("compress.passthrough_chunks", 0)
+    chunks = snapshot.counters.get("compress.chunks", 0)
+    cpu_us = (snapshot.counters.get("compress.cpu_us", 0)
+              + snapshot.counters.get("decompress.cpu_us", 0))
+    ratio = raw / stored if stored else 1.0
+    return (
+        f"compression: ratio {ratio:.2f}x "
+        f"({raw} raw -> {stored} stored bytes), "
+        f"{chunks} units ({passthrough} passthrough), "
+        f"codec CPU {cpu_us / 1e6:.3f}s"
+    )
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.dump",
@@ -89,6 +109,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         sys.stdout.write(snapshot.to_prometheus())
     else:
         print(snapshot.to_json())
+    summary = compression_summary(snapshot)
+    if summary is not None:
+        print(summary, file=sys.stderr)
     if snapshot.empty:
         print("warning: snapshot is empty", file=sys.stderr)
         return 1

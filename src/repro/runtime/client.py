@@ -45,6 +45,7 @@ log = logging.getLogger(__name__)
 from repro.runtime.shm_pool import MmapSpongePool
 from repro.sponge.allocator import AllocationChain
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.compression import CompressedStore
 from repro.sponge.config import SpongeConfig
 from repro.sponge.store import SyncChunkStore
 from repro.sponge.tracker import ServerInfo
@@ -497,6 +498,7 @@ def build_chain(
     connection_pool: Optional[ConnectionPool] = None,
     dfs_dir: Optional[str | Path] = None,
     tracker_client_id: str = "",
+    compress_stores: str = "none",
 ) -> AllocationChain:
     """An allocation chain over the real runtime for a task on ``host``.
 
@@ -505,10 +507,44 @@ def build_chain(
     overlap their async writes and prefetches with computation.
     ``dfs_dir``, if given, adds a last-resort DFS tier (a directory
     standing in for the distributed filesystem).
+
+    ``compress_stores`` wraps tiers in
+    :class:`~repro.sponge.compression.CompressedStore`:
+
+    * ``"none"`` (default) — no store wrapping.  Use
+      ``config.compression`` for pipeline compression instead: it
+      compresses once, *before* placement, covering every tier.
+    * ``"memory"`` — wrap the local pool and remote servers only.
+      Disk tiers keep their append-coalescing.
+    * ``"all"`` — wrap the disk and DFS tiers too.  CompressedStore
+      cannot append (a zlib stream is not extendable in place), so this
+      **disables disk-chunk coalescing** — historically that happened
+      silently; now it logs a warning and bumps the
+      ``chain.coalescing_disabled`` counter.
+
+    Combining ``compress_stores`` with ``config.compression != "off"``
+    raises :class:`~repro.errors.ConfigError`: the pipeline would
+    spend CPU compressing already-compressed frames.
     """
+    if compress_stores not in ("none", "memory", "all"):
+        raise ConfigError(
+            f"compress_stores must be none|memory|all: {compress_stores!r}"
+        )
+    if compress_stores != "none" and config.compression != "off":
+        raise ConfigError(
+            "compress_stores and config.compression are mutually "
+            "exclusive: the pipeline codec already compresses chunks "
+            "before any store sees them"
+        )
+    wrap = None
+    if compress_stores != "none":
+        def wrap(store):
+            return CompressedStore(store, level=config.compression_level)
     local = None
     if local_pool_dir is not None:
         local = LocalMmapStore(MmapSpongePool(local_pool_dir), host=host)
+        if wrap is not None:
+            local = wrap(local)
     connections = connection_pool if connection_pool is not None else default_pool()
     # cache_ttl=None: adopt the TTL the tracker advertises
     # (``TrackerConfig.client_cache_ttl``), so the staleness budget is
@@ -519,20 +555,38 @@ def build_chain(
         client_id=tracker_client_id,
     )
 
-    def remote_factory(info: ServerInfo) -> RemoteServerStore:
+    def remote_factory(info: ServerInfo):
         address = tracker.addresses.get(info.server_id)
         if address is None:
             raise StoreUnavailableError(
                 f"no address known for {info.server_id}"
             )
-        return RemoteServerStore(info.server_id, address, pool=connections)
+        store = RemoteServerStore(info.server_id, address, pool=connections)
+        return store if wrap is None else wrap(store)
+
+    disk_store = FileDiskStore(spill_dir)
+    dfs_store = FileDfsStore(dfs_dir) if dfs_dir is not None else None
+    if compress_stores == "all":
+        # Surface the trade-off instead of silently losing it: the
+        # wrapper refuses appends, so the disk tier writes one file per
+        # chunk from here on (no §3.1.1 coalescing).
+        log.warning(
+            "compress_stores='all' wraps the disk tier: CompressedStore "
+            "cannot append, so disk-chunk coalescing is disabled"
+        )
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("chain.coalescing_disabled").inc()
+        disk_store = wrap(disk_store)
+        if dfs_store is not None:
+            dfs_store = wrap(dfs_store)
 
     return AllocationChain(
         local_store=local,
         tracker=tracker,
         remote_store_factory=remote_factory,
-        disk_store=FileDiskStore(spill_dir),
-        dfs_store=FileDfsStore(dfs_dir) if dfs_dir is not None else None,
+        disk_store=disk_store,
+        dfs_store=dfs_store,
         host=host,
         rack=rack,
         config=config,

@@ -18,16 +18,28 @@ re-raised at ``wait`` exactly like the other executors.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Optional
 
 from repro.sponge.store import StoreOp, run_sync
 
 
+def _default_workers() -> int:
+    """4 workers covered the pure-IO pipeline; the compression stage
+    also runs CPU-bound encodes here (zlib releases the GIL), so scale
+    with the cores available — bounded, since the per-file pipeline
+    depth already caps useful parallelism."""
+    return min(8, max(4, (os.cpu_count() or 1) + 2))
+
+
 class ThreadExecutor:
     """Runs store ops on worker threads; drop-in for ``SyncExecutor``."""
 
-    def __init__(self, max_workers: int = 4, name: str = "sponge-io") -> None:
+    def __init__(self, max_workers: Optional[int] = None,
+                 name: str = "sponge-io") -> None:
+        if max_workers is None:
+            max_workers = _default_workers()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix=name
         )

@@ -269,7 +269,8 @@ class LocalSpongeCluster:
               executor=None,
               with_dfs: bool = False,
               tracker_client_id: str = "",
-              connection_pool=None):
+              connection_pool=None,
+              compress_stores: str = "none"):
         """An allocation chain for a task running on ``node<index>``.
 
         Pass ``executor=ThreadExecutor()`` (or any spawn/wait executor)
@@ -291,6 +292,7 @@ class LocalSpongeCluster:
             dfs_dir=(self.workdir / "dfs") if with_dfs else None,
             tracker_client_id=tracker_client_id,
             connection_pool=connection_pool,
+            compress_stores=compress_stores,
         )
 
     def task_id(self, node_index: int = 0, label: str = "task",

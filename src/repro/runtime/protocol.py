@@ -75,7 +75,19 @@ def _as_views(payload: Payloads) -> list[memoryview]:
     """Normalise a payload (single buffer or sequence) to buffer views."""
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return [memoryview(payload)] if len(payload) else []
-    return [memoryview(b) for b in payload if len(b)]
+    views: list[memoryview] = []
+    for item in payload:
+        if isinstance(item, (bytes, bytearray, memoryview)):
+            if len(item):
+                views.append(memoryview(item))
+        else:
+            # A framed pack (or any nested part sequence, e.g. one
+            # FrameBlob per chunk in a batched write): scatter-gather
+            # its parts instead of joining them client-side.
+            for part in item:
+                if len(part):
+                    views.append(memoryview(part))
+    return views
 
 
 def send_message(sock: socket.socket, header: dict,

@@ -217,8 +217,10 @@ class MmapSpongePool:
     def write(self, index: int, owner: TaskId, data) -> None:
         """Fill an allocated chunk (no pool lock: entry is ours).
 
-        ``data`` is any bytes-like object; a ``memoryview`` straight off
-        the wire is copied into shared memory exactly once.
+        ``data`` is any bytes-like object — or a part sequence such as
+        a framed pack (``FrameBlob``), whose parts land part-wise; in
+        either case the payload is copied into shared memory exactly
+        once.
         """
         if len(data) > self.chunk_size:
             raise SpongeError(
@@ -228,7 +230,13 @@ class MmapSpongePool:
         if state != _USED or actual != owner:
             raise SpongeError(f"chunk {index} not owned by {owner}")
         segment, offset = self._locate(index)
-        segment[offset : offset + len(data)] = data
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            segment[offset : offset + len(data)] = data
+        else:
+            cursor = offset
+            for part in data:
+                segment[cursor : cursor + len(part)] = part
+                cursor += len(part)
         self._write_entry(index, _USED, len(data), owner)
 
     def chunk_buffer(self, index: int, owner: TaskId, nbytes: int) -> memoryview:

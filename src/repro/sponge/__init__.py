@@ -15,9 +15,13 @@ through it.
 """
 
 from repro.sponge.allocator import AllocationChain, AllocationSession, ChainStats
-from repro.sponge.compression import CompressedStore
+from repro.sponge.compression import (
+    CompressedStore,
+    CompressionStats,
+    SpillCodec,
+)
 from repro.sponge.crypto import EncryptedStore, decrypt_chunk, encrypt_chunk
-from repro.sponge.blob import Payload, blob_concat, blob_size, blob_take
+from repro.sponge.blob import FrameBlob, Payload, blob_concat, blob_size, blob_take
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
 from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
 from repro.sponge.gc import GcReport, TaskRegistry, run_cluster_gc, wire_peers
@@ -72,4 +76,7 @@ __all__ = [
     "encrypt_chunk",
     "decrypt_chunk",
     "CompressedStore",
+    "CompressionStats",
+    "SpillCodec",
+    "FrameBlob",
 ]

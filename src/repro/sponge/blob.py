@@ -52,10 +52,50 @@ def snap_record_size(nbytes: int, chunk_size: int = 1 << 20) -> int:
     return chunk_size // per_chunk
 
 
+class FrameBlob:
+    """A stored chunk assembled from framed buffer parts (zero-copy).
+
+    The spill codec (:mod:`repro.sponge.compression`) packs several
+    frames — 12-byte headers plus raw or compressed bodies — into one
+    stored chunk.  Joining them client-side would cost a full memcpy
+    per chunk, so the pack stays a *list of parts* all the way down:
+    the wire layer scatter-gathers them into one ``sendmsg``, the mmap
+    pool and disk stores copy them part-wise into place.
+
+    ``len()`` is the *stored* size — the quantity lease/capacity math
+    and wire length headers are denominated in; the *raw* (decoded)
+    size rides along in :attr:`raw_len` so SpongeFile accounting can
+    restamp handles after placement.  Iteration yields the parts.
+    """
+
+    __slots__ = ("parts", "nbytes", "raw_len")
+
+    def __init__(self, parts: Sequence[Any], raw_len: int = 0) -> None:
+        self.parts = list(parts)
+        self.nbytes = sum(len(p) for p in self.parts)
+        self.raw_len = int(raw_len)
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __iter__(self):
+        return iter(self.parts)
+
+    def tobytes(self) -> bytes:
+        """Contiguous copy (sim/memory backends and decode fallback)."""
+        return b"".join(self.parts)
+
+    def __repr__(self) -> str:
+        return (f"FrameBlob({len(self.parts)} parts, "
+                f"stored={self.nbytes}, raw={self.raw_len})")
+
+
 def blob_size(blob: Any) -> int:
-    """Logical size of a blob in bytes."""
+    """Logical size of a blob in bytes (stored size for frame packs)."""
     if isinstance(blob, (bytes, bytearray, memoryview)):
         return len(blob)
+    if isinstance(blob, FrameBlob):
+        return blob.nbytes
     if isinstance(blob, Payload):
         return blob.nbytes
     raise SpongeError(f"not a spillable blob: {type(blob).__name__}")
@@ -68,6 +108,23 @@ def blob_concat(parts: Sequence[Any]) -> Any:
     if len(parts) == 1:
         return parts[0]
     first = parts[0]
+    if any(isinstance(p, FrameBlob) for p in parts):
+        # Frame packs concatenate by part (disk append-coalescing of
+        # stored chunks): frames are length-delimited, so bytes after a
+        # pack's final frame parse as the appended pack's frames.
+        flat: list = []
+        raw = 0
+        for part in parts:
+            if isinstance(part, FrameBlob):
+                flat.extend(part.parts)
+                raw += part.raw_len
+            elif isinstance(part, (bytes, bytearray, memoryview)):
+                if len(part):
+                    flat.append(part)
+                    raw += len(part)
+            else:
+                raise SpongeError("cannot mix FrameBlob and Payload blobs")
+        return FrameBlob(flat, raw)
     if isinstance(first, (bytes, bytearray, memoryview)):
         return b"".join(bytes(p) for p in parts)
     if isinstance(first, Payload):

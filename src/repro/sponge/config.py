@@ -57,6 +57,24 @@ class SpongeConfig:
     lease_ahead: int = 0
     #: Per-task, per-node sponge quota in bytes; ``None`` = unlimited.
     quota_per_node: Optional[int] = None
+    #: Spill compression: ``"off"`` (the paper's behaviour), ``"always"``
+    #: (compress every unit), or ``"adaptive"`` (probe a sample, pass
+    #: incompressible streams through raw, re-probe periodically).
+    #: Chunks are compressed inside executor workers and packed into
+    #: full-size stored chunks, so a ~3x ratio holds ~3x the raw bytes
+    #: per sponge pool; handles and SpongeFile accounting keep *raw*
+    #: sizes while lease/capacity math runs on *stored* sizes.
+    compression: str = "off"
+    #: zlib level (1..9) for the spill codec.
+    compression_level: int = 6
+    #: Sample size the adaptive probe compresses to classify a stream.
+    compression_probe_bytes: int = 64 * 1024
+    #: Minimum probe ratio for the compress verdict; below it the
+    #: stream passes through raw.
+    compression_min_ratio: float = 1.2
+    #: Units between adaptive re-probes (a unit is ``chunk_size //
+    #: SUBCHUNKS`` bytes), so phase changes are picked up.
+    compression_reprobe_chunks: int = 64
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -75,6 +93,25 @@ class SpongeConfig:
             raise ConfigError("lease_ahead must be >= 0")
         if self.quota_per_node is not None and self.quota_per_node < self.chunk_size:
             raise ConfigError("quota_per_node smaller than one chunk")
+        if self.compression not in ("off", "adaptive", "always"):
+            raise ConfigError(
+                f"compression must be off|adaptive|always: {self.compression!r}"
+            )
+        if not 1 <= self.compression_level <= 9:
+            raise ConfigError(
+                f"compression_level must be 1..9: {self.compression_level}"
+            )
+        if self.compression != "off" and self.chunk_size < 4096:
+            raise ConfigError(
+                "compression needs chunk_size >= 4096 (frame overhead "
+                "would dominate sub-chunk units below that)"
+            )
+        if self.compression_probe_bytes < 1024:
+            raise ConfigError("compression_probe_bytes must be >= 1024")
+        if self.compression_min_ratio <= 1.0:
+            raise ConfigError("compression_min_ratio must be > 1.0")
+        if self.compression_reprobe_chunks < 1:
+            raise ConfigError("compression_reprobe_chunks must be >= 1")
 
 
 DEFAULT_CONFIG = SpongeConfig()

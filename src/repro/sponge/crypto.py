@@ -25,6 +25,7 @@ import os
 from typing import Any
 
 from repro.errors import SpongeError
+from repro.sponge.blob import FrameBlob
 from repro.sponge.chunk import ChunkHandle, TaskId
 from repro.sponge.store import ChunkStore, StoreOp
 
@@ -87,6 +88,11 @@ class EncryptedStore(ChunkStore):
         return self.inner.free_bytes()
 
     def write_chunk(self, owner: TaskId, data: Any) -> StoreOp:
+        if isinstance(data, FrameBlob):
+            # Compressed packs seal fine (compress-before-encrypt is
+            # the correct order); the keystream needs one contiguous
+            # buffer, so the scatter-gather pack is joined here.
+            data = data.tobytes()
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise SpongeError("EncryptedStore seals real bytes only")
         sealed = encrypt_chunk(self.key, bytes(data))
@@ -98,7 +104,9 @@ class EncryptedStore(ChunkStore):
 
     def read_chunk(self, handle: ChunkHandle) -> StoreOp:
         sealed = yield from self.inner.read_chunk(handle)
-        return decrypt_chunk(self.key, sealed)
+        if isinstance(sealed, FrameBlob):
+            sealed = sealed.tobytes()
+        return decrypt_chunk(self.key, bytes(sealed))
 
     def free_chunk(self, handle: ChunkHandle) -> StoreOp:
         yield from self.inner.free_chunk(handle)

@@ -34,6 +34,12 @@ from repro.errors import SpongeError, SpongeFileStateError
 from repro.sponge.allocator import MAX_GROUP, AllocationChain, AllocationSession
 from repro.sponge.blob import blob_concat, blob_size, blob_take
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
+from repro.sponge.compression import (
+    FRAME_OVERHEAD,
+    SUBCHUNKS,
+    SpillCodec,
+    pack_frames,
+)
 from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
 from repro.sponge.store import StoreOp, run_sync
 
@@ -44,6 +50,12 @@ from repro.sponge.store import StoreOp, run_sync
 #: and the last stripe of a file drains with no overlap at all, so
 #: oversized stripes turn into a serial tail.
 STRIPE_CHUNKS = 8
+
+#: Most codec units in flight on executor workers at once.  Encodes
+#: overlap the network sends already pipelined behind them (zlib drops
+#: the GIL), so a shallow bound keeps memory flat without starving the
+#: workers.
+ENCODE_DEPTH = 4
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +160,21 @@ class SpongeFile:
         self._pending: deque = deque()  # in-flight async chunk writes, oldest first
         self._pending_appended_to: Optional[ChunkHandle] = None
         self._reader: Optional[SpongeFileReader] = None
+        #: The spill codec, or None (``config.compression="off"`` and
+        #: Payload-mode files).  With a codec the write buffer is cut
+        #: into units of ``_cut`` bytes sized so SUBCHUNKS passthrough
+        #: frames exactly tile one stored chunk.
+        self._codec: Optional[SpillCodec] = SpillCodec.for_config(config)
+        if self._codec is not None:
+            self._cut = config.chunk_size // SUBCHUNKS - FRAME_OVERHEAD
+        else:
+            self._cut = config.chunk_size
+        self._encoding: deque = deque()  # in-flight codec units, oldest first
+        self._pack: list[Any] = []  # frames accumulating toward one chunk
+        self._pack_stored = 0
+        #: (raw, stored) per dispatched pack, consumed in completion
+        #: order to restamp handles from stored to raw sizes.
+        self._raw_restamp: deque = deque()
 
     # -- introspection ----------------------------------------------------------
 
@@ -176,7 +203,30 @@ class SpongeFile:
         nbytes = blob_size(data)
         if nbytes == 0:
             return None
+        if self._codec is not None and not isinstance(
+            data, (bytes, bytearray, memoryview)
+        ):
+            if self.stats.bytes_written == 0:
+                # Payload (simulated) spills carry logical sizes, not
+                # real bytes: nothing to compress.  First write decides
+                # the file's mode; the reader keys off the same field.
+                self._codec = None
+                self._cut = self.config.chunk_size
+            else:
+                raise SpongeError("cannot mix Payload and bytes blobs")
         self.stats.bytes_written += nbytes
+        if self._codec is not None:
+            # The codec path cuts with memoryview slices instead of
+            # blob_take: sub-chunk units would otherwise pay a copy of
+            # the remainder per cut.  Frames hold views of the buffer,
+            # so it must be immutable bytes.
+            if not isinstance(data, bytes):
+                data = bytes(data)
+            self._buffer.append(data)
+            self._buffered += nbytes
+            if self._buffered >= self._cut:
+                yield from self._cut_units()
+            return None
         self._buffer.append(data)
         self._buffered += nbytes
         while self._buffered >= self.config.chunk_size:
@@ -194,7 +244,13 @@ class SpongeFile:
     def close(self) -> StoreOp:
         """Flush the partial final chunk and seal the file."""
         self._require(FileState.WRITING, "close")
-        if self._buffer:
+        if self._codec is not None:
+            if self._buffer:
+                yield from self._emit_unit(self._take_unit(self._buffered))
+            while self._encoding:
+                yield from self._absorb_one()
+            yield from self._flush_pack()
+        elif self._buffer:
             chunk = blob_concat(self._buffer)
             self._buffer = []
             self._buffered = 0
@@ -230,6 +286,13 @@ class SpongeFile:
         if self._state is FileState.DELETED:
             raise SpongeFileStateError(f"{self.name}: double delete")
         self._batch = []  # unallocated chunks are just dropped
+        while self._encoding:  # unpacked frames likewise
+            try:
+                yield from self.executor.wait(self._encoding.popleft())
+            except Exception:  # noqa: BLE001 - outcome deliberately dropped
+                pass
+        self._pack = []
+        self._pack_stored = 0
         yield from self._drain_pending()
         if self._reader is not None:
             yield from self._reader._drain()
@@ -294,6 +357,100 @@ class SpongeFile:
         if self._handles and self._handles[-1].location is ChunkLocation.LOCAL_DISK:
             return self._handles[-1]
         return None
+
+    # -- codec stage (config.compression != "off") --------------------------
+
+    def _cut_units(self) -> StoreOp:
+        """Emit full codec units off the write buffer, zero-copy.
+
+        Units come off the front of the buffer's part list as views; a
+        unit spanning a write boundary stays a *list* of views (frames
+        scatter-gather all the way to the wire/mmap), so cutting never
+        joins or copies payload bytes — at wire speeds a per-unit join
+        would cost more than the send.
+
+        Sub-chunk units exist to overlap zlib with the network, so
+        they are only worth their per-unit overhead when units will
+        actually compress: under a raw verdict the cutter switches to
+        chunk-sized units (one frame tiles one pack), keeping the
+        passthrough tax per *chunk*, not per sub-chunk.
+        """
+        while True:
+            cut = (self._cut if self._codec.will_compress()
+                   else self.config.chunk_size - FRAME_OVERHEAD)
+            if self._buffered < cut:
+                return None
+            yield from self._emit_unit(self._take_unit(cut))
+
+    def _take_unit(self, count: int) -> Any:
+        taken = []
+        need = count
+        while need:
+            part = self._buffer[0]
+            if len(part) <= need:
+                taken.append(part)
+                need -= len(part)
+                self._buffer.pop(0)
+            else:
+                view = (part if isinstance(part, memoryview)
+                        else memoryview(part))
+                taken.append(view[:need])
+                self._buffer[0] = view[need:]
+                need = 0
+        self._buffered -= count
+        return taken[0] if len(taken) == 1 else taken
+
+    def _encode_op(self, unit: Any) -> StoreOp:
+        return self._codec.encode(unit)
+        yield  # pragma: no cover - makes this a generator
+
+    def _emit_unit(self, unit: Any) -> StoreOp:
+        """Encode one unit: spawned for compression, inline for raw.
+
+        zlib releases the GIL, so spawned encodes run on executor
+        workers concurrently with the network sends already pipelined.
+        Passthrough frames are header arithmetic only — an executor
+        round trip would cost more than the encode, so they stay
+        inline (after draining spawned encodes to preserve order).
+        """
+        if self._codec.will_compress():
+            self._encoding.append(self.executor.spawn(self._encode_op(unit)))
+            while len(self._encoding) > ENCODE_DEPTH:
+                yield from self._absorb_one()
+            return None
+        while self._encoding:
+            yield from self._absorb_one()
+        yield from self._absorb(self._codec.encode(unit))
+        return None
+
+    def _absorb_one(self) -> StoreOp:
+        frame = yield from self.executor.wait(self._encoding.popleft())
+        yield from self._absorb(frame)
+        return None
+
+    def _absorb(self, frame: Any) -> StoreOp:
+        """Add one frame to the open pack, flushing when it fills."""
+        if (self._pack
+                and self._pack_stored + frame.stored > self.config.chunk_size):
+            yield from self._flush_pack()
+        self._pack.append(frame)
+        self._pack_stored += frame.stored
+        # Flush eagerly once no further frame could fit: holding a
+        # full pack open would only delay its transfer.
+        if self.config.chunk_size - self._pack_stored < FRAME_OVERHEAD + 1:
+            yield from self._flush_pack()
+        return None
+
+    def _flush_pack(self) -> StoreOp:
+        if not self._pack:
+            return None
+        frames, self._pack, self._pack_stored = self._pack, [], 0
+        blob = pack_frames(frames)
+        self._raw_restamp.append((blob.raw_len, len(blob)))
+        yield from self._emit_chunk(blob)
+        return None
+
+    # -- placement ----------------------------------------------------------
 
     def _emit_chunk(self, chunk: Any) -> StoreOp:
         if self.config.batch_depth > 1:
@@ -388,6 +545,17 @@ class SpongeFile:
 
     def _record(self, result: tuple[ChunkHandle, bool]) -> None:
         handle, appended = result
+        if self._codec is not None:
+            # Lease/capacity/wire math ran on the *stored* (framed)
+            # size; the file's metadata keeps *raw* sizes.  Packs
+            # complete in dispatch order (the pipeline drains FIFO and
+            # batched allocations return handles in blob order), so the
+            # deque lines up with the results.  Restamp by *delta*, not
+            # assignment: a batched allocation may write and append to
+            # the same disk handle before either result reaches us, so
+            # the handle can already carry later packs' stored bytes.
+            raw, stored = self._raw_restamp.popleft()
+            handle.nbytes += raw - stored
         self.stats.chunks[handle.location] += 1
         if appended:
             self.stats.disk_appends += 1
@@ -423,6 +591,18 @@ def _store_groups(chain: AllocationChain, handles: list, depth: int):
         else:
             yield store, [handles[i]]
             i += 1
+
+
+def _decode_op(codec: SpillCodec, op: StoreOp) -> StoreOp:
+    """Fetch-then-decode as one op, so spawned prefetches decode on
+    executor workers (overlapping the reader) instead of inline."""
+    data = yield from op
+    return codec.decode(data)
+
+
+def _decode_batch_op(codec: SpillCodec, op: StoreOp) -> StoreOp:
+    parts = yield from op
+    return [codec.decode(part) for part in parts]
 
 
 class _BatchHolder:
@@ -520,7 +700,10 @@ class SpongeFileReader:
     def _start_fetch(self, index: int):
         handle = self.file._handles[index]
         store = self.file.session.chain.store_for(handle)
-        return self.file.executor.spawn(store.read_chunk(handle))
+        op = store.read_chunk(handle)
+        if self.file._codec is not None:
+            op = _decode_op(self.file._codec, op)
+        return self.file.executor.spawn(op)
 
     def _start_fetch_group(self, index: int) -> list:
         """Queue entries for chunks ``index..``: one batched fetch when
@@ -548,9 +731,10 @@ class SpongeFileReader:
         if j - index == 1:
             return [self._start_fetch(index)]
         group = list(handles[index:j])
-        holder = _BatchHolder(
-            self.file.executor.spawn(store.read_chunk_batch(group))
-        )
+        op = store.read_chunk_batch(group)
+        if self.file._codec is not None:
+            op = _decode_batch_op(self.file._codec, op)
+        holder = _BatchHolder(self.file.executor.spawn(op))
         return [_BatchSlot(holder, k) for k in range(len(group))]
 
     def _await(self, entry) -> StoreOp:

@@ -1,0 +1,128 @@
+"""Injected faults at the compression stage.
+
+Two failure classes, matching the new ``compress.*`` sites:
+
+* ``compress.encode`` + ``corrupt`` — a frame header is flipped at
+  pack time.  The read path must raise
+  :class:`~repro.errors.CorruptChunkError` (a
+  :class:`~repro.errors.ChunkLostError`, so the owning task is re-run
+  like any lost chunk), never return silently wrong bytes.
+* ``compress.probe`` + ``raise`` — adaptive probes fail.  The codec
+  must degrade to raw passthrough and stay byte-exact: compression is
+  an optimization, never a correctness dependency.
+"""
+
+import os
+
+import pytest
+
+from repro.backends.memory_backends import (
+    LocalPoolStore,
+    MemoryDfsStore,
+    MemoryDiskStore,
+)
+from repro.errors import ChunkLostError, CorruptChunkError
+from repro.faults import hooks
+from repro.faults.plan import FaultPlan
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.pool import SpongePool
+from repro.sponge.spongefile import SpongeFile
+
+OWNER = TaskId("h0", "codec-faults")
+CHUNK = 64 * 1024
+TEXT = (b"%08d\tkey-%04d\tvalue-%06d\n" % (1, 2, 3)) * 20_000  # ~520 KB
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    yield
+    hooks.disarm()
+
+
+def make_file(config, pool_chunks=16):
+    pool = SpongePool(pool_chunks * config.chunk_size, config.chunk_size)
+    chain = AllocationChain(LocalPoolStore(pool), None, None,
+                            MemoryDiskStore(), MemoryDfsStore(),
+                            config=config)
+    return pool, SpongeFile(OWNER, chain, config)
+
+
+class TestCorruptFrames:
+    def test_corrupt_header_raises_on_read(self):
+        config = SpongeConfig(chunk_size=CHUNK, compression="always")
+        _, sf = make_file(config)
+        hooks.arm(FaultPlan(seed=5).corrupt_frames(times=1))
+        sf.write_all(TEXT)
+        sf.close_sync()
+        with pytest.raises(CorruptChunkError):
+            sf.read_all()
+
+    def test_corruption_is_a_lost_chunk(self):
+        # CorruptChunkError subclasses ChunkLostError: frameworks that
+        # already re-run tasks on lost chunks handle corruption for
+        # free, and the chaos harness classifies it as expected.
+        assert issubclass(CorruptChunkError, ChunkLostError)
+
+    def test_uncorrupted_chunks_unaffected(self):
+        config = SpongeConfig(chunk_size=CHUNK, compression="always")
+        _, first = make_file(config)
+        first.write_all(TEXT[:100_000])
+        first.close_sync()
+        hooks.arm(FaultPlan(seed=5).corrupt_frames(times=1))
+        _, second = make_file(config)
+        second.write_all(TEXT[:100_000])
+        second.close_sync()
+        hooks.disarm()
+        # The fault hit only the armed file's frames.
+        assert bytes(first.read_all()) == TEXT[:100_000]
+        with pytest.raises(CorruptChunkError):
+            second.read_all()
+
+
+class TestProbeFailures:
+    def test_probe_failure_degrades_to_raw(self):
+        config = SpongeConfig(chunk_size=CHUNK, compression="adaptive")
+        hooks.arm(FaultPlan(seed=7).fail_probe(times=10))
+        _, sf = make_file(config)
+        sf.write_all(TEXT)
+        sf.close_sync()
+        hooks.disarm()
+        codec = sf._codec
+        assert codec.stats.probe_failures > 0
+        # Every unit passed through raw — compressible data, but the
+        # probe never succeeded, so nothing was trusted to zlib...
+        assert codec.stats.stored_bytes >= codec.stats.raw_bytes
+        # ...and the file is still byte-exact.
+        assert bytes(sf.read_all()) == TEXT
+
+    def test_transient_probe_failure_recovers(self):
+        config = SpongeConfig(
+            chunk_size=CHUNK, compression="adaptive",
+            compression_reprobe_chunks=2,
+        )
+        hooks.arm(FaultPlan(seed=7).fail_probe(times=1))
+        _, sf = make_file(config)
+        sf.write_all(TEXT)
+        sf.close_sync()
+        hooks.disarm()
+        codec = sf._codec
+        # First probe failed, a re-probe succeeded: compression kicked
+        # back in mid-file.
+        assert codec.stats.probe_failures == 1
+        assert codec.stats.stored_bytes < codec.stats.raw_bytes
+        assert bytes(sf.read_all()) == TEXT
+
+    def test_faults_off_the_write_path_for_incompressible(self):
+        # Probe faults fire only at probes; raw-verdict units never
+        # touch the site, so a poisoned probe cannot stall passthrough.
+        config = SpongeConfig(chunk_size=CHUNK, compression="adaptive")
+        hooks.arm(FaultPlan(seed=7).fail_probe(times=1))
+        payload = os.urandom(CHUNK * 3)
+        _, sf = make_file(config)
+        sf.write_all(payload)
+        sf.close_sync()
+        hooks.disarm()
+        assert sf._codec.stats.probe_failures == 1
+        assert bytes(sf.read_all()) == payload

@@ -1,0 +1,188 @@
+"""Compression over the real runtime.
+
+Three layers, mirroring the ISSUE's satellites:
+
+* **Store conformance** — :class:`CompressedStore` wrapping the real
+  shared-memory :class:`LocalMmapStore`, alone and composed with
+  :class:`EncryptedStore` (compress *before* encrypt: ciphertext is
+  incompressible, so the reverse order stores ~raw size).
+* **build_chain wiring** — ``compress_stores`` wraps the right tiers,
+  surfaces the disk-coalescing loss for ``"all"``, and refuses to
+  stack on top of the pipeline codec.
+* **Pipeline compression end to end** — ``config.compression`` over a
+  live :class:`LocalSpongeCluster`, with the codec counters visible in
+  a cluster scrape.
+"""
+
+import logging
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.obs.dump import compression_summary
+from repro.runtime import LocalSpongeCluster
+from repro.runtime.client import LocalMmapStore, build_chain
+from repro.runtime.shm_pool import MmapSpongePool
+from repro.sponge import ChunkLocation, SpongeConfig, SpongeFile
+from repro.sponge.chunk import TaskId
+from repro.sponge.compression import CompressedStore
+from repro.sponge.crypto import EncryptedStore
+from repro.sponge.store import run_sync
+
+CHUNK = 64 * 1024
+POOL = 4 * CHUNK
+OWNER = TaskId("h0", "codec-runtime")
+KEY = b"0123456789abcdef0123456789abcdef"
+TEXT = (b"%08d\tkey-%04d\tvalue-%06d\n" % (3, 14, 159265)) * 12_000  # ~300 KB
+
+
+@pytest.fixture()
+def mmap_pool(tmp_path):
+    return MmapSpongePool(tmp_path / "pool", create=True,
+                          pool_size=POOL, chunk_size=CHUNK)
+
+
+class TestMmapConformance:
+    def test_compressed_store_over_mmap_pool(self, mmap_pool):
+        store = CompressedStore(LocalMmapStore(mmap_pool))
+        payload = TEXT[:50_000]
+        handle = run_sync(store.write_chunk(OWNER, payload))
+        # Handle restamped to raw size; shared memory holds the frames.
+        assert handle.nbytes == len(payload)
+        stored = mmap_pool.read(handle.ref[1], OWNER)
+        assert len(stored) < len(payload) // 2
+        assert bytes(run_sync(store.read_chunk(handle))) == payload
+        run_sync(store.free_chunk(handle))
+        assert mmap_pool.free_bytes == POOL
+
+    def test_incompressible_roundtrip_over_mmap_pool(self, mmap_pool):
+        store = CompressedStore(LocalMmapStore(mmap_pool))
+        payload = os.urandom(CHUNK // 2)
+        handle = run_sync(store.write_chunk(OWNER, payload))
+        assert bytes(run_sync(store.read_chunk(handle))) == payload
+        run_sync(store.free_chunk(handle))
+
+    def test_compress_then_encrypt_over_mmap_pool(self, mmap_pool):
+        # Correct wrapper order: CompressedStore outermost, so units
+        # compress while still plaintext, then seal.
+        store = CompressedStore(
+            EncryptedStore(LocalMmapStore(mmap_pool), KEY)
+        )
+        payload = TEXT[:50_000]
+        handle = run_sync(store.write_chunk(OWNER, payload))
+        sealed = bytes(mmap_pool.read(handle.ref[1], OWNER))
+        assert b"key-0014" not in sealed  # sealed...
+        assert len(sealed) < len(payload) // 2  # ...and compressed
+        assert bytes(run_sync(store.read_chunk(handle))) == payload
+        run_sync(store.free_chunk(handle))
+
+    def test_encrypt_then_compress_stores_near_raw(self, mmap_pool):
+        # The documented anti-pattern: encrypting first feeds the codec
+        # ciphertext, which never compresses.  Still byte-exact — just
+        # a wasted probe and a raw-size chunk.
+        store = EncryptedStore(
+            CompressedStore(LocalMmapStore(mmap_pool)), KEY
+        )
+        payload = TEXT[:40_000]
+        handle = run_sync(store.write_chunk(OWNER, payload))
+        inner_stats = store.inner.stats
+        assert inner_stats.stored_bytes >= inner_stats.raw_bytes
+        assert bytes(run_sync(store.read_chunk(handle))) == payload
+        run_sync(store.free_chunk(handle))
+
+
+class TestBuildChainWiring:
+    ADDRESS = ("127.0.0.1", 1)  # TrackerClient connects lazily
+
+    def make(self, tmp_path, **kwargs):
+        pool_dir = tmp_path / "chain-pool"
+        if not (pool_dir / "meta.dat").exists():
+            MmapSpongePool(pool_dir, create=True,
+                           pool_size=POOL, chunk_size=CHUNK)
+        return build_chain(
+            host="h0",
+            tracker_address=self.ADDRESS,
+            spill_dir=tmp_path / "spill",
+            local_pool_dir=pool_dir,
+            dfs_dir=tmp_path / "dfs",
+            **kwargs,
+        )
+
+    def test_memory_wraps_memory_tiers_only(self, tmp_path):
+        chain = self.make(tmp_path, compress_stores="memory")
+        assert isinstance(chain.local_store, CompressedStore)
+        # Disk tiers stay unwrapped: append-coalescing survives.
+        assert not isinstance(chain.disk_store, CompressedStore)
+        assert chain.disk_store.supports_append
+
+    def test_all_wraps_disk_and_surfaces_coalescing_loss(self, tmp_path,
+                                                         caplog):
+        registry = obs.install(source="test-chain")
+        try:
+            with caplog.at_level(logging.WARNING, "repro.runtime.client"):
+                chain = self.make(tmp_path, compress_stores="all")
+            assert isinstance(chain.disk_store, CompressedStore)
+            assert isinstance(chain.dfs_store, CompressedStore)
+            # The regression this guards: losing coalescing used to be
+            # silent.  Now it is a warning plus a counter.
+            assert not chain.disk_store.supports_append
+            assert any("coalescing" in r.message for r in caplog.records)
+            snapshot = registry.snapshot()
+            assert snapshot.counters["chain.coalescing_disabled"] == 1
+        finally:
+            obs.uninstall()
+
+    def test_bad_value_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            self.make(tmp_path, compress_stores="disk")
+
+    def test_stacking_on_pipeline_codec_rejected(self, tmp_path):
+        config = SpongeConfig(chunk_size=CHUNK, compression="adaptive")
+        with pytest.raises(ConfigError):
+            self.make(tmp_path, compress_stores="memory", config=config)
+
+
+class TestPipelineOverCluster:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        with LocalSpongeCluster(num_nodes=2, pool_size=POOL,
+                                chunk_size=CHUNK, poll_interval=0.1,
+                                gc_interval=1.0) as cluster:
+            yield cluster
+
+    def test_adaptive_pipeline_end_to_end(self, cluster):
+        registry = obs.install(source="test-pipeline")
+        try:
+            config = SpongeConfig(chunk_size=CHUNK, compression="adaptive")
+            chain = cluster.chain(0, config=config)
+            sf = SpongeFile(cluster.task_id(0, "codec"), chain, config)
+            payload = TEXT + os.urandom(CHUNK)  # mixed phases
+            sf.write_all(payload)
+            sf.close_sync()
+            assert bytes(sf.read_all()) == payload
+            assert sum(h.nbytes for h in sf.handles) == len(payload)
+            # ~364 KB raw fits the 256 KB local pool once compressed.
+            assert {h.location for h in sf.handles} <= {
+                ChunkLocation.LOCAL_MEMORY, ChunkLocation.REMOTE_MEMORY,
+            }
+            sf.delete_sync()
+
+            # Satellite 6: codec accounting reaches the cluster scrape.
+            snapshot = cluster.scrape(include_local=True)
+            assert snapshot.counters["compress.chunks"] > 0
+            assert snapshot.counters["compress.raw_bytes"] >= len(TEXT)
+            summary = compression_summary(snapshot)
+            assert summary is not None and "ratio" in summary
+        finally:
+            obs.uninstall()
+
+    def test_compress_stores_memory_over_cluster(self, cluster):
+        config = SpongeConfig(chunk_size=CHUNK)
+        chain = cluster.chain(1, config=config, compress_stores="memory")
+        sf = SpongeFile(cluster.task_id(1, "wrapped"), chain, config)
+        sf.write_all(TEXT[:CHUNK * 2])
+        sf.close_sync()
+        assert bytes(sf.read_all()) == TEXT[:CHUNK * 2]
+        sf.delete_sync()

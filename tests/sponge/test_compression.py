@@ -8,7 +8,7 @@ from repro.backends.memory_backends import LocalPoolStore, MemoryDiskStore
 from repro.errors import SpongeError
 from repro.sponge.allocator import AllocationChain
 from repro.sponge.chunk import TaskId
-from repro.sponge.compression import CompressedStore
+from repro.sponge.compression import FRAME_OVERHEAD, CompressedStore
 from repro.sponge.config import SpongeConfig
 from repro.sponge.crypto import EncryptedStore
 from repro.sponge.pool import SpongePool
@@ -47,8 +47,8 @@ class TestCompressedStore:
         data = os.urandom(4096)
         handle = run_sync(store.write_chunk(OWNER, data))
         assert run_sync(store.read_chunk(handle)) == data
-        # Overhead bounded by the 4-byte marker.
-        assert store.stats.stored_bytes <= len(data) + 4
+        # Overhead bounded by one frame header.
+        assert store.stats.stored_bytes <= len(data) + FRAME_OVERHEAD
 
     def test_bad_level_rejected(self):
         pool = SpongePool(65536, 65536)
