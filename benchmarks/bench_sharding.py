@@ -1,0 +1,207 @@
+"""Multi-client aggregate spill throughput vs sponge server shards.
+
+N concurrent client *processes* (real processes — the point of
+sharding is escaping one accept loop and one GIL) spill remote-only
+SpongeFiles against a single-node :class:`LocalSpongeCluster` run at
+several shard counts.  The tracker advertises every shard as an
+independent placement target, so the existing load-aware striping
+spreads the clients across shard processes; aggregate write MB/s per
+shard count is the scaling curve the sharding work optimises.
+
+Results merge into ``BENCH_runtime.json`` under the ``"sharding"`` key
+(``batch_depth`` and ``compression`` belong to the other benches);
+``--check`` enforces the acceptance floor — >= 1.6x aggregate write
+throughput at 4 shards vs 1 — on hosts with >= 4 CPUs, and
+skips-with-notice on smaller machines (a 1-CPU runner time-slices the
+shard processes, so the ratio measures the scheduler, not the server).
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.chunk import TaskId
+from repro.util.units import MB
+
+CHUNK = 256 * 1024
+SPILL_CHUNKS = 16  # one spill = 4 MB per round per client
+
+
+def _client_main(client_id: int, spec: dict, rounds: int,
+                 barrier, results) -> None:
+    """One spilling client: warm up, sync on the barrier, write rounds.
+
+    The client's host name ("client<N>") is deliberately *not* a
+    cluster node: the allocation chain excludes the writer's own host
+    from remote placement, and this bench wants every shard of the one
+    node to be an eligible target.
+    """
+    from repro.runtime.client import build_chain
+    from repro.runtime.connection_pool import ConnectionPool
+
+    config = SpongeConfig(chunk_size=CHUNK, batch_depth=8,
+                          tracker_poll_interval=1.0)
+    pool = ConnectionPool()
+    chain = build_chain(
+        host=f"client{client_id}",
+        tracker_address=tuple(spec["tracker"]),
+        spill_dir=spec["spill_dir"],
+        local_pool_dir=None,
+        config=config,
+        connection_pool=pool,
+    )
+    owner = TaskId(host=f"client{client_id}",
+                   task=f"pid:{os.getpid()}:bench-shard")
+    payload = bytes(CHUNK)
+
+    def one_spill() -> None:
+        spill = SpongeFile(owner, chain, config=config)
+        for _ in range(SPILL_CHUNKS):
+            spill.write_all(payload)
+        spill.close_sync()
+        spill.delete_sync()
+
+    try:
+        one_spill()  # warm-up: connections, tracker cache, page faults
+        barrier.wait(timeout=60)
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            one_spill()
+        elapsed = time.perf_counter() - t0
+        results.put({"client": client_id, "ok": True,
+                     "seconds": elapsed,
+                     "bytes": rounds * SPILL_CHUNKS * CHUNK})
+    except Exception as exc:  # noqa: BLE001 - report, don't hang the join
+        results.put({"client": client_id, "ok": False, "error": repr(exc)})
+    finally:
+        pool.close()
+
+
+def measure(shards: int, clients: int, rounds: int) -> dict:
+    """Aggregate multi-client write throughput at one shard count."""
+    with LocalSpongeCluster(
+        num_nodes=1, pool_size=64 * MB, chunk_size=CHUNK,
+        poll_interval=0.5, gc_interval=60.0, shards=shards,
+    ) as cluster:
+        spec = {
+            "tracker": list(cluster.tracker_address),
+            "spill_dir": str(cluster.workdir / "bench-spill"),
+        }
+        barrier = multiprocessing.Barrier(clients)
+        results: multiprocessing.Queue = multiprocessing.Queue()
+        processes = [
+            multiprocessing.Process(
+                target=_client_main,
+                args=(i, spec, rounds, barrier, results),
+                daemon=True, name=f"bench-client-{i}",
+            )
+            for i in range(clients)
+        ]
+        for process in processes:
+            process.start()
+        rows = [results.get(timeout=300) for _ in processes]
+        for process in processes:
+            process.join(timeout=30)
+    failures = [row for row in rows if not row["ok"]]
+    if failures:
+        raise RuntimeError(f"bench clients failed: {failures}")
+    total_bytes = sum(row["bytes"] for row in rows)
+    # Aggregate rate over the straggler's window: every client started
+    # together (barrier), so the slowest client's elapsed time is the
+    # wall-clock cost of pushing the combined volume through the node.
+    wall = max(row["seconds"] for row in rows)
+    return {
+        "clients": clients,
+        "rounds": rounds,
+        "aggregate_write_mb_s": round(total_bytes / MB / wall, 2),
+        "client_seconds": [round(row["seconds"], 3)
+                           for row in sorted(rows,
+                                             key=lambda r: r["client"])],
+    }
+
+
+def run(shard_counts: list[int], clients: int, rounds: int) -> dict:
+    results = {str(s): measure(s, clients, rounds) for s in shard_counts}
+    report = {
+        "benchmark": "runtime-sharding",
+        "chunk_kb": CHUNK // 1024,
+        "spill_mb": SPILL_CHUNKS * CHUNK // MB,
+        "cpus": os.cpu_count(),
+        "shards": results,
+    }
+    lo, hi = min(shard_counts), max(shard_counts)
+    if lo != hi:
+        report["write_speedup_max_vs_min_shards"] = round(
+            results[str(hi)]["aggregate_write_mb_s"]
+            / results[str(lo)]["aggregate_write_mb_s"], 3
+        )
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="multi-client spill throughput vs sponge server shards"
+    )
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the acceptance floor (>= 1.6x "
+                             "aggregate write MB/s at max vs min shards); "
+                             "skipped with a notice on < 4 CPUs")
+    args = parser.parse_args(argv)
+
+    report = run(sorted(set(args.shards)), args.clients, args.rounds)
+    merged: dict = {}
+    try:
+        with open(args.out, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    if "benchmark" in merged:
+        merged = {"batch_depth": merged}  # pre-namespacing layout
+    merged["sharding"] = report
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+
+    print(f"{'shards':>7s} {'aggregate write MB/s':>21s}")
+    for shards, row in report["shards"].items():
+        print(f"{shards:>7s} {row['aggregate_write_mb_s']:21.1f}")
+    speedup = report.get("write_speedup_max_vs_min_shards")
+    if speedup is not None:
+        print(f"aggregate write speedup (max vs min shards): {speedup:.2f}x")
+    print(f"written to {args.out}")
+
+    if args.check:
+        cpus = os.cpu_count() or 1
+        if cpus < 4:
+            print(f"CHECK SKIPPED: {cpus} CPU(s) — shard scaling needs "
+                  f"a multi-core host (shards time-slice one core here)")
+            return 0
+        if speedup is None:
+            print("ACCEPTANCE FAILURE: need >= 2 shard counts to check",
+                  file=sys.stderr)
+            return 1
+        if speedup < 1.6:
+            print(f"ACCEPTANCE FAILURE: aggregate write speedup "
+                  f"{speedup:.2f}x < 1.6x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

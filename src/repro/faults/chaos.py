@@ -106,6 +106,11 @@ class ChaosSettings:
     #: Server-side lease TTL.  Deliberately short so a crashed writer's
     #: reservations are reclaimed within the harness' GC deadline.
     lease_ttl: float = 2.0
+    #: Sponge server shards per node (>1 makes the kill/restart events
+    #: shard-granular: each event bounces one seed-chosen shard, so the
+    #: harness exercises single-shard loss while sibling shards keep
+    #: serving).
+    shards: int = 1
     #: Kill/restart servers and the tracker between epochs.
     kill_servers: bool = True
     #: SIGKILL one extra writer mid-write (GC reclamation check).
@@ -208,9 +213,13 @@ def build_fault_plan(settings: ChaosSettings) -> FaultPlan:
 def build_events(settings: ChaosSettings) -> list[tuple]:
     """The kill/restart half of the schedule (seed-deterministic).
 
-    Each event is ``("server", index, wipe_pool)`` or ``("tracker",)``,
-    applied (kill + immediate restart) one epoch apart while the
-    writers run.
+    Each event is ``("server", index, wipe_pool)`` or ``("tracker",)``;
+    with ``shards > 1`` server events grow a fourth element, the
+    seed-chosen shard to bounce: ``("server", index, wipe, shard)`` —
+    single-shard loss, the failure unit the sharded runtime adds.
+    Events are applied (kill + immediate restart) one epoch apart while
+    the writers run.  The ``shards == 1`` schedule is byte-identical to
+    the pre-sharding one for any given seed.
     """
     if not settings.kill_servers:
         return []
@@ -222,7 +231,11 @@ def build_events(settings: ChaosSettings) -> list[tuple]:
         else:
             index = rng.randrange(settings.num_nodes)
             wipe = rng.random() < 0.3
-            events.append(("server", index, wipe))
+            if settings.shards > 1:
+                events.append(("server", index, wipe,
+                               rng.randrange(settings.shards)))
+            else:
+                events.append(("server", index, wipe))
     return events
 
 
@@ -409,6 +422,7 @@ def run_chaos(settings: ChaosSettings) -> ChaosReport:
         gc_interval=0.5,
         lease_ttl=settings.lease_ttl,
         fault_plan=plan,
+        shards=settings.shards,
     )
     with cluster:
         specs = []
@@ -452,10 +466,13 @@ def run_chaos(settings: ChaosSettings) -> ChaosReport:
                     cluster.restart_tracker()
                     report.events.append("bounced tracker")
                 else:
-                    _, index, wipe = event
-                    cluster.restart_server(index, wipe_pool=wipe)
+                    _, index, wipe = event[:3]
+                    shard = event[3] if len(event) > 3 else None
+                    cluster.restart_server(index, wipe_pool=wipe,
+                                           shard=shard)
                     report.events.append(
                         f"bounced server {index}"
+                        + (f" shard {shard}" if shard is not None else "")
                         + (" (pool wiped)" if wipe else "")
                     )
             except Exception as exc:  # noqa: BLE001
@@ -526,39 +543,49 @@ def _collect_metrics(cluster: LocalSpongeCluster,
 def _check_pools_reclaimed(cluster: LocalSpongeCluster,
                            settings: ChaosSettings,
                            report: ChaosReport) -> None:
-    """Every writer is dead; GC must return every pool to fully free."""
-    pool_size = settings.chunk_size * settings.chunks_per_pool
+    """Every writer is dead; GC must return every pool to fully free.
+
+    Shard-granular: every shard's private slice is checked against its
+    own size, so a leak in one shard cannot hide behind a sibling's
+    free space.
+    """
+    shard_size = (settings.chunk_size * settings.chunks_per_pool
+                  // settings.shards)
     # Events may have left a server mid-restart race; make sure every
-    # server answers before judging leaks (restart preserves pools).
+    # shard answers before judging leaks (restart preserves pools).
     for index in range(settings.num_nodes):
-        try:
-            cluster._await_ping(cluster.server_address(index), 5.0,
-                                f"server {index}")
-        except Exception:  # noqa: BLE001
-            cluster.restart_server(index)
+        for shard in range(settings.shards):
+            try:
+                cluster._await_ping(
+                    cluster.server_address(index, shard=shard), 5.0,
+                    f"server {index} shard {shard}",
+                )
+            except Exception:  # noqa: BLE001
+                cluster.restart_server(index, shard=shard)
     deadline = time.monotonic() + 20.0
-    leaked: dict[int, int] = {}
+    leaked: dict[tuple[int, int], int] = {}
     while time.monotonic() < deadline:
         leaked = {}
         for index in range(settings.num_nodes):
-            try:
-                cluster.request_gc(index)
-                reply, _ = protocol.request(
-                    cluster.server_address(index), {"op": "free_bytes"},
-                    timeout=2.0,
-                )
-                free = int(reply.get("free_bytes", -1))
-            except Exception:  # noqa: BLE001 - mid-restart blip
-                free = -1
-            if free != pool_size:
-                leaked[index] = free
+            for shard in range(settings.shards):
+                try:
+                    cluster.request_gc(index, shard=shard)
+                    reply, _ = protocol.request(
+                        cluster.server_address(index, shard=shard),
+                        {"op": "free_bytes"}, timeout=2.0,
+                    )
+                    free = int(reply.get("free_bytes", -1))
+                except Exception:  # noqa: BLE001 - mid-restart blip
+                    free = -1
+                if free != shard_size:
+                    leaked[(index, shard)] = free
         if not leaked:
             return
         time.sleep(0.25)
-    for index, free in leaked.items():
+    for (index, shard), free in leaked.items():
         report.violations.append(
-            f"node{index} pool not reclaimed: {free}/{pool_size} "
-            f"bytes free after GC"
+            f"node{index} shard {shard} pool not reclaimed: "
+            f"{free}/{shard_size} bytes free after GC"
         )
 
 
@@ -583,6 +610,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--compression", default="off",
                         choices=("off", "adaptive", "always"),
                         help="writer spill-compression mode (default off)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="sponge server shards per node (default 1; "
+                             ">1 makes kill/restart events single-shard)")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the merged metrics snapshot as JSON "
                              "(readable by python -m repro.obs.dump --input)")
@@ -591,7 +621,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         seed=args.seed, writers=args.writers, rounds=args.rounds,
         num_nodes=args.nodes, kill_servers=not args.no_kills,
         batch_depth=args.batch_depth, lease_ahead=args.lease_ahead,
-        compression=args.compression,
+        compression=args.compression, shards=args.shards,
     )
     report = run_chaos(settings)
     print(report.summary())

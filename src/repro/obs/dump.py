@@ -10,9 +10,14 @@ as JSON or Prometheus text exposition::
 
     python -m repro.obs.dump --input metrics-report.json --format prom
 
+    python -m repro.obs.dump --cluster /path/to/workdir/cluster.json
+
 ``--input`` reformats a snapshot previously written by the chaos
 harness (``--metrics-out``) or :meth:`LocalSpongeCluster.scrape`,
-without touching the network.
+without touching the network.  ``--cluster`` reads the address spec a
+:class:`~repro.runtime.local_cluster.LocalSpongeCluster` writes to its
+workdir and scrapes every shard plus the tracker — a sharded node is
+inspectable with one command.
 """
 
 from __future__ import annotations
@@ -50,6 +55,27 @@ def scrape_addresses(addresses: list[tuple[str, int]],
     return merged, errors
 
 
+def cluster_addresses(path: str) -> list[tuple[str, int]]:
+    """Addresses from a ``cluster.json`` spec (tracker + every shard).
+
+    The spec is what :meth:`LocalSpongeCluster._write_cluster_spec`
+    persists: ``{"tracker": [host, port], "servers": {id: [host,
+    port], ...}}``.  Ordering is tracker first, then servers by id, so
+    the scrape output is stable across runs.
+    """
+    with open(path, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    addresses: list[tuple[str, int]] = []
+    tracker = spec.get("tracker")
+    if tracker:
+        addresses.append((str(tracker[0]), int(tracker[1])))
+    servers = spec.get("servers", {})
+    for server_id in sorted(servers):
+        host, port = servers[server_id]
+        addresses.append((str(host), int(port)))
+    return addresses
+
+
 def compression_summary(snapshot: MetricsSnapshot) -> Optional[str]:
     """One line of cluster-wide codec accounting, or ``None`` when the
     snapshot records no compression activity."""
@@ -85,6 +111,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="read a previously written snapshot JSON instead of scraping",
     )
     parser.add_argument(
+        "--cluster", metavar="FILE",
+        help="scrape every address in a cluster.json spec "
+             "(written by LocalSpongeCluster into its workdir)",
+    )
+    parser.add_argument(
         "--format", choices=("json", "prom"), default="json",
         help="output format (default: json)",
     )
@@ -93,14 +124,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="per-address scrape timeout in seconds",
     )
     args = parser.parse_args(argv)
-    if not args.address and args.input is None:
-        parser.error("need --address and/or --input")
+    if not args.address and args.input is None and args.cluster is None:
+        parser.error("need --address, --cluster, and/or --input")
 
+    addresses = list(args.address)
+    if args.cluster is not None:
+        addresses.extend(cluster_addresses(args.cluster))
     snapshot = MetricsSnapshot()
     if args.input is not None:
         with open(args.input, encoding="utf-8") as handle:
             snapshot = MetricsSnapshot.from_dict(json.load(handle))
-    snapshot_net, errors = scrape_addresses(args.address, timeout=args.timeout)
+    snapshot_net, errors = scrape_addresses(addresses, timeout=args.timeout)
     snapshot = snapshot.merge(snapshot_net)
 
     for error in errors:

@@ -140,13 +140,19 @@ class RemoteServerStore(SyncChunkStore):
                 timeout=self.timeout,
             )
         except NOT_PROCESSED_ERRORS as exc:
-            raise StoreUnavailableError(
-                f"{self.store_id} unreachable: {exc}"
-            ) from exc
+            raise self._unavailable(exc) from exc
         protocol.check_reply(reply)
         return ChunkHandle(
             self.location, self.store_id, (owner, int(reply["index"])), len(data)
         )
+
+    def _unavailable(self, exc: Exception) -> StoreUnavailableError:
+        """This server (shard) is gone: also drop its idle pooled
+        sockets, so no later request wastes a health check + reconnect
+        on them.  Eviction is by exact address — sibling shards on the
+        same host keep their warm connections."""
+        self.connections.evict(self.address)
+        return StoreUnavailableError(f"{self.store_id} unreachable: {exc}")
 
     def _read(self, handle: ChunkHandle):
         owner, index = handle.ref
@@ -260,9 +266,7 @@ class RemoteServerStore(SyncChunkStore):
             # Server gone (as far as this batch is concerned): abandon
             # any cached reservations to its GC sweep.
             self._leases.pop(str(owner), None)
-            raise StoreUnavailableError(
-                f"{self.store_id} unreachable: {exc}"
-            ) from exc
+            raise self._unavailable(exc) from exc
         if (not reply.get("ok", False) and indices is not None
                 and "lease" in str(reply.get("error", ""))):
             # A lease expired under us.  The batch is atomic server-side
@@ -279,9 +283,7 @@ class RemoteServerStore(SyncChunkStore):
                     self.address, header, payload=blobs, timeout=self.timeout,
                 )
             except NOT_PROCESSED_ERRORS as exc:
-                raise StoreUnavailableError(
-                    f"{self.store_id} unreachable: {exc}"
-                ) from exc
+                raise self._unavailable(exc) from exc
         protocol.check_reply(reply)
         placed = reply.get("indices", [])
         if len(placed) != len(blobs):

@@ -181,6 +181,24 @@ class ConnectionPool:
                 return len(self._idle.get(tuple(address), ()))
             return sum(len(q) for q in self._idle.values())
 
+    def evict(self, address: Address) -> int:
+        """Drop every idle socket to one address; returns how many.
+
+        Shard-granular failure handling: when one sponge shard dies,
+        only *its* pooled connections are stale — sibling shards on the
+        same host keep their warm sockets.  Callers (the remote store)
+        evict the failed shard's address instead of closing the pool.
+        """
+        with self._lock:
+            sockets = list(self._idle.pop(tuple(address), ()))
+        for sock in sockets:
+            _close_quietly(sock)
+        if sockets:
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("conn.evictions").inc(len(sockets))
+        return len(sockets)
+
     def close(self) -> None:
         with self._lock:
             sockets = [s for q in self._idle.values() for s in q]

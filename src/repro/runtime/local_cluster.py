@@ -10,6 +10,7 @@ memory — the runtime counterpart of the simulator's
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import shutil
@@ -60,8 +61,22 @@ class LocalSpongeCluster:
         fault_plan=None,
         peer_dead_after: int = 3,
         lease_ttl: float = 30.0,
+        shards: int = 1,
+        reuseport: Optional[bool] = None,
     ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.num_nodes = num_nodes
+        #: Sponge server processes per node.  Each shard owns a private
+        #: ``pool_size // shards`` slice of the node's sponge memory and
+        #: is advertised to the tracker as an independent placement
+        #: target.  ``shards=1`` reproduces the classic single-server
+        #: node byte for byte (same ids, same pool paths, same ports).
+        self.shards = shards
+        #: ``SO_REUSEPORT`` policy forwarded to every shard (``None`` =
+        #: auto-detect, ``False`` = force the shard-0-owns-node-port
+        #: fallback — used by tests to cover that path).
+        self.reuseport = reuseport
         self.pool_size = pool_size
         self.chunk_size = chunk_size
         self.poll_interval = poll_interval
@@ -78,11 +93,24 @@ class LocalSpongeCluster:
         self.lease_ttl = lease_ttl
         self._workdir_arg = workdir
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
-        self._server_processes: list[Optional[multiprocessing.Process]] = []
+        #: node -> shard -> live process (``None`` while killed).
+        self._server_processes: list[list[Optional[multiprocessing.Process]]] = []
         self._tracker_process: Optional[multiprocessing.Process] = None
         self._tracker_config: Optional[TrackerConfig] = None
-        self.server_configs: list[ServerConfig] = []
+        #: node -> shard -> :class:`ServerConfig`.
+        self.shard_configs: list[list[ServerConfig]] = []
         self.tracker_address: tuple[str, int] = ("127.0.0.1", 0)
+
+    @property
+    def server_configs(self) -> list[ServerConfig]:
+        """Shard 0's config per node — the pre-sharding view.
+
+        Existing callers index this by node to find the node's host
+        name, rack, and locally-attachable pool directory; all of those
+        live on shard 0 (whose pool is the one local tasks may attach
+        directly, so it keeps its cross-process flock).
+        """
+        return [shards[0] for shards in self.shard_configs]
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -102,28 +130,62 @@ class LocalSpongeCluster:
             workdir.mkdir(parents=True, exist_ok=True)
         self.workdir = workdir
 
-        ports = [_free_port() for _ in range(self.num_nodes)]
+        shards = self.shards
+        # Every shard gets its own canonical (data-plane) port; a
+        # sharded node additionally gets one shared ingress port that
+        # all shards bind with SO_REUSEPORT (peer liveness probes go
+        # there, and the kernel balances them across shard processes).
+        shard_ports = [[_free_port() for _ in range(shards)]
+                       for _ in range(self.num_nodes)]
+        node_ports = [_free_port() if shards > 1 else None
+                      for _ in range(self.num_nodes)]
         peers = {
-            f"node{i}": ("127.0.0.1", ports[i]) for i in range(self.num_nodes)
+            f"node{i}": ("127.0.0.1",
+                         node_ports[i] if shards > 1 else shard_ports[i][0])
+            for i in range(self.num_nodes)
         }
         for i in range(self.num_nodes):
-            config = ServerConfig(
-                server_id=f"sponge@node{i}",
-                host=f"node{i}",
-                rack="rack0",
-                port=ports[i],
-                pool_dir=str(workdir / f"pool-node{i}"),
-                pool_size=self.pool_size,
-                chunk_size=self.chunk_size,
-                gc_interval=self.gc_interval,
-                quota_per_node=self.quota_per_node,
-                peers={h: a for h, a in peers.items() if h != f"node{i}"},
-                peer_dead_after=self.peer_dead_after,
-                lease_ttl=self.lease_ttl,
-                fault_plan=self.fault_plan,
+            node_shards: list[ServerConfig] = []
+            for k in range(shards):
+                if shards == 1:
+                    server_id = f"sponge@node{i}"
+                    pool_dir = workdir / f"pool-node{i}"
+                else:
+                    server_id = f"sponge@node{i}/s{k}"
+                    pool_dir = workdir / f"pool-node{i}-s{k}"
+                config = ServerConfig(
+                    server_id=server_id,
+                    host=f"node{i}",
+                    rack="rack0",
+                    port=shard_ports[i][k],
+                    pool_dir=str(pool_dir),
+                    pool_size=self.pool_size // shards,
+                    chunk_size=self.chunk_size,
+                    gc_interval=self.gc_interval,
+                    quota_per_node=(
+                        None if self.quota_per_node is None
+                        else self.quota_per_node // shards
+                    ),
+                    peers={h: a for h, a in peers.items()
+                           if h != f"node{i}"},
+                    peer_dead_after=self.peer_dead_after,
+                    lease_ttl=self.lease_ttl,
+                    fault_plan=self.fault_plan,
+                    shard_index=k,
+                    num_shards=shards,
+                    node_port=node_ports[i],
+                    reuseport=self.reuseport,
+                    # Shard 0's pool is also attached directly by local
+                    # task processes (the chain's local tier), so it
+                    # keeps the cross-process flock; the other shards'
+                    # slices are private to their server process.
+                    pool_exclusive=(k > 0),
+                )
+                node_shards.append(config)
+            self.shard_configs.append(node_shards)
+            self._server_processes.append(
+                [self._spawn_server(c) for c in node_shards]
             )
-            self.server_configs.append(config)
-            self._server_processes.append(self._spawn_server(config))
 
         tracker_port = _free_port()
         self.tracker_address = ("127.0.0.1", tracker_port)
@@ -136,12 +198,31 @@ class LocalSpongeCluster:
                     "host": config.host,
                     "rack": config.rack,
                 }
-                for config in self.server_configs
+                for node_shards in self.shard_configs
+                for config in node_shards
             },
             fault_plan=self.fault_plan,
         )
         self._tracker_process = self._spawn_tracker()
+        self._write_cluster_spec()
         self._await_ready()
+
+    def _write_cluster_spec(self) -> None:
+        """Persist the cluster's addresses for out-of-process tooling.
+
+        ``python -m repro.obs.dump --cluster <workdir>/cluster.json``
+        scrapes and merges every shard (and the tracker) in one command.
+        """
+        spec = {
+            "tracker": list(self.tracker_address),
+            "servers": {
+                config.server_id: ["127.0.0.1", config.port]
+                for node_shards in self.shard_configs
+                for config in node_shards
+            },
+        }
+        self.cluster_spec_path = self.workdir / "cluster.json"
+        self.cluster_spec_path.write_text(json.dumps(spec, indent=2))
 
     def _spawn_server(self, config: ServerConfig) -> multiprocessing.Process:
         process = multiprocessing.Process(
@@ -160,7 +241,8 @@ class LocalSpongeCluster:
         return process
 
     def stop(self) -> None:
-        processes = [p for p in self._server_processes if p is not None]
+        processes = [p for node in self._server_processes for p in node
+                     if p is not None]
         if self._tracker_process is not None:
             processes.append(self._tracker_process)
         for process in processes:
@@ -169,38 +251,53 @@ class LocalSpongeCluster:
             process.join(timeout=5)
         self._server_processes = []
         self._tracker_process = None
-        self.server_configs = []
+        self.shard_configs = []
         if self._tmp is not None:
             self._tmp.cleanup()
             self._tmp = None
 
     # -- chaos: kill / restart ------------------------------------------------
 
-    def kill_server(self, node_index: int) -> None:
-        """SIGKILL ``node<index>``'s sponge server (its pool survives)."""
-        process = self._server_processes[node_index]
-        if process is None:
-            return
-        process.kill()
-        process.join(timeout=5)
-        self._server_processes[node_index] = None
+    def kill_server(self, node_index: int,
+                    shard: Optional[int] = None) -> None:
+        """SIGKILL sponge server processes (their pools survive).
+
+        ``shard=None`` kills every shard of ``node<index>`` (the whole
+        machine's serving capacity); ``shard=k`` kills exactly one
+        shard, leaving its siblings answering — the single-shard-loss
+        case the chaos harness exercises.
+        """
+        targets = (range(self.shards) if shard is None else [shard])
+        for k in targets:
+            process = self._server_processes[node_index][k]
+            if process is None:
+                continue
+            process.kill()
+            process.join(timeout=5)
+            self._server_processes[node_index][k] = None
 
     def restart_server(self, node_index: int, wipe_pool: bool = False,
-                       timeout: float = 10.0) -> None:
-        """Bring ``node<index>``'s server back on its old port.
+                       timeout: float = 10.0,
+                       shard: Optional[int] = None) -> None:
+        """Bring sponge server shard(s) back on their old ports.
 
         By default the restarted server re-attaches the surviving mmap
         pool, so chunks written before the crash stay readable.
         ``wipe_pool=True`` models losing the machine's memory outright:
         every chunk it held is gone (readers get ``ChunkLostError``).
+        ``shard`` selects one shard (``None`` = all of the node's).
         """
-        self.kill_server(node_index)
-        config = self.server_configs[node_index]
-        if wipe_pool:
-            shutil.rmtree(config.pool_dir, ignore_errors=True)
-        self._server_processes[node_index] = self._spawn_server(config)
-        self._await_ping(("127.0.0.1", config.port), timeout,
-                         config.server_id)
+        self.kill_server(node_index, shard=shard)
+        targets = (range(self.shards) if shard is None else [shard])
+        for k in targets:
+            config = self.shard_configs[node_index][k]
+            if wipe_pool:
+                shutil.rmtree(config.pool_dir, ignore_errors=True)
+            self._server_processes[node_index][k] = self._spawn_server(config)
+        for k in targets:
+            config = self.shard_configs[node_index][k]
+            self._await_ping(("127.0.0.1", config.port), timeout,
+                             config.server_id)
 
     def kill_tracker(self) -> None:
         if self._tracker_process is None:
@@ -232,7 +329,8 @@ class LocalSpongeCluster:
     def _await_ready(self, timeout: float = 10.0) -> None:
         deadline = time.monotonic() + timeout
         pending = {c.server_id: ("127.0.0.1", c.port)
-                   for c in self.server_configs}
+                   for node_shards in self.shard_configs
+                   for c in node_shards}
         pending["tracker"] = self.tracker_address
         while pending and time.monotonic() < deadline:
             for name, address in list(pending.items()):
@@ -251,11 +349,11 @@ class LocalSpongeCluster:
             raise ServerUnavailableError(
                 f"servers never became ready: {sorted(pending)}"
             )
-        # Wait for the tracker's first poll to include every server
+        # Wait for the tracker's first poll to include every shard
         # (cache disabled: we want every iteration to re-ask).
         client = TrackerClient(self.tracker_address, cache_ttl=0.0)
         while time.monotonic() < deadline:
-            if len(client.free_list()) >= self.num_nodes:
+            if len(client.free_list()) >= self.num_nodes * self.shards:
                 return
             time.sleep(0.05)
         self.stop()
@@ -300,12 +398,21 @@ class LocalSpongeCluster:
         return runtime_task_id(self.server_configs[node_index].host,
                                label, pid)
 
-    def server_address(self, node_index: int) -> tuple[str, int]:
-        return ("127.0.0.1", self.server_configs[node_index].port)
+    def server_address(self, node_index: int,
+                       shard: int = 0) -> tuple[str, int]:
+        return ("127.0.0.1", self.shard_configs[node_index][shard].port)
+
+    def shard_addresses(self, node_index: Optional[int] = None
+                        ) -> list[tuple[str, int]]:
+        """Every shard's canonical address (one node's, or the whole
+        cluster's)."""
+        nodes = (self.shard_configs if node_index is None
+                 else [self.shard_configs[node_index]])
+        return [("127.0.0.1", c.port) for node in nodes for c in node]
 
     def scrape(self, timeout: float = 2.0,
                include_local: bool = True) -> MetricsSnapshot:
-        """Merged metrics from every live server, the tracker, and
+        """Merged metrics from every live shard, the tracker, and
         (when ``include_local``) this process's own registry.
 
         Dead or unreachable processes are skipped silently — scrape is
@@ -313,7 +420,7 @@ class LocalSpongeCluster:
         merge is associative, so fold order does not matter.
         """
         merged = MetricsSnapshot()
-        addresses = [("127.0.0.1", c.port) for c in self.server_configs]
+        addresses = self.shard_addresses()
         addresses.append(self.tracker_address)
         for address in addresses:
             try:
@@ -327,10 +434,17 @@ class LocalSpongeCluster:
                 merged = merged.merge(registry.snapshot())
         return merged
 
-    def request_gc(self, node_index: int) -> int:
-        reply, _ = protocol.request(
-            self.server_address(node_index),
-            {"op": "gc", "owner_host": "", "owner_task": ""},
-        )
-        protocol.check_reply(reply)
-        return int(reply["freed"])
+    def request_gc(self, node_index: int,
+                   shard: Optional[int] = None) -> int:
+        """Run a GC sweep on one shard (``shard=None`` = every shard of
+        the node); returns the total chunks freed."""
+        targets = (range(self.shards) if shard is None else [shard])
+        freed = 0
+        for k in targets:
+            reply, _ = protocol.request(
+                self.server_address(node_index, shard=k),
+                {"op": "gc", "owner_host": "", "owner_task": ""},
+            )
+            protocol.check_reply(reply)
+            freed += int(reply["freed"])
+        return freed

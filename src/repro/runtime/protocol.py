@@ -48,6 +48,7 @@ it slices one payload view into per-chunk views without copying.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
@@ -90,14 +91,19 @@ def _as_views(payload: Payloads) -> list[memoryview]:
     return views
 
 
+def _frame(header: dict, total: int) -> bytes:
+    """The ``[length][header-json]`` prefix for a ``total``-byte payload."""
+    header = dict(header)
+    header["payload_len"] = total
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _LENGTH.pack(len(raw)) + raw
+
+
 def send_message(sock: socket.socket, header: dict,
                  payload: Payloads = b"") -> None:
     views = _as_views(payload)
     total = sum(len(v) for v in views)
-    header = dict(header)
-    header["payload_len"] = total
-    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    prefix = _LENGTH.pack(len(raw)) + raw
+    prefix = _frame(header, total)
     if faults._armed is not None:
         action = faults.fire(
             "conn.send", op=header.get("op"), payload_len=total
@@ -248,6 +254,185 @@ def _recv_into_exact(sock: socket.socket, view: memoryview) -> None:
         if got == 0:
             raise ProtocolError("connection closed mid-message")
         filled += got
+
+
+# -- async variants (the sharded sponge server's event loop) ----------------
+#
+# Same framing, same fault sites, same zero-copy discipline as the
+# blocking helpers above, but driven by an asyncio event loop on
+# non-blocking sockets: one shard process serves hundreds of
+# connections from a single thread, with ``sock_recv_into`` scattering
+# payloads straight into mmap chunk buffers and ``sendmsg`` gathering
+# reply views without concatenation.
+
+
+def _wait_writable(loop: asyncio.AbstractEventLoop,
+                   sock: socket.socket) -> "asyncio.Future":
+    """Resolve once ``sock`` polls writable (EAGAIN backoff for sendmsg)."""
+    future = loop.create_future()
+    fd = sock.fileno()
+
+    def _ready() -> None:
+        loop.remove_writer(fd)
+        if not future.done():
+            future.set_result(None)
+
+    loop.add_writer(fd, _ready)
+    future.add_done_callback(
+        lambda f: loop.remove_writer(fd) if f.cancelled() else None
+    )
+    return future
+
+
+async def _sendall_vectored_async(loop: asyncio.AbstractEventLoop,
+                                  sock: socket.socket,
+                                  buffers: Sequence[Buffer]) -> None:
+    """Non-blocking ``sendall`` of a buffer list, scatter-gather."""
+    views = [memoryview(b).cast("B") for b in buffers if len(b)]
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX fallback
+        for view in views:
+            await loop.sock_sendall(sock, view)
+        return
+    while views:
+        try:
+            sent = sock.sendmsg(views)
+        except (BlockingIOError, InterruptedError):
+            await _wait_writable(loop, sock)
+            continue
+        while views and sent >= len(views[0]):
+            sent -= len(views[0])
+            views.pop(0)
+        if views and sent:
+            views[0] = views[0][sent:]
+
+
+async def send_message_async(sock: socket.socket, header: dict,
+                             payload: Payloads = b"") -> None:
+    """Async :func:`send_message`; ``sock`` must be non-blocking."""
+    loop = asyncio.get_running_loop()
+    views = _as_views(payload)
+    total = sum(len(v) for v in views)
+    prefix = _frame(header, total)
+    if faults._armed is not None:
+        action = faults.fire(
+            "conn.send", op=header.get("op"), payload_len=total
+        )
+        if action is not None and action.kind == "reset":
+            await _injected_reset_async(loop, sock, prefix, views, total,
+                                        action)
+    await _sendall_vectored_async(loop, sock, [prefix, *views])
+
+
+async def _injected_reset_async(loop: asyncio.AbstractEventLoop,
+                                sock: socket.socket, prefix: bytes,
+                                views: list[memoryview], total: int,
+                                action) -> None:
+    """Async twin of :func:`_injected_reset` (same chaos semantics)."""
+    try:
+        if action.when == "mid-payload" and total:
+            half = max(1, total // 2)
+            partial: list[Buffer] = [prefix]
+            for view in views:
+                take = min(half, len(view))
+                partial.append(view[:take])
+                half -= take
+                if half <= 0:
+                    break
+            await _sendall_vectored_async(loop, sock, partial)
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    raise ConnectionResetError("injected connection reset")
+
+
+async def recv_message_async(
+    sock: socket.socket,
+    sink: Optional[Any] = None,
+) -> tuple[dict, memoryview]:
+    """Async :func:`recv_message`; ``sock`` must be non-blocking.
+
+    Identical contract: same ``sink`` protocol (single buffer, buffer
+    sequence for scatter receives, or ``None``), same drain-on-refusal
+    behaviour, same :class:`ConnectionClosedError` /
+    :class:`ProtocolError` classification.
+    """
+    loop = asyncio.get_running_loop()
+    header_len = _LENGTH.unpack(
+        await _recv_exact_async(loop, sock, _LENGTH.size, at_boundary=True)
+    )[0]
+    if header_len > MAX_HEADER:
+        raise ProtocolError(f"header too large: {header_len}")
+    try:
+        header = json.loads(await _recv_exact_async(loop, sock, header_len))
+    except ValueError as exc:
+        raise ProtocolError(f"malformed header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("header is not a JSON object")
+    payload_len = int(header.get("payload_len", 0))
+    if payload_len < 0:
+        raise ProtocolError(f"negative payload_len: {payload_len}")
+    view: Optional[memoryview] = None
+    if sink is not None and payload_len:
+        try:
+            provided = sink(header, payload_len)
+        except Exception:
+            await _drain_payload_async(loop, sock, payload_len)
+            raise
+        if isinstance(provided, (list, tuple)):
+            for part in provided:
+                await _recv_into_exact_async(loop, sock, memoryview(part))
+            return header, memoryview(b"")
+        if provided is not None:
+            view = memoryview(provided)
+    if view is None:
+        view = memoryview(bytearray(payload_len))
+    if payload_len:
+        await _recv_into_exact_async(loop, sock, view)
+    return header, view
+
+
+async def _recv_exact_async(loop: asyncio.AbstractEventLoop,
+                            sock: socket.socket, nbytes: int,
+                            at_boundary: bool = False) -> bytes:
+    buf = bytearray(nbytes)
+    view = memoryview(buf)
+    filled = 0
+    while filled < nbytes:
+        got = await loop.sock_recv_into(sock, view[filled:])
+        if got == 0:
+            if at_boundary and filled == 0:
+                raise ConnectionClosedError("connection closed")
+            raise ProtocolError("connection closed mid-message")
+        filled += got
+    return bytes(buf)
+
+
+async def _recv_into_exact_async(loop: asyncio.AbstractEventLoop,
+                                 sock: socket.socket,
+                                 view: memoryview) -> None:
+    filled = 0
+    total = len(view)
+    while filled < total:
+        got = await loop.sock_recv_into(sock, view[filled:])
+        if got == 0:
+            raise ProtocolError("connection closed mid-message")
+        filled += got
+
+
+async def _drain_payload_async(loop: asyncio.AbstractEventLoop,
+                               sock: socket.socket, nbytes: int) -> None:
+    scratch = memoryview(bytearray(min(nbytes, 1 << 16)))
+    remaining = nbytes
+    try:
+        while remaining > 0:
+            got = await loop.sock_recv_into(
+                sock, scratch[: min(remaining, len(scratch))]
+            )
+            if got == 0:
+                return  # dead connection; the next recv will notice
+            remaining -= got
+    except OSError:
+        pass
 
 
 #: Kernel socket buffer size for chunk traffic: one chunk plus framing

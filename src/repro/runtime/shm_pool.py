@@ -46,8 +46,15 @@ class MmapSpongePool:
 
     def __init__(self, directory: str | Path, create: bool = False,
                  pool_size: int = 64 * MB, chunk_size: int = 1 * MB,
-                 segment_size: Optional[int] = None) -> None:
+                 segment_size: Optional[int] = None,
+                 exclusive: bool = False) -> None:
         self.directory = Path(directory)
+        #: ``exclusive`` promises that this process is the *only* one
+        #: attaching the pool (a private per-shard slice): metadata
+        #: operations then skip the ``flock`` round trip entirely and
+        #: serialise on the in-process lock alone — the lock-free-
+        #: within-the-shard fast path of the sharded server.
+        self._exclusive = bool(exclusive)
         if create:
             self._create(pool_size, chunk_size, segment_size)
         self._attach()
@@ -122,11 +129,15 @@ class MmapSpongePool:
 
     class _Locked:
         def __init__(self, lock_file, thread_lock) -> None:
+            # ``lock_file is None`` means exclusive mode: no other
+            # process attaches this pool, so the thread lock suffices.
             self._lock_file = lock_file
             self._thread_lock = thread_lock
 
         def __enter__(self):
             self._thread_lock.acquire()
+            if self._lock_file is None:
+                return
             try:
                 fcntl.flock(self._lock_file, fcntl.LOCK_EX)
             except BaseException:
@@ -134,13 +145,17 @@ class MmapSpongePool:
                 raise
 
         def __exit__(self, *exc):
+            if self._lock_file is None:
+                self._thread_lock.release()
+                return
             try:
                 fcntl.flock(self._lock_file, fcntl.LOCK_UN)
             finally:
                 self._thread_lock.release()
 
     def locked(self) -> "_Locked":
-        return self._Locked(self._lock_file, self._thread_lock)
+        lock_file = None if self._exclusive else self._lock_file
+        return self._Locked(lock_file, self._thread_lock)
 
     # -- metadata entries ------------------------------------------------------------
 

@@ -13,9 +13,10 @@ the in-process GC semantics.
 
 from __future__ import annotations
 
+import asyncio
 import logging
 import os
-import socketserver
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -94,60 +95,24 @@ class ServerConfig:
     #: process so it can answer ``stats`` scrapes (memcached-style
     #: always-on counters; the per-op cost is a dict lookup + lock inc).
     metrics_enabled: bool = True
-
-
-class _Handler(socketserver.BaseRequestHandler):
-    """Serves *many* messages per connection (persistent protocol).
-
-    One-shot clients remain fully supported: they close after their
-    single exchange, which ends the loop via a clean-close signal.
-    """
-
-    def handle(self) -> None:  # noqa: D102 - socketserver API
-        server: "SpongeServerProcess" = self.server.sponge  # type: ignore[attr-defined]
-        sock = self.request
-        protocol.configure_socket(sock)
-        while True:
-            # ``staged`` carries a chunk pre-allocated by the payload
-            # sink (alloc_write streams the payload straight into the
-            # mmap pool); any failure before the reply must undo it.
-            staged: dict = {}
-            try:
-                header, payload = protocol.recv_message(
-                    sock, sink=lambda h, n: server.payload_sink(h, n, staged)
-                )
-            except ConnectionClosedError:
-                return  # client finished with the connection
-            except (OutOfSpongeMemory, QuotaExceededError, SpongeError) as exc:
-                # The sink refused the payload (pool full / over quota);
-                # the stream was drained, so the connection stays good.
-                if not self._reply(sock, _map_error(exc)):
-                    return
-                continue
-            except ProtocolError as exc:
-                # Malformed framing: tell the client why (best effort)
-                # instead of silently dropping the connection.
-                server.abort_staged(staged)
-                log.debug("dropping connection after bad request: %s", exc)
-                self._reply(sock, protocol.error_reply(str(exc), "protocol"))
-                return
-            except Exception:  # noqa: BLE001 - client went away
-                server.abort_staged(staged)
-                return
-            try:
-                reply, out_payload = server.dispatch(header, payload, staged)
-            except Exception as exc:  # noqa: BLE001 - never kill the server
-                server.abort_staged(staged)
-                reply, out_payload = _map_error(exc), b""
-            if not self._reply(sock, reply, out_payload):
-                return
-
-    def _reply(self, sock, reply: dict, out_payload=b"") -> bool:
-        try:
-            protocol.send_message(sock, reply, out_payload)
-        except Exception:  # noqa: BLE001 - client went away
-            return False
-        return True
+    #: Which shard of the node this process is (0-based) and how many
+    #: shards the node runs in total.  ``num_shards == 1`` is the
+    #: classic one-server-per-node layout.
+    shard_index: int = 0
+    num_shards: int = 1
+    #: Optional shared node ingress port: every shard binds it with
+    #: ``SO_REUSEPORT`` so the kernel balances shard-agnostic traffic
+    #: (liveness probes, pings) across the shards.  The canonical
+    #: ``port`` above remains the shard's data plane — chunk reads must
+    #: reach the shard that owns the chunk's pool slice.
+    node_port: Optional[int] = None
+    #: ``SO_REUSEPORT`` policy for ``node_port``: ``None`` = use it when
+    #: the platform supports it, ``False`` = force the fallback (shard 0
+    #: alone binds the node port), ``True`` = require-if-available.
+    reuseport: Optional[bool] = None
+    #: The pool slice is private to this shard process: skip the flock
+    #: on every metadata operation (see ``MmapSpongePool(exclusive=)``).
+    pool_exclusive: bool = False
 
 
 def _map_error(exc: Exception) -> dict:
@@ -160,10 +125,18 @@ def _map_error(exc: Exception) -> dict:
     return protocol.error_reply(repr(exc))
 
 
-class _TCPServer(socketserver.ThreadingTCPServer):
-    # A restarted server must be able to rebind its old port while the
-    # previous incarnation's sockets linger in TIME_WAIT.
-    allow_reuse_address = True
+def reuseport_available() -> bool:
+    """Whether this platform can actually set ``SO_REUSEPORT``."""
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    except OSError:  # pragma: no cover - constant defined but refused
+        return False
+    finally:
+        probe.close()
+    return True
 
 
 class SpongeServerProcess:
@@ -178,6 +151,7 @@ class SpongeServerProcess:
         self.pool = MmapSpongePool(
             config.pool_dir, create=not existing,
             pool_size=config.pool_size, chunk_size=config.chunk_size,
+            exclusive=config.pool_exclusive,
         )
         self._usage: dict[str, int] = {}
         self._usage_lock = threading.Lock()
@@ -191,12 +165,56 @@ class SpongeServerProcess:
         self._peer_pool = ConnectionPool(timeout=2.0)
         #: host -> consecutive GC rounds its peer server was unreachable.
         self._peer_failures: dict[str, int] = {}
-        self._tcp = _TCPServer(
-            ("127.0.0.1", config.port), _Handler, bind_and_activate=True
-        )
-        self._tcp.daemon_threads = True
-        self._tcp.sponge = self  # type: ignore[attr-defined]
+        #: Whether the shared node port ended up kernel-balanced via
+        #: ``SO_REUSEPORT`` (False on the explicit fallback path).
+        self.reuseport_used = False
+        self._listeners = self._bind_listeners()
         self._stop = threading.Event()
+        self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+
+    def _bind_listeners(self) -> list[socket.socket]:
+        """Bind the shard's accept sockets.
+
+        The canonical ``port`` is this shard's data plane — clients
+        reach a specific pool slice through it.  When the node runs a
+        shared ``node_port``, every shard additionally binds it with
+        ``SO_REUSEPORT`` so the kernel spreads shard-agnostic traffic
+        (liveness probes) across all shard processes; where the option
+        is unavailable (or disabled) only shard 0 binds it plainly, so
+        the node address keeps answering either way.
+        """
+        listeners = [self._listen(self.config.port, reuseport=False)]
+        node_port = self.config.node_port
+        if node_port is not None:
+            want = self.config.reuseport
+            use_reuseport = (reuseport_available()
+                             if want is None or want else False)
+            if use_reuseport:
+                listeners.append(self._listen(node_port, reuseport=True))
+                self.reuseport_used = True
+            elif self.config.shard_index == 0:
+                listeners.append(self._listen(node_port, reuseport=False))
+        return listeners
+
+    @staticmethod
+    def _listen(port: int, reuseport: bool) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            # A restarted server must be able to rebind its old port
+            # while the previous incarnation's sockets sit in TIME_WAIT.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuseport:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind(("127.0.0.1", port))
+            sock.listen(128)
+            sock.setblocking(False)
+        except BaseException:
+            sock.close()
+            raise
+        return sock
 
     # -- request dispatch ------------------------------------------------------------
 
@@ -694,19 +712,151 @@ class SpongeServerProcess:
     # -- lifecycle ------------------------------------------------------------
 
     def serve_forever(self) -> None:
+        """Run the shard: a GC thread plus one asyncio accept/serve loop.
+
+        The event loop replaces thread-per-connection — one shard
+        process multiplexes all its connections from a single thread,
+        with payloads scattered straight into the mmap pool by the
+        non-blocking receive path.
+        """
         gc_thread = threading.Thread(target=self._gc_loop, daemon=True)
         gc_thread.start()
         try:
-            self._tcp.serve_forever(poll_interval=0.1)
+            asyncio.run(self._serve_async())
         finally:
             self._stop.set()
-            self._tcp.server_close()
-            self._peer_pool.close()
-            self.pool.close()
+            self.close()
+
+    async def _serve_async(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        self._loop = loop
+        if self._stop.is_set():  # shutdown raced serve_forever startup
+            return
+        accept_tasks = [
+            loop.create_task(self._accept_loop(loop, listener))
+            for listener in self._listeners
+        ]
+        try:
+            await self._stop_async.wait()
+        finally:
+            pending = [*accept_tasks, *self._conn_tasks]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            self._loop = None
+
+    async def _accept_loop(self, loop: asyncio.AbstractEventLoop,
+                           listener: socket.socket) -> None:
+        while True:
+            try:
+                conn, _addr = await loop.sock_accept(listener)
+            except asyncio.CancelledError:
+                raise
+            except OSError:
+                if self._stop.is_set():
+                    return
+                await asyncio.sleep(0.05)
+                continue
+            protocol.configure_socket(conn)
+            conn.setblocking(False)
+            task = loop.create_task(self._handle_connection(conn))
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    async def _handle_connection(self, sock: socket.socket) -> None:
+        """Serve *many* messages per connection (persistent protocol).
+
+        One-shot clients remain fully supported: they close after their
+        single exchange, which ends the loop via a clean-close signal.
+        The error handling mirrors the pre-sharding threaded handler
+        exactly — each branch keeps or drops the connection for the
+        same reasons it used to.
+        """
+        try:
+            while True:
+                # ``staged`` carries a chunk pre-allocated by the
+                # payload sink (alloc_write streams the payload straight
+                # into the mmap pool); any failure before the reply must
+                # undo it.
+                staged: dict = {}
+                try:
+                    header, payload = await protocol.recv_message_async(
+                        sock,
+                        sink=lambda h, n: self.payload_sink(h, n, staged),
+                    )
+                except ConnectionClosedError:
+                    return  # client finished with the connection
+                except (OutOfSpongeMemory, QuotaExceededError,
+                        SpongeError) as exc:
+                    # The sink refused the payload (pool full / over
+                    # quota); the stream was drained, so the connection
+                    # stays good.
+                    if not await self._reply(sock, _map_error(exc)):
+                        return
+                    continue
+                except ProtocolError as exc:
+                    # Malformed framing: tell the client why (best
+                    # effort) instead of silently dropping the
+                    # connection.
+                    self.abort_staged(staged)
+                    log.debug("dropping connection after bad request: %s",
+                              exc)
+                    await self._reply(
+                        sock, protocol.error_reply(str(exc), "protocol")
+                    )
+                    return
+                except asyncio.CancelledError:
+                    self.abort_staged(staged)
+                    raise
+                except Exception:  # noqa: BLE001 - client went away
+                    self.abort_staged(staged)
+                    return
+                try:
+                    reply, out_payload = self.dispatch(header, payload,
+                                                       staged)
+                except Exception as exc:  # noqa: BLE001 - never kill server
+                    self.abort_staged(staged)
+                    reply, out_payload = _map_error(exc), b""
+                if not await self._reply(sock, reply, out_payload):
+                    return
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    async def _reply(self, sock, reply: dict, out_payload=b"") -> bool:
+        try:
+            await protocol.send_message_async(sock, reply, out_payload)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - client went away
+            return False
+        return True
 
     def shutdown(self) -> None:
+        """Stop serving; safe to call from any thread (or a signal)."""
         self._stop.set()
-        self._tcp.shutdown()
+        loop, stop_async = self._loop, self._stop_async
+        if loop is not None and stop_async is not None:
+            try:
+                loop.call_soon_threadsafe(stop_async.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+
+    def close(self) -> None:
+        """Release sockets, peer connections, and the pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for listener in self._listeners:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._peer_pool.close()
+        self.pool.close()
 
     def _gc_loop(self) -> None:
         while not self._stop.wait(self.config.gc_interval):

@@ -42,6 +42,39 @@ def test_payloads_are_deterministic_and_distinct():
     assert len(payload_for(3, 1, 2, 999)) == 999
 
 
+def test_sharded_schedule_is_deterministic_and_targets_shards():
+    sharded = ChaosSettings(seed=1302, writers=2, rounds=2, num_nodes=3,
+                            shards=2)
+    assert describe_schedule(sharded) == describe_schedule(sharded)
+    server_events = [e for e in build_events(sharded)
+                     if e[0] == "server"]
+    assert server_events
+    # With shards > 1 every server event carries its target shard.
+    for event in server_events:
+        assert len(event) == 4
+        assert 0 <= event[3] < sharded.shards
+
+
+def test_unsharded_schedule_is_unchanged_by_the_shard_field():
+    # shards=1 must reproduce the historical schedule byte for byte:
+    # same 3-tuple events, same description, as before sharding existed.
+    for event in build_events(SMOKE):
+        if event[0] == "server":
+            assert len(event) == 3
+    explicit = ChaosSettings(seed=1302, writers=2, rounds=2, num_nodes=3,
+                             shards=1)
+    assert describe_schedule(explicit) == describe_schedule(SMOKE)
+
+
+@pytest.mark.slow
+def test_sharded_seeded_chaos_run_holds_the_invariants():
+    report = run_chaos(ChaosSettings(seed=3, writers=2, rounds=2,
+                                     num_nodes=2, shards=2))
+    assert report.ok, report.summary()
+    assert report.rounds_ok >= 1
+    assert any("shard" in line for line in report.events)
+
+
 @pytest.mark.slow
 def test_seeded_chaos_run_holds_the_invariants():
     report = run_chaos(SMOKE)

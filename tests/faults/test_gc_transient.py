@@ -45,9 +45,7 @@ def make_server(tmp: str, name: str, peers: dict,
 
 
 def close_server(server: SpongeServerProcess) -> None:
-    server._tcp.server_close()
-    server._peer_pool.close()
-    server.pool.close()
+    server.close()
 
 
 @pytest.fixture()

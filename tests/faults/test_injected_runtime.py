@@ -233,8 +233,7 @@ def test_exhausted_server_advertises_zero_and_refuses():
             reply, _ = server.dispatch({"op": "free_bytes"}, b"")
             assert reply["free_bytes"] == POOL
         finally:
-            server._tcp.server_close()
-            server.pool.close()
+            server.close()
 
 
 def _free_port() -> int:

@@ -1,0 +1,310 @@
+"""The sharded sponge server: lifecycle, isolation, and failure scope.
+
+Covers the shard-specific contracts on top of the protocol tests that
+already run against sharded clusters unchanged:
+
+* ``SO_REUSEPORT`` fallback — with the option disabled, shard 0 alone
+  binds the shared node port, and the node address keeps answering;
+* per-shard pool isolation — a chunk written through one shard does
+  not exist on its siblings (private pool slices, no cross-shard
+  leaks);
+* scrape-merge equality — the cluster scrape equals the hand-merged
+  per-shard snapshots (the associative MetricsSnapshot fold);
+* shard-granular failure handling — killing one shard evicts exactly
+  that shard's pooled connections and tracker entry, leaving its
+  siblings' warm sockets and free-list entries alone;
+* ``shards=1`` keeps the pre-sharding naming and layout byte for byte.
+"""
+
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.errors import StoreUnavailableError
+from repro.runtime import LocalSpongeCluster, protocol
+from repro.runtime.client import RemoteServerStore, TrackerClient
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.sponge_server import (
+    ServerConfig,
+    SpongeServerProcess,
+    reuseport_available,
+)
+from repro.sponge.chunk import TaskId
+
+CHUNK = 64 * 1024
+POOL = 4 * CHUNK
+OWNER = {"owner_host": "client", "owner_task": f"pid:{os.getpid()}:shard"}
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalSpongeCluster(num_nodes=2, pool_size=POOL, chunk_size=CHUNK,
+                            poll_interval=0.1, gc_interval=60.0,
+                            shards=2) as cluster:
+        yield cluster
+
+
+# -- shard lifecycle / port strategy ------------------------------------------
+
+
+class TestPortStrategy:
+    def _shard_pair(self, tmp: str, reuseport):
+        """Two in-process shards of one node sharing a node port."""
+        node_port = _free_port()
+        servers = []
+        for k in range(2):
+            config = ServerConfig(
+                server_id=f"sponge@np/s{k}", host="np", rack="r0",
+                port=_free_port(),
+                pool_dir=os.path.join(tmp, f"pool-s{k}"),
+                pool_size=POOL // 2, chunk_size=CHUNK,
+                shard_index=k, num_shards=2, node_port=node_port,
+                reuseport=reuseport, pool_exclusive=(k > 0),
+            )
+            servers.append(SpongeServerProcess(config))
+        return node_port, servers
+
+    def test_fallback_when_reuseport_disabled(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            node_port, servers = self._shard_pair(tmp, reuseport=False)
+            threads = []
+            try:
+                assert all(not s.reuseport_used for s in servers)
+                for server in servers:
+                    thread = threading.Thread(target=server.serve_forever,
+                                              daemon=True)
+                    thread.start()
+                    threads.append(thread)
+                # The node port still answers: shard 0 owns it plainly.
+                deadline = time.monotonic() + 5
+                reply = None
+                while time.monotonic() < deadline:
+                    try:
+                        reply, _ = protocol.request(
+                            ("127.0.0.1", node_port), {"op": "ping"},
+                            timeout=0.5,
+                        )
+                        break
+                    except OSError:
+                        time.sleep(0.05)
+                assert reply is not None and reply["ok"]
+                assert reply["server_id"] == "sponge@np/s0"
+            finally:
+                for server in servers:
+                    server.shutdown()
+                for thread in threads:
+                    thread.join(timeout=5)
+                for server in servers:
+                    server.close()
+
+    def test_auto_mode_uses_reuseport_when_available(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            _, servers = self._shard_pair(tmp, reuseport=None)
+            try:
+                expected = reuseport_available()
+                assert all(s.reuseport_used == expected for s in servers)
+            finally:
+                for server in servers:
+                    server.close()
+
+    def test_cluster_runs_with_forced_fallback(self):
+        with LocalSpongeCluster(num_nodes=1, pool_size=POOL,
+                                chunk_size=CHUNK, poll_interval=0.1,
+                                gc_interval=60.0, shards=2,
+                                reuseport=False) as cluster:
+            for shard in range(2):
+                reply, _ = protocol.request(
+                    cluster.server_address(0, shard=shard), {"op": "ping"}
+                )
+                assert reply["ok"]
+
+
+class TestLegacyLayout:
+    def test_shards_one_keeps_pre_sharding_naming(self):
+        with LocalSpongeCluster(num_nodes=1, pool_size=POOL,
+                                chunk_size=CHUNK, poll_interval=0.1,
+                                gc_interval=60.0) as cluster:
+            config = cluster.server_configs[0]
+            assert config.server_id == "sponge@node0"
+            assert config.pool_dir.endswith("pool-node0")
+            assert config.node_port is None
+            assert config.num_shards == 1
+            assert not config.pool_exclusive
+            assert config.pool_size == POOL
+
+    def test_sharded_naming_and_slices(self, cluster):
+        ids = [c.server_id for c in cluster.shard_configs[0]]
+        assert ids == ["sponge@node0/s0", "sponge@node0/s1"]
+        for k, config in enumerate(cluster.shard_configs[0]):
+            assert config.pool_dir.endswith(f"pool-node0-s{k}")
+            assert config.pool_size == POOL // 2
+            assert config.pool_exclusive == (k > 0)
+        # Shard 0's pool may be attached by local tasks, so only the
+        # private slices skip the flock.
+
+
+# -- per-shard pool isolation -------------------------------------------------
+
+
+class TestPoolIsolation:
+    def test_chunk_on_one_shard_invisible_on_sibling(self, cluster):
+        reply, _ = protocol.request(
+            cluster.server_address(0, shard=0),
+            {"op": "alloc_write", **OWNER}, b"x" * CHUNK,
+        )
+        index = protocol.check_reply(reply)["index"]
+        # Same index, sibling shard: its private pool never saw the
+        # chunk — the read must fail, not leak another shard's bytes.
+        reply, _ = protocol.request(
+            cluster.server_address(0, shard=1),
+            {"op": "read", "index": index, **OWNER},
+        )
+        assert not reply["ok"]
+        # The owning shard still serves it.
+        reply, payload = protocol.request(
+            cluster.server_address(0, shard=0),
+            {"op": "read", "index": index, **OWNER},
+        )
+        assert reply["ok"] and bytes(payload) == b"x" * CHUNK
+        reply, _ = protocol.request(
+            cluster.server_address(0, shard=0),
+            {"op": "free", "index": index, **OWNER},
+        )
+        assert reply["ok"]
+
+    def test_shards_are_independent_placement_targets(self, cluster):
+        client = TrackerClient(cluster.tracker_address, cache_ttl=0.0)
+        ids = {info.server_id for info in client.free_list()}
+        assert {"sponge@node0/s0", "sponge@node0/s1",
+                "sponge@node1/s0", "sponge@node1/s1"} <= ids
+
+
+# -- scrape-merge equality ----------------------------------------------------
+
+
+class TestScrapeMerge:
+    def test_cluster_scrape_equals_per_shard_merge(self, cluster):
+        # Traffic so the counters are non-trivial on several shards.
+        for shard in range(2):
+            reply, _ = protocol.request(
+                cluster.server_address(1, shard=shard),
+                {"op": "alloc_write", **OWNER}, b"m" * CHUNK,
+            )
+            index = protocol.check_reply(reply)["index"]
+            protocol.request(
+                cluster.server_address(1, shard=shard),
+                {"op": "free", "index": index, **OWNER},
+            )
+        from repro.obs.metrics import MetricsSnapshot
+
+        manual = MetricsSnapshot()
+        for address in cluster.shard_addresses():
+            manual = manual.merge(
+                MetricsSnapshot.from_dict(protocol.fetch_stats(address))
+            )
+        scraped = cluster.scrape(include_local=False)
+        # GC is effectively off (60 s interval) and nothing else writes,
+        # so every server.* counter must agree exactly: the cluster
+        # scrape is the per-shard fold, nothing more, nothing less.
+        server_keys = {k for k in manual.counters if k.startswith("server.")}
+        assert server_keys  # the traffic above registered
+        for key in server_keys:
+            assert scraped.counters.get(key) == manual.counters[key], key
+        # Summed pool gauges: both views cover all four shard slices.
+        assert (scraped.gauges["server.pool.free_bytes"]
+                == manual.gauges["server.pool.free_bytes"])
+        # Every shard reported itself as a distinct source.
+        shard_ids = {c.server_id for node in cluster.shard_configs
+                     for c in node}
+        assert shard_ids <= set(scraped.sources)
+
+
+# -- shard-granular failure handling (satellite: eviction) --------------------
+
+
+class TestShardGranularEviction:
+    def test_evict_drops_exactly_one_address(self, cluster):
+        pool = ConnectionPool()
+        try:
+            addr0 = cluster.server_address(0, shard=0)
+            addr1 = cluster.server_address(0, shard=1)
+            pool.request(addr0, {"op": "ping"})
+            pool.request(addr1, {"op": "ping"})
+            assert pool.idle_count(addr0) == 1
+            assert pool.idle_count(addr1) == 1
+            assert pool.evict(addr1) == 1
+            assert pool.idle_count(addr1) == 0
+            assert pool.idle_count(addr0) == 1  # sibling untouched
+        finally:
+            pool.close()
+
+    def test_dead_shard_evicts_only_its_connections(self):
+        with LocalSpongeCluster(num_nodes=1, pool_size=POOL,
+                                chunk_size=CHUNK, poll_interval=0.1,
+                                gc_interval=60.0, shards=2) as cluster:
+            pool = ConnectionPool(timeout=1.0)
+            owner = TaskId(host="client",
+                           task=f"pid:{os.getpid()}:evict")
+            stores = [
+                RemoteServerStore(
+                    cluster.shard_configs[0][k].server_id,
+                    cluster.server_address(0, shard=k),
+                    timeout=1.0, pool=pool,
+                )
+                for k in range(2)
+            ]
+            try:
+                handles = [store._write(owner, b"e" * CHUNK)
+                           for store in stores]
+                assert pool.idle_count(stores[0].address) == 1
+                assert pool.idle_count(stores[1].address) == 1
+
+                cluster.kill_server(0, shard=1)
+                with pytest.raises(StoreUnavailableError):
+                    stores[1]._write(owner, b"e" * CHUNK)
+                # The dead shard's pooled socket is gone; the sibling
+                # shard's warm socket survived and still works.
+                assert pool.idle_count(stores[1].address) == 0
+                assert pool.idle_count(stores[0].address) == 1
+                assert (bytes(stores[0]._read(handles[0]))
+                        == b"e" * CHUNK)
+                assert pool.idle_count(stores[0].address) == 1
+            finally:
+                pool.close()
+
+    def test_invalidate_server_is_shard_granular(self, cluster):
+        client = TrackerClient(cluster.tracker_address, cache_ttl=30.0)
+        before = {e["server_id"] for e in client._fetch()}
+        assert "sponge@node0/s1" in before
+        client.invalidate_server("sponge@node0/s1")
+        after = {e["server_id"] for e in client._cached}
+        assert after == before - {"sponge@node0/s1"}
+
+
+# -- merged dump of a sharded cluster (satellite: obs.dump) -------------------
+
+
+class TestClusterDump:
+    def test_dump_cluster_spec_merges_all_shards(self, cluster, capsys):
+        from repro.obs import dump
+
+        spec = json.loads(cluster.cluster_spec_path.read_text())
+        assert len(spec["servers"]) == 4  # 2 nodes x 2 shards
+        rc = dump.main(["--cluster", str(cluster.cluster_spec_path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        snapshot = json.loads(captured.out)
+        sources = set(snapshot["sources"])
+        assert {"sponge@node0/s0", "sponge@node0/s1", "sponge@node1/s0",
+                "sponge@node1/s1", "tracker"} <= sources
