@@ -1,0 +1,247 @@
+"""Write tax and degraded-read cost of coded remote spill.
+
+Spills one file per round through a 5-server
+:class:`LocalSpongeCluster` twice per round — once with
+``redundancy=off``, once with ``redundancy=xor`` at k=4 (4 data
+members + 1 parity per group, the 25%-storage-overhead point) — and
+reports the *write tax* as the paired per-round ratio of the two
+write times (pairing cancels machine-load drift, same device as
+bench_compression's adaptive/off ratio).  The xor cell then reads the
+file back twice: once clean, and once with the first primary member
+read failing (an injected ``redundancy.member_read`` loss), so the
+degraded-read column prices a real reconstruction — k-1 sibling reads
+plus a parity read plus the XOR fold — against the clean path.
+
+Results merge into ``BENCH_runtime.json`` under the ``"redundancy"``
+key (``batch_depth``/``compression``/``sharding`` belong to the other
+benches); ``--check`` enforces the acceptance ceiling — <= 15% write
+tax at xor 4+1 — on hosts with >= 2 CPUs, where the async write
+pipeline can overlap parity members with data members.  A single
+time-sliced core serializes every member write, so the tax collapses
+to the raw stored-byte ratio (~25%) and measures the scheduler, not
+the pipeline; ``requires_cores`` skips the floor there with a notice.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_redundancy.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.faults import hooks
+from repro.faults.plan import FaultPlan
+from repro.runtime.client import build_chain
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.executor import ThreadExecutor
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+from repro.util.units import MB
+
+CHUNK = 256 * 1024
+SPILL_CHUNKS = 24  # one spill = 6 MB
+K = 4  # xor group width: 4 data + 1 parity
+
+
+class _ModeBench:
+    """One redundancy mode's long-lived client state + round log.
+
+    The client host ("bench-client") is deliberately not a cluster
+    node: the chain excludes the writer's own host from remote
+    placement, and a k=4 group needs all 5 server domains eligible to
+    spread without degrading.
+    """
+
+    def __init__(self, cluster: LocalSpongeCluster, mode: str) -> None:
+        self.config = SpongeConfig(
+            chunk_size=CHUNK,
+            async_write_depth=4,
+            prefetch_depth=2,
+            redundancy=mode,
+            redundancy_k=K,
+        )
+        self.pool = ConnectionPool()
+        self.executor = ThreadExecutor(max_workers=4,
+                                       name=f"bench-red-{mode}")
+        self.chain = build_chain(
+            host="bench-client",
+            tracker_address=cluster.tracker_address,
+            spill_dir=str(cluster.workdir / f"bench-spill-{mode}"),
+            local_pool_dir=None,
+            config=self.config,
+            executor=self.executor,
+            connection_pool=self.pool,
+        )
+        self.owner = TaskId(host="bench-client",
+                            task=f"pid:{os.getpid()}:bench-red-{mode}")
+        self.payload = bytes(CHUNK)
+        self.rows: list[dict] = []
+
+    def one_round(self, degraded: bool) -> dict:
+        spill = SpongeFile(self.owner, self.chain, config=self.config)
+        t0 = time.perf_counter()
+        for _ in range(SPILL_CHUNKS):
+            spill.write_all(self.payload)
+        spill.close_sync()
+        t1 = time.perf_counter()
+        received = self._read(spill)
+        t2 = time.perf_counter()
+        row = {
+            "write_mb_s": SPILL_CHUNKS * CHUNK / MB / (t1 - t0),
+            "read_mb_s": SPILL_CHUNKS * CHUNK / MB / (t2 - t1),
+            "stored_chunks": spill.chunk_count() + len(spill.parity_handles),
+        }
+        if degraded:
+            # Lose the next directly-requested member once: the first
+            # chunk of this read pays for a full reconstruction.
+            hooks.arm(FaultPlan().lose_group_member(role="primary", times=1))
+            try:
+                t3 = time.perf_counter()
+                assert self._read(spill) == received
+                row["degraded_read_mb_s"] = (
+                    SPILL_CHUNKS * CHUNK / MB / (time.perf_counter() - t3)
+                )
+            finally:
+                hooks.disarm()
+        spill.delete_sync()
+        assert received == SPILL_CHUNKS * CHUNK, "spill truncated"
+        return row
+
+    @staticmethod
+    def _read(spill: SpongeFile) -> int:
+        reader = spill.open_reader()
+        received = 0
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            received += len(chunk)
+        return received
+
+    def close(self) -> None:
+        self.executor.close(wait=False)
+        self.pool.close()
+
+    def median(self) -> dict:
+        rows = sorted(self.rows, key=lambda r: r["write_mb_s"])
+        return dict(rows[len(rows) // 2])
+
+
+def run(rounds: int) -> dict:
+    with LocalSpongeCluster(
+        num_nodes=K + 1, pool_size=64 * MB, chunk_size=CHUNK,
+        poll_interval=2.0, gc_interval=60.0,
+    ) as cluster:
+        benches = {mode: _ModeBench(cluster, mode)
+                   for mode in ("off", "xor")}
+        try:
+            # Interleave the modes round-by-round (paired measurement);
+            # round 0 is an untimed warm-up.
+            for round_no in range(rounds + 1):
+                for mode, bench in benches.items():
+                    row = bench.one_round(degraded=(mode == "xor"))
+                    if round_no > 0:
+                        bench.rows.append(row)
+        finally:
+            for bench in benches.values():
+                bench.close()
+        results = {mode: bench.median() for mode, bench in benches.items()}
+    # Paired per-round write tax (slowdown of xor vs off, same round).
+    taxes = sorted(
+        off["write_mb_s"] / xor["write_mb_s"] - 1.0
+        for off, xor in zip(benches["off"].rows, benches["xor"].rows)
+    )
+    degraded = sorted(row["degraded_read_mb_s"] / row["read_mb_s"]
+                      for row in benches["xor"].rows)
+    report = {
+        "benchmark": "runtime-redundancy",
+        "chunk_kb": CHUNK // 1024,
+        "spill_mb": SPILL_CHUNKS * CHUNK // MB,
+        "rounds": rounds,
+        "cpus": os.cpu_count(),
+        "k": K,
+        "modes": results,
+        "storage_overhead": round(
+            results["xor"]["stored_chunks"] / results["off"]["stored_chunks"],
+            3,
+        ),
+        "write_tax": round(taxes[len(taxes) // 2], 4),
+        "degraded_read_ratio": round(degraded[len(degraded) // 2], 4),
+    }
+    return report
+
+
+def merge_into(path: str, key: str, report: dict) -> None:
+    """Update one bench's namespace in the shared results file."""
+    merged: dict = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    if "benchmark" in merged:
+        # Pre-namespacing layout (a bare batch-depth report): fold the
+        # old content under its key rather than discarding it.
+        merged = {"batch_depth": merged}
+    merged[key] = report
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="write tax and degraded-read cost of xor spill "
+                    "redundancy"
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the acceptance ceiling (<= 15% "
+                             "write tax at xor 4+1); skipped with a "
+                             "notice on < 2 CPUs")
+    args = parser.parse_args(argv)
+
+    report = run(args.rounds)
+    merge_into(args.out, "redundancy", report)
+
+    print(f"{'mode':>6s} {'write MB/s':>12s} {'read MB/s':>12s} "
+          f"{'degraded MB/s':>14s} {'chunks':>7s}")
+    for mode, row in report["modes"].items():
+        degraded = row.get("degraded_read_mb_s")
+        print(f"{mode:>6s} {row['write_mb_s']:12.1f} "
+              f"{row['read_mb_s']:12.1f} "
+              f"{degraded if degraded is not None else float('nan'):14.1f} "
+              f"{row['stored_chunks']:7d}")
+    print(f"storage overhead (xor vs off): "
+          f"{report['storage_overhead']:.3f}x")
+    print(f"write tax (paired median, xor {K}+1 vs off): "
+          f"{report['write_tax'] * 100:.1f}%")
+    print(f"degraded read (1 reconstruction / {SPILL_CHUNKS} chunks): "
+          f"{report['degraded_read_ratio'] * 100:.1f}% of clean speed")
+    print(f"written to {args.out}")
+
+    if args.check:
+        from conftest import requires_cores
+
+        if not requires_cores(2, "the write pipeline must overlap parity "
+                                 "members with data members"):
+            return 0
+        if report["write_tax"] > 0.15:
+            print(f"ACCEPTANCE FAILURE: write tax "
+                  f"{report['write_tax'] * 100:.1f}% > 15%",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -187,10 +187,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     print(f"written to {args.out}")
 
     if args.check:
-        cpus = os.cpu_count() or 1
-        if cpus < 4:
-            print(f"CHECK SKIPPED: {cpus} CPU(s) — shard scaling needs "
-                  f"a multi-core host (shards time-slice one core here)")
+        from conftest import requires_cores
+
+        if not requires_cores(4, "shard scaling needs a multi-core host "
+                                 "(shards time-slice one core here)"):
             return 0
         if speedup is None:
             print("ACCEPTANCE FAILURE: need >= 2 shard counts to check",

@@ -47,6 +47,7 @@ from typing import Optional
 from repro.errors import (
     ChunkAllocationError,
     ChunkLostError,
+    CorruptChunkError,
     OutOfSpongeMemory,
     QuotaExceededError,
     RuntimeBackendError,
@@ -103,6 +104,18 @@ class ChaosSettings:
     #: frames, failed probes) and alternate compressible rounds in, and
     #: the byte-exact read-back now also proves the codec round-trip.
     compression: str = "off"
+    #: Spill redundancy mode for the writers (``off``/``mirror``/
+    #: ``xor``).  Non-off runs *flip* the lost-chunk contract: a
+    #: single-node loss (wiped pool, injected read loss) must come back
+    #: as a byte-exact degraded read, so any non-corrupt
+    #: ``ChunkLostError`` becomes a violation instead of an expected
+    #: failure.  The fault/kill schedule itself does not depend on this
+    #: field — an off run and an xor run with the same seed face the
+    #: identical schedule.
+    redundancy: str = "off"
+    #: Data members per parity group (kept small: chaos clusters are 3
+    #: nodes, and a group needs k+1 distinct domains to spread over).
+    redundancy_k: int = 2
     #: Server-side lease TTL.  Deliberately short so a crashed writer's
     #: reservations are reclaimed within the harness' GC deadline.
     lease_ttl: float = 2.0
@@ -293,6 +306,8 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
         batch_depth=settings.batch_depth,
         lease_ahead=settings.lease_ahead,
         compression=settings.compression,
+        redundancy=settings.redundancy,
+        redundancy_k=settings.redundancy_k,
     )
     result = {"writer": writer_id, "rounds_ok": 0,
               "expected": [], "violations": []}
@@ -345,9 +360,24 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
                     result["rounds_ok"] += 1
                 sponge_file.delete_sync()
             except EXPECTED_FAILURES as exc:
-                result["expected"].append(
-                    f"{type(exc).__name__}: w{writer_id} r{round_no}"
-                )
+                if (
+                    settings.redundancy != "off"
+                    and isinstance(exc, ChunkLostError)
+                    and not isinstance(exc, CorruptChunkError)
+                ):
+                    # The redundancy contract: a single lost member is
+                    # a degraded read, not a failed owner.  (Corrupt
+                    # frames stay expected — an injected pre-encode
+                    # corruption is faithfully parity-protected, so no
+                    # amount of coding can recover the original.)
+                    result["violations"].append(
+                        f"writer {writer_id} round {round_no}: chunk lost "
+                        f"despite {settings.redundancy} redundancy: {exc}"
+                    )
+                else:
+                    result["expected"].append(
+                        f"{type(exc).__name__}: w{writer_id} r{round_no}"
+                    )
                 _best_effort_delete(sponge_file)
             except SpongeError as exc:
                 result["violations"].append(
@@ -613,6 +643,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="sponge server shards per node (default 1; "
                              ">1 makes kill/restart events single-shard)")
+    parser.add_argument("--redundancy", default="off",
+                        choices=("off", "mirror", "xor"),
+                        help="writer spill-redundancy mode (default off; "
+                             "non-off flips lost chunks from expected "
+                             "failures into violations)")
+    parser.add_argument("--redundancy-k", type=int, default=2,
+                        help="data members per xor parity group "
+                             "(default 2: sized for 3-node clusters)")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the merged metrics snapshot as JSON "
                              "(readable by python -m repro.obs.dump --input)")
@@ -622,6 +660,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         num_nodes=args.nodes, kill_servers=not args.no_kills,
         batch_depth=args.batch_depth, lease_ahead=args.lease_ahead,
         compression=args.compression, shards=args.shards,
+        redundancy=args.redundancy, redundancy_k=args.redundancy_k,
     )
     report = run_chaos(settings)
     print(report.summary())

@@ -41,6 +41,9 @@ KNOWN_SITES = frozenset({
     "disk.write",
     "compress.encode",
     "compress.probe",
+    "redundancy.encode",
+    "redundancy.member_read",
+    "redundancy.reconstruct",
 })
 
 #: The armed plan, or None.  Read directly by hot-path guards.

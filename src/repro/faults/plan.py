@@ -30,6 +30,9 @@ site                 fired from                             context keys
 ``disk.write``       ``FileDiskStore`` write/append         store_id, owner, nbytes
 ``compress.encode``  ``SpillCodec.encode``                  nbytes
 ``compress.probe``   ``SpillCodec._probe``                  nbytes
+``redundancy.encode``  ``RedundancyCodec._frame``           gid, index, member, nbytes
+``redundancy.member_read``  reader member fetch             gid, index, role, location
+``redundancy.reconstruct``  reader reconstruction start     gid, missing
 ===================  =====================================  =================
 
 Determinism
@@ -286,6 +289,31 @@ class FaultPlan:
         raise :class:`~repro.errors.CorruptChunkError`, never return
         silently wrong bytes."""
         return self.rule("compress.encode", FaultAction("corrupt"), **kwargs)
+
+    def lose_group_member(self, role: Optional[str] = None,
+                          **kwargs) -> "FaultPlan":
+        """Reads of redundancy-group members fail as if the member's
+        host was lost.  ``role="primary"`` loses only the directly
+        requested member (its siblings stay healthy, so reconstruction
+        must succeed); ``role="sibling"``/``"parity"`` sabotages the
+        reconstruction's own reads; unset loses every member read."""
+        from repro.errors import ChunkLostError
+
+        match = dict(kwargs.pop("match", None) or {})
+        if role is not None:
+            match["role"] = role
+        return self.rule("redundancy.member_read", FaultAction(
+            "raise", ChunkLostError, "injected group-member loss",
+        ), match=match or None, **kwargs)
+
+    def corrupt_parity(self, **kwargs) -> "FaultPlan":
+        """Flip a byte in parity members' frame headers as they are
+        encoded: plain data reads must stay correct and reconstruction
+        must fail *classified* instead of producing wrong bytes."""
+        match = dict(kwargs.pop("match", None) or {})
+        match.setdefault("member", "parity")
+        return self.rule("redundancy.encode", FaultAction("corrupt"),
+                         match=match, **kwargs)
 
     def fail_probe(self, **kwargs) -> "FaultPlan":
         """Adaptive-probe failures: the codec must degrade to raw

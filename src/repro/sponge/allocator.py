@@ -20,6 +20,7 @@ be full — the relaxed-consistency trade-off of §3.1.1.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -61,6 +62,11 @@ class ChainStats:
     disk_appends: int = 0
     remote_stale_misses: int = 0
     remote_unreachable: int = 0
+    #: Redundancy-group members placed on an already-used failure
+    #: domain because the cluster had no distinct one left (and no
+    #: disk/DFS tier to absorb the member).  Non-zero means some groups
+    #: cannot survive every single-node loss.
+    redundancy_degraded: int = 0
 
     def record(self, location: ChunkLocation, nbytes: int, appended: bool) -> None:
         # Every placed chunk counts toward its location, whether or not
@@ -181,33 +187,71 @@ class AllocationSession:
                 rack=rack, exclude_hosts=[chain.host]
             )
         self._used_servers: list[str] = []
+        #: spread key -> failure domains already holding a member of
+        #: that redundancy group.  Guarded by a lock: a group's members
+        #: allocate concurrently on executor workers.
+        self._spread_domains: dict[Any, set[str]] = {}
+        self._spread_lock = threading.Lock()
 
     @property
     def candidate_servers(self) -> list[str]:
         return [info.server_id for info in self._free_list]
 
     def allocate(
-        self, data: Any, last_handle: Optional[ChunkHandle]
+        self,
+        data: Any,
+        last_handle: Optional[ChunkHandle],
+        spread: Any = None,
     ) -> StoreOp:
         """Place one chunk; returns ``(handle, appended)``.
 
         ``appended`` is True when the chunk was coalesced into
         ``last_handle`` (which has been grown in place).
+
+        ``spread`` names an anti-affinity group (a redundancy group's
+        id): chunks sharing a key land on *distinct* failure domains —
+        at most one in the local pool and at most one per remote host —
+        so no single node loss can erase two of them.  Disk and DFS are
+        separate failure domains from sponge nodes and stay
+        unconstrained.  When the cluster offers no distinct domain and
+        there is no disk/DFS tier either, the constraint is dropped for
+        that chunk with a counted ``redundancy.degraded_placement``
+        warning rather than failing the write.
         """
         nbytes = blob_size(data)
         chain = self.chain
+        claimed: Optional[set[str]] = None
+        if spread is not None:
+            with self._spread_lock:
+                claimed = self._spread_domains.setdefault(spread, set())
 
-        if chain.local_store is not None:
+        if chain.local_store is not None and self._claim(claimed, "local"):
             try:
                 handle = yield from chain.local_store.write_chunk(self.owner, data)
             except OutOfSpongeMemory:
                 _count_fallthrough("local_full")
+                self._unclaim(claimed, "local")
             else:
                 chain.stats.record(handle.location, nbytes, appended=False)
                 return handle, False
 
         if self._free_list:
-            handle = yield from self._allocate_remote(data)
+            handle = yield from self._allocate_remote(data, claimed=claimed)
+            if (
+                handle is None
+                and claimed is not None
+                and self._free_list
+                and chain.disk_store is None
+                and chain.dfs_store is None
+            ):
+                # Too few distinct domains and nothing below this tier:
+                # a doubled-up member beats a failed write, but it can
+                # no longer survive every single loss — say so loudly.
+                chain.stats.redundancy_degraded += 1
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("redundancy.degraded_placement").inc()
+                handle = yield from self._allocate_remote(data)
             if handle is not None:
                 chain.stats.record(handle.location, nbytes, appended=False)
                 return handle, False
@@ -437,13 +481,44 @@ class AllocationSession:
 
     # -- internals ----------------------------------------------------------
 
-    def _allocate_remote(self, data: Any) -> StoreOp:
-        """Walk the cached free list, affinity-first; None if exhausted."""
+    def _claim(self, claimed: Optional[set[str]], domain: str) -> bool:
+        """Reserve a failure domain for a spread group; True if this
+        member may use it (always, without a spread constraint)."""
+        if claimed is None:
+            return True
+        with self._spread_lock:
+            if domain in claimed:
+                return False
+            claimed.add(domain)
+            return True
+
+    def _unclaim(self, claimed: Optional[set[str]], domain: str) -> None:
+        """Release a reservation whose write did not land."""
+        if claimed is None:
+            return
+        with self._spread_lock:
+            claimed.discard(domain)
+
+    def _allocate_remote(
+        self, data: Any, claimed: Optional[set[str]] = None
+    ) -> StoreOp:
+        """Walk the cached free list, affinity-first; None if exhausted.
+
+        With a ``claimed`` domain set, servers whose failure domain
+        (host; shards of one node share it) already holds a member of
+        the group are skipped.  Domains are claimed optimistically
+        *before* the write — two members racing on executor workers
+        must not both pick the same host — and released if it fails.
+        """
         for info in self._remote_candidates():
+            domain = info.host or info.server_id
+            if not self._claim(claimed, domain):
+                continue
             try:
                 store = self.chain._remote_store_for(info)
                 handle = yield from store.write_chunk(self.owner, data)
             except (OutOfSpongeMemory, StoreUnavailableError) as exc:
+                self._unclaim(claimed, domain)
                 self._drop_server(info, exc)
                 continue
             if info.server_id not in self._used_servers:

@@ -75,6 +75,21 @@ class SpongeConfig:
     #: Units between adaptive re-probes (a unit is ``chunk_size //
     #: SUBCHUNKS`` bytes), so phase changes are picked up.
     compression_reprobe_chunks: int = 64
+    #: Spill redundancy: ``"off"`` (the paper's behaviour — losing a
+    #: chunk kills the owning task), ``"mirror"`` (every chunk ships
+    #: with a full replica), or ``"xor"`` (groups of ``redundancy_k``
+    #: chunks gain one XOR parity member, RAID-4 style).  Members of a
+    #: group are spread across distinct servers so a single node loss
+    #: becomes a degraded read instead of a ``ChunkLostError``.
+    #: Redundancy encodes *after* compression: parity is computed over
+    #: stored (compressed) bytes.
+    redundancy: str = "off"
+    #: Data members per parity group for ``redundancy="xor"`` (n = k+1
+    #: stored members, i.e. 1/k storage overhead).  Needs at least k+1
+    #: distinct placement domains (servers/disk) to survive any single
+    #: loss; smaller clusters fall back with a counted
+    #: ``redundancy.degraded_placement`` warning.
+    redundancy_k: int = 4
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -112,6 +127,19 @@ class SpongeConfig:
             raise ConfigError("compression_min_ratio must be > 1.0")
         if self.compression_reprobe_chunks < 1:
             raise ConfigError("compression_reprobe_chunks must be >= 1")
+        if self.redundancy not in ("off", "mirror", "xor"):
+            raise ConfigError(
+                f"redundancy must be off|mirror|xor: {self.redundancy!r}"
+            )
+        if not 1 <= self.redundancy_k <= 128:
+            raise ConfigError(
+                f"redundancy_k must be 1..128: {self.redundancy_k}"
+            )
+        if self.redundancy != "off" and self.chunk_size < 4096:
+            raise ConfigError(
+                "redundancy needs chunk_size >= 4096 (member framing "
+                "would dominate below that)"
+            )
 
 
 DEFAULT_CONFIG = SpongeConfig()

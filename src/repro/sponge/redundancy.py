@@ -1,0 +1,404 @@
+"""Coded remote spill: k-of-n redundancy beside the compression codec.
+
+The paper accepts that losing a sponge node kills every task that
+spilled a chunk there (§4.3's Poisson argument).  At production scale
+that is a real tax: a single ``kill --wipe-pool`` re-runs every owning
+task.  Coded MapReduce makes the opposite trade — spend cheap redundant
+placement up front so recovery is nearly free.  This module is that
+stage: each group of k stored chunks ("members") is encoded into n
+stored units and spread across *distinct* failure domains by the
+allocation chain's anti-affinity constraint, so any single erasure
+becomes a degraded read instead of a :class:`ChunkLostError`.
+
+Codes:
+
+* ``mirror`` — k=1, n=2: every chunk ships with a full replica.
+* ``xor`` — k data members + 1 parity (n = k+1), the classic RAID-4
+  arrangement over sub-chunk units.  The frame format carries an
+  explicit code byte so Reed-Solomon (n > k+1) can slot in later
+  without a wire change.
+
+Frame format (20-byte header, then the body)::
+
+    marker[4]   b"SFR1"
+    gid[4]      group id within the file, big-endian
+    index[1]    member index: 0..k-1 data, k = parity
+    k[1]        data members in this group
+    n[1]        stored members in this group
+    code[1]     0 = XOR parity (room for RS)
+    length[4]   body length, big-endian
+    crc32[4]    crc32 over bytes 0..15 *and* the whole body
+
+Unlike the compression codec's crc24-on-header-only (raw bodies there
+deliberately inherit the baseline's integrity), redundancy frames
+checksum the body too: reconstruction XORs stored bytes together, so a
+silently flipped body bit would propagate into the rebuilt member.
+Any bit flip in header or body fails the crc32 and raises
+:class:`~repro.errors.CorruptChunkError` — and a corrupt member is
+just another erasure: the reader reconstructs it from its siblings.
+
+A data member's body is the stored chunk exactly as the rest of the
+pipeline produced it (the compressed pack when compression is on —
+redundancy encodes *after* compression, parity over ciphertext-sized
+bytes).  The parity member's body is a k-entry big-endian length table
+followed by the XOR of the zero-padded data bodies; the table is what
+lets reconstruction truncate the rebuilt member to its true length.
+
+Sizing: data bodies are cut to ``chunk_size - 20 - 4k`` bytes so both
+data frames and the (slightly larger) parity frame fit the pool's
+fixed chunk slots.
+
+The degenerate k == n codec (no parity) is byte-identical passthrough
+— the property suite pins that, so ``redundancy="off"`` and "coding
+that adds nothing" provably agree.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro import obs
+from repro.errors import ConfigError, CorruptChunkError
+from repro.faults import hooks as faults
+from repro.sponge.blob import FrameBlob
+
+#: Bytes of framing per stored member (see the module docstring).
+RFRAME_OVERHEAD = 20
+
+#: Bytes per entry of the parity member's length table.
+LEN_ENTRY = 4
+
+_MARKER = b"SFR1"
+CODE_XOR = 0
+
+
+def _body_parts(blob: Any) -> tuple[list, int, int]:
+    """``(parts, stored_len, raw_len)`` of a stored chunk."""
+    if isinstance(blob, FrameBlob):
+        return list(blob.parts), blob.nbytes, blob.raw_len
+    if isinstance(blob, (bytes, bytearray, memoryview)):
+        return [blob], len(blob), len(blob)
+    raise CorruptChunkError(
+        f"not an encodable member: {type(blob).__name__}"
+    )
+
+
+def _contiguous(parts: list) -> bytes:
+    if len(parts) == 1 and isinstance(parts[0], bytes):
+        return parts[0]
+    return b"".join(bytes(p) for p in parts)
+
+
+def _xor_fold(acc: int, data: bytes) -> int:
+    # Little-endian int XOR: a shorter member zero-pads at its *end*,
+    # which is exactly the zero-padding the length table undoes.
+    return acc ^ int.from_bytes(data, "little")
+
+
+@dataclass
+class RedundancyStats:
+    """Codec accounting (thread-safe via the owning codec's lock)."""
+
+    groups: int = 0
+    data_members: int = 0
+    parity_members: int = 0
+    data_bytes: int = 0
+    parity_bytes: int = 0
+    reconstructions: int = 0
+    reconstruct_failures: int = 0
+    encode_seconds: float = 0.0
+    reconstruct_seconds: float = 0.0
+
+    @property
+    def storage_overhead(self) -> float:
+        if self.data_bytes == 0:
+            return 0.0
+        return self.parity_bytes / self.data_bytes
+
+
+class RedundancyCodec:
+    """Encode groups of stored chunks into erasure-coded member frames.
+
+    ``k`` data members per group, ``n`` stored members (``n = k + 1``
+    adds one XOR parity; ``n == k`` is the degenerate passthrough).  A
+    short final group is encoded with its true member count — frames
+    are self-describing, so readers never consult the config.
+
+    Thread-safe: reconstruction bookkeeping may run on several executor
+    workers at once.
+    """
+
+    def __init__(self, k: int, n: Optional[int] = None) -> None:
+        if k < 1:
+            raise ConfigError(f"redundancy k must be >= 1: {k}")
+        if n is None:
+            n = k + 1
+        if n not in (k, k + 1):
+            raise ConfigError(
+                f"only n == k (passthrough) or n == k + 1 (xor parity) "
+                f"are implemented: k={k} n={n}"
+            )
+        if n > 255 or k > 254:
+            raise ConfigError(f"group too wide for the frame format: n={n}")
+        self.k = k
+        self.n = n
+        self.passthrough = n == k
+        self.stats = RedundancyStats()
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_config(cls, config) -> Optional["RedundancyCodec"]:
+        """The configured codec, or ``None`` when redundancy is off."""
+        if config.redundancy == "off":
+            return None
+        if config.redundancy == "mirror":
+            return cls(1)
+        return cls(config.redundancy_k)
+
+    def data_budget(self, chunk_size: int) -> int:
+        """Largest data-member body that keeps every member of a full
+        group (parity's length table included) inside one pool slot."""
+        budget = chunk_size - RFRAME_OVERHEAD - LEN_ENTRY * self.k
+        if budget < 1024:
+            raise ConfigError(
+                f"chunk_size {chunk_size} too small for k={self.k} "
+                f"redundancy framing"
+            )
+        return budget
+
+    # -- encode ------------------------------------------------------------
+
+    def _frame(self, gid: int, index: int, k: int, parts: list,
+               body_len: int, raw_len: int, member: str) -> FrameBlob:
+        head = (
+            _MARKER
+            + (gid & 0xFFFFFFFF).to_bytes(4, "big")
+            + bytes([index, k, k + 1, CODE_XOR])
+            + body_len.to_bytes(4, "big")
+        )
+        crc = zlib.crc32(head)
+        for part in parts:
+            crc = zlib.crc32(part, crc)
+        header = head + (crc & 0xFFFFFFFF).to_bytes(4, "big")
+        if faults._armed is not None:
+            action = faults.fire("redundancy.encode", gid=gid, index=index,
+                                 member=member, nbytes=body_len)
+            if action is not None and action.kind == "corrupt":
+                header = header[:-1] + bytes([header[-1] ^ 0xFF])
+        return FrameBlob([header, *parts], raw_len)
+
+    def _note_encode(self, elapsed: float, histogram: bool = False) -> None:
+        with self._lock:
+            self.stats.encode_seconds += elapsed
+        if histogram:
+            registry = obs._registry
+            if registry is not None:
+                registry.histogram("redundancy.encode_us").record(
+                    max(1, int(elapsed * 1e6))
+                )
+
+    def _data_builder(self, gid: int, index: int, k: int, parts: list,
+                      body_len: int, raw_len: int):
+        def build() -> FrameBlob:
+            started = time.perf_counter()
+            frame = self._frame(gid, index, k, parts, body_len, raw_len,
+                                "data")
+            self._note_encode(time.perf_counter() - started)
+            return frame
+        return build
+
+    def _parity_builder(self, gid: int, k: int, groups_parts: list,
+                        lengths: list, parity_len: int):
+        def build() -> FrameBlob:
+            started = time.perf_counter()
+            acc = 0
+            for parts in groups_parts:
+                acc = _xor_fold(acc, _contiguous(parts))
+            table = b"".join(length.to_bytes(LEN_ENTRY, "big")
+                             for length in lengths)
+            xor_body = acc.to_bytes(max(lengths, default=0), "little")
+            frame = self._frame(gid, k, k, [table, xor_body], parity_len,
+                                RFRAME_OVERHEAD + parity_len, "parity")
+            self._note_encode(time.perf_counter() - started, histogram=True)
+            return frame
+        return build
+
+    def plan_group(self, gid: int, blobs: list) -> list[tuple]:
+        """Plan one group's member frames without building them.
+
+        Returns ``[(kind, stored_len, raw_len, build), ...]`` in
+        dispatch order: k data members followed by one parity member
+        (for the degenerate k == n codec, the inputs pass through with
+        an identity ``build``).  Every member's stored and raw size is
+        known here — framing only prepends a fixed header, and the
+        parity body is a k-entry table plus a max-length fold — so the
+        writer can stamp handle accounting at dispatch time, while the
+        CPU-heavy part (crc32 over each body, the parity XOR fold)
+        waits inside ``build()``.  A pipelined writer runs ``build``
+        on its executor workers, overlapping encode with the other
+        members' network sends instead of stalling the write path.
+
+        Group accounting (counters, byte totals) is booked here, once,
+        on the planning thread; each ``build`` adds only its timing,
+        under the codec lock.
+        """
+        if self.passthrough:
+            out = []
+            for blob in blobs:
+                _parts, stored_len, raw_len = _body_parts(blob)
+                out.append(("data", stored_len, raw_len,
+                            (lambda passthrough=blob: passthrough)))
+            return out
+        k = len(blobs)
+        if not 1 <= k <= self.k:
+            raise CorruptChunkError(f"group of {k} members with k={self.k}")
+        members: list[tuple] = []
+        lengths: list[int] = []
+        groups_parts: list[list] = []
+        data_bytes = 0
+        for index, blob in enumerate(blobs):
+            parts, body_len, raw_len = _body_parts(blob)
+            groups_parts.append(parts)
+            lengths.append(body_len)
+            data_bytes += body_len
+            members.append((
+                "data", RFRAME_OVERHEAD + body_len, raw_len,
+                self._data_builder(gid, index, k, parts, body_len, raw_len),
+            ))
+        parity_len = LEN_ENTRY * k + max(lengths, default=0)
+        members.append((
+            "parity", RFRAME_OVERHEAD + parity_len,
+            RFRAME_OVERHEAD + parity_len,
+            self._parity_builder(gid, k, groups_parts, lengths, parity_len),
+        ))
+        with self._lock:
+            self.stats.groups += 1
+            self.stats.data_members += k
+            self.stats.parity_members += 1
+            self.stats.data_bytes += data_bytes
+            self.stats.parity_bytes += parity_len
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("redundancy.groups").inc()
+            registry.counter("redundancy.data_bytes").inc(data_bytes)
+            registry.counter("redundancy.parity_bytes").inc(parity_len)
+        return members
+
+    def encode_group(self, gid: int, blobs: list) -> list[tuple[str, Any]]:
+        """Encode one group of stored chunks into its member frames.
+
+        The eager form of :meth:`plan_group`: returns
+        ``[(kind, blob), ...]`` in dispatch order — k data members
+        (``kind == "data"``, ``blob.raw_len`` carrying the
+        pre-redundancy logical size for handle restamping) followed by
+        one parity member — or, for the degenerate k == n codec, the
+        input blobs byte-identically unchanged.
+        """
+        return [(kind, build())
+                for kind, _stored, _raw, build in self.plan_group(gid, blobs)]
+
+    # -- decode ------------------------------------------------------------
+
+    def decode_member(self, blob: Any, gid: int, index: int) -> Any:
+        """Validate one stored member and return its body (zero-copy).
+
+        Raises :class:`CorruptChunkError` on any framing violation:
+        truncation, a checksum mismatch anywhere in header or body, an
+        unknown code byte, or a member that is not the ``(gid, index)``
+        the reader asked for (a misplaced chunk must not be XERed into
+        a reconstruction).
+        """
+        if self.passthrough:
+            return blob
+        data = blob.tobytes() if isinstance(blob, FrameBlob) else blob
+        view = memoryview(data)
+        if len(view) < RFRAME_OVERHEAD:
+            raise CorruptChunkError(
+                f"truncated member frame: {len(view)} bytes"
+            )
+        head = bytes(view[:16])
+        if head[:4] != _MARKER:
+            raise CorruptChunkError(f"bad member marker {head[:4]!r}")
+        body_len = int.from_bytes(head[12:16], "big")
+        body = view[RFRAME_OVERHEAD:]
+        if body_len != len(body):
+            raise CorruptChunkError(
+                f"member body length mismatch: {body_len} declared, "
+                f"{len(body)} present"
+            )
+        stored_crc = int.from_bytes(bytes(view[16:RFRAME_OVERHEAD]), "big")
+        crc = zlib.crc32(body, zlib.crc32(head)) & 0xFFFFFFFF
+        if crc != stored_crc:
+            raise CorruptChunkError(
+                f"member frame checksum mismatch (group {gid} "
+                f"member {index})"
+            )
+        if head[11] != CODE_XOR:
+            raise CorruptChunkError(f"unknown redundancy code {head[11]}")
+        frame_gid = int.from_bytes(head[4:8], "big")
+        if frame_gid != (gid & 0xFFFFFFFF) or head[8] != index:
+            raise CorruptChunkError(
+                f"misplaced member: frame says group {frame_gid} member "
+                f"{head[8]}, reader expected group {gid} member {index}"
+            )
+        return body
+
+    def reconstruct(self, k: int, bodies: dict, parity_body: Any,
+                    missing: int) -> bytes:
+        """Rebuild data member ``missing`` from its k-1 siblings and the
+        parity body (both already validated by :meth:`decode_member`)."""
+        if self.passthrough:
+            raise CorruptChunkError("passthrough codec cannot reconstruct")
+        if not 0 <= missing < k:
+            raise CorruptChunkError(f"member {missing} out of range for k={k}")
+        parity = memoryview(parity_body)
+        if len(parity) < LEN_ENTRY * k:
+            raise CorruptChunkError("parity body shorter than its table")
+        lengths = [
+            int.from_bytes(bytes(parity[i * LEN_ENTRY:(i + 1) * LEN_ENTRY]),
+                           "big")
+            for i in range(k)
+        ]
+        xor_body = parity[LEN_ENTRY * k:]
+        if len(xor_body) != max(lengths, default=0):
+            raise CorruptChunkError(
+                f"parity body is {len(xor_body)} bytes, table expects "
+                f"{max(lengths, default=0)}"
+            )
+        acc = int.from_bytes(bytes(xor_body), "little")
+        for index in range(k):
+            if index == missing:
+                continue
+            if index not in bodies:
+                raise CorruptChunkError(f"sibling member {index} not supplied")
+            body = bytes(bodies[index])
+            if len(body) != lengths[index]:
+                raise CorruptChunkError(
+                    f"sibling member {index} is {len(body)} bytes, parity "
+                    f"table expects {lengths[index]}"
+                )
+            acc = _xor_fold(acc, body)
+        rebuilt = acc.to_bytes(len(xor_body), "little")
+        return rebuilt[:lengths[missing]]
+
+    def note_reconstruction(self, elapsed: float, ok: bool) -> None:
+        """Account one reconstruction attempt (reader-side)."""
+        with self._lock:
+            if ok:
+                self.stats.reconstructions += 1
+            else:
+                self.stats.reconstruct_failures += 1
+            self.stats.reconstruct_seconds += elapsed
+        registry = obs._registry
+        if registry is not None:
+            if ok:
+                registry.counter("redundancy.reconstructions").inc()
+                registry.histogram("redundancy.reconstruct_us").record(
+                    max(1, int(elapsed * 1e6))
+                )
+            else:
+                registry.counter("redundancy.reconstruct_failures").inc()

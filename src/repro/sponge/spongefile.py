@@ -25,12 +25,20 @@ can be used instead.
 from __future__ import annotations
 
 import enum
+import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro import obs
-from repro.errors import SpongeError, SpongeFileStateError
+from repro.errors import (
+    ChunkLostError,
+    CorruptChunkError,
+    SpongeError,
+    SpongeFileStateError,
+    StoreUnavailableError,
+)
+from repro.faults import hooks as faults
 from repro.sponge.allocator import MAX_GROUP, AllocationChain, AllocationSession
 from repro.sponge.blob import blob_concat, blob_size, blob_take
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
@@ -41,6 +49,7 @@ from repro.sponge.compression import (
     pack_frames,
 )
 from repro.sponge.config import DEFAULT_CONFIG, SpongeConfig
+from repro.sponge.redundancy import RedundancyCodec
 from repro.sponge.store import StoreOp, run_sync
 
 #: Most chunks one batched-allocation RPC carries.  Deep batches are
@@ -56,6 +65,15 @@ STRIPE_CHUNKS = 8
 #: the GIL), so a shallow bound keeps memory flat without starving the
 #: workers.
 ENCODE_DEPTH = 4
+
+#: Reads of *sibling* members during a reconstruction retry this many
+#: times (reads are idempotent) before the group is declared
+#: unrecoverable — a restarting server briefly refuses connections and
+#: a transient refusal must not waste the parity we paid for.
+RECONSTRUCT_ATTEMPTS = 4
+
+#: Seconds between sibling-read retry attempts.
+RECONSTRUCT_RETRY_DELAY = 0.25
 
 
 # ---------------------------------------------------------------------------
@@ -125,6 +143,10 @@ class SpongeFileStats:
     #: how many of the disk chunks were coalesced.
     chunks: Counter = field(default_factory=Counter)
     disk_appends: int = 0
+    #: Parity members stored for redundancy groups.  Parity is overhead,
+    #: not file payload, so it stays out of ``chunks``/``total_chunks``
+    #: (Table 2 counts logical spilled chunks).
+    parity_chunks: int = 0
 
     @property
     def total_chunks(self) -> int:
@@ -160,15 +182,33 @@ class SpongeFile:
         self._pending: deque = deque()  # in-flight async chunk writes, oldest first
         self._pending_appended_to: Optional[ChunkHandle] = None
         self._reader: Optional[SpongeFileReader] = None
+        #: The redundancy codec, or None (``config.redundancy="off"``
+        #: and Payload-mode files).  With redundancy on, every stored
+        #: chunk is cut to ``_budget`` bytes so its SFR member frame —
+        #: and the group's parity frame, length table included — still
+        #: fits a fixed pool slot.
+        self._red: Optional[RedundancyCodec] = RedundancyCodec.for_config(
+            config
+        )
+        if self._red is not None:
+            self._budget = self._red.data_budget(config.chunk_size)
+        else:
+            self._budget = config.chunk_size
+        #: Stored chunks accumulating toward one redundancy group.
+        self._group: list[Any] = []
+        self._gid = 0
+        #: gid -> parity member's handle (kept out of ``_handles``:
+        #: parity is not file payload and readers never index it).
+        self._parity_handles: dict[int, ChunkHandle] = {}
         #: The spill codec, or None (``config.compression="off"`` and
         #: Payload-mode files).  With a codec the write buffer is cut
         #: into units of ``_cut`` bytes sized so SUBCHUNKS passthrough
         #: frames exactly tile one stored chunk.
         self._codec: Optional[SpillCodec] = SpillCodec.for_config(config)
         if self._codec is not None:
-            self._cut = config.chunk_size // SUBCHUNKS - FRAME_OVERHEAD
+            self._cut = self._budget // SUBCHUNKS - FRAME_OVERHEAD
         else:
-            self._cut = config.chunk_size
+            self._cut = self._budget
         self._encoding: deque = deque()  # in-flight codec units, oldest first
         self._pack: list[Any] = []  # frames accumulating toward one chunk
         self._pack_stored = 0
@@ -192,6 +232,11 @@ class SpongeFile:
         """The file's private metadata: its chunk list (read-only view)."""
         return tuple(self._handles)
 
+    @property
+    def parity_handles(self) -> dict[int, ChunkHandle]:
+        """gid -> parity member handle (redundancy on; read-only view)."""
+        return dict(self._parity_handles)
+
     def chunk_count(self) -> int:
         return len(self._handles)
 
@@ -203,14 +248,18 @@ class SpongeFile:
         nbytes = blob_size(data)
         if nbytes == 0:
             return None
-        if self._codec is not None and not isinstance(
-            data, (bytes, bytearray, memoryview)
+        if (
+            (self._codec is not None or self._red is not None)
+            and not isinstance(data, (bytes, bytearray, memoryview))
         ):
             if self.stats.bytes_written == 0:
                 # Payload (simulated) spills carry logical sizes, not
-                # real bytes: nothing to compress.  First write decides
-                # the file's mode; the reader keys off the same field.
+                # real bytes: nothing to compress or parity-encode.
+                # First write decides the file's mode; the reader keys
+                # off the same fields.
                 self._codec = None
+                self._red = None
+                self._budget = self.config.chunk_size
                 self._cut = self.config.chunk_size
             else:
                 raise SpongeError("cannot mix Payload and bytes blobs")
@@ -229,9 +278,9 @@ class SpongeFile:
             return None
         self._buffer.append(data)
         self._buffered += nbytes
-        while self._buffered >= self.config.chunk_size:
+        while self._buffered >= self._budget:
             whole = blob_concat(self._buffer)
-            chunk, rest = blob_take(whole, self.config.chunk_size)
+            chunk, rest = blob_take(whole, self._budget)
             if rest is None:
                 self._buffer = []
                 self._buffered = 0
@@ -255,6 +304,10 @@ class SpongeFile:
             self._buffer = []
             self._buffered = 0
             yield from self._emit_chunk(chunk)
+        if self._red is not None:
+            # Encode the short final group with its true member count;
+            # frames are self-describing, so the reader needs no hint.
+            yield from self._seal_group()
         yield from self._flush_batch()
         yield from self._drain_pending()
         self.session.release_leases()
@@ -286,6 +339,7 @@ class SpongeFile:
         if self._state is FileState.DELETED:
             raise SpongeFileStateError(f"{self.name}: double delete")
         self._batch = []  # unallocated chunks are just dropped
+        self._group = []  # unsealed redundancy members likewise
         while self._encoding:  # unpacked frames likewise
             try:
                 yield from self.executor.wait(self._encoding.popleft())
@@ -297,8 +351,11 @@ class SpongeFile:
         if self._reader is not None:
             yield from self._reader._drain()
         chain = self.session.chain
+        doomed = self._handles + [
+            self._parity_handles[gid] for gid in sorted(self._parity_handles)
+        ]
         for store, group in _store_groups(
-            chain, self._handles, self.config.batch_depth
+            chain, doomed, self.config.batch_depth
         ):
             if len(group) == 1:
                 yield from store.free_chunk(group[0])
@@ -306,6 +363,7 @@ class SpongeFile:
                 yield from store.free_chunk_batch(group)
         self.session.release_leases()
         self._handles = []
+        self._parity_handles = {}
         self._buffer = []
         self._buffered = 0
         self._state = FileState.DELETED
@@ -377,7 +435,7 @@ class SpongeFile:
         """
         while True:
             cut = (self._cut if self._codec.will_compress()
-                   else self.config.chunk_size - FRAME_OVERHEAD)
+                   else self._budget - FRAME_OVERHEAD)
             if self._buffered < cut:
                 return None
             yield from self._emit_unit(self._take_unit(cut))
@@ -431,13 +489,13 @@ class SpongeFile:
     def _absorb(self, frame: Any) -> StoreOp:
         """Add one frame to the open pack, flushing when it fills."""
         if (self._pack
-                and self._pack_stored + frame.stored > self.config.chunk_size):
+                and self._pack_stored + frame.stored > self._budget):
             yield from self._flush_pack()
         self._pack.append(frame)
         self._pack_stored += frame.stored
         # Flush eagerly once no further frame could fit: holding a
         # full pack open would only delay its transfer.
-        if self.config.chunk_size - self._pack_stored < FRAME_OVERHEAD + 1:
+        if self._budget - self._pack_stored < FRAME_OVERHEAD + 1:
             yield from self._flush_pack()
         return None
 
@@ -446,13 +504,25 @@ class SpongeFile:
             return None
         frames, self._pack, self._pack_stored = self._pack, [], 0
         blob = pack_frames(frames)
-        self._raw_restamp.append((blob.raw_len, len(blob)))
+        if self._red is None:
+            # With redundancy on the restamp entry is pushed at member
+            # *dispatch* instead (the group seal reorders emission).
+            self._raw_restamp.append(("data", blob.raw_len, len(blob)))
         yield from self._emit_chunk(blob)
         return None
 
     # -- placement ----------------------------------------------------------
 
     def _emit_chunk(self, chunk: Any) -> StoreOp:
+        if self._red is not None:
+            # Redundancy groups chunks before placement; members are
+            # dispatched by the seal (never through ``_batch`` — the
+            # anti-affinity constraint needs per-member placement, and
+            # batched RPCs would put a whole group on one server).
+            self._group.append(chunk)
+            if len(self._group) >= self._red.k:
+                yield from self._seal_group()
+            return None
         if self.config.batch_depth > 1:
             # Coalesce whole chunks and place them in one batched
             # allocation (the chain groups same-server runs into single
@@ -478,6 +548,61 @@ class SpongeFile:
         else:
             result = yield from op
             self._record(result)
+        return None
+
+    def _seal_group(self) -> StoreOp:
+        """Encode the accumulated group and dispatch its n members.
+
+        Each member allocates with ``spread=gid`` so the session's
+        anti-affinity constraint lands the group on distinct failure
+        domains, and with ``last_handle=None``: coalescing a member
+        into a previous disk chunk would merge two members into one
+        failure domain and break single-loss recovery.
+
+        Members are *planned* here — stored and raw sizes are known up
+        front, which is all the restamp accounting needs — but the
+        frames themselves (crc32 over every body, the parity XOR fold)
+        are built inside the dispatched op, so on the async pipeline
+        the encode runs on executor workers overlapped with the other
+        members' network sends instead of stalling the writer inline.
+        """
+        if not self._group:
+            return None
+        group, self._group = self._group, []
+        gid = self._gid
+        self._gid += 1
+        for kind, stored, raw, build in self._red.plan_group(gid, group):
+            if kind == "parity":
+                # Parity restamps to its own stored size (delta 0) —
+                # its handle never reaches the file's chunk list, but
+                # lease/capacity math still ran on stored bytes.
+                entry = ("parity", gid, stored)
+            else:
+                entry = ("data", raw, stored)
+            yield from self._dispatch_member(build, entry, gid)
+        return None
+
+    def _member_op(self, build, gid: int) -> StoreOp:
+        chunk = build()
+        result = yield from self.session.allocate(
+            chunk, last_handle=None, spread=gid
+        )
+        return result
+
+    def _dispatch_member(self, build, entry: tuple, gid: int) -> StoreOp:
+        while len(self._pending) >= self.config.async_write_depth:
+            yield from self._drain_one()
+        self._raw_restamp.append(entry)
+        op = self._member_op(build, gid)
+        if self.config.async_writes:
+            self._pending.append(self.executor.spawn(op))
+            registry = obs._registry
+            if registry is not None:
+                registry.histogram("spongefile.pipeline.depth").record(
+                    len(self._pending)
+                )
+        else:
+            self._record((yield from op))
         return None
 
     def _flush_batch(self) -> StoreOp:
@@ -545,7 +670,7 @@ class SpongeFile:
 
     def _record(self, result: tuple[ChunkHandle, bool]) -> None:
         handle, appended = result
-        if self._codec is not None:
+        if self._codec is not None or self._red is not None:
             # Lease/capacity/wire math ran on the *stored* (framed)
             # size; the file's metadata keeps *raw* sizes.  Packs
             # complete in dispatch order (the pipeline drains FIFO and
@@ -554,7 +679,15 @@ class SpongeFile:
             # assignment: a batched allocation may write and append to
             # the same disk handle before either result reaches us, so
             # the handle can already carry later packs' stored bytes.
-            raw, stored = self._raw_restamp.popleft()
+            kind, raw, stored = self._raw_restamp.popleft()
+            if kind == "parity":
+                # ``raw`` is the gid here.  Parity is group metadata,
+                # not file payload: it never joins ``_handles`` (the
+                # reader indexes data members only) or the Table 2
+                # chunk counts.
+                self._parity_handles[raw] = handle
+                self.stats.parity_chunks += 1
+                return
             handle.nbytes += raw - stored
         self.stats.chunks[handle.location] += 1
         if appended:
@@ -603,6 +736,88 @@ def _decode_op(codec: SpillCodec, op: StoreOp) -> StoreOp:
 def _decode_batch_op(codec: SpillCodec, op: StoreOp) -> StoreOp:
     parts = yield from op
     return [codec.decode(part) for part in parts]
+
+
+def _read_member_op(file: SpongeFile, handle: ChunkHandle, gid: int,
+                    index: int, role: str, attempts: int = 1) -> StoreOp:
+    """Fetch and validate one group member (data or parity).
+
+    Sibling/parity reads during a reconstruction pass ``attempts > 1``:
+    reads are idempotent, and a briefly-restarting server must not turn
+    a recoverable single erasure into a failed group.  Corruption never
+    retries — stored bytes do not heal.
+    """
+    red = file._red
+    for attempt in range(attempts):
+        try:
+            if faults._armed is not None:
+                faults.fire("redundancy.member_read", gid=gid, index=index,
+                            role=role, location=handle.location.value)
+            store = file.session.chain.store_for(handle)
+            blob = yield from store.read_chunk(handle)
+            return red.decode_member(blob, gid, index)
+        except CorruptChunkError:
+            raise
+        except (ChunkLostError, StoreUnavailableError):
+            if attempt >= attempts - 1:
+                raise
+            time.sleep(RECONSTRUCT_RETRY_DELAY)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _redundant_fetch_op(file: SpongeFile, index: int) -> StoreOp:
+    """Read data member ``index``, reconstructing it when lost/corrupt.
+
+    Decompression (when compression is on) happens *inside* this op so
+    that corruption picked up after the redundancy encode — on the
+    wire, in a pool — is itself repaired from parity rather than
+    surfacing as :class:`CorruptChunkError`.
+    """
+    red = file._red
+    gid, member = divmod(index, red.k)
+    handle = file._handles[index]
+    try:
+        body = yield from _read_member_op(file, handle, gid, member,
+                                          "primary")
+    except (ChunkLostError, StoreUnavailableError):
+        body = yield from _reconstruct_op(file, gid, member)
+    if file._codec is not None:
+        return file._codec.decode(body)
+    return bytes(body) if isinstance(body, memoryview) else body
+
+
+def _reconstruct_op(file: SpongeFile, gid: int, missing: int) -> StoreOp:
+    """Rebuild one lost data member from its siblings and parity."""
+    red = file._red
+    start = gid * red.k
+    kk = min(start + red.k, len(file._handles)) - start
+    started = time.perf_counter()
+    if faults._armed is not None:
+        faults.fire("redundancy.reconstruct", gid=gid, missing=missing)
+    try:
+        parity_handle = file._parity_handles.get(gid)
+        if parity_handle is None:
+            raise ChunkLostError(f"group {gid} has no parity member")
+        bodies = {}
+        for sibling in range(kk):
+            if sibling == missing:
+                continue
+            bodies[sibling] = yield from _read_member_op(
+                file, file._handles[start + sibling], gid, sibling,
+                "sibling", attempts=RECONSTRUCT_ATTEMPTS,
+            )
+        parity_body = yield from _read_member_op(
+            file, parity_handle, gid, kk, "parity",
+            attempts=RECONSTRUCT_ATTEMPTS,
+        )
+        body = red.reconstruct(kk, bodies, parity_body, missing)
+    except SpongeError as exc:
+        red.note_reconstruction(time.perf_counter() - started, ok=False)
+        raise ChunkLostError(
+            f"group {gid}: reconstruction of member {missing} failed: {exc}"
+        ) from exc
+    red.note_reconstruction(time.perf_counter() - started, ok=True)
+    return body
 
 
 class _BatchHolder:
@@ -698,6 +913,10 @@ class SpongeFileReader:
     # -- internals ----------------------------------------------------------
 
     def _start_fetch(self, index: int):
+        if self.file._red is not None and not self.file._red.passthrough:
+            return self.file.executor.spawn(
+                _redundant_fetch_op(self.file, index)
+            )
         handle = self.file._handles[index]
         store = self.file.session.chain.store_for(handle)
         op = store.read_chunk(handle)
@@ -717,6 +936,11 @@ class SpongeFileReader:
         ``prefetch_depth`` by at most ``batch_depth - 1`` chunks."""
         handles = self.file._handles
         depth = min(self.file.config.batch_depth, STRIPE_CHUNKS, MAX_GROUP)
+        if self.file._red is not None:
+            # A batched read fails whole: one lost member would force
+            # re-fetching its innocent batch-mates through the
+            # reconstruction path.  Members fetch singly instead.
+            return [self._start_fetch(index)]
         store = self.file.session.chain.store_for(handles[index])
         if depth <= 1 or not getattr(store, "supports_batch", False):
             return [self._start_fetch(index)]

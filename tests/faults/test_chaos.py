@@ -89,3 +89,50 @@ def test_same_seed_same_verdict():
     second = run_chaos(ChaosSettings(seed=7, writers=2, rounds=2))
     assert first.schedule == second.schedule
     assert first.ok == second.ok
+
+
+# -- coded-spill regression -------------------------------------------------
+#
+# Seed 448 is the pinned demonstration pair: its schedule wipes a pool
+# under live spills such that without redundancy a reader observes a
+# classified ``ChunkLostError``, and with xor 2+1 coding the very same
+# schedule degrades to reconstruction — zero lost-chunk violations,
+# every round's read byte-exact.  The seed was chosen by scanning for
+# a schedule where the loss actually lands on a spilled member (most
+# seeds' wipes miss, or placement dodges them) and verified stable
+# across repeated trials.
+
+RED_PAIR = dict(seed=448, writers=2, rounds=2, num_nodes=3)
+
+
+def test_redundancy_fields_do_not_change_the_schedule():
+    # The verdict flip must be attributable to coding alone: the fault
+    # plan and kill/restart schedule are a pure function of the seed,
+    # blind to the redundancy knobs.
+    off = ChaosSettings(**RED_PAIR)
+    on = ChaosSettings(**RED_PAIR, redundancy="xor", redundancy_k=2)
+    assert describe_schedule(off) == describe_schedule(on)
+    mirrored = ChaosSettings(**RED_PAIR, redundancy="mirror")
+    assert describe_schedule(off) == describe_schedule(mirrored)
+
+
+@pytest.mark.slow
+def test_node_loss_without_redundancy_is_a_classified_chunk_loss():
+    report = run_chaos(ChaosSettings(**RED_PAIR))
+    assert report.ok, report.summary()
+    assert any("ChunkLostError" in line for line in report.expected_failures)
+
+
+@pytest.mark.slow
+def test_same_node_loss_with_xor_redundancy_degrades_to_reconstruction():
+    report = run_chaos(ChaosSettings(**RED_PAIR, redundancy="xor",
+                                     redundancy_k=2))
+    assert report.ok, report.summary()
+    assert not report.violations, report.violations
+    # Every writer/round read back byte-exact despite the wipe ...
+    assert report.rounds_ok == RED_PAIR["writers"] * RED_PAIR["rounds"]
+    assert any("(pool wiped)" in line for line in report.events)
+    # ... and at least one chunk really was rebuilt from its group, so
+    # the pass is degraded-read coding at work, not placement luck.
+    counters = report.metrics.get("counters", {})
+    assert counters.get("redundancy.reconstructions", 0) >= 1

@@ -1,0 +1,281 @@
+"""Redundancy inside the SpongeFile write/read pipeline.
+
+End-to-end over the in-process MiniCluster: group sealing, parity
+handle routing, raw-domain handle restamping, anti-affinity placement,
+degraded reads (single loss reconstructs, double loss fails
+classified), and the delete path freeing parity members.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.backends.memory_backends import LocalPoolStore, ServerStore
+from repro.errors import ChunkLostError, ConfigError
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.blob import Payload
+from repro.sponge.chunk import ChunkLocation, TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.redundancy import RedundancyCodec
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+
+from .conftest import MiniCluster
+
+CHUNK = 8192
+OWNER = TaskId("h0", "task-0")
+
+
+def payload(nbytes: int, tag: bytes = b"x") -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        out.extend(hashlib.sha256(tag + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def xor_config(k=3, **kwargs) -> SpongeConfig:
+    return SpongeConfig(chunk_size=CHUNK, redundancy="xor", redundancy_k=k,
+                        **kwargs)
+
+
+def make_cluster(config, hosts=("h0", "h1", "h2", "h3"), pool_chunks=64):
+    return MiniCluster(list(hosts), pool_chunks=pool_chunks, config=config)
+
+
+def write_file(cluster, config, data, **kwargs):
+    sponge_file = SpongeFile(OWNER, cluster.chain("h0"), config=config,
+                             **kwargs)
+    sponge_file.write_all(data)
+    sponge_file.close_sync()
+    return sponge_file
+
+
+def read_back(sponge_file) -> bytes:
+    reader = sponge_file.open_reader()
+    parts = []
+    while True:
+        chunk = run_sync(reader.next_chunk())
+        if chunk is None:
+            break
+        parts.append(bytes(chunk))
+    return b"".join(parts)
+
+
+def lose(cluster, handle) -> None:
+    run_sync(cluster.chain("h0").store_for(handle).free_chunk(handle))
+
+
+class TestWritePath:
+    def test_round_trip_and_group_accounting(self):
+        config = xor_config(k=3)
+        cluster = make_cluster(config)
+        data = payload(CHUNK * 7 + 1234)
+        sponge_file = write_file(cluster, config, data)
+        # 7 full-budget chunks' worth of data cuts into 8 stored data
+        # members (the budget is slightly under chunk_size), in groups
+        # of 3 -> 3 groups, each with one parity member.
+        assert len(sponge_file.handles) == 8
+        assert sorted(sponge_file.parity_handles) == [0, 1, 2]
+        assert sponge_file.stats.parity_chunks == 3
+        # parity never pollutes the logical chunk counts
+        assert sponge_file.stats.total_chunks == 8
+        assert read_back(sponge_file) == data
+
+    def test_handles_restamped_to_raw_sizes(self):
+        config = xor_config(k=2)
+        cluster = make_cluster(config)
+        data = payload(CHUNK * 3 + 17)
+        sponge_file = write_file(cluster, config, data)
+        # Handles carry raw (pre-framing) sizes; their sum is the file.
+        assert sum(h.nbytes for h in sponge_file.handles) == len(data)
+        # Parity handles keep stored sizes (they are real stored bytes,
+        # invisible to the file's logical byte accounting).
+        for parity in sponge_file.parity_handles.values():
+            assert parity.nbytes > 0
+
+    def test_anti_affinity_spreads_each_group(self):
+        config = xor_config(k=3)
+        cluster = make_cluster(config)  # local + 3 remote hosts = 4 domains
+        sponge_file = write_file(cluster, config, payload(CHUNK * 6))
+        red = sponge_file._red
+        for gid, parity in sponge_file.parity_handles.items():
+            members = [
+                handle for index, handle in enumerate(sponge_file.handles)
+                if index // red.k == gid
+            ]
+            members.append(parity)
+            domains = {m.store_id for m in members}
+            assert len(domains) == len(members), (
+                f"group {gid} doubled up: {[m.store_id for m in members]}"
+            )
+
+    def test_batch_depth_does_not_regroup_members(self):
+        # batch_depth batches whole chunks into one RPC — which would
+        # put a whole group on one server.  Redundancy must bypass it.
+        config = xor_config(k=2, batch_depth=4, async_write_depth=4)
+        cluster = make_cluster(config)
+        data = payload(CHUNK * 4)
+        sponge_file = write_file(cluster, config, data)
+        assert read_back(sponge_file) == data
+        red = sponge_file._red
+        for gid, parity in sponge_file.parity_handles.items():
+            members = [
+                handle for index, handle in enumerate(sponge_file.handles)
+                if index // red.k == gid
+            ] + [parity]
+            assert len({m.store_id for m in members}) == len(members)
+
+    def test_payload_mode_disables_redundancy(self):
+        config = xor_config(k=2)
+        cluster = make_cluster(config)
+        sponge_file = SpongeFile(OWNER, cluster.chain("h0"), config=config)
+        run_sync(sponge_file.write(Payload.of([b"r"] * 3, CHUNK * 3)))
+        run_sync(sponge_file.close())
+        assert sponge_file._red is None
+        assert sponge_file.parity_handles == {}
+        assert sum(h.nbytes for h in sponge_file.handles) == CHUNK * 3
+
+    def test_off_path_stores_raw_chunks(self):
+        # redundancy="off" must be byte-identical to the pre-redundancy
+        # pipeline: full-chunk_size stored chunks, no SFR framing.
+        config = SpongeConfig(chunk_size=CHUNK)
+        cluster = make_cluster(config, pool_chunks=8)
+        data = payload(CHUNK * 2 + 100)
+        sponge_file = write_file(cluster, config, data)
+        stored = b"".join(
+            bytes(run_sync(cluster.chain("h0").store_for(h).read_chunk(h)))
+            for h in sponge_file.handles
+        )
+        assert stored == data
+        assert len(sponge_file.handles) == 3
+        assert sponge_file.handles[0].nbytes == CHUNK
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SpongeConfig(redundancy="raid6")
+        with pytest.raises(ConfigError):
+            SpongeConfig(redundancy="xor", redundancy_k=0)
+        with pytest.raises(ConfigError):
+            SpongeConfig(chunk_size=2048, redundancy="xor")
+        assert RedundancyCodec.for_config(SpongeConfig()) is None
+        assert RedundancyCodec.for_config(
+            SpongeConfig(redundancy="mirror")).k == 1
+
+
+class TestDegradedReads:
+    def test_any_single_data_member_loss_reconstructs(self):
+        config = xor_config(k=3)
+        data = payload(CHUNK * 5, b"s")
+        for victim_index in range(7):  # 5 chunks -> 6 members at k=3? walk all
+            cluster = make_cluster(config)
+            sponge_file = write_file(cluster, config, data)
+            if victim_index >= len(sponge_file.handles):
+                break
+            lose(cluster, sponge_file.handles[victim_index])
+            assert read_back(sponge_file) == data
+            assert sponge_file._red.stats.reconstructions == 1
+
+    def test_parity_loss_is_free(self):
+        config = xor_config(k=2)
+        cluster = make_cluster(config)
+        data = payload(CHUNK * 4, b"p")
+        sponge_file = write_file(cluster, config, data)
+        lose(cluster, sponge_file.parity_handles[0])
+        assert read_back(sponge_file) == data
+        assert sponge_file._red.stats.reconstructions == 0
+
+    def test_double_loss_in_one_group_fails_classified(self):
+        config = xor_config(k=2)
+        cluster = make_cluster(config)
+        data = payload(CHUNK * 4, b"d")
+        sponge_file = write_file(cluster, config, data)
+        lose(cluster, sponge_file.handles[0])
+        lose(cluster, sponge_file.handles[1])
+        with pytest.raises(ChunkLostError):
+            read_back(sponge_file)
+        assert sponge_file._red.stats.reconstruct_failures >= 1
+
+    def test_losses_in_different_groups_all_reconstruct(self):
+        config = xor_config(k=2)
+        cluster = make_cluster(config)
+        data = payload(CHUNK * 6, b"m")
+        sponge_file = write_file(cluster, config, data)
+        red = sponge_file._red
+        lose(cluster, sponge_file.handles[0])   # group 0
+        lose(cluster, sponge_file.handles[3])   # group 1
+        assert read_back(sponge_file) == data
+        assert red.stats.reconstructions == 2
+
+    def test_mirror_single_loss(self):
+        config = SpongeConfig(chunk_size=CHUNK, redundancy="mirror")
+        cluster = make_cluster(config)
+        data = payload(CHUNK * 3, b"mi")
+        sponge_file = write_file(cluster, config, data)
+        assert len(sponge_file.parity_handles) == len(sponge_file.handles)
+        lose(cluster, sponge_file.handles[1])
+        assert read_back(sponge_file) == data
+
+    def test_compression_composes_with_redundancy(self):
+        config = xor_config(k=2, compression="always")
+        cluster = make_cluster(config)
+        data = (b"%05d\trecord-value\n" % 7) * 4000
+        sponge_file = write_file(cluster, config, data)
+        assert read_back(sponge_file) == data
+        lose(cluster, sponge_file.handles[0])
+        assert read_back(sponge_file) == data
+        assert sponge_file._red.stats.reconstructions == 1
+
+
+class TestDeleteAndPlacement:
+    def test_delete_frees_parity_members_too(self):
+        config = xor_config(k=2)
+        cluster = make_cluster(config, pool_chunks=32)
+        sponge_file = write_file(cluster, config, payload(CHUNK * 6))
+        assert sponge_file.parity_handles
+        sponge_file.delete_sync()
+        for host, pool in cluster.pools.items():
+            assert pool.free_bytes == 32 * CHUNK, f"{host} leaked chunks"
+
+    def test_degraded_placement_counted_when_cluster_too_small(self):
+        # Memory-only chain (no disk/DFS), 2 hosts, k=2 -> 3 members
+        # need 3 domains but only local + 1 remote exist: the third
+        # doubles up, loudly.
+        config = xor_config(k=2)
+        cluster = make_cluster(config, hosts=("h0", "h1"))
+        chain = AllocationChain(
+            local_store=LocalPoolStore(cluster.pools["h0"],
+                                       store_id="h0/pool"),
+            tracker=cluster.tracker,
+            remote_store_factory=lambda info: ServerStore(
+                cluster.servers[info.host or info.server_id.split("@", 1)[1]]
+            ),
+            disk_store=None,
+            dfs_store=None,
+            host="h0",
+            config=config,
+        )
+        data = payload(CHUNK * 2, b"g")
+        sponge_file = SpongeFile(OWNER, chain, config=config)
+        sponge_file.write_all(data)
+        sponge_file.close_sync()
+        assert chain.stats.redundancy_degraded > 0
+        assert read_back(sponge_file) == data
+
+    def test_disk_tier_absorbs_overflow_without_degrading(self):
+        # With disk/DFS present, anti-affinity overflow falls through
+        # the chain instead of doubling up on a used server.
+        config = xor_config(k=3)
+        cluster = make_cluster(config, hosts=("h0", "h1"))
+        data = payload(CHUNK * 3, b"o")
+        sponge_file = write_file(cluster, config, data)
+        chain = cluster.chain("h0")
+        assert chain.stats.redundancy_degraded == 0
+        locations = [h.location for h in sponge_file.handles]
+        locations.extend(
+            h.location for h in sponge_file.parity_handles.values()
+        )
+        assert ChunkLocation.LOCAL_DISK in locations \
+            or ChunkLocation.DFS in locations
+        assert read_back(sponge_file) == data

@@ -1,0 +1,154 @@
+"""Property tests for the SFR redundancy codec.
+
+Four invariants, hypothesis-driven:
+
+* **Round trip**: any group of byte strings (arbitrary sizes, any k)
+  survives encode -> per-member decode, byte-exactly.
+* **Any single erasure**: erase *any one* data member of a group and
+  the remaining members plus parity reconstruct it byte-exactly —
+  whichever member, whatever the body sizes (including empty and
+  wildly unequal lengths, where the zero-padding semantics bite).
+* **Bit flips**: flip any single bit of any member frame — header or
+  body — and ``decode_member`` raises :class:`CorruptChunkError`;
+  never silently wrong bytes entering an XOR.
+* **k = n degenerate**: a codec with no parity members is a
+  byte-identical passthrough (the ``redundancy="off"`` equivalence).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptChunkError
+from repro.sponge.redundancy import (
+    LEN_ENTRY,
+    RFRAME_OVERHEAD,
+    RedundancyCodec,
+)
+
+GROUPS = st.lists(st.binary(min_size=0, max_size=2048),
+                  min_size=1, max_size=6)
+
+
+def encode(bodies, gid=7):
+    codec = RedundancyCodec(k=len(bodies))
+    members = codec.encode_group(gid, bodies)
+    assert [kind for kind, _ in members] == ["data"] * len(bodies) + ["parity"]
+    return codec, [blob for _, blob in members]
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(bodies=GROUPS, gid=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_members_decode_to_their_inputs(self, bodies, gid):
+        codec, members = encode(bodies, gid)
+        k = len(bodies)
+        for index, body in enumerate(bodies):
+            assert bytes(codec.decode_member(members[index], gid, index)) == body
+        parity = codec.decode_member(members[k], gid, k)
+        assert len(parity) == LEN_ENTRY * k + max(map(len, bodies))
+
+    @settings(max_examples=40, deadline=None)
+    @given(bodies=GROUPS)
+    def test_member_frames_fit_the_data_budget(self, bodies):
+        codec = RedundancyCodec(k=len(bodies))
+        chunk_size = max(bodies and max(map(len, bodies)) or 0, 1024) \
+            + RFRAME_OVERHEAD + LEN_ENTRY * codec.k
+        assert codec.data_budget(chunk_size) \
+            == chunk_size - RFRAME_OVERHEAD - LEN_ENTRY * codec.k
+        for _, blob in codec.encode_group(0, bodies):
+            assert len(blob) <= chunk_size
+
+
+class TestSingleErasure:
+    @settings(max_examples=80, deadline=None)
+    @given(bodies=GROUPS, data=st.data())
+    def test_any_erased_member_reconstructs(self, bodies, data):
+        gid = 3
+        codec, members = encode(bodies, gid)
+        k = len(bodies)
+        missing = data.draw(st.integers(min_value=0, max_value=k - 1))
+        siblings = {
+            j: codec.decode_member(members[j], gid, j)
+            for j in range(k) if j != missing
+        }
+        parity = codec.decode_member(members[k], gid, k)
+        rebuilt = codec.reconstruct(k, siblings, parity, missing)
+        assert rebuilt == bodies[missing]
+
+    @settings(max_examples=40, deadline=None)
+    @given(bodies=GROUPS)
+    def test_erasing_parity_costs_nothing(self, bodies):
+        # The (k+1)-th erasure case: parity lost, all data present.
+        gid = 3
+        codec, members = encode(bodies, gid)
+        for index, body in enumerate(bodies):
+            assert bytes(codec.decode_member(members[index], gid, index)) == body
+
+
+class TestBitFlips:
+    @settings(max_examples=120, deadline=None)
+    @given(bodies=GROUPS, data=st.data())
+    def test_any_flipped_bit_is_detected(self, bodies, data):
+        gid = 5
+        codec, members = encode(bodies, gid)
+        k = len(bodies)
+        which = data.draw(st.integers(min_value=0, max_value=k))
+        frame = members[which].tobytes()
+        offset = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        flipped = bytearray(frame)
+        flipped[offset] ^= 1 << bit
+        with pytest.raises(CorruptChunkError):
+            codec.decode_member(bytes(flipped), gid, which)
+
+    @settings(max_examples=40, deadline=None)
+    @given(bodies=GROUPS, data=st.data())
+    def test_truncation_is_detected(self, bodies, data):
+        gid = 5
+        codec, members = encode(bodies, gid)
+        which = data.draw(st.integers(min_value=0, max_value=len(bodies)))
+        frame = members[which].tobytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(CorruptChunkError):
+            codec.decode_member(frame[:cut], gid, which)
+
+    def test_misplaced_member_is_detected(self):
+        codec, members = encode([b"aaa", b"bbb"], gid=1)
+        frame = members[0].tobytes()
+        with pytest.raises(CorruptChunkError):
+            codec.decode_member(frame, gid=2, index=0)  # wrong group
+        with pytest.raises(CorruptChunkError):
+            codec.decode_member(frame, gid=1, index=1)  # wrong slot
+
+
+class TestPassthrough:
+    @settings(max_examples=40, deadline=None)
+    @given(bodies=GROUPS)
+    def test_k_equals_n_is_byte_identical(self, bodies):
+        codec = RedundancyCodec(k=len(bodies), n=len(bodies))
+        assert codec.passthrough
+        members = codec.encode_group(0, bodies)
+        assert [kind for kind, _ in members] == ["data"] * len(bodies)
+        for (_, blob), body in zip(members, bodies):
+            assert blob is body  # not equal: *identical*, zero transform
+            assert codec.decode_member(blob, 0, 0) is body
+
+    def test_passthrough_never_reconstructs(self):
+        codec = RedundancyCodec(k=2, n=2)
+        with pytest.raises(CorruptChunkError):
+            codec.reconstruct(2, {0: b"x"}, b"", 1)
+
+
+class TestReconstructValidation:
+    def test_sibling_length_mismatch_is_detected(self):
+        codec, members = encode([b"aaaa", b"bb"], gid=0)
+        parity = codec.decode_member(members[2], 0, 2)
+        with pytest.raises(CorruptChunkError):
+            codec.reconstruct(2, {1: b"bbb"}, parity, 0)
+
+    def test_missing_sibling_is_detected(self):
+        codec, members = encode([b"aaaa", b"bb", b"c"], gid=0)
+        parity = codec.decode_member(members[3], 0, 3)
+        with pytest.raises(CorruptChunkError):
+            codec.reconstruct(3, {1: b"bb"}, parity, 0)
