@@ -58,15 +58,19 @@ class ServerStore(SyncChunkStore):
 
     location = ChunkLocation.REMOTE_MEMORY
 
-    def __init__(self, server: SpongeServer) -> None:
+    def __init__(self, server: SpongeServer,
+                 tenant_weight: float = 1.0) -> None:
         self.server = server
         self.store_id = server.server_id
+        self.tenant_weight = tenant_weight
 
     def free_bytes(self) -> int:
         return self.server.free_bytes()
 
     def _write(self, owner: TaskId, data: Any) -> ChunkHandle:
-        index = self.server.alloc_and_store(owner, data)
+        index = self.server.alloc_and_store(
+            owner, data, tenant_weight=self.tenant_weight
+        )
         return ChunkHandle(self.location, self.store_id, (owner, index), blob_size(data))
 
     def _read(self, handle: ChunkHandle) -> Any:

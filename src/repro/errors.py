@@ -85,6 +85,20 @@ class QuotaExceededError(SpongeError):
     """A task exceeded its per-node sponge memory quota."""
 
 
+class QuotaDeferError(QuotaExceededError):
+    """An allocation was deferred by weighted-fair admission control.
+
+    Unlike a hard :class:`QuotaExceededError` (the task's own limit),
+    this is a *backpressure* signal: the pool is near its high-water
+    mark and the requesting tenant is already over its weighted fair
+    share, so the server declines rather than hand it the last free
+    chunks.  Retryable — pressure subsides as other tenants free or
+    the server demotes cold chunks; the client backs off briefly and
+    the allocator may also fall through to the next chain tier
+    (counted as ``alloc.fallthrough.deferred``).
+    """
+
+
 class StoreUnavailableError(SpongeError):
     """A chunk store could not be reached *before* the request ran.
 

@@ -28,6 +28,29 @@ Invariants asserted (the paper's §3.1/§4.3 degradation story):
 Run it directly::
 
     python -m repro.faults.chaos --seed 7 --writers 3 --rounds 3
+
+Antagonist mode (multi-tenant QoS)
+==================================
+
+``--antagonist`` runs a different experiment: no fault plan, no kills —
+instead one *greedy* tenant fills every sponge pool and holds its
+chunks while well-behaved victim writers do normal write/read/delete
+rounds.  The harness runs the scenario twice with the same seed — QoS
+disabled, then QoS armed (``qos_high_water`` + victim
+``tenant_weight``) — and asserts the QoS contract:
+
+* the QoS-off run shows the skew damage: the greedy tenant drives the
+  victims' writes off memory into the disk tiers;
+* in the QoS-on run every victim round completes byte-exact, the
+  victims' disk-tier fallthrough drops below
+  :data:`ANTAGONIST_SPILL_BOUND` times the QoS-off count (pressure
+  demotion down-tiers the greedy tenant's cold chunks instead of
+  refusing the victims), and ``quota.release_underflow`` stays zero in
+  both runs (the accounting never drifts).
+
+::
+
+    python -m repro.faults.chaos --antagonist --seed 7 --victims 3
 """
 
 from __future__ import annotations
@@ -619,6 +642,373 @@ def _check_pools_reclaimed(cluster: LocalSpongeCluster,
         )
 
 
+# -- antagonist mode (multi-tenant QoS) --------------------------------------
+
+#: QoS-on victim disk spill must stay below this fraction of the
+#: QoS-off count for the same seed (the "measured bound" the QoS
+#: tentpole promises; empirically QoS-on spill is near zero).
+ANTAGONIST_SPILL_BOUND = 0.5
+
+#: Per-writer counters that mean "this write left memory for a disk
+#: tier" (local spill directory or DFS).
+DISK_TIER_COUNTERS = ("alloc.outcome.local-disk", "alloc.outcome.dfs")
+
+
+@dataclass
+class AntagonistSettings:
+    """One antagonist scenario (one QoS setting; pair runs for both)."""
+
+    seed: int = 0
+    num_nodes: int = 2
+    victims: int = 3
+    rounds: int = 4
+    chunk_size: int = 32 * 1024
+    chunks_per_pool: int = 4
+    #: Victim file size in chunks (smaller than a pool: a victim fits
+    #: in memory whenever admission/demotion makes room).
+    victim_file_chunks: int = 3
+    #: The greedy tenant writes this many files and *holds* them.
+    greedy_files: int = 3
+    greedy_file_chunks: int = 4
+    #: Arm QoS: ``qos_high_water`` on every server plus
+    #: ``victim_weight`` on the victims' configs.
+    qos: bool = False
+    high_water: float = 0.85
+    victim_weight: float = 2.0
+    #: Antagonist runs are kill-free and single-shard by design.
+    shards: int = 1
+    join_timeout: float = 120.0
+
+
+@dataclass
+class AntagonistReport:
+    seed: int
+    qos: bool
+    victim_rounds_ok: int = 0
+    #: Victim writes that fell through to a disk tier (victims' own
+    #: ``alloc.outcome.local-disk`` + ``alloc.outcome.dfs``).
+    victim_disk_spills: int = 0
+    greedy_disk_spills: int = 0
+    demotions: int = 0
+    deferrals: int = 0
+    release_underflow: int = 0
+    expected_failures: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.victim_rounds_ok > 0
+
+    def summary(self) -> str:
+        lines = [
+            f"antagonist seed={self.seed} qos={'on' if self.qos else 'off'}: "
+            f"{'OK' if self.ok else 'FAILED'} — "
+            f"{self.victim_rounds_ok} victim rounds clean, "
+            f"{self.victim_disk_spills} victim disk spills, "
+            f"{self.greedy_disk_spills} greedy disk spills, "
+            f"{self.demotions} demotions, {self.deferrals} deferrals, "
+            f"{self.release_underflow} release underflows",
+        ]
+        lines.extend(f"  expected: {name}" for name in self.expected_failures)
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _disk_spills(result: dict) -> int:
+    counters = (result.get("metrics") or {}).get("counters", {})
+    return sum(int(counters.get(name, 0)) for name in DISK_TIER_COUNTERS)
+
+
+def _greedy_main(settings: AntagonistSettings, spec: dict, results,
+                 filled, done) -> None:
+    """The greedy tenant: fill every pool, hold, verify, release.
+
+    Runs without a local pool attachment and under a host name no
+    sponge server carries (the chain excludes the writer's own host
+    from remote candidates), so every chunk it places in sponge memory
+    goes through a server on *every* node — committed server-side and
+    therefore demotable once QoS pressure builds.
+    """
+    faults.disarm()
+    registry = obs.install(source="greedy")
+    config = SpongeConfig(chunk_size=settings.chunk_size,
+                          tracker_poll_interval=0.2)
+    result = {"writer": "greedy", "rounds_ok": 0,
+              "expected": [], "violations": []}
+    files: list[tuple[SpongeFile, bytes]] = []
+    try:
+        from repro.runtime.client import build_chain
+
+        chain = build_chain(
+            host="antagonist-client",
+            tracker_address=spec["tracker"],
+            spill_dir=spec["spill_dir"],
+            local_pool_dir=None,
+            rack=spec["rack"],
+            config=config,
+            dfs_dir=spec["dfs_dir"],
+            tracker_client_id="greedy",
+        )
+        owner = TaskId(host=spec["host"],
+                       task=f"pid:{os.getpid()}:chaos-greedy")
+        for file_no in range(settings.greedy_files):
+            nbytes = (settings.greedy_file_chunks * settings.chunk_size
+                      - 128)
+            data = payload_for(settings.seed, 900 + file_no, 0, nbytes)
+            sponge_file = SpongeFile(owner, chain, config=config,
+                                     name=f"greedy-{file_no}")
+            try:
+                sponge_file.write_all(data)
+                sponge_file.close_sync()
+                files.append((sponge_file, data))
+            except EXPECTED_FAILURES as exc:
+                result["expected"].append(
+                    f"{type(exc).__name__}: greedy f{file_no}"
+                )
+                _best_effort_delete(sponge_file)
+        filled.set()  # victims may start: the pools are packed
+        done.wait(settings.join_timeout)
+        for file_no, (sponge_file, data) in enumerate(files):
+            try:
+                back = sponge_file.read_all()
+                if bytes(back) != data:
+                    result["violations"].append(
+                        f"greedy file {file_no}: read-back mismatch "
+                        f"({len(back)} vs {len(data)} bytes)"
+                    )
+                else:
+                    result["rounds_ok"] += 1
+                sponge_file.delete_sync()
+            except EXPECTED_FAILURES as exc:
+                result["expected"].append(
+                    f"{type(exc).__name__}: greedy f{file_no} read"
+                )
+                _best_effort_delete(sponge_file)
+    except Exception as exc:  # noqa: BLE001 - setup failure
+        result["violations"].append(
+            f"greedy died: {type(exc).__name__}: {exc}"
+        )
+    finally:
+        filled.set()  # never leave the parent waiting on a dead greedy
+        result["metrics"] = registry.snapshot().to_dict()
+        results.put(result)
+
+
+def _victim_main(victim_id: int, settings: AntagonistSettings, spec: dict,
+                 results) -> None:
+    """One well-behaved writer: write, read byte-exact, delete."""
+    faults.disarm()
+    registry = obs.install(source=f"victim{victim_id}")
+    weight = settings.victim_weight if settings.qos else 1.0
+    config = SpongeConfig(chunk_size=settings.chunk_size,
+                          tracker_poll_interval=0.2,
+                          tenant_weight=weight)
+    rng = random.Random(settings.seed * 65537 + 5000 + victim_id)
+    result = {"writer": victim_id, "rounds_ok": 0,
+              "expected": [], "violations": []}
+    try:
+        from repro.runtime.client import build_chain
+
+        chain = build_chain(
+            host=spec["host"],
+            tracker_address=spec["tracker"],
+            spill_dir=spec["spill_dir"],
+            local_pool_dir=spec["pool_dir"],
+            rack=spec["rack"],
+            config=config,
+            dfs_dir=spec["dfs_dir"],
+            tracker_client_id=f"victim{victim_id}",
+        )
+        owner = TaskId(host=spec["host"],
+                       task=f"pid:{os.getpid()}:chaos-w{victim_id}")
+        for round_no in range(settings.rounds):
+            nbytes = (settings.victim_file_chunks * settings.chunk_size
+                      - rng.randrange(256))
+            data = payload_for(settings.seed, victim_id, round_no, nbytes)
+            sponge_file = None
+            try:
+                sponge_file = SpongeFile(
+                    owner, chain, config=config,
+                    name=f"v{victim_id}-r{round_no}",
+                )
+                sponge_file.write_all(data)
+                sponge_file.close_sync()
+                back = sponge_file.read_all()
+                if bytes(back) != data:
+                    result["violations"].append(
+                        f"victim {victim_id} round {round_no}: read-back "
+                        f"mismatch ({len(back)} vs {nbytes} bytes)"
+                    )
+                else:
+                    result["rounds_ok"] += 1
+                sponge_file.delete_sync()
+            except EXPECTED_FAILURES as exc:
+                result["expected"].append(
+                    f"{type(exc).__name__}: v{victim_id} r{round_no}"
+                )
+                _best_effort_delete(sponge_file)
+            except SpongeError as exc:
+                result["violations"].append(
+                    f"victim {victim_id} round {round_no}: unexpected "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                _best_effort_delete(sponge_file)
+    except Exception as exc:  # noqa: BLE001 - setup failure
+        result["violations"].append(
+            f"victim {victim_id} died outside a round: "
+            f"{type(exc).__name__}: {exc}"
+        )
+    finally:
+        result["metrics"] = registry.snapshot().to_dict()
+        results.put(result)
+
+
+def run_antagonist(settings: AntagonistSettings) -> AntagonistReport:
+    """One antagonist scenario; pair a qos=False and a qos=True run (same
+    seed) with :func:`compare_antagonist` for the full QoS contract."""
+    report = AntagonistReport(seed=settings.seed, qos=settings.qos)
+    cluster = LocalSpongeCluster(
+        num_nodes=settings.num_nodes,
+        pool_size=settings.chunk_size * settings.chunks_per_pool,
+        chunk_size=settings.chunk_size,
+        poll_interval=0.2,
+        gc_interval=0.5,
+        qos_high_water=settings.high_water if settings.qos else None,
+    )
+    with cluster:
+        def spec_for(node_index: int) -> dict:
+            server = cluster.server_configs[node_index]
+            return {
+                "host": server.host,
+                "rack": server.rack,
+                "pool_dir": server.pool_dir,
+                "tracker": cluster.tracker_address,
+                "spill_dir": str(cluster.workdir / f"spill-{server.host}"),
+                "dfs_dir": str(cluster.workdir / "dfs"),
+            }
+
+        results: multiprocessing.Queue = multiprocessing.Queue()
+        filled = multiprocessing.Event()
+        done = multiprocessing.Event()
+        greedy = multiprocessing.Process(
+            target=_greedy_main,
+            args=(settings, spec_for(0), results, filled, done),
+            daemon=True, name="antagonist-greedy",
+        )
+        greedy.start()
+        if not filled.wait(settings.join_timeout):
+            report.violations.append("greedy never finished filling pools")
+        victims = [
+            multiprocessing.Process(
+                target=_victim_main,
+                args=(i, settings, spec_for(i % settings.num_nodes),
+                      results),
+                daemon=True, name=f"antagonist-victim-{i}",
+            )
+            for i in range(settings.victims)
+        ]
+        for process in victims:
+            process.start()
+        deadline = time.monotonic() + settings.join_timeout
+        for process in victims:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        done.set()
+        greedy.join(timeout=max(0.1, deadline - time.monotonic()))
+
+        merged = cluster.scrape()
+        reported: set = set()
+        while True:
+            try:
+                result = results.get_nowait()
+            except queue_mod.Empty:
+                break
+            reported.add(result["writer"])
+            report.expected_failures.extend(result["expected"])
+            report.violations.extend(result["violations"])
+            if result["writer"] == "greedy":
+                report.greedy_disk_spills += _disk_spills(result)
+            else:
+                report.victim_rounds_ok += result["rounds_ok"]
+                report.victim_disk_spills += _disk_spills(result)
+            writer_metrics = result.get("metrics")
+            if writer_metrics:
+                merged = merged.merge(
+                    MetricsSnapshot.from_dict(writer_metrics))
+        for i, process in enumerate(victims):
+            if i not in reported:
+                report.violations.append(
+                    f"victim {i} never reported (exitcode "
+                    f"{process.exitcode})"
+                )
+            if process.is_alive():
+                process.kill()
+        if "greedy" not in reported:
+            report.violations.append(
+                f"greedy never reported (exitcode {greedy.exitcode})"
+            )
+        if greedy.is_alive():
+            greedy.kill()
+
+        report.metrics = merged.to_dict()
+        report.demotions = int(merged.counters.get("qos.demotions", 0))
+        report.deferrals = int(
+            merged.counters.get("qos.admit.deferred", 0))
+        report.release_underflow = int(
+            merged.counters.get("quota.release_underflow", 0))
+        _check_pools_reclaimed(cluster, settings, report)
+    return report
+
+
+def compare_antagonist(off: AntagonistReport,
+                       on: AntagonistReport,
+                       settings: AntagonistSettings) -> list[str]:
+    """The paired QoS contract; returns violations (empty = pass)."""
+    problems = []
+    problems.extend(f"[qos=off] {v}" for v in off.violations)
+    problems.extend(f"[qos=on] {v}" for v in on.violations)
+    if off.victim_disk_spills <= 0:
+        problems.append(
+            "qos-off run produced no victim disk spill: the greedy "
+            "tenant never pressured the victims, so the scenario "
+            "proves nothing"
+        )
+    total_rounds = settings.victims * settings.rounds
+    if on.victim_rounds_ok != total_rounds:
+        problems.append(
+            f"qos-on run: only {on.victim_rounds_ok} of {total_rounds} "
+            f"victim rounds completed byte-exact"
+        )
+    bound = ANTAGONIST_SPILL_BOUND * off.victim_disk_spills
+    if on.victim_disk_spills > bound:
+        problems.append(
+            f"qos-on victim disk spill did not drop: "
+            f"{on.victim_disk_spills} > bound {bound:.1f} "
+            f"({ANTAGONIST_SPILL_BOUND} x {off.victim_disk_spills})"
+        )
+    if on.demotions <= 0:
+        problems.append("qos-on run never demoted a chunk: pressure "
+                        "relief never engaged")
+    for report in (off, on):
+        if report.release_underflow:
+            problems.append(
+                f"qos={'on' if report.qos else 'off'} run counted "
+                f"{report.release_underflow} quota release underflows"
+            )
+    return problems
+
+
+def run_antagonist_pair(
+    settings: AntagonistSettings,
+) -> tuple[AntagonistReport, AntagonistReport, list[str]]:
+    """Same seed, QoS off then on, plus the paired-contract verdict."""
+    from dataclasses import replace
+
+    off = run_antagonist(replace(settings, qos=False))
+    on = run_antagonist(replace(settings, qos=True))
+    return off, on, compare_antagonist(off, on, settings)
+
+
 # -- CLI ---------------------------------------------------------------------
 
 
@@ -654,7 +1044,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the merged metrics snapshot as JSON "
                              "(readable by python -m repro.obs.dump --input)")
+    parser.add_argument("--antagonist", action="store_true",
+                        help="multi-tenant QoS scenario instead of the "
+                             "fault/kill schedule: one greedy tenant vs "
+                             "N victims, run qos-off then qos-on with the "
+                             "same seed, asserting the paired contract")
+    parser.add_argument("--victims", type=int, default=3,
+                        help="well-behaved writers in --antagonist mode")
     args = parser.parse_args(argv)
+    if args.antagonist:
+        return _antagonist_cli(args)
     settings = ChaosSettings(
         seed=args.seed, writers=args.writers, rounds=args.rounds,
         num_nodes=args.nodes, kill_servers=not args.no_kills,
@@ -671,6 +1070,33 @@ def main(argv: Optional[list[str]] = None) -> int:
             json.dump(report.metrics, handle, indent=2, sort_keys=True)
         print(f"metrics snapshot written to {args.metrics_out}")
     return 0 if report.ok else 1
+
+
+def _antagonist_cli(args) -> int:
+    settings = AntagonistSettings(
+        seed=args.seed, victims=args.victims, rounds=args.rounds,
+        num_nodes=args.nodes,
+        # Twice the cluster's total sponge memory: enough to pack every
+        # pool full with held chunks whatever the node count.
+        greedy_files=2 * args.nodes,
+    )
+    off, on, problems = run_antagonist_pair(settings)
+    print(off.summary())
+    print(on.summary())
+    for problem in problems:
+        print(f"  PAIRED VIOLATION: {problem}")
+    verdict = "OK" if not problems else "FAILED"
+    print(f"antagonist pair seed={settings.seed}: {verdict} — victim disk "
+          f"spills {off.victim_disk_spills} (qos off) -> "
+          f"{on.victim_disk_spills} (qos on), {on.demotions} demotions, "
+          f"{on.deferrals} deferrals")
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(on.metrics, handle, indent=2, sort_keys=True)
+        print(f"qos-on metrics snapshot written to {args.metrics_out}")
+    return 0 if not problems else 1
 
 
 if __name__ == "__main__":

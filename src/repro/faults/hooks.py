@@ -33,6 +33,8 @@ KNOWN_SITES = frozenset({
     "server.read",
     "server.read_batch",
     "server.free_bytes",
+    "qos.admit",
+    "qos.demote",
     "tracker.poll",
     "tracker.free_list",
     "conn.connect",

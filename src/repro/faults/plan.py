@@ -22,6 +22,8 @@ site                 fired from                             context keys
 ``server.read``      sponge server ``read``                 host, index
 ``server.read_batch``  sponge server ``read_batch``         host, owner, chunks
 ``server.free_bytes``  sponge server ``free_bytes``         host
+``qos.admit``        weighted-fair admission check          server_id, owner, tenant, nbytes
+``qos.demote``       pressure demotion of one cold chunk    server_id, owner, tenant, index
 ``tracker.poll``     tracker snapshot refresh               (none)
 ``tracker.free_list``  tracker ``free_list`` reply          client
 ``conn.connect``     ``ConnectionPool._connect``            host, port
@@ -314,6 +316,32 @@ class FaultPlan:
         match.setdefault("member", "parity")
         return self.rule("redundancy.encode", FaultAction("corrupt"),
                          match=match, **kwargs)
+
+    def defer_admission(self, tenant: Optional[str] = None,
+                        **kwargs) -> "FaultPlan":
+        """Weighted-fair admission declines: the server answers
+        ``quota-defer`` (retryable) as if the writer's tenant were over
+        its fair share under pool pressure.  ``tenant`` targets one
+        tenant's writers; unset defers every admission check."""
+        from repro.errors import QuotaDeferError
+
+        match = dict(kwargs.pop("match", None) or {})
+        if tenant is not None:
+            match["tenant"] = tenant
+        return self.rule("qos.admit", FaultAction(
+            "raise", QuotaDeferError, "injected admission deferral",
+        ), match=match or None, **kwargs)
+
+    def fail_demotion(self, **kwargs) -> "FaultPlan":
+        """Pressure demotion of a victim chunk fails mid-flight: the
+        server must count ``qos.demote.failed`` and keep the victim
+        chunk intact in the pool (demotion is best-effort; the incoming
+        writer is deferred or refused instead)."""
+        from repro.errors import SpongeError
+
+        return self.rule("qos.demote", FaultAction(
+            "raise", SpongeError, "injected demotion failure",
+        ), **kwargs)
 
     def fail_probe(self, **kwargs) -> "FaultPlan":
         """Adaptive-probe failures: the codec must degrade to raw

@@ -27,6 +27,7 @@ from typing import Optional
 from repro.errors import (
     ChunkLostError,
     ConfigError,
+    QuotaDeferError,
     RuntimeBackendError,
     SpongeError,
     StoreUnavailableError,
@@ -105,17 +106,31 @@ class RemoteServerStore(SyncChunkStore):
     * a *free* against a dead server (or of an already-reclaimed chunk)
       succeeds silently: the goal of free — the chunk no longer being
       held — is already met, and GC covers any stragglers.
+
+    A ``quota-defer`` reply (weighted-fair admission declined this
+    tenant under pool pressure) is retried in place a few times with a
+    short exponential backoff — demotion usually frees room within
+    milliseconds — then re-raised as :class:`QuotaDeferError` so the
+    allocation chain can fall through
+    (``alloc.fallthrough.deferred``) without dropping the server.
     """
 
     location = ChunkLocation.REMOTE_MEMORY
     supports_batch = True
 
+    #: Total attempts per write when the server answers ``quota-defer``.
+    DEFER_ATTEMPTS = 3
+    #: Base backoff before re-trying a deferred write (doubles each try).
+    DEFER_BACKOFF = 0.01
+
     def __init__(self, server_id: str, address: Address,
                  timeout: float = 5.0,
-                 pool: Optional[ConnectionPool] = None) -> None:
+                 pool: Optional[ConnectionPool] = None,
+                 tenant_weight: float = 1.0) -> None:
         self.store_id = server_id
         self.address = tuple(address)
         self.timeout = timeout
+        self.tenant_weight = tenant_weight
         self.connections = pool if pool is not None else default_pool()
         #: str(owner) -> chunk indices reserved on the server but not
         #: yet written (the ``lease`` op).  Consumed oldest-first by
@@ -130,21 +145,40 @@ class RemoteServerStore(SyncChunkStore):
         protocol.check_reply(reply)
         return int(reply["free_bytes"])
 
+    def _owner_header(self, owner: TaskId) -> dict:
+        return protocol.encode_owner(owner.host, owner.task,
+                                     self.tenant_weight)
+
+    def _defer_pause(self, attempt: int) -> None:
+        """Count a ``quota-defer`` reply and back off before retrying."""
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("client.quota.deferred").inc()
+        time.sleep(self.DEFER_BACKOFF * (2 ** attempt))
+
     def _write(self, owner: TaskId, data) -> ChunkHandle:
-        try:
-            reply, _ = self.connections.request(
-                self.address,
-                {"op": "alloc_write",
-                 **protocol.encode_owner(owner.host, owner.task)},
-                payload=data,
-                timeout=self.timeout,
+        for attempt in range(self.DEFER_ATTEMPTS):
+            try:
+                reply, _ = self.connections.request(
+                    self.address,
+                    {"op": "alloc_write", **self._owner_header(owner)},
+                    payload=data,
+                    timeout=self.timeout,
+                )
+            except NOT_PROCESSED_ERRORS as exc:
+                raise self._unavailable(exc) from exc
+            try:
+                protocol.check_reply(reply)
+            except QuotaDeferError:
+                if attempt + 1 >= self.DEFER_ATTEMPTS:
+                    raise
+                self._defer_pause(attempt)
+                continue
+            return ChunkHandle(
+                self.location, self.store_id,
+                (owner, int(reply["index"])), len(data)
             )
-        except NOT_PROCESSED_ERRORS as exc:
-            raise self._unavailable(exc) from exc
-        protocol.check_reply(reply)
-        return ChunkHandle(
-            self.location, self.store_id, (owner, int(reply["index"])), len(data)
-        )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _unavailable(self, exc: Exception) -> StoreUnavailableError:
         """This server (shard) is gone: also drop its idle pooled
@@ -202,8 +236,7 @@ class RemoteServerStore(SyncChunkStore):
         try:
             reply, _ = self.connections.request(
                 self.address,
-                {"op": "lease", "count": count,
-                 **protocol.encode_owner(owner.host, owner.task)},
+                {"op": "lease", "count": count, **self._owner_header(owner)},
                 timeout=self.timeout,
             )
             protocol.check_reply(reply)
@@ -253,38 +286,51 @@ class RemoteServerStore(SyncChunkStore):
         lens = [len(b) for b in blobs]
         header = {
             "op": "write_batch", "lens": lens,
-            **protocol.encode_owner(owner.host, owner.task),
+            **self._owner_header(owner),
         }
         indices = self._take_leases(owner, len(blobs))
         if indices is not None:
             header["indices"] = indices
-        try:
-            reply, _ = self.connections.request(
-                self.address, header, payload=blobs, timeout=self.timeout,
-            )
-        except NOT_PROCESSED_ERRORS as exc:
-            # Server gone (as far as this batch is concerned): abandon
-            # any cached reservations to its GC sweep.
-            self._leases.pop(str(owner), None)
-            raise self._unavailable(exc) from exc
-        if (not reply.get("ok", False) and indices is not None
-                and "lease" in str(reply.get("error", ""))):
-            # A lease expired under us.  The batch is atomic server-side
-            # (nothing was committed), so retrying once without the
-            # reservations is safe; the rest of our cache is equally
-            # suspect, so drop it all.
-            self._leases.pop(str(owner), None)
-            header.pop("indices")
-            registry = obs._registry
-            if registry is not None:
-                registry.counter("client.lease.expired_retries").inc()
+        for attempt in range(self.DEFER_ATTEMPTS):
             try:
                 reply, _ = self.connections.request(
                     self.address, header, payload=blobs, timeout=self.timeout,
                 )
             except NOT_PROCESSED_ERRORS as exc:
+                # Server gone (as far as this batch is concerned): abandon
+                # any cached reservations to its GC sweep.
+                self._leases.pop(str(owner), None)
                 raise self._unavailable(exc) from exc
-        protocol.check_reply(reply)
+            if (not reply.get("ok", False) and indices is not None
+                    and "lease" in str(reply.get("error", ""))):
+                # A lease expired under us.  The batch is atomic server-side
+                # (nothing was committed), so retrying once without the
+                # reservations is safe; the rest of our cache is equally
+                # suspect, so drop it all.
+                self._leases.pop(str(owner), None)
+                header.pop("indices")
+                indices = None
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("client.lease.expired_retries").inc()
+                try:
+                    reply, _ = self.connections.request(
+                        self.address, header, payload=blobs,
+                        timeout=self.timeout,
+                    )
+                except NOT_PROCESSED_ERRORS as exc:
+                    raise self._unavailable(exc) from exc
+            try:
+                protocol.check_reply(reply)
+            except QuotaDeferError:
+                # Admission ran before allocation, so nothing was
+                # committed and any reservation indices in the header
+                # are still valid server-side: retry the same request.
+                if attempt + 1 >= self.DEFER_ATTEMPTS:
+                    raise
+                self._defer_pause(attempt)
+                continue
+            break
         placed = reply.get("indices", [])
         if len(placed) != len(blobs):
             raise SpongeError(
@@ -563,7 +609,8 @@ def build_chain(
             raise StoreUnavailableError(
                 f"no address known for {info.server_id}"
             )
-        store = RemoteServerStore(info.server_id, address, pool=connections)
+        store = RemoteServerStore(info.server_id, address, pool=connections,
+                                  tenant_weight=config.tenant_weight)
         return store if wrap is None else wrap(store)
 
     disk_store = FileDiskStore(spill_dir)

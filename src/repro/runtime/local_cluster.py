@@ -63,6 +63,7 @@ class LocalSpongeCluster:
         lease_ttl: float = 30.0,
         shards: int = 1,
         reuseport: Optional[bool] = None,
+        qos_high_water: Optional[float] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -91,6 +92,12 @@ class LocalSpongeCluster:
         #: crashed writers' reservations come back within the test's
         #: reclamation deadline.
         self.lease_ttl = lease_ttl
+        #: Arms multi-tenant QoS on every shard when set: weighted-fair
+        #: admission defers over-share tenants once pool occupancy
+        #: crosses ``qos_high_water * pool_size``, and the server
+        #: demotes cold chunks of inelastic tenants to its disk-backed
+        #: demote tier instead of refusing the incoming writer.
+        self.qos_high_water = qos_high_water
         self._workdir_arg = workdir
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         #: node -> shard -> live process (``None`` while killed).
@@ -170,6 +177,7 @@ class LocalSpongeCluster:
                            if h != f"node{i}"},
                     peer_dead_after=self.peer_dead_after,
                     lease_ttl=self.lease_ttl,
+                    qos_high_water=self.qos_high_water,
                     fault_plan=self.fault_plan,
                     shard_index=k,
                     num_shards=shards,

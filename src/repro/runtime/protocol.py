@@ -537,6 +537,7 @@ def check_reply(header: dict) -> dict:
     from repro.errors import (
         ChunkLostError,
         OutOfSpongeMemory,
+        QuotaDeferError,
         QuotaExceededError,
         RuntimeBackendError,
     )
@@ -544,10 +545,15 @@ def check_reply(header: dict) -> dict:
     exc_type: type[Exception] = {
         "out-of-memory": OutOfSpongeMemory,
         "quota": QuotaExceededError,
+        "quota-defer": QuotaDeferError,
         "chunk-lost": ChunkLostError,
     }.get(code, RuntimeBackendError)
     raise exc_type(message)
 
 
-def encode_owner(host: str, task: str) -> dict[str, Any]:
-    return {"owner_host": host, "owner_task": task}
+def encode_owner(host: str, task: str,
+                 tenant_weight: Optional[float] = None) -> dict[str, Any]:
+    header: dict[str, Any] = {"owner_host": host, "owner_task": task}
+    if tenant_weight is not None and tenant_weight != 1.0:
+        header["tenant_weight"] = tenant_weight
+    return header

@@ -14,6 +14,7 @@ the in-process GC semantics.
 from __future__ import annotations
 
 import asyncio
+import base64
 import logging
 import os
 import socket
@@ -24,9 +25,11 @@ from pathlib import Path
 from typing import Optional
 
 from repro.errors import (
+    ChunkLostError,
     ConnectionClosedError,
     OutOfSpongeMemory,
     ProtocolError,
+    QuotaDeferError,
     QuotaExceededError,
     SpongeError,
 )
@@ -38,6 +41,7 @@ from repro.runtime.connection_pool import ConnectionPool
 from repro.runtime.shm_pool import MmapSpongePool
 from repro.sponge.chunk import TaskId
 from repro.sponge.gc import LeaseTable
+from repro.sponge.quota import QuotaPolicy, tenant_of
 from repro.util.units import MB
 
 log = logging.getLogger(__name__)
@@ -113,16 +117,42 @@ class ServerConfig:
     #: The pool slice is private to this shard process: skip the flock
     #: on every metadata operation (see ``MmapSpongePool(exclusive=)``).
     pool_exclusive: bool = False
+    #: Arms multi-tenant QoS: pool occupancy (fraction of pool bytes)
+    #: above which weighted-fair admission defers over-share tenants
+    #: and pressure demotion down-tiers the most disk-tolerant
+    #: tenant's coldest chunks.  ``None`` = QoS off (first-come
+    #: first-served, the pre-QoS behaviour).
+    qos_high_water: Optional[float] = None
+    #: Where demoted chunks land (a directory); defaults to
+    #: ``<pool_dir>/demoted`` when QoS is armed.
+    demote_dir: Optional[str] = None
+
+
+#: Chunks demoted per admission event at most — bounds the latency a
+#: single incoming writer pays for pressure relief.
+DEMOTE_BATCH = 8
 
 
 def _map_error(exc: Exception) -> dict:
     if isinstance(exc, OutOfSpongeMemory):
         return protocol.error_reply(str(exc), "out-of-memory")
+    if isinstance(exc, QuotaDeferError):
+        # Checked before the parent class: defers are retryable
+        # backpressure, not a hard per-task refusal.
+        return protocol.error_reply(str(exc), "quota-defer")
     if isinstance(exc, QuotaExceededError):
         return protocol.error_reply(str(exc), "quota")
     if isinstance(exc, SpongeError):
         return protocol.error_reply(str(exc), "chunk-lost")
     return protocol.error_reply(repr(exc))
+
+
+def _weight_of(header: dict) -> float:
+    try:
+        weight = float(header.get("tenant_weight", 1.0))
+    except (TypeError, ValueError):
+        return 1.0
+    return weight if weight > 0 else 1.0
 
 
 def reuseport_available() -> bool:
@@ -153,8 +183,37 @@ class SpongeServerProcess:
             pool_size=config.pool_size, chunk_size=config.chunk_size,
             exclusive=config.pool_exclusive,
         )
-        self._usage: dict[str, int] = {}
-        self._usage_lock = threading.Lock()
+        #: Shared per-owner/per-tenant accounting (internally locked);
+        #: the QoS layer arms when ``qos_high_water`` is set.
+        self.quota = QuotaPolicy(
+            limit_per_node=config.quota_per_node,
+            capacity=(config.pool_size
+                      if config.qos_high_water is not None else None),
+            high_water=(config.qos_high_water
+                        if config.qos_high_water is not None else 0.85),
+        )
+        #: index -> (owner, tenant, last-touch seq) for chunks this
+        #: server committed — the demotion candidate set.  Local tasks'
+        #: direct pool writes never appear here, so the server cannot
+        #: demote chunks it did not hand out.
+        self._chunk_info: dict[int, tuple[TaskId, str, int]] = {}
+        #: (owner, index) -> (file path, stored bytes) for chunks
+        #: pushed down-tier; reads and frees fall back here.
+        self._demoted: dict[tuple[TaskId, int], tuple[str, int]] = {}
+        self._touch_seq = 0
+        self._qos_lock = threading.Lock()
+        #: tenant -> chunk writes / reads served, the observed
+        #: elasticity profile driving demotion victim selection.
+        self._tenant_writes: dict[str, int] = {}
+        self._tenant_reads: dict[str, int] = {}
+        self._demote_dir: Optional[Path] = None
+        if config.qos_high_water is not None:
+            self._demote_dir = Path(
+                config.demote_dir or (Path(config.pool_dir) / "demoted")
+            )
+            self._demote_dir.mkdir(parents=True, exist_ok=True)
+            self._rebuild_demoted()
+        self._alloc_lock = threading.Lock()
         #: Outstanding ``lease`` reservations (batched allocation).
         self.leases = LeaseTable()
         #: Cumulative chunk allocations (leases included); reported to
@@ -216,6 +275,285 @@ class SpongeServerProcess:
             raise
         return sock
 
+    # -- multi-tenant QoS ------------------------------------------------------
+
+    def _demote_path(self, owner: TaskId, index: int) -> Path:
+        text = f"{owner.task}@{owner.host}".encode("utf-8")
+        tag = base64.urlsafe_b64encode(text).decode("ascii").rstrip("=")
+        return self._demote_dir / f"{index:06d}_{tag}.chunk"
+
+    def _rebuild_demoted(self) -> None:
+        """Re-adopt demoted chunks surviving in the demote directory
+        after a server restart (their owners' handles still point
+        here), re-charging quota for what they hold."""
+        for path in sorted(self._demote_dir.glob("*.chunk")):
+            index_text, _, tag = path.stem.partition("_")
+            try:
+                index = int(index_text)
+                text = base64.urlsafe_b64decode(
+                    tag + "=" * (-len(tag) % 4)
+                ).decode("utf-8")
+            except (ValueError, UnicodeDecodeError):
+                continue
+            task, _, host = text.partition("@")
+            owner = TaskId(host=host, task=task)
+            nbytes = path.stat().st_size
+            self._demoted[(owner, index)] = (str(path), nbytes)
+            try:
+                # pool_used=0: restart re-adoption must not defer.
+                self.quota.charge(owner, nbytes, pool_used=0)
+            except QuotaExceededError:  # pragma: no cover - shrunk limit
+                pass
+
+    def _pool_used_bytes(self) -> int:
+        return (self.pool.num_chunks * self.pool.chunk_size
+                - self.pool.free_bytes)
+
+    def _admit_quota(self, owner: TaskId, nbytes: int, weight: float) -> None:
+        """Charge with weighted-fair admission; under pressure, demote
+        before (re-)refusing the incoming writer."""
+        tenant = tenant_of(owner)
+        if faults._armed is not None:
+            faults.fire("qos.admit", server_id=self.config.server_id,
+                        host=self.config.host, owner=str(owner),
+                        tenant=tenant, nbytes=nbytes)
+        try:
+            self._charge_quota(owner, nbytes, weight)
+        except QuotaDeferError:
+            if not self._relieve_pressure(nbytes, tenant):
+                self._count_deferred()
+                raise
+            try:
+                self._charge_quota(owner, nbytes, weight)
+            except QuotaDeferError:
+                self._count_deferred()
+                raise
+
+    @staticmethod
+    def _count_deferred() -> None:
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.alloc.deferred").inc()
+
+    def _safe_allocate(self, owner: TaskId) -> int:
+        """Allocate a slot that does not shadow a demoted chunk.
+
+        A demoted chunk keeps its original ``(owner, index)`` identity
+        (the owner's handle still references it), so re-granting that
+        index to the same owner would make the pair ambiguous."""
+        if not self._demoted:
+            return self.pool.allocate(owner)
+        held: list[int] = []
+        try:
+            while True:
+                index = self.pool.allocate(owner)
+                with self._qos_lock:
+                    collides = (owner, index) in self._demoted
+                if not collides:
+                    return index
+                held.append(index)
+        finally:
+            for index in held:
+                try:
+                    self.pool.free(index, owner)
+                except SpongeError:  # pragma: no cover - raced GC
+                    pass
+
+    def _safe_allocate_many(self, owner: TaskId, count: int,
+                            allow_partial: bool = False) -> list[int]:
+        granted = self.pool.allocate_many(owner, count,
+                                          allow_partial=allow_partial)
+        if not self._demoted:
+            return granted
+        with self._qos_lock:
+            clean = [i for i in granted if (owner, i) not in self._demoted]
+            bad = [i for i in granted if (owner, i) in self._demoted]
+        target = len(granted)
+        while bad and len(clean) < target:
+            try:
+                index = self.pool.allocate(owner)
+            except OutOfSpongeMemory:
+                break
+            with self._qos_lock:
+                collides = (owner, index) in self._demoted
+            if collides:
+                bad.append(index)
+            else:
+                clean.append(index)
+        if len(clean) < target and not (allow_partial and clean):
+            for index in clean + bad:
+                try:
+                    self.pool.free(index, owner)
+                except SpongeError:  # pragma: no cover - raced GC
+                    pass
+            raise OutOfSpongeMemory(
+                f"pool cannot grant {count} chunks clear of demoted slots"
+            )
+        for index in bad:
+            try:
+                self.pool.free(index, owner)
+            except SpongeError:  # pragma: no cover - raced GC
+                pass
+        return clean
+
+    def _relieve_pressure(self, incoming_nbytes: int,
+                          incoming_tenant: str) -> bool:
+        """Demote cold chunks until the incoming write fits under the
+        high-water mark; returns whether anything was demoted."""
+        if self._demote_dir is None or self.quota.capacity is None:
+            return False
+        target = self.quota.high_water * self.quota.capacity
+        demoted_any = False
+        for _ in range(DEMOTE_BATCH):
+            if self._pool_used_bytes() + incoming_nbytes <= target:
+                break
+            victim = self._pick_victim_tenant(incoming_tenant)
+            if victim is None or not self._demote_one(victim):
+                break
+            demoted_any = True
+        return demoted_any
+
+    def _pick_victim_tenant(self, incoming_tenant: str) -> Optional[str]:
+        """The most disk-tolerant tenant holding demotable chunks:
+        lowest observed re-read ratio, the incoming tenant last."""
+        with self._qos_lock:
+            holders = {tenant for (_o, tenant, _s) in
+                       self._chunk_info.values()}
+        if not holders:
+            return None
+
+        def elasticity(tenant: str) -> tuple:
+            writes = self._tenant_writes.get(tenant, 0)
+            reads = self._tenant_reads.get(tenant, 0)
+            ratio = reads / writes if writes else 0.0
+            # Prefer demoting someone other than the requester; break
+            # ratio ties toward the biggest memory holder.
+            return (tenant == incoming_tenant, ratio,
+                    -self.quota.tenant_used(tenant))
+
+        return min(sorted(holders), key=elasticity)
+
+    def _demote_one(self, tenant: str) -> bool:
+        """Down-tier the tenant's coldest committed chunk to disk."""
+        with self._qos_lock:
+            candidates = sorted(
+                (seq, index, owner)
+                for index, (owner, t, seq) in self._chunk_info.items()
+                if t == tenant
+            )
+        for _seq, index, owner in candidates:
+            if faults._armed is not None:
+                try:
+                    faults.fire("qos.demote",
+                                server_id=self.config.server_id,
+                                host=self.config.host, owner=str(owner),
+                                tenant=tenant, index=index)
+                except Exception:  # noqa: BLE001 - injected failure
+                    # Must not be mistaken for a vanished chunk: the
+                    # victim stays in the pool (and in bookkeeping).
+                    registry = obs._registry
+                    if registry is not None:
+                        registry.counter("qos.demote.failed").inc()
+                    return False
+            try:
+                data = bytes(self.pool.read_view(index, owner))
+                path = self._demote_path(owner, index)
+                tmp = path.with_suffix(".tmp")
+                tmp.write_bytes(data)
+                tmp.replace(path)
+                self.pool.free(index, owner)
+            except SpongeError:
+                # The chunk vanished under us (owner freed it, or GC):
+                # drop the stale candidate and try the next one.
+                with self._qos_lock:
+                    self._chunk_info.pop(index, None)
+                continue
+            except Exception:  # noqa: BLE001 - demotion is best-effort
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("qos.demote.failed").inc()
+                return False
+            with self._qos_lock:
+                self._chunk_info.pop(index, None)
+                self._demoted[(owner, index)] = (str(path), len(data))
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("qos.demotions").inc()
+                registry.counter("qos.demoted_bytes").inc(len(data))
+            return True
+        return False
+
+    def _allocate_fresh(self, owner: TaskId, count: int,
+                        nbytes: int) -> list[int]:
+        """Batch allocation with one demotion-assisted retry."""
+        try:
+            return self._safe_allocate_many(owner, count)
+        except OutOfSpongeMemory:
+            if not self._relieve_pressure(nbytes, tenant_of(owner)):
+                raise
+            return self._safe_allocate_many(owner, count)
+
+    def _note_committed(self, owner: TaskId, index: int) -> None:
+        """Record a committed server-side chunk for QoS bookkeeping."""
+        if self._demote_dir is None:
+            return
+        tenant = tenant_of(owner)
+        with self._qos_lock:
+            self._touch_seq += 1
+            self._chunk_info[index] = (owner, tenant, self._touch_seq)
+            self._tenant_writes[tenant] = (
+                self._tenant_writes.get(tenant, 0) + 1
+            )
+
+    def _note_read(self, owner: TaskId, index: int) -> None:
+        if self._demote_dir is None:
+            return
+        with self._qos_lock:
+            info = self._chunk_info.get(index)
+            if info is None:
+                return
+            self._touch_seq += 1
+            tenant = info[1]
+            self._chunk_info[index] = (info[0], tenant, self._touch_seq)
+            self._tenant_reads[tenant] = (
+                self._tenant_reads.get(tenant, 0) + 1
+            )
+
+    def _read_demoted(self, owner: TaskId, index: int) -> bytes:
+        """Serve a read for a chunk that was pushed down-tier."""
+        with self._qos_lock:
+            entry = self._demoted.get((owner, index))
+        if entry is None:
+            raise SpongeError(f"chunk {index} is not demoted")
+        path, nbytes = entry
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            raise ChunkLostError(
+                f"demoted chunk {index} on {self.config.server_id} is "
+                f"gone: {exc}"
+            ) from exc
+        if len(data) != nbytes:
+            raise ChunkLostError(
+                f"demoted chunk {index} on {self.config.server_id} is "
+                f"truncated ({len(data)} of {nbytes} bytes)"
+            )
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("qos.demoted_reads").inc()
+        return data
+
+    def _free_demoted(self, owner: TaskId, index: int) -> Optional[int]:
+        """Drop a demoted chunk; returns its stored bytes, or ``None``
+        when the pair is unknown."""
+        with self._qos_lock:
+            entry = self._demoted.pop((owner, index), None)
+        if entry is None:
+            return None
+        path, nbytes = entry
+        Path(path).unlink(missing_ok=True)
+        return nbytes
+
     # -- request dispatch ------------------------------------------------------------
 
     def payload_sink(self, header: dict, nbytes: int, staged: dict):
@@ -242,16 +580,27 @@ class SpongeServerProcess:
             faults.fire("server.alloc", server_id=self.config.server_id,
                         host=self.config.host, owner=str(owner),
                         nbytes=nbytes)
-        self._charge_quota(owner, nbytes)
+        self._admit_quota(owner, nbytes, _weight_of(header))
         started = time.perf_counter()
         try:
-            index = self.pool.allocate(owner)
+            index = self._safe_allocate(owner)
         except OutOfSpongeMemory:
-            self._release_quota(owner, nbytes)
-            registry = obs._registry
-            if registry is not None:
-                registry.counter("server.alloc.refused").inc()
-            raise
+            # Pool full with admission passed: demotion can still make
+            # room before the writer is turned away.
+            if not self._relieve_pressure(nbytes, tenant_of(owner)):
+                self._release_quota(owner, nbytes)
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("server.alloc.refused").inc()
+                raise
+            try:
+                index = self._safe_allocate(owner)
+            except OutOfSpongeMemory:
+                self._release_quota(owner, nbytes)
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("server.alloc.refused").inc()
+                raise
         registry = obs._registry
         if registry is not None:
             registry.counter("server.alloc.count").inc()
@@ -279,7 +628,7 @@ class SpongeServerProcess:
             raise SpongeError(
                 f"batch carries {len(leased)} indices for {len(lens)} chunks"
             )
-        self._charge_quota(owner, nbytes)
+        self._admit_quota(owner, nbytes, _weight_of(header))
         started = time.perf_counter()
         indices: list[int] = []
         fresh = 0
@@ -297,7 +646,7 @@ class SpongeServerProcess:
                     fresh += 1
                     indices.append(-1)
             if fresh:
-                granted = iter(self.pool.allocate_many(owner, fresh))
+                granted = iter(self._allocate_fresh(owner, fresh, nbytes))
                 indices = [i if i >= 0 else next(granted) for i in indices]
             buffers = [
                 self.pool.chunk_buffer(index, owner, length)
@@ -352,7 +701,7 @@ class SpongeServerProcess:
         self._release_quota(owner, nbytes)
 
     def _note_allocs(self, count: int) -> None:
-        with self._usage_lock:
+        with self._alloc_lock:
             self._alloc_total += count
 
     def dispatch(self, header: dict, payload,
@@ -409,6 +758,7 @@ class SpongeServerProcess:
                 s_owner, index, nbytes = entry
                 self.pool.commit_write(index, s_owner, nbytes)
                 staged.pop("alloc_write")
+                self._note_committed(s_owner, index)
                 return {"ok": True, "index": index}, b""
             # Fallback (direct dispatch calls, e.g. in tests): stage the
             # payload through the classic copy path.
@@ -416,17 +766,28 @@ class SpongeServerProcess:
                 faults.fire("server.alloc", server_id=self.config.server_id,
                             host=self.config.host, owner=str(owner),
                             nbytes=len(payload))
-            self._charge_quota(owner, len(payload))
+            self._admit_quota(owner, len(payload), _weight_of(header))
             started = time.perf_counter()
             try:
-                index = self.pool.allocate(owner)
+                index = self._safe_allocate(owner)
             except OutOfSpongeMemory:
-                self._release_quota(owner, len(payload))
-                registry = obs._registry
-                if registry is not None:
-                    registry.counter("server.alloc.refused").inc()
-                raise
+                if not self._relieve_pressure(len(payload),
+                                              tenant_of(owner)):
+                    self._release_quota(owner, len(payload))
+                    registry = obs._registry
+                    if registry is not None:
+                        registry.counter("server.alloc.refused").inc()
+                    raise
+                try:
+                    index = self._safe_allocate(owner)
+                except OutOfSpongeMemory:
+                    self._release_quota(owner, len(payload))
+                    registry = obs._registry
+                    if registry is not None:
+                        registry.counter("server.alloc.refused").inc()
+                    raise
             self.pool.write(index, owner, payload)
+            self._note_committed(owner, index)
             registry = obs._registry
             if registry is not None:
                 registry.counter("server.alloc.count").inc()
@@ -443,7 +804,14 @@ class SpongeServerProcess:
             # mmap'd segment; the scatter-gather send consumes it before
             # the chunk can be freed by its (single-reader) owner.
             started = time.perf_counter()
-            data = self.pool.read_view(int(header["index"]), owner)
+            index = int(header["index"])
+            try:
+                data = self.pool.read_view(index, owner)
+                self._note_read(owner, index)
+            except SpongeError:
+                if self._demote_dir is None:
+                    raise
+                data = self._read_demoted(owner, index)
             registry = obs._registry
             if registry is not None:
                 registry.counter("server.read.count").inc()
@@ -455,8 +823,17 @@ class SpongeServerProcess:
             # The freed payload length comes from chunk metadata, so no
             # O(chunk) payload read is needed to release the quota.
             started = time.perf_counter()
-            length = self.pool.free(int(header["index"]), owner)
-            self.leases.release(int(header["index"]), owner)
+            index = int(header["index"])
+            try:
+                length = self.pool.free(index, owner)
+                with self._qos_lock:
+                    self._chunk_info.pop(index, None)
+            except SpongeError:
+                demoted_len = self._free_demoted(owner, index)
+                if demoted_len is None:
+                    raise
+                length = demoted_len
+            self.leases.release(index, owner)
             self._release_quota(owner, length)
             registry = obs._registry
             if registry is not None:
@@ -484,10 +861,14 @@ class SpongeServerProcess:
         if faults._armed is not None:
             faults.fire("server.lease", server_id=self.config.server_id,
                         host=self.config.host, owner=str(owner), count=count)
+        # Zero-byte admission probe: an over-share tenant under pool
+        # pressure gets the retryable defer *before* reserving chunks
+        # it would not be allowed to fill.
+        self._admit_quota(owner, 0, _weight_of(header))
         started = time.perf_counter()
         # Partial grants are useful: a client asked for ``lease_ahead``
         # chunks but any number shortens its next batch's round trips.
-        indices = self.pool.allocate_many(owner, count, allow_partial=True)
+        indices = self._safe_allocate_many(owner, count, allow_partial=True)
         self._note_allocs(len(indices))
         self.leases.grant(indices, owner, self.config.lease_ttl)
         registry = obs._registry
@@ -510,6 +891,7 @@ class SpongeServerProcess:
             s_owner, entries, _nbytes = entry
             for index, length in entries:
                 self.pool.commit_write(index, s_owner, length)
+                self._note_committed(s_owner, index)
             return {"ok": True, "indices": [i for i, _l in entries]}, b""
         # Fallback (direct dispatch calls, e.g. in tests): stage the
         # batch through the sink machinery, then copy the payload in.
@@ -524,6 +906,7 @@ class SpongeServerProcess:
         s_owner, entries, _nbytes = direct.pop("write_batch")
         for index, length in entries:
             self.pool.commit_write(index, s_owner, length)
+            self._note_committed(s_owner, index)
         return {"ok": True, "indices": [i for i, _l in entries]}, b""
 
     def _dispatch_read_batch(self, header: dict,
@@ -541,8 +924,18 @@ class SpongeServerProcess:
                         chunks=len(indices))
         started = time.perf_counter()
         # Zero-copy: the reply payload is N views straight into the
-        # mmap'd segments, gathered onto the socket in one send.
-        views = [self.pool.read_view(int(i), owner) for i in indices]
+        # mmap'd segments, gathered onto the socket in one send —
+        # demoted chunks are spliced back in from their disk tier.
+        views = []
+        for raw in indices:
+            index = int(raw)
+            try:
+                views.append(self.pool.read_view(index, owner))
+                self._note_read(owner, index)
+            except SpongeError:
+                if self._demote_dir is None:
+                    raise
+                views.append(self._read_demoted(owner, index))
         lens = [len(v) for v in views]
         registry = obs._registry
         if registry is not None:
@@ -571,8 +964,13 @@ class SpongeServerProcess:
             index = int(raw)
             try:
                 length = self.pool.free(index, owner)
+                with self._qos_lock:
+                    self._chunk_info.pop(index, None)
             except SpongeError:
-                continue
+                demoted_len = self._free_demoted(owner, index)
+                if demoted_len is None:
+                    continue
+                length = demoted_len
             self.leases.release(index, owner)
             self._release_quota(owner, length)
             freed += 1
@@ -607,30 +1005,30 @@ class SpongeServerProcess:
         registry.gauge("server.leases.outstanding").set(
             self.leases.outstanding
         )
+        # Per-tenant accounting: gauges merge by summation, so the
+        # cluster scrape shows each tenant's total sponge footprint.
+        for tenant, used in self.quota.tenant_snapshot().items():
+            registry.gauge(f"qos.tenant.usage.{tenant}").set(used)
+        if self._demote_dir is not None:
+            with self._qos_lock:
+                demoted_chunks = len(self._demoted)
+                demoted_bytes = sum(n for _p, n in self._demoted.values())
+            registry.gauge("qos.demoted.chunks").set(demoted_chunks)
+            registry.gauge("qos.demoted.bytes").set(demoted_bytes)
         return registry.snapshot().to_dict()
 
     # -- quota ------------------------------------------------------------
 
-    def _charge_quota(self, owner: TaskId, nbytes: int) -> None:
-        limit = self.config.quota_per_node
-        key = str(owner)
-        with self._usage_lock:
-            used = self._usage.get(key, 0)
-            if limit is not None and used + nbytes > limit:
-                raise QuotaExceededError(
-                    f"{owner} over its {limit}-byte quota on "
-                    f"{self.config.server_id}"
-                )
-            self._usage[key] = used + nbytes
+    def _charge_quota(self, owner: TaskId, nbytes: int,
+                      weight: float = 1.0) -> None:
+        self.quota.charge(
+            owner, nbytes, weight=weight,
+            pool_used=(self._pool_used_bytes()
+                       if self.quota.capacity is not None else None),
+        )
 
     def _release_quota(self, owner: TaskId, nbytes: int) -> None:
-        key = str(owner)
-        with self._usage_lock:
-            remaining = self._usage.get(key, 0) - nbytes
-            if remaining <= 0:
-                self._usage.pop(key, None)
-            else:
-                self._usage[key] = remaining
+        self.quota.release(owner, nbytes)
 
     # -- garbage collection -------------------------------------------------
 
@@ -687,7 +1085,31 @@ class SpongeServerProcess:
             self._peer_failures.pop(owner.host, None)
             return bool(reply.get("alive", False))
 
+        pool_before = set(self.pool.owners())
         freed = self.pool.collect(is_alive)
+        survivors = self.pool.owners()
+
+        # Owners collect() removed were dead — drop their quota records
+        # wholesale (before this fix their ``usage`` entries leaked
+        # forever under task churn).  Owners holding only *demoted*
+        # chunks never touch the pool, so probe them directly.
+        dead = {o for o in pool_before if o not in survivors}
+        with self._qos_lock:
+            demoted_owners = {owner for (owner, _index) in self._demoted}
+        for owner in demoted_owners - pool_before:
+            if not is_alive(owner):
+                dead.add(owner)
+        for owner in dead:
+            with self._qos_lock:
+                keys = [k for k in self._demoted if k[0] == owner]
+                entries = [self._demoted.pop(k) for k in keys]
+                stale = [i for i, (o, _t, _s) in self._chunk_info.items()
+                         if o == owner]
+                for index in stale:
+                    self._chunk_info.pop(index, None)
+            for path, _nbytes in entries:
+                Path(path).unlink(missing_ok=True)
+            self.quota.drop_owner(owner)
 
         # Dead-owner collection may have freed leased-but-unwritten
         # chunks directly; prune their table entries so a later expiry

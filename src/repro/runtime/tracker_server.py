@@ -191,6 +191,16 @@ class TrackerServerProcess:
                             server_id, reply.get("alloc_count")),
                     }
                 )
+        # Prune rate state for servers that dropped out of this poll
+        # (dead, restarting, or removed from the config): without this
+        # the per-server baselines accumulate forever, and a server
+        # that comes back after a long death would difference against
+        # its ancient pre-crash counter.
+        live = {entry["server_id"] for entry in snapshot}
+        for stale in [s for s in self._alloc_seen if s not in live]:
+            del self._alloc_seen[stale]
+        for stale in [s for s in self._alloc_rates if s not in live]:
+            del self._alloc_rates[stale]
         with self._lock:
             self._snapshot = snapshot
             self.polls += 1

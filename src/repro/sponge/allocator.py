@@ -34,6 +34,7 @@ from repro import obs
 from repro.errors import (
     ChunkAllocationError,
     OutOfSpongeMemory,
+    QuotaDeferError,
     StoreUnavailableError,
 )
 from repro.sponge.blob import blob_size
@@ -62,6 +63,10 @@ class ChainStats:
     disk_appends: int = 0
     remote_stale_misses: int = 0
     remote_unreachable: int = 0
+    #: Writes a server declined with a retryable ``QuotaDeferError``
+    #: (weighted-fair admission under pool pressure); the chain fell
+    #: through to the next candidate or tier.
+    remote_deferred: int = 0
     #: Redundancy-group members placed on an already-used failure
     #: domain because the cluster had no distinct one left (and no
     #: disk/DFS tier to absorb the member).  Non-zero means some groups
@@ -363,6 +368,10 @@ class AllocationSession:
                             handles = yield from store.write_chunk_batch(
                                 self.owner, data
                             )
+                    except QuotaDeferError:
+                        self.chain.stats.remote_deferred += 1
+                        _count_fallthrough("deferred")
+                        continue
                     except (OutOfSpongeMemory, StoreUnavailableError) as exc:
                         self._drop_server(info, exc)
                         continue
@@ -517,6 +526,14 @@ class AllocationSession:
             try:
                 store = self.chain._remote_store_for(info)
                 handle = yield from store.write_chunk(self.owner, data)
+            except QuotaDeferError:
+                # Weighted-fair admission declined *this tenant* under
+                # pressure — the server is neither full nor stale, so
+                # keep it on the free list and try the next candidate.
+                self._unclaim(claimed, domain)
+                self.chain.stats.remote_deferred += 1
+                _count_fallthrough("deferred")
+                continue
             except (OutOfSpongeMemory, StoreUnavailableError) as exc:
                 self._unclaim(claimed, domain)
                 self._drop_server(info, exc)

@@ -57,6 +57,12 @@ class SpongeConfig:
     lease_ahead: int = 0
     #: Per-task, per-node sponge quota in bytes; ``None`` = unlimited.
     quota_per_node: Optional[int] = None
+    #: Weighted-fair admission weight of this task's tenant (job).
+    #: Carried on every alloc/lease/write_batch request; a QoS-armed
+    #: sponge server under pool pressure grants each tenant a share of
+    #: the pool proportional to its weight, deferring (retryable
+    #: ``QuotaDeferError``) tenants past theirs.  1.0 = fair share.
+    tenant_weight: float = 1.0
     #: Spill compression: ``"off"`` (the paper's behaviour), ``"always"``
     #: (compress every unit), or ``"adaptive"`` (probe a sample, pass
     #: incompressible streams through raw, re-probe periodically).
@@ -108,6 +114,10 @@ class SpongeConfig:
             raise ConfigError("lease_ahead must be >= 0")
         if self.quota_per_node is not None and self.quota_per_node < self.chunk_size:
             raise ConfigError("quota_per_node smaller than one chunk")
+        if not (self.tenant_weight > 0):
+            raise ConfigError(
+                f"tenant_weight must be > 0: {self.tenant_weight}"
+            )
         if self.compression not in ("off", "adaptive", "always"):
             raise ConfigError(
                 f"compression must be off|adaptive|always: {self.compression!r}"

@@ -1,48 +1,228 @@
-"""Per-task, per-node sponge quotas (§3.1.4).
+"""Per-task and per-tenant sponge quotas (§3.1.4 + multi-tenant QoS).
 
 The paper leaves quota enforcement as future work; we implement the
-scheme it sketches: enforcement is distributed — each sponge server
-refuses to allocate chunks to a task beyond its per-node limit, and can
-flag offenders for corrective action (the engine kills the task and the
-GC reclaims its space).
+scheme it sketches — enforcement is distributed, each sponge server
+refuses to allocate chunks to a task beyond its per-node limit and can
+flag offenders for corrective action — and extend it with job-level
+(*tenant*) weighted-fair admission, the "Don't cry over spilled
+records" model: under pool pressure, a tenant already at or above its
+weighted fair share gets a retryable :class:`QuotaDeferError` instead
+of the last free chunks.
+
+Accounting invariants:
+
+* Every byte figure here lives in the **stored** domain — the size the
+  pool actually holds (post-compression, framed).  Callers must charge
+  what they store and release what the pool reports freed; handles
+  restamped to raw (pre-codec) sizes by :class:`SpongeFile` must never
+  reach this class.  :meth:`drop_owner` makes GC domain-proof by
+  construction: it releases exactly what was charged, whatever that
+  was.
+* :meth:`release` clamps at zero instead of silently absorbing
+  over-release: an underflow means charge/release ran in different
+  byte domains or a chunk was double-freed, so it is counted
+  (``release_underflow`` and the ``quota.release_underflow`` counter)
+  for chaos to flag.
+* All methods are thread-safe under one internal lock — the policy is
+  shared between a server's handler threads/event loop and its GC
+  thread, the same concurrency :class:`repro.sponge.gc.LeaseTable`
+  documents.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import threading
+from typing import Optional, Union
 
-from repro.errors import QuotaExceededError
+from repro import obs
+from repro.errors import QuotaDeferError, QuotaExceededError
 from repro.sponge.chunk import TaskId
 
 
-@dataclass
+def tenant_of(owner: Union[TaskId, str]) -> str:
+    """The job-level tenant an owner belongs to.
+
+    Owners are per-task (``TaskId`` or its ``task@host`` string form);
+    a job's tasks share a common label stem.  The runtime's
+    ``pid:<pid>:<label>`` prefix and the label's trailing task index
+    are stripped, so ``pid:4711:chaos-w3`` and ``pid:4712:chaos-w0``
+    both map to tenant ``chaos-w``.
+    """
+    if isinstance(owner, TaskId):
+        task = owner.task
+    else:
+        task = str(owner).partition("@")[0]
+    if task.startswith("pid:"):
+        task = task.split(":", 2)[-1]
+    stem = task.rstrip("0123456789").rstrip("-_.")
+    return stem or task
+
+
 class QuotaPolicy:
-    """Tracks per-owner usage on one node and enforces a byte limit."""
+    """Per-owner usage tracking plus tenant-weighted admission.
 
-    limit_per_node: Optional[int] = None
-    usage: dict = field(default_factory=dict)
+    ``limit_per_node`` is the paper's hard per-task cap (raises
+    :class:`QuotaExceededError`).  ``capacity`` + ``high_water`` arm
+    the QoS layer: once the pool's projected occupancy crosses
+    ``high_water * capacity``, a charge from a tenant whose usage has
+    reached its weighted share ``capacity * weight / sum(weights)``
+    is deferred (:class:`QuotaDeferError`) rather than admitted.
+    A tenant holding nothing is never deferred, so admission cannot
+    starve a newcomer outright.
+    """
 
-    def charge(self, owner: TaskId, nbytes: int) -> None:
-        """Account an allocation; raises if it would exceed the limit."""
-        current = self.usage.get(owner, 0)
-        if self.limit_per_node is not None and current + nbytes > self.limit_per_node:
-            raise QuotaExceededError(
-                f"{owner} would use {current + nbytes} bytes on this node "
-                f"(limit {self.limit_per_node})"
+    def __init__(self, limit_per_node: Optional[int] = None,
+                 capacity: Optional[int] = None,
+                 high_water: float = 0.85) -> None:
+        self.limit_per_node = limit_per_node
+        #: Pool bytes this policy admits into (arms QoS when set).
+        self.capacity = capacity
+        if not 0.0 < high_water <= 1.0:
+            raise ValueError(f"high_water must be in (0, 1], got {high_water}")
+        self.high_water = high_water
+        #: owner -> stored bytes currently charged.
+        self.usage: dict = {}
+        #: tenant -> stored bytes currently charged (sum over owners).
+        self.tenant_usage: dict[str, int] = {}
+        #: tenant -> last weight seen on a charge (default 1.0).
+        self.tenant_weights: dict[str, float] = {}
+        #: Over-releases observed (accounting drift / double frees).
+        self.release_underflow = 0
+        #: Charges refused at the hard limit, per owner — feeds
+        #: :meth:`offenders` so corrective action can target tasks that
+        #: *tried* to exceed their cap, not only those parked exactly
+        #: at it.
+        self.refusals: dict = {}
+        #: Charges deferred by weighted-fair admission.
+        self.deferrals = 0
+        self._lock = threading.Lock()
+
+    # -- charge / release ---------------------------------------------------
+
+    def charge(self, owner: TaskId, nbytes: int, weight: float = 1.0,
+               pool_used: Optional[int] = None) -> None:
+        """Account an allocation of ``nbytes`` *stored* bytes.
+
+        Raises :class:`QuotaExceededError` past the hard per-task
+        limit, :class:`QuotaDeferError` when weighted-fair admission
+        declines under pressure.  ``pool_used`` is the pool's actual
+        occupied bytes when the caller knows it (the mmap server
+        does); otherwise total charged bytes stand in.
+        """
+        with self._lock:
+            current = self.usage.get(owner, 0)
+            if (self.limit_per_node is not None
+                    and current + nbytes > self.limit_per_node):
+                self.refusals[owner] = self.refusals.get(owner, 0) + 1
+                raise QuotaExceededError(
+                    f"{owner} would use {current + nbytes} bytes on this "
+                    f"node (limit {self.limit_per_node})"
+                )
+            tenant = tenant_of(owner)
+            if weight <= 0:
+                raise ValueError(f"tenant weight must be > 0, got {weight}")
+            self.tenant_weights[tenant] = weight
+            self._admit(tenant, nbytes, pool_used)
+            if nbytes:
+                self.usage[owner] = current + nbytes
+                self.tenant_usage[tenant] = (
+                    self.tenant_usage.get(tenant, 0) + nbytes
+                )
+
+    def _admit(self, tenant: str, nbytes: int,
+               pool_used: Optional[int]) -> None:
+        """Weighted-fair admission check (lock held)."""
+        if self.capacity is None:
+            return
+        occupied = (pool_used if pool_used is not None
+                    else sum(self.tenant_usage.values()))
+        if occupied + nbytes <= self.high_water * self.capacity:
+            return  # no pressure: admit freely
+        held = self.tenant_usage.get(tenant, 0)
+        if held <= 0:
+            return  # never starve a tenant that holds nothing
+        active = {t for t, used in self.tenant_usage.items() if used > 0}
+        active.add(tenant)
+        total_weight = sum(self.tenant_weights.get(t, 1.0) for t in active)
+        share = self.capacity * (
+            self.tenant_weights.get(tenant, 1.0) / total_weight
+        )
+        if held >= share:
+            self.deferrals += 1
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("qos.admit.deferred").inc()
+            raise QuotaDeferError(
+                f"tenant {tenant} holds {held} of a {share:.0f}-byte fair "
+                f"share under pool pressure ({occupied + nbytes} of "
+                f"{self.capacity} bytes); retry after backoff"
             )
-        self.usage[owner] = current + nbytes
 
     def release(self, owner: TaskId, nbytes: int) -> None:
+        """Release ``nbytes`` *stored* bytes charged to ``owner``.
+
+        Over-release clamps at zero and is counted — never absorbed —
+        so double frees and domain mismatches surface in metrics.
+        """
+        with self._lock:
+            self._release_locked(owner, nbytes)
+
+    def _release_locked(self, owner: TaskId, nbytes: int) -> None:
         current = self.usage.get(owner, 0)
+        if nbytes > current:
+            self.release_underflow += 1
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("quota.release_underflow").inc()
+            nbytes = current
         remaining = current - nbytes
         if remaining <= 0:
             self.usage.pop(owner, None)
         else:
             self.usage[owner] = remaining
+        tenant = tenant_of(owner)
+        tenant_remaining = self.tenant_usage.get(tenant, 0) - nbytes
+        if tenant_remaining <= 0:
+            self.tenant_usage.pop(tenant, None)
+        else:
+            self.tenant_usage[tenant] = tenant_remaining
 
-    def offenders(self) -> list[TaskId]:
-        """Owners at or above the limit (candidates for corrective action)."""
+    def drop_owner(self, owner: TaskId) -> int:
+        """Forget an owner entirely (GC of a dead task).
+
+        Releases exactly the bytes recorded against the owner —
+        domain-proof by construction — and returns them.
+        """
+        with self._lock:
+            charged = self.usage.get(owner, 0)
+            if charged:
+                self._release_locked(owner, charged)
+            self.usage.pop(owner, None)
+            self.refusals.pop(owner, None)
+            return charged
+
+    # -- introspection ------------------------------------------------------
+
+    def used_by(self, owner: TaskId) -> int:
+        with self._lock:
+            return self.usage.get(owner, 0)
+
+    def tenant_used(self, tenant: str) -> int:
+        with self._lock:
+            return self.tenant_usage.get(tenant, 0)
+
+    def tenant_snapshot(self) -> dict[str, int]:
+        """A consistent copy of per-tenant usage (for gauges)."""
+        with self._lock:
+            return dict(self.tenant_usage)
+
+    def offenders(self) -> list:
+        """Owners needing corrective action: at/above the hard limit,
+        or refused at it since their last GC."""
         if self.limit_per_node is None:
             return []
-        return [o for o, used in self.usage.items() if used >= self.limit_per_node]
+        with self._lock:
+            flagged = [o for o, used in self.usage.items()
+                       if used >= self.limit_per_node]
+            flagged.extend(o for o in self.refusals if o not in flagged)
+            return flagged

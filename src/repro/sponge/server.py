@@ -6,6 +6,15 @@ requests from remote SpongeFiles, and garbage-collects chunks owned by
 dead tasks (checking liveness of local tasks itself and consulting the
 peer server for remote owners).
 
+Multi-tenant QoS rides on the same surface: when the attached
+:class:`~repro.sponge.quota.QuotaPolicy` carries a pool ``capacity``,
+admission is weighted-fair per tenant (job), and — given a
+``demote_store`` — pool pressure triggers *demotion* instead of
+refusal: the server picks the most disk-tolerant tenant (lowest
+observed re-read ratio, the elasticity model of "Don't cry over
+spilled records") and down-tiers its coldest server-allocated chunks,
+keeping memory for tenants that actually re-read their spills.
+
 This class is pure logic, independent of transport: the simulator calls
 it directly (charging network/IPC time around the calls) and the real
 runtime wraps it in a TCP server (``repro.runtime.sponge_server``).
@@ -16,14 +25,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.errors import ChunkLostError, SpongeError
+from repro import obs
+from repro.errors import (
+    ChunkLostError,
+    OutOfSpongeMemory,
+    QuotaDeferError,
+    SpongeError,
+)
+from repro.faults import hooks as faults
 from repro.sponge.blob import blob_size
 from repro.sponge.chunk import TaskId
 from repro.sponge.pool import SpongePool
-from repro.sponge.quota import QuotaPolicy
+from repro.sponge.quota import QuotaPolicy, tenant_of
+from repro.sponge.store import ChunkStore, run_sync
 
 #: Answers "is this task on *my* host alive?".
 LocalLivenessProbe = Callable[[TaskId], bool]
+
+#: Chunks demoted per admission event at most — bounds the latency a
+#: single incoming writer pays for pressure relief.
+DEMOTE_BATCH = 8
 
 
 @dataclass
@@ -33,6 +54,14 @@ class ServerStats:
     reads_served: int = 0
     gc_runs: int = 0
     gc_chunks_freed: int = 0
+    demotions: int = 0
+    demoted_reads: int = 0
+
+
+def _count(name: str, n: int = 1) -> None:
+    registry = obs._registry
+    if registry is not None:
+        registry.counter(name).inc(n)
 
 
 class SpongeServer:
@@ -46,16 +75,33 @@ class SpongeServer:
         rack: str = "rack0",
         quota: Optional[QuotaPolicy] = None,
         local_liveness: Optional[LocalLivenessProbe] = None,
+        demote_store: Optional[ChunkStore] = None,
     ) -> None:
         self.server_id = server_id
         self.host = host
         self.rack = rack
         self.pool = pool
         self.quota = quota or QuotaPolicy()
+        #: Down-tier target for pressure demotion (usually the node's
+        #: disk store).  ``None`` disables demotion: pressure falls
+        #: back to deferral/refusal.
+        self.demote_store = demote_store
         self.stats = ServerStats()
         self._local_liveness = local_liveness or (lambda owner: True)
         #: host -> peer server, for cross-host liveness checks during GC.
         self._peers: dict[str, "SpongeServer"] = {}
+        #: (owner, index) -> (tenant, last-touch seq) for chunks *this
+        #: server* allocated — the demotion candidate set.  Chunks local
+        #: tasks put in the shared pool directly are never demoted.
+        self._chunk_info: dict[tuple[TaskId, int], tuple[str, int]] = {}
+        #: (owner, index) -> (demote-store handle, stored bytes) for
+        #: chunks pushed down-tier; reads and frees fall back here.
+        self._demoted: dict[tuple[TaskId, int], tuple[Any, int]] = {}
+        self._touch_seq = 0
+        #: tenant -> chunk writes / chunk re-reads served, the observed
+        #: elasticity profile driving victim selection.
+        self._tenant_writes: dict[str, int] = {}
+        self._tenant_reads: dict[str, int] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -71,40 +117,130 @@ class SpongeServer:
         """Exported to the memory tracker."""
         return self.pool.free_bytes
 
-    def alloc_and_store(self, owner: TaskId, data: Any) -> int:
+    def alloc_and_store(self, owner: TaskId, data: Any,
+                        tenant_weight: float = 1.0) -> int:
         """Allocate a chunk for ``owner`` and fill it; returns the slot.
 
         Raises :class:`~repro.errors.OutOfSpongeMemory` when full (the
         free list at the tracker may be stale — callers fall through to
-        the next server) and
+        the next server),
         :class:`~repro.errors.QuotaExceededError` when ``owner`` is over
-        its per-node quota.
+        its per-node quota, and
+        :class:`~repro.errors.QuotaDeferError` when weighted-fair
+        admission declines under pool pressure (retryable).
         """
         nbytes = blob_size(data)
-        self.quota.charge(owner, nbytes)
+        tenant = tenant_of(owner)
+        if faults._armed is not None:
+            faults.fire("qos.admit", server_id=self.server_id,
+                        owner=str(owner), tenant=tenant, nbytes=nbytes)
         try:
-            index = self.pool.allocate(owner)
-        except SpongeError:
-            self.quota.release(owner, nbytes)
-            self.stats.remote_denied += 1
-            raise
+            self._charge(owner, nbytes, tenant_weight)
+        except QuotaDeferError:
+            # Pressure: demote the most elastic tenant's cold chunks
+            # rather than refusing the incoming writer outright.
+            if not self._relieve_pressure(nbytes, tenant):
+                self.stats.remote_denied += 1
+                raise
+            try:
+                self._charge(owner, nbytes, tenant_weight)
+            except QuotaDeferError:
+                self.stats.remote_denied += 1
+                raise
+        try:
+            index = self._allocate_clear(owner)
+        except OutOfSpongeMemory:
+            # The pool itself is full (admission may pass while the
+            # free list is stale); demotion can still make room.
+            if not self._relieve_pressure(nbytes, tenant):
+                self.quota.release(owner, nbytes)
+                self.stats.remote_denied += 1
+                raise
+            try:
+                index = self._allocate_clear(owner)
+            except SpongeError:
+                self.quota.release(owner, nbytes)
+                self.stats.remote_denied += 1
+                raise
         self.pool.store(index, owner, data)
+        self._touch_seq += 1
+        self._chunk_info[(owner, index)] = (tenant, self._touch_seq)
+        self._tenant_writes[tenant] = self._tenant_writes.get(tenant, 0) + 1
         self.stats.remote_allocations += 1
         return index
+
+    def _charge(self, owner: TaskId, nbytes: int, weight: float) -> None:
+        self.quota.charge(
+            owner, nbytes, weight=weight,
+            pool_used=self.pool.used_chunks * self.pool.chunk_size,
+        )
+
+    def _allocate_clear(self, owner: TaskId) -> int:
+        """Allocate a slot whose index does not shadow a demoted chunk.
+
+        A demoted chunk keeps its original ``(owner, index)`` identity
+        (the owner's handle still references it), so re-granting that
+        index to the same owner would make the pair ambiguous; skip
+        over such grants and return them.
+        """
+        taken: list[int] = []
+        try:
+            while True:
+                index = self.pool.allocate(owner)
+                if (owner, index) not in self._demoted:
+                    return index
+                taken.append(index)
+        finally:
+            for held in taken:
+                self.pool.free(held, owner)
 
     def read(self, owner: TaskId, index: int) -> Any:
         try:
             data = self.pool.fetch(index, owner)
         except SpongeError as exc:
-            raise ChunkLostError(
-                f"chunk {index} on {self.server_id} is gone: {exc}"
-            ) from exc
+            entry = self._demoted.get((owner, index))
+            if entry is None:
+                raise ChunkLostError(
+                    f"chunk {index} on {self.server_id} is gone: {exc}"
+                ) from exc
+            handle, _nbytes = entry
+            try:
+                data = run_sync(self.demote_store.read_chunk(handle))
+            except Exception as demote_exc:  # noqa: BLE001 - tier lost
+                raise ChunkLostError(
+                    f"demoted chunk {index} on {self.server_id} is gone: "
+                    f"{demote_exc}"
+                ) from demote_exc
+            self.stats.demoted_reads += 1
+            _count("qos.demoted_reads")
+            self.stats.reads_served += 1
+            return data
+        info = self._chunk_info.get((owner, index))
+        if info is not None:
+            self._touch_seq += 1
+            tenant = info[0]
+            self._chunk_info[(owner, index)] = (tenant, self._touch_seq)
+            self._tenant_reads[tenant] = self._tenant_reads.get(tenant, 0) + 1
         self.stats.reads_served += 1
         return data
 
     def free(self, owner: TaskId, index: int) -> None:
-        data = self.pool.fetch(index, owner)
+        key = (owner, index)
+        try:
+            data = self.pool.fetch(index, owner)
+        except SpongeError:
+            entry = self._demoted.pop(key, None)
+            if entry is None:
+                raise
+            handle, nbytes = entry
+            try:
+                run_sync(self.demote_store.free_chunk(handle))
+            except Exception:  # noqa: BLE001 - best effort down-tier
+                pass
+            self.quota.release(owner, nbytes)
+            return
         self.pool.free(index, owner)
+        self._chunk_info.pop(key, None)
         self.quota.release(owner, blob_size(data) if data is not None else 0)
 
     def is_task_alive(self, owner: TaskId) -> bool:
@@ -115,14 +251,83 @@ class SpongeServer:
             )
         return self._local_liveness(owner)
 
+    # -- pressure demotion ---------------------------------------------------
+
+    def _relieve_pressure(self, incoming_nbytes: int,
+                          incoming_tenant: str) -> bool:
+        """Demote cold chunks until the incoming write fits under the
+        high-water mark; returns whether anything was demoted."""
+        if self.demote_store is None or self.quota.capacity is None:
+            return False
+        target = self.quota.high_water * self.quota.capacity
+        demoted_any = False
+        for _ in range(DEMOTE_BATCH):
+            occupied = self.pool.used_chunks * self.pool.chunk_size
+            if occupied + incoming_nbytes <= target:
+                break
+            victim = self._pick_victim_tenant(incoming_tenant)
+            if victim is None or not self._demote_one(victim):
+                break
+            demoted_any = True
+        return demoted_any
+
+    def _pick_victim_tenant(self, incoming_tenant: str) -> Optional[str]:
+        """The most disk-tolerant tenant holding demotable chunks:
+        lowest observed re-read ratio, the incoming tenant last."""
+        holders = {tenant for (tenant, _seq) in self._chunk_info.values()}
+        if not holders:
+            return None
+
+        def elasticity(tenant: str) -> tuple:
+            writes = self._tenant_writes.get(tenant, 0)
+            reads = self._tenant_reads.get(tenant, 0)
+            ratio = reads / writes if writes else 0.0
+            # Prefer demoting someone other than the requester; break
+            # ratio ties toward the biggest memory holder.
+            return (tenant == incoming_tenant, ratio,
+                    -self.quota.tenant_used(tenant))
+
+        return min(holders, key=elasticity)
+
+    def _demote_one(self, tenant: str) -> bool:
+        """Down-tier the tenant's coldest server-allocated chunk."""
+        candidates = [
+            (seq, owner, index)
+            for (owner, index), (t, seq) in self._chunk_info.items()
+            if t == tenant
+        ]
+        if not candidates:
+            return False
+        _seq, owner, index = min(candidates, key=lambda c: c[0])
+        try:
+            if faults._armed is not None:
+                faults.fire("qos.demote", server_id=self.server_id,
+                            owner=str(owner), tenant=tenant, index=index)
+            data = self.pool.fetch(index, owner)
+            handle = run_sync(self.demote_store.write_chunk(owner, data))
+        except Exception:  # noqa: BLE001 - demotion is best-effort
+            _count("qos.demote.failed")
+            return False
+        nbytes = blob_size(data) if data is not None else 0
+        self.pool.free(index, owner)
+        self._chunk_info.pop((owner, index), None)
+        self._demoted[(owner, index)] = (handle, nbytes)
+        self.stats.demotions += 1
+        _count("qos.demotions")
+        _count("qos.demoted_bytes", nbytes)
+        return True
+
     # -- garbage collection -------------------------------------------------
 
     def run_gc(self) -> int:
-        """Free chunks owned by dead tasks; returns chunks freed.
+        """Free chunks owned by dead tasks; returns pool chunks freed.
 
         Local owners are probed directly; owners on other hosts are
         checked by consulting that host's sponge server.  Unknown hosts
-        are treated as dead (their machines left the cluster).
+        are treated as dead (their machines left the cluster).  Dead
+        owners' demoted chunks and quota records go with them —
+        :meth:`QuotaPolicy.drop_owner` releases exactly what was
+        charged, so GC cannot drift the accounting.
         """
 
         def is_alive(owner: TaskId) -> bool:
@@ -133,20 +338,26 @@ class SpongeServer:
                 return False
             return peer.is_task_alive(owner)
 
-        bytes_before: dict[TaskId, int] = {}
-        for owner in self.pool.owners():
-            total = 0
-            for index in self.pool.chunks_of(owner):
-                data = self.pool.fetch(index, owner)
-                total += blob_size(data) if data is not None else 0
-            bytes_before[owner] = total
+        pool_before = set(self.pool.owners())
         freed = self.pool.collect(is_alive)
-        if freed:
-            # Keep quota accounting in step with reclaimed space.
-            survivors = self.pool.owners()
-            for owner, nbytes in bytes_before.items():
-                if owner not in survivors:
-                    self.quota.release(owner, nbytes)
+        survivors = self.pool.owners()
+        # Owners collect() removed were dead; owners with only demoted
+        # chunks never touch the pool, so probe them directly.
+        dead = {o for o in pool_before if o not in survivors}
+        demoted_owners = {owner for (owner, _index) in self._demoted}
+        for owner in demoted_owners - pool_before:
+            if not is_alive(owner):
+                dead.add(owner)
+        for owner in dead:
+            for key in [k for k in self._demoted if k[0] == owner]:
+                handle, _nbytes = self._demoted.pop(key)
+                try:
+                    run_sync(self.demote_store.free_chunk(handle))
+                except Exception:  # noqa: BLE001 - best effort down-tier
+                    pass
+            for key in [k for k in self._chunk_info if k[0] == owner]:
+                self._chunk_info.pop(key, None)
+            self.quota.drop_owner(owner)
         self.stats.gc_runs += 1
         self.stats.gc_chunks_freed += freed
         return freed

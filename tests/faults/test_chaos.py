@@ -136,3 +136,105 @@ def test_same_node_loss_with_xor_redundancy_degrades_to_reconstruction():
     # the pass is degraded-read coding at work, not placement luck.
     counters = report.metrics.get("counters", {})
     assert counters.get("redundancy.reconstructions", 0) >= 1
+
+
+# -- antagonist mode (multi-tenant QoS) ---------------------------------------
+#
+# Seed 11 is the pinned demonstration pair: with QoS off, the greedy
+# tenant fills every pool and drives the victims' writes to their disk
+# tiers every round; with QoS on (weighted-fair admission + pressure
+# demotion) the same seed keeps every victim round in sponge memory and
+# byte-exact while the greedy tenant's cold chunks get demoted.
+# Verified stable across repeated trials (off ~36 victim disk spills,
+# on 0 with several demotions — ample margin under the 0.5 bound).
+
+from repro.faults.chaos import (  # noqa: E402
+    ANTAGONIST_SPILL_BOUND,
+    AntagonistReport,
+    AntagonistSettings,
+    _disk_spills,
+    compare_antagonist,
+    run_antagonist_pair,
+)
+
+ANT_PAIR = AntagonistSettings(seed=11, victims=3, rounds=4, num_nodes=2,
+                              greedy_files=4)
+
+
+def test_disk_spills_sums_only_disk_tier_counters():
+    result = {"metrics": {"counters": {
+        "alloc.outcome.local-disk": 3,
+        "alloc.outcome.dfs": 2,
+        "alloc.outcome.remote-memory": 99,
+    }}}
+    assert _disk_spills(result) == 5
+    assert _disk_spills({}) == 0
+    assert _disk_spills({"metrics": None}) == 0
+
+
+def _clean_pair(off_spills=30, on_spills=0):
+    settings = AntagonistSettings(seed=1, victims=2, rounds=2)
+    off = AntagonistReport(seed=1, qos=False, victim_rounds_ok=4,
+                           victim_disk_spills=off_spills)
+    on = AntagonistReport(seed=1, qos=True, victim_rounds_ok=4,
+                          victim_disk_spills=on_spills, demotions=5)
+    return off, on, settings
+
+
+def test_paired_contract_passes_on_the_expected_shape():
+    off, on, settings = _clean_pair()
+    assert compare_antagonist(off, on, settings) == []
+
+
+def test_paired_contract_requires_off_run_pressure():
+    off, on, settings = _clean_pair(off_spills=0)
+    problems = compare_antagonist(off, on, settings)
+    assert any("proves nothing" in p for p in problems)
+
+
+def test_paired_contract_enforces_the_spill_bound():
+    off, on, settings = _clean_pair(off_spills=30, on_spills=16)
+    problems = compare_antagonist(off, on, settings)
+    assert any("did not drop" in p for p in problems)
+    # Exactly at the bound is acceptable.
+    off, on, settings = _clean_pair(
+        off_spills=30, on_spills=int(30 * ANTAGONIST_SPILL_BOUND))
+    assert compare_antagonist(off, on, settings) == []
+
+
+def test_paired_contract_rejects_byte_inexact_or_underflowing_runs():
+    off, on, settings = _clean_pair()
+    on.victim_rounds_ok = 3  # one round failed to read back
+    assert any("byte-exact" in p
+               for p in compare_antagonist(off, on, settings))
+    off, on, settings = _clean_pair()
+    on.demotions = 0
+    assert any("never demoted" in p
+               for p in compare_antagonist(off, on, settings))
+    off, on, settings = _clean_pair()
+    off.release_underflow = 1
+    assert any("underflow" in p
+               for p in compare_antagonist(off, on, settings))
+
+
+def test_antagonist_settings_do_not_perturb_the_chaos_schedule():
+    # The QoS work must leave the seeded fault/kill schedule untouched:
+    # pinned chaos seeds keep meaning what they meant.
+    rebuilt = ChaosSettings(seed=1302, writers=2, rounds=2, num_nodes=3)
+    assert describe_schedule(rebuilt) == describe_schedule(SMOKE)
+
+
+@pytest.mark.slow
+def test_pinned_seed_antagonist_pair_meets_the_qos_contract():
+    off, on, problems = run_antagonist_pair(ANT_PAIR)
+    assert problems == [], "\n".join(
+        [off.summary(), on.summary()] + problems)
+    # QoS off: the greedy tenant really pushed victims to disk.
+    assert off.victim_disk_spills > 0
+    # QoS on: every victim round byte-exact, spill under the bound,
+    # pressure relieved by demotion, accounting exact in both runs.
+    assert on.victim_rounds_ok == ANT_PAIR.victims * ANT_PAIR.rounds
+    assert on.victim_disk_spills <= (
+        ANTAGONIST_SPILL_BOUND * off.victim_disk_spills)
+    assert on.demotions > 0
+    assert off.release_underflow == 0 and on.release_underflow == 0

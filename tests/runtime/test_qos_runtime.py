@@ -1,0 +1,106 @@
+"""Multi-tenant QoS over the real runtime (processes + TCP + mmap).
+
+One greedy tenant fills every node's pool through the servers; a
+weighted victim tenant then writes, which must trigger pressure
+demotion of the greedy tenant's cold chunks rather than pushing the
+victim to disk.  Everybody's bytes stay readable — demoted chunks are
+served from the server's demote tier, and survive a server restart via
+the on-disk demote directory.
+"""
+
+import pytest
+
+from repro.runtime import LocalSpongeCluster
+from repro.runtime.client import build_chain
+from repro.sponge import ChunkLocation, SpongeConfig, SpongeFile
+
+CHUNK = 32 * 1024
+POOL_CHUNKS = 4
+POOL = POOL_CHUNKS * CHUNK
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalSpongeCluster(num_nodes=2, pool_size=POOL, chunk_size=CHUNK,
+                            poll_interval=0.1, gc_interval=30.0,
+                            qos_high_water=0.85) as cluster:
+        yield cluster
+
+
+def greedy_chain(cluster, config):
+    """A chain whose host matches no server.
+
+    The allocation chain never places chunks on the writer's own host,
+    so a chain built with a fabricated host can fill *every* node's
+    pool through the servers — making all of its chunks
+    server-accounted and therefore demotable.
+    """
+    return build_chain(
+        host="qos-test-client",
+        tracker_address=cluster.tracker_address,
+        spill_dir=cluster.workdir / "spill-greedy",
+        local_pool_dir=None,
+        config=config,
+    )
+
+
+def test_victim_write_demotes_greedy_instead_of_spilling(cluster):
+    config = SpongeConfig(chunk_size=CHUNK)
+    greedy = SpongeFile(cluster.task_id(0, "greedy"),
+                        greedy_chain(cluster, config), config)
+    # More than both pools hold (2 nodes x 4 chunks): the overflow
+    # defers and lands on the greedy tenant's own disk tier.
+    greedy_payload = bytes(range(256)) * (10 * CHUNK // 256)
+    greedy.write_all(greedy_payload)
+    greedy.close_sync()
+    assert any(h.location == ChunkLocation.REMOTE_MEMORY
+               for h in greedy.handles)
+
+    # The victim carries an explicit weight over the wire and goes
+    # through the server path (no local pool attachment).
+    victim_config = SpongeConfig(chunk_size=CHUNK, tenant_weight=2.0)
+    victim_chain = cluster.chain(0, config=victim_config,
+                                 attach_local_pool=False)
+    victim = SpongeFile(cluster.task_id(0, "victim-w1"), victim_chain,
+                        victim_config)
+    victim_payload = b"V" * (2 * CHUNK)
+    victim.write_all(victim_payload)
+    victim.close_sync()
+
+    # The victim stayed in sponge memory: pressure was relieved by
+    # demoting the greedy tenant's cold chunks, not by refusing.
+    assert all(h.location == ChunkLocation.REMOTE_MEMORY
+               for h in victim.handles)
+    counters = cluster.scrape().to_dict()["counters"]
+    assert counters.get("qos.demotions", 0) > 0
+    assert counters.get("quota.release_underflow", 0) == 0
+
+    # Everyone reads back byte-exact — the greedy tenant's demoted
+    # chunks come from the servers' demote tier.
+    assert victim.read_all() == victim_payload
+    assert greedy.read_all() == greedy_payload
+    after_read = cluster.scrape().to_dict()["counters"]
+    assert after_read.get("qos.demoted_reads", 0) > 0
+
+    # Per-tenant usage gauges are exported for operators.
+    gauges = cluster.scrape().to_dict()["gauges"]
+    tenant_gauges = [k for k in gauges if k.startswith("qos.tenant.usage.")]
+    assert any(k.endswith(".greedy") for k in tenant_gauges)
+
+    # Demoted chunks persist in the server's demote directory: a
+    # restart (pools kept) rebuilds them and reads still succeed.
+    cluster.restart_server(0)
+    cluster.restart_server(1)
+    assert greedy.read_all() == greedy_payload
+    assert victim.read_all() == victim_payload
+
+    victim.delete_sync()
+    greedy.delete_sync()
+
+
+def test_weight_header_only_sent_when_non_default(cluster):
+    from repro.runtime import protocol
+
+    assert "tenant_weight" not in protocol.encode_owner("h", "t")
+    assert "tenant_weight" not in protocol.encode_owner("h", "t", 1.0)
+    assert protocol.encode_owner("h", "t", 2.5)["tenant_weight"] == 2.5

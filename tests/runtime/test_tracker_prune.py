@@ -1,0 +1,171 @@
+"""Tracker rate-state hygiene: `_alloc_seen`/`_alloc_rates` pruning.
+
+The tracker derives per-server allocation rates by differencing
+cumulative counters between polls.  Servers that drop out of a poll
+(dead, restarting, removed from config) must also drop out of the
+rate-state dicts: otherwise the baselines accumulate forever, and a
+server returning after a long death would difference against its
+ancient pre-crash counter.
+"""
+
+import socket
+import threading
+
+from repro.obs.metrics import Ewma
+from repro.runtime import protocol
+from repro.runtime.tracker_server import TrackerConfig, TrackerServerProcess
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class FakeSpongeServer:
+    """A thread answering ``free_bytes`` with a settable alloc_count."""
+
+    def __init__(self):
+        self.alloc_count = 0
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        self.address = self._listener.getsockname()
+        self._stop = False
+        self._conns = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self._conns.append(conn)
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        with conn:
+            while True:
+                try:
+                    header, _ = protocol.recv_message(conn)
+                except Exception:  # noqa: BLE001 - client went away
+                    return
+                if header.get("op") != "free_bytes":
+                    protocol.send_message(
+                        conn, protocol.error_reply("unknown op"))
+                    continue
+                protocol.send_message(conn, {
+                    "ok": True,
+                    "free_bytes": 1 << 20,
+                    "alloc_count": self.alloc_count,
+                    "host": "h0",
+                    "rack": "rack0",
+                })
+
+    def close(self):
+        self._stop = True
+        self._listener.close()
+        for conn in self._conns:
+            # shutdown() interrupts the handler thread blocked in recv
+            # (a bare close() would leave the TCP connection alive).
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def make_tracker(servers):
+    return TrackerServerProcess(TrackerConfig(
+        port=_free_port(), servers=servers))
+
+
+def shutdown(tracker):
+    tracker._tcp.server_close()
+    tracker._poll_pool.close()
+
+
+def test_poll_prunes_rate_state_of_vanished_servers():
+    dead_address = ("127.0.0.1", _free_port())  # nothing listens here
+    tracker = make_tracker({
+        "dead@h9": {"address": dead_address, "host": "h9", "rack": "rack0"},
+    })
+    try:
+        # State left behind by earlier polls: one entry for the server
+        # still configured but dead, one for a server long removed.
+        tracker._alloc_seen["dead@h9"] = (100, 0.0)
+        tracker._alloc_rates["dead@h9"] = Ewma(alpha=0.3)
+        tracker._alloc_seen["removed@h8"] = (7, 0.0)
+        tracker._alloc_rates["removed@h8"] = Ewma(alpha=0.3)
+        tracker.poll_once()
+        assert tracker.snapshot() == []
+        assert tracker._alloc_seen == {}
+        assert tracker._alloc_rates == {}
+    finally:
+        shutdown(tracker)
+
+
+def test_live_server_state_survives_while_stale_state_is_pruned():
+    server = FakeSpongeServer()
+    tracker = make_tracker({
+        "live@h0": {"address": server.address, "host": "h0", "rack": "rack0"},
+    })
+    try:
+        tracker._alloc_seen["ghost@h7"] = (999, 0.0)
+        tracker._alloc_rates["ghost@h7"] = Ewma(alpha=0.3)
+        server.alloc_count = 10
+        tracker.poll_once()
+        server.alloc_count = 30
+        tracker.poll_once()
+        assert [e["server_id"] for e in tracker.snapshot()] == ["live@h0"]
+        # The live server's differencing baseline is intact (a pruned
+        # baseline would have reset and reported rate 0.0 forever)...
+        assert tracker._alloc_seen["live@h0"][0] == 30
+        assert tracker._alloc_rates["live@h0"].value > 0.0
+        # ...while the ghost's state is gone.
+        assert "ghost@h7" not in tracker._alloc_seen
+        assert "ghost@h7" not in tracker._alloc_rates
+    finally:
+        shutdown(tracker)
+        server.close()
+
+
+def test_server_returning_after_death_restarts_its_baseline():
+    server = FakeSpongeServer()
+    config_servers = {
+        "flappy@h0": {"address": server.address, "host": "h0",
+                      "rack": "rack0"},
+    }
+    tracker = make_tracker(config_servers)
+    try:
+        server.alloc_count = 1000
+        tracker.poll_once()
+        assert tracker._alloc_seen["flappy@h0"][0] == 1000
+        # The server dies: its address stops answering.  (Repointing
+        # the config at a never-bound port models the restart cleanly —
+        # tearing down a threaded listener mid-test is racy.)
+        config_servers["flappy@h0"]["address"] = ("127.0.0.1", _free_port())
+        tracker.poll_once()
+        assert "flappy@h0" not in tracker._alloc_seen
+        # ...and comes back restarted, counters reset to near zero.
+        reborn = FakeSpongeServer()
+        config_servers["flappy@h0"]["address"] = reborn.address
+        try:
+            reborn.alloc_count = 5
+            tracker.poll_once()
+            # Fresh baseline: the first sighting never differences
+            # against the pre-crash count of 1000.
+            assert tracker._alloc_seen["flappy@h0"][0] == 5
+            assert tracker._alloc_rates["flappy@h0"].value == 0.0
+        finally:
+            reborn.close()
+    finally:
+        shutdown(tracker)
+        server.close()

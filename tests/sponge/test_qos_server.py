@@ -1,0 +1,189 @@
+"""In-process SpongeServer QoS: admission, pressure demotion, faults.
+
+Four chunks of pool, a 0.75 high-water mark, and a memory-backed
+demote store make every admission decision traceable by hand.
+"""
+
+import pytest
+
+from repro.backends.memory_backends import MemoryDiskStore
+from repro.errors import ChunkLostError, OutOfSpongeMemory, QuotaDeferError
+from repro.faults.hooks import injected
+from repro.faults.plan import FaultPlan
+from repro.sponge.chunk import TaskId
+from repro.sponge.gc import TaskRegistry
+from repro.sponge.pool import SpongePool
+from repro.sponge.quota import QuotaPolicy
+from repro.sponge.server import SpongeServer
+
+from .conftest import CHUNK
+
+POOL_CHUNKS = 4
+
+
+def make_server(registry=None, demote=True, high_water=0.75):
+    pool = SpongePool(POOL_CHUNKS * CHUNK, CHUNK)
+    liveness = registry.probe_for_host("h0") if registry else None
+    server = SpongeServer(
+        server_id="sponge@h0",
+        host="h0",
+        pool=pool,
+        quota=QuotaPolicy(capacity=POOL_CHUNKS * CHUNK, high_water=high_water),
+        local_liveness=liveness,
+        demote_store=MemoryDiskStore(store_id="h0/demote") if demote else None,
+    )
+    return server
+
+
+def fill(server, owner, chunks, payload=b"A"):
+    """Write ``chunks`` full chunks for ``owner``; returns the indices."""
+    return [
+        server.alloc_and_store(owner, payload * CHUNK)
+        for _ in range(chunks)
+    ]
+
+
+class TestPressureDemotion:
+    def test_newcomer_triggers_demotion_of_cold_chunks(self):
+        server = make_server()
+        a = TaskId("h0", "etl-1")
+        b = TaskId("h1", "web-1")
+        indices = fill(server, a, POOL_CHUNKS)  # sole tenant fills the pool
+        assert server.pool.used_chunks == POOL_CHUNKS
+
+        idx_b = server.alloc_and_store(b, b"B" * CHUNK)
+        # Relief demotes down to high_water: 4 resident + 1 incoming
+        # must become <= 3, so a's two coldest chunks went to disk.
+        assert server.stats.demotions == 2
+        assert (a, indices[0]) in server._demoted
+        assert (a, indices[1]) in server._demoted
+        assert server.pool.used_chunks == POOL_CHUNKS - 1
+        # Demoted bytes stay charged: a still owns its four chunks.
+        assert server.quota.used_by(a) == POOL_CHUNKS * CHUNK
+        assert server.read(b, idx_b) == b"B" * CHUNK
+
+    def test_demoted_chunk_reads_back_byte_exact(self):
+        server = make_server()
+        a = TaskId("h0", "etl-1")
+        payloads = [bytes([i]) * CHUNK for i in range(POOL_CHUNKS)]
+        indices = [server.alloc_and_store(a, p) for p in payloads]
+        fill(server, TaskId("h1", "web-1"), 1, payload=b"B")
+        assert server.stats.demotions == 2
+        for idx, payload in zip(indices, payloads):
+            assert bytes(server.read(a, idx)) == payload
+        assert server.stats.demoted_reads == 2
+
+    def test_free_of_demoted_chunk_releases_quota(self):
+        server = make_server()
+        a = TaskId("h0", "etl-1")
+        indices = fill(server, a, POOL_CHUNKS)
+        fill(server, TaskId("h1", "web-1"), 1, payload=b"B")
+        demoted_idx = indices[0]
+        assert (a, demoted_idx) in server._demoted
+        before = server.quota.used_by(a)
+        server.free(a, demoted_idx)
+        assert server.quota.used_by(a) == before - CHUNK
+        assert (a, demoted_idx) not in server._demoted
+        # A second free of the same chunk is a real error, not a
+        # silent quota drain.
+        with pytest.raises(Exception):
+            server.free(a, demoted_idx)
+        assert server.quota.release_underflow == 0
+
+    def test_elasticity_prefers_demoting_non_readers(self):
+        server = make_server()
+        reader = TaskId("h0", "hot-1")
+        writer = TaskId("h1", "cold-1")
+        hot = fill(server, reader, 2, payload=b"R")
+        cold = fill(server, writer, 2, payload=b"W")
+        for _ in range(3):  # observed re-reads mark `hot` inelastic
+            for idx in hot:
+                server.read(reader, idx)
+        server.alloc_and_store(TaskId("h2", "new-1"), b"N" * CHUNK)
+        # Both of the write-only tenant's chunks were the victims.
+        assert all((writer, idx) in server._demoted for idx in cold)
+        assert not any((reader, idx) in server._demoted for idx in hot)
+
+    def test_no_demote_store_means_deferral(self):
+        server = make_server(demote=False)
+        a = TaskId("h0", "etl-1")
+        fill(server, a, POOL_CHUNKS)
+        # Past its share with nowhere to down-tier: retryable defer.
+        with pytest.raises(QuotaDeferError):
+            server.alloc_and_store(a, b"A" * CHUNK)
+        assert server.stats.remote_denied == 1
+
+    def test_local_pool_chunks_are_never_demoted(self):
+        server = make_server()
+        local = TaskId("h0", "local-1")
+        # A local task bypasses the server and grabs pool slots
+        # directly: no _chunk_info entry, so not a demotion candidate.
+        for _ in range(POOL_CHUNKS):
+            idx = server.pool.allocate(local)
+            server.pool.store(idx, local, b"L" * CHUNK)
+        with pytest.raises(OutOfSpongeMemory):
+            server.alloc_and_store(TaskId("h1", "web-1"), b"B" * CHUNK)
+        assert server.stats.demotions == 0
+
+    def test_gc_drops_dead_owners_demoted_chunks_and_quota(self):
+        registry = TaskRegistry()
+        server = make_server(registry=registry)
+        a = TaskId("h0", "etl-1")
+        b = TaskId("h0", "web-1")
+        registry.start(a)
+        registry.start(b)
+        fill(server, a, POOL_CHUNKS)
+        fill(server, b, 1, payload=b"B")
+        assert server._demoted  # pressure demoted some of a's chunks
+        registry.finish(a)
+        server.run_gc()
+        assert server.quota.used_by(a) == 0
+        assert not any(owner == a for (owner, _i) in server._demoted)
+        assert not any(owner == a for (owner, _i) in server._chunk_info)
+        # The survivor is untouched.
+        assert server.quota.used_by(b) == CHUNK
+
+
+class TestQosFaultInjection:
+    def test_defer_admission_plan_raises_retryable_defer(self):
+        server = make_server()
+        a = TaskId("h0", "etl-1")
+        with injected(FaultPlan().defer_admission(times=1)):
+            with pytest.raises(QuotaDeferError):
+                server.alloc_and_store(a, b"A" * CHUNK)
+            # Injection is pre-admission: nothing was charged.
+            assert server.quota.used_by(a) == 0
+            # The rule is exhausted; the retry lands.
+            server.alloc_and_store(a, b"A" * CHUNK)
+
+    def test_defer_admission_matches_tenant(self):
+        server = make_server()
+        with injected(FaultPlan().defer_admission(tenant="etl")):
+            server.alloc_and_store(TaskId("h0", "web-1"), b"B" * CHUNK)
+            with pytest.raises(QuotaDeferError):
+                server.alloc_and_store(TaskId("h0", "etl-1"), b"A" * CHUNK)
+
+    def test_fail_demotion_keeps_victim_resident(self):
+        server = make_server()
+        a = TaskId("h0", "etl-1")
+        indices = fill(server, a, POOL_CHUNKS)
+        with injected(FaultPlan().fail_demotion()):
+            # Demotion fails, pool stays full: the incoming write is
+            # refused, and the would-be victim is intact.
+            with pytest.raises(OutOfSpongeMemory):
+                server.alloc_and_store(TaskId("h1", "web-1"), b"B" * CHUNK)
+        assert server.stats.demotions == 0
+        assert not server._demoted
+        for idx in indices:
+            assert (a, idx) in server._chunk_info
+            assert bytes(server.read(a, idx)) == b"A" * CHUNK
+
+    def test_demoted_read_after_store_loss_is_chunk_lost(self):
+        server = make_server()
+        a = TaskId("h0", "etl-1")
+        indices = fill(server, a, POOL_CHUNKS)
+        fill(server, TaskId("h1", "web-1"), 1, payload=b"B")
+        assert (a, indices[0]) in server._demoted
+        server.demote_store._files.clear()  # the down-tier disk died
+        with pytest.raises(ChunkLostError):
+            server.read(a, indices[0])

@@ -1,0 +1,265 @@
+"""QuotaPolicy: stored-domain accounting, thread safety, tenant QoS.
+
+The bug sweep this file regression-guards:
+
+* charge/release byte-domain drift — both paths must live in the
+  *stored* domain, so a compressed SpongeFile's delete returns usage
+  to exactly zero;
+* silent over-release absorption — underflow must clamp *and* count;
+* the dead ``offenders()`` corrective path — charge raises before an
+  owner can exceed the limit, so flagging only ``used >= limit`` missed
+  everyone who *tried*;
+* the missing lock — the policy is shared between handler threads and
+  the GC thread.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import QuotaDeferError, QuotaExceededError
+from repro.sponge.chunk import TaskId
+from repro.sponge.quota import QuotaPolicy, tenant_of
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.config import SpongeConfig
+
+from .conftest import CHUNK, MiniCluster
+
+
+class TestTenantDerivation:
+    def test_strips_pid_prefix_and_task_index(self):
+        assert tenant_of(TaskId("n0", "pid:4711:chaos-w3")) == "chaos-w"
+        assert tenant_of(TaskId("n1", "pid:4712:chaos-w0")) == "chaos-w"
+
+    def test_plain_task_names(self):
+        assert tenant_of(TaskId("h0", "reduce-17")) == "reduce"
+        assert tenant_of(TaskId("h0", "sort_3")) == "sort"
+        assert tenant_of(TaskId("h0", "job.0")) == "job"
+
+    def test_string_owner_and_degenerate_names(self):
+        assert tenant_of("reduce-17@h0") == "reduce"
+        # An all-digit task must not collapse to the empty tenant.
+        assert tenant_of(TaskId("h0", "123")) == "123"
+
+    def test_same_job_different_hosts_share_a_tenant(self):
+        a = tenant_of(TaskId("h0", "pid:1:etl-w1"))
+        b = tenant_of(TaskId("h9", "pid:2:etl-w7"))
+        assert a == b == "etl-w"
+
+
+class TestChargeRelease:
+    def test_round_trip_returns_to_zero(self):
+        quota = QuotaPolicy(limit_per_node=10 * CHUNK)
+        owner = TaskId("h0", "t")
+        quota.charge(owner, 3 * CHUNK)
+        quota.release(owner, 3 * CHUNK)
+        assert quota.used_by(owner) == 0
+        assert owner not in quota.usage
+        assert quota.tenant_used(tenant_of(owner)) == 0
+
+    def test_over_release_clamps_and_counts(self):
+        quota = QuotaPolicy()
+        owner = TaskId("h0", "t")
+        quota.charge(owner, 100)
+        quota.release(owner, 150)  # domain drift / double free
+        assert quota.used_by(owner) == 0
+        assert quota.release_underflow == 1
+        # The tenant mirror must not go negative either.
+        assert quota.tenant_used(tenant_of(owner)) == 0
+
+    def test_release_of_unknown_owner_counts_underflow(self):
+        quota = QuotaPolicy()
+        quota.release(TaskId("h0", "ghost"), 10)
+        assert quota.release_underflow == 1
+
+    def test_drop_owner_releases_exactly_what_was_charged(self):
+        quota = QuotaPolicy()
+        owner = TaskId("h0", "t")
+        quota.charge(owner, 7 * CHUNK)
+        assert quota.drop_owner(owner) == 7 * CHUNK
+        assert quota.used_by(owner) == 0
+        assert quota.tenant_used(tenant_of(owner)) == 0
+        assert quota.release_underflow == 0
+
+    def test_zero_byte_charge_is_an_admission_probe(self):
+        # Lease-time probes charge zero bytes: admission runs but no
+        # spurious usage entry may appear.
+        quota = QuotaPolicy()
+        owner = TaskId("h0", "t")
+        quota.charge(owner, 0)
+        assert owner not in quota.usage
+        assert quota.tenant_used(tenant_of(owner)) == 0
+
+    def test_thread_safety_under_concurrent_charge_release(self):
+        quota = QuotaPolicy()
+        owners = [TaskId("h0", f"job-{i}") for i in range(4)]
+        rounds = 300
+        errors = []
+
+        def worker(owner):
+            try:
+                for _ in range(rounds):
+                    quota.charge(owner, 10)
+                    quota.release(owner, 10)
+                quota.charge(owner, 1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(o,))
+                   for o in owners]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert quota.release_underflow == 0
+        for owner in owners:
+            assert quota.used_by(owner) == 1
+        # Per-tenant mirror agrees with per-owner truth.
+        assert sum(quota.tenant_snapshot().values()) == len(owners)
+
+
+class TestOffenders:
+    def test_refused_owner_is_flagged(self):
+        quota = QuotaPolicy(limit_per_node=CHUNK)
+        owner = TaskId("h0", "greedy")
+        quota.charge(owner, CHUNK // 2)  # under the limit, never *at* it
+        with pytest.raises(QuotaExceededError):
+            quota.charge(owner, CHUNK)  # would exceed -> refused
+        # Pre-fix, offenders() only matched used >= limit, which a
+        # refusal can never produce: the corrective path was dead code.
+        assert owner in quota.offenders()
+
+    def test_at_limit_owner_still_flagged(self):
+        quota = QuotaPolicy(limit_per_node=CHUNK)
+        owner = TaskId("h0", "full")
+        quota.charge(owner, CHUNK)
+        assert quota.offenders() == [owner]
+
+    def test_gc_clears_the_refusal_flag(self):
+        quota = QuotaPolicy(limit_per_node=CHUNK)
+        owner = TaskId("h0", "greedy")
+        with pytest.raises(QuotaExceededError):
+            quota.charge(owner, 2 * CHUNK)
+        assert owner in quota.offenders()
+        quota.drop_owner(owner)
+        assert quota.offenders() == []
+
+    def test_no_limit_means_no_offenders(self):
+        quota = QuotaPolicy()
+        quota.charge(TaskId("h0", "t"), 10**9)
+        assert quota.offenders() == []
+
+
+class TestWeightedFairAdmission:
+    CAPACITY = 8 * CHUNK
+
+    def make(self, high_water=0.5):
+        return QuotaPolicy(capacity=self.CAPACITY, high_water=high_water)
+
+    def test_no_pressure_admits_freely(self):
+        quota = self.make()
+        owner = TaskId("h0", "a-1")
+        quota.charge(owner, 3 * CHUNK)  # 3/8 < 0.5 high water
+        assert quota.used_by(owner) == 3 * CHUNK
+
+    def test_over_share_tenant_deferred_under_pressure(self):
+        quota = self.make()
+        a = TaskId("h0", "a-1")
+        b = TaskId("h0", "b-1")
+        quota.charge(a, 4 * CHUNK)
+        quota.charge(b, CHUNK)
+        # Pool past high water; a holds 4 * CHUNK = its fair share
+        # (capacity * 1/2 with two equal-weight active tenants).
+        with pytest.raises(QuotaDeferError):
+            quota.charge(a, CHUNK)
+        assert quota.deferrals == 1
+        # The deferred charge left no usage behind.
+        assert quota.used_by(a) == 4 * CHUNK
+
+    def test_newcomer_is_never_deferred(self):
+        quota = self.make()
+        quota.charge(TaskId("h0", "a-1"), 6 * CHUNK)
+        # A tenant holding nothing is admitted even past high water.
+        quota.charge(TaskId("h0", "b-1"), CHUNK)
+
+    def test_weights_shift_the_share(self):
+        quota = self.make()
+        a = TaskId("h0", "a-1")
+        b = TaskId("h0", "b-1")
+        quota.charge(b, CHUNK, weight=1.0)
+        # Weight 3 of total 4: a's share is 6 * CHUNK, so 5 held + 1
+        # incoming still admits where an equal-weight tenant defers.
+        quota.charge(a, 5 * CHUNK, weight=3.0)
+        quota.charge(a, CHUNK, weight=3.0)
+        assert quota.used_by(a) == 6 * CHUNK
+        with pytest.raises(QuotaDeferError):
+            quota.charge(a, CHUNK, weight=3.0)
+
+    def test_pool_used_overrides_charged_occupancy(self):
+        quota = self.make()
+        a = TaskId("h0", "a-1")
+        quota.charge(a, 4 * CHUNK)
+        # The pool itself reports low occupancy (e.g. chunks were
+        # demoted): no pressure, no deferral.
+        quota.charge(a, CHUNK, pool_used=0)
+
+    def test_defer_is_retryable_subclass_of_quota_error(self):
+        assert issubclass(QuotaDeferError, QuotaExceededError)
+
+    def test_invalid_weight_and_high_water_rejected(self):
+        with pytest.raises(ValueError):
+            QuotaPolicy(capacity=8, high_water=0.0)
+        quota = self.make()
+        with pytest.raises(ValueError):
+            quota.charge(TaskId("h0", "a-1"), 1, weight=0.0)
+
+
+class TestStoredDomainRegression:
+    def test_compressed_write_delete_returns_usage_to_exactly_zero(self):
+        """The byte-domain drift regression (satellite 1).
+
+        With ``compression="always"`` the pool stores compressed
+        frames while the SpongeFile's handles are restamped to raw
+        sizes for the caller.  Quota charge and release must both see
+        the *stored* sizes: after delete, usage is exactly zero — not
+        negative, not a residue of raw-minus-compressed.
+        """
+        chunk = 4096  # compression needs room for frame overhead
+        config = SpongeConfig(chunk_size=chunk, compression="always",
+                              compression_level=1)
+        cluster = MiniCluster(
+            ["h0", "h1"], pool_chunks=8, config=config,
+            quota=8 * chunk, local_pool=False,  # everything via servers
+        )
+        owner = TaskId("h0", "compress-job-1")
+        cluster.registry.start(owner)
+        sf = SpongeFile(owner, cluster.chain("h0"), config)
+        # Highly compressible payload: stored size << raw size.
+        payload = b"spongefiles " * (3 * chunk // 12)
+        sf.write_all(payload)
+        sf.close_sync()
+        assert sf.read_all() == payload
+        quotas = [s.quota for s in cluster.servers.values()]
+        assert sum(q.used_by(owner) for q in quotas) > 0
+        sf.delete_sync()
+        for quota in quotas:
+            assert quota.used_by(owner) == 0
+            assert owner not in quota.usage
+            assert quota.release_underflow == 0
+
+    def test_uncompressed_write_delete_also_exact(self):
+        config = SpongeConfig(chunk_size=CHUNK)
+        cluster = MiniCluster(
+            ["h0", "h1"], pool_chunks=8, config=config,
+            quota=8 * CHUNK, local_pool=False,
+        )
+        owner = TaskId("h0", "plain-job-1")
+        cluster.registry.start(owner)
+        sf = SpongeFile(owner, cluster.chain("h0"), config)
+        sf.write_all(b"x" * (3 * CHUNK))
+        sf.close_sync()
+        sf.delete_sync()
+        for server in cluster.servers.values():
+            assert server.quota.used_by(owner) == 0
+            assert server.quota.release_underflow == 0
