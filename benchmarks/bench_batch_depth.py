@@ -8,11 +8,21 @@ batching work actually optimises: depth 1 pays one ``alloc_write`` per
 chunk (~64 RPCs per spill), depth 32 coalesces the same bytes into a
 couple of ``write_batch`` calls plus a lease.
 
+Each round also re-reads the spill through the pipelined read path
+(thread executor, ``prefetch_depth=4``, ``read_parallelism=4``): deep
+batches coalesce the read into a few fat ``read_batch`` RPCs that are
+strictly serial without striping, which historically made depth 32
+*lose* to depth 1 on reads.  The striped reader keeps several of them
+in flight, and the ``pipelined_read`` column records what that buys.
+
 Results merge into ``BENCH_runtime.json`` under the ``"batch_depth"``
 key (the compression bench owns ``"compression"``) so CI can upload
 one combined file; ``--check`` additionally enforces the acceptance floor
 (>= 1.5x write throughput at depth 32 vs 1, <= 8 write RPCs per 64 MB
-spill) and exits non-zero when it regresses.
+spill) and exits non-zero when it regresses.  On hosts with >= 2 CPUs
+it also requires the pipelined depth-32 read to be at least as fast as
+the pipelined depth-1 read — the read-side regression striping exists
+to close; a single time-sliced core skips that floor with a notice.
 
 Run it directly::
 
@@ -28,6 +38,7 @@ import time
 from typing import Optional
 
 from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.executor import ThreadExecutor
 from repro.runtime.local_cluster import LocalSpongeCluster
 from repro.sponge.config import SpongeConfig
 from repro.sponge.spongefile import SpongeFile
@@ -41,7 +52,8 @@ SPILL_CHUNKS = 64  # one spill = 64 MB, the ISSUE's reference size
 class _DepthBench:
     """One batch depth's long-lived client state plus its round log."""
 
-    def __init__(self, cluster: LocalSpongeCluster, depth: int) -> None:
+    def __init__(self, cluster: LocalSpongeCluster, depth: int,
+                 read_executor: ThreadExecutor) -> None:
         # lease_ahead stays 0: leasing trades an up-front RPC for
         # skipping the server's allocation scan on later writes, which
         # pays off under multi-writer allocation contention (the chaos
@@ -56,6 +68,16 @@ class _DepthBench:
             chunk_size=CHUNK,
             batch_depth=depth,
         )
+        # The pipelined re-read swaps this config (and the thread
+        # executor) onto the closed file: same batch depth, but with
+        # prefetch and fan-out on so deep batched reads can stripe.
+        self.read_config = SpongeConfig(
+            chunk_size=CHUNK,
+            batch_depth=depth,
+            prefetch_depth=4,
+            read_parallelism=4,
+        )
+        self.read_executor = read_executor
         self.pool = ConnectionPool()
         self.chain = cluster.chain(
             0, config=self.config, attach_local_pool=False,
@@ -82,11 +104,23 @@ class _DepthBench:
             received += len(chunk)
         t2 = time.perf_counter()
         read_rpcs = self.pool.request_count - rpc0 - write_rpcs
+        # Pipelined re-read: same bytes, prefetching/striped reader.
+        spill.config, spill.executor = self.read_config, self.read_executor
+        reader = spill.open_reader()
+        pipelined = 0
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            pipelined += len(chunk)
+        t3 = time.perf_counter()
         spill.delete_sync()
         assert received == SPILL_CHUNKS * CHUNK, "spill truncated"
+        assert pipelined == received, "pipelined re-read truncated"
         return {
             "write_mb_s": SPILL_CHUNKS / (t1 - t0),
             "read_mb_s": SPILL_CHUNKS / (t2 - t1),
+            "pipelined_read_mb_s": SPILL_CHUNKS / (t3 - t2),
             "write_rpcs": write_rpcs,
             "read_rpcs": read_rpcs,
         }
@@ -107,11 +141,13 @@ def run(depths: list[int], rounds: int) -> dict:
     payload = bytes(CHUNK)
     # Slow background poll/GC: their periodic free_bytes RPCs otherwise
     # contend with the timed rounds on a single-CPU host.
+    read_executor = ThreadExecutor(max_workers=4, name="bench-depth-read")
     with LocalSpongeCluster(
         num_nodes=3, pool_size=64 * MB, chunk_size=CHUNK,
         poll_interval=2.0, gc_interval=60.0,
     ) as cluster:
-        benches = {d: _DepthBench(cluster, d) for d in depths}
+        benches = {d: _DepthBench(cluster, d, read_executor)
+                   for d in depths}
         try:
             # Round-robin across depths so every depth samples the same
             # machine-noise regime — back-to-back per-depth blocks let a
@@ -126,6 +162,7 @@ def run(depths: list[int], rounds: int) -> dict:
         finally:
             for bench in benches.values():
                 bench.close()
+            read_executor.close(wait=False)
         results = {str(d): benches[d].median() for d in depths}
     report = {
         "benchmark": "runtime-batch-depth",
@@ -147,6 +184,13 @@ def run(depths: list[int], rounds: int) -> dict:
         )
         report["write_speedup_max_vs_min_depth"] = round(
             ratios[len(ratios) // 2], 3
+        )
+        read_ratios = sorted(
+            deep["pipelined_read_mb_s"] / shallow["pipelined_read_mb_s"]
+            for shallow, deep in zip(benches[lo].rows, benches[hi].rows)
+        )
+        report["pipelined_read_speedup_max_vs_min_depth"] = round(
+            read_ratios[len(read_ratios) // 2], 3
         )
     return report
 
@@ -177,17 +221,24 @@ def main(argv: Optional[list[str]] = None) -> int:
         json.dump(merged, handle, indent=2, sort_keys=True)
 
     print(f"{'depth':>6s} {'write MB/s':>12s} {'read MB/s':>12s} "
-          f"{'write RPCs':>11s} {'read RPCs':>10s}")
+          f"{'piped MB/s':>11s} {'write RPCs':>11s} {'read RPCs':>10s}")
     for depth, row in report["depths"].items():
         print(f"{depth:>6s} {row['write_mb_s']:12.1f} {row['read_mb_s']:12.1f}"
+              f" {row['pipelined_read_mb_s']:11.1f}"
               f" {row['write_rpcs']:11d} {row['read_rpcs']:10d}")
     speedup = report.get("write_speedup_max_vs_min_depth")
+    read_speedup = report.get("pipelined_read_speedup_max_vs_min_depth")
     if speedup is not None:
         print(f"write speedup (deepest vs depth "
               f"{min(report['depths'], key=int)}): {speedup:.2f}x")
+    if read_speedup is not None:
+        print(f"pipelined read speedup (deepest vs depth "
+              f"{min(report['depths'], key=int)}): {read_speedup:.2f}x")
     print(f"written to {args.out}")
 
     if args.check:
+        from conftest import requires_cores
+
         failures = []
         deepest = report["depths"][max(report["depths"], key=int)]
         if speedup is not None and speedup < 1.5:
@@ -195,6 +246,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         if deepest["write_rpcs"] > 8:
             failures.append(
                 f"{deepest['write_rpcs']} write RPCs per 64 MB spill > 8"
+            )
+        if (read_speedup is not None and read_speedup < 1.0
+                and requires_cores(2, "striped batched reads need real "
+                                      "parallelism to overlap RPCs")):
+            failures.append(
+                f"pipelined read speedup {read_speedup:.2f}x < 1.0x — "
+                f"deep batches still lose on reads despite striping"
             )
         for failure in failures:
             print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)

@@ -1,0 +1,357 @@
+"""Read-path throughput: decode fan-out, striping, and reconstruction.
+
+Three cells, one per leg of the parallel read pipeline:
+
+* ``compressed_text`` — a compression=always text spill read twice per
+  round, once at ``read_parallelism=1`` (legacy serial decode) and once
+  at ``read_parallelism=4`` (per-frame decode ops fanned onto a thread
+  pool).  zlib decompression releases the GIL, so on a multi-core host
+  the paired ratio prices the fan-out directly.
+* ``batch_read`` — an uncompressed 64 MB spill written at depth 1 and
+  depth 32, read back with ``read_parallelism=4``/``prefetch_depth=4``
+  so the reader keeps several batched-read RPCs striped across the
+  servers.  Depth 32 historically *lost* to depth 1 on reads (fewer,
+  fatter, strictly serial RPCs); striping exists to win that back.
+* ``degraded`` — the bench_redundancy geometry (5 servers, 24 x 256 KB
+  chunks, xor 4+1) read clean and then with the first primary member
+  lost, so the ratio prices a reconstruction whose k-1 sibling and
+  parity fetches run concurrently instead of one at a time.
+
+Results merge into ``BENCH_runtime.json`` under the ``"read_path"``
+key (sibling namespaces — ``batch_depth``, ``compression``,
+``redundancy``, ``sharding`` — are preserved); ``--check`` enforces
+the acceptance floors on hosts with >= 2 CPUs and skips them with the
+uniform notice elsewhere, where every "parallel" leg time-slices one
+core and measures the scheduler.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_read_path.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+from bench_compression import text_payload
+from bench_redundancy import merge_into
+from repro.faults import hooks
+from repro.faults.plan import FaultPlan
+from repro.runtime.client import build_chain
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.executor import ThreadExecutor
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+from repro.util.units import MB
+
+CHUNK = 1 * MB
+TEXT_CHUNKS = 16   # compressed-text spill = 16 MB
+BATCH_CHUNKS = 64  # uncompressed batched spill = 64 MB
+RED_CHUNK = 256 * 1024
+RED_CHUNKS = 24    # coded spill = 6 MB, matching bench_redundancy
+K = 4              # xor group width: 4 data + 1 parity
+
+
+def _drain(spill: SpongeFile) -> int:
+    reader = spill.open_reader()
+    received = 0
+    while True:
+        chunk = run_sync(reader.next_chunk())
+        if chunk is None:
+            break
+        received += len(chunk)
+    return received
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def bench_compressed_text(rounds: int, executor: ThreadExecutor) -> dict:
+    """Serial vs fanned-out decode of the same compressed text spill."""
+    payload = text_payload()
+    configs = {
+        "serial": SpongeConfig(chunk_size=CHUNK, compression="always",
+                               read_parallelism=1, prefetch_depth=4),
+        "parallel": SpongeConfig(chunk_size=CHUNK, compression="always",
+                                 read_parallelism=4, prefetch_depth=4),
+    }
+    rows: dict[str, list[float]] = {name: [] for name in configs}
+    with LocalSpongeCluster(
+        num_nodes=3, pool_size=64 * MB, chunk_size=CHUNK,
+        poll_interval=2.0, gc_interval=60.0,
+    ) as cluster:
+        pool = ConnectionPool()
+        try:
+            chains = {
+                name: cluster.chain(0, config=config,
+                                    attach_local_pool=False,
+                                    connection_pool=pool)
+                for name, config in configs.items()
+            }
+            # Paired rounds: both decode modes read back-to-back within
+            # each round so the ratio cancels machine-load drift.
+            # Round 0 is an untimed warm-up.
+            for round_no in range(rounds + 1):
+                for name, config in configs.items():
+                    owner = cluster.task_id(0, f"bench-text-{name}")
+                    spill = SpongeFile(owner, chains[name], config=config,
+                                       executor=executor)
+                    for _ in range(TEXT_CHUNKS):
+                        spill.write_all(payload)
+                    spill.close_sync()
+                    t0 = time.perf_counter()
+                    received = _drain(spill)
+                    elapsed = time.perf_counter() - t0
+                    spill.delete_sync()
+                    assert received == TEXT_CHUNKS * CHUNK, "spill truncated"
+                    if round_no > 0:
+                        rows[name].append(TEXT_CHUNKS * CHUNK / MB / elapsed)
+        finally:
+            pool.close()
+    return {
+        "chunk_mb": CHUNK // MB,
+        "spill_mb": TEXT_CHUNKS * CHUNK // MB,
+        "serial_read_mb_s": round(_median(rows["serial"]), 1),
+        "parallel_read_mb_s": round(_median(rows["parallel"]), 1),
+        "parallel_over_serial": round(_median([
+            parallel / serial
+            for serial, parallel in zip(rows["serial"], rows["parallel"])
+        ]), 3),
+    }
+
+
+def bench_batch_read(rounds: int, executor: ThreadExecutor) -> dict:
+    """Striped batched reads: depth 32 vs depth 1, fan-out enabled."""
+    payload = bytes(CHUNK)
+    depths = (1, 32)
+    rows: dict[int, list[float]] = {depth: [] for depth in depths}
+    with LocalSpongeCluster(
+        num_nodes=3, pool_size=64 * MB, chunk_size=CHUNK,
+        poll_interval=2.0, gc_interval=60.0,
+    ) as cluster:
+        pool = ConnectionPool()
+        try:
+            for round_no in range(rounds + 1):
+                for depth in depths:
+                    config = SpongeConfig(chunk_size=CHUNK,
+                                          batch_depth=depth,
+                                          prefetch_depth=4,
+                                          read_parallelism=4)
+                    chain = cluster.chain(0, config=config,
+                                          attach_local_pool=False,
+                                          connection_pool=pool)
+                    owner = cluster.task_id(0, f"bench-stripe{depth}")
+                    spill = SpongeFile(owner, chain, config=config,
+                                       executor=executor)
+                    for _ in range(BATCH_CHUNKS):
+                        spill.write_all(payload)
+                    spill.close_sync()
+                    t0 = time.perf_counter()
+                    received = _drain(spill)
+                    elapsed = time.perf_counter() - t0
+                    spill.delete_sync()
+                    assert received == BATCH_CHUNKS * CHUNK, "spill truncated"
+                    if round_no > 0:
+                        rows[depth].append(
+                            BATCH_CHUNKS * CHUNK / MB / elapsed)
+        finally:
+            pool.close()
+    return {
+        "chunk_mb": CHUNK // MB,
+        "spill_mb": BATCH_CHUNKS * CHUNK // MB,
+        "depth1_read_mb_s": round(_median(rows[1]), 1),
+        "depth32_read_mb_s": round(_median(rows[32]), 1),
+        "deep_over_shallow": round(_median([
+            deep / shallow for shallow, deep in zip(rows[1], rows[32])
+        ]), 3),
+    }
+
+
+def bench_degraded(rounds: int, executor: ThreadExecutor) -> dict:
+    """Concurrent reconstruction: degraded vs clean read, xor 4+1."""
+    config = SpongeConfig(
+        chunk_size=RED_CHUNK,
+        async_write_depth=4,
+        prefetch_depth=2,
+        redundancy="xor",
+        redundancy_k=K,
+        read_parallelism=4,
+    )
+    payload = bytes(RED_CHUNK)
+    clean_rows: list[float] = []
+    ratios: list[float] = []
+    with LocalSpongeCluster(
+        num_nodes=K + 1, pool_size=64 * MB, chunk_size=RED_CHUNK,
+        poll_interval=2.0, gc_interval=60.0,
+    ) as cluster:
+        pool = ConnectionPool()
+        try:
+            # The client host is not a cluster node so all 5 server
+            # domains stay eligible for group placement (the
+            # bench_redundancy geometry).
+            chain = build_chain(
+                host="bench-client",
+                tracker_address=cluster.tracker_address,
+                spill_dir=str(cluster.workdir / "bench-read-path-spill"),
+                local_pool_dir=None,
+                config=config,
+                executor=executor,
+                connection_pool=pool,
+            )
+            owner = TaskId(host="bench-client",
+                           task=f"pid:{os.getpid()}:bench-read-path")
+            for round_no in range(rounds + 1):
+                spill = SpongeFile(owner, chain, config=config,
+                                   executor=executor)
+                for _ in range(RED_CHUNKS):
+                    spill.write_all(payload)
+                spill.close_sync()
+                t0 = time.perf_counter()
+                received = _drain(spill)
+                clean = time.perf_counter() - t0
+                assert received == RED_CHUNKS * RED_CHUNK, "spill truncated"
+                # Lose the next directly-requested member once: one
+                # chunk of this read pays for a full reconstruction,
+                # its member fetches now issued concurrently.
+                hooks.arm(FaultPlan().lose_group_member(role="primary",
+                                                        times=1))
+                try:
+                    t1 = time.perf_counter()
+                    assert _drain(spill) == received
+                    degraded = time.perf_counter() - t1
+                finally:
+                    hooks.disarm()
+                spill.delete_sync()
+                if round_no > 0:
+                    clean_rows.append(RED_CHUNKS * RED_CHUNK / MB / clean)
+                    ratios.append(clean / degraded)
+        finally:
+            pool.close()
+    clean_mbs = _median(clean_rows)
+    ratio = _median(ratios)
+    return {
+        "chunk_kb": RED_CHUNK // 1024,
+        "spill_mb": RED_CHUNKS * RED_CHUNK // MB,
+        "k": K,
+        "clean_read_mb_s": round(clean_mbs, 1),
+        "degraded_read_mb_s": round(clean_mbs * ratio, 1),
+        "degraded_read_ratio": round(ratio, 4),
+    }
+
+
+def run(rounds: int) -> dict:
+    executor = ThreadExecutor(max_workers=4, name="bench-read-path")
+    try:
+        report = {
+            "benchmark": "runtime-read-path",
+            "cpus": os.cpu_count(),
+            "rounds": rounds,
+            "compressed_text": bench_compressed_text(rounds, executor),
+            "batch_read": bench_batch_read(rounds, executor),
+            "degraded": bench_degraded(rounds, executor),
+        }
+    finally:
+        executor.close(wait=False)
+    return report
+
+
+def _recorded(path: str, *keys) -> Optional[float]:
+    """A previously persisted figure from the shared results file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            node = json.load(handle)
+        for key in keys:
+            node = node[key]
+        return float(node)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="read-path throughput: decode fan-out, striped "
+                    "batched reads, concurrent reconstruction"
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the acceptance floors (parallel "
+                             "text read >= 1.5x the recorded serial "
+                             "cell, depth-32 read >= depth-1, degraded "
+                             "ratio improved); skipped with a notice "
+                             "on < 2 CPUs")
+    args = parser.parse_args(argv)
+
+    # Baselines recorded by the sibling benches, read before this run
+    # overwrites nothing (merge_into only touches the read_path key).
+    text_baseline = _recorded(args.out, "compression", "cells",
+                              "always/text", "read_mb_s")
+    degraded_baseline = _recorded(args.out, "redundancy",
+                                  "degraded_read_ratio")
+
+    report = run(args.rounds)
+    merge_into(args.out, "read_path", report)
+
+    text = report["compressed_text"]
+    batch = report["batch_read"]
+    degraded = report["degraded"]
+    print(f"{'cell':>16s} {'serial MB/s':>12s} {'parallel MB/s':>14s} "
+          f"{'ratio':>7s}")
+    print(f"{'compressed text':>16s} {text['serial_read_mb_s']:12.1f} "
+          f"{text['parallel_read_mb_s']:14.1f} "
+          f"{text['parallel_over_serial']:7.3f}")
+    print(f"{'batch depth 1/32':>16s} {batch['depth1_read_mb_s']:12.1f} "
+          f"{batch['depth32_read_mb_s']:14.1f} "
+          f"{batch['deep_over_shallow']:7.3f}")
+    print(f"{'xor clean/lost':>16s} {degraded['clean_read_mb_s']:12.1f} "
+          f"{degraded['degraded_read_mb_s']:14.1f} "
+          f"{degraded['degraded_read_ratio']:7.3f}")
+    print(f"written to {args.out}")
+
+    if args.check:
+        from conftest import requires_cores
+
+        if not requires_cores(2, "decode fan-out, read striping, and "
+                                 "concurrent member fetches need real "
+                                 "parallelism"):
+            return 0
+        failures = []
+        floor = 1.5 * (text_baseline if text_baseline is not None
+                       else text["serial_read_mb_s"])
+        anchor = ("recorded compression cell" if text_baseline is not None
+                  else "paired serial read")
+        if text["parallel_read_mb_s"] < floor:
+            failures.append(
+                f"parallel text read {text['parallel_read_mb_s']:.1f} MB/s "
+                f"< 1.5x the {anchor} ({floor:.1f} MB/s)"
+            )
+        if batch["deep_over_shallow"] < 1.0:
+            failures.append(
+                f"depth-32 read is {batch['deep_over_shallow']:.3f}x "
+                f"depth-1 — striping failed to close the batched-read gap"
+            )
+        if (degraded_baseline is not None
+                and degraded["degraded_read_ratio"] <= degraded_baseline):
+            failures.append(
+                f"degraded read ratio {degraded['degraded_read_ratio']:.3f} "
+                f"did not improve on the recorded serial-reconstruction "
+                f"ratio ({degraded_baseline:.3f})"
+            )
+        for failure in failures:
+            print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

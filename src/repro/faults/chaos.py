@@ -117,6 +117,13 @@ class ChaosSettings:
     max_file_chunks: int = 6
     async_write_depth: int = 2
     prefetch_depth: int = 2
+    #: Reader-side decode fan-out / read striping (``SpongeConfig.
+    #: read_parallelism``).  1 = the legacy serial read path; >1 runs
+    #: the fanned-out decode, striped prefetch, and concurrent
+    #: reconstruction under the full fault mix.  Like ``redundancy``,
+    #: the fault/kill schedule is blind to this knob by construction —
+    #: same seed, same schedule, whatever the read pipeline does.
+    read_parallelism: int = 1
     #: Writer-side chunk batching depth (1 = the classic one-chunk-per-
     #: RPC path; >1 exercises lease/write_batch/read_batch under chaos).
     batch_depth: int = 1
@@ -326,6 +333,7 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
         tracker_poll_interval=0.2,
         async_write_depth=settings.async_write_depth,
         prefetch_depth=settings.prefetch_depth,
+        read_parallelism=settings.read_parallelism,
         batch_depth=settings.batch_depth,
         lease_ahead=settings.lease_ahead,
         compression=settings.compression,
@@ -1024,6 +1032,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="skip server/tracker kill-restart events")
     parser.add_argument("--batch-depth", type=int, default=1,
                         help="writer chunk-batching depth (default 1)")
+    parser.add_argument("--read-parallelism", type=int, default=1,
+                        help="reader decode fan-out / striping depth "
+                             "(default 1: the legacy serial read path; "
+                             "the fault schedule is blind to this knob)")
     parser.add_argument("--lease-ahead", type=int, default=0,
                         help="lease-ahead target per remote store "
                              "(default 0: no leasing)")
@@ -1058,6 +1070,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         seed=args.seed, writers=args.writers, rounds=args.rounds,
         num_nodes=args.nodes, kill_servers=not args.no_kills,
         batch_depth=args.batch_depth, lease_ahead=args.lease_ahead,
+        read_parallelism=args.read_parallelism,
         compression=args.compression, shards=args.shards,
         redundancy=args.redundancy, redundancy_k=args.redundancy_k,
     )

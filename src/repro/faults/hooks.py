@@ -42,6 +42,7 @@ KNOWN_SITES = frozenset({
     "conn.await_reply",
     "disk.write",
     "compress.encode",
+    "compress.decode",
     "compress.probe",
     "redundancy.encode",
     "redundancy.member_read",

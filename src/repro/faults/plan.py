@@ -343,6 +343,18 @@ class FaultPlan:
             "raise", SpongeError, "injected demotion failure",
         ), **kwargs)
 
+    def fail_decode(self, **kwargs) -> "FaultPlan":
+        """Reader-side decode failures: the chunk whose decode fails
+        must fail *classified* (:class:`~repro.errors.CorruptChunkError`)
+        at exactly its own position — with the fanned-out decode
+        pipeline, earlier chunks stay byte-exact and the failure never
+        bleeds into neighbours."""
+        from repro.errors import CorruptChunkError
+
+        return self.rule("compress.decode", FaultAction(
+            "raise", CorruptChunkError, "injected decode failure",
+        ), **kwargs)
+
     def fail_probe(self, **kwargs) -> "FaultPlan":
         """Adaptive-probe failures: the codec must degrade to raw
         passthrough (compression is an optimization, not a correctness

@@ -18,6 +18,7 @@ import heapq
 from typing import Any, Callable, Iterable, Optional
 
 from repro.mapreduce.counters import TaskCounters
+from repro.mapreduce.fanin import FanInReader, sponge_files
 from repro.mapreduce.spill import SpillRun, SpillTarget
 from repro.mapreduce.types import Record
 from repro.sim.kernel import Environment
@@ -124,9 +125,16 @@ def merge_runs(
         record_lists = yield from _stream_round(env, runs)
     else:
         # SpongeFile runs: sequential whole-chunk reads with prefetch.
-        record_lists = []
-        for run in runs:
-            record_lists.append((yield from run.read_all()))
+        # Two or more pure-sponge runs fan in through one multiplexed
+        # reader, so every run's fetch+decode pipeline overlaps the
+        # drain of the others instead of starting cold after it.
+        files = sponge_files(runs) if len(runs) > 1 else None
+        if files is not None:
+            record_lists = yield from FanInReader(files).read_records()
+        else:
+            record_lists = []
+            for run in runs:
+                record_lists.append((yield from run.read_all()))
     merged = merge_sorted_records(record_lists, key=sort_key)
     yield env.timeout(total_bytes / merge_cpu_bps)
     for run in runs:

@@ -148,20 +148,22 @@ def pack_frames(frames: list) -> FrameBlob:
     return FrameBlob(parts, raw)
 
 
-def decode_frames(blob: Any) -> list:
-    """Parse a stored chunk back into its frame bodies, decompressed.
+def split_frames(blob: Any) -> list:
+    """Parse a stored chunk into ``(compressed, body)`` pieces.
 
-    Returns the decoded bodies in frame order (raw frames come back as
-    zero-copy views of ``blob``).  Raises :class:`CorruptChunkError`
-    on any framing violation — bad header checksum, truncated header
-    or body, a trailing ``remain`` count promising frames that are not
-    there, or a compressed body failing zlib's integrity check.
+    The cheap half of a decode: header validation and body slicing,
+    no decompression.  Bodies are zero-copy views of ``blob``; pass
+    compressed ones to :func:`decompress_body` (concurrently, if you
+    like — each piece is independent).  Raises
+    :class:`CorruptChunkError` on any framing violation — bad header
+    checksum, truncated header or body, or a trailing ``remain`` count
+    promising frames that are not there.
     """
     if isinstance(blob, FrameBlob):
         blob = blob.tobytes()
     view = memoryview(blob)
     total = len(view)
-    bodies: list = []
+    pieces: list = []
     offset = 0
     remaining = 0
     while offset < total:
@@ -187,22 +189,34 @@ def decode_frames(blob: Any) -> list:
                 f"truncated frame body: {body_len} bytes declared, "
                 f"{total - offset} present"
             )
-        body = view[offset:offset + body_len]
+        pieces.append((marker == _MARK_Z, view[offset:offset + body_len]))
         offset += body_len
-        if marker == _MARK_Z:
-            try:
-                bodies.append(zlib.decompress(body))
-            except zlib.error as exc:
-                raise CorruptChunkError(
-                    f"corrupt compressed frame: {exc}"
-                ) from exc
-        else:
-            bodies.append(body)
     if remaining:
         raise CorruptChunkError(
             f"truncated pack: last frame expects {remaining} more"
         )
-    return bodies
+    return pieces
+
+
+def decompress_body(body: Any) -> bytes:
+    """Decompress one ``SFZ1`` frame body (the expensive decode half)."""
+    try:
+        return zlib.decompress(body)
+    except zlib.error as exc:
+        raise CorruptChunkError(f"corrupt compressed frame: {exc}") from exc
+
+
+def decode_frames(blob: Any) -> list:
+    """Parse a stored chunk back into its frame bodies, decompressed.
+
+    Returns the decoded bodies in frame order (raw frames come back as
+    zero-copy views of ``blob``).  Raises :class:`CorruptChunkError`
+    on any framing violation — bad header checksum, truncated header
+    or body, a trailing ``remain`` count promising frames that are not
+    there, or a compressed body failing zlib's integrity check.
+    """
+    return [decompress_body(body) if compressed else body
+            for compressed, body in split_frames(blob)]
 
 
 @dataclass
@@ -413,12 +427,11 @@ class SpillCodec:
 
     def decode(self, blob: Any) -> Any:
         """Decode one stored chunk back to its raw payload."""
+        if faults._armed is not None:
+            faults.fire("compress.decode", nbytes=len(blob))
         started = time.perf_counter()
         bodies = decode_frames(blob)
-        if len(bodies) == 1:
-            out = bodies[0]  # zero-copy for a single raw frame
-        else:
-            out = b"".join(bodies)
+        out = self.join(bodies)
         elapsed = time.perf_counter() - started
         with self._lock:
             self.stats.decompress_seconds += elapsed
@@ -429,6 +442,43 @@ class SpillCodec:
                 max(1, int(elapsed * 1e6))
             )
         return out
+
+    def split(self, blob: Any) -> list:
+        """Parse one stored chunk into ``(compressed, body)`` pieces.
+
+        The scatter half of a fanned-out decode: the reader splits on
+        its own thread (cheap — header checks and slicing), then ships
+        each compressed piece to :meth:`decode_piece` on an executor
+        worker.  Fires the ``compress.decode`` fault site exactly like
+        :meth:`decode`, so injected decode failures hit both paths.
+        """
+        if faults._armed is not None:
+            faults.fire("compress.decode", nbytes=len(blob))
+        return split_frames(blob)
+
+    def decode_piece(self, compressed: bool, body: Any) -> Any:
+        """Decode one split piece (the worker half of a fan-out)."""
+        if not compressed:
+            return body
+        started = time.perf_counter()
+        out = decompress_body(body)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.stats.decompress_seconds += elapsed
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("decompress.cpu_us").inc(int(elapsed * 1e6))
+            registry.histogram("decompress.us").record(
+                max(1, int(elapsed * 1e6))
+            )
+        return out
+
+    @staticmethod
+    def join(bodies: list) -> Any:
+        """Concatenate decoded bodies back into one chunk payload."""
+        if len(bodies) == 1:
+            return bodies[0]  # zero-copy for a single frame
+        return b"".join(bodies)
 
 
 class CompressedStore(ChunkStore):

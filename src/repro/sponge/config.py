@@ -32,6 +32,21 @@ class SpongeConfig:
     #: paper's implementation prefetches one; deeper pipelines help the
     #: real runtime hide per-chunk network latency.
     prefetch_depth: int = 1
+    #: Reader-side decode fan-out: how many chunks' decodes may run on
+    #: executor workers ahead of the consumer.  At ``1`` the reader
+    #: keeps the legacy serial path — each fetch op decodes its own
+    #: payload inline.  Above ``1`` fetched chunks are split into their
+    #: frames and decompressed as independent executor ops (zlib
+    #: releases the GIL), with completion slots preserving in-order
+    #: delivery; the same switch arms cross-server read striping (up to
+    #: ``prefetch_depth`` batched reads in flight at once).
+    read_parallelism: int = 4
+    #: Base delay in seconds between sibling-read retry attempts during
+    #: a reconstruction (doubles per attempt).  The backoff never parks
+    #: an executor worker while other member reads could progress: the
+    #: reconstruction keeps folding completions and only naps when every
+    #: remaining member is a not-yet-due retry.
+    reconstruct_backoff: float = 0.05
     #: Overlap chunk writes with computation (one outstanding write).
     async_writes: bool = True
     #: How many chunk writes may be in flight at once.  1 reproduces the
@@ -104,6 +119,12 @@ class SpongeConfig:
             raise ConfigError("tracker_poll_interval must be positive")
         if self.prefetch_depth < 1:
             raise ConfigError("prefetch_depth must be >= 1")
+        if self.read_parallelism < 1:
+            raise ConfigError("read_parallelism must be >= 1")
+        if not (self.reconstruct_backoff > 0):
+            raise ConfigError(
+                f"reconstruct_backoff must be > 0: {self.reconstruct_backoff}"
+            )
         if self.async_write_depth < 1:
             raise ConfigError("async_write_depth must be >= 1")
         if self.max_remote_attempts is not None and self.max_remote_attempts < 0:

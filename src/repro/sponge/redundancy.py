@@ -347,43 +347,31 @@ class RedundancyCodec:
             )
         return body
 
+    def reconstruction(self, k: int, missing: int) -> "XorReconstruction":
+        """An incremental fold for rebuilding data member ``missing``.
+
+        The concurrent reader spawns all k-1 sibling reads and the
+        parity read at once and folds each member into the returned
+        :class:`XorReconstruction` in whatever order the reads land —
+        XOR commutes, so the fold is order-independent.
+        """
+        if self.passthrough:
+            raise CorruptChunkError("passthrough codec cannot reconstruct")
+        return XorReconstruction(k, missing)
+
     def reconstruct(self, k: int, bodies: dict, parity_body: Any,
                     missing: int) -> bytes:
         """Rebuild data member ``missing`` from its k-1 siblings and the
         parity body (both already validated by :meth:`decode_member`)."""
-        if self.passthrough:
-            raise CorruptChunkError("passthrough codec cannot reconstruct")
-        if not 0 <= missing < k:
-            raise CorruptChunkError(f"member {missing} out of range for k={k}")
-        parity = memoryview(parity_body)
-        if len(parity) < LEN_ENTRY * k:
-            raise CorruptChunkError("parity body shorter than its table")
-        lengths = [
-            int.from_bytes(bytes(parity[i * LEN_ENTRY:(i + 1) * LEN_ENTRY]),
-                           "big")
-            for i in range(k)
-        ]
-        xor_body = parity[LEN_ENTRY * k:]
-        if len(xor_body) != max(lengths, default=0):
-            raise CorruptChunkError(
-                f"parity body is {len(xor_body)} bytes, table expects "
-                f"{max(lengths, default=0)}"
-            )
-        acc = int.from_bytes(bytes(xor_body), "little")
+        fold = self.reconstruction(k, missing)
+        fold.add_parity(parity_body)
         for index in range(k):
             if index == missing:
                 continue
             if index not in bodies:
                 raise CorruptChunkError(f"sibling member {index} not supplied")
-            body = bytes(bodies[index])
-            if len(body) != lengths[index]:
-                raise CorruptChunkError(
-                    f"sibling member {index} is {len(body)} bytes, parity "
-                    f"table expects {lengths[index]}"
-                )
-            acc = _xor_fold(acc, body)
-        rebuilt = acc.to_bytes(len(xor_body), "little")
-        return rebuilt[:lengths[missing]]
+            fold.add_sibling(index, bodies[index])
+        return fold.finish()
 
     def note_reconstruction(self, elapsed: float, ok: bool) -> None:
         """Account one reconstruction attempt (reader-side)."""
@@ -402,3 +390,81 @@ class RedundancyCodec:
                 )
             else:
                 registry.counter("redundancy.reconstruct_failures").inc()
+
+
+class XorReconstruction:
+    """Incremental single-erasure rebuild: fold members as they land.
+
+    :meth:`RedundancyCodec.reconstruct` needs every sibling and the
+    parity up front; a concurrent reader instead XORs each member into
+    the accumulator the moment its read completes, in whatever order
+    the reads finish (XOR commutes).  Validation that needs the
+    parity's length table is deferred to :meth:`finish`, which also
+    checks that every sibling actually arrived.  Not thread-safe: one
+    reconstruction op owns its fold.
+    """
+
+    __slots__ = ("k", "missing", "_acc", "_sibling_lens", "_lengths",
+                 "_xor_len")
+
+    def __init__(self, k: int, missing: int) -> None:
+        if not 0 <= missing < k:
+            raise CorruptChunkError(f"member {missing} out of range for k={k}")
+        self.k = k
+        self.missing = missing
+        self._acc = 0
+        self._sibling_lens: dict = {}
+        self._lengths: Optional[list] = None
+        self._xor_len = 0
+
+    def add_sibling(self, index: int, body: Any) -> None:
+        """Fold one sibling data member's (validated) body in."""
+        if not 0 <= index < self.k or index == self.missing:
+            raise CorruptChunkError(
+                f"unexpected sibling member {index} (rebuilding "
+                f"{self.missing} of k={self.k})"
+            )
+        if index in self._sibling_lens:
+            raise CorruptChunkError(f"sibling member {index} supplied twice")
+        data = bytes(body)
+        self._sibling_lens[index] = len(data)
+        self._acc = _xor_fold(self._acc, data)
+
+    def add_parity(self, parity_body: Any) -> None:
+        """Fold the parity member in, keeping its length table."""
+        if self._lengths is not None:
+            raise CorruptChunkError("parity member supplied twice")
+        parity = memoryview(parity_body)
+        if len(parity) < LEN_ENTRY * self.k:
+            raise CorruptChunkError("parity body shorter than its table")
+        lengths = [
+            int.from_bytes(bytes(parity[i * LEN_ENTRY:(i + 1) * LEN_ENTRY]),
+                           "big")
+            for i in range(self.k)
+        ]
+        xor_body = parity[LEN_ENTRY * self.k:]
+        if len(xor_body) != max(lengths, default=0):
+            raise CorruptChunkError(
+                f"parity body is {len(xor_body)} bytes, table expects "
+                f"{max(lengths, default=0)}"
+            )
+        self._lengths = lengths
+        self._xor_len = len(xor_body)
+        self._acc ^= int.from_bytes(bytes(xor_body), "little")
+
+    def finish(self) -> bytes:
+        """Validate completeness and return the rebuilt member."""
+        if self._lengths is None:
+            raise CorruptChunkError("parity member not supplied")
+        for index in range(self.k):
+            if index == self.missing:
+                continue
+            if index not in self._sibling_lens:
+                raise CorruptChunkError(f"sibling member {index} not supplied")
+            if self._sibling_lens[index] != self._lengths[index]:
+                raise CorruptChunkError(
+                    f"sibling member {index} is {self._sibling_lens[index]} "
+                    f"bytes, parity table expects {self._lengths[index]}"
+                )
+        rebuilt = self._acc.to_bytes(self._xor_len, "little")
+        return rebuilt[:self._lengths[self.missing]]

@@ -69,11 +69,11 @@ ENCODE_DEPTH = 4
 #: Reads of *sibling* members during a reconstruction retry this many
 #: times (reads are idempotent) before the group is declared
 #: unrecoverable — a restarting server briefly refuses connections and
-#: a transient refusal must not waste the parity we paid for.
+#: a transient refusal must not waste the parity we paid for.  The
+#: delay between attempts is ``config.reconstruct_backoff`` (doubling
+#: per attempt), applied as a deadline rather than a worker-blocking
+#: sleep — see :func:`_reconstruct_op`.
 RECONSTRUCT_ATTEMPTS = 4
-
-#: Seconds between sibling-read retry attempts.
-RECONSTRUCT_RETRY_DELAY = 0.25
 
 
 # ---------------------------------------------------------------------------
@@ -728,7 +728,9 @@ def _store_groups(chain: AllocationChain, handles: list, depth: int):
 
 def _decode_op(codec: SpillCodec, op: StoreOp) -> StoreOp:
     """Fetch-then-decode as one op, so spawned prefetches decode on
-    executor workers (overlapping the reader) instead of inline."""
+    executor workers (overlapping the reader) instead of inline.  The
+    legacy serial path (``config.read_parallelism == 1``): one worker
+    decodes the whole chunk."""
     data = yield from op
     return codec.decode(data)
 
@@ -738,31 +740,92 @@ def _decode_batch_op(codec: SpillCodec, op: StoreOp) -> StoreOp:
     return [codec.decode(part) for part in parts]
 
 
-def _read_member_op(file: SpongeFile, handle: ChunkHandle, gid: int,
-                    index: int, role: str, attempts: int = 1) -> StoreOp:
-    """Fetch and validate one group member (data or parity).
+def _decode_piece_op(codec: SpillCodec, body: Any) -> StoreOp:
+    """One SFZ1 frame's decompression as a spawnable op (zlib releases
+    the GIL, so these genuinely parallelize across executor workers)."""
+    return codec.decode_piece(True, body)
+    yield  # pragma: no cover - generator marker
 
-    Sibling/parity reads during a reconstruction pass ``attempts > 1``:
-    reads are idempotent, and a briefly-restarting server must not turn
-    a recoverable single erasure into a failed group.  Corruption never
-    retries — stored bytes do not heal.
+
+def _listify_op(op: StoreOp) -> StoreOp:
+    """Adapt a single-chunk fetch to the shared holder's list shape."""
+    value = yield from op
+    return [value]
+
+
+def _completion_done(completion: Any) -> bool:
+    """Best-effort poll: has a spawned op already finished?
+
+    ``concurrent.futures.Future`` exposes ``done``; the inline
+    :class:`SyncExecutor` completes eagerly; simulation processes have
+    no poll and report not-done — callers fall back to a blocking
+    wait, which is exactly what drives the simulation forward.
     """
-    red = file._red
-    for attempt in range(attempts):
+    if isinstance(completion, _Completed):
+        return True
+    probe = getattr(completion, "done", None)
+    if callable(probe):
         try:
-            if faults._armed is not None:
-                faults.fire("redundancy.member_read", gid=gid, index=index,
-                            role=role, location=handle.location.value)
-            store = file.session.chain.store_for(handle)
-            blob = yield from store.read_chunk(handle)
-            return red.decode_member(blob, gid, index)
-        except CorruptChunkError:
-            raise
-        except (ChunkLostError, StoreUnavailableError):
-            if attempt >= attempts - 1:
-                raise
-            time.sleep(RECONSTRUCT_RETRY_DELAY)
-    raise AssertionError("unreachable")  # pragma: no cover
+            return bool(probe())
+        except Exception:  # noqa: BLE001 - treat an odd handle as busy
+            return False
+    return False
+
+
+def _wait_stealing(executor: Any, completion: Any,
+                   op: Optional[StoreOp]) -> StoreOp:
+    """Wait on ``completion``, stealing the op inline if still queued.
+
+    The fanned-out read path spawns ops from ops: a reconstruction
+    (running on a worker) spawns member reads, the reader spawns
+    per-frame decodes.  On a bounded thread pool, blocking on a child
+    that is still *queued* behind busy workers wastes the waiter at
+    best — and deadlocks at worst, when every worker is a parent
+    blocked on a queued child.  ``Future.cancel`` succeeds exactly
+    while a task is queued and unstarted, so the waiter claims the
+    never-run generator and drives it inline instead; a child already
+    *running* is making progress and is safe to block on, which makes
+    the scheme deterministically deadlock-free.  Executors without
+    ``cancel`` (sync, sim) take the plain wait.
+    """
+    cancel = getattr(completion, "cancel", None)
+    if op is not None and callable(cancel) and completion.cancel():
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("reader.steals").inc()
+        return run_sync(op)
+    result = yield from executor.wait(completion)
+    return result
+
+
+class _MemberFetch:
+    """One member read of a concurrent reconstruction (retry state)."""
+
+    __slots__ = ("index", "role", "handle", "attempt", "completion", "op",
+                 "due")
+
+    def __init__(self, index: int, role: str, handle: ChunkHandle,
+                 completion: Any, op: Optional[StoreOp]) -> None:
+        self.index = index
+        self.role = role
+        self.handle = handle
+        self.attempt = 1
+        self.completion = completion
+        self.op = op
+        self.due = 0.0
+
+
+def _read_member_op(file: SpongeFile, handle: ChunkHandle, gid: int,
+                    index: int, role: str) -> StoreOp:
+    """Fetch and validate one group member (data or parity).  A single
+    attempt: the reconstruction loop owns the retry policy."""
+    red = file._red
+    if faults._armed is not None:
+        faults.fire("redundancy.member_read", gid=gid, index=index,
+                    role=role, location=handle.location.value)
+    store = file.session.chain.store_for(handle)
+    blob = yield from store.read_chunk(handle)
+    return red.decode_member(blob, gid, index)
 
 
 def _redundant_fetch_op(file: SpongeFile, index: int) -> StoreOp:
@@ -787,10 +850,29 @@ def _redundant_fetch_op(file: SpongeFile, index: int) -> StoreOp:
 
 
 def _reconstruct_op(file: SpongeFile, gid: int, missing: int) -> StoreOp:
-    """Rebuild one lost data member from its siblings and parity."""
+    """Rebuild one lost data member from its siblings and parity.
+
+    All k-1 sibling reads and the parity read are spawned at once and
+    folded into the rebuilt member in whatever order they land (XOR
+    commutes — see :class:`~repro.sponge.redundancy.XorReconstruction`),
+    so a degraded read costs roughly one member round trip instead of
+    k.  Transient failures (:class:`ChunkLostError`,
+    :class:`StoreUnavailableError`; reads are idempotent) retry up to
+    :data:`RECONSTRUCT_ATTEMPTS` times with exponential backoff from
+    ``config.reconstruct_backoff``.  The backoff never parks the
+    worker while other members could progress: a retrying member
+    carries a *deadline*, the loop keeps folding whatever else
+    completes, and only naps — one bounded sleep until the nearest
+    deadline — when every remaining member is a not-yet-due retry.
+    Corruption never retries (stored bytes do not heal) and fails the
+    group.
+    """
     red = file._red
+    executor = file.executor
     start = gid * red.k
     kk = min(start + red.k, len(file._handles)) - start
+    backoff_base = file.config.reconstruct_backoff
+    registry = obs._registry
     started = time.perf_counter()
     if faults._armed is not None:
         faults.fire("redundancy.reconstruct", gid=gid, missing=missing)
@@ -798,19 +880,80 @@ def _reconstruct_op(file: SpongeFile, gid: int, missing: int) -> StoreOp:
         parity_handle = file._parity_handles.get(gid)
         if parity_handle is None:
             raise ChunkLostError(f"group {gid} has no parity member")
-        bodies = {}
-        for sibling in range(kk):
-            if sibling == missing:
-                continue
-            bodies[sibling] = yield from _read_member_op(
-                file, file._handles[start + sibling], gid, sibling,
-                "sibling", attempts=RECONSTRUCT_ATTEMPTS,
+        fold = red.reconstruction(kk, missing)
+        members = [
+            (sibling, "sibling", file._handles[start + sibling])
+            for sibling in range(kk) if sibling != missing
+        ]
+        members.append((kk, "parity", parity_handle))
+        inflight: list[_MemberFetch] = []
+        for index, role, handle in members:
+            op = _read_member_op(file, handle, gid, index, role)
+            inflight.append(
+                _MemberFetch(index, role, handle, executor.spawn(op), op)
             )
-        parity_body = yield from _read_member_op(
-            file, parity_handle, gid, kk, "parity",
-            attempts=RECONSTRUCT_ATTEMPTS,
-        )
-        body = red.reconstruct(kk, bodies, parity_body, missing)
+        if registry is not None:
+            registry.histogram("redundancy.reconstruct.fanout").record(
+                len(inflight)
+            )
+        waiting: list[_MemberFetch] = []  # retries sitting out a backoff
+        try:
+            while inflight or waiting:
+                now = time.monotonic()
+                for fetch in [f for f in waiting if f.due <= now]:
+                    waiting.remove(fetch)
+                    fetch.op = _read_member_op(file, fetch.handle, gid,
+                                               fetch.index, fetch.role)
+                    fetch.completion = executor.spawn(fetch.op)
+                    inflight.append(fetch)
+                if not inflight:
+                    # Everything left is a not-yet-due retry: one
+                    # bounded nap until the earliest deadline.
+                    time.sleep(max(0.0,
+                                   min(f.due for f in waiting) - now))
+                    continue
+                # Prefer a read that already finished; else block on
+                # the oldest (stealing it inline if it never started).
+                fetch = next(
+                    (f for f in inflight if _completion_done(f.completion)),
+                    inflight[0],
+                )
+                inflight.remove(fetch)
+                try:
+                    body = yield from _wait_stealing(
+                        executor, fetch.completion, fetch.op
+                    )
+                except (ChunkLostError, StoreUnavailableError):
+                    if fetch.attempt >= RECONSTRUCT_ATTEMPTS:
+                        raise
+                    delay = backoff_base * (1 << (fetch.attempt - 1))
+                    fetch.attempt += 1
+                    fetch.due = time.monotonic() + delay
+                    fetch.completion = None
+                    fetch.op = None
+                    waiting.append(fetch)
+                    if registry is not None:
+                        registry.counter(
+                            "redundancy.reconstruct.retries"
+                        ).inc()
+                    continue
+                if fetch.role == "parity":
+                    fold.add_parity(body)
+                else:
+                    fold.add_sibling(fetch.index, body)
+            body = fold.finish()
+        except BaseException:
+            # Absorb the still-in-flight member reads before failing:
+            # an unobserved failure would crash the simulation (and on
+            # threads, leave work racing the caller's error handling).
+            while inflight:
+                other = inflight.pop()
+                try:
+                    yield from _wait_stealing(executor, other.completion,
+                                              other.op)
+                except Exception:  # noqa: BLE001 - outcome dropped
+                    pass
+            raise
     except SpongeError as exc:
         red.note_reconstruction(time.perf_counter() - started, ok=False)
         raise ChunkLostError(
@@ -820,23 +963,53 @@ def _reconstruct_op(file: SpongeFile, gid: int, missing: int) -> StoreOp:
     return body
 
 
-class _BatchHolder:
-    """One in-flight batched read shared by its chunks' queue slots."""
+class _DecodeJob:
+    """One chunk's fanned-out decode: per-frame ops plus raw pieces.
 
-    __slots__ = ("completion", "parts", "error")
+    ``pieces`` entries are ``("raw", body)`` for passthrough frames
+    (zero-copy, no worker round trip) or ``("spawn", completion, op)``
+    for SFZ1 frames decompressing on executor workers.  A split
+    failure is captured in ``error`` and raised when *this* chunk is
+    awaited — never earlier, so a bad chunk degrades to exactly its
+    own position in the delivery order.
+    """
 
-    def __init__(self, completion: Any) -> None:
+    __slots__ = ("error", "pieces")
+
+    def __init__(self) -> None:
+        self.error: Optional[BaseException] = None
+        self.pieces: list = []
+
+
+class _FetchHolder:
+    """One in-flight fetch shared by its chunks' queue slots.
+
+    ``parts`` is the fetched chunk list — already decoded on the
+    legacy serial path, still encoded when decode fan-out is on, in
+    which case resolution swaps each part for a :class:`_DecodeJob`
+    (one per chunk) in ``jobs``.
+    """
+
+    __slots__ = ("completion", "op", "parts", "error", "jobs")
+
+    def __init__(self, completion: Any, op: Optional[StoreOp]) -> None:
         self.completion = completion
+        self.op = op
         self.parts: Optional[list] = None
         self.error: Optional[BaseException] = None
+        self.jobs: Optional[list] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.parts is not None or self.error is not None
 
 
 class _BatchSlot:
-    """One chunk's position inside a shared batched read."""
+    """One chunk's position inside a shared fetch."""
 
     __slots__ = ("holder", "offset")
 
-    def __init__(self, holder: _BatchHolder, offset: int) -> None:
+    def __init__(self, holder: _FetchHolder, offset: int) -> None:
         self.holder = holder
         self.offset = offset
 
@@ -848,6 +1021,16 @@ class SpongeFileReader:
     living on the same batch-capable (remote) store coalesce into one
     ``read_batch`` round trip; the queue still holds one entry per
     chunk, so the consumption order and depth accounting are unchanged.
+
+    With ``config.read_parallelism > 1`` (and a codec), fetched chunks
+    are split into their frames and decompressed as independent
+    executor ops — up to ``read_parallelism`` chunks decoding ahead of
+    the consumer — and the prefetch top-up additionally stripes reads:
+    up to ``prefetch_depth`` fetch RPCs stay in flight at once, so a
+    file striped across servers by the write path reads back from all
+    of them concurrently.  Delivery stays strictly in chunk order: the
+    queue holds one slot per chunk and each slot joins its own decoded
+    frames, however its neighbours' decodes interleave.
     """
 
     def __init__(self, spongefile: SpongeFile) -> None:
@@ -871,15 +1054,18 @@ class SpongeFileReader:
         else:
             completion = self._start_fetch(self._index)
         self._index += 1
-        if self.file.config.prefetch:
+        config = self.file.config
+        if config.prefetch:
             # Top the pipeline back up: while chunk i is being consumed,
             # chunks i+1 .. i+depth are in flight.
             first_unqueued = self._index + len(self._prefetched)
-            while (len(self._prefetched) < self.file.config.prefetch_depth
+            while (len(self._prefetched) < config.prefetch_depth
                    and first_unqueued < len(handles)):
                 entries = self._start_fetch_group(first_unqueued)
                 self._prefetched.extend(entries)
                 first_unqueued += len(entries)
+            first_unqueued = self._stripe(first_unqueued)
+        self._kick()
         try:
             data = yield from self._await(completion)
         except BaseException:
@@ -912,6 +1098,12 @@ class SpongeFileReader:
 
     # -- internals ----------------------------------------------------------
 
+    @property
+    def _fanout(self) -> bool:
+        """Decode fan-out on: split frames, decompress on workers."""
+        return (self.file._codec is not None
+                and self.file.config.read_parallelism > 1)
+
     def _start_fetch(self, index: int):
         if self.file._red is not None and not self.file._red.passthrough:
             return self.file.executor.spawn(
@@ -920,8 +1112,13 @@ class SpongeFileReader:
         handle = self.file._handles[index]
         store = self.file.session.chain.store_for(handle)
         op = store.read_chunk(handle)
-        if self.file._codec is not None:
-            op = _decode_op(self.file._codec, op)
+        if self.file._codec is None:
+            return self.file.executor.spawn(op)
+        if self._fanout:
+            op = _listify_op(op)
+            holder = _FetchHolder(self.file.executor.spawn(op), op)
+            return _BatchSlot(holder, 0)
+        op = _decode_op(self.file._codec, op)
         return self.file.executor.spawn(op)
 
     def _start_fetch_group(self, index: int) -> list:
@@ -956,27 +1153,180 @@ class SpongeFileReader:
             return [self._start_fetch(index)]
         group = list(handles[index:j])
         op = store.read_chunk_batch(group)
-        if self.file._codec is not None:
+        if self.file._codec is not None and not self._fanout:
             op = _decode_batch_op(self.file._codec, op)
-        holder = _BatchHolder(self.file.executor.spawn(op))
+        holder = _FetchHolder(self.file.executor.spawn(op), op)
         return [_BatchSlot(holder, k) for k in range(len(group))]
+
+    def _stripe(self, first_unqueued: int) -> int:
+        """Read striping: keep up to ``prefetch_depth`` fetch RPCs in
+        flight at once.
+
+        The plain top-up counts queued *chunks*, so one batched read
+        satisfies the whole prefetch window and the next RPC only
+        leaves after it lands — a long file drains one server at a
+        time.  Here the unit is in-flight fetch *ops*: while fewer
+        than ``prefetch_depth`` are unresolved, keep issuing the next
+        consecutive group (delivery order pins us to consecutive runs;
+        server diversity comes from the write path's striping, which
+        round-robins consecutive groups across servers).  Bounded two
+        ways: by in-flight ops and by total queued chunks, so an
+        executor that completes eagerly cannot inhale the whole file.
+        """
+        config = self.file.config
+        handles = self.file._handles
+        if (config.batch_depth <= 1 or config.read_parallelism <= 1
+                or self.file._red is not None
+                or isinstance(self.file.executor, SyncExecutor)):
+            return first_unqueued
+        depth = config.prefetch_depth
+        limit = depth * min(config.batch_depth, STRIPE_CHUNKS, MAX_GROUP)
+        registry = obs._registry
+        while (first_unqueued < len(handles)
+               and len(self._prefetched) < limit
+               and self._inflight_fetches() < depth):
+            entries = self._start_fetch_group(first_unqueued)
+            self._prefetched.extend(entries)
+            first_unqueued += len(entries)
+            if registry is not None:
+                registry.counter("reader.striped_reads").inc()
+        return first_unqueued
+
+    def _inflight_fetches(self) -> int:
+        """Distinct unresolved fetch ops in the prefetch queue."""
+        count = 0
+        last = None
+        for entry in self._prefetched:
+            if isinstance(entry, _BatchSlot):
+                holder = entry.holder
+                if holder is last:
+                    continue  # slots of one fetch are consecutive
+                last = holder
+                if (not holder.resolved
+                        and not _completion_done(holder.completion)):
+                    count += 1
+            elif not _completion_done(entry):
+                count += 1
+        return count
+
+    def _kick(self) -> None:
+        """Opportunistically fan out decodes for fetches that already
+        landed, up to ``read_parallelism`` chunks ahead of the reader.
+
+        Poll-only — this must never block: a fetch still in flight is
+        skipped (its own slot's await resolves it later).  Later
+        fetches may start decoding before earlier ones have landed;
+        delivery order is unaffected (the queue is consumed in order).
+        """
+        if not self._fanout:
+            return
+        ahead = 0
+        depth = self.file.config.read_parallelism
+        for entry in self._prefetched:
+            if ahead >= depth:
+                return
+            if not isinstance(entry, _BatchSlot):
+                continue
+            holder = entry.holder
+            if holder.error is not None:
+                continue
+            if holder.jobs is not None:
+                ahead += 1
+                continue
+            if holder.parts is None:
+                if not _completion_done(holder.completion):
+                    continue
+                try:
+                    # The completion is done: wait() cannot block, and
+                    # run_sync drives it without an event loop.
+                    holder.parts = run_sync(
+                        self.file.executor.wait(holder.completion)
+                    )
+                except BaseException as exc:  # noqa: BLE001 - replayed
+                    holder.error = exc        # at the slot's await
+                    continue
+            self._fan_out(holder)
+            ahead += 1
+
+    def _fan_out(self, holder: _FetchHolder) -> None:
+        """Scatter a resolved fetch's decodes across executor workers."""
+        if holder.error is not None or holder.jobs is not None:
+            return
+        if not self._fanout:
+            return
+        holder.jobs = [self._spawn_decode(part) for part in holder.parts]
+
+    def _spawn_decode(self, blob: Any) -> _DecodeJob:
+        """Split one chunk and spawn its SFZ1 frames as decode ops."""
+        codec = self.file._codec
+        job = _DecodeJob()
+        try:
+            pieces = codec.split(blob)
+        except BaseException as exc:  # noqa: BLE001 - raised at the slot
+            job.error = exc
+            return job
+        spawned = 0
+        for compressed, body in pieces:
+            if compressed:
+                op = _decode_piece_op(codec, body)
+                job.pieces.append(
+                    ("spawn", self.file.executor.spawn(op), op)
+                )
+                spawned += 1
+            else:
+                job.pieces.append(("raw", body))
+        if spawned:
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("reader.decode.spawned").inc(spawned)
+        return job
+
+    def _await_decode(self, job: _DecodeJob) -> StoreOp:
+        """Join one chunk's decoded frames, in frame order."""
+        if job.error is not None:
+            raise job.error
+        bodies: list = []
+        failure: Optional[BaseException] = None
+        for piece in job.pieces:
+            if piece[0] == "raw":
+                bodies.append(piece[1])
+                continue
+            _, completion, op = piece
+            try:
+                bodies.append((yield from _wait_stealing(
+                    self.file.executor, completion, op
+                )))
+            except BaseException as exc:  # noqa: BLE001
+                # Keep absorbing the chunk's other frame completions
+                # (unobserved failures crash the simulation), then
+                # fail this chunk with the first error.
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return SpillCodec.join(bodies)
 
     def _await(self, entry) -> StoreOp:
         """Resolve a queue entry: a plain completion, or one chunk of a
-        shared batched read (resolved once, memoized for its siblings)."""
+        shared fetch (resolved once, memoized for its siblings)."""
         if not isinstance(entry, _BatchSlot):
             result = yield from self.file.executor.wait(entry)
             return result
         holder = entry.holder
-        if holder.parts is None and holder.error is None:
+        if not holder.resolved:
             try:
-                holder.parts = yield from self.file.executor.wait(
-                    holder.completion
+                holder.parts = yield from _wait_stealing(
+                    self.file.executor, holder.completion, holder.op
                 )
             except BaseException as exc:  # noqa: BLE001 - replayed per slot
                 holder.error = exc
+        if holder.error is None:
+            self._fan_out(holder)
         if holder.error is not None:
             raise holder.error
+        if holder.jobs is not None:
+            result = yield from self._await_decode(holder.jobs[entry.offset])
+            return result
         return holder.parts[entry.offset]
 
     def _drain(self) -> StoreOp:

@@ -116,6 +116,22 @@ def test_redundancy_fields_do_not_change_the_schedule():
     assert describe_schedule(off) == describe_schedule(mirrored)
 
 
+def test_read_parallelism_does_not_change_the_schedule():
+    # The parallel read pipeline (decode fan-out, striped prefetch,
+    # concurrent reconstruction) must face the identical fault and
+    # kill schedule as the legacy serial reader: any verdict change
+    # between runs is attributable to the read path alone.
+    serial = ChaosSettings(**RED_PAIR)
+    for depth in (2, 4, 8):
+        parallel = ChaosSettings(**RED_PAIR, read_parallelism=depth)
+        assert describe_schedule(serial) == describe_schedule(parallel)
+    combined = ChaosSettings(**RED_PAIR, read_parallelism=8,
+                             batch_depth=4, compression="adaptive")
+    blind = ChaosSettings(**RED_PAIR, read_parallelism=1,
+                          batch_depth=4, compression="adaptive")
+    assert describe_schedule(combined) == describe_schedule(blind)
+
+
 @pytest.mark.slow
 def test_node_loss_without_redundancy_is_a_classified_chunk_loss():
     report = run_chaos(ChaosSettings(**RED_PAIR))

@@ -1,0 +1,325 @@
+"""The parallel read/decode pipeline.
+
+``config.read_parallelism > 1`` makes the reader split fetched chunks
+into their frames and decompress them as independent executor ops,
+keep several batched-read RPCs in flight (read striping), and rebuild
+lost redundancy members from concurrently-fetched siblings.  None of
+that may be observable in the results: chunks arrive strictly in
+order, byte-exact, and a decode failure surfaces classified at exactly
+the failing chunk's position.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.memory_backends import (
+    LocalPoolStore,
+    MemoryDfsStore,
+    MemoryDiskStore,
+)
+from repro.errors import CorruptChunkError
+from repro.faults import FaultPlan, hooks
+from repro.mapreduce.fanin import FanInReader, sponge_files
+from repro.runtime.executor import ThreadExecutor
+from repro.sponge.allocator import AllocationChain
+from repro.sponge.blob import Payload, blob_size
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.pool import SpongePool
+from repro.sponge.redundancy import RedundancyCodec, XorReconstruction
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+
+OWNER = TaskId("h0", "read-pipeline")
+CHUNK = 8 * 1024
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    yield
+    hooks.disarm()
+
+
+@pytest.fixture(scope="module")
+def executor():
+    pool = ThreadExecutor(max_workers=4, name="test-read-pipeline")
+    yield pool
+    pool.close()
+
+
+def make_chain(config, pool_chunks=64):
+    pool = SpongePool(pool_chunks * config.chunk_size, config.chunk_size)
+    return AllocationChain(LocalPoolStore(pool), None, None,
+                           MemoryDiskStore(), MemoryDfsStore(),
+                           config=config)
+
+
+def make_file(config, pool_chunks=64, **kwargs):
+    return SpongeFile(OWNER, make_chain(config, pool_chunks), config,
+                      **kwargs)
+
+
+def mixed_payload(segments):
+    """Compressible text runs interleaved with incompressible noise."""
+    parts = []
+    for index, (compressible, size) in enumerate(segments):
+        if compressible:
+            parts.append((b"%06d\tkey\tvalue\n" % index) * (size // 16 + 1))
+        else:
+            parts.append(random.Random(index * 7919 + size).randbytes(size))
+    return b"".join(parts)
+
+
+def written_file(payload, config, executor):
+    sf = make_file(config, **({"executor": executor} if executor else {}))
+    sf.write_all(payload)
+    sf.close_sync()
+    return sf
+
+
+class TestParallelDecodeDelivery:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        segments=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 6000)),
+            min_size=1, max_size=8,
+        ),
+        read_parallelism=st.integers(2, 6),
+        prefetch_depth=st.integers(1, 4),
+        mode=st.sampled_from(["always", "adaptive"]),
+    )
+    def test_chunks_in_order_and_byte_exact(self, segments, read_parallelism,
+                                            prefetch_depth, mode, executor):
+        payload = mixed_payload(segments)
+        config = SpongeConfig(
+            chunk_size=CHUNK, compression=mode,
+            read_parallelism=read_parallelism,
+            prefetch_depth=prefetch_depth,
+        )
+        sf = written_file(payload, config, executor)
+        reader = sf.open_reader()
+        out = bytearray()
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            out.extend(bytes(chunk))
+        assert bytes(out) == payload
+        sf.delete_sync()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        segments=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 5000)),
+            min_size=1, max_size=6,
+        ),
+        read_sizes=st.lists(st.integers(1, 3 * CHUNK), min_size=1,
+                            max_size=30),
+    )
+    def test_read_n_straddles_decoded_chunk_boundaries(self, segments,
+                                                       read_sizes, executor):
+        # Byte-mode read(n) slices across decoded-chunk boundaries;
+        # the fan-out must be invisible to the splice.
+        payload = mixed_payload(segments)
+        config = SpongeConfig(chunk_size=CHUNK, compression="always",
+                              read_parallelism=4, prefetch_depth=2)
+        sf = written_file(payload, config, executor)
+        reader = sf.open_reader()
+        out = bytearray()
+        for size in read_sizes:
+            out.extend(run_sync(reader.read(size)))
+        while True:
+            got = run_sync(reader.read(CHUNK))
+            if not got:
+                break
+            out.extend(got)
+        assert bytes(out) == payload
+        sf.delete_sync()
+
+    def test_serial_and_parallel_paths_agree(self, executor):
+        payload = mixed_payload([(True, 20_000), (False, 20_000),
+                                 (True, 9_000)])
+        for parallelism in (1, 4):
+            config = SpongeConfig(chunk_size=CHUNK, compression="always",
+                                  read_parallelism=parallelism)
+            sf = written_file(payload, config, executor)
+            assert bytes(sf.read_all()) == payload
+            sf.delete_sync()
+
+
+class TestMidDecodeFault:
+    def test_degrades_to_the_failing_chunk_only(self):
+        # prefetch off pins decode order to chunk order, so the fault
+        # lands deterministically on chunk 2: earlier chunks must be
+        # delivered byte-exact, chunk 2 must fail classified.
+        config = SpongeConfig(chunk_size=CHUNK, compression="always",
+                              read_parallelism=4, prefetch=False)
+        # Incompressible noise keeps ~1 stored chunk per raw chunk, so
+        # the file really has several stored chunks to fail between.
+        payload = mixed_payload([(False, 4 * CHUNK), (True, 8 * CHUNK)])
+        sf = written_file(payload, config, None)
+        expected = []
+        reader = sf.open_reader()
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            expected.append(bytes(chunk))
+        assert len(expected) >= 4
+
+        plan = hooks.arm(FaultPlan().fail_decode(after=2, times=1))
+        reader = sf.open_reader()
+        for index in range(2):
+            assert bytes(run_sync(reader.next_chunk())) == expected[index]
+        with pytest.raises(CorruptChunkError):
+            run_sync(reader.next_chunk())
+        assert len(plan.fired("compress.decode")) == 1
+
+    def test_threaded_fault_stays_classified_and_ordered(self, executor):
+        # With prefetch on, which chunk's decode the fault hits is
+        # timing-dependent — but every chunk delivered before the
+        # error must be byte-exact at its position, and the error
+        # must be a classified CorruptChunkError.
+        config = SpongeConfig(chunk_size=CHUNK, compression="always",
+                              read_parallelism=4, prefetch_depth=3)
+        payload = mixed_payload([(False, 3 * CHUNK), (True, 12 * CHUNK),
+                                 (False, 3 * CHUNK)])
+        sf = written_file(payload, config, executor)
+        expected = []
+        reader = sf.open_reader()
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            expected.append(bytes(chunk))
+        assert len(expected) >= 4
+
+        plan = hooks.arm(FaultPlan().fail_decode(times=1))
+        reader = sf.open_reader()
+        delivered = 0
+        try:
+            while True:
+                chunk = run_sync(reader.next_chunk())
+                if chunk is None:
+                    break
+                assert bytes(chunk) == expected[delivered]
+                delivered += 1
+        except CorruptChunkError:
+            pass
+        assert len(plan.fired("compress.decode")) == 1
+
+
+class TestXorFoldOrder:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.data(),
+        k=st.integers(2, 5),
+        seed=st.integers(0, 2**16),
+    )
+    def test_fold_is_order_independent(self, data, k, seed):
+        rng = random.Random(seed)
+        bodies = [rng.randbytes(rng.randint(1, 200)) for _ in range(k)]
+        lengths = [len(body) for body in bodies]
+        acc = 0
+        for body in bodies:
+            acc ^= int.from_bytes(body, "little")
+        parity = (b"".join(n.to_bytes(4, "big") for n in lengths)
+                  + acc.to_bytes(max(lengths), "little"))
+        missing = data.draw(st.integers(0, k - 1))
+        codec = RedundancyCodec(k)
+        siblings = {i: bodies[i] for i in range(k) if i != missing}
+        eager = codec.reconstruct(k, siblings, parity, missing)
+        assert eager == bodies[missing]
+
+        # Incremental fold, members arriving in any order.
+        arrivals = [("parity", parity)] + [
+            ("sibling", (i, bodies[i])) for i in range(k) if i != missing
+        ]
+        order = data.draw(st.permutations(arrivals))
+        fold = XorReconstruction(k, missing)
+        for kind, item in order:
+            if kind == "parity":
+                fold.add_parity(item)
+            else:
+                fold.add_sibling(*item)
+        assert fold.finish() == bodies[missing]
+
+
+class TestConcurrentReconstruction:
+    def xor_file(self, executor, k=4):
+        config = SpongeConfig(chunk_size=CHUNK, redundancy="xor",
+                              redundancy_k=k, read_parallelism=4)
+        sf = make_file(config, executor=executor)
+        payload = mixed_payload([(False, k * 2 * (CHUNK - 64))])
+        sf.write_all(payload)
+        sf.close_sync()
+        return sf, payload
+
+    def test_lost_primary_rebuilds_byte_exact_on_threads(self, executor):
+        sf, payload = self.xor_file(executor)
+        hooks.arm(FaultPlan().lose_group_member(role="primary", times=1))
+        assert bytes(sf.read_all()) == payload
+        assert sf._red.stats.reconstructions == 1
+        assert sf._red.stats.reconstruct_failures == 0
+
+    def test_no_deadlock_on_a_one_worker_pool(self):
+        # A reconstruction op running *on* the pool's only worker
+        # spawns k member reads onto that same pool; steal-or-wait
+        # must drive them inline instead of deadlocking.
+        tiny = ThreadExecutor(max_workers=1, name="test-read-tiny")
+        try:
+            sf, payload = self.xor_file(tiny, k=4)
+            hooks.arm(FaultPlan().lose_group_member(role="primary", times=2))
+            assert bytes(sf.read_all()) == payload
+            assert sf._red.stats.reconstruct_failures == 0
+        finally:
+            tiny.close()
+
+
+class TestFanInReader:
+    def spilled(self, payload, executor, **config_kwargs):
+        config = SpongeConfig(chunk_size=CHUNK, **config_kwargs)
+        sf = make_file(config, executor=executor)
+        sf.write_all(payload)
+        sf.close_sync()
+        return sf
+
+    def test_chunks_come_back_per_file_in_order(self, executor):
+        payloads = [mixed_payload([(True, 3 * CHUNK + i * 1000)])
+                    for i in range(3)]
+        files = [self.spilled(p, executor, compression="always",
+                              read_parallelism=4)
+                 for p in payloads]
+        chunk_lists = run_sync(FanInReader(files).read_chunks())
+        for chunks, payload in zip(chunk_lists, payloads):
+            assert b"".join(bytes(c) for c in chunks) == payload
+        for sf in files:
+            sf.delete_sync()
+
+    def test_record_mode_feeds_the_merge_shape(self, executor):
+        files, expected = [], []
+        for run in range(3):
+            config = SpongeConfig(chunk_size=CHUNK)
+            sf = make_file(config, executor=executor)
+            records = [("k%03d" % i, "run%d" % run) for i in range(50)]
+            run_sync(sf.write(Payload(tuple(records), 16 * len(records))))
+            sf.close_sync()
+            files.append(sf)
+            expected.append(records)
+        record_lists = run_sync(FanInReader(files).read_records())
+        assert [list(records) for records in record_lists] == expected
+        for sf in files:
+            sf.delete_sync()
+
+    def test_mixed_runs_fall_back(self):
+        class DiskishRun:
+            pass
+
+        class SpongishRun:
+            spongefile = object()
+
+        assert sponge_files([SpongishRun(), DiskishRun()]) is None
+        assert sponge_files([]) == []
