@@ -1,0 +1,224 @@
+"""Socket vs shared-memory data plane for same-node sharded spill.
+
+Spills one file per round through a single sharded node twice — once
+over the classic loopback-TCP payload path (a ``bench-client`` host,
+plane off) and once through the SHM data plane (the node's own host,
+``shm_data_plane="rw"``) — and reports the paired per-round speedup of
+the plane over the socket for both the write and the read direction.
+Neither chain direct-attaches shard 0's pool, so every chunk crosses a
+shard server; the only difference between the cells is *how* the
+payload bytes move (header-only commit/grant RPCs + memcpy vs
+full-payload socket frames).  Pairing the rounds cancels machine-load
+drift, the same device bench_redundancy uses for its write tax.
+
+Results merge into ``BENCH_runtime.json`` under the ``"shm_plane"``
+key without clobbering the sibling benches; ``--check`` enforces the
+acceptance floor — plane writes >= 1.3x socket writes on a 2-shard
+node — on hosts with >= 2 CPUs.  On a single time-sliced core the
+client's memcpy and the shard's socket loop compete for the same CPU
+and the floor would measure the scheduler, not the data plane;
+``requires_cores`` skips it there with the uniform notice.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_shm_plane.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional
+
+from repro import obs
+from repro.runtime.client import build_chain
+from repro.runtime.connection_pool import ConnectionPool
+from repro.runtime.executor import ThreadExecutor
+from repro.runtime.local_cluster import LocalSpongeCluster
+from repro.sponge.chunk import TaskId
+from repro.sponge.config import SpongeConfig
+from repro.sponge.spongefile import SpongeFile
+from repro.sponge.store import run_sync
+from repro.util.units import MB
+
+from bench_redundancy import merge_into
+
+CHUNK = 256 * 1024
+SPILL_CHUNKS = 24  # one spill = 6 MB
+SHARDS = 2
+
+
+class _PathBench:
+    """One payload path's long-lived client state + round log.
+
+    ``socket``: the chain's host ("bench-client") is not a cluster
+    node, so the same-host exclusion never applies and both shards are
+    plain loopback-TCP targets — the pre-plane behaviour.
+
+    ``shm``: the chain runs as the node's own host with
+    ``shm_data_plane="rw"``; placement targets the same two shards,
+    but payloads move through the attached :class:`ForeignPoolView`.
+    """
+
+    def __init__(self, cluster: LocalSpongeCluster, path: str) -> None:
+        self.path = path
+        shm = path == "shm"
+        host = cluster.server_configs[0].host if shm else "bench-client"
+        self.config = SpongeConfig(
+            chunk_size=CHUNK,
+            batch_depth=8,
+            shm_data_plane="rw" if shm else "off",
+        )
+        self.pool = ConnectionPool()
+        self.executor = ThreadExecutor(max_workers=4,
+                                       name=f"bench-shm-{path}")
+        self.chain = build_chain(
+            host=host,
+            tracker_address=cluster.tracker_address,
+            spill_dir=str(cluster.workdir / f"bench-spill-{path}"),
+            local_pool_dir=None,  # every chunk crosses a shard server
+            config=self.config,
+            executor=self.executor,
+            connection_pool=self.pool,
+        )
+        self.owner = TaskId(host=host,
+                            task=f"pid:{os.getpid()}:bench-shm-{path}")
+        self.payload = bytes(CHUNK)
+        self.rows: list[dict] = []
+
+    def one_round(self) -> dict:
+        spill = SpongeFile(self.owner, self.chain, config=self.config)
+        t0 = time.perf_counter()
+        for _ in range(SPILL_CHUNKS):
+            spill.write_all(self.payload)
+        spill.close_sync()
+        t1 = time.perf_counter()
+        reader = spill.open_reader()
+        received = 0
+        while True:
+            chunk = run_sync(reader.next_chunk())
+            if chunk is None:
+                break
+            received += len(chunk)
+        t2 = time.perf_counter()
+        spill.delete_sync()
+        assert received == SPILL_CHUNKS * CHUNK, "spill truncated"
+        return {
+            "write_mb_s": SPILL_CHUNKS * CHUNK / MB / (t1 - t0),
+            "read_mb_s": SPILL_CHUNKS * CHUNK / MB / (t2 - t1),
+        }
+
+    def close(self) -> None:
+        self.executor.close(wait=False)
+        self.pool.close()
+
+    def median(self) -> dict:
+        rows = sorted(self.rows, key=lambda r: r["write_mb_s"])
+        return dict(rows[len(rows) // 2])
+
+
+def run(rounds: int) -> dict:
+    registry = obs.install(source="bench-shm-plane")
+    try:
+        with LocalSpongeCluster(
+            num_nodes=1, pool_size=64 * MB, chunk_size=CHUNK,
+            shards=SHARDS, poll_interval=2.0, gc_interval=60.0,
+        ) as cluster:
+            benches = {path: _PathBench(cluster, path)
+                       for path in ("socket", "shm")}
+            try:
+                # Interleave the paths round-by-round (paired
+                # measurement); round 0 is an untimed warm-up.
+                for round_no in range(rounds + 1):
+                    for bench in benches.values():
+                        row = bench.one_round()
+                        if round_no > 0:
+                            bench.rows.append(row)
+            finally:
+                for bench in benches.values():
+                    bench.close()
+            results = {path: bench.median()
+                       for path, bench in benches.items()}
+        counters = registry.snapshot().counters
+    finally:
+        obs.uninstall()
+    # The headline numbers are honest only if the shm cell really moved
+    # its payloads through the mmap, not a silently-degraded socket run.
+    plane_chunks = counters.get("shm.writes", 0)
+    assert plane_chunks >= rounds * SPILL_CHUNKS, (
+        f"shm plane served only {plane_chunks} writes — "
+        f"fallbacks: { {k: v for k, v in counters.items() if 'fallback' in k} }"
+    )
+    speedups = {
+        direction: sorted(
+            shm[f"{direction}_mb_s"] / sock[f"{direction}_mb_s"]
+            for sock, shm in zip(benches["socket"].rows,
+                                 benches["shm"].rows)
+        )
+        for direction in ("write", "read")
+    }
+    return {
+        "benchmark": "runtime-shm-plane",
+        "chunk_kb": CHUNK // 1024,
+        "spill_mb": SPILL_CHUNKS * CHUNK // MB,
+        "rounds": rounds,
+        "cpus": os.cpu_count(),
+        "shards": SHARDS,
+        "paths": results,
+        "shm_chunks": plane_chunks,
+        "shm_fallbacks": counters.get("shm.fallbacks", 0),
+        "write_speedup": round(
+            speedups["write"][len(speedups["write"]) // 2], 4),
+        "read_speedup": round(
+            speedups["read"][len(speedups["read"]) // 2], 4),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="socket vs shared-memory data plane for same-node "
+                    "sharded spill"
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the acceptance floor (plane "
+                             "writes >= 1.3x socket writes on 2 "
+                             "shards); skipped with a notice on < 2 "
+                             "CPUs")
+    args = parser.parse_args(argv)
+
+    report = run(args.rounds)
+    merge_into(args.out, "shm_plane", report)
+
+    print(f"{'path':>7s} {'write MB/s':>12s} {'read MB/s':>12s}")
+    for path, row in report["paths"].items():
+        print(f"{path:>7s} {row['write_mb_s']:12.1f} "
+              f"{row['read_mb_s']:12.1f}")
+    print(f"plane chunks: {report['shm_chunks']} "
+          f"(fallbacks: {report['shm_fallbacks']})")
+    print(f"write speedup (paired median, shm vs socket): "
+          f"{report['write_speedup']:.2f}x")
+    print(f"read speedup (paired median, shm vs socket): "
+          f"{report['read_speedup']:.2f}x")
+    print(f"written to {args.out}")
+
+    if args.check:
+        from conftest import requires_cores
+
+        if not requires_cores(2, "client memcpy and shard service must "
+                                 "run on separate cores for the data "
+                                 "plane to show"):
+            return 0
+        if report["write_speedup"] < 1.3:
+            print(f"ACCEPTANCE FAILURE: shm write speedup "
+                  f"{report['write_speedup']:.2f}x < 1.3x",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

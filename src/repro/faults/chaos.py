@@ -146,6 +146,15 @@ class ChaosSettings:
     #: Data members per parity group (kept small: chaos clusters are 3
     #: nodes, and a group needs k+1 distinct domains to spread over).
     redundancy_k: int = 2
+    #: Same-node SHM data plane for the writers (``off``/``write``/
+    #: ``rw``).  Non-off runs move same-host payloads by direct mmap
+    #: (memcpy + header-only commit/grant RPCs) and must degrade to the
+    #: socket path on every injected ``shm.*`` fault — byte-exact
+    #: read-back throughout.  The fault/kill schedule is blind to this
+    #: knob by construction: the ``shm.*`` rules are always in the plan
+    #: (inert when the plane is off — clients then never issue shm ops)
+    #: and consume no seed draws.
+    shm_data_plane: str = "off"
     #: Server-side lease TTL.  Deliberately short so a crashed writer's
     #: reservations are reclaimed within the harness' GC deadline.
     lease_ttl: float = 2.0
@@ -250,6 +259,15 @@ def build_fault_plan(settings: ChaosSettings) -> FaultPlan:
         # still byte-exact on read-back.
         plan.corrupt_frames(times=1, probability=0.25)
         plan.fail_probe(times=rng.randint(1, 2))
+    # (h) SHM-plane control-op failures: refused attaches, commits and
+    # grants must each surface as a *counted fallback* to the socket
+    # path, never as corruption or an unclassified error.  Appended
+    # unconditionally with fixed parameters (no ``rng`` draws), so the
+    # schedule is provably blind to ``shm_data_plane``: when the plane
+    # is off the clients never issue shm ops and the rules sit inert.
+    plan.fail_shm_plane(site="shm.attach", times=1)
+    plan.fail_shm_plane(site="shm.commit", times=2, probability=0.5)
+    plan.fail_shm_plane(site="shm.read_grant", times=2, probability=0.5)
     return plan
 
 
@@ -339,6 +357,7 @@ def _writer_main(writer_id: int, settings: ChaosSettings, plan: FaultPlan,
         compression=settings.compression,
         redundancy=settings.redundancy,
         redundancy_k=settings.redundancy_k,
+        shm_data_plane=settings.shm_data_plane,
     )
     result = {"writer": writer_id, "rounds_ok": 0,
               "expected": [], "violations": []}
@@ -1053,6 +1072,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--redundancy-k", type=int, default=2,
                         help="data members per xor parity group "
                              "(default 2: sized for 3-node clusters)")
+    parser.add_argument("--shm-data-plane", default="off",
+                        choices=("off", "write", "rw"),
+                        help="same-node shared-memory data plane for the "
+                             "writers (default off; the fault schedule "
+                             "is blind to this knob)")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the merged metrics snapshot as JSON "
                              "(readable by python -m repro.obs.dump --input)")
@@ -1073,6 +1097,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         read_parallelism=args.read_parallelism,
         compression=args.compression, shards=args.shards,
         redundancy=args.redundancy, redundancy_k=args.redundancy_k,
+        shm_data_plane=args.shm_data_plane,
     )
     report = run_chaos(settings)
     print(report.summary())

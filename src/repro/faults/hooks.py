@@ -47,6 +47,9 @@ KNOWN_SITES = frozenset({
     "redundancy.encode",
     "redundancy.member_read",
     "redundancy.reconstruct",
+    "shm.attach",
+    "shm.commit",
+    "shm.read_grant",
 })
 
 #: The armed plan, or None.  Read directly by hot-path guards.

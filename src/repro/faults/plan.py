@@ -35,6 +35,9 @@ site                 fired from                             context keys
 ``redundancy.encode``  ``RedundancyCodec._frame``           gid, index, member, nbytes
 ``redundancy.member_read``  reader member fetch             gid, index, role, location
 ``redundancy.reconstruct``  reader reconstruction start     gid, missing
+``shm.attach``       sponge server ``shm_attach``           server_id, host
+``shm.commit``       sponge server ``write_commit``         server_id, host, owner, chunks
+``shm.read_grant``   sponge server ``read_grant``           server_id, host, owner, chunks
 ===================  =====================================  =================
 
 Determinism
@@ -363,6 +366,22 @@ class FaultPlan:
 
         return self.rule("compress.probe", FaultAction(
             "raise", SpongeError, "injected probe failure",
+        ), **kwargs)
+
+    def fail_shm_plane(self, site: str = "shm.*", **kwargs) -> "FaultPlan":
+        """SHM data-plane control ops fail server-side.
+
+        ``site`` narrows to one op (``"shm.attach"``, ``"shm.commit"``,
+        ``"shm.read_grant"``); the default wildcard hits all three.
+        The plane is an optimization, never a correctness dependency:
+        every injected failure must surface as a *counted fallback* to
+        the socket path (``shm.fallbacks.*``), with reads and writes
+        staying byte-exact.
+        """
+        from repro.errors import SpongeError
+
+        return self.rule(site, FaultAction(
+            "raise", SpongeError, "injected shm-plane failure",
         ), **kwargs)
 
     # -- firing --------------------------------------------------------------

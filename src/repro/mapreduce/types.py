@@ -8,6 +8,7 @@ what every disk, network, and memory model charges.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -34,6 +35,41 @@ def sort_records(records: list[Record]) -> list[Record]:
     return sorted(records, key=lambda record: record.key)
 
 
+def _stable_key_bytes(key: Any) -> bytes:
+    """A canonical, type-tagged encoding of a partition key.
+
+    Type tags keep distinct types from colliding by representation
+    (``"1"`` vs ``1`` vs ``True``); tuples encode recursively with
+    length-prefixed elements so nesting cannot be forged by string
+    concatenation.
+    """
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return b"B:1" if key else b"B:0"
+    if isinstance(key, str):
+        return b"s:" + key.encode("utf-8")
+    if isinstance(key, int):
+        return b"i:%d" % key
+    if isinstance(key, float):
+        return b"f:" + repr(key).encode("ascii")
+    if isinstance(key, (bytes, bytearray, memoryview)):
+        return b"b:" + bytes(key)
+    if key is None:
+        return b"n:"
+    if isinstance(key, tuple):
+        parts = [_stable_key_bytes(item) for item in key]
+        return b"t:" + b"".join(
+            b"%d;" % len(part) + part for part in parts
+        )
+    return b"r:" + repr(key).encode("utf-8", "backslashreplace")
+
+
 def default_partitioner(key: Any, num_partitions: int) -> int:
-    """Hadoop's default: hash of the key modulo the reducer count."""
-    return hash(key) % num_partitions
+    """Hadoop's default shape — hash modulo the reducer count — over a
+    *process-stable* hash.
+
+    Python's builtin ``hash`` is salted per process for strings
+    (``PYTHONHASHSEED``), so mappers running in different processes
+    would route the same key to different reducers.  crc32 over a
+    canonical encoding gives every process the same routing.
+    """
+    return zlib.crc32(_stable_key_bytes(key)) % num_partitions

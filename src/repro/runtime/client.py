@@ -20,6 +20,7 @@ from __future__ import annotations
 import logging
 import math
 import time
+import zlib
 from collections import deque
 from pathlib import Path
 from typing import Optional
@@ -28,6 +29,7 @@ from repro.errors import (
     ChunkLostError,
     ConfigError,
     QuotaDeferError,
+    QuotaExceededError,
     RuntimeBackendError,
     SpongeError,
     StoreUnavailableError,
@@ -43,7 +45,7 @@ from repro.runtime.connection_pool import (
 )
 
 log = logging.getLogger(__name__)
-from repro.runtime.shm_pool import MmapSpongePool
+from repro.runtime.shm_pool import ForeignPoolView, MmapSpongePool
 from repro.sponge.allocator import AllocationChain
 from repro.sponge.chunk import ChunkHandle, ChunkLocation, TaskId
 from repro.sponge.compression import CompressedStore
@@ -87,6 +89,286 @@ class LocalMmapStore(SyncChunkStore):
     def _free(self, handle: ChunkHandle) -> None:
         owner, index = handle.ref
         self.pool.free(index, owner)
+
+
+class ShmDataPlane:
+    """Zero-copy payload path to a *same-host* sponge server.
+
+    On a sharded node a task direct-attaches only shard 0's pool slice;
+    every other local shard used to be reached over loopback TCP like a
+    remote peer.  This plane restores Table 1's tier model: after a
+    ``shm_attach`` handshake the client maps the shard's payload
+    segments (:class:`~repro.runtime.shm_pool.ForeignPoolView`) and
+    chunk payloads move by direct memcpy — only tiny control RPCs cross
+    the socket.
+
+    * **Writes** memcpy into slots the client holds fresh leases on,
+      then post a header-only ``write_commit`` (batched, crc32-checked
+      server-side before publication).
+    * **Reads** take a ``read_grant`` (generation, length, crc per
+      chunk), copy straight out of the mmap, and validate the slot
+      generation *after* the copy plus the crc — a slot recycled
+      between grant and copy is detected, never returned.
+
+    Every failure mode — attach refusal, lease shortfall, commit/grant
+    error, epoch/generation/crc mismatch — falls back to the classic
+    socket path and bumps ``shm.fallbacks`` (plus a per-reason
+    counter); the plane never weakens the socket path's semantics.
+
+    Lease safety: the client only dirties slots whose leases are
+    younger than half the server's TTL (tracked per grant), so a lease
+    cannot expire — and its slot be recycled — while the memcpy is in
+    flight.  Stale cached reservations are simply abandoned to the
+    server's GC sweep.
+    """
+
+    #: Extra reservations fetched per lease round trip, so a stream of
+    #: single-chunk writes does not pay one lease RPC per chunk.
+    LEASE_AHEAD = 16
+
+    def __init__(self, store: "RemoteServerStore", view: ForeignPoolView,
+                 epoch: str, mode: str) -> None:
+        self.store = store
+        self.view = view
+        self.epoch = epoch
+        self.mode = mode  # "write" (writes only) or "rw"
+        #: Set when the mapping itself is unusable (stale epoch, pool
+        #: recreated, mmap failure): every later call skips straight to
+        #: the socket path without re-counting a fallback.
+        self.dead = False
+        #: str(owner) -> deque of (index, use_deadline) reservations.
+        self._lease_cache: dict[str, deque] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @staticmethod
+    def _fallback(reason: str) -> None:
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("shm.fallbacks").inc()
+            registry.counter(f"shm.fallbacks.{reason}").inc()
+
+    def drain_leases(self, owner: TaskId) -> list[int]:
+        """Hand every cached reservation back for a batched release."""
+        held = self._lease_cache.pop(str(owner), None)
+        return [index for index, _deadline in held] if held else []
+
+    # -- leasing -----------------------------------------------------------
+
+    def _lease_rpc(self, owner: TaskId, count: int) -> list:
+        store = self.store
+        count = min(count, protocol.MAX_LEASE)
+        try:
+            reply, _ = store.connections.request(
+                store.address,
+                {"op": "lease", "count": count,
+                 **store._owner_header(owner)},
+                timeout=store.timeout,
+            )
+            protocol.check_reply(reply)
+        except (OSError, RuntimeBackendError, SpongeError) as exc:
+            log.debug("shm lease of %d chunks on %s skipped: %s",
+                      count, store.store_id, exc)
+            return []
+        # Only dirty a slot while its lease is provably fresh: half the
+        # TTL leaves the whole other half as margin between the last
+        # permitted memcpy start and the server's expiry sweep.
+        deadline = time.monotonic() + float(reply.get("ttl", 30.0)) / 2.0
+        granted = [(int(i), deadline) for i in reply.get("indices", [])]
+        registry = obs._registry
+        if registry is not None and granted:
+            registry.counter("client.lease.granted").inc(len(granted))
+        return granted
+
+    def _take_leases(self, owner: TaskId, count: int) -> Optional[list]:
+        """Exactly ``count`` fresh ``(index, deadline)`` reservations,
+        or ``None`` when the server cannot cover the request (the taken
+        ones are pushed back for the next attempt)."""
+        held = self._lease_cache.setdefault(str(owner), deque())
+        now = time.monotonic()
+        taken: list = []
+        while held and len(taken) < count:
+            index, deadline = held.popleft()
+            if deadline <= now:
+                # Too old to dirty safely; the server's lease TTL sweep
+                # reclaims the reservation.
+                continue
+            taken.append((index, deadline))
+        if len(taken) < count:
+            held.extend(self._lease_rpc(
+                owner, count - len(taken) + self.LEASE_AHEAD))
+            while held and len(taken) < count:
+                taken.append(held.popleft())
+        if len(taken) < count:
+            held.extendleft(reversed(taken))
+            return None
+        return taken
+
+    # -- write path --------------------------------------------------------
+
+    @staticmethod
+    def _fill(view: memoryview, blob) -> int:
+        """Memcpy ``blob`` (bytes-like or part sequence) into the slot,
+        computing the payload crc32 during the same pass."""
+        if isinstance(blob, (bytes, bytearray, memoryview)):
+            view[: len(blob)] = blob
+            return zlib.crc32(blob)
+        crc = 0
+        cursor = 0
+        for part in blob:
+            n = len(part)
+            view[cursor : cursor + n] = part
+            crc = zlib.crc32(part, crc)
+            cursor += n
+        return crc
+
+    def write_chunks(self, owner: TaskId,
+                     blobs: list) -> Optional[list[ChunkHandle]]:
+        """Place ``blobs`` via the plane; ``None`` means use the socket.
+
+        Quota semantics match the socket path exactly: admission runs
+        server-side at commit, a ``quota-defer`` is retried in place
+        with backoff and finally re-raised, a hard quota refusal is
+        raised immediately.
+        """
+        store = self.store
+        if (len(blobs) > protocol.MAX_BATCH
+                or any(len(b) > self.view.chunk_size for b in blobs)):
+            self._fallback("size")
+            return None
+        taken = self._take_leases(owner, len(blobs))
+        if taken is None:
+            self._fallback("lease")
+            return None
+        chunks = []
+        total = 0
+        try:
+            now = time.monotonic()
+            for (index, deadline), blob in zip(taken, blobs):
+                if deadline <= now:
+                    raise SpongeError(f"lease on chunk {index} went stale")
+                crc = self._fill(self.view.chunk_view(index, len(blob)),
+                                 blob)
+                chunks.append([index, len(blob), crc])
+                total += len(blob)
+        except (OSError, ValueError, SpongeError) as exc:
+            # The mapping itself failed (or a lease aged out mid-batch):
+            # abandon the touched reservations to the server's GC.
+            log.debug("shm fill on %s failed: %s", store.store_id, exc)
+            self._fallback("copy")
+            return None
+        header = {
+            "op": "write_commit", "chunks": chunks, "epoch": self.epoch,
+            **store._owner_header(owner),
+        }
+        for attempt in range(store.DEFER_ATTEMPTS):
+            try:
+                reply, _ = store.connections.request(
+                    store.address, header, timeout=store.timeout,
+                )
+            except NOT_PROCESSED_ERRORS as exc:
+                raise store._unavailable(exc) from exc
+            try:
+                protocol.check_reply(reply)
+            except QuotaDeferError:
+                # Admission runs before any lease is consumed, so the
+                # identical request is valid on retry.
+                if attempt + 1 >= store.DEFER_ATTEMPTS:
+                    raise
+                store._defer_pause(attempt)
+                continue
+            except QuotaExceededError:
+                raise
+            except (RuntimeBackendError, SpongeError):
+                # Commit refused (stale epoch, expired lease, crc
+                # mismatch): consumed chunks were freed server-side, so
+                # the socket fallback rewrites through fresh ones.
+                if reply.get("code") == "shm-stale":
+                    self.dead = True
+                self._fallback("commit")
+                return None
+            break
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("shm.writes").inc(len(blobs))
+            registry.counter("shm.bytes").inc(total)
+        return [
+            ChunkHandle(store.location, store.store_id, (owner, index), n)
+            for index, n, _crc in chunks
+        ]
+
+    # -- read path ---------------------------------------------------------
+
+    def _copy_out(self, index: int, grant) -> Optional[bytes]:
+        """Copy one granted chunk out of the mmap, validating the slot
+        generation after the copy and then the payload crc."""
+        gen, length, crc = int(grant[0]), int(grant[1]), int(grant[2])
+        try:
+            data = bytes(self.view.chunk_view(index, length))
+            current = self.view.generation(index)
+        except (OSError, ValueError, SpongeError):
+            self.dead = True
+            self._fallback("copy")
+            return None
+        if current != gen:
+            # The slot was freed (and possibly recycled) between grant
+            # and copy — a GC/demotion race, not corruption.
+            self._fallback("generation")
+            return None
+        if zlib.crc32(data) != crc:
+            self._fallback("crc")
+            return None
+        return data
+
+    def read_chunks(self, handles: list) -> Optional[list]:
+        """Read via grants; ``None`` means use the socket for them all.
+
+        Chunks the server declines to grant (demoted to its disk tier,
+        raced by GC) are read over the socket individually, keeping
+        error classification identical to the socket path.
+        """
+        if self.mode != "rw":
+            return None
+        store = self.store
+        owner = handles[0].ref[0]
+        indices = [int(h.ref[1]) for h in handles]
+        reply: Optional[dict] = None
+        try:
+            reply, _ = store.connections.request(
+                store.address,
+                {"op": "read_grant", "indices": indices,
+                 "epoch": self.epoch,
+                 **protocol.encode_owner(owner.host, owner.task)},
+                timeout=store.timeout,
+            )
+            protocol.check_reply(reply)
+        except (OSError, RuntimeBackendError, SpongeError):
+            if isinstance(reply, dict) and reply.get("code") == "shm-stale":
+                self.dead = True
+            self._fallback("grant")
+            return None
+        grants = reply.get("grants", [])
+        if len(grants) != len(handles):
+            self._fallback("grant")
+            return None
+        out = []
+        served = 0
+        nbytes = 0
+        for handle, grant, index in zip(handles, grants, indices):
+            data = self._copy_out(index, grant) if grant is not None else None
+            if grant is None:
+                self._fallback("ungranted")
+            if data is None:
+                data = store._socket_read(handle)
+            else:
+                served += 1
+                nbytes += len(data)
+            out.append(data)
+        registry = obs._registry
+        if registry is not None and served:
+            registry.counter("shm.reads").inc(served)
+            registry.counter("shm.bytes").inc(nbytes)
+        return out
 
 
 class RemoteServerStore(SyncChunkStore):
@@ -137,6 +419,41 @@ class RemoteServerStore(SyncChunkStore):
         #: batched writes; released at close; reclaimed by the server's
         #: GC sweep if this process dies holding them.
         self._leases: dict[str, deque[int]] = {}
+        #: Same-host zero-copy fast path (``shm_attach``); stays None
+        #: for genuinely remote servers or when the knob is off.
+        self.shm: Optional[ShmDataPlane] = None
+
+    def attach_shm(self, mode: str) -> bool:
+        """Try the same-host ``shm_attach`` handshake (counted on failure).
+
+        Any failure — server too old for the op, geometry/epoch race,
+        unreadable segment files — leaves the store on its plain socket
+        path, exactly as before.
+        """
+        try:
+            reply, _ = self.connections.request(
+                self.address, {"op": "shm_attach"}, timeout=self.timeout
+            )
+            protocol.check_reply(reply)
+            view = ForeignPoolView(
+                reply["directory"],
+                chunk_size=reply["chunk_size"],
+                num_chunks=reply["num_chunks"],
+                chunks_per_segment=reply["chunks_per_segment"],
+                epoch=reply["epoch"],
+                writable=True,
+            )
+        except (OSError, KeyError, RuntimeBackendError, SpongeError,
+                ConfigError) as exc:
+            log.debug("shm attach to %s failed: %s", self.store_id, exc)
+            ShmDataPlane._fallback("attach")
+            return False
+        self.shm = ShmDataPlane(self, view, reply["epoch"], mode)
+        return True
+
+    def _shm_plane(self) -> Optional[ShmDataPlane]:
+        shm = self.shm
+        return shm if shm is not None and not shm.dead else None
 
     def free_bytes(self) -> Optional[int]:
         reply, _ = self.connections.request(
@@ -157,6 +474,14 @@ class RemoteServerStore(SyncChunkStore):
         time.sleep(self.DEFER_BACKOFF * (2 ** attempt))
 
     def _write(self, owner: TaskId, data) -> ChunkHandle:
+        shm = self._shm_plane()
+        if shm is not None:
+            placed = shm.write_chunks(owner, [data])
+            if placed is not None:
+                return placed[0]
+        return self._socket_write(owner, data)
+
+    def _socket_write(self, owner: TaskId, data) -> ChunkHandle:
         for attempt in range(self.DEFER_ATTEMPTS):
             try:
                 reply, _ = self.connections.request(
@@ -189,6 +514,14 @@ class RemoteServerStore(SyncChunkStore):
         return StoreUnavailableError(f"{self.store_id} unreachable: {exc}")
 
     def _read(self, handle: ChunkHandle):
+        shm = self._shm_plane()
+        if shm is not None:
+            result = shm.read_chunks([handle])
+            if result is not None:
+                return result[0]
+        return self._socket_read(handle)
+
+    def _socket_read(self, handle: ChunkHandle):
         owner, index = handle.ref
         try:
             reply, payload = self.connections.request(
@@ -256,13 +589,15 @@ class RemoteServerStore(SyncChunkStore):
 
     def release_leases(self, owner: TaskId) -> None:
         """Give unused reservations back (one best-effort round trip)."""
-        held = self._leases.pop(str(owner), None)
+        held = list(self._leases.pop(str(owner), None) or ())
+        if self.shm is not None:
+            held.extend(self.shm.drain_leases(owner))
         if not held:
             return
         try:
             reply, _ = self.connections.request(
                 self.address,
-                {"op": "free_batch", "indices": list(held),
+                {"op": "free_batch", "indices": held,
                  **protocol.encode_owner(owner.host, owner.task)},
                 timeout=self.timeout,
             )
@@ -283,6 +618,22 @@ class RemoteServerStore(SyncChunkStore):
     def _write_batch(self, owner: TaskId, blobs: list) -> list[ChunkHandle]:
         if not blobs:
             return []
+        shm = self._shm_plane()
+        if shm is not None:
+            placed = shm.write_chunks(owner, blobs)
+            if placed is not None:
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("client.write_batch.count").inc()
+                    registry.counter("client.write_batch.chunks").inc(
+                        len(blobs))
+                    registry.histogram("client.write_batch.size").record(
+                        len(blobs))
+                return placed
+        return self._socket_write_batch(owner, blobs)
+
+    def _socket_write_batch(self, owner: TaskId,
+                            blobs: list) -> list[ChunkHandle]:
         lens = [len(b) for b in blobs]
         header = {
             "op": "write_batch", "lens": lens,
@@ -349,6 +700,19 @@ class RemoteServerStore(SyncChunkStore):
     def _read_batch(self, handles: list) -> list:
         if not handles:
             return []
+        shm = self._shm_plane()
+        if shm is not None:
+            result = shm.read_chunks(handles)
+            if result is not None:
+                registry = obs._registry
+                if registry is not None:
+                    registry.counter("client.read_batch.count").inc()
+                    registry.counter("client.read_batch.chunks").inc(
+                        len(result))
+                return result
+        return self._socket_read_batch(handles)
+
+    def _socket_read_batch(self, handles: list) -> list:
         owner = handles[0].ref[0]
         indices = [int(h.ref[1]) for h in handles]
         try:
@@ -442,6 +806,10 @@ class TrackerClient:
         self.client_id = client_id
         self.connections = pool if pool is not None else default_pool()
         self.addresses: dict[str, Address] = {}
+        #: server_id -> advertised logical host ("" when unknown) —
+        #: same-host detection is explicit, never inferred from a
+        #: loopback address.
+        self.hosts: dict[str, str] = {}
         self._cached: Optional[list[dict]] = None
         self._cached_at = 0.0
         #: TTL last advertised by the tracker (used when ``cache_ttl``
@@ -487,12 +855,17 @@ class TrackerClient:
         servers = reply["servers"]
         for entry in servers:
             self.addresses[entry["server_id"]] = tuple(entry["address"])
+            self.hosts[entry["server_id"]] = entry.get("host", "")
         advertised = reply.get("cache_ttl")
         if isinstance(advertised, (int, float)) and advertised > 0:
             self._advertised_ttl = float(advertised)
         self._cached = servers
         self._cached_at = time.monotonic()
         return servers
+
+    def host_of(self, server_id: str) -> str:
+        """The logical host advertised for ``server_id`` (may be "")."""
+        return self.hosts.get(server_id, "")
 
     def invalidate(self) -> None:
         """Drop the cached free list (next call re-fetches)."""
@@ -611,6 +984,13 @@ def build_chain(
             )
         store = RemoteServerStore(info.server_id, address, pool=connections,
                                   tenant_weight=config.tenant_weight)
+        if config.shm_data_plane != "off" and host:
+            # Same-host detection is explicit: the tracker carries each
+            # server's logical host (resolving handles by id consults
+            # the same map, so ``info.host`` may be empty there).
+            server_host = info.host or tracker.host_of(info.server_id)
+            if server_host == host:
+                store.attach_shm(config.shm_data_plane)
         return store if wrap is None else wrap(store)
 
     disk_store = FileDiskStore(spill_dir)

@@ -13,19 +13,33 @@ so the files really are RAM):
 * ``segment-N.dat`` — the chunk payload segments.  The paper splits
   the pool into multiple mmap'd segments to dodge Java's 2 GB mmap
   cap; we keep the same structure.
+* ``gens.dat`` — the per-slot generation table backing the SHM data
+  plane: an 8-byte magic plus an 8-byte random *pool epoch*, then one
+  big-endian u64 generation counter per chunk.  The owning server
+  bumps a slot's generation whenever the slot is freed (every content
+  change passes through a free first), so a foreign reader holding a
+  ``read_grant`` can detect that its slot was recycled under it.  The
+  counters are advisory staleness checks — a torn 8-byte read merely
+  forces the (always-correct) crc32 validation to decide — so foreign
+  readers map the table without any locking.
 * ``pool.lock`` — the pool lock (``flock``), the cross-process
   equivalent of the paper's shared-memory spin lock, taken only for
   metadata operations (allocate/free/GC) — never on the data path.
 
 Any process on the machine may attach the pool and allocate directly —
 the "local shared memory" row of Table 1 — while the sponge server
-process uses the same pool to serve remote peers.
+process uses the same pool to serve remote peers.  A process on the
+same machine that is *not* the pool's owner can instead take a
+:class:`ForeignPoolView`: payload segments and the generation table
+only, never ``meta.dat`` — metadata stays server-owned and coherence
+rides on the server's commit/grant RPCs.
 """
 
 from __future__ import annotations
 
 import fcntl
 import mmap
+import os
 import struct
 import threading
 from pathlib import Path
@@ -39,6 +53,10 @@ _MAGIC = b"SPNG"
 _HEADER = struct.Struct(">4sIIQ")  # magic, chunk_size, num_chunks, segment_size
 _ENTRY = struct.Struct(">BI75s")  # state, payload_len, owner
 _FREE, _USED = 0, 1
+
+_GENS_MAGIC = b"SPNGGEN1"
+_GENS_HEADER_SIZE = 16  # magic + 8-byte random pool epoch
+_GEN = struct.Struct(">Q")
 
 
 class MmapSpongePool:
@@ -81,7 +99,17 @@ class MmapSpongePool:
         for index in range(num_segments):
             with open(self.directory / f"segment-{index}.dat", "wb") as seg:
                 seg.truncate(chunks_per_segment * chunk_size)
+        self._create_gens(num_chunks)
         (self.directory / "pool.lock").touch()
+
+    def _create_gens(self, num_chunks: int) -> None:
+        # A fresh random epoch per table: a destroyed-and-recreated pool
+        # (same directory, new files) gets a new epoch, so clients whose
+        # mmaps still point at the unlinked old files are refused on
+        # their next commit/grant RPC instead of reading dead memory.
+        with open(self.directory / "gens.dat", "wb") as gens:
+            gens.write(_GENS_MAGIC + os.urandom(8))
+            gens.write(b"\0" * (num_chunks * _GEN.size))
 
     def _attach(self) -> None:
         meta_path = self.directory / "meta.dat"
@@ -104,6 +132,15 @@ class MmapSpongePool:
             seg_file = open(self.directory / f"segment-{index}.dat", "r+b")
             self._segment_files.append(seg_file)
             self._segments.append(mmap.mmap(seg_file.fileno(), 0))
+        gens_path = self.directory / "gens.dat"
+        if not gens_path.exists():
+            # A pool created before the generation table existed: adopt
+            # it in place (all-zero generations, fresh epoch).
+            self._create_gens(self.num_chunks)
+        self._gens_file = open(gens_path, "r+b")
+        self._gens = mmap.mmap(self._gens_file.fileno(), 0)
+        if self._gens[: len(_GENS_MAGIC)] != _GENS_MAGIC:
+            raise ConfigError(f"{gens_path} is not a generation table")
         self._lock_file = open(self.directory / "pool.lock", "r+b")
         # ``flock`` excludes other *processes* but not threads sharing
         # this open file description (re-locking the same fd is a no-op),
@@ -117,6 +154,8 @@ class MmapSpongePool:
             seg_file.close()
         self._meta.close()
         self._meta_file.close()
+        self._gens.close()
+        self._gens_file.close()
         self._lock_file.close()
 
     def __enter__(self) -> "MmapSpongePool":
@@ -186,6 +225,26 @@ class MmapSpongePool:
             self._meta, self._entry_offset(index), state, length,
             owner_raw.ljust(75, b"\0"),
         )
+
+    # -- slot generations (SHM data plane) -----------------------------------------
+
+    @property
+    def epoch(self) -> str:
+        """The pool's random epoch (hex) — changes when the pool is recreated."""
+        return self._gens[8:_GENS_HEADER_SIZE].hex()
+
+    def generation(self, index: int) -> int:
+        """The slot's current generation counter (bumped on every free)."""
+        if not 0 <= index < self.num_chunks:
+            raise SpongeError(f"chunk index out of range: {index}")
+        return _GEN.unpack_from(
+            self._gens, _GENS_HEADER_SIZE + index * _GEN.size
+        )[0]
+
+    def _bump_generation(self, index: int) -> None:
+        offset = _GENS_HEADER_SIZE + index * _GEN.size
+        gen = _GEN.unpack_from(self._gens, offset)[0]
+        _GEN.pack_into(self._gens, offset, (gen + 1) & 0xFFFFFFFFFFFFFFFF)
 
     # -- chunk operations ----------------------------------------------------------
 
@@ -320,6 +379,7 @@ class MmapSpongePool:
                     f"chunk {index} owned by {actual}, not {owner}"
                 )
             self._write_entry(index, _FREE, 0, None)
+            self._bump_generation(index)
             return length
 
     def _locate(self, index: int) -> tuple[mmap.mmap, int]:
@@ -363,6 +423,7 @@ class MmapSpongePool:
                     verdicts[owner] = alive
                 if not alive:
                     self._write_entry(index, _FREE, 0, None)
+                    self._bump_generation(index)
                     freed += 1
         return freed
 
@@ -376,3 +437,112 @@ class MmapSpongePool:
             self.directory.rmdir()
         except OSError:
             pass
+
+
+class ForeignPoolView:
+    """A client-side attach to *another process's* pool (SHM data plane).
+
+    Maps the payload segments and the generation table only — never
+    ``meta.dat`` and never the pool lock, so exclusive shards stay
+    lock-free and metadata stays server-owned.  Geometry comes from the
+    server's ``shm_attach`` reply rather than from the files, so a view
+    cannot misparse a foreign layout; the advertised epoch must match
+    the mapped table's, or the view refuses to open (the pool was
+    recreated between advertisement and attach).
+
+    All coherence rides on the owning server's commit/grant RPCs: a
+    writer only touches slots it holds fresh leases on, and a reader
+    validates the slot generation plus a crc32 after every copy.
+    """
+
+    def __init__(self, directory: str | Path, chunk_size: int,
+                 num_chunks: int, chunks_per_segment: int,
+                 epoch: Optional[str] = None, writable: bool = False) -> None:
+        self.directory = Path(directory)
+        self.chunk_size = int(chunk_size)
+        self.num_chunks = int(num_chunks)
+        self.chunks_per_segment = max(1, int(chunks_per_segment))
+        self.writable = bool(writable)
+        self._segment_files: list = []
+        self._segments: list[mmap.mmap] = []
+        self._gens_file = None
+        self._gens: Optional[mmap.mmap] = None
+        num_segments = -(-self.num_chunks // self.chunks_per_segment)
+        try:
+            for index in range(num_segments):
+                path = self.directory / f"segment-{index}.dat"
+                if self.writable:
+                    seg_file = open(path, "r+b")
+                    segment = mmap.mmap(seg_file.fileno(), 0)
+                else:
+                    seg_file = open(path, "rb")
+                    segment = mmap.mmap(seg_file.fileno(), 0,
+                                        access=mmap.ACCESS_READ)
+                self._segment_files.append(seg_file)
+                self._segments.append(segment)
+            self._gens_file = open(self.directory / "gens.dat", "rb")
+            self._gens = mmap.mmap(self._gens_file.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+            if self._gens[: len(_GENS_MAGIC)] != _GENS_MAGIC:
+                raise ConfigError(
+                    f"{self.directory / 'gens.dat'} is not a generation table"
+                )
+            if epoch is not None and self.epoch != epoch:
+                raise SpongeError(
+                    f"pool at {self.directory} has epoch {self.epoch}, "
+                    f"server advertised {epoch}"
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def epoch(self) -> str:
+        return self._gens[8:_GENS_HEADER_SIZE].hex()
+
+    def generation(self, index: int) -> int:
+        """The slot's generation as currently published by the owner."""
+        if not 0 <= index < self.num_chunks:
+            raise SpongeError(f"chunk index out of range: {index}")
+        return _GEN.unpack_from(
+            self._gens, _GENS_HEADER_SIZE + index * _GEN.size
+        )[0]
+
+    def chunk_view(self, index: int, nbytes: Optional[int] = None) -> memoryview:
+        """A view over the first ``nbytes`` of slot ``index``.
+
+        Writable iff the view was opened writable; a read-only view's
+        buffer rejects stores at the mmap layer.
+        """
+        if not 0 <= index < self.num_chunks:
+            raise SpongeError(f"chunk index out of range: {index}")
+        nbytes = self.chunk_size if nbytes is None else int(nbytes)
+        if not 0 <= nbytes <= self.chunk_size:
+            raise SpongeError(
+                f"payload of {nbytes} bytes exceeds chunk size"
+            )
+        segment = self._segments[index // self.chunks_per_segment]
+        offset = (index % self.chunks_per_segment) * self.chunk_size
+        return memoryview(segment)[offset : offset + nbytes]
+
+    def close(self) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+            except (BufferError, ValueError):
+                pass
+        for seg_file in self._segment_files:
+            seg_file.close()
+        if self._gens is not None:
+            try:
+                self._gens.close()
+            except (BufferError, ValueError):
+                pass
+        if self._gens_file is not None:
+            self._gens_file.close()
+
+    def __enter__(self) -> "ForeignPoolView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

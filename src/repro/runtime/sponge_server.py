@@ -20,6 +20,7 @@ import os
 import socket
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -750,6 +751,12 @@ class SpongeServerProcess:
             return self._dispatch_read_batch(header, owner)
         if op == "free_batch":
             return self._dispatch_free_batch(header, owner)
+        if op == "shm_attach":
+            return self._dispatch_shm_attach(header)
+        if op == "write_commit":
+            return self._dispatch_write_commit(header, owner)
+        if op == "read_grant":
+            return self._dispatch_read_grant(header, owner)
         if op == "alloc_write":
             entry = staged.get("alloc_write") if staged else None
             if entry is not None:
@@ -983,6 +990,168 @@ class SpongeServerProcess:
             registry.observe("server.free_batch.seconds", started,
                              time.perf_counter())
         return {"ok": True, "freed": freed}, b""
+
+    # -- SHM data plane ----------------------------------------------------
+    #
+    # Same-host clients move chunk *payloads* by direct mmap access and
+    # only the tiny control messages below cross the socket.  Metadata
+    # stays entirely server-owned (the client never maps ``meta.dat``),
+    # so exclusive shards keep their lock-free metadata path; coherence
+    # rides on these commit/grant RPCs plus the per-slot generation
+    # table in ``gens.dat``.
+
+    def _dispatch_shm_attach(self, header: dict) -> tuple[dict, bytes]:
+        """Advertise pool geometry + epoch for a same-host direct attach."""
+        if faults._armed is not None:
+            faults.fire("shm.attach", server_id=self.config.server_id,
+                        host=self.config.host)
+        pool = self.pool
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.shm.attach.count").inc()
+        return {
+            "ok": True,
+            "host": self.config.host,
+            "directory": str(pool.directory),
+            "chunk_size": pool.chunk_size,
+            "num_chunks": pool.num_chunks,
+            "chunks_per_segment": pool.chunks_per_segment,
+            "epoch": pool.epoch,
+        }, b""
+
+    def _check_epoch(self, header: dict) -> Optional[tuple[dict, bytes]]:
+        if header.get("epoch") != self.pool.epoch:
+            # The pool was destroyed and recreated since the client
+            # attached: its mmaps point at the unlinked old files.
+            return protocol.error_reply(
+                f"stale pool epoch {header.get('epoch')!r}", "shm-stale"
+            ), b""
+        return None
+
+    def _dispatch_write_commit(self, header: dict,
+                               owner: TaskId) -> tuple[dict, bytes]:
+        """Publish chunks whose payloads the client memcpy'd in directly.
+
+        Header-only (no payload): ``chunks`` is a list of
+        ``[index, nbytes, crc32]`` for slots the client holds leases on
+        and has already filled through its :class:`ForeignPoolView`.
+        Admission runs before any lease is consumed, so a quota defer
+        leaves the reservations intact for the retry; a crc mismatch or
+        expired lease aborts the whole batch (consumed chunks freed)
+        and the client falls back to the socket path.
+        """
+        if faults._armed is not None:
+            faults.fire("shm.commit", server_id=self.config.server_id,
+                        host=self.config.host, owner=str(owner),
+                        chunks=len(header.get("chunks") or ()))
+        stale = self._check_epoch(header)
+        if stale is not None:
+            return stale
+        chunks = header.get("chunks")
+        if (not isinstance(chunks, list) or not chunks
+                or len(chunks) > protocol.MAX_BATCH):
+            return protocol.error_reply(
+                f"write_commit needs 1..{protocol.MAX_BATCH} chunk entries, "
+                f"got {chunks!r}"
+            ), b""
+        entries = []
+        total = 0
+        for raw in chunks:
+            index, nbytes, crc = int(raw[0]), int(raw[1]), int(raw[2])
+            if not 0 < nbytes <= self.pool.chunk_size:
+                return protocol.error_reply(
+                    f"bad payload length {nbytes} for chunk {index}"
+                ), b""
+            entries.append((index, nbytes, crc))
+            total += nbytes
+        self._admit_quota(owner, total, _weight_of(header))
+        started = time.perf_counter()
+        consumed: list[int] = []
+        try:
+            for index, nbytes, crc in entries:
+                if not self.leases.consume(index, owner):
+                    raise SpongeError(
+                        f"lease on chunk {index} expired or not held "
+                        f"by {owner}"
+                    )
+                consumed.append(index)
+                actual = zlib.crc32(self.pool.chunk_buffer(index, owner,
+                                                           nbytes))
+                if actual != crc:
+                    raise SpongeError(
+                        f"shm payload crc mismatch on chunk {index}: "
+                        f"{actual:#010x} != {crc:#010x}"
+                    )
+        except (OutOfSpongeMemory, SpongeError):
+            # Atomic commit: free everything consumed so far; the
+            # client's socket fallback rewrites through fresh chunks.
+            for index in consumed:
+                try:
+                    self.pool.free(index, owner)
+                except SpongeError:  # pragma: no cover - raced GC
+                    pass
+            self._release_quota(owner, total)
+            registry = obs._registry
+            if registry is not None:
+                registry.counter("server.shm.commit.refused").inc()
+            raise
+        for index, nbytes, _crc in entries:
+            self.pool.commit_write(index, owner, nbytes)
+            self._note_committed(owner, index)
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.shm.commit.count").inc()
+            registry.counter("server.shm.commit.chunks").inc(len(entries))
+            registry.counter("server.alloc.bytes").inc(total)
+            registry.observe("server.shm.commit.seconds", started,
+                             time.perf_counter())
+        return {"ok": True, "indices": [i for i, _n, _c in entries]}, b""
+
+    def _dispatch_read_grant(self, header: dict,
+                             owner: TaskId) -> tuple[dict, bytes]:
+        """Grant direct mmap reads: per chunk ``[generation, len, crc]``.
+
+        A ``None`` grant entry means the chunk is not directly readable
+        (demoted to the disk tier, or unknown) — the client's socket
+        read serves it and classifies any real loss.  The client
+        validates the slot generation after its copy, so a slot freed
+        and recycled between grant and copy is detected, not corrupted.
+        """
+        indices = header.get("indices")
+        if (not isinstance(indices, list)
+                or len(indices) > protocol.MAX_BATCH):
+            return protocol.error_reply(
+                f"read_grant needs a list of at most {protocol.MAX_BATCH} "
+                f"indices, got {indices!r}"
+            ), b""
+        if faults._armed is not None:
+            faults.fire("shm.read_grant", server_id=self.config.server_id,
+                        host=self.config.host, owner=str(owner),
+                        chunks=len(indices))
+        stale = self._check_epoch(header)
+        if stale is not None:
+            return stale
+        started = time.perf_counter()
+        grants = []
+        granted = 0
+        for raw in indices:
+            index = int(raw)
+            try:
+                length = self.pool.chunk_length(index, owner)
+                crc = zlib.crc32(self.pool.read_view(index, owner))
+            except SpongeError:
+                grants.append(None)
+                continue
+            self._note_read(owner, index)
+            grants.append([self.pool.generation(index), length, crc])
+            granted += 1
+        registry = obs._registry
+        if registry is not None:
+            registry.counter("server.shm.grant.count").inc()
+            registry.counter("server.shm.grant.chunks").inc(granted)
+            registry.observe("server.shm.grant.seconds", started,
+                             time.perf_counter())
+        return {"ok": True, "grants": grants}, b""
 
     # -- observability -----------------------------------------------------
 

@@ -188,8 +188,15 @@ class AllocationSession:
         self._free_list: list[ServerInfo] = []
         if chain.tracker is not None and chain.remote_store_factory is not None:
             rack = chain.rack if chain.config.restrict_to_rack else None
+            # Classically the task's own host is excluded: its memory is
+            # the local tier, and dialling a same-host server over
+            # loopback would only add socket copies.  With the SHM data
+            # plane on, same-host *shards* become direct shared-memory
+            # tiers (Table 1), so they stay in the candidate list.
+            exclude = ([] if chain.config.shm_data_plane != "off"
+                       else [chain.host])
             self._free_list = chain.tracker.free_list(
-                rack=rack, exclude_hosts=[chain.host]
+                rack=rack, exclude_hosts=exclude
             )
         self._used_servers: list[str] = []
         #: spread key -> failure domains already holding a member of

@@ -111,6 +111,18 @@ class SpongeConfig:
     #: loss; smaller clusters fall back with a counted
     #: ``redundancy.degraded_placement`` warning.
     redundancy_k: int = 4
+    #: Same-node shared-memory data plane (Table 1: local sponge access
+    #: is a shared-memory operation).  ``"off"`` reaches every sponge
+    #: server — including same-host shards — over sockets, exactly the
+    #: historical behaviour.  ``"write"`` attaches same-host servers'
+    #: pools directly (``shm_attach``) and moves write payloads by
+    #: memcpy + header-only ``write_commit``; ``"rw"`` additionally
+    #: serves reads through ``read_grant`` with generation + crc32
+    #: validation.  Every plane failure falls back to the socket path
+    #: (counted under ``shm.fallbacks``).  Turning the knob on also
+    #: stops excluding the task's own host from the remote free list,
+    #: so all local shards become direct shared-memory tiers.
+    shm_data_plane: str = "off"
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -170,6 +182,11 @@ class SpongeConfig:
             raise ConfigError(
                 "redundancy needs chunk_size >= 4096 (member framing "
                 "would dominate below that)"
+            )
+        if self.shm_data_plane not in ("off", "write", "rw"):
+            raise ConfigError(
+                f"shm_data_plane must be off|write|rw: "
+                f"{self.shm_data_plane!r}"
             )
 
 

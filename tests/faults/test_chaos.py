@@ -116,6 +116,29 @@ def test_redundancy_fields_do_not_change_the_schedule():
     assert describe_schedule(off) == describe_schedule(mirrored)
 
 
+def test_shm_data_plane_does_not_change_the_schedule():
+    # The SHM data plane must face the identical fault and kill
+    # schedule as the socket path: its rules are appended with fixed
+    # parameters after every seed-dependent draw, so pinned seeds keep
+    # meaning what they meant and any verdict change between off/write/
+    # rw runs is attributable to the data plane alone.
+    off = ChaosSettings(**RED_PAIR)
+    for mode in ("write", "rw"):
+        plane = ChaosSettings(**RED_PAIR, shm_data_plane=mode)
+        assert describe_schedule(off) == describe_schedule(plane)
+    stacked = ChaosSettings(**RED_PAIR, shm_data_plane="rw",
+                            shards=2, compression="adaptive",
+                            redundancy="xor", redundancy_k=2)
+    blind = ChaosSettings(**RED_PAIR, shards=2, compression="adaptive",
+                          redundancy="xor", redundancy_k=2)
+    assert describe_schedule(stacked) == describe_schedule(blind)
+
+
+def test_shm_sites_are_always_scheduled():
+    sites = {rule.site for rule in build_fault_plan(SMOKE).rules}
+    assert {"shm.attach", "shm.commit", "shm.read_grant"} <= sites
+
+
 def test_read_parallelism_does_not_change_the_schedule():
     # The parallel read pipeline (decode fan-out, striped prefetch,
     # concurrent reconstruction) must face the identical fault and

@@ -1,9 +1,15 @@
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.mapreduce.job import JobConf, SpillMode
+from repro.mapreduce import types as mr_types
 from repro.mapreduce.types import (
     Record,
     default_partitioner,
@@ -38,6 +44,10 @@ class TestRecord:
         assert sorted_keys == sorted(keys)
 
 
+PINNED_KEYS = ["alpha", "beta", 42, -7, ("x", 1), b"bytes", None, 3.5,
+               True, False, ("a", ("b", 2))]
+
+
 class TestPartitioner:
     def test_in_range(self):
         for key in ["a", 42, ("x", 1)]:
@@ -45,6 +55,57 @@ class TestPartitioner:
 
     def test_single_partition(self):
         assert default_partitioner("anything", 1) == 0
+
+    def test_pinned_routing(self):
+        # Frozen expected values: the partitioner is part of the on-disk
+        # shuffle layout now, so any change to the key encoding (or a
+        # regression back to the salted builtin ``hash``) must show up
+        # as an explicit test failure, not silently reshuffled reducers.
+        assert [default_partitioner(k, 97) for k in PINNED_KEYS] == [
+            83, 90, 79, 45, 32, 87, 40, 14, 30, 46, 13,
+        ]
+        assert default_partitioner("word-count", 1 << 31) == 483266027
+        assert default_partitioner(("rack", 3), 1 << 31) == 2122953821
+
+    def test_distinct_types_do_not_collide(self):
+        # "1", 1, True, 1.0, b"1" are distinct keys and must not share
+        # an encoding (they would under str()-based hashing).
+        tricky = ["1", 1, True, 1.0, b"1", (1,), ("1",), None]
+        encodings = {mr_types._stable_key_bytes(k) for k in tricky}
+        assert len(encodings) == len(tricky)
+
+    def test_tuple_nesting_is_not_forgeable(self):
+        # Length-prefixed recursive encoding: regrouping the same
+        # leaves must produce different routing material.
+        forms = [("ab", "c"), ("a", "bc"), (("ab",), "c"), ("ab", ("c",))]
+        encodings = {mr_types._stable_key_bytes(k) for k in forms}
+        assert len(encodings) == len(forms)
+
+    def test_routing_survives_hash_randomization(self):
+        # The regression this fixes: ``hash()`` is salted per process
+        # (PYTHONHASHSEED), so mappers in different processes routed the
+        # same key to different reducers.  The crc32 routing must agree
+        # across interpreters no matter the seed.
+        local = [default_partitioner(k, 97) for k in PINNED_KEYS]
+        src = str(Path(mr_types.__file__).resolve().parents[2])
+        code = (
+            "from repro.mapreduce.types import default_partitioner\n"
+            f"print([default_partitioner(k, 97) for k in {PINNED_KEYS!r}])"
+        )
+        for seed in ("0", "1", "424242"):
+            env = {**os.environ, "PYTHONHASHSEED": seed,
+                   "PYTHONPATH": src}
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env,
+                capture_output=True, text=True, check=True, timeout=60,
+            )
+            assert eval(out.stdout.strip()) == local
+
+    @given(st.one_of(st.text(), st.integers(), st.binary(),
+                     st.tuples(st.text(), st.integers())),
+           st.integers(min_value=1, max_value=10_000))
+    def test_always_in_range(self, key, num_partitions):
+        assert 0 <= default_partitioner(key, num_partitions) < num_partitions
 
 
 class TestJobConf:

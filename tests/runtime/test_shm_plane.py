@@ -1,0 +1,414 @@
+"""The same-node shared-memory data plane (SHM control + payload split).
+
+Four layers:
+
+* **End to end over a sharded cluster** — a same-host chain with
+  ``shm_data_plane`` on moves payloads through the mmap (the
+  ``shm.writes``/``shm.reads`` counters prove engagement) and reads
+  back byte-exact; ``off`` keeps the PR-9 behaviour (same-host shards
+  excluded from remote placement).
+* **Byte identity (hypothesis)** — random payload mixes, with the
+  compression pipeline and XOR redundancy toggled, read back identical
+  through the plane and through a pure-socket chain aimed at the very
+  same shards.
+* **The grant/copy race** — a slot freed and recycled between
+  ``read_grant`` and the client's memcpy is detected by the slot
+  generation (counted fallback, never corrupted bytes), and a payload
+  that changes under the copy is caught by the crc.
+* **Fault sites** — ``shm.attach`` / ``shm.commit`` / ``shm.read_grant``
+  failures each degrade to the socket path with the per-reason
+  fallback counter bumped, and a stale pool epoch kills the plane for
+  good (one fallback, then silent socket service).
+"""
+
+import os
+import threading
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.errors import SpongeError
+from repro.faults import hooks as faults
+from repro.faults.plan import FaultPlan
+from repro.runtime import LocalSpongeCluster, protocol
+from repro.runtime.client import RemoteServerStore, ShmDataPlane, build_chain
+from repro.runtime.shm_pool import ForeignPoolView, MmapSpongePool
+from repro.runtime.sponge_server import ServerConfig, SpongeServerProcess
+from repro.sponge import ChunkLocation, SpongeConfig, SpongeFile
+from repro.sponge.chunk import TaskId
+
+CHUNK = 64 * 1024
+POOL = 16 * CHUNK  # per node; two shards of 8 chunks each
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    # gc_interval=60: chunks owned by off-node client hosts survive the
+    # module (GC would otherwise reap them as crashed-task orphans).
+    with LocalSpongeCluster(num_nodes=1, pool_size=POOL, chunk_size=CHUNK,
+                            poll_interval=0.1, gc_interval=60.0,
+                            shards=2) as cluster:
+        yield cluster
+
+
+@pytest.fixture()
+def registry():
+    registry = obs.install(source="test-shm-plane")
+    try:
+        yield registry
+    finally:
+        obs.uninstall()
+
+
+def plane_file(cluster, label, mode="rw", **config_kwargs):
+    """A SpongeFile on a same-host chain (no direct pool attach, so
+    every chunk goes through the shard servers)."""
+    config = SpongeConfig(chunk_size=CHUNK, shm_data_plane=mode,
+                          **config_kwargs)
+    chain = cluster.chain(0, config=config, attach_local_pool=False)
+    owner = cluster.task_id(0, label)
+    return SpongeFile(owner, chain, config)
+
+
+def socket_file(cluster, label, **config_kwargs):
+    """A SpongeFile on a pure-socket chain aimed at the same shards.
+
+    The chain's host differs from the node's, so the same-host
+    exclusion does not apply and placement targets the identical
+    shards — just over loopback TCP.
+    """
+    config = SpongeConfig(chunk_size=CHUNK, **config_kwargs)
+    chain = build_chain(
+        host=f"client-{label}",
+        tracker_address=cluster.tracker_address,
+        spill_dir=cluster.workdir / f"spill-{label}",
+        config=config,
+    )
+    from repro.runtime.local_cluster import runtime_task_id
+
+    owner = runtime_task_id(f"client-{label}", label)
+    return SpongeFile(owner, chain, config)
+
+
+# -- end to end over a sharded cluster ----------------------------------------
+
+
+class TestEndToEnd:
+    def test_plane_carries_writes_and_reads(self, cluster, registry):
+        sf = plane_file(cluster, "carry")
+        payload = bytes(range(256)) * (4 * CHUNK // 256)
+        sf.write_all(payload)
+        sf.close_sync()
+        assert all(h.location is ChunkLocation.REMOTE_MEMORY
+                   for h in sf.handles)
+        assert bytes(sf.read_all()) == payload
+        sf.delete_sync()
+        snapshot = registry.snapshot()
+        # The payload really moved through the mmap, both directions.
+        assert snapshot.counters["shm.writes"] >= 4
+        assert snapshot.counters["shm.reads"] >= 4
+        assert snapshot.counters["shm.bytes"] >= 2 * len(payload)
+
+    def test_write_mode_reads_over_the_socket(self, cluster, registry):
+        sf = plane_file(cluster, "wonly", mode="write")
+        payload = b"w" * (2 * CHUNK)
+        sf.write_all(payload)
+        sf.close_sync()
+        assert bytes(sf.read_all()) == payload
+        sf.delete_sync()
+        snapshot = registry.snapshot()
+        assert snapshot.counters["shm.writes"] >= 2
+        assert "shm.reads" not in snapshot.counters
+
+    def test_off_keeps_same_host_shards_excluded(self, cluster, registry):
+        # PR-9 behaviour pin: with the plane off and no local pool, the
+        # single node's shards are this host's own servers, so nothing
+        # places in REMOTE_MEMORY — the write falls through to disk.
+        sf = plane_file(cluster, "off", mode="off")
+        sf.write_all(b"d" * (2 * CHUNK))
+        sf.close_sync()
+        assert {h.location for h in sf.handles} == {ChunkLocation.LOCAL_DISK}
+        sf.delete_sync()
+        assert "shm.writes" not in registry.snapshot().counters
+
+    def test_socket_chain_still_roundtrips(self, cluster, registry):
+        # The comparison chain used by the property below: same shards,
+        # plain TCP, no plane engagement.
+        sf = socket_file(cluster, "sock")
+        payload = b"s" * (2 * CHUNK + 17)
+        sf.write_all(payload)
+        sf.close_sync()
+        assert bytes(sf.read_all()) == payload
+        sf.delete_sync()
+        assert "shm.writes" not in registry.snapshot().counters
+
+    def test_leases_are_returned_on_release(self, cluster):
+        # The plane's read-ahead lease cache must drain through
+        # release_leases (SpongeFile close/delete), not leak until the
+        # server's TTL sweep starves the pool.
+        sf = plane_file(cluster, "drain")
+        sf.write_all(b"l" * CHUNK)
+        sf.close_sync()
+        stores = [s for s in sf.session.chain._remote_stores.values()
+                  if getattr(s, "shm", None) is not None]
+        assert stores  # the plane attached on the same-host shard
+        sf.delete_sync()
+        for store in stores:
+            assert not store.shm._lease_cache.get(str(sf.owner))
+
+
+# -- byte identity under random payload mixes (hypothesis) --------------------
+
+
+PAYLOADS = st.lists(
+    st.one_of(
+        st.binary(min_size=1, max_size=512),
+        # Compressible runs and full-chunk slabs exercise slot reuse,
+        # multi-chunk batches, and the compression probe.
+        st.integers(min_value=1, max_value=2 * CHUNK).map(
+            lambda n: b"ab" * (n // 2 + 1)
+        ),
+    ),
+    min_size=1, max_size=3,
+)
+
+
+class TestByteIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(parts=PAYLOADS, compression=st.booleans(),
+           redundancy=st.booleans())
+    def test_plane_and_socket_paths_agree(self, cluster, parts,
+                                          compression, redundancy):
+        payload = b"".join(parts)
+        kwargs = dict(
+            compression="adaptive" if compression else "off",
+            redundancy="xor" if redundancy else "off",
+            redundancy_k=2,
+        )
+        registry = obs.install(source="prop-shm")
+        try:
+            via_plane = plane_file(cluster, "prop-shm", **kwargs)
+            via_socket = socket_file(cluster, "prop-sock", **kwargs)
+            try:
+                via_plane.write_all(payload)
+                via_plane.close_sync()
+                via_socket.write_all(payload)
+                via_socket.close_sync()
+                assert bytes(via_plane.read_all()) == payload
+                assert bytes(via_socket.read_all()) == payload
+            finally:
+                via_plane.delete_sync()
+                via_socket.delete_sync()
+            snapshot = registry.snapshot()
+            # The plane run genuinely used the mmap path.
+            assert snapshot.counters.get("shm.writes", 0) >= 1
+        finally:
+            obs.uninstall()
+
+
+# -- the grant/copy race ------------------------------------------------------
+
+
+OWNER = TaskId("hostA", "pid:1:writer")
+OTHER = TaskId("hostB", "pid:2:other")
+
+
+@pytest.fixture()
+def pool(tmp_path):
+    with MmapSpongePool(tmp_path / "pool", create=True,
+                        pool_size=4 * CHUNK, chunk_size=CHUNK) as pool:
+        yield pool
+
+
+def make_plane(pool, mode="rw"):
+    view = ForeignPoolView(pool.directory, chunk_size=pool.chunk_size,
+                           num_chunks=pool.num_chunks,
+                           chunks_per_segment=pool.chunks_per_segment,
+                           epoch=pool.epoch)
+    # store=None: these tests drive _copy_out directly, no RPCs.
+    return ShmDataPlane(None, view, pool.epoch, mode)
+
+
+class TestGrantCopyRace:
+    def grant_for(self, pool, index, payload):
+        return [pool.generation(index), len(payload), zlib.crc32(payload)]
+
+    def test_fresh_grant_copies_out(self, pool, registry):
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"fresh bytes")
+        plane = make_plane(pool)
+        try:
+            grant = self.grant_for(pool, index, b"fresh bytes")
+            assert plane._copy_out(index, grant) == b"fresh bytes"
+            assert "shm.fallbacks" not in registry.snapshot().counters
+        finally:
+            plane.view.close()
+
+    def test_freed_and_recycled_slot_is_detected(self, pool, registry):
+        # The race the generation table exists for: the server frees the
+        # slot after granting and another task's bytes land in it before
+        # the reader's memcpy.  The stale grant must yield a counted
+        # fallback — never the recycler's payload.
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"victim payload")
+        plane = make_plane(pool)
+        try:
+            grant = self.grant_for(pool, index, b"victim payload")
+            pool.free(index, OWNER)
+            recycled = pool.allocate(OTHER)
+            assert recycled == index
+            pool.write(index, OTHER, b"intruder bytes")
+            assert plane._copy_out(index, grant) is None
+            counters = registry.snapshot().counters
+            assert counters["shm.fallbacks"] == 1
+            assert counters["shm.fallbacks.generation"] == 1
+        finally:
+            plane.view.close()
+
+    def test_free_without_recycle_is_detected(self, pool, registry):
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"soon gone")
+        plane = make_plane(pool)
+        try:
+            grant = self.grant_for(pool, index, b"soon gone")
+            pool.free(index, OWNER)
+            assert plane._copy_out(index, grant) is None
+            assert registry.snapshot().counters[
+                "shm.fallbacks.generation"] == 1
+        finally:
+            plane.view.close()
+
+    def test_payload_mutation_is_caught_by_the_crc(self, pool, registry):
+        # Same generation, different bytes (a torn in-place rewrite):
+        # the crc is the backstop under the advisory generation.
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"original!")
+        plane = make_plane(pool)
+        try:
+            grant = self.grant_for(pool, index, b"original!")
+            pool.write(index, OWNER, b"mutated!!")
+            assert plane._copy_out(index, grant) is None
+            assert registry.snapshot().counters["shm.fallbacks.crc"] == 1
+        finally:
+            plane.view.close()
+
+
+# -- fault sites and the stale-epoch ladder -----------------------------------
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """One in-process shard served from a thread, so plans armed in
+    this process fire inside its dispatch (the shm.* sites are
+    server-side)."""
+    import socket as socketlib
+
+    with socketlib.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    config = ServerConfig(
+        server_id="sponge@shm-host", host="shm-host", rack="r0", port=port,
+        pool_dir=os.path.join(tmp_path, "pool"),
+        pool_size=64 * CHUNK, chunk_size=CHUNK,
+    )
+    process = SpongeServerProcess(config)
+    thread = threading.Thread(target=process.serve_forever, daemon=True)
+    thread.start()
+    try:
+        reply, _ = protocol.request(("127.0.0.1", port), {"op": "ping"},
+                                    timeout=5.0)
+        assert reply["ok"]
+        yield ("127.0.0.1", port)
+    finally:
+        faults.disarm()
+        process.shutdown()
+        thread.join(timeout=5)
+        process.close()
+
+
+def make_store(address):
+    return RemoteServerStore("sponge@shm-host", address, timeout=2.0)
+
+
+class TestFaultSites:
+    OWNER = TaskId("shm-host", "pid:9:faulted")
+
+    def test_attach_fault_degrades_to_socket(self, server, registry):
+        store = make_store(server)
+        with faults.injected(FaultPlan().fail_shm_plane(site="shm.attach",
+                                                        times=1)):
+            assert store.attach_shm("rw") is False
+        assert registry.snapshot().counters["shm.fallbacks.attach"] == 1
+        assert store._shm_plane() is None
+        # Disarmed, the very next handshake succeeds.
+        assert store.attach_shm("rw") is True
+        assert store._shm_plane() is not None
+
+    def test_commit_fault_falls_back_per_write(self, server, registry):
+        store = make_store(server)
+        assert store.attach_shm("rw")
+        with faults.injected(FaultPlan().fail_shm_plane(site="shm.commit",
+                                                        times=1)):
+            handle = store._write(self.OWNER, b"spilled anyway")
+        assert bytes(store._read(handle)) == b"spilled anyway"
+        assert registry.snapshot().counters["shm.fallbacks.commit"] == 1
+        # The plane survived the refusal: the next write uses it.
+        assert store._write(self.OWNER, b"back on plane")
+        assert registry.snapshot().counters["shm.writes"] >= 1
+
+    def test_grant_fault_falls_back_per_read(self, server, registry):
+        store = make_store(server)
+        assert store.attach_shm("rw")
+        handle = store._write(self.OWNER, b"granted later")
+        with faults.injected(FaultPlan().fail_shm_plane(
+                site="shm.read_grant", times=1)):
+            assert bytes(store._read(handle)) == b"granted later"
+        assert registry.snapshot().counters["shm.fallbacks.grant"] == 1
+        assert bytes(store._read(handle)) == b"granted later"
+
+    def test_stale_epoch_kills_the_plane_once(self, server, registry):
+        store = make_store(server)
+        assert store.attach_shm("rw")
+        # Tamper with the advertised epoch: the server refuses every
+        # commit with the shm-stale code, and the plane goes dead —
+        # exactly one counted fallback, then silent socket service.
+        store.shm.epoch = "00" * 8
+        first = store._write(self.OWNER, b"stale one")
+        second = store._write(self.OWNER, b"stale two")
+        assert bytes(store._read(first)) == b"stale one"
+        assert bytes(store._read(second)) == b"stale two"
+        assert store.shm.dead
+        assert store._shm_plane() is None
+        counters = registry.snapshot().counters
+        assert counters["shm.fallbacks.commit"] == 1
+        assert "shm.writes" not in counters
+
+    def test_unleased_commit_is_refused(self, server, registry):
+        # A commit naming a slot the owner holds no lease on must be
+        # rejected atomically (and counted) — the integrity gate that
+        # keeps a buggy or hostile client from publishing foreign slots.
+        store = make_store(server)
+        assert store.attach_shm("rw")
+        reply, _ = store.connections.request(
+            server,
+            {"op": "write_commit", "epoch": store.shm.epoch,
+             "chunks": [[0, 10, 0]],
+             **store._owner_header(self.OWNER)},
+            timeout=2.0,
+        )
+        assert not reply["ok"] and "lease" in reply["error"]
+        assert registry.snapshot().counters[
+            "server.shm.commit.refused"] == 1
+
+    def test_oversized_and_overwide_batches_fall_back(self, server,
+                                                      registry):
+        store = make_store(server)
+        assert store.attach_shm("rw")
+        plane = store._shm_plane()
+        assert plane.write_chunks(self.OWNER, [b"x" * (CHUNK + 1)]) is None
+        too_many = [b"y"] * (protocol.MAX_BATCH + 1)
+        assert plane.write_chunks(self.OWNER, too_many) is None
+        assert registry.snapshot().counters["shm.fallbacks.size"] == 2

@@ -5,7 +5,7 @@ import multiprocessing
 import pytest
 
 from repro.errors import ConfigError, OutOfSpongeMemory, SpongeError
-from repro.runtime.shm_pool import MmapSpongePool
+from repro.runtime.shm_pool import ForeignPoolView, MmapSpongePool
 from repro.sponge.chunk import TaskId
 
 CHUNK = 64 * 1024
@@ -131,3 +131,112 @@ class TestCrossProcess:
                               pool_size=2 * CHUNK, chunk_size=CHUNK)
         pool.destroy()
         assert not (pool_dir / "meta.dat").exists()
+        assert not (pool_dir / "gens.dat").exists()
+
+
+# -- slot generations and the pool epoch (SHM data plane) ---------------------
+
+
+class TestGenerations:
+    def test_new_pool_starts_at_generation_zero(self, pool):
+        assert all(pool.generation(i) == 0 for i in range(pool.num_chunks))
+
+    def test_free_bumps_the_generation(self, pool):
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"x")
+        before = pool.generation(index)
+        pool.free(index, OWNER)
+        assert pool.generation(index) == before + 1
+        # Reallocation does not bump: a grant taken against the new
+        # incarnation stays valid until the *next* free.
+        assert pool.allocate(OTHER) == index
+        assert pool.generation(index) == before + 1
+
+    def test_collect_bumps_the_generation(self, pool):
+        index = pool.allocate(OWNER)
+        assert pool.collect(lambda owner: False) == 1
+        assert pool.generation(index) == 1
+
+    def test_out_of_range_generation_rejected(self, pool):
+        with pytest.raises(SpongeError):
+            pool.generation(pool.num_chunks)
+
+    def test_epoch_survives_reattach(self, tmp_path):
+        pool_dir = tmp_path / "pool"
+        pool = MmapSpongePool(pool_dir, create=True,
+                              pool_size=2 * CHUNK, chunk_size=CHUNK)
+        epoch = pool.epoch
+        index = pool.allocate(OWNER)
+        pool.free(index, OWNER)
+        pool.close()
+        again = MmapSpongePool(pool_dir)
+        # Same files, same epoch — and the generation table persisted,
+        # so grants spanning a server restart stay comparable.
+        assert again.epoch == epoch
+        assert again.generation(index) == 1
+        again.close()
+
+    def test_recreate_changes_the_epoch(self, tmp_path):
+        pool_dir = tmp_path / "pool"
+        pool = MmapSpongePool(pool_dir, create=True,
+                              pool_size=2 * CHUNK, chunk_size=CHUNK)
+        epoch = pool.epoch
+        pool.destroy()
+        fresh = MmapSpongePool(pool_dir, create=True,
+                               pool_size=2 * CHUNK, chunk_size=CHUNK)
+        assert fresh.epoch != epoch  # a stale attach cannot go unnoticed
+        fresh.destroy()
+
+
+class TestForeignPoolView:
+    def view(self, pool, **kwargs):
+        return ForeignPoolView(pool.directory, chunk_size=pool.chunk_size,
+                               num_chunks=pool.num_chunks,
+                               chunks_per_segment=pool.chunks_per_segment,
+                               **kwargs)
+
+    def test_reads_what_the_owner_wrote(self, pool):
+        index = pool.allocate(OWNER)
+        pool.write(index, OWNER, b"owner bytes")
+        with self.view(pool, epoch=pool.epoch) as view:
+            assert bytes(view.chunk_view(index, 11)) == b"owner bytes"
+            assert view.generation(index) == pool.generation(index)
+            assert view.epoch == pool.epoch
+
+    def test_writable_view_is_visible_to_the_owner(self, pool):
+        index = pool.allocate(OWNER)
+        with self.view(pool, writable=True) as view:
+            view.chunk_view(index, 12)[:] = b"foreign fill"
+        pool.commit_write(index, OWNER, 12)
+        assert bytes(pool.read(index, OWNER)) == b"foreign fill"
+
+    def test_readonly_view_rejects_stores(self, pool):
+        index = pool.allocate(OWNER)
+        with self.view(pool) as view:
+            with pytest.raises((TypeError, ValueError)):
+                view.chunk_view(index, 4)[:] = b"nope"
+
+    def test_advertised_epoch_must_match(self, pool):
+        with pytest.raises(SpongeError):
+            self.view(pool, epoch="00" * 8)
+
+    def test_multi_segment_geometry(self, tmp_path):
+        with MmapSpongePool(tmp_path / "pool", create=True,
+                            pool_size=8 * CHUNK, chunk_size=CHUNK,
+                            segment_size=2 * CHUNK) as pool:
+            first = pool.allocate(OWNER)
+            for _ in range(6):
+                pool.allocate(OWNER)
+            last = pool.allocate(OWNER)
+            pool.write(first, OWNER, b"first")
+            pool.write(last, OWNER, b"last")
+            with self.view(pool, epoch=pool.epoch) as view:
+                assert bytes(view.chunk_view(first, 5)) == b"first"
+                assert bytes(view.chunk_view(last, 4)) == b"last"
+
+    def test_bounds_checked(self, pool):
+        with self.view(pool) as view:
+            with pytest.raises(SpongeError):
+                view.chunk_view(pool.num_chunks)
+            with pytest.raises(SpongeError):
+                view.chunk_view(0, CHUNK + 1)
